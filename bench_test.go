@@ -1,0 +1,340 @@
+package podnas
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md §4), plus the ablation benches DESIGN.md §5
+// calls out and microbenchmarks of the heavy kernels. Each table/figure
+// bench regenerates the experiment's data at a reduced (benchmark-friendly)
+// budget; cmd/experiments runs the full-scale versions.
+
+import (
+	"sync"
+	"testing"
+
+	"podnas/internal/arch"
+	"podnas/internal/baseline"
+	"podnas/internal/hpcsim"
+	"podnas/internal/nn"
+	"podnas/internal/pod"
+	"podnas/internal/search"
+	"podnas/internal/sst"
+	"podnas/internal/tensor"
+	"podnas/internal/window"
+)
+
+var (
+	benchOnce sync.Once
+	benchPipe *Pipeline
+)
+
+func benchPipeline(b *testing.B) *Pipeline {
+	b.Helper()
+	benchOnce.Do(func() {
+		p, err := NewPipeline(SmallPipelineConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchPipe = p
+	})
+	return benchPipe
+}
+
+// BenchmarkTable1RegionalRMSE regenerates the Table I weekly RMSE rows
+// (POD-LSTM vs CESM vs HYCOM in the Eastern Pacific).
+func BenchmarkTable1RegionalRMSE(b *testing.B) {
+	p := benchPipeline(b)
+	m, err := p.ManualLSTM(16, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Posttrain(10, 1); err != nil {
+		b.Fatal(err)
+	}
+	lo, _ := p.HYCOMWindow()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := m.RegionalRMSE(sst.EasternPacific, lo, lo+12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if table.Predicted[0] <= 0 {
+			b.Fatal("degenerate table")
+		}
+	}
+}
+
+// BenchmarkTable2Baselines regenerates the Table II baseline rows (linear,
+// boosted trees, random forest) plus one manual LSTM.
+func BenchmarkTable2Baselines(b *testing.B) {
+	p := benchPipeline(b)
+	raw := func(w *window.Dataset) *window.Dataset {
+		x := w.X.Clone()
+		p.Scaler.Inverse(x)
+		y := w.Y.Clone()
+		p.Scaler.Inverse(y)
+		return &window.Dataset{X: x, Y: y, K: w.K, Nr: w.Nr}
+	}
+	trainD := raw(p.TrainWin)
+	testD := raw(p.TestWin)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, reg := range []baseline.Regressor{baseline.NewLinear(), baseline.NewGradientBoosting(), baseline.NewRandomForest()} {
+			if err := baseline.FitWindowed(reg, trainD); err != nil {
+				b.Fatal(err)
+			}
+			_ = baseline.EvaluateR2(reg, testD)
+		}
+		m, err := p.ManualLSTM(16, 1, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Posttrain(5, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		_ = m.TestR2()
+	}
+}
+
+// BenchmarkTable3Scaling regenerates one Table III row (33 nodes, all three
+// methods) in the cluster simulator.
+func BenchmarkTable3Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range []hpcsim.Method{hpcsim.MethodAE, hpcsim.MethodRL, hpcsim.MethodRS} {
+			st, err := hpcsim.Run(hpcsim.Config{Method: m, Nodes: 33, Seed: uint64(i) + 7, Space: arch.Default()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Evaluations == 0 {
+				b.Fatal("no evaluations")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3SearchTrajectories regenerates the Fig 3 reward-vs-time
+// trajectory for AE at 128 simulated nodes.
+func BenchmarkFig3SearchTrajectories(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := hpcsim.Run(hpcsim.Config{Method: hpcsim.MethodAE, Nodes: 128, Seed: uint64(i) + 9, Space: arch.Default()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.RewardCurve.Len() == 0 {
+			b.Fatal("empty trajectory")
+		}
+	}
+}
+
+// BenchmarkFig5Posttraining regenerates the Fig 5 posttraining convergence
+// trace (loss per epoch) for a search-space architecture.
+func BenchmarkFig5Posttraining(b *testing.B) {
+	p := benchPipeline(b)
+	space := p.DefaultSpace()
+	a := space.Random(tensor.NewRNG(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := p.BuildArch(space, a, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		losses, err := m.Posttrain(10, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(losses) != 10 {
+			b.Fatal("missing convergence trace")
+		}
+	}
+}
+
+// BenchmarkFig8HighPerformers regenerates the Fig 8 unique-high-performer
+// counts at two node counts.
+func BenchmarkFig8HighPerformers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, nodes := range []int{33, 64} {
+			st, err := hpcsim.Run(hpcsim.Config{Method: hpcsim.MethodAE, Nodes: nodes, Seed: uint64(i) + 11, Space: arch.Default()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.HighPerfCurve.Len() == 0 {
+				b.Fatal("empty high-performer curve")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9Variability regenerates a reduced Fig 9 variability study
+// (3 seeds × AE/RL at 33 nodes).
+func BenchmarkFig9Variability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range []hpcsim.Method{hpcsim.MethodAE, hpcsim.MethodRL} {
+			for k := 0; k < 3; k++ {
+				if _, err := hpcsim.Run(hpcsim.Config{Method: m, Nodes: 33, Seed: uint64(i*3+k) + 13, Space: arch.Default()}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAgingVsNonAging compares aging evolution against the
+// worst-replacement variant under reward noise (DESIGN.md §5).
+func BenchmarkAblationAgingVsNonAging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range []hpcsim.Method{hpcsim.MethodAE, hpcsim.MethodNonAging} {
+			if _, err := hpcsim.Run(hpcsim.Config{Method: m, Nodes: 33, Seed: uint64(i) + 17, Space: arch.Default()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationConstantCost compares the parameter-proportional
+// evaluation-cost model against a constant-cost variant (DESIGN.md §5: the
+// mechanism behind AE's throughput advantage).
+func BenchmarkAblationConstantCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cc := range []bool{false, true} {
+			if _, err := hpcsim.Run(hpcsim.Config{Method: hpcsim.MethodAE, Nodes: 33, Seed: uint64(i) + 19, Space: arch.Default(), ConstantCost: cc}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMergeReLU compares training with and without the
+// post-merge ReLU (DESIGN.md §5).
+func BenchmarkAblationMergeReLU(b *testing.B) {
+	p := benchPipeline(b)
+	space := p.DefaultSpace()
+	// An architecture with several active skips.
+	a := make(arch.Arch, space.NumVariables())
+	for i := range a {
+		if space.NumChoices(i) == 2 {
+			a[i] = 1 // all skips on
+		} else {
+			a[i] = 2 // LSTM(32) everywhere
+		}
+	}
+	spec, err := space.ToGraphSpec(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, noRelu := range []bool{false, true} {
+			s := spec
+			s.NoMergeReLU = noRelu
+			g, err := nn.NewGraph(s, tensor.NewRNG(uint64(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := nn.DefaultTrainConfig()
+			cfg.Epochs = 3
+			if _, err := nn.Train(g, p.TrainWin.X, p.TrainWin.Y, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- microbenchmarks of the heavy kernels ---
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.NewMatrix(128, 128)
+	y := tensor.NewMatrix(128, 128)
+	rng.FillNormal(x.Data, 1)
+	rng.FillNormal(y.Data, 1)
+	dst := tensor.NewMatrix(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkLSTMForwardBackward(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	l := nn.NewLSTM("bench", 5, 80, rng)
+	x := tensor.NewTensor3(64, 8, 5)
+	rng.FillNormal(x.Data, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := l.Forward(x)
+		l.Backward(y)
+	}
+}
+
+func BenchmarkPODCompute(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	s := tensor.NewMatrix(1200, 120)
+	rng.FillNormal(s.Data, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pod.Compute(s, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAEProposalThroughput(b *testing.B) {
+	space := arch.Default()
+	ae, err := search.NewAgingEvolution(space, 100, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := ae.Propose()
+		ae.Report(a, float64(i%100)/100)
+	}
+}
+
+func BenchmarkSyntheticSSTGeneration(b *testing.B) {
+	cfg := sst.Small()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		if _, err := sst.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAutoregressive contrasts the paper's non-autoregressive
+// protocol with feedback forecasting (the extension discussed in §IV-B:
+// "the outputs of the LSTM forecast are not reused as inputs").
+func BenchmarkAblationAutoregressive(b *testing.B) {
+	p := benchPipeline(b)
+	m, err := p.ManualLSTM(16, 1, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Posttrain(10, 31); err != nil {
+		b.Fatal(err)
+	}
+	lo := p.NumTrain + p.Cfg.K
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AutoregressiveRMSE(lo, lo+10, 2*p.Cfg.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForecastThroughput measures the deployed-emulator cost the paper
+// quotes in §IV-C (complete POD-coefficient forecasts "almost
+// instantaneously", full-field reconstruction via one linear operation):
+// one 8-week coefficient forecast plus a full-field reconstruction.
+func BenchmarkForecastThroughput(b *testing.B) {
+	p := benchPipeline(b)
+	m, err := p.ManualLSTM(80, 1, 41)
+	if err != nil {
+		b.Fatal(err)
+	}
+	week := p.NumTrain + 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ForecastField(week, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

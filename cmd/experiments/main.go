@@ -1,0 +1,634 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index):
+//
+//	table1  weekly Eastern-Pacific RMSE vs CESM/HYCOM surrogates
+//	table2  R² of NAS-POD-LSTM, classical baselines, and manual LSTMs
+//	table3  node utilization and evaluation counts at 33–512 nodes
+//	fig3    search trajectories (AE/RL/RS) at 128 nodes
+//	fig4    best-found architecture
+//	fig5    posttraining convergence and coefficient forecasts vs CESM
+//	fig6    sample forecast-field comparison
+//	fig7    Eastern-Pacific temporal probes
+//	fig8    unique high-performing architectures vs node count
+//	fig9    variability over repeated searches
+//
+// The scaling experiments (table3, fig3, fig8, fig9) run in the
+// discrete-event cluster simulator and complete in seconds; the science
+// experiments train real networks and take minutes (hours without -fast on
+// the default grid).
+//
+// Usage:
+//
+//	experiments [-exp all|table1|...|fig9] [-grid small|default] [-fast]
+//	            [-evals 24] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+	"time"
+
+	"podnas"
+	"podnas/internal/baseline"
+	"podnas/internal/plot"
+	"podnas/internal/sst"
+	"podnas/internal/tensor"
+	"podnas/internal/window"
+)
+
+type runner struct {
+	grid   string
+	fast   bool
+	evals  int
+	seed   uint64
+	figdir string
+
+	pipe  *podnas.Pipeline
+	best  *podnas.SearchResult
+	model *podnas.Model
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	exp := flag.String("exp", "all", "experiment ids, comma separated (all, table1..3, fig3..9)")
+	grid := flag.String("grid", "default", "data set size: small or default")
+	fast := flag.Bool("fast", false, "reduced budgets (fewer epochs, smaller manual-LSTM grid)")
+	evals := flag.Int("evals", 24, "architecture evaluations for the real NAS (fig4/table2)")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	figdir := flag.String("figdir", "", "when set, also write figure SVG/CSV files into this directory")
+	flag.Parse()
+
+	r := &runner{grid: *grid, fast: *fast, evals: *evals, seed: *seed, figdir: *figdir}
+	all := []struct {
+		name string
+		run  func() error
+	}{
+		{"fig3", r.fig3}, {"table3", r.table3}, {"fig8", r.fig8}, {"fig9", r.fig9},
+		{"fig4", r.fig4}, {"fig5", r.fig5}, {"table1", r.table1},
+		{"fig6", r.fig6}, {"fig7", r.fig7}, {"table2", r.table2},
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	ran := false
+	for _, e := range all {
+		if want["all"] || want[e.name] {
+			ran = true
+			t0 := time.Now()
+			fmt.Printf("\n===== %s =====\n", strings.ToUpper(e.name))
+			if err := e.run(); err != nil {
+				log.Fatalf("%s: %v", e.name, err)
+			}
+			fmt.Printf("[%s done in %v]\n", e.name, time.Since(t0).Round(time.Second))
+		}
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func (r *runner) pipeline() (*podnas.Pipeline, error) {
+	if r.pipe != nil {
+		return r.pipe, nil
+	}
+	cfg := podnas.DefaultPipelineConfig()
+	if r.grid == "small" {
+		cfg = podnas.SmallPipelineConfig()
+	}
+	fmt.Printf("preparing %s pipeline...\n", r.grid)
+	p, err := podnas.NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("  %d ocean points, %d train / %d val / %d test windows, %.1f%% energy in %d modes\n",
+		p.Data.Nh(), p.TrainWin.Examples(), p.ValWin.Examples(), p.TestWin.Examples(),
+		100*p.EnergyCaptured(), p.Cfg.Nr)
+	r.pipe = p
+	return p, nil
+}
+
+// searchBest runs (once) the real-evaluation AE search used by fig4, fig5,
+// table1, table2, fig6, and fig7.
+func (r *runner) searchBest() (*podnas.SearchResult, error) {
+	if r.best != nil {
+		return r.best, nil
+	}
+	p, err := r.pipeline()
+	if err != nil {
+		return nil, err
+	}
+	epochs := 20
+	if r.fast {
+		epochs = 10
+	}
+	opts := podnas.SearchOptions{
+		Workers: 2, MaxEvals: r.evals, Epochs: epochs,
+		Population: maxInt(4, r.evals/3), Sample: maxInt(2, r.evals/8), Seed: r.seed,
+	}
+	fmt.Printf("running AE search (%d evaluations, %d epochs each)...\n", opts.MaxEvals, epochs)
+	res, err := podnas.SearchAE(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.best = res
+	return res, nil
+}
+
+// posttrained returns (once) the posttrained best model — the paper's
+// NAS-POD-LSTM.
+func (r *runner) posttrained() (*podnas.Model, error) {
+	if r.model != nil {
+		return r.model, nil
+	}
+	p, err := r.pipeline()
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.searchBest()
+	if err != nil {
+		return nil, err
+	}
+	m, err := p.BuildArch(res.Space, res.Best.Arch, r.seed)
+	if err != nil {
+		return nil, err
+	}
+	epochs := r.posttrainEpochs()
+	fmt.Printf("posttraining the best architecture (%d epochs)...\n", epochs)
+	if _, err := m.Posttrain(epochs, r.seed); err != nil {
+		return nil, err
+	}
+	r.model = m
+	return m, nil
+}
+
+func (r *runner) posttrainEpochs() int {
+	if r.fast {
+		return 40
+	}
+	return 150
+}
+
+func (r *runner) fig3() error {
+	fmt.Println("Search trajectories at 128 simulated nodes, 3 h wall time (moving-average reward).")
+	fmt.Printf("%-8s %-28s %-12s %-12s\n", "method", "minutes to reach R2=0.96", "final avg", "best R2")
+	chart := &plot.Chart{Title: "Fig 3: search trajectories (128 nodes)", XLabel: "wall-clock minutes", YLabel: "moving-avg validation R2"}
+	for _, m := range []podnas.ScalingMethod{podnas.MethodAE, podnas.MethodRL, podnas.MethodRS} {
+		st, err := podnas.SimulateScaling(podnas.ScalingConfig{Method: m, Nodes: 128, Seed: r.seed + 7})
+		if err != nil {
+			return err
+		}
+		cross := "-"
+		for i := range st.RewardCurve.X {
+			if st.RewardCurve.Y[i] >= 0.96 {
+				cross = fmt.Sprintf("%.0f", st.RewardCurve.X[i])
+				break
+			}
+		}
+		final := st.RewardCurve.Y[len(st.RewardCurve.Y)-1]
+		fmt.Printf("%-8s %-28s %-12.4f %-12.4f\n", m, cross, final, st.BestReward)
+		// Print the trajectory at 20-minute samples for plotting.
+		fmt.Printf("  trajectory:")
+		for min := 20.0; min <= 180; min += 20 {
+			fmt.Printf(" %3.0fm=%.4f", min, st.RewardCurve.ValueAt(min))
+		}
+		fmt.Println()
+		rs := st.RewardCurve.Resample(0, 180, 120)
+		chart.Series = append(chart.Series, plot.Series{Name: string(m), X: rs.X, Y: rs.Y})
+	}
+	r.saveChart(chart, "fig3_trajectories")
+	fmt.Println("Expected shape (paper Fig 3): AE crosses 0.96 fastest (~50 min), RL later (~160 min), RS plateaus at 0.93-0.94.")
+	return nil
+}
+
+func (r *runner) table3() error {
+	fmt.Println("Node utilization and evaluation counts (3 h simulated wall time).")
+	fmt.Printf("%-6s | %-8s %-8s %-8s | %-8s %-8s %-8s\n", "nodes", "AE util", "RL util", "RS util", "AE evals", "RL evals", "RS evals")
+	nodes := []int{33, 64, 128, 256, 512}
+	if r.fast {
+		nodes = []int{33, 64, 128}
+	}
+	for _, n := range nodes {
+		row := fmt.Sprintf("%-6d |", n)
+		var evalRow string
+		for _, m := range []podnas.ScalingMethod{podnas.MethodAE, podnas.MethodRL, podnas.MethodRS} {
+			st, err := podnas.SimulateScaling(podnas.ScalingConfig{Method: m, Nodes: n, Seed: r.seed + 7})
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf(" %-8.3f", st.Utilization)
+			evalRow += fmt.Sprintf(" %-8d", st.Evaluations)
+		}
+		fmt.Printf("%s |%s\n", row, evalRow)
+	}
+	fmt.Println("Paper Table III @128: util AE 0.918 / RL 0.527 / RS 0.921; evals AE 8068 / RL 4740 / RS 7267.")
+	return nil
+}
+
+func (r *runner) fig8() error {
+	fmt.Println("Unique architectures with reward > 0.96 (AE per node count, and all methods at the largest count).")
+	nodes := []int{33, 64, 128, 256, 512}
+	if r.fast {
+		nodes = []int{33, 64, 128}
+	}
+	chart := &plot.Chart{Title: "Fig 8: unique architectures with R2 > 0.96 (AE)", XLabel: "wall-clock minutes", YLabel: "unique high performers"}
+	for _, n := range nodes {
+		st, err := podnas.SimulateScaling(podnas.ScalingConfig{Method: podnas.MethodAE, Nodes: n, Seed: r.seed + 7})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  AE %3d nodes: %5d unique (at 90 min: %.0f)\n", n, st.UniqueHigh, st.HighPerfCurve.ValueAt(90))
+		rs := st.HighPerfCurve.Resample(0, 180, 120)
+		chart.Series = append(chart.Series, plot.Series{Name: fmt.Sprintf("AE %d nodes", n), X: rs.X, Y: rs.Y})
+	}
+	r.saveChart(chart, "fig8_high_performers")
+	last := nodes[len(nodes)-1]
+	for _, m := range []podnas.ScalingMethod{podnas.MethodRL, podnas.MethodRS} {
+		st, err := podnas.SimulateScaling(podnas.ScalingConfig{Method: m, Nodes: last, Seed: r.seed + 7})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s %3d nodes: %5d unique\n", m, last, st.UniqueHigh)
+	}
+	fmt.Println("Expected shape (paper Fig 8): counts grow with nodes; AE >> RL > RS.")
+	return nil
+}
+
+func (r *runner) fig9() error {
+	repeats := 10
+	if r.fast {
+		repeats = 4
+	}
+	fmt.Printf("Variability over %d seeds at 128 nodes (mean ± 2 std of final moving-average reward and utilization).\n", repeats)
+	rewardChart := &plot.Chart{Title: "Fig 9: reward variability (mean ± 2σ)", XLabel: "wall-clock minutes", YLabel: "moving-avg reward"}
+	utilChart := &plot.Chart{Title: "Fig 9: utilization variability (mean ± 2σ)", XLabel: "wall-clock minutes", YLabel: "busy-node fraction"}
+	for _, m := range []podnas.ScalingMethod{podnas.MethodAE, podnas.MethodRL} {
+		vs, err := podnas.VariabilityStudy(m, 128, repeats, r.seed)
+		if err != nil {
+			return err
+		}
+		fm, fs := meanStd(vs.FinalRewards)
+		um, us := meanStd(vs.Utilizations)
+		fmt.Printf("  %-3s final reward %.4f ± %.4f   utilization %.3f ± %.3f\n", m, fm, 2*fs, um, 2*us)
+		rewardChart.Series = append(rewardChart.Series,
+			plot.Series{Name: string(m) + " mean", X: vs.RewardMean.X, Y: vs.RewardMean.Y},
+			plot.Series{Name: string(m) + " -2σ", X: vs.RewardLo.X, Y: vs.RewardLo.Y},
+			plot.Series{Name: string(m) + " +2σ", X: vs.RewardHi.X, Y: vs.RewardHi.Y})
+		utilChart.Series = append(utilChart.Series,
+			plot.Series{Name: string(m) + " mean", X: vs.UtilMean.X, Y: vs.UtilMean.Y})
+	}
+	r.saveChart(rewardChart, "fig9_reward_band")
+	r.saveChart(utilChart, "fig9_utilization")
+	fmt.Println("Expected shape (paper Fig 9): low variance for AE; RL reward grows slower with oscillating utilization.")
+	return nil
+}
+
+func (r *runner) fig4() error {
+	res, err := r.searchBest()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Best architecture found by AE (validation R2 %.4f during search):\n%s", res.Best.Reward, res.BestDesc)
+	return nil
+}
+
+func (r *runner) fig5() error {
+	p, err := r.pipeline()
+	if err != nil {
+		return err
+	}
+	res, err := r.searchBest()
+	if err != nil {
+		return err
+	}
+	// Posttraining convergence trace (top row of Fig 5).
+	m, err := p.BuildArch(res.Space, res.Best.Arch, r.seed)
+	if err != nil {
+		return err
+	}
+	epochs := r.posttrainEpochs()
+	losses, err := m.Posttrain(epochs, r.seed)
+	if err != nil {
+		return err
+	}
+	r.model = m
+	fmt.Printf("Posttraining convergence (%d epochs): loss %.4f -> %.4f (x%.1f reduction)\n",
+		epochs, losses[0], losses[len(losses)-1], losses[0]/losses[len(losses)-1])
+	fmt.Printf("Posttrained validation R2: %.4f (search-time reward was %.4f)\n", m.ValR2(), res.Best.Reward)
+
+	// Coefficient forecasts, train vs test period, with the CESM overlay.
+	for _, period := range []struct {
+		name   string
+		lo, hi int
+	}{
+		{"train", p.Cfg.K, p.NumTrain - p.Cfg.K},
+		{"test", p.NumTrain + p.Cfg.K, p.Data.Weeks() - p.Cfg.K},
+	} {
+		fmt.Printf("  %s-period coefficient forecasts (lead 1):\n", period.name)
+		for mode := 0; mode < p.Cfg.Nr; mode++ {
+			hi := minInt(period.lo+260, period.hi)
+			truth, pred, err := m.CoefficientTrace(mode, period.lo, hi)
+			if err != nil {
+				return err
+			}
+			cesm, err := p.CESMCoefficientTrace(mode, period.lo, hi)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("    mode %d: POD-LSTM R2 %7.3f   CESM-projection R2 %7.3f\n",
+				mode+1, r2(pred, truth), r2(cesm, truth))
+			if mode == 0 {
+				weeks := make([]float64, len(truth))
+				for i := range weeks {
+					weeks[i] = float64(period.lo + i)
+				}
+				r.saveChart(&plot.Chart{
+					Title:  fmt.Sprintf("Fig 5: mode-1 coefficient forecast (%s period)", period.name),
+					XLabel: "snapshot week", YLabel: "POD coefficient",
+					Series: []plot.Series{
+						{Name: "truth", X: weeks, Y: truth},
+						{Name: "POD-LSTM", X: weeks, Y: pred},
+						{Name: "CESM projection", X: weeks, Y: cesm},
+					},
+				}, "fig5_mode1_"+period.name)
+			}
+		}
+	}
+	fmt.Println("Expected shape (paper Fig 5): near-perfect low modes on train; errors grow on test; CESM tracks only the large-scale modes.")
+	return nil
+}
+
+func (r *runner) table1() error {
+	p, err := r.pipeline()
+	if err != nil {
+		return err
+	}
+	m, err := r.posttrained()
+	if err != nil {
+		return err
+	}
+	lo, hi := p.HYCOMWindow()
+	if r.fast && hi-lo > 60 {
+		hi = lo + 60
+	}
+	fmt.Printf("Eastern-Pacific RMSE (degC) over %d forecast weeks (%s .. %s):\n",
+		hi-lo, p.Data.Dates[lo].Format("2006-01-02"), p.Data.Dates[hi-1].Format("2006-01-02"))
+	table, err := m.RegionalRMSE(sst.EasternPacific, lo, hi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s", "")
+	for w := 1; w <= p.Cfg.K; w++ {
+		fmt.Printf(" Week%-4d", w)
+	}
+	fmt.Println()
+	printRow := func(name string, xs []float64) {
+		fmt.Printf("%-10s", name)
+		for _, v := range xs {
+			fmt.Printf(" %-8.2f", v)
+		}
+		fmt.Println()
+	}
+	printRow("Predicted", table.Predicted)
+	printRow("CESM", table.CESM)
+	printRow("HYCOM", table.HYCOM)
+	leads := make([]float64, p.Cfg.K)
+	for i := range leads {
+		leads[i] = float64(i + 1)
+	}
+	r.saveChart(&plot.Chart{
+		Title: "Table I: Eastern-Pacific RMSE by lead week", XLabel: "lead week", YLabel: "RMSE (degC)",
+		Series: []plot.Series{
+			{Name: "POD-LSTM", X: leads, Y: table.Predicted},
+			{Name: "CESM", X: leads, Y: table.CESM},
+			{Name: "HYCOM", X: leads, Y: table.HYCOM},
+		},
+	}, "table1_regional_rmse")
+	fmt.Println("Paper Table I: Predicted 0.62-0.69, CESM 1.83-1.88, HYCOM 0.99-1.05.")
+	return nil
+}
+
+func (r *runner) fig6() error {
+	p, err := r.pipeline()
+	if err != nil {
+		return err
+	}
+	m, err := r.posttrained()
+	if err != nil {
+		return err
+	}
+	week := p.Data.IndexOfDate(time.Date(2015, 6, 14, 0, 0, 0, 0, time.UTC))
+	if week < p.NumTrain+p.Cfg.K || week >= p.Data.Weeks()-p.Cfg.K {
+		week = p.NumTrain + (p.Data.Weeks()-p.NumTrain)/2
+	}
+	fc, err := m.CompareFields(week)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Forecast field comparison for the week of %s (global-ocean RMSE vs truth, degC):\n",
+		p.Data.Dates[week].Format("2006-01-02"))
+	fmt.Printf("  POD-LSTM: %.3f   HYCOM: %.3f   CESM: %.3f\n", fc.RMSEPredicted, fc.RMSEHYCOM, fc.RMSECESM)
+	fmt.Println("Expected shape (paper Fig 6): large-scale structure captured by all; POD-LSTM limited by the 5-mode truncation.")
+	return nil
+}
+
+func (r *runner) fig7() error {
+	p, err := r.pipeline()
+	if err != nil {
+		return err
+	}
+	m, err := r.posttrained()
+	if err != nil {
+		return err
+	}
+	lo, hi := p.HYCOMWindow()
+	if r.fast && hi-lo > 60 {
+		hi = lo + 60
+	}
+	fmt.Printf("Temporal probes, lead-1 forecasts over weeks %d..%d (RMSE degC | correlation with truth):\n", lo, hi)
+	for li, loc := range [][2]float64{{-5, 210}, {5, 250}, {10, 230}} {
+		pr, err := m.ProbeSeries(loc[0], loc[1], lo, hi)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  (%+.0f, %.0f): POD-LSTM %.2f|%.2f   HYCOM %.2f|%.2f   CESM %.2f|%.2f\n",
+			loc[0], loc[1],
+			rmse(pr.Predicted, pr.Truth), corr(pr.Predicted, pr.Truth),
+			rmse(pr.HYCOM, pr.Truth), corr(pr.HYCOM, pr.Truth),
+			rmse(pr.CESM, pr.Truth), corr(pr.CESM, pr.Truth))
+		weeks := make([]float64, len(pr.Weeks))
+		for i, w := range pr.Weeks {
+			weeks[i] = float64(w)
+		}
+		r.saveChart(&plot.Chart{
+			Title:  fmt.Sprintf("Fig 7: probe at (%+.0f, %.0f)", loc[0], loc[1]),
+			XLabel: "snapshot week", YLabel: "SST (degC)",
+			Series: []plot.Series{
+				{Name: "truth", X: weeks, Y: pr.Truth},
+				{Name: "POD-LSTM", X: weeks, Y: pr.Predicted},
+				{Name: "HYCOM", X: weeks, Y: pr.HYCOM},
+				{Name: "CESM", X: weeks, Y: pr.CESM},
+			},
+		}, fmt.Sprintf("fig7_probe%d", li+1))
+	}
+	fmt.Println("Expected shape (paper Fig 7): HYCOM and POD-LSTM track the truth; CESM misses short-term anomalies.")
+	return nil
+}
+
+func (r *runner) table2() error {
+	p, err := r.pipeline()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Coefficients of determination (train period 1981-1989 / test period 1990-2018).")
+
+	// NAS-POD-LSTM (the posttrained best).
+	m, err := r.posttrained()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s train %7.3f   test %7.3f   (%d params)\n", "NAS-POD-LSTM", m.TrainR2(), m.TestR2(), m.ParamCount())
+
+	// Classical baselines on unscaled windows.
+	raw := func(w *window.Dataset) *window.Dataset {
+		x := w.X.Clone()
+		p.Scaler.Inverse(x)
+		y := w.Y.Clone()
+		p.Scaler.Inverse(y)
+		return &window.Dataset{X: x, Y: y, K: w.K, Nr: w.Nr}
+	}
+	trainD := raw(p.TrainWin)
+	valD := raw(p.ValWin)
+	testD := raw(p.TestWin)
+	// Train-period metric covers train+val windows, matching the LSTMs.
+	trainAll := &window.Dataset{
+		X: concat(trainD.X, valD.X), Y: concat(trainD.Y, valD.Y), K: trainD.K, Nr: trainD.Nr,
+	}
+	for _, reg := range []baseline.Regressor{baseline.NewLinear(), baseline.NewGradientBoosting(), baseline.NewRandomForest()} {
+		if err := baseline.FitWindowed(reg, trainD); err != nil {
+			return err
+		}
+		fmt.Printf("%-16s train %7.3f   test %7.3f\n", reg.Name(), baseline.EvaluateR2(reg, trainAll), baseline.EvaluateR2(reg, testD))
+	}
+
+	// Manually designed LSTMs.
+	units := []int{40, 80, 120, 200}
+	layers := []int{1, 5}
+	if r.fast {
+		units = []int{40, 80}
+		layers = []int{1}
+	}
+	for _, u := range units {
+		for _, l := range layers {
+			epochs := r.posttrainEpochs()
+			if l > 1 {
+				// Deep variants get a reduced epoch budget to bound the
+				// single-core runtime; their per-epoch cost is ~5x.
+				epochs = epochs * 3 / 5
+			}
+			lm, err := p.ManualLSTM(u, l, r.seed)
+			if err != nil {
+				return err
+			}
+			if _, err := lm.Posttrain(epochs, r.seed); err != nil {
+				return err
+			}
+			fmt.Printf("%-16s train %7.3f   test %7.3f   (%d epochs)\n", fmt.Sprintf("LSTM-%d x%d", u, l), lm.TrainR2(), lm.TestR2(), epochs)
+		}
+	}
+	fmt.Println("Paper Table II: NAS 0.985/0.876; Linear 0.801/0.172; XGBoost 0.966/-0.056; RF 0.823/0.002; LSTMs ~0.9/0.69-0.75.")
+	fmt.Println("Substitution note (DESIGN.md): the synthetic coefficient dynamics leave the classical baselines stronger than on real SST.")
+	return nil
+}
+
+// saveChart writes the chart as SVG+CSV when -figdir is set.
+func (r *runner) saveChart(c *plot.Chart, name string) {
+	if r.figdir == "" {
+		return
+	}
+	if err := c.WriteSVG(r.figdir, name); err != nil {
+		fmt.Printf("  (figure export failed: %v)\n", err)
+		return
+	}
+	if err := c.WriteCSV(r.figdir, name); err != nil {
+		fmt.Printf("  (csv export failed: %v)\n", err)
+		return
+	}
+	fmt.Printf("  wrote %s/%s.{svg,csv}\n", r.figdir, name)
+}
+
+// --- small helpers ---
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	var m float64
+	for _, v := range xs {
+		m += v
+	}
+	m /= float64(len(xs))
+	var s float64
+	for _, v := range xs {
+		s += (v - m) * (v - m)
+	}
+	return m, math.Sqrt(s / float64(len(xs)))
+}
+
+func r2(pred, target []float64) float64 {
+	var mean float64
+	for _, v := range target {
+		mean += v
+	}
+	mean /= float64(len(target))
+	var ssRes, ssTot float64
+	for i, v := range target {
+		d := pred[i] - v
+		ssRes += d * d
+		c := v - mean
+		ssTot += c * c
+	}
+	return 1 - ssRes/ssTot
+}
+
+func rmse(pred, target []float64) float64 {
+	var s float64
+	for i := range pred {
+		d := pred[i] - target[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+func corr(a, b []float64) float64 {
+	ma, sa := meanStd(a)
+	mb, sb := meanStd(b)
+	var c float64
+	for i := range a {
+		c += (a[i] - ma) * (b[i] - mb)
+	}
+	return c / float64(len(a)) / (sa*sb + 1e-300)
+}
+
+// concat appends two windowed tensors along the batch dimension.
+func concat(a, b *tensor.Tensor3) *tensor.Tensor3 {
+	out := tensor.NewTensor3(a.B+b.B, a.T, a.F)
+	copy(out.Data[:len(a.Data)], a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return out
+}

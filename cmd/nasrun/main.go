@@ -1,0 +1,142 @@
+// Command nasrun runs a neural architecture search with real training
+// evaluations on the POD-LSTM task — the laptop-scale analogue of the
+// paper's Theta searches. Each proposed architecture is actually trained
+// (paper hyperparameters: Adam 1e-3, batch 64, 20 epochs) and scored by
+// validation R².
+//
+// Usage:
+//
+//	nasrun [-method ae|rs|rl] [-evals 24] [-workers 2] [-epochs 20]
+//	       [-grid small|default] [-seed 1] [-posttrain]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"podnas"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nasrun: ")
+	method := flag.String("method", "ae", "search method: ae, rs, or rl")
+	evals := flag.Int("evals", 24, "number of architecture evaluations")
+	workers := flag.Int("workers", 2, "concurrent evaluations")
+	epochs := flag.Int("epochs", 20, "training epochs per evaluation (paper: 20)")
+	grid := flag.String("grid", "small", "data set size: small or default")
+	seed := flag.Uint64("seed", 1, "search seed")
+	posttrain := flag.Bool("posttrain", false, "retrain the best architecture with the posttraining budget and report science metrics")
+	archKey := flag.String("arch", "", "skip the search: posttrain this saved architecture key (e.g. \"4-4-0-3-1-1-0-1-1-0-3-0-0-1\")")
+	save := flag.String("save", "", "write the search history as JSON to this path")
+	saveModel := flag.String("savemodel", "", "after posttraining, write the trained model (spec + weights) to this path")
+	flag.Parse()
+
+	cfg := podnas.SmallPipelineConfig()
+	if *grid == "default" {
+		cfg = podnas.DefaultPipelineConfig()
+	}
+	fmt.Printf("preparing pipeline (%s grid)...\n", *grid)
+	t0 := time.Now()
+	p, err := podnas.NewPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline ready in %v: %d train / %d val / %d test windows, %.1f%% energy in %d modes\n",
+		time.Since(t0).Round(time.Millisecond), p.TrainWin.Examples(), p.ValWin.Examples(),
+		p.TestWin.Examples(), 100*p.EnergyCaptured(), p.Cfg.Nr)
+
+	if *archKey != "" {
+		space := p.DefaultSpace()
+		a, err := space.ParseArch(*archKey)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := p.BuildArch(space, a, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rebuilding saved architecture:\n%s", space.Describe(a))
+		fmt.Println("posttraining (100 epochs)...")
+		if _, err := m.Posttrain(100, *seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("val R2 %.4f  train R2 %.4f  test R2 %.4f  (%d parameters)\n",
+			m.ValR2(), m.TrainR2(), m.TestR2(), m.ParamCount())
+		saveTrained(m, *saveModel)
+		return
+	}
+
+	opts := podnas.SearchOptions{
+		Workers: *workers, MaxEvals: *evals, Epochs: *epochs,
+		Population: max(4, *evals/3), Sample: max(2, *evals/8), Seed: *seed,
+	}
+	fmt.Printf("running %s search: %d evaluations, %d workers, %d epochs each\n", *method, *evals, *workers, *epochs)
+	t0 = time.Now()
+	var res *podnas.SearchResult
+	switch *method {
+	case "ae":
+		res, err = podnas.SearchAE(p, opts)
+	case "rs":
+		res, err = podnas.SearchRS(p, opts)
+	case "rl":
+		agents := 2
+		batch := max(1, *workers)
+		rounds := max(1, *evals/(agents*batch))
+		res, err = podnas.SearchRL(p, opts, agents, batch, rounds)
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+
+	rewards := make([]float64, 0, len(res.Results))
+	for _, r := range res.Results {
+		if r.Err == nil {
+			rewards = append(rewards, r.Reward)
+		}
+	}
+	sort.Float64s(rewards)
+	fmt.Printf("\nsearch finished in %v (%.1fs/eval)\n", elapsed.Round(time.Second), elapsed.Seconds()/float64(len(res.Results)))
+	if n := len(rewards); n > 0 {
+		fmt.Printf("reward distribution: min %.4f  median %.4f  max %.4f\n", rewards[0], rewards[n/2], rewards[n-1])
+	}
+	fmt.Printf("\nbest architecture (validation R2 = %.4f):\n%s", res.Best.Reward, res.BestDesc)
+	fmt.Printf("architecture key (reusable via -arch): %s\n", res.Best.Arch.Key())
+	if *save != "" {
+		if err := res.SaveJSON(*save); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("search history written to %s\n", *save)
+	}
+
+	if *posttrain {
+		fmt.Printf("\nposttraining the best architecture (100 epochs)...\n")
+		m, err := p.BuildArch(res.Space, res.Best.Arch, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := m.Posttrain(100, *seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("posttrained: val R2 %.4f  train R2 %.4f  test R2 %.4f  (%d parameters)\n",
+			m.ValR2(), m.TrainR2(), m.TestR2(), m.ParamCount())
+		saveTrained(m, *saveModel)
+	}
+}
+
+// saveTrained persists a posttrained model when -savemodel is set.
+func saveTrained(m *podnas.Model, path string) {
+	if path == "" {
+		return
+	}
+	if err := m.SaveJSON(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained model written to %s\n", path)
+}

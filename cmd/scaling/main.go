@@ -1,0 +1,89 @@
+// Command scaling reproduces the paper's scaling study (Table III, Figs 8
+// and 9) in the discrete-event cluster simulator: AE, RL, and RS searches on
+// 33–512 simulated Theta nodes for 3 hours of virtual wall time.
+//
+// Usage:
+//
+//	scaling [-nodes 33,64,128,256,512] [-methods AE,RL,RS] [-walltime 10800]
+//	        [-seed 7] [-repeats 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"podnas"
+	"podnas/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scaling: ")
+	nodesFlag := flag.String("nodes", "33,64,128,256,512", "comma-separated node counts")
+	methodsFlag := flag.String("methods", "AE,RL,RS", "comma-separated methods")
+	wallTime := flag.Float64("walltime", 10800, "virtual wall time in seconds (paper: 10800)")
+	seed := flag.Uint64("seed", 7, "simulation seed")
+	repeats := flag.Int("repeats", 1, "runs per configuration (Fig 9 uses 10)")
+	flag.Parse()
+
+	var nodes []int
+	for _, s := range strings.Split(*nodesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad node count %q", s)
+		}
+		nodes = append(nodes, n)
+	}
+	methods := strings.Split(*methodsFlag, ",")
+
+	fmt.Printf("%-6s %-8s %-12s %-14s %-12s %-12s %-10s\n",
+		"nodes", "method", "utilization", "evaluations", "best R2", "uniq>0.96", "t(0.96)min")
+	for _, n := range nodes {
+		for _, ms := range methods {
+			var utils, evals, best, uniq []float64
+			var cross []float64
+			for r := 0; r < *repeats; r++ {
+				st, err := podnas.SimulateScaling(podnas.ScalingConfig{
+					Method: podnas.ScalingMethod(ms), Nodes: n, WallTime: *wallTime,
+					Seed: *seed + uint64(r)*1000,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				utils = append(utils, st.Utilization)
+				evals = append(evals, float64(st.Evaluations))
+				best = append(best, st.BestReward)
+				uniq = append(uniq, float64(st.UniqueHigh))
+				cross = append(cross, crossingMinutes(st, 0.96))
+			}
+			mu, su := metrics.MeanStd(utils)
+			me, _ := metrics.MeanStd(evals)
+			mb, _ := metrics.MeanStd(best)
+			mq, _ := metrics.MeanStd(uniq)
+			mc, _ := metrics.MeanStd(cross)
+			utilStr := fmt.Sprintf("%.3f", mu)
+			if *repeats > 1 {
+				utilStr = fmt.Sprintf("%.3f±%.3f", mu, su)
+			}
+			crossStr := "-"
+			if mc >= 0 {
+				crossStr = fmt.Sprintf("%.0f", mc)
+			}
+			fmt.Printf("%-6d %-8s %-12s %-14.0f %-12.4f %-12.0f %-10s\n", n, ms, utilStr, me, mb, mq, crossStr)
+		}
+	}
+}
+
+// crossingMinutes returns the wall-clock minute at which the moving-average
+// reward first reaches level, or -1 if never.
+func crossingMinutes(st *podnas.ScalingStats, level float64) float64 {
+	for i := range st.RewardCurve.X {
+		if st.RewardCurve.Y[i] >= level {
+			return st.RewardCurve.X[i]
+		}
+	}
+	return -1
+}

@@ -1,0 +1,72 @@
+// Command sstgen generates the synthetic NOAA-like SST data set and prints
+// its headline statistics: grid, ocean fraction, train/test split, POD
+// spectrum, and comparator RMSE sanity numbers. Useful for inspecting the
+// substitution data set described in DESIGN.md.
+//
+// Usage:
+//
+//	sstgen [-grid small|default|full] [-nr 5] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"podnas/internal/pod"
+	"podnas/internal/sst"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sstgen: ")
+	grid := flag.String("grid", "default", "data set size: small, default, or full")
+	nr := flag.Int("nr", 5, "POD modes to analyze")
+	seed := flag.Uint64("seed", 0, "override the data seed (0 = config default)")
+	flag.Parse()
+
+	var cfg sst.Config
+	switch *grid {
+	case "small":
+		cfg = sst.Small()
+	case "default":
+		cfg = sst.Default()
+	case "full":
+		cfg = sst.FullScale()
+	default:
+		log.Fatalf("unknown grid %q (want small, default, or full)", *grid)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	fmt.Printf("generating %dx%d grid, %d weekly snapshots (seed %d)...\n", cfg.LonN, cfg.LatN, cfg.Weeks, cfg.Seed)
+	d, err := sst.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ocean points        : %d (%.1f%% of grid)\n", d.Nh(), 100*d.OceanFraction())
+	fmt.Printf("record              : %s .. %s\n", d.Dates[0].Format("2006-01-02"), d.Dates[len(d.Dates)-1].Format("2006-01-02"))
+	fmt.Printf("training snapshots  : %d (through %s)\n", d.NumTrain(), d.Dates[d.NumTrain()-1].Format("2006-01-02"))
+	fmt.Printf("test snapshots      : %d\n", d.Weeks()-d.NumTrain())
+
+	basis, err := pod.Compute(d.TrainSnapshots(), *nr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPOD spectrum (training snapshots):\n")
+	for i := 0; i < *nr+3 && i < len(basis.Eigenvalues); i++ {
+		fmt.Printf("  mode %2d: eigenvalue %12.1f  cumulative energy %.4f\n",
+			i+1, basis.Eigenvalues[i], basis.EnergyFraction(i+1))
+	}
+	fmt.Printf("retained %d modes capture %.1f%% of the variance (paper: ~92%% with 5)\n",
+		*nr, 100*basis.EnergyFraction(*nr))
+
+	idx := d.RegionOceanIndices(sst.EasternPacific)
+	tw := d.NumTrain() + (d.Weeks()-d.NumTrain())/2
+	fmt.Printf("\nEastern Pacific comparator sanity at week %d (%s):\n", tw, d.Dates[tw].Format("2006-01-02"))
+	fmt.Printf("  CESM surrogate RMSE : %.2f degC (paper band ~1.8-1.9)\n", d.RegionRMSE(d.CESMField(tw), tw, idx))
+	fmt.Printf("  HYCOM surrogate RMSE: %.2f degC (paper band ~1.0)\n", d.RegionRMSE(d.HYCOMField(tw, 1), tw, idx))
+	os.Exit(0)
+}

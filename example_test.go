@@ -1,0 +1,65 @@
+package podnas_test
+
+import (
+	"fmt"
+	"log"
+
+	"podnas"
+)
+
+// Example_pipeline shows the end-to-end POD-LSTM workflow: generate the
+// synthetic data set, train a manually designed LSTM, and score it the way
+// the paper's Table II does. (Not executed during tests: training takes
+// tens of seconds.)
+func Example_pipeline() {
+	p, err := podnas.NewPipeline(podnas.SmallPipelineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := p.ManualLSTM(80, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := model.Posttrain(100, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("train R2 %.3f, test R2 %.3f\n", model.TrainR2(), model.TestR2())
+}
+
+// Example_search runs the paper's aging-evolution NAS with real training
+// evaluations and posttrains the winner. (Not executed during tests.)
+func Example_search() {
+	p, err := podnas.NewPipeline(podnas.SmallPipelineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := podnas.SearchAE(p, podnas.DefaultSearchOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.BestDesc)
+
+	best, err := p.BuildArch(res.Space, res.Best.Arch, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := best.Posttrain(100, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NAS-POD-LSTM test R2: %.3f\n", best.TestR2())
+}
+
+// ExampleSimulateScaling reproduces one Table III cell in the discrete-event
+// Theta simulator: a 3-hour aging-evolution search on 128 simulated nodes.
+func ExampleSimulateScaling() {
+	st, err := podnas.SimulateScaling(podnas.ScalingConfig{
+		Method: podnas.MethodAE,
+		Nodes:  128,
+		Seed:   8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluations: %d, utilization: %.3f\n", st.Evaluations, st.Utilization)
+	// Output: evaluations: 7672, utilization: 0.919
+}

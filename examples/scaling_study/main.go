@@ -1,0 +1,36 @@
+// Scaling study: reproduce the paper's Table III / Fig 8 in the
+// discrete-event cluster simulator — AE, RL, and RS searches on 33-512
+// simulated Theta nodes for 3 hours of virtual wall time (runs in seconds
+// of real time).
+//
+//	go run ./examples/scaling_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"podnas"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("simulated 3-hour NAS jobs (Theta-surrogate cluster):")
+	fmt.Printf("%-6s %-7s %-12s %-12s %-10s %-11s\n", "nodes", "method", "utilization", "evaluations", "best R2", "unique>0.96")
+	for _, nodes := range []int{33, 64, 128, 256, 512} {
+		for _, method := range []podnas.ScalingMethod{podnas.MethodAE, podnas.MethodRL, podnas.MethodRS} {
+			st, err := podnas.SimulateScaling(podnas.ScalingConfig{
+				Method: method, Nodes: nodes, Seed: 7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6d %-7s %-12.3f %-12d %-10.4f %-11d\n",
+				nodes, method, st.Utilization, st.Evaluations, st.BestReward, st.UniqueHigh)
+		}
+	}
+	fmt.Println("\nexpected shape (paper Table III): AE/RS utilization > 0.87 at every size,")
+	fmt.Println("RL collapses to ~0.5 (synchronous all-reduce barriers), and AE completes")
+	fmt.Println("roughly twice as many evaluations as RL.")
+}

@@ -1,0 +1,88 @@
+// SST forecast: the full science pipeline of the paper's §IV-B on a small
+// synthetic data set — train a POD-LSTM, then compare its regional RMSE and
+// point probes against the CESM and HYCOM surrogate process models
+// (Table I / Figs 6-7 style output).
+//
+//	go run ./examples/sst_forecast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"podnas"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	p, err := podnas.NewPipeline(podnas.SmallPipelineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := p.ManualLSTM(64, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training POD-LSTM (80 epochs)...")
+	if _, err := model.Posttrain(80, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test-period R2: %.3f\n\n", model.TestR2())
+
+	// Table I style: weekly RMSE breakdown in the Eastern Pacific.
+	lo, hi := p.HYCOMWindow()
+	if hi-lo > 80 {
+		hi = lo + 80
+	}
+	table, err := model.RegionalRMSE(podnas.EasternPacific, lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Eastern-Pacific RMSE (degC) over %d forecast weeks:\n", table.Weeks)
+	fmt.Printf("%-10s", "lead")
+	for w := 1; w <= p.Cfg.K; w++ {
+		fmt.Printf("  wk%-4d", w)
+	}
+	fmt.Println()
+	row := func(name string, xs []float64) {
+		fmt.Printf("%-10s", name)
+		for _, v := range xs {
+			fmt.Printf("  %-6.2f", v)
+		}
+		fmt.Println()
+	}
+	row("POD-LSTM", table.Predicted)
+	row("CESM", table.CESM)
+	row("HYCOM", table.HYCOM)
+
+	// Fig 6 style: one forecast field compared against every model.
+	week := p.NumTrain + (p.Data.Weeks()-p.NumTrain)/2
+	fc, err := model.CompareFields(week)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfield comparison for %s (global-ocean RMSE): POD-LSTM %.2f, HYCOM %.2f, CESM %.2f\n",
+		p.Data.Dates[week].Format("2006-01-02"), fc.RMSEPredicted, fc.RMSEHYCOM, fc.RMSECESM)
+
+	// Fig 7 style: a temporal probe in the Eastern Pacific.
+	probe, err := model.ProbeSeries(-5, 210, lo, minInt(lo+26, hi))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprobe at (-5N, 210E), first weeks of the comparison window:\n")
+	fmt.Printf("%-12s %-8s %-9s %-8s %-8s\n", "date", "truth", "POD-LSTM", "HYCOM", "CESM")
+	for i := 0; i < len(probe.Weeks); i += 4 {
+		w := probe.Weeks[i]
+		fmt.Printf("%-12s %-8.2f %-9.2f %-8.2f %-8.2f\n",
+			p.Data.Dates[w].Format("2006-01-02"), probe.Truth[i], probe.Predicted[i], probe.HYCOM[i], probe.CESM[i])
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module podnas
+
+go 1.24

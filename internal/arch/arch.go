@@ -1,0 +1,311 @@
+// Package arch defines the stacked-LSTM neural-architecture search space of
+// paper §III-A: a directed acyclic graph with m variable LSTM nodes (each
+// choosing among Identity and LSTM layers of several widths) and binary
+// skip-connection variable nodes, terminated by a constant LSTM output node
+// matching the POD coefficient dimension.
+//
+// An architecture is encoded as a flat integer vector ("a sequence of
+// integers", §III-B1): for each variable node k, one operation choice
+// followed by min(k, MaxSkip) skip-connection bits. Skip candidate j of node
+// k connects to node k-2-j (with node -1 denoting the network input), the
+// DeepHyper anchor-point scheme. For m = 5 and MaxSkip = 3 this yields the
+// paper's 9 skip-connection variable nodes.
+package arch
+
+import (
+	"fmt"
+	"strings"
+
+	"podnas/internal/nn"
+	"podnas/internal/tensor"
+)
+
+// Space is a search-space definition.
+type Space struct {
+	// NumNodes is m, the number of variable LSTM nodes (paper: 5).
+	NumNodes int
+	// Ops lists the hidden widths selectable at each variable node; 0 means
+	// the Identity layer (paper: [0, 16, 32, 64, 80, 96]).
+	Ops []int
+	// MaxSkip caps the number of skip-connection candidates per node
+	// (paper/DeepHyper: 3).
+	MaxSkip int
+	// InputDim and OutputDim are the fixed network input/output feature
+	// dimensions (both Nr = 5 for the POD-LSTM task).
+	InputDim, OutputDim int
+}
+
+// Default returns the paper's search space: 5 variable nodes with ops
+// [Identity, LSTM(16), LSTM(32), LSTM(64), LSTM(80), LSTM(96)], 9 skip
+// nodes, and 5-dimensional input/output.
+func Default() Space {
+	return Space{NumNodes: 5, Ops: []int{0, 16, 32, 64, 80, 96}, MaxSkip: 3, InputDim: 5, OutputDim: 5}
+}
+
+// Validate reports configuration errors.
+func (s Space) Validate() error {
+	if s.NumNodes < 1 {
+		return fmt.Errorf("arch: need at least one variable node, got %d", s.NumNodes)
+	}
+	if len(s.Ops) < 2 {
+		return fmt.Errorf("arch: need at least two operations, got %d", len(s.Ops))
+	}
+	for i, u := range s.Ops {
+		if u < 0 {
+			return fmt.Errorf("arch: op %d has negative units", i)
+		}
+	}
+	if s.MaxSkip < 0 {
+		return fmt.Errorf("arch: negative MaxSkip")
+	}
+	if s.InputDim < 1 || s.OutputDim < 1 {
+		return fmt.Errorf("arch: invalid input/output dims %d/%d", s.InputDim, s.OutputDim)
+	}
+	return nil
+}
+
+// skipCount returns the number of skip-connection variables for node k.
+func (s Space) skipCount(k int) int {
+	n := k
+	if n > s.MaxSkip {
+		n = s.MaxSkip
+	}
+	return n
+}
+
+// NumVariables returns the encoding length: one op variable per node plus
+// its skip variables.
+func (s Space) NumVariables() int {
+	n := 0
+	for k := 0; k < s.NumNodes; k++ {
+		n += 1 + s.skipCount(k)
+	}
+	return n
+}
+
+// NumSkipVariables returns the total number of binary skip variables
+// (9 in the paper's space).
+func (s Space) NumSkipVariables() int { return s.NumVariables() - s.NumNodes }
+
+// NumChoices returns the number of options at encoding position i.
+func (s Space) NumChoices(i int) int {
+	pos := 0
+	for k := 0; k < s.NumNodes; k++ {
+		if i == pos {
+			return len(s.Ops)
+		}
+		pos++
+		sc := s.skipCount(k)
+		if i < pos+sc {
+			return 2
+		}
+		pos += sc
+	}
+	panic(fmt.Sprintf("arch: variable index %d out of range [0,%d)", i, s.NumVariables()))
+}
+
+// Cardinality returns the total number of architectures in the space.
+func (s Space) Cardinality() uint64 {
+	total := uint64(1)
+	for i := 0; i < s.NumVariables(); i++ {
+		total *= uint64(s.NumChoices(i))
+	}
+	return total
+}
+
+// Arch is an encoded architecture: one integer per variable.
+type Arch []int
+
+// Key returns a canonical string form usable as a uniqueness key.
+func (a Arch) Key() string {
+	var b strings.Builder
+	for i, v := range a {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// Clone returns a copy of a.
+func (a Arch) Clone() Arch {
+	out := make(Arch, len(a))
+	copy(out, a)
+	return out
+}
+
+// Validate checks that a is a legal encoding for the space.
+func (s Space) ValidateArch(a Arch) error {
+	if len(a) != s.NumVariables() {
+		return fmt.Errorf("arch: encoding length %d, want %d", len(a), s.NumVariables())
+	}
+	for i, v := range a {
+		if v < 0 || v >= s.NumChoices(i) {
+			return fmt.Errorf("arch: variable %d value %d outside [0,%d)", i, v, s.NumChoices(i))
+		}
+	}
+	return nil
+}
+
+// Random samples a uniform architecture.
+func (s Space) Random(rng *tensor.RNG) Arch {
+	a := make(Arch, s.NumVariables())
+	for i := range a {
+		a[i] = rng.Intn(s.NumChoices(i))
+	}
+	return a
+}
+
+// Mutate returns a copy of a with one uniformly chosen variable reassigned
+// to a different value — the AE mutation operator (§III-B1).
+func (s Space) Mutate(a Arch, rng *tensor.RNG) Arch {
+	out := a.Clone()
+	i := rng.Intn(len(out))
+	nc := s.NumChoices(i)
+	// Choose among the nc-1 other values.
+	v := rng.Intn(nc - 1)
+	if v >= out[i] {
+		v++
+	}
+	out[i] = v
+	return out
+}
+
+// decoded is the structural view of an encoding.
+type decoded struct {
+	units []int   // per node; 0 = identity
+	skips [][]int // per node: source node indices (-1 = input) of enabled skips
+}
+
+func (s Space) decode(a Arch) decoded {
+	d := decoded{units: make([]int, s.NumNodes), skips: make([][]int, s.NumNodes)}
+	pos := 0
+	for k := 0; k < s.NumNodes; k++ {
+		d.units[k] = s.Ops[a[pos]]
+		pos++
+		for j := 0; j < s.skipCount(k); j++ {
+			if a[pos] == 1 {
+				d.skips[k] = append(d.skips[k], k-2-j)
+			}
+			pos++
+		}
+	}
+	return d
+}
+
+// ToGraphSpec compiles the encoding into an nn.GraphSpec: the variable
+// nodes in chain order with their enabled skip inputs, followed by the
+// constant LSTM(OutputDim) output node.
+func (s Space) ToGraphSpec(a Arch) (nn.GraphSpec, error) {
+	if err := s.ValidateArch(a); err != nil {
+		return nn.GraphSpec{}, err
+	}
+	d := s.decode(a)
+	spec := nn.GraphSpec{InputDim: s.InputDim}
+	for k := 0; k < s.NumNodes; k++ {
+		inputs := []int{k - 1} // chain predecessor; -1 = nn.GraphInput
+		inputs = append(inputs, d.skips[k]...)
+		spec.Nodes = append(spec.Nodes, nn.GraphNodeSpec{Inputs: inputs, Units: d.units[k]})
+	}
+	spec.Nodes = append(spec.Nodes, nn.GraphNodeSpec{Inputs: []int{s.NumNodes - 1}, Units: s.OutputDim})
+	return spec, nil
+}
+
+// Build compiles and instantiates the network for a.
+func (s Space) Build(a Arch, rng *tensor.RNG) (*nn.Graph, error) {
+	spec, err := s.ToGraphSpec(a)
+	if err != nil {
+		return nil, err
+	}
+	return nn.NewGraph(spec, rng)
+}
+
+// ParamCount computes the number of trainable weights of a's network
+// without allocating it — the evaluation-cost proxy used by the cluster
+// simulator's duration model.
+func (s Space) ParamCount(a Arch) (int, error) {
+	spec, err := s.ToGraphSpec(a)
+	if err != nil {
+		return 0, err
+	}
+	dims := make([]int, len(spec.Nodes))
+	dimOf := func(i int) int {
+		if i == nn.GraphInput {
+			return spec.InputDim
+		}
+		return dims[i]
+	}
+	total := 0
+	for i, node := range spec.Nodes {
+		merged := dimOf(node.Inputs[0])
+		if len(node.Inputs) > 1 {
+			for _, in := range node.Inputs {
+				total += (dimOf(in) + 1) * merged // projection Dense
+			}
+		}
+		if node.Units > 0 {
+			total += 4 * node.Units * (merged + node.Units + 1) // LSTM
+			dims[i] = node.Units
+		} else {
+			dims[i] = merged
+		}
+	}
+	return total, nil
+}
+
+// Describe renders a human-readable layer listing (the Fig 4 view).
+func (s Space) Describe(a Arch) string {
+	d := s.decode(a)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Input(%d)\n", s.InputDim)
+	for k := 0; k < s.NumNodes; k++ {
+		op := "Identity"
+		if d.units[k] > 0 {
+			op = fmt.Sprintf("LSTM(%d)", d.units[k])
+		}
+		fmt.Fprintf(&b, "  N%d: %s", k+1, op)
+		if len(d.skips[k]) > 0 {
+			srcs := make([]string, len(d.skips[k]))
+			for i, src := range d.skips[k] {
+				if src < 0 {
+					srcs[i] = "Input"
+				} else {
+					srcs[i] = fmt.Sprintf("N%d", src+1)
+				}
+			}
+			fmt.Fprintf(&b, "  [skip from %s via Dense->Add->ReLU]", strings.Join(srcs, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  Output: LSTM(%d)\n", s.OutputDim)
+	return b.String()
+}
+
+// ParseArch parses the canonical Key() form ("1-0-2-...") back into an
+// architecture and validates it against the space. It is the inverse of
+// Arch.Key and lets tools persist and reload discovered architectures.
+func (s Space) ParseArch(key string) (Arch, error) {
+	if key == "" {
+		return nil, fmt.Errorf("arch: empty architecture key")
+	}
+	parts := strings.Split(key, "-")
+	a := make(Arch, len(parts))
+	for i, p := range parts {
+		v := 0
+		for _, c := range p {
+			if c < '0' || c > '9' {
+				return nil, fmt.Errorf("arch: bad key segment %q", p)
+			}
+			v = v*10 + int(c-'0')
+		}
+		if p == "" {
+			return nil, fmt.Errorf("arch: empty key segment")
+		}
+		a[i] = v
+	}
+	if err := s.ValidateArch(a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -1,0 +1,378 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"podnas/internal/nn"
+	"podnas/internal/tensor"
+)
+
+func TestDefaultSpaceMatchesPaper(t *testing.T) {
+	s := Default()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumNodes != 5 {
+		t.Errorf("NumNodes = %d, want 5", s.NumNodes)
+	}
+	if got := s.NumSkipVariables(); got != 9 {
+		t.Errorf("skip variables = %d, want 9 (paper)", got)
+	}
+	if got := s.NumVariables(); got != 14 {
+		t.Errorf("total variables = %d, want 14", got)
+	}
+	// 6^5 * 2^9 = 3,981,312 (see DESIGN.md on the paper's quoted 8,605,184).
+	if got := s.Cardinality(); got != 3981312 {
+		t.Errorf("cardinality = %d, want 3981312", got)
+	}
+}
+
+func TestNumChoicesLayout(t *testing.T) {
+	s := Default()
+	// Layout: [op0, op1, s, op2, s, s, op3, s, s, s, op4, s, s, s].
+	wantOps := []int{0, 1, 3, 6, 10}
+	for i := 0; i < s.NumVariables(); i++ {
+		nc := s.NumChoices(i)
+		isOp := false
+		for _, p := range wantOps {
+			if i == p {
+				isOp = true
+			}
+		}
+		if isOp && nc != len(s.Ops) {
+			t.Errorf("position %d: choices %d, want %d (op)", i, nc, len(s.Ops))
+		}
+		if !isOp && nc != 2 {
+			t.Errorf("position %d: choices %d, want 2 (skip)", i, nc)
+		}
+	}
+}
+
+func TestRandomArchValid(t *testing.T) {
+	s := Default()
+	rng := tensor.NewRNG(1)
+	for i := 0; i < 200; i++ {
+		a := s.Random(rng)
+		if err := s.ValidateArch(a); err != nil {
+			t.Fatalf("random arch invalid: %v", err)
+		}
+	}
+}
+
+func TestMutateChangesExactlyOneVariable(t *testing.T) {
+	s := Default()
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		a := s.Random(rng)
+		b := s.Mutate(a, rng)
+		if s.ValidateArch(b) != nil {
+			return false
+		}
+		diff := 0
+		for i := range a {
+			if a[i] != b[i] {
+				diff++
+			}
+		}
+		return diff == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutateDoesNotAliasParent(t *testing.T) {
+	s := Default()
+	rng := tensor.NewRNG(2)
+	a := s.Random(rng)
+	orig := a.Clone()
+	_ = s.Mutate(a, rng)
+	for i := range a {
+		if a[i] != orig[i] {
+			t.Fatal("Mutate modified the parent")
+		}
+	}
+}
+
+func TestKeyUniqueAndStable(t *testing.T) {
+	s := Default()
+	rng := tensor.NewRNG(3)
+	seen := map[string]Arch{}
+	for i := 0; i < 500; i++ {
+		a := s.Random(rng)
+		k := a.Key()
+		if prev, ok := seen[k]; ok {
+			for j := range a {
+				if a[j] != prev[j] {
+					t.Fatalf("key collision between %v and %v", a, prev)
+				}
+			}
+		}
+		seen[k] = a
+	}
+	a := Arch{1, 2, 0}
+	if a.Key() != "1-2-0" {
+		t.Errorf("Key = %q", a.Key())
+	}
+}
+
+func TestToGraphSpecChainOnly(t *testing.T) {
+	s := Default()
+	// All ops = LSTM(16) (index 1), all skips off.
+	a := make(Arch, s.NumVariables())
+	pos := 0
+	for k := 0; k < s.NumNodes; k++ {
+		a[pos] = 1
+		pos += 1 + s.skipCount(k)
+	}
+	spec, err := s.ToGraphSpec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Nodes) != 6 {
+		t.Fatalf("nodes = %d, want 6 (5 variable + output)", len(spec.Nodes))
+	}
+	for i, n := range spec.Nodes[:5] {
+		if len(n.Inputs) != 1 || n.Inputs[0] != i-1 {
+			t.Errorf("node %d inputs %v", i, n.Inputs)
+		}
+		if n.Units != 16 {
+			t.Errorf("node %d units %d", i, n.Units)
+		}
+	}
+	out := spec.Nodes[5]
+	if out.Units != 5 || out.Inputs[0] != 4 {
+		t.Errorf("output node %+v", out)
+	}
+}
+
+func TestToGraphSpecSkipTargets(t *testing.T) {
+	s := Default()
+	// Enable every skip: node k gets sources k-2, k-3, k-4 (>= -1).
+	a := make(Arch, s.NumVariables())
+	pos := 0
+	for k := 0; k < s.NumNodes; k++ {
+		a[pos] = 2 // LSTM(32)
+		pos++
+		for j := 0; j < s.skipCount(k); j++ {
+			a[pos] = 1
+			pos++
+		}
+	}
+	spec, err := s.ToGraphSpec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInputs := [][]int{
+		{-1},
+		{0, -1},
+		{1, 0, -1},
+		{2, 1, 0, -1},
+		{3, 2, 1, 0},
+	}
+	for k, want := range wantInputs {
+		got := spec.Nodes[k].Inputs
+		if len(got) != len(want) {
+			t.Fatalf("node %d inputs %v, want %v", k, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("node %d inputs %v, want %v", k, got, want)
+			}
+		}
+	}
+}
+
+func TestBuildAndRunEveryOpCombination(t *testing.T) {
+	// Smoke test: random architectures build and run forward/backward.
+	s := Default()
+	rng := tensor.NewRNG(4)
+	x := tensor.NewTensor3(2, 3, 5)
+	tensor.NewRNG(9).FillNormal(x.Data, 1)
+	for i := 0; i < 25; i++ {
+		a := s.Random(rng)
+		g, err := s.Build(a, rng.Split(uint64(i)))
+		if err != nil {
+			t.Fatalf("arch %v: %v", a, err)
+		}
+		y := g.Forward(x)
+		if y.F != 5 || y.T != 3 || y.B != 2 {
+			t.Fatalf("arch %v output shape %dx%dx%d", a, y.B, y.T, y.F)
+		}
+		g.Backward(y.Clone())
+	}
+}
+
+func TestParamCountMatchesBuiltNetwork(t *testing.T) {
+	s := Default()
+	rng := tensor.NewRNG(5)
+	for i := 0; i < 40; i++ {
+		a := s.Random(rng)
+		want, err := s.ParamCount(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := s.Build(a, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.ParamCount(); got != want {
+			t.Fatalf("arch %v: static count %d != built %d", a, want, got)
+		}
+	}
+}
+
+func TestIdentityOnlyArchitectureStillHasOutputLayer(t *testing.T) {
+	s := Default()
+	a := make(Arch, s.NumVariables()) // all zeros: identity ops, no skips
+	g, err := s.Build(a, tensor.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the constant output LSTM(5) with input dim 5 has parameters.
+	want := 4 * 5 * (5 + 5 + 1)
+	if g.ParamCount() != want {
+		t.Errorf("ParamCount = %d, want %d", g.ParamCount(), want)
+	}
+	if g.OutDim() != 5 {
+		t.Errorf("OutDim = %d", g.OutDim())
+	}
+}
+
+func TestDescribeMentionsStructure(t *testing.T) {
+	s := Default()
+	a := make(Arch, s.NumVariables())
+	a[0] = 5 // LSTM(96)
+	a[2] = 1 // node 1 skip from input
+	desc := s.Describe(a)
+	for _, want := range []string{"LSTM(96)", "skip from Input", "Output: LSTM(5)", "Identity"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestValidateArchErrors(t *testing.T) {
+	s := Default()
+	if err := s.ValidateArch(Arch{1, 2}); err == nil {
+		t.Error("short encoding should fail")
+	}
+	a := make(Arch, s.NumVariables())
+	a[0] = len(s.Ops)
+	if err := s.ValidateArch(a); err == nil {
+		t.Error("op index out of range should fail")
+	}
+	a[0] = 0
+	a[2] = 2
+	if err := s.ValidateArch(a); err == nil {
+		t.Error("skip value 2 should fail")
+	}
+}
+
+func TestSpaceValidateErrors(t *testing.T) {
+	bad := []Space{
+		{NumNodes: 0, Ops: []int{0, 16}, MaxSkip: 3, InputDim: 5, OutputDim: 5},
+		{NumNodes: 5, Ops: []int{0}, MaxSkip: 3, InputDim: 5, OutputDim: 5},
+		{NumNodes: 5, Ops: []int{0, -4}, MaxSkip: 3, InputDim: 5, OutputDim: 5},
+		{NumNodes: 5, Ops: []int{0, 16}, MaxSkip: -1, InputDim: 5, OutputDim: 5},
+		{NumNodes: 5, Ops: []int{0, 16}, MaxSkip: 3, InputDim: 0, OutputDim: 5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("space %d should be invalid", i)
+		}
+	}
+}
+
+func TestGraphSpecValidatesDownstream(t *testing.T) {
+	// Every random architecture must compile to a spec nn accepts.
+	s := Default()
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		spec, err := s.ToGraphSpec(s.Random(rng))
+		if err != nil {
+			return false
+		}
+		return spec.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+var _ = nn.GraphInput // document the -1 convention shared with nn
+
+func TestParseArchRoundTrip(t *testing.T) {
+	s := Default()
+	rng := tensor.NewRNG(77)
+	for i := 0; i < 50; i++ {
+		a := s.Random(rng)
+		parsed, err := s.ParseArch(a.Key())
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		for j := range a {
+			if parsed[j] != a[j] {
+				t.Fatalf("round trip mismatch at %d", j)
+			}
+		}
+	}
+}
+
+func TestParseArchErrors(t *testing.T) {
+	s := Default()
+	for _, bad := range []string{"", "1-2", "a-b-c", "9-9-9-9-9-9-9-9-9-9-9-9-9-9", "1--2"} {
+		if _, err := s.ParseArch(bad); err == nil {
+			t.Errorf("ParseArch(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMutationReachability(t *testing.T) {
+	// Property: repeated mutation is ergodic enough to change every variable
+	// position eventually (no frozen coordinates).
+	s := Default()
+	rng := tensor.NewRNG(123)
+	a := s.Random(rng)
+	changed := make([]bool, len(a))
+	cur := a
+	for i := 0; i < 2000; i++ {
+		next := s.Mutate(cur, rng)
+		for j := range next {
+			if next[j] != cur[j] {
+				changed[j] = true
+			}
+		}
+		cur = next
+	}
+	for j, c := range changed {
+		if !c {
+			t.Errorf("variable %d never mutated in 2000 steps", j)
+		}
+	}
+}
+
+func TestParamCountMonotoneInUnits(t *testing.T) {
+	// Swapping one op for a wider LSTM must not decrease the parameter count.
+	s := Default()
+	rng := tensor.NewRNG(124)
+	for i := 0; i < 30; i++ {
+		a := s.Random(rng)
+		base, err := s.ParamCount(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find an op position and bump it to the widest op.
+		b := a.Clone()
+		b[0] = len(s.Ops) - 1
+		wide, err := s.ParamCount(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wide < base && a[0] != len(s.Ops)-1 {
+			t.Fatalf("widening node 1 reduced params: %d -> %d (arch %v)", base, wide, a)
+		}
+	}
+}

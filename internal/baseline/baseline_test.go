@@ -1,0 +1,344 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"podnas/internal/metrics"
+	"podnas/internal/tensor"
+	"podnas/internal/window"
+)
+
+// linearData makes y = xW + b + noise.
+func linearData(rng *tensor.RNG, n, p, q int, noise float64) (*tensor.Matrix, *tensor.Matrix) {
+	x := tensor.NewMatrix(n, p)
+	rng.FillNormal(x.Data, 1)
+	w := tensor.NewMatrix(p, q)
+	rng.FillNormal(w.Data, 1)
+	y := tensor.MatMul(x, w)
+	for i := range y.Data {
+		y.Data[i] += 0.5 + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// stepData makes a piecewise-constant target trees can fit exactly:
+// y = 3 if x0 > 0 else -1, second output = -y.
+func stepData(rng *tensor.RNG, n, p int) (*tensor.Matrix, *tensor.Matrix) {
+	x := tensor.NewMatrix(n, p)
+	rng.FillNormal(x.Data, 1)
+	y := tensor.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		v := -1.0
+		if x.At(i, 0) > 0 {
+			v = 3
+		}
+		y.Set(i, 0, v)
+		y.Set(i, 1, -v)
+	}
+	return x, y
+}
+
+func TestLinearRecoversAffineMap(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x, y := linearData(rng, 200, 6, 3, 0)
+	l := NewLinear()
+	if err := l.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := l.Predict(x)
+	if r := metrics.R2(pred.Data, y.Data); r < 0.999999 {
+		t.Errorf("linear R² on noiseless linear data = %v, want ~1", r)
+	}
+}
+
+func TestLinearGeneralizes(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	x, y := linearData(rng, 300, 5, 2, 0.1)
+	xt, yt := linearData(tensor.NewRNG(2), 300, 5, 2, 0.1) // same W via same seed
+	l := NewLinear()
+	if err := l.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r := metrics.R2(l.Predict(xt).Data, yt.Data); r < 0.9 {
+		t.Errorf("linear test R² = %.3f", r)
+	}
+}
+
+func TestDecisionTreeFitsStepFunction(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	x, y := stepData(rng, 300, 4)
+	d := NewDecisionTree()
+	if err := d.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r := metrics.R2(d.Predict(x).Data, y.Data); r < 0.999 {
+		t.Errorf("tree R² on step data = %.4f, want ~1", r)
+	}
+}
+
+func TestDecisionTreeRespectsMaxDepth(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	x, y := linearData(rng, 200, 3, 1, 0)
+	d := NewDecisionTree()
+	d.MaxDepth = 2
+	if err := d.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if dep := d.root.depth(); dep > 2 {
+		t.Errorf("tree depth %d exceeds max 2", dep)
+	}
+}
+
+func TestTreePredictsLeafMeans(t *testing.T) {
+	// Single-node tree (depth 0): predicts the target mean everywhere.
+	rng := tensor.NewRNG(5)
+	x, y := linearData(rng, 50, 2, 2, 0)
+	d := NewDecisionTree()
+	d.MaxDepth = 0
+	if err := d.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := d.Predict(x)
+	mean0 := 0.0
+	for i := 0; i < y.Rows; i++ {
+		mean0 += y.At(i, 0)
+	}
+	mean0 /= float64(y.Rows)
+	for i := 0; i < pred.Rows; i++ {
+		if math.Abs(pred.At(i, 0)-mean0) > 1e-12 {
+			t.Fatal("depth-0 tree should predict the mean")
+		}
+	}
+}
+
+func TestRandomForestBeatsSingleTreeOnNoisyData(t *testing.T) {
+	// Noisy step targets: a deep single tree chases the noise; bagging
+	// averages it away, so the forest must generalize better.
+	noisyStep := func(seed uint64) (*tensor.Matrix, *tensor.Matrix, *tensor.Matrix) {
+		rng := tensor.NewRNG(seed)
+		x, clean := stepData(rng, 250, 4)
+		noisy := clean.Clone()
+		for i := range noisy.Data {
+			noisy.Data[i] += 1.0 * rng.NormFloat64()
+		}
+		return x, noisy, clean
+	}
+	x, yNoisy, _ := noisyStep(6)
+	xt, _, ytClean := noisyStep(99)
+
+	tree := NewDecisionTree()
+	tree.MaxDepth = 12
+	tree.MinLeaf = 1
+	if err := tree.Fit(x, yNoisy); err != nil {
+		t.Fatal(err)
+	}
+	forest := NewRandomForest()
+	forest.NTrees = 60
+	if err := forest.Fit(x, yNoisy); err != nil {
+		t.Fatal(err)
+	}
+	rTree := metrics.R2(tree.Predict(xt).Data, ytClean.Data)
+	rForest := metrics.R2(forest.Predict(xt).Data, ytClean.Data)
+	if rForest <= rTree {
+		t.Errorf("forest test R² %.3f should beat single tree %.3f (variance reduction)", rForest, rTree)
+	}
+}
+
+func TestGradientBoostingFitsNonlinearTarget(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	n := 300
+	x := tensor.NewMatrix(n, 3)
+	rng.FillNormal(x.Data, 1)
+	y := tensor.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		y.Set(i, 0, math.Sin(2*x.At(i, 0))+0.5*x.At(i, 1))
+		y.Set(i, 1, x.At(i, 0)*x.At(i, 1))
+	}
+	gb := NewGradientBoosting()
+	if err := gb.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r := metrics.R2(gb.Predict(x).Data, y.Data); r < 0.9 {
+		t.Errorf("boosting train R² = %.3f on smooth nonlinear target", r)
+	}
+}
+
+func TestTreesCannotExtrapolate(t *testing.T) {
+	// The Table II failure mode: targets drift beyond the training range
+	// (the warming trend); trees clamp at training extremes, the linear
+	// model follows the drift.
+	n := 200
+	x := tensor.NewMatrix(n, 1)
+	y := tensor.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		v := float64(i) / 20
+		x.Set(i, 0, v)
+		y.Set(i, 0, 2*v+1)
+	}
+	// Test data continues the ramp beyond the training range.
+	xt := tensor.NewMatrix(50, 1)
+	yt := tensor.NewMatrix(50, 1)
+	for i := 0; i < 50; i++ {
+		v := float64(n+i) / 20
+		xt.Set(i, 0, v)
+		yt.Set(i, 0, 2*v+1)
+	}
+	for _, r := range []Regressor{NewRandomForest(), NewGradientBoosting(), NewDecisionTree()} {
+		if err := r.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		pred := r.Predict(xt)
+		maxTrain := y.At(n-1, 0)
+		for i := 0; i < pred.Rows; i++ {
+			if pred.At(i, 0) > maxTrain+0.5 {
+				t.Errorf("%s extrapolated to %.2f beyond training max %.2f", r.Name(), pred.At(i, 0), maxTrain)
+			}
+		}
+	}
+	lin := NewLinear()
+	if err := lin.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r := metrics.R2(lin.Predict(xt).Data, yt.Data); r < 0.999 {
+		t.Errorf("linear extrapolation R² = %.4f, want ~1 on a pure ramp", r)
+	}
+}
+
+func TestFitShapeErrors(t *testing.T) {
+	x := tensor.NewMatrix(5, 2)
+	y := tensor.NewMatrix(6, 1)
+	for _, r := range []Regressor{NewLinear(), NewDecisionTree(), NewRandomForest(), NewGradientBoosting()} {
+		if err := r.Fit(x, y); err == nil {
+			t.Errorf("%s accepted mismatched samples", r.Name())
+		}
+		if err := r.Fit(tensor.NewMatrix(0, 0), tensor.NewMatrix(0, 0)); err == nil {
+			t.Errorf("%s accepted empty data", r.Name())
+		}
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	for _, r := range []Regressor{NewLinear(), NewDecisionTree(), NewRandomForest(), NewGradientBoosting()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s Predict before Fit did not panic", r.Name())
+				}
+			}()
+			r.Predict(tensor.NewMatrix(1, 2))
+		}()
+	}
+}
+
+func TestForestDeterministicGivenSeed(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	x, y := linearData(rng, 100, 3, 1, 0.2)
+	f1 := NewRandomForest()
+	f2 := NewRandomForest()
+	f1.NTrees, f2.NTrees = 20, 20
+	if err := f1.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := f1.Predict(x), f2.Predict(x)
+	if !p1.Equal(p2, 0) {
+		t.Error("same-seed forests disagree")
+	}
+}
+
+func TestFlattenSharesStorage(t *testing.T) {
+	x := tensor.NewTensor3(2, 3, 4)
+	m := Flatten(x)
+	if m.Rows != 2 || m.Cols != 12 {
+		t.Fatalf("Flatten shape %dx%d", m.Rows, m.Cols)
+	}
+	m.Set(1, 11, 9)
+	if x.At(1, 2, 3) != 9 {
+		t.Error("Flatten copies instead of aliasing")
+	}
+}
+
+func TestWindowedHarness(t *testing.T) {
+	// A windowed linear process must be learnable by the linear baseline.
+	nt := 120
+	a := tensor.NewMatrix(2, nt)
+	for tt := 0; tt < nt; tt++ {
+		a.Set(0, tt, math.Sin(0.3*float64(tt)))
+		a.Set(1, tt, math.Cos(0.3*float64(tt)))
+	}
+	d, err := window.Build(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, err := d.Split(0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := NewLinear()
+	if err := FitWindowed(lin, train); err != nil {
+		t.Fatal(err)
+	}
+	if r := EvaluateR2(lin, val); r < 0.99 {
+		t.Errorf("windowed sinusoid linear R² = %.4f, want ~1", r)
+	}
+	if err := FitWindowed(lin, &window.Dataset{X: tensor.NewTensor3(0, 1, 1), Y: tensor.NewTensor3(0, 1, 1)}); err == nil {
+		t.Error("empty windowed fit should fail")
+	}
+}
+
+func TestGBTMoreRoundsFitBetter(t *testing.T) {
+	// Property of boosting: training fit improves with rounds.
+	rng := tensor.NewRNG(20)
+	x, y := linearData(rng, 150, 4, 1, 0.3)
+	short := NewGradientBoosting()
+	short.NTrees = 5
+	long := NewGradientBoosting()
+	long.NTrees = 80
+	if err := short.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	rs := metrics.R2(short.Predict(x).Data, y.Data)
+	rl := metrics.R2(long.Predict(x).Data, y.Data)
+	if rl <= rs {
+		t.Errorf("80 rounds (R2 %.3f) should fit train better than 5 (R2 %.3f)", rl, rs)
+	}
+}
+
+func TestGBTConfigValidation(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	x, y := linearData(rng, 20, 2, 1, 0)
+	gb := NewGradientBoosting()
+	gb.NTrees = 0
+	if err := gb.Fit(x, y); err == nil {
+		t.Error("zero rounds should fail")
+	}
+	gb = NewGradientBoosting()
+	gb.LearningRate = 0
+	if err := gb.Fit(x, y); err == nil {
+		t.Error("zero learning rate should fail")
+	}
+	rf := NewRandomForest()
+	rf.NTrees = 0
+	if err := rf.Fit(x, y); err == nil {
+		t.Error("zero trees should fail")
+	}
+}
+
+func TestTreeSingleSample(t *testing.T) {
+	// A one-sample fit must produce a leaf predicting that sample.
+	x := tensor.FromSlice(1, 2, []float64{1, 2})
+	y := tensor.FromSlice(1, 1, []float64{7})
+	d := NewDecisionTree()
+	if err := d.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Predict(x).At(0, 0); got != 7 {
+		t.Errorf("single-sample prediction %g, want 7", got)
+	}
+}

@@ -1,0 +1,30 @@
+package baseline
+
+import (
+	"fmt"
+
+	"podnas/internal/metrics"
+	"podnas/internal/tensor"
+	"podnas/internal/window"
+)
+
+// Flatten converts a (B, T, F) windowed tensor into a (B, T·F) feature
+// matrix sharing storage — the direct multi-output regression view used by
+// the fireTS-style baselines.
+func Flatten(x *tensor.Tensor3) *tensor.Matrix {
+	return tensor.FromSlice(x.B, x.T*x.F, x.Data)
+}
+
+// FitWindowed trains r on a windowed data set (inputs flattened).
+func FitWindowed(r Regressor, d *window.Dataset) error {
+	if d == nil || d.Examples() == 0 {
+		return fmt.Errorf("baseline: empty windowed data set")
+	}
+	return r.Fit(Flatten(d.X), Flatten(d.Y))
+}
+
+// EvaluateR2 returns r's coefficient of determination over the windowed set.
+func EvaluateR2(r Regressor, d *window.Dataset) float64 {
+	pred := r.Predict(Flatten(d.X))
+	return metrics.R2(pred.Data, Flatten(d.Y).Data)
+}

@@ -1,0 +1,227 @@
+package baseline
+
+import (
+	"fmt"
+
+	"podnas/internal/linalg"
+	"podnas/internal/tensor"
+)
+
+// Linear is a multi-output ridge-regularized linear model with intercept
+// (scikit-learn LinearRegression analogue; the tiny default penalty only
+// guards against rank deficiency).
+type Linear struct {
+	Lambda float64
+
+	w *tensor.Matrix // (p+1)×q including the bias row
+	p int
+}
+
+// NewLinear returns a linear regressor with a numerical-stability penalty.
+func NewLinear() *Linear { return &Linear{Lambda: 1e-8} }
+
+// Name returns "Linear".
+func (l *Linear) Name() string { return "Linear" }
+
+// Fit solves the regularized normal equations with an appended bias column.
+func (l *Linear) Fit(x, y *tensor.Matrix) error {
+	if err := checkFitShapes(x, y); err != nil {
+		return err
+	}
+	xb := withBias(x)
+	w, err := linalg.RidgeLeastSquares(xb, y, l.Lambda)
+	if err != nil {
+		// Retry with a stronger penalty before giving up.
+		w, err = linalg.RidgeLeastSquares(xb, y, 1e-4)
+		if err != nil {
+			return fmt.Errorf("baseline: linear fit failed: %w", err)
+		}
+	}
+	l.w = w
+	l.p = x.Cols
+	return nil
+}
+
+// Predict applies the learned affine map.
+func (l *Linear) Predict(x *tensor.Matrix) *tensor.Matrix {
+	if l.w == nil {
+		panic("baseline: Linear.Predict before Fit")
+	}
+	if x.Cols != l.p {
+		panic(fmt.Sprintf("baseline: predict features %d, want %d", x.Cols, l.p))
+	}
+	return tensor.MatMul(withBias(x), l.w)
+}
+
+func withBias(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(x.Rows, x.Cols+1)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i), x.Row(i))
+		out.Set(i, x.Cols, 1)
+	}
+	return out
+}
+
+// RandomForest is a bagged ensemble of multi-output CART trees with feature
+// subsampling (scikit-learn RandomForestRegressor analogue).
+type RandomForest struct {
+	NTrees      int
+	MaxDepth    int
+	MinLeaf     int
+	FeatureFrac float64
+	Seed        uint64
+
+	trees []*treeNode
+	p, q  int
+}
+
+// NewRandomForest returns a forest with defaults close to scikit-learn's:
+// 100 shallow-ish trees, sqrt-style feature subsampling.
+func NewRandomForest() *RandomForest {
+	return &RandomForest{NTrees: 100, MaxDepth: 10, MinLeaf: 2, FeatureFrac: 0.33, Seed: 1}
+}
+
+// Name returns "RandomForest".
+func (rf *RandomForest) Name() string { return "RandomForest" }
+
+// Fit grows NTrees trees on bootstrap resamples.
+func (rf *RandomForest) Fit(x, y *tensor.Matrix) error {
+	if err := checkFitShapes(x, y); err != nil {
+		return err
+	}
+	if rf.NTrees < 1 {
+		return fmt.Errorf("baseline: forest needs at least one tree")
+	}
+	rng := tensor.NewRNG(rf.Seed)
+	cfg := treeConfig{maxDepth: rf.MaxDepth, minLeaf: rf.MinLeaf, featureFrac: rf.FeatureFrac}
+	rf.trees = rf.trees[:0]
+	n := x.Rows
+	for t := 0; t < rf.NTrees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		rf.trees = append(rf.trees, buildTree(x, y, idx, cfg, 0, rng.Split(uint64(t))))
+	}
+	rf.p, rf.q = x.Cols, y.Cols
+	return nil
+}
+
+// Predict averages the trees.
+func (rf *RandomForest) Predict(x *tensor.Matrix) *tensor.Matrix {
+	if len(rf.trees) == 0 {
+		panic("baseline: RandomForest.Predict before Fit")
+	}
+	if x.Cols != rf.p {
+		panic(fmt.Sprintf("baseline: predict features %d, want %d", x.Cols, rf.p))
+	}
+	out := tensor.NewMatrix(x.Rows, rf.q)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		dst := out.Row(i)
+		for _, t := range rf.trees {
+			v := t.predictRow(row)
+			for j, vv := range v {
+				dst[j] += vv
+			}
+		}
+		inv := 1 / float64(len(rf.trees))
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// GradientBoosting is an XGBoost-style gradient-boosted tree ensemble with
+// squared loss: one independent boosted chain per output dimension, each
+// round fitting a shallow tree to the residuals (shrunk by the learning
+// rate).
+type GradientBoosting struct {
+	NTrees       int // boosting rounds per output
+	MaxDepth     int
+	MinLeaf      int
+	LearningRate float64
+	Seed         uint64
+
+	base   []float64     // initial prediction per output
+	chains [][]*treeNode // per output: NTrees residual trees
+	p, q   int
+}
+
+// NewGradientBoosting returns defaults close to XGBoost's: 100 rounds of
+// depth-3 trees with shrinkage 0.1.
+func NewGradientBoosting() *GradientBoosting {
+	return &GradientBoosting{NTrees: 100, MaxDepth: 3, MinLeaf: 1, LearningRate: 0.1, Seed: 1}
+}
+
+// Name returns "XGBoost" (the role it plays in Table II).
+func (gb *GradientBoosting) Name() string { return "XGBoost" }
+
+// Fit boosts each output dimension independently.
+func (gb *GradientBoosting) Fit(x, y *tensor.Matrix) error {
+	if err := checkFitShapes(x, y); err != nil {
+		return err
+	}
+	if gb.NTrees < 1 || gb.LearningRate <= 0 {
+		return fmt.Errorf("baseline: invalid boosting config %+v", gb)
+	}
+	n, q := x.Rows, y.Cols
+	gb.base = make([]float64, q)
+	gb.chains = make([][]*treeNode, q)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	cfg := treeConfig{maxDepth: gb.MaxDepth, minLeaf: gb.MinLeaf, featureFrac: 1}
+	rng := tensor.NewRNG(gb.Seed)
+
+	resid := tensor.NewMatrix(n, 1)
+	for out := 0; out < q; out++ {
+		var mean float64
+		for i := 0; i < n; i++ {
+			mean += y.At(i, out)
+		}
+		mean /= float64(n)
+		gb.base[out] = mean
+		pred := make([]float64, n)
+		for i := range pred {
+			pred[i] = mean
+		}
+		for round := 0; round < gb.NTrees; round++ {
+			for i := 0; i < n; i++ {
+				resid.Set(i, 0, y.At(i, out)-pred[i])
+			}
+			t := buildTree(x, resid, idx, cfg, 0, rng.Split(uint64(out*gb.NTrees+round)))
+			gb.chains[out] = append(gb.chains[out], t)
+			for i := 0; i < n; i++ {
+				pred[i] += gb.LearningRate * t.predictRow(x.Row(i))[0]
+			}
+		}
+	}
+	gb.p, gb.q = x.Cols, q
+	return nil
+}
+
+// Predict sums every output's boosted chain.
+func (gb *GradientBoosting) Predict(x *tensor.Matrix) *tensor.Matrix {
+	if gb.chains == nil {
+		panic("baseline: GradientBoosting.Predict before Fit")
+	}
+	if x.Cols != gb.p {
+		panic(fmt.Sprintf("baseline: predict features %d, want %d", x.Cols, gb.p))
+	}
+	out := tensor.NewMatrix(x.Rows, gb.q)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		dst := out.Row(i)
+		for j := 0; j < gb.q; j++ {
+			v := gb.base[j]
+			for _, t := range gb.chains[j] {
+				v += gb.LearningRate * t.predictRow(row)[0]
+			}
+			dst[j] = v
+		}
+	}
+	return out
+}

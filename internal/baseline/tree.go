@@ -1,0 +1,232 @@
+// Package baseline implements the classical forecasting methods of the
+// paper's Table II — a linear model, a random forest, and an XGBoost-style
+// gradient-boosted tree ensemble — within the same non-autoregressive
+// windowed framework as the POD-LSTM: the model maps a flattened window of K
+// past coefficient vectors to the flattened window of the next K (fireTS's
+// multi-output direct forecast). Tree methods famously cannot extrapolate
+// beyond the training range of the targets, which is exactly why they
+// collapse on the paper's 1990–2018 test period (Table II) while the LSTMs
+// hold up.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"podnas/internal/tensor"
+)
+
+// Regressor is a multi-output regressor on flat feature matrices.
+type Regressor interface {
+	// Fit trains on x (n×p) and targets y (n×q).
+	Fit(x, y *tensor.Matrix) error
+	// Predict returns an m×q prediction matrix for x (m×p). It panics if
+	// called before a successful Fit.
+	Predict(x *tensor.Matrix) *tensor.Matrix
+	// Name identifies the method for reporting.
+	Name() string
+}
+
+// treeNode is a node of a multi-output CART regression tree.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	value     []float64 // leaf mean per output (leaf iff left == nil)
+}
+
+// treeConfig bundles CART growth settings.
+type treeConfig struct {
+	maxDepth    int
+	minLeaf     int
+	featureFrac float64 // fraction of features considered per split (1 = all)
+}
+
+// buildTree grows a CART tree on the sample indices idx. Splits minimize the
+// summed per-output SSE (variance reduction).
+func buildTree(x, y *tensor.Matrix, idx []int, cfg treeConfig, depth int, rng *tensor.RNG) *treeNode {
+	q := y.Cols
+	node := &treeNode{value: make([]float64, q)}
+	for _, i := range idx {
+		row := y.Row(i)
+		for j, v := range row {
+			node.value[j] += v
+		}
+	}
+	inv := 1 / float64(len(idx))
+	for j := range node.value {
+		node.value[j] *= inv
+	}
+	if depth >= cfg.maxDepth || len(idx) < 2*cfg.minLeaf {
+		return node
+	}
+
+	p := x.Cols
+	nFeat := p
+	if cfg.featureFrac < 1 {
+		nFeat = int(float64(p)*cfg.featureFrac + 0.5)
+		if nFeat < 1 {
+			nFeat = 1
+		}
+	}
+	features := rng.Perm(p)[:nFeat]
+
+	// Parent score: Σ_q S_q²/n (the part of -SSE that varies with splits).
+	totals := make([]float64, q)
+	for _, i := range idx {
+		row := y.Row(i)
+		for j, v := range row {
+			totals[j] += v
+		}
+	}
+	parentScore := sumSqOverN(totals, len(idx))
+
+	bestGain := 1e-12
+	bestFeature := -1
+	bestThreshold := 0.0
+	order := make([]int, len(idx))
+	leftSums := make([]float64, q)
+
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x.At(order[a], f) < x.At(order[b], f) })
+		for j := range leftSums {
+			leftSums[j] = 0
+		}
+		for k := 0; k < len(order)-1; k++ {
+			row := y.Row(order[k])
+			for j, v := range row {
+				leftSums[j] += v
+			}
+			nl := k + 1
+			if nl < cfg.minLeaf || len(order)-nl < cfg.minLeaf {
+				continue
+			}
+			xv, xn := x.At(order[k], f), x.At(order[k+1], f)
+			if xv == xn {
+				continue // cannot split between equal values
+			}
+			leftScore := sumSqOverN(leftSums, nl)
+			var rs float64
+			for j := range leftSums {
+				d := totals[j] - leftSums[j]
+				rs += d * d
+			}
+			rightScore := rs / float64(len(order)-nl)
+			gain := leftScore + rightScore - parentScore
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = 0.5 * (xv + xn)
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return node
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x.At(i, bestFeature) <= bestThreshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return node
+	}
+	node.feature = bestFeature
+	node.threshold = bestThreshold
+	node.left = buildTree(x, y, leftIdx, cfg, depth+1, rng)
+	node.right = buildTree(x, y, rightIdx, cfg, depth+1, rng)
+	return node
+}
+
+func sumSqOverN(sums []float64, n int) float64 {
+	var s float64
+	for _, v := range sums {
+		s += v * v
+	}
+	return s / float64(n)
+}
+
+// predictRow walks the tree for one feature row.
+func (t *treeNode) predictRow(row []float64) []float64 {
+	for t.left != nil {
+		if row[t.feature] <= t.threshold {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.value
+}
+
+// depth returns the tree height (diagnostic).
+func (t *treeNode) depth() int {
+	if t.left == nil {
+		return 0
+	}
+	l, r := t.left.depth(), t.right.depth()
+	if r > l {
+		l = r
+	}
+	return l + 1
+}
+
+// DecisionTree is a single multi-output CART regression tree.
+type DecisionTree struct {
+	MaxDepth int
+	MinLeaf  int
+	Seed     uint64
+
+	root *treeNode
+	p, q int
+}
+
+// NewDecisionTree returns a tree with sensible defaults (depth 8, leaf 2).
+func NewDecisionTree() *DecisionTree { return &DecisionTree{MaxDepth: 8, MinLeaf: 2, Seed: 1} }
+
+// Name returns "DecisionTree".
+func (d *DecisionTree) Name() string { return "DecisionTree" }
+
+// Fit grows the tree on the full sample.
+func (d *DecisionTree) Fit(x, y *tensor.Matrix) error {
+	if err := checkFitShapes(x, y); err != nil {
+		return err
+	}
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	cfg := treeConfig{maxDepth: d.MaxDepth, minLeaf: d.MinLeaf, featureFrac: 1}
+	d.root = buildTree(x, y, idx, cfg, 0, tensor.NewRNG(d.Seed))
+	d.p, d.q = x.Cols, y.Cols
+	return nil
+}
+
+// Predict evaluates the tree on every row of x.
+func (d *DecisionTree) Predict(x *tensor.Matrix) *tensor.Matrix {
+	if d.root == nil {
+		panic("baseline: DecisionTree.Predict before Fit")
+	}
+	if x.Cols != d.p {
+		panic(fmt.Sprintf("baseline: predict features %d, want %d", x.Cols, d.p))
+	}
+	out := tensor.NewMatrix(x.Rows, d.q)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i), d.root.predictRow(x.Row(i)))
+	}
+	return out
+}
+
+func checkFitShapes(x, y *tensor.Matrix) error {
+	if x.Rows != y.Rows {
+		return fmt.Errorf("baseline: %d samples vs %d targets", x.Rows, y.Rows)
+	}
+	if x.Rows == 0 || x.Cols == 0 || y.Cols == 0 {
+		return fmt.Errorf("baseline: empty training data (%dx%d → %dx%d)", x.Rows, x.Cols, y.Rows, y.Cols)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"podnas/internal/tensor"
+)
+
+// Lorenz63 is the classic three-variable Lorenz (1963) convection model:
+//
+//	dx/dt = σ(y − x)
+//	dy/dt = x(ρ − z) − y
+//	dz/dt = xy − βz
+//
+// In the standard chaotic regime (σ=10, ρ=28, β=8/3) the trajectory orbits
+// two lobes and switches between them unpredictably for linear models while
+// remaining learnable by nonlinear sequence models from a few hundred
+// samples — the property the synthetic SST generator uses for its
+// seasonal-envelope and ENSO drivers.
+type Lorenz63 struct {
+	Sigma, Rho, Beta float64
+	// Dt is the RK4 step (0.01 is accurate).
+	Dt float64
+}
+
+// NewLorenz63 returns the standard chaotic configuration.
+func NewLorenz63() *Lorenz63 {
+	return &Lorenz63{Sigma: 10, Rho: 28, Beta: 8.0 / 3.0, Dt: 0.01}
+}
+
+func (l *Lorenz63) tendency(s [3]float64) [3]float64 {
+	return [3]float64{
+		l.Sigma * (s[1] - s[0]),
+		s[0]*(l.Rho-s[2]) - s[1],
+		s[0]*s[1] - l.Beta*s[2],
+	}
+}
+
+// Step advances the state by one RK4 step.
+func (l *Lorenz63) Step(s [3]float64) [3]float64 {
+	k1 := l.tendency(s)
+	k2 := l.tendency(add3(s, scale3(k1, 0.5*l.Dt)))
+	k3 := l.tendency(add3(s, scale3(k2, 0.5*l.Dt)))
+	k4 := l.tendency(add3(s, scale3(k3, l.Dt)))
+	for j := 0; j < 3; j++ {
+		s[j] += l.Dt / 6 * (k1[j] + 2*k2[j] + 2*k3[j] + k4[j])
+	}
+	return s
+}
+
+func add3(a, b [3]float64) [3]float64 {
+	return [3]float64{a[0] + b[0], a[1] + b[1], a[2] + b[2]}
+}
+
+func scale3(a [3]float64, f float64) [3]float64 {
+	return [3]float64{a[0] * f, a[1] * f, a[2] * f}
+}
+
+// Trajectory integrates from a spun-up random initial condition and returns
+// `samples` states sampled every `stride` RK4 steps as a samples×3 matrix.
+func (l *Lorenz63) Trajectory(samples, stride int, rng *tensor.RNG) (*tensor.Matrix, error) {
+	if samples < 1 || stride < 1 {
+		return nil, fmt.Errorf("chaos: invalid trajectory request %d×%d", samples, stride)
+	}
+	s := [3]float64{1 + rng.NormFloat64(), 1 + rng.NormFloat64(), 20 + rng.NormFloat64()}
+	for i := 0; i < 5000; i++ {
+		s = l.Step(s)
+	}
+	out := tensor.NewMatrix(samples, 3)
+	for k := 0; k < samples; k++ {
+		copy(out.Row(k), s[:])
+		for i := 0; i < stride; i++ {
+			s = l.Step(s)
+		}
+	}
+	return out, nil
+}
+
+// StandardizedSeries returns the three state components over `length`
+// samples (stride RK4 steps apart), each standardized to zero mean and unit
+// variance over the window, as a 3×length matrix.
+func (l *Lorenz63) StandardizedSeries(length, stride int, rng *tensor.RNG) (*tensor.Matrix, error) {
+	traj, err := l.Trajectory(length, stride, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.NewMatrix(3, length)
+	for c := 0; c < 3; c++ {
+		row := out.Row(c)
+		var mean float64
+		for k := 0; k < length; k++ {
+			row[k] = traj.At(k, c)
+			mean += row[k]
+		}
+		mean /= float64(length)
+		var variance float64
+		for k := range row {
+			row[k] -= mean
+			variance += row[k] * row[k]
+		}
+		variance /= float64(length)
+		if variance > 1e-12 {
+			inv := 1 / math.Sqrt(variance)
+			for k := range row {
+				row[k] *= inv
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+
+	"podnas/internal/tensor"
+)
+
+func TestLorenz63Bounded(t *testing.T) {
+	l := NewLorenz63()
+	s := [3]float64{1, 1, 20}
+	for i := 0; i < 50000; i++ {
+		s = l.Step(s)
+		for _, v := range s {
+			if math.IsNaN(v) || math.Abs(v) > 100 {
+				t.Fatalf("state escaped: %v", s)
+			}
+		}
+	}
+}
+
+func TestLorenz63Chaotic(t *testing.T) {
+	l := NewLorenz63()
+	a := [3]float64{1, 1, 20}
+	for i := 0; i < 5000; i++ {
+		a = l.Step(a)
+	}
+	b := a
+	b[0] += 1e-9
+	for i := 0; i < 3000; i++ { // 30 time units
+		a = l.Step(a)
+		b = l.Step(b)
+	}
+	d := math.Hypot(math.Hypot(a[0]-b[0], a[1]-b[1]), a[2]-b[2])
+	if d < 1e-2 {
+		t.Errorf("perturbation grew only to %g", d)
+	}
+}
+
+func TestLorenz63LobeSwitching(t *testing.T) {
+	// The x component must change sign many times over a long run (the
+	// two-lobe structure driving the unpredictable phase flips).
+	l := NewLorenz63()
+	s := [3]float64{1, 1, 20}
+	for i := 0; i < 5000; i++ {
+		s = l.Step(s)
+	}
+	switches := 0
+	prev := s[0] > 0
+	for i := 0; i < 100000; i++ {
+		s = l.Step(s)
+		cur := s[0] > 0
+		if cur != prev {
+			switches++
+			prev = cur
+		}
+	}
+	if switches < 50 {
+		t.Errorf("only %d lobe switches in 1000 time units", switches)
+	}
+}
+
+func TestLorenz63TrajectoryDeterminism(t *testing.T) {
+	l := NewLorenz63()
+	a, err := l.Trajectory(100, 5, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := l.Trajectory(100, 5, tensor.NewRNG(1))
+	if !a.Equal(b, 0) {
+		t.Error("same seed gave different trajectories")
+	}
+	if _, err := l.Trajectory(0, 5, tensor.NewRNG(1)); err == nil {
+		t.Error("zero samples should fail")
+	}
+}
+
+func TestLorenz63StandardizedSeriesMoments(t *testing.T) {
+	l := NewLorenz63()
+	s, err := l.StandardizedSeries(1000, 8, tensor.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows != 3 || s.Cols != 1000 {
+		t.Fatalf("series shape %dx%d", s.Rows, s.Cols)
+	}
+	for c := 0; c < 3; c++ {
+		var mean, variance float64
+		row := s.Row(c)
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		for _, v := range row {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= float64(len(row))
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-9 {
+			t.Errorf("component %d mean %g var %g", c, mean, variance)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+
+	"podnas/internal/tensor"
+)
+
+func TestNewLorenz96Validation(t *testing.T) {
+	if _, err := NewLorenz96(3); err == nil {
+		t.Error("N=3 should be rejected")
+	}
+	l, err := NewLorenz96(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.F != 8 || l.Dt <= 0 {
+		t.Errorf("unexpected defaults %+v", l)
+	}
+}
+
+func TestFixedPointStaysFixed(t *testing.T) {
+	// x_j = F for all j is an equilibrium: tendency is exactly zero.
+	l, _ := NewLorenz96(6)
+	x := make([]float64, 6)
+	for j := range x {
+		x[j] = l.F
+	}
+	orig := append([]float64(nil), x...)
+	for i := 0; i < 100; i++ {
+		l.Step(x)
+	}
+	for j := range x {
+		if math.Abs(x[j]-orig[j]) > 1e-10 {
+			t.Fatalf("equilibrium drifted: x[%d] = %g", j, x[j])
+		}
+	}
+}
+
+func TestAttractorBounded(t *testing.T) {
+	l, _ := NewLorenz96(12)
+	x := l.InitialState(tensor.NewRNG(1))
+	for i := 0; i < 20000; i++ {
+		l.Step(x)
+		for j, v := range x {
+			if math.IsNaN(v) || math.Abs(v) > 50 {
+				t.Fatalf("state escaped at step %d: x[%d] = %g", i, j, v)
+			}
+		}
+	}
+}
+
+func TestSensitivityToInitialConditions(t *testing.T) {
+	// Chaos: a 1e-8 perturbation must grow by orders of magnitude.
+	l, _ := NewLorenz96(12)
+	a := l.InitialState(tensor.NewRNG(2))
+	for i := 0; i < 2000; i++ {
+		l.Step(a) // spin up
+	}
+	b := append([]float64(nil), a...)
+	b[0] += 1e-8
+	for i := 0; i < 1000; i++ { // 20 MTU
+		l.Step(a)
+		l.Step(b)
+	}
+	var dist float64
+	for j := range a {
+		d := a[j] - b[j]
+		dist += d * d
+	}
+	dist = math.Sqrt(dist)
+	if dist < 1e-3 {
+		t.Errorf("perturbation grew only to %g; system not chaotic?", dist)
+	}
+}
+
+func TestShortTermDeterministicPredictability(t *testing.T) {
+	// The flip side: over a short horizon nearby states stay nearby (this
+	// is what makes the emulation task learnable).
+	l, _ := NewLorenz96(12)
+	a := l.InitialState(tensor.NewRNG(3))
+	for i := 0; i < 2000; i++ {
+		l.Step(a)
+	}
+	b := append([]float64(nil), a...)
+	b[0] += 1e-4
+	for i := 0; i < 25; i++ { // 0.5 MTU
+		l.Step(a)
+		l.Step(b)
+	}
+	var dist float64
+	for j := range a {
+		d := a[j] - b[j]
+		dist += d * d
+	}
+	if math.Sqrt(dist) > 0.1 {
+		t.Errorf("short-horizon divergence %g too fast", math.Sqrt(dist))
+	}
+}
+
+func TestTrajectoryShapeAndDeterminism(t *testing.T) {
+	l, _ := NewLorenz96(10)
+	a, err := l.Trajectory(50, 3, tensor.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 50 || a.Cols != 10 {
+		t.Fatalf("trajectory shape %dx%d", a.Rows, a.Cols)
+	}
+	b, _ := l.Trajectory(50, 3, tensor.NewRNG(4))
+	if !a.Equal(b, 0) {
+		t.Error("same seed gave different trajectories")
+	}
+	c, _ := l.Trajectory(50, 3, tensor.NewRNG(5))
+	if a.Equal(c, 1e-6) {
+		t.Error("different seeds gave identical trajectories")
+	}
+	if _, err := l.Trajectory(0, 1, tensor.NewRNG(1)); err == nil {
+		t.Error("zero samples should fail")
+	}
+}
+
+func TestStandardizedSeriesMoments(t *testing.T) {
+	l, _ := NewLorenz96(12)
+	s, err := l.StandardizedSeries(5, 800, 3, tensor.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows != 5 || s.Cols != 800 {
+		t.Fatalf("series shape %dx%d", s.Rows, s.Cols)
+	}
+	for p := 0; p < 5; p++ {
+		var mean, variance float64
+		row := s.Row(p)
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		for _, v := range row {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= float64(len(row))
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-9 {
+			t.Errorf("series %d mean %g var %g; want 0/1", p, mean, variance)
+		}
+	}
+	if _, err := l.StandardizedSeries(13, 10, 1, tensor.NewRNG(1)); err == nil {
+		t.Error("k > N should fail")
+	}
+}
+
+func TestSeriesAutocorrelationDecays(t *testing.T) {
+	// Samples must be correlated at short lags (smooth dynamics) and
+	// decorrelated at long lags (chaos) — the property that sets the
+	// forecast difficulty.
+	l, _ := NewLorenz96(12)
+	s, _ := l.StandardizedSeries(1, 2000, 5, tensor.NewRNG(7))
+	row := s.Row(0)
+	auto := func(lag int) float64 {
+		var c float64
+		n := len(row) - lag
+		for i := 0; i < n; i++ {
+			c += row[i] * row[i+lag]
+		}
+		return c / float64(n)
+	}
+	if a1 := auto(1); a1 < 0.8 {
+		t.Errorf("lag-1 autocorrelation %.3f, want smooth (> 0.8)", a1)
+	}
+	if a50 := auto(200); math.Abs(a50) > 0.25 {
+		t.Errorf("lag-200 autocorrelation %.3f, want decorrelated", a50)
+	}
+}

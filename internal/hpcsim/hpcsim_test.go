@@ -1,0 +1,382 @@
+package hpcsim
+
+import (
+	"math"
+	"testing"
+
+	"podnas/internal/arch"
+	"podnas/internal/tensor"
+)
+
+func space() arch.Space { return arch.Default() }
+
+func run(t *testing.T, m Method, nodes int, seed uint64) *RunStats {
+	t.Helper()
+	st, err := Run(Config{Method: m, Nodes: nodes, Seed: seed, Space: space()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Method: MethodAE, Nodes: 0, Space: space()}); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := Run(Config{Method: MethodRL, Nodes: 8, Space: space()}); err == nil {
+		t.Error("RL with fewer nodes than agents should fail")
+	}
+	if _, err := Run(Config{Method: "bogus", Nodes: 16, Space: space()}); err == nil {
+		t.Error("unknown method should fail")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := run(t, MethodAE, 33, 5)
+	b := run(t, MethodAE, 33, 5)
+	if a.Evaluations != b.Evaluations || a.BestReward != b.BestReward || a.Utilization != b.Utilization {
+		t.Error("same seed produced different simulation results")
+	}
+	c := run(t, MethodAE, 33, 6)
+	if a.Evaluations == c.Evaluations && a.BestReward == c.BestReward {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestLandscapeProperties(t *testing.T) {
+	sp := space()
+	l := NewLandscape(sp, 1)
+	rng := tensor.NewRNG(2)
+	var sum float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		a := sp.Random(rng)
+		r := l.TrueR2(a)
+		if r <= 0.5 || r >= 1 {
+			t.Fatalf("TrueR2 = %g outside (0.5, 1)", r)
+		}
+		sum += r
+		if l.TrueR2(a) != r {
+			t.Fatal("TrueR2 not deterministic")
+		}
+		d := l.Duration(a, uint64(i))
+		if d < 30 || d > 1800 {
+			t.Fatalf("Duration = %gs implausible", d)
+		}
+	}
+	mean := sum / float64(n)
+	// The random-architecture plateau must sit near the paper's RS band.
+	if mean < 0.925 || mean > 0.95 {
+		t.Errorf("random mean fitness %.4f outside RS band [0.925, 0.95]", mean)
+	}
+}
+
+func TestLandscapeNoiseZeroMean(t *testing.T) {
+	sp := space()
+	l := NewLandscape(sp, 3)
+	a := sp.Random(tensor.NewRNG(4))
+	truth := l.TrueR2(a)
+	var sum float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		sum += l.Reward(a, uint64(i))
+	}
+	if math.Abs(sum/float64(n)-truth) > 3*l.NoiseSigma/math.Sqrt(float64(n))+1e-4 {
+		t.Errorf("reward mean %.5f far from truth %.5f", sum/float64(n), truth)
+	}
+}
+
+func TestDurationGrowsWithParams(t *testing.T) {
+	sp := space()
+	l := NewLandscape(sp, 5)
+	tiny := make(arch.Arch, sp.NumVariables()) // all identity
+	big := make(arch.Arch, sp.NumVariables())
+	pos := 0
+	for k := 0; k < sp.NumNodes; k++ {
+		big[pos] = len(sp.Ops) - 1 // LSTM(96)
+		pos++
+		sc := k
+		if sc > sp.MaxSkip {
+			sc = sp.MaxSkip
+		}
+		pos += sc
+	}
+	// Average over jitter.
+	avg := func(a arch.Arch) float64 {
+		var s float64
+		for i := 0; i < 50; i++ {
+			s += l.Duration(a, uint64(i))
+		}
+		return s / 50
+	}
+	if avg(big) <= avg(tiny)*1.2 {
+		t.Errorf("large architecture (%.0fs) not clearly slower than identity chain (%.0fs)", avg(big), avg(tiny))
+	}
+}
+
+func TestIdentityChainScoresPoorly(t *testing.T) {
+	sp := space()
+	l := NewLandscape(sp, 6)
+	idArch := make(arch.Arch, sp.NumVariables())
+	if r := l.TrueR2(idArch); r > 0.85 {
+		t.Errorf("identity-only architecture scored %.3f, want < 0.85", r)
+	}
+}
+
+// TestTableIIIShape verifies the headline scaling claims at a reduced node
+// count (fast): AE evaluates roughly twice as many architectures as RL, RS
+// sits between, and AE/RS utilization is high while RL's is poor.
+func TestTableIIIShape(t *testing.T) {
+	ae := run(t, MethodAE, 33, 7)
+	rl := run(t, MethodRL, 33, 7)
+	rs := run(t, MethodRS, 33, 7)
+
+	if ae.Evaluations <= rs.Evaluations {
+		t.Errorf("AE evals %d should exceed RS %d", ae.Evaluations, rs.Evaluations)
+	}
+	ratio := float64(ae.Evaluations) / float64(rl.Evaluations)
+	if ratio < 1.4 || ratio > 3.0 {
+		t.Errorf("AE/RL eval ratio %.2f, paper reports ~2", ratio)
+	}
+	if ae.Utilization < 0.85 || rs.Utilization < 0.85 {
+		t.Errorf("async utilization AE %.2f RS %.2f, want > 0.85", ae.Utilization, rs.Utilization)
+	}
+	if rl.Utilization > 0.72 || rl.Utilization < 0.3 {
+		t.Errorf("RL utilization %.2f, want in the collapsed ~0.5 band", rl.Utilization)
+	}
+	if ae.Utilization > 1 || rl.Utilization > 1 || rs.Utilization > 1 {
+		t.Error("utilization above 1 is impossible")
+	}
+}
+
+// TestFig3Shape verifies the search-trajectory ordering: AE reaches the 0.96
+// moving-average band quickly, RL gets there later, RS never does.
+func TestFig3Shape(t *testing.T) {
+	ae := run(t, MethodAE, 128, 9)
+	rl := run(t, MethodRL, 128, 9)
+	rs := run(t, MethodRS, 128, 9)
+
+	crossing := func(s *RunStats, level float64) float64 {
+		for i := range s.RewardCurve.X {
+			if s.RewardCurve.Y[i] >= level {
+				return s.RewardCurve.X[i]
+			}
+		}
+		return math.Inf(1)
+	}
+	aeT := crossing(ae, 0.96)
+	rlT := crossing(rl, 0.96)
+	rsT := crossing(rs, 0.96)
+	if math.IsInf(aeT, 1) || aeT > 90 {
+		t.Errorf("AE crossed 0.96 at %v minutes, want < 90 (paper: ~50)", aeT)
+	}
+	if !math.IsInf(rlT, 1) && rlT < aeT {
+		t.Errorf("RL (%v min) should not beat AE (%v min) to 0.96", rlT, aeT)
+	}
+	if !math.IsInf(rsT, 1) {
+		t.Errorf("RS crossed 0.96 at %v minutes; paper has RS plateau at 0.93–0.94", rsT)
+	}
+	// Final ordering: AE ≥ RL > RS.
+	last := func(s *RunStats) float64 { return s.RewardCurve.Y[len(s.RewardCurve.Y)-1] }
+	if last(ae) < last(rs) || last(rl) < last(rs) {
+		t.Errorf("final averages AE %.3f RL %.3f RS %.3f: feedback methods must beat RS", last(ae), last(rl), last(rs))
+	}
+}
+
+// TestFig8Shape verifies unique high-performer scaling: AE finds far more
+// unique >0.96 architectures than RS, and more nodes find more.
+func TestFig8Shape(t *testing.T) {
+	ae33 := run(t, MethodAE, 33, 11)
+	ae128 := run(t, MethodAE, 128, 11)
+	rs128 := run(t, MethodRS, 128, 11)
+
+	if ae128.UniqueHigh <= ae33.UniqueHigh {
+		t.Errorf("AE-128 unique high (%d) should exceed AE-33 (%d)", ae128.UniqueHigh, ae33.UniqueHigh)
+	}
+	if ae128.UniqueHigh < 3*rs128.UniqueHigh {
+		t.Errorf("AE-128 unique high %d not clearly above RS-128 %d", ae128.UniqueHigh, rs128.UniqueHigh)
+	}
+	// The curve must be nondecreasing.
+	prev := -1.0
+	for _, v := range ae128.HighPerfCurve.Y {
+		if v < prev {
+			t.Fatal("high-performer curve decreased")
+		}
+		prev = v
+	}
+}
+
+func TestEvaluationsScaleWithNodes(t *testing.T) {
+	e33 := run(t, MethodAE, 33, 13).Evaluations
+	e128 := run(t, MethodAE, 128, 13).Evaluations
+	ratio := float64(e128) / float64(e33)
+	if ratio < 3.0 || ratio > 4.8 {
+		t.Errorf("AE eval scaling 33→128 nodes: ratio %.2f, want near 128/33≈3.9", ratio)
+	}
+}
+
+func TestRLUtilizationOscillates(t *testing.T) {
+	// The RL utilization trace must repeatedly rise and fall (Fig 9d), not
+	// stay flat like the async methods.
+	rl := run(t, MethodRL, 33, 15)
+	ys := rl.UtilCurve.Y
+	dips := 0
+	for i := 2; i < len(ys); i++ {
+		if ys[i-1] > ys[i]+0.2 && ys[i-1] > 0.5 {
+			dips++
+		}
+	}
+	if dips < 5 {
+		t.Errorf("RL utilization shows only %d sharp dips; expected a sawtooth", dips)
+	}
+}
+
+func TestEvalsWithinWallTime(t *testing.T) {
+	for _, m := range []Method{MethodAE, MethodRL, MethodRS} {
+		st := run(t, m, 33, 17)
+		for _, e := range st.Evals {
+			if e.Finish > st.Config.WallTime {
+				t.Fatalf("%s recorded an evaluation finishing at %.0fs > wall time", m, e.Finish)
+			}
+			if e.Start < 0 || e.Start > e.Finish {
+				t.Fatalf("%s evaluation with invalid span [%g, %g]", m, e.Start, e.Finish)
+			}
+		}
+		if st.Evaluations != len(st.Evals) {
+			t.Fatalf("%s Evaluations %d != len(Evals) %d", m, st.Evaluations, len(st.Evals))
+		}
+		if st.BestReward < 0.9 {
+			t.Errorf("%s best reward %.3f suspiciously low", m, st.BestReward)
+		}
+	}
+}
+
+func TestConstantCostAblationClosesEvalGap(t *testing.T) {
+	// With parameter-proportional cost AE out-evaluates RS; with constant
+	// cost the throughput gap largely disappears (DESIGN.md ablation).
+	prop := float64(run(t, MethodAE, 33, 19).Evaluations) / float64(run(t, MethodRS, 33, 19).Evaluations)
+	stAE, err := Run(Config{Method: MethodAE, Nodes: 33, Seed: 19, Space: space(), ConstantCost: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRS, err := Run(Config{Method: MethodRS, Nodes: 33, Seed: 19, Space: space(), ConstantCost: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := float64(stAE.Evaluations) / float64(stRS.Evaluations)
+	if !(flat < prop) {
+		t.Errorf("constant-cost AE/RS ratio %.3f should fall below proportional-cost ratio %.3f", flat, prop)
+	}
+	if math.Abs(flat-1) > 0.05 {
+		t.Errorf("constant-cost AE/RS ratio %.3f should be ~1", flat)
+	}
+}
+
+func TestNonAgingAblationRuns(t *testing.T) {
+	st := run(t, MethodNonAging, 33, 21)
+	if st.Evaluations == 0 {
+		t.Fatal("non-aging ablation produced no evaluations")
+	}
+}
+
+func TestUtilizationCurveBounded(t *testing.T) {
+	st := run(t, MethodAE, 33, 23)
+	for _, v := range st.UtilCurve.Y {
+		if v < 0 || v > 1+1e-9 {
+			t.Fatalf("utilization sample %g outside [0,1]", v)
+		}
+	}
+}
+
+func TestCurveConsistency(t *testing.T) {
+	for _, m := range []Method{MethodAE, MethodRL, MethodRS} {
+		st := run(t, m, 33, 29)
+		if st.RewardCurve.Len() != st.Evaluations {
+			t.Errorf("%s: reward curve has %d points for %d evals", m, st.RewardCurve.Len(), st.Evaluations)
+		}
+		if st.HighPerfCurve.Len() != st.Evaluations {
+			t.Errorf("%s: high-perf curve has %d points", m, st.HighPerfCurve.Len())
+		}
+		// Completion times must be nondecreasing along the curves.
+		for i := 1; i < st.RewardCurve.Len(); i++ {
+			if st.RewardCurve.X[i] < st.RewardCurve.X[i-1] {
+				t.Fatalf("%s: reward curve times not sorted", m)
+			}
+		}
+	}
+}
+
+func TestRLUsesOnlyAllocatedWorkers(t *testing.T) {
+	st := run(t, MethodRL, 33, 31)
+	// 11 agents + 2 workers/agent = 33 nodes: worker indices in [0, 33).
+	for _, e := range st.Evals {
+		if e.Worker < 11 || e.Worker >= 33 {
+			t.Fatalf("evaluation ran on node %d (agents occupy 0-10)", e.Worker)
+		}
+	}
+}
+
+func TestAsyncWorkersAllBusy(t *testing.T) {
+	st := run(t, MethodAE, 16, 33)
+	seen := map[int]bool{}
+	for _, e := range st.Evals {
+		seen[e.Worker] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("only %d of 16 workers completed evaluations", len(seen))
+	}
+}
+
+func TestMeanDurationStable(t *testing.T) {
+	sp := space()
+	l := NewLandscape(sp, 41)
+	a := meanDuration(l, sp, 1)
+	b := meanDuration(l, sp, 1)
+	if a != b {
+		t.Error("meanDuration not deterministic")
+	}
+	if a < 60 || a > 600 {
+		t.Errorf("mean duration %.0fs implausible", a)
+	}
+}
+
+func TestWallTimeOverride(t *testing.T) {
+	short, err := Run(Config{Method: MethodAE, Nodes: 16, WallTime: 1800, Seed: 37, Space: space()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := run(t, MethodAE, 16, 37)
+	if short.Evaluations >= long.Evaluations {
+		t.Errorf("30-min job (%d evals) should complete fewer than 3-h job (%d)", short.Evaluations, long.Evaluations)
+	}
+}
+
+func TestAgingBeatsNonAgingUnderHeavyNoise(t *testing.T) {
+	// The §III-B1 regularization claim: with noisy rewards, aging evolution
+	// should find architectures whose TRUE fitness is at least as good as
+	// the non-aging variant's, because lucky flukes die out of the
+	// population. Compared on the noise-free landscape over several seeds.
+	sp := space()
+	better := 0
+	const runs = 5
+	for k := 0; k < runs; k++ {
+		seed := uint64(100 + k*17)
+		noisy := NewLandscape(sp, seed)
+		noisy.NoiseSigma = 0.02 // 5x the default training noise
+		aeStats, err := Run(Config{Method: MethodAE, Nodes: 33, Seed: seed, Space: sp, Landscape: noisy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naStats, err := Run(Config{Method: MethodNonAging, Nodes: 33, Seed: seed, Space: sp, Landscape: noisy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean := NewLandscape(sp, seed)
+		if clean.TrueR2(aeStats.BestArch) >= clean.TrueR2(naStats.BestArch)-0.002 {
+			better++
+		}
+	}
+	if better < runs/2 {
+		t.Errorf("aging evolution matched/beat non-aging in only %d/%d noisy runs", better, runs)
+	}
+}

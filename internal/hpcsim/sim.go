@@ -1,0 +1,336 @@
+package hpcsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"podnas/internal/arch"
+	"podnas/internal/metrics"
+	"podnas/internal/search"
+	"podnas/internal/tensor"
+)
+
+// Method selects the search algorithm being deployed.
+type Method string
+
+// The three methods compared by the paper, plus the non-aging ablation.
+const (
+	MethodAE       Method = "AE"
+	MethodRL       Method = "RL"
+	MethodRS       Method = "RS"
+	MethodNonAging Method = "NonAgingEvo"
+)
+
+// Config describes one simulated Theta job.
+type Config struct {
+	Method Method
+	// Nodes is the total node allocation (paper: 33/64/128/256/512).
+	Nodes int
+	// WallTime is the job length in seconds (paper: 3 h = 10800 s).
+	WallTime float64
+	// Seed drives the search, landscape noise, and scheduling jitter.
+	Seed uint64
+	// Space is the architecture search space.
+	Space arch.Space
+	// Landscape supplies fitness and duration; NewLandscape(Space, Seed) is
+	// used when nil.
+	Landscape *Landscape
+
+	// Agents is the RL master count (paper: 11). Ignored for AE/RS.
+	Agents int
+	// Population and Sample are the AE hyperparameters (paper: 100/10).
+	Population, Sample int
+
+	// HighThreshold is the "high-performing" reward cutoff (paper: 0.96).
+	HighThreshold float64
+	// ConstantCost, when true, replaces the parameter-proportional duration
+	// model with its mean (the DESIGN.md cost-model ablation).
+	ConstantCost bool
+}
+
+// applyDefaults fills in the paper's default values.
+func (c *Config) applyDefaults() {
+	if c.WallTime == 0 {
+		c.WallTime = 10800
+	}
+	if c.Agents == 0 {
+		c.Agents = 11
+	}
+	if c.Population == 0 {
+		c.Population = 100
+	}
+	if c.Sample == 0 {
+		c.Sample = 10
+	}
+	if c.HighThreshold == 0 {
+		c.HighThreshold = 0.96
+	}
+	if c.Landscape == nil {
+		c.Landscape = NewLandscape(c.Space, c.Seed)
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("hpcsim: need at least one node, got %d", c.Nodes)
+	}
+	if c.WallTime <= 0 {
+		return fmt.Errorf("hpcsim: nonpositive wall time %g", c.WallTime)
+	}
+	if c.Method == MethodRL && c.Nodes <= c.Agents {
+		return fmt.Errorf("hpcsim: RL needs more nodes (%d) than agents (%d)", c.Nodes, c.Agents)
+	}
+	return c.Space.Validate()
+}
+
+// Eval is one completed architecture evaluation inside the simulation.
+type Eval struct {
+	Arch   arch.Arch
+	Reward float64
+	Start  float64 // virtual seconds
+	Finish float64
+	Worker int
+}
+
+// RunStats aggregates one simulated job, mirroring the paper's reporting.
+type RunStats struct {
+	Config        Config
+	Evaluations   int     // completed within the wall time (Table III)
+	Utilization   float64 // AUC busy-node fraction over all nodes (Table III)
+	BestReward    float64
+	BestArch      arch.Arch
+	Evals         []Eval
+	RewardCurve   *metrics.Curve // finish time (minutes) vs moving-avg reward (Fig 3/9)
+	UtilCurve     *metrics.Curve // time (minutes) vs busy fraction (Fig 9)
+	HighPerfCurve *metrics.Curve // time (minutes) vs unique archs above threshold (Fig 8)
+	UniqueHigh    int            // final unique high performers (Fig 8b)
+}
+
+// Run simulates one job.
+func Run(cfg Config) (*RunStats, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Method {
+	case MethodAE, MethodRS, MethodNonAging:
+		return runAsync(cfg)
+	case MethodRL:
+		return runRL(cfg)
+	default:
+		return nil, fmt.Errorf("hpcsim: unknown method %q", cfg.Method)
+	}
+}
+
+// interval is a closed busy span on one node.
+type interval struct{ lo, hi float64 }
+
+// event drives the async event loop.
+type event struct {
+	time   float64
+	worker int
+	seq    int // tiebreaker for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// mean evaluation duration used by the ConstantCost ablation: measured over
+// a uniform sample of the space.
+func meanDuration(l *Landscape, space arch.Space, seed uint64) float64 {
+	rng := tensor.NewRNG(seed ^ 0xd00d)
+	var sum float64
+	const n = 300
+	for i := 0; i < n; i++ {
+		sum += l.Duration(space.Random(rng), uint64(i))
+	}
+	return sum / n
+}
+
+// runAsync simulates the fully asynchronous AE/RS deployments: every node is
+// a worker that proposes, evaluates, reports, and immediately continues.
+// Inefficiency comes from per-node startup (library loading on KNL) and a
+// small per-evaluation dispatch gap, which land utilization near the
+// paper's 0.90–0.96.
+func runAsync(cfg Config) (*RunStats, error) {
+	var s search.Searcher
+	var err error
+	switch cfg.Method {
+	case MethodAE:
+		s, err = search.NewAgingEvolution(cfg.Space, cfg.Population, cfg.Sample, cfg.Seed)
+	case MethodNonAging:
+		s, err = search.NewNonAgingEvolution(cfg.Space, cfg.Population, cfg.Sample, cfg.Seed)
+	default:
+		s, err = search.NewRandomSearch(cfg.Space, cfg.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	land := cfg.Landscape
+	constDur := 0.0
+	if cfg.ConstantCost {
+		constDur = meanDuration(land, cfg.Space, cfg.Seed)
+	}
+	rng := tensor.NewRNG(cfg.Seed ^ 0xfeed)
+
+	stats := &RunStats{Config: cfg, BestReward: -1}
+	busy := make([][]interval, cfg.Nodes)
+	inflight := make([]Eval, cfg.Nodes)
+	seq := 0
+	h := &eventHeap{}
+
+	start := func(w int, t float64) {
+		if t >= cfg.WallTime {
+			return
+		}
+		a := s.Propose()
+		evalSeed := cfg.Seed + uint64(seq)*0x9e37
+		dur := land.Duration(a, evalSeed)
+		if cfg.ConstantCost {
+			dur = constDur
+		}
+		finish := t + dur
+		busyEnd := finish
+		if busyEnd > cfg.WallTime {
+			busyEnd = cfg.WallTime // the node works until the job is killed
+		}
+		busy[w] = append(busy[w], interval{t, busyEnd})
+		inflight[w] = Eval{Arch: a, Reward: land.Reward(a, evalSeed), Start: t, Finish: finish, Worker: w}
+		seq++
+		if finish <= cfg.WallTime {
+			heap.Push(h, event{time: finish, worker: w, seq: seq})
+		}
+	}
+
+	// Node startup: environment/library load before the first proposal.
+	for w := 0; w < cfg.Nodes; w++ {
+		start(w, 90+240*rng.Float64())
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(event)
+		done := inflight[ev.worker]
+		s.Report(done.Arch, done.Reward)
+		stats.Evals = append(stats.Evals, done)
+		// Dispatch gap before the next evaluation begins on this node.
+		start(ev.worker, ev.time+4+14*rng.Float64())
+	}
+	finalizeWithBusy(stats, busy)
+	return stats, nil
+}
+
+// runRL simulates the multimaster-multiworker PPO deployment: Agents master
+// nodes each drive floor((Nodes-Agents)/Agents) workers; every round each
+// agent samples one architecture per worker, all workers evaluate in
+// parallel, and a full gradient all-reduce barrier across agents ends the
+// round. Workers idle from their own finish until the global barrier — the
+// utilization collapse of Table III.
+func runRL(cfg Config) (*RunStats, error) {
+	workersPerAgent := (cfg.Nodes - cfg.Agents) / cfg.Agents
+	if workersPerAgent < 1 {
+		return nil, fmt.Errorf("hpcsim: %d nodes leave no workers for %d agents", cfg.Nodes, cfg.Agents)
+	}
+	agents := make([]*search.PPOAgent, cfg.Agents)
+	for i := range agents {
+		a, err := search.NewPPOAgent(cfg.Space, cfg.Seed+uint64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		agents[i] = a
+	}
+	land := cfg.Landscape
+	constDur := 0.0
+	if cfg.ConstantCost {
+		constDur = meanDuration(land, cfg.Space, cfg.Seed)
+	}
+	rng := tensor.NewRNG(cfg.Seed ^ 0xfeed)
+
+	stats := &RunStats{Config: cfg, BestReward: -1}
+	busy := make([][]interval, cfg.Nodes)
+	// Node layout: nodes [0, Agents) are agents, then worker blocks.
+	workerNode := func(agent, w int) int { return cfg.Agents + agent*workersPerAgent + w }
+
+	t := 100 + 200*rng.Float64() // startup: load env on all nodes
+	seq := 0
+	for t < cfg.WallTime {
+		roundEnd := t
+		type pending struct {
+			agent int
+			archs []arch.Arch
+			rs    []float64
+		}
+		rounds := make([]pending, cfg.Agents)
+		for ai, agent := range agents {
+			batch := agent.ProposeBatch(workersPerAgent)
+			p := pending{agent: ai, archs: batch, rs: make([]float64, len(batch))}
+			for wi, a := range batch {
+				evalSeed := cfg.Seed + uint64(seq)*0x9e37
+				seq++
+				dur := land.Duration(a, evalSeed)
+				if cfg.ConstantCost {
+					dur = constDur
+				}
+				finish := t + dur
+				node := workerNode(ai, wi)
+				busyEnd := finish
+				if busyEnd > cfg.WallTime {
+					busyEnd = cfg.WallTime
+				}
+				busy[node] = append(busy[node], interval{t, busyEnd})
+				reward := land.Reward(a, evalSeed)
+				p.rs[wi] = reward
+				if finish <= cfg.WallTime {
+					stats.Evals = append(stats.Evals, Eval{Arch: a, Reward: reward, Start: t, Finish: finish, Worker: node})
+				}
+				if finish > roundEnd {
+					roundEnd = finish
+				}
+			}
+			rounds[ai] = p
+		}
+		if roundEnd > cfg.WallTime {
+			break // the barrier never completes inside the job
+		}
+		// Gradient computation + all-reduce on the agent nodes.
+		const allReduce = 6.0
+		grads := make([][]float64, cfg.Agents)
+		for ai, p := range rounds {
+			g, err := agents[p.agent].Gradients(p.archs, p.rs)
+			if err != nil {
+				return nil, err
+			}
+			grads[ai] = g
+			busy[ai] = append(busy[ai], interval{roundEnd, minf(roundEnd+allReduce, cfg.WallTime)})
+		}
+		if err := search.AllReduceMean(grads); err != nil {
+			return nil, err
+		}
+		for ai := range agents {
+			if err := agents[ai].ApplyGradients(grads[ai]); err != nil {
+				return nil, err
+			}
+		}
+		t = roundEnd + allReduce
+	}
+	// Evals are recorded in proposal order; sort by finish for the curves.
+	sort.Slice(stats.Evals, func(i, j int) bool { return stats.Evals[i].Finish < stats.Evals[j].Finish })
+	finalizeWithBusy(stats, busy)
+	return stats, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

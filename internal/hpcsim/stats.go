@@ -1,0 +1,102 @@
+package hpcsim
+
+import (
+	"podnas/internal/metrics"
+)
+
+// rewardWindow is the paper's moving-average window for reward and
+// utilization traces (§IV: "moving window average of window size 100").
+const rewardWindow = 100
+
+// finalizeWithBusy derives the Table III scalars and Fig 3/8/9 curves from
+// the completed evaluations and the per-node busy intervals.
+func finalizeWithBusy(stats *RunStats, busy [][]interval) {
+	cfg := stats.Config
+
+	stats.Evaluations = len(stats.Evals)
+	for _, e := range stats.Evals {
+		if e.Reward > stats.BestReward {
+			stats.BestReward = e.Reward
+			stats.BestArch = e.Arch
+		}
+	}
+
+	// Node utilization: observed busy AUC over ideal (all nodes busy for
+	// the whole wall time), trapezoid-integrated from a sampled busy-count
+	// trace. Intervals are per node and non-overlapping by construction.
+	var busySeconds float64
+	for _, spans := range busy {
+		for _, iv := range spans {
+			if iv.hi > iv.lo {
+				busySeconds += iv.hi - iv.lo
+			}
+		}
+	}
+	stats.Utilization = busySeconds / (float64(cfg.Nodes) * cfg.WallTime)
+
+	// Utilization trace: busy-node fraction sampled once a minute, then
+	// smoothed with the same window-100 moving average the paper uses.
+	const binSec = 60.0
+	nBins := int(cfg.WallTime/binSec) + 1
+	bins := make([]float64, nBins)
+	for _, spans := range busy {
+		for _, iv := range spans {
+			lo, hi := iv.lo, iv.hi
+			if hi <= lo {
+				continue
+			}
+			b0 := int(lo / binSec)
+			b1 := int(hi / binSec)
+			if b1 >= nBins {
+				b1 = nBins - 1
+			}
+			for b := b0; b <= b1; b++ {
+				s := maxf(lo, float64(b)*binSec)
+				e := minf(hi, float64(b+1)*binSec)
+				if e > s {
+					bins[b] += e - s
+				}
+			}
+		}
+	}
+	stats.UtilCurve = &metrics.Curve{}
+	denom := float64(cfg.Nodes) * binSec
+	for b := 0; b < nBins; b++ {
+		stats.UtilCurve.Append(float64(b)*binSec/60, bins[b]/denom)
+	}
+
+	// Reward trace: window-100 moving average of rewards in completion
+	// order, against completion time in minutes (Fig 3).
+	rewards := make([]float64, len(stats.Evals))
+	for i, e := range stats.Evals {
+		rewards[i] = e.Reward
+	}
+	avg := metrics.MovingAverage(rewards, rewardWindow)
+	stats.RewardCurve = &metrics.Curve{}
+	for i, e := range stats.Evals {
+		stats.RewardCurve.Append(e.Finish/60, avg[i])
+	}
+
+	// High-performing unique architectures over time (Fig 8).
+	stats.HighPerfCurve = &metrics.Curve{}
+	seen := make(map[string]bool)
+	count := 0
+	for _, e := range stats.Evals {
+		if e.Reward > cfg.HighThreshold {
+			k := e.Arch.Key()
+			if !seen[k] {
+				seen[k] = true
+				count++
+			}
+		}
+		stats.HighPerfCurve.Append(e.Finish/60, float64(count))
+	}
+	stats.UniqueHigh = count
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

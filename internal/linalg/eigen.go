@@ -1,0 +1,140 @@
+// Package linalg implements the dense linear-algebra routines the POD and
+// baseline packages need: a symmetric eigensolver (cyclic Jacobi), Cholesky
+// factorization, and regularized least squares. Everything operates on
+// tensor.Matrix values and is written for clarity first, with the O(n³)
+// kernels kept tight enough for the ~500×500 problems that arise from the
+// method of snapshots.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"podnas/internal/tensor"
+)
+
+// EigenResult holds the eigendecomposition of a symmetric matrix:
+// A = V diag(Values) Vᵀ with orthonormal columns in V. Eigenpairs are sorted
+// by descending eigenvalue, the order POD consumes them in.
+type EigenResult struct {
+	Values  []float64      // eigenvalues, descending
+	Vectors *tensor.Matrix // n×n, column j is the eigenvector for Values[j]
+}
+
+// SymEigen computes the full eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi method. a is not modified. It returns an error if
+// a is not square or the iteration fails to converge.
+func SymEigen(a *tensor.Matrix) (*EigenResult, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: SymEigen needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if n == 0 {
+		return &EigenResult{Values: nil, Vectors: tensor.NewMatrix(0, 0)}, nil
+	}
+	w := a.Clone()
+	v := tensor.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off <= 1e-14*(1+frobenius(w)) {
+			return sortedEigen(w, v), nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Stable rotation computation (Golub & Van Loan §8.5).
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				applyJacobiRotation(w, v, p, q, c, s)
+			}
+		}
+	}
+	return nil, fmt.Errorf("linalg: SymEigen did not converge in %d sweeps (n=%d)", 100, n)
+}
+
+// applyJacobiRotation applies the two-sided rotation G(p,q,θ)ᵀ W G(p,q,θ)
+// and accumulates G into v.
+func applyJacobiRotation(w, v *tensor.Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for k := 0; k < n; k++ {
+		wkp := w.At(k, p)
+		wkq := w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk := w.At(p, k)
+		wqk := w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp := v.At(k, p)
+		vkq := v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func offDiagNorm(a *tensor.Matrix) float64 {
+	var s float64
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := a.At(i, j)
+				s += v * v
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func frobenius(a *tensor.Matrix) float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func sortedEigen(w, v *tensor.Matrix) *EigenResult {
+	n := w.Rows
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = w.At(i, i)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return vals[order[i]] > vals[order[j]] })
+
+	outVals := make([]float64, n)
+	outVecs := tensor.NewMatrix(n, n)
+	for newj, oldj := range order {
+		outVals[newj] = vals[oldj]
+		for i := 0; i < n; i++ {
+			outVecs.Set(i, newj, v.At(i, oldj))
+		}
+	}
+	return &EigenResult{Values: outVals, Vectors: outVecs}
+}

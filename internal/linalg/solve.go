@@ -1,0 +1,123 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"podnas/internal/tensor"
+)
+
+// Cholesky computes the lower-triangular factor L of the symmetric positive
+// definite matrix a such that a = L Lᵀ. It returns an error if a is not
+// square or not positive definite.
+func Cholesky(a *tensor.Matrix) (*tensor.Matrix, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: Cholesky needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	l := tensor.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("linalg: Cholesky pivot %d is %g; matrix not positive definite", j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		inv := 1 / ljj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s*inv)
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves A X = B given the Cholesky factor L of A, where B has
+// one or more right-hand-side columns. The solution overwrites a copy of b.
+func CholeskySolve(l, b *tensor.Matrix) *tensor.Matrix {
+	n := l.Rows
+	if b.Rows != n {
+		panic(fmt.Sprintf("linalg: CholeskySolve rhs has %d rows, want %d", b.Rows, n))
+	}
+	x := b.Clone()
+	c := x.Cols
+	// Forward substitution: L y = b.
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		for k := 0; k < i; k++ {
+			lik := l.At(i, k)
+			if lik == 0 {
+				continue
+			}
+			xk := x.Row(k)
+			for j := 0; j < c; j++ {
+				xi[j] -= lik * xk[j]
+			}
+		}
+		inv := 1 / l.At(i, i)
+		for j := 0; j < c; j++ {
+			xi[j] *= inv
+		}
+	}
+	// Back substitution: Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		xi := x.Row(i)
+		for k := i + 1; k < n; k++ {
+			lki := l.At(k, i)
+			if lki == 0 {
+				continue
+			}
+			xk := x.Row(k)
+			for j := 0; j < c; j++ {
+				xi[j] -= lki * xk[j]
+			}
+		}
+		inv := 1 / l.At(i, i)
+		for j := 0; j < c; j++ {
+			xi[j] *= inv
+		}
+	}
+	return x
+}
+
+// SolveSPD solves A X = B for symmetric positive definite A.
+func SolveSPD(a, b *tensor.Matrix) (*tensor.Matrix, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return CholeskySolve(l, b), nil
+}
+
+// RidgeLeastSquares solves the multi-output regularized least-squares problem
+//
+//	min_W ||X W - Y||² + lambda ||W||²
+//
+// via the normal equations (Xᵀ X + λI) W = Xᵀ Y. X is n×p, Y is n×q, and the
+// returned W is p×q. lambda = 0 gives ordinary least squares; a tiny lambda
+// keeps the normal equations positive definite for rank-deficient designs.
+func RidgeLeastSquares(x, y *tensor.Matrix, lambda float64) (*tensor.Matrix, error) {
+	if x.Rows != y.Rows {
+		return nil, fmt.Errorf("linalg: ridge design has %d rows, targets %d", x.Rows, y.Rows)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge penalty %g", lambda)
+	}
+	gram := tensor.Gram(x)
+	for i := 0; i < gram.Rows; i++ {
+		gram.Set(i, i, gram.At(i, i)+lambda)
+	}
+	xty := tensor.MatMulTransA(x, y)
+	w, err := SolveSPD(gram, xty)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: ridge solve failed (try larger lambda): %w", err)
+	}
+	return w, nil
+}

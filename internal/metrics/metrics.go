@@ -1,0 +1,219 @@
+// Package metrics implements the evaluation metrics used throughout the
+// paper reproduction: the coefficient of determination (R²) that drives the
+// architecture search, RMSE breakdowns for the geophysical comparisons, the
+// moving-window averages used in the search-trajectory figures, and the
+// trapezoidal area-under-curve node-utilization metric from Table III.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// R2 returns the coefficient of determination between predictions and
+// targets, computed over all entries jointly (the "variance weighted over a
+// flattened view" convention): R² = 1 − SS_res/SS_tot, where SS_tot is taken
+// about the mean of the targets. A perfect fit gives 1; predicting the
+// target mean gives 0; worse-than-mean predictions give negative values.
+// It panics if the slices differ in length and returns NaN for empty input
+// or zero target variance.
+func R2(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("metrics: R2 length mismatch %d vs %d", len(pred), len(target)))
+	}
+	n := len(target)
+	if n == 0 {
+		return math.NaN()
+	}
+	var mean float64
+	for _, v := range target {
+		mean += v
+	}
+	mean /= float64(n)
+	var ssRes, ssTot float64
+	for i, t := range target {
+		d := pred[i] - t
+		ssRes += d * d
+		c := t - mean
+		ssTot += c * c
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+// MSE returns the mean squared error.
+func MSE(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic("metrics: MSE length mismatch")
+	}
+	if len(target) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i, t := range target {
+		d := pred[i] - t
+		s += d * d
+	}
+	return s / float64(len(target))
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(pred, target []float64) float64 { return math.Sqrt(MSE(pred, target)) }
+
+// MAE returns the mean absolute error.
+func MAE(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic("metrics: MAE length mismatch")
+	}
+	if len(target) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i, t := range target {
+		s += math.Abs(pred[i] - t)
+	}
+	return s / float64(len(target))
+}
+
+// MovingAverage returns the trailing moving average of xs with the given
+// window, matching the paper's reward smoothing (window 100). Entry i
+// averages xs[max(0,i-window+1) .. i].
+func MovingAverage(xs []float64, window int) []float64 {
+	if window <= 0 {
+		panic("metrics: MovingAverage window must be positive")
+	}
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, v := range xs {
+		sum += v
+		if i >= window {
+			sum -= xs[i-window]
+			out[i] = sum / float64(window)
+		} else {
+			out[i] = sum / float64(i+1)
+		}
+	}
+	return out
+}
+
+// TrapezoidAUC integrates the piecewise-linear curve (xs, ys) with the
+// trapezoidal rule. xs must be nondecreasing and the slices equal length.
+func TrapezoidAUC(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("metrics: TrapezoidAUC length mismatch")
+	}
+	var area float64
+	for i := 1; i < len(xs); i++ {
+		dx := xs[i] - xs[i-1]
+		if dx < 0 {
+			panic("metrics: TrapezoidAUC xs must be nondecreasing")
+		}
+		area += 0.5 * dx * (ys[i] + ys[i-1])
+	}
+	return area
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(n)
+	var s float64
+	for _, v := range xs {
+		d := v - mean
+		s += d * d
+	}
+	return mean, math.Sqrt(s / float64(n))
+}
+
+// Curve is a sampled (x, y) trajectory, e.g. reward vs wall-clock minutes.
+type Curve struct {
+	X []float64
+	Y []float64
+}
+
+// Append adds a sample point.
+func (c *Curve) Append(x, y float64) {
+	c.X = append(c.X, x)
+	c.Y = append(c.Y, y)
+}
+
+// Len returns the number of samples.
+func (c *Curve) Len() int { return len(c.X) }
+
+// ValueAt linearly interpolates the curve at x, clamping outside the domain.
+func (c *Curve) ValueAt(x float64) float64 {
+	n := len(c.X)
+	if n == 0 {
+		return math.NaN()
+	}
+	if x <= c.X[0] {
+		return c.Y[0]
+	}
+	if x >= c.X[n-1] {
+		return c.Y[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if c.X[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	x0, x1 := c.X[lo], c.X[hi]
+	if x1 == x0 {
+		return c.Y[lo]
+	}
+	w := (x - x0) / (x1 - x0)
+	return (1-w)*c.Y[lo] + w*c.Y[hi]
+}
+
+// Resample evaluates the curve at n evenly spaced points over [x0, x1].
+func (c *Curve) Resample(x0, x1 float64, n int) *Curve {
+	out := &Curve{X: make([]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := x0
+		if n > 1 {
+			x = x0 + (x1-x0)*float64(i)/float64(n-1)
+		}
+		out.X[i] = x
+		out.Y[i] = c.ValueAt(x)
+	}
+	return out
+}
+
+// EnsembleBand computes, pointwise over equally sampled curves, the mean and
+// mean±k·std band. All curves must have the same X grid (use Resample).
+func EnsembleBand(curves []*Curve, k float64) (mean, lo, hi *Curve) {
+	if len(curves) == 0 {
+		return &Curve{}, &Curve{}, &Curve{}
+	}
+	n := curves[0].Len()
+	for _, c := range curves {
+		if c.Len() != n {
+			panic("metrics: EnsembleBand curves must share a grid")
+		}
+	}
+	mean, lo, hi = &Curve{}, &Curve{}, &Curve{}
+	buf := make([]float64, len(curves))
+	for i := 0; i < n; i++ {
+		for j, c := range curves {
+			buf[j] = c.Y[i]
+		}
+		m, s := MeanStd(buf)
+		x := curves[0].X[i]
+		mean.Append(x, m)
+		lo.Append(x, m-k*s)
+		hi.Append(x, m+k*s)
+	}
+	return mean, lo, hi
+}

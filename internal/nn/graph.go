@@ -1,0 +1,290 @@
+package nn
+
+import (
+	"fmt"
+
+	"podnas/internal/tensor"
+)
+
+// GraphInput is the sentinel node index denoting the network input.
+const GraphInput = -1
+
+// GraphNodeSpec describes one node of the stacked-LSTM DAG.
+type GraphNodeSpec struct {
+	// Inputs lists the source nodes feeding this node: GraphInput (-1) for
+	// the network input or the index of an earlier node. Inputs[0] is the
+	// chain predecessor; additional entries are skip connections.
+	Inputs []int
+	// Units selects the node body: 0 for Identity, >0 for an LSTM with that
+	// many hidden units.
+	Units int
+}
+
+// GraphSpec is a full network specification in topological order. The final
+// node's output is the network output.
+type GraphSpec struct {
+	InputDim int
+	Nodes    []GraphNodeSpec
+	// NoMergeReLU disables the rectifier after skip-connection merges
+	// (DESIGN.md ablation; the paper applies ReLU after every add).
+	NoMergeReLU bool
+}
+
+// Validate checks topology: nonempty, inputs referencing earlier nodes only.
+func (s GraphSpec) Validate() error {
+	if s.InputDim < 1 {
+		return fmt.Errorf("nn: graph input dim %d", s.InputDim)
+	}
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("nn: graph has no nodes")
+	}
+	for i, n := range s.Nodes {
+		if len(n.Inputs) == 0 {
+			return fmt.Errorf("nn: node %d has no inputs", i)
+		}
+		for _, in := range n.Inputs {
+			if in != GraphInput && (in < 0 || in >= i) {
+				return fmt.Errorf("nn: node %d references invalid input %d", i, in)
+			}
+		}
+		if n.Units < 0 {
+			return fmt.Errorf("nn: node %d has negative units", i)
+		}
+	}
+	return nil
+}
+
+// graphNode is the compiled form of a GraphNodeSpec.
+type graphNode struct {
+	inputs []int
+	// merge machinery, present when len(inputs) > 1: per-input projection
+	// Dense layers (no activation), summed, then rectified — the paper's
+	// skip-connection semantics.
+	proj []*Dense
+	relu *ReLU
+	body Layer // Identity or LSTM
+
+	// forward caches
+	out     *tensor.Tensor3
+	mergeIn []*tensor.Tensor3
+}
+
+// Graph is a compiled stacked-LSTM DAG network.
+type Graph struct {
+	spec   GraphSpec
+	nodes  []*graphNode
+	params []*Param
+	outDim int
+
+	// backward scratch: per-node accumulated output gradients
+	douts []*tensor.Tensor3
+	dIn   *tensor.Tensor3
+}
+
+// NewGraph compiles spec into a trainable network, initializing parameters
+// from rng.
+func NewGraph(spec GraphSpec, rng *tensor.RNG) (*Graph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{spec: spec}
+	dims := make([]int, len(spec.Nodes))
+	dimOf := func(idx int) int {
+		if idx == GraphInput {
+			return spec.InputDim
+		}
+		return dims[idx]
+	}
+	for i, ns := range spec.Nodes {
+		node := &graphNode{inputs: ns.Inputs}
+		mergedDim := dimOf(ns.Inputs[0])
+		if len(ns.Inputs) > 1 {
+			// Project every incoming tensor to the chain input's width.
+			node.proj = make([]*Dense, len(ns.Inputs))
+			for j, in := range ns.Inputs {
+				node.proj[j] = NewDense(fmt.Sprintf("n%d.proj%d", i, j), dimOf(in), mergedDim, rng)
+				g.params = append(g.params, node.proj[j].Params()...)
+			}
+			if !spec.NoMergeReLU {
+				node.relu = NewReLU(mergedDim)
+			}
+		}
+		if ns.Units > 0 {
+			lstm := NewLSTM(fmt.Sprintf("n%d.lstm", i), mergedDim, ns.Units, rng)
+			node.body = lstm
+			g.params = append(g.params, lstm.Params()...)
+			dims[i] = ns.Units
+		} else {
+			node.body = NewIdentity(mergedDim)
+			dims[i] = mergedDim
+		}
+		g.nodes = append(g.nodes, node)
+	}
+	g.outDim = dims[len(dims)-1]
+	return g, nil
+}
+
+// OutDim returns the network output feature dimension.
+func (g *Graph) OutDim() int { return g.outDim }
+
+// InDim returns the network input feature dimension.
+func (g *Graph) InDim() int { return g.spec.InputDim }
+
+// Params returns all learnable parameters.
+func (g *Graph) Params() []*Param { return g.params }
+
+// ParamCount returns the total number of learnable weights — the paper's
+// evaluation-cost proxy (AE drifts toward smaller networks).
+func (g *Graph) ParamCount() int {
+	n := 0
+	for _, p := range g.params {
+		n += len(p.W)
+	}
+	return n
+}
+
+// Forward runs the network on x (B,T,InputDim) and returns (B,T,OutDim).
+func (g *Graph) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
+	if x.F != g.spec.InputDim {
+		panic(fmt.Sprintf("nn: graph expects %d features, got %d", g.spec.InputDim, x.F))
+	}
+	outOf := func(idx int) *tensor.Tensor3 {
+		if idx == GraphInput {
+			return x
+		}
+		return g.nodes[idx].out
+	}
+	for _, node := range g.nodes {
+		var merged *tensor.Tensor3
+		if len(node.inputs) == 1 {
+			merged = outOf(node.inputs[0])
+		} else {
+			node.mergeIn = node.mergeIn[:0]
+			var sum *tensor.Tensor3
+			for j, in := range node.inputs {
+				src := outOf(in)
+				node.mergeIn = append(node.mergeIn, src)
+				p := node.proj[j].Forward(src)
+				if sum == nil {
+					sum = p
+				} else {
+					tensor.AddTensor3(sum, p)
+				}
+			}
+			if node.relu != nil {
+				merged = node.relu.Forward(sum)
+			} else {
+				merged = sum
+			}
+		}
+		node.out = node.body.Forward(merged)
+	}
+	return g.nodes[len(g.nodes)-1].out
+}
+
+// Backward propagates dOut (gradient w.r.t. the network output) through the
+// DAG, accumulating parameter gradients, and returns the gradient with
+// respect to the network input.
+func (g *Graph) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
+	n := len(g.nodes)
+	if cap(g.douts) < n {
+		g.douts = make([]*tensor.Tensor3, n)
+	}
+	g.douts = g.douts[:n]
+	for i := range g.douts {
+		g.douts[i] = nil
+	}
+	g.dIn = nil
+	g.douts[n-1] = dOut
+
+	accumulate := func(idx int, grad *tensor.Tensor3) {
+		if idx == GraphInput {
+			if g.dIn == nil {
+				g.dIn = grad.Clone()
+			} else {
+				tensor.AddTensor3(g.dIn, grad)
+			}
+			return
+		}
+		if g.douts[idx] == nil {
+			g.douts[idx] = grad.Clone()
+		} else {
+			tensor.AddTensor3(g.douts[idx], grad)
+		}
+	}
+
+	for i := n - 1; i >= 0; i-- {
+		node := g.nodes[i]
+		d := g.douts[i]
+		if d == nil {
+			// Dead node: nothing consumed its output (cannot happen for the
+			// chain, but guard anyway).
+			continue
+		}
+		dMerged := node.body.Backward(d)
+		if len(node.inputs) == 1 {
+			accumulate(node.inputs[0], dMerged)
+			continue
+		}
+		dSum := dMerged
+		if node.relu != nil {
+			dSum = node.relu.Backward(dMerged)
+		}
+		for j, in := range node.inputs {
+			accumulate(in, node.proj[j].Backward(dSum))
+		}
+	}
+	if g.dIn == nil {
+		g.dIn = tensor.NewTensor3(dOut.B, dOut.T, g.spec.InputDim)
+	}
+	return g.dIn
+}
+
+// NewStackedLSTM is a convenience constructor for a plain stacked LSTM
+// (the paper's manually designed baselines): `layers` hidden LSTM layers of
+// `units` each, followed by the constant LSTM(outDim) output layer.
+func NewStackedLSTM(inDim, outDim, units, layers int, rng *tensor.RNG) (*Graph, error) {
+	spec := GraphSpec{InputDim: inDim}
+	prev := GraphInput
+	for i := 0; i < layers; i++ {
+		spec.Nodes = append(spec.Nodes, GraphNodeSpec{Inputs: []int{prev}, Units: units})
+		prev = len(spec.Nodes) - 1
+	}
+	spec.Nodes = append(spec.Nodes, GraphNodeSpec{Inputs: []int{prev}, Units: outDim})
+	return NewGraph(spec, rng)
+}
+
+// Spec returns the graph's immutable specification (for serialization).
+func (g *Graph) Spec() GraphSpec { return g.spec }
+
+// ExportWeights returns a name → values copy of every parameter, the
+// serializable form of a trained network.
+func (g *Graph) ExportWeights() map[string][]float64 {
+	out := make(map[string][]float64, len(g.params))
+	for _, p := range g.params {
+		w := make([]float64, len(p.W))
+		copy(w, p.W)
+		out[p.Name] = w
+	}
+	return out
+}
+
+// ImportWeights loads previously exported weights into the network. Every
+// parameter must be present with the exact length; Adam moments are reset.
+func (g *Graph) ImportWeights(weights map[string][]float64) error {
+	for _, p := range g.params {
+		w, ok := weights[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: missing weights for %s", p.Name)
+		}
+		if len(w) != len(p.W) {
+			return fmt.Errorf("nn: %s has %d weights, want %d", p.Name, len(w), len(p.W))
+		}
+		copy(p.W, w)
+		p.ZeroGrad()
+		for i := range p.m {
+			p.m[i], p.v[i] = 0, 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"fmt"
+
+	"podnas/internal/tensor"
+)
+
+// Layer is a differentiable sequence-to-sequence transformation on
+// (batch, time, feature) tensors. Forward caches whatever Backward needs;
+// Backward accumulates parameter gradients and returns the gradient with
+// respect to the layer input. A layer instance carries training state and
+// must not be shared across goroutines.
+type Layer interface {
+	// Forward computes the layer output for x.
+	Forward(x *tensor.Tensor3) *tensor.Tensor3
+	// Backward consumes the gradient of the loss with respect to the layer
+	// output (same shape as the last Forward's result) and returns the
+	// gradient with respect to the layer input.
+	Backward(dOut *tensor.Tensor3) *tensor.Tensor3
+	// Params returns the learnable parameters (possibly empty).
+	Params() []*Param
+	// InDim and OutDim are the feature dimensions.
+	InDim() int
+	OutDim() int
+}
+
+// Identity is the pass-through layer used for "Identity" ops in the search
+// space.
+type Identity struct{ dim int }
+
+// NewIdentity returns an identity layer of the given feature dimension.
+func NewIdentity(dim int) *Identity { return &Identity{dim: dim} }
+
+// Forward returns x unchanged.
+func (l *Identity) Forward(x *tensor.Tensor3) *tensor.Tensor3 { return x }
+
+// Backward returns dOut unchanged.
+func (l *Identity) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 { return dOut }
+
+// Params returns nil: the identity has no parameters.
+func (l *Identity) Params() []*Param { return nil }
+
+// InDim returns the feature dimension.
+func (l *Identity) InDim() int { return l.dim }
+
+// OutDim returns the feature dimension.
+func (l *Identity) OutDim() int { return l.dim }
+
+// Dense is a time-distributed affine layer: y[b,t,:] = x[b,t,:]·W + b,
+// optionally without bias. The paper's skip-connection projections are Dense
+// layers with no activation (§IV: "the dense layers for projection did not
+// have any activation function").
+type Dense struct {
+	in, out int
+	W, B    *Param
+	x       *tensor.Tensor3 // cached input
+}
+
+// NewDense returns a Dense layer with Glorot-initialized weights.
+func NewDense(name string, in, out int, rng *tensor.RNG) *Dense {
+	l := &Dense{in: in, out: out, W: NewParam(name+".W", in*out), B: NewParam(name+".b", out)}
+	glorotUniform(rng, l.W.W, in, out)
+	return l
+}
+
+// Forward computes the affine map over every timestep.
+func (l *Dense) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
+	if x.F != l.in {
+		panic(fmt.Sprintf("nn: Dense expects %d features, got %d", l.in, x.F))
+	}
+	l.x = x
+	out := tensor.NewTensor3(x.B, x.T, l.out)
+	w := tensor.FromSlice(l.in, l.out, l.W.W)
+	tensor.MatMulInto(out.AsMatrix(), x.AsMatrix(), w)
+	rows := x.B * x.T
+	for i := 0; i < rows; i++ {
+		dst := out.Data[i*l.out : (i+1)*l.out]
+		for j, b := range l.B.W {
+			dst[j] += b
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW, db and returns dX.
+func (l *Dense) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
+	if l.x == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	dw := tensor.FromSlice(l.in, l.out, l.W.G)
+	tensor.MatMulTransAAddInto(dw, l.x.AsMatrix(), dOut.AsMatrix())
+	rows := dOut.B * dOut.T
+	for i := 0; i < rows; i++ {
+		src := dOut.Data[i*l.out : (i+1)*l.out]
+		for j, v := range src {
+			l.B.G[j] += v
+		}
+	}
+	dx := tensor.NewTensor3(l.x.B, l.x.T, l.in)
+	w := tensor.FromSlice(l.in, l.out, l.W.W)
+	dxm := tensor.MatMulTransB(dOut.AsMatrix(), w)
+	copy(dx.Data, dxm.Data)
+	return dx
+}
+
+// Params returns the weight and bias parameters.
+func (l *Dense) Params() []*Param { return []*Param{l.W, l.B} }
+
+// InDim returns the input feature dimension.
+func (l *Dense) InDim() int { return l.in }
+
+// OutDim returns the output feature dimension.
+func (l *Dense) OutDim() int { return l.out }
+
+// ReLU is an elementwise rectifier layer. The paper applies it after every
+// skip-connection add.
+type ReLU struct {
+	dim  int
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer of the given feature dimension.
+func NewReLU(dim int) *ReLU { return &ReLU{dim: dim} }
+
+// Forward rectifies x elementwise.
+func (l *ReLU) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
+	out := x.Clone()
+	if cap(l.mask) < len(x.Data) {
+		l.mask = make([]bool, len(x.Data))
+	}
+	l.mask = l.mask[:len(x.Data)]
+	for i, v := range out.Data {
+		if v > 0 {
+			l.mask[i] = true
+		} else {
+			l.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward gates dOut by the forward activation mask.
+func (l *ReLU) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
+	dx := dOut.Clone()
+	for i := range dx.Data {
+		if !l.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (l *ReLU) Params() []*Param { return nil }
+
+// InDim returns the feature dimension.
+func (l *ReLU) InDim() int { return l.dim }
+
+// OutDim returns the feature dimension.
+func (l *ReLU) OutDim() int { return l.dim }

@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"podnas/internal/tensor"
+)
+
+// LSTM is a standard long short-term memory layer returning the full hidden
+// sequence (Keras `return_sequences=True`), which is what stacked LSTMs and
+// the sequence-to-sequence forecast task require.
+//
+// Gate layout inside the 4H dimension is [input, forget, cell, output]:
+//
+//	z_t = x_t·Wx + h_{t-1}·Wh + b
+//	i = σ(z_i), f = σ(z_f), g = tanh(z_g), o = σ(z_o)
+//	c_t = f ∘ c_{t-1} + i ∘ g
+//	h_t = o ∘ tanh(c_t)
+//
+// Backward implements full backpropagation through time. The input
+// contribution z = X·Wx for all timesteps is computed as a single GEMM over
+// the flattened (B·T)×F view for cache efficiency; only the recurrent part
+// walks timesteps.
+type LSTM struct {
+	in, hidden int
+	Wx, Wh, B  *Param
+
+	// Forward caches (valid until the next Forward call).
+	x     *tensor.Tensor3
+	gates *tensor.Tensor3 // (B,T,4H) post-activation gate values i,f,g,o
+	cells *tensor.Tensor3 // (B,T,H) cell states c_t
+	tanhC *tensor.Tensor3 // (B,T,H) tanh(c_t)
+	hs    *tensor.Tensor3 // (B,T,H) hidden states h_t
+}
+
+// NewLSTM returns an LSTM layer with Glorot-initialized kernels and the
+// forget-gate bias set to 1 (Keras' unit_forget_bias).
+func NewLSTM(name string, in, hidden int, rng *tensor.RNG) *LSTM {
+	if in < 1 || hidden < 1 {
+		panic(fmt.Sprintf("nn: invalid LSTM dims in=%d hidden=%d", in, hidden))
+	}
+	l := &LSTM{
+		in: in, hidden: hidden,
+		Wx: NewParam(name+".Wx", in*4*hidden),
+		Wh: NewParam(name+".Wh", hidden*4*hidden),
+		B:  NewParam(name+".b", 4*hidden),
+	}
+	glorotUniform(rng, l.Wx.W, in, 4*hidden)
+	glorotUniform(rng, l.Wh.W, hidden, 4*hidden)
+	for j := hidden; j < 2*hidden; j++ {
+		l.B.W[j] = 1 // forget-gate bias
+	}
+	return l
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward runs the recurrence over all timesteps of x (B,T,in) and returns
+// the hidden sequence (B,T,hidden).
+func (l *LSTM) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
+	if x.F != l.in {
+		panic(fmt.Sprintf("nn: LSTM expects %d features, got %d", l.in, x.F))
+	}
+	b, t, h := x.B, x.T, l.hidden
+	l.x = x
+	l.gates = tensor.NewTensor3(b, t, 4*h)
+	l.cells = tensor.NewTensor3(b, t, h)
+	l.tanhC = tensor.NewTensor3(b, t, h)
+	l.hs = tensor.NewTensor3(b, t, h)
+
+	// Input contribution for every timestep in one GEMM: (B·T,F)·(F,4H).
+	wx := tensor.FromSlice(l.in, 4*h, l.Wx.W)
+	zAll := tensor.MatMul(x.AsMatrix(), wx)
+
+	wh := tensor.FromSlice(h, 4*h, l.Wh.W)
+	hPrev := tensor.NewMatrix(b, h)  // h_{t-1}, zero at t=0
+	zRec := tensor.NewMatrix(b, 4*h) // recurrent contribution buffer
+	cPrev := tensor.NewMatrix(b, h)  // c_{t-1}, zero at t=0
+
+	for step := 0; step < t; step++ {
+		tensor.MatMulInto(zRec, hPrev, wh)
+		for bi := 0; bi < b; bi++ {
+			// z for this (batch, step): input part + recurrent part + bias.
+			zin := zAll.Row(bi*t + step)
+			zr := zRec.Row(bi)
+			gates := l.gates.Data[(bi*t+step)*4*h : (bi*t+step+1)*4*h]
+			cell := l.cells.Data[(bi*t+step)*h : (bi*t+step+1)*h]
+			tc := l.tanhC.Data[(bi*t+step)*h : (bi*t+step+1)*h]
+			hrow := l.hs.Data[(bi*t+step)*h : (bi*t+step+1)*h]
+			cp := cPrev.Row(bi)
+			for j := 0; j < h; j++ {
+				zi := zin[j] + zr[j] + l.B.W[j]
+				zf := zin[h+j] + zr[h+j] + l.B.W[h+j]
+				zg := zin[2*h+j] + zr[2*h+j] + l.B.W[2*h+j]
+				zo := zin[3*h+j] + zr[3*h+j] + l.B.W[3*h+j]
+				ig := sigmoid(zi)
+				fg := sigmoid(zf)
+				gg := math.Tanh(zg)
+				og := sigmoid(zo)
+				gates[j] = ig
+				gates[h+j] = fg
+				gates[2*h+j] = gg
+				gates[3*h+j] = og
+				c := fg*cp[j] + ig*gg
+				cell[j] = c
+				tcv := math.Tanh(c)
+				tc[j] = tcv
+				hrow[j] = og * tcv
+			}
+		}
+		l.hs.StepInto(hPrev, step)
+		l.cells.StepInto(cPrev, step)
+	}
+	return l.hs.Clone()
+}
+
+// Backward consumes dOut (B,T,hidden), accumulates gradients for Wx, Wh, b,
+// and returns the gradient with respect to the input (B,T,in).
+func (l *LSTM) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
+	if l.x == nil {
+		panic("nn: LSTM.Backward before Forward")
+	}
+	b, t, h := l.x.B, l.x.T, l.hidden
+
+	dzAll := tensor.NewTensor3(b, t, 4*h) // pre-activation gate gradients
+	dcNext := tensor.NewMatrix(b, h)
+	dhNext := tensor.NewMatrix(b, h)
+	wh := tensor.FromSlice(h, 4*h, l.Wh.W)
+	dhRec := tensor.NewMatrix(b, h)
+	dzStep := tensor.NewMatrix(b, 4*h)
+
+	for step := t - 1; step >= 0; step-- {
+		for bi := 0; bi < b; bi++ {
+			base := (bi*t + step)
+			gates := l.gates.Data[base*4*h : (base+1)*4*h]
+			tc := l.tanhC.Data[base*h : (base+1)*h]
+			dout := dOut.Data[base*h : (base+1)*h]
+			dz := dzAll.Data[base*4*h : (base+1)*4*h]
+			dcn := dcNext.Row(bi)
+			dhn := dhNext.Row(bi)
+			var cPrev []float64
+			if step > 0 {
+				cPrev = l.cells.Data[(base-1)*h : base*h]
+			}
+			for j := 0; j < h; j++ {
+				ig, fg, gg, og := gates[j], gates[h+j], gates[2*h+j], gates[3*h+j]
+				dh := dout[j] + dhn[j]
+				do := dh * tc[j]
+				dc := dh*og*(1-tc[j]*tc[j]) + dcn[j]
+				di := dc * gg
+				dg := dc * ig
+				var cp float64
+				if cPrev != nil {
+					cp = cPrev[j]
+				}
+				df := dc * cp
+				dz[j] = di * ig * (1 - ig)
+				dz[h+j] = df * fg * (1 - fg)
+				dz[2*h+j] = dg * (1 - gg*gg)
+				dz[3*h+j] = do * og * (1 - og)
+				dcn[j] = dc * fg // becomes dcNext for step-1
+			}
+		}
+		// dh_{t-1} += dz_t · Whᵀ ; dWh += h_{t-1}ᵀ · dz_t.
+		dzAll.StepInto(dzStep, step)
+		dhm := tensor.MatMulTransB(dzStep, wh)
+		copy(dhRec.Data, dhm.Data)
+		dhNext, dhRec = dhRec, dhNext
+		if step > 0 {
+			hPrev := l.hs.Step(step - 1)
+			dwh := tensor.FromSlice(h, 4*h, l.Wh.G)
+			tensor.MatMulTransAAddInto(dwh, hPrev, dzStep)
+		}
+	}
+
+	// Input-side gradients in bulk: dWx += Xᵀ·dZ, db += colsum(dZ),
+	// dX = dZ·Wxᵀ over the flattened (B·T) view.
+	dwx := tensor.FromSlice(l.in, 4*h, l.Wx.G)
+	tensor.MatMulTransAAddInto(dwx, l.x.AsMatrix(), dzAll.AsMatrix())
+	rows := b * t
+	for i := 0; i < rows; i++ {
+		src := dzAll.Data[i*4*h : (i+1)*4*h]
+		for j, v := range src {
+			l.B.G[j] += v
+		}
+	}
+	wx := tensor.FromSlice(l.in, 4*h, l.Wx.W)
+	dxm := tensor.MatMulTransB(dzAll.AsMatrix(), wx)
+	dx := tensor.NewTensor3(b, t, l.in)
+	copy(dx.Data, dxm.Data)
+	return dx
+}
+
+// Params returns Wx, Wh and the bias.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// InDim returns the input feature dimension.
+func (l *LSTM) InDim() int { return l.in }
+
+// OutDim returns the hidden (output) dimension.
+func (l *LSTM) OutDim() int { return l.hidden }
+
+// Hidden returns the hidden width.
+func (l *LSTM) Hidden() int { return l.hidden }

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"fmt"
+
+	"podnas/internal/metrics"
+	"podnas/internal/tensor"
+)
+
+// TrainConfig holds the training hyperparameters. The paper fixes batch size
+// 64, learning rate 0.001, Adam, 20 epochs during the search and 100 epochs
+// for posttraining.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      uint64
+	// InputNoise adds zero-mean Gaussian jitter (this standard deviation,
+	// in scaled units) to every training input — a standard regularizer for
+	// small windowed data sets that pushes the network toward smooth,
+	// extrapolation-friendly functions.
+	InputNoise float64
+	// WeightDecay applies decoupled L2 shrinkage per step (AdamW-style).
+	WeightDecay float64
+	// EpochCallback, when non-nil, is invoked after every epoch with the
+	// epoch index and the epoch's mean training loss (used by the Fig 5
+	// convergence trace).
+	EpochCallback func(epoch int, loss float64)
+}
+
+// DefaultTrainConfig returns the paper's search-time hyperparameters.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 20, BatchSize: 64, LR: 0.001, Seed: 1}
+}
+
+// MSELoss computes the mean squared error between pred and target and the
+// gradient of the loss with respect to pred.
+func MSELoss(pred, target *tensor.Tensor3) (float64, *tensor.Tensor3) {
+	if len(pred.Data) != len(target.Data) {
+		panic(fmt.Sprintf("nn: MSELoss shape mismatch %d vs %d", len(pred.Data), len(target.Data)))
+	}
+	n := float64(len(pred.Data))
+	grad := tensor.NewTensor3(pred.B, pred.T, pred.F)
+	var loss float64
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// Train fits g to (x, y) with minibatch Adam/MSE. It returns the final
+// epoch's mean training loss, or an error if training diverged (non-finite
+// loss or weights).
+func Train(g *Graph, x, y *tensor.Tensor3, cfg TrainConfig) (float64, error) {
+	if x.B != y.B || x.T != y.T {
+		return 0, fmt.Errorf("nn: Train shapes (B=%d,T=%d) vs (B=%d,T=%d)", x.B, x.T, y.B, y.T)
+	}
+	if x.B == 0 {
+		return 0, fmt.Errorf("nn: Train on empty data")
+	}
+	if cfg.Epochs < 1 || cfg.BatchSize < 1 || cfg.LR <= 0 {
+		return 0, fmt.Errorf("nn: invalid train config %+v", cfg)
+	}
+	opt := NewAdam(cfg.LR)
+	rng := tensor.NewRNG(cfg.Seed)
+	idx := make([]int, x.B)
+	for i := range idx {
+		idx[i] = i
+	}
+	var epochLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(idx)
+		epochLoss = 0
+		batches := 0
+		for lo := 0; lo < len(idx); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			bx := x.Gather(idx[lo:hi])
+			by := y.Gather(idx[lo:hi])
+			if cfg.InputNoise > 0 {
+				for i := range bx.Data {
+					bx.Data[i] += cfg.InputNoise * rng.NormFloat64()
+				}
+			}
+			pred := g.Forward(bx)
+			loss, grad := MSELoss(pred, by)
+			if err := checkFinite("loss", []float64{loss}); err != nil {
+				return loss, fmt.Errorf("nn: training diverged at epoch %d: %w", epoch, err)
+			}
+			g.Backward(grad)
+			if cfg.WeightDecay > 0 {
+				decay := 1 - cfg.LR*cfg.WeightDecay
+				for _, p := range g.params {
+					for i := range p.W {
+						p.W[i] *= decay
+					}
+				}
+			}
+			opt.Step(g.params)
+			epochLoss += loss
+			batches++
+		}
+		epochLoss /= float64(batches)
+		if cfg.EpochCallback != nil {
+			cfg.EpochCallback(epoch, epochLoss)
+		}
+	}
+	for _, p := range g.params {
+		if err := checkFinite(p.Name, p.W); err != nil {
+			return epochLoss, fmt.Errorf("nn: non-finite weights after training: %w", err)
+		}
+	}
+	return epochLoss, nil
+}
+
+// Predict runs the network on x in inference mode, batching to bound peak
+// memory.
+func Predict(g *Graph, x *tensor.Tensor3, batchSize int) *tensor.Tensor3 {
+	if batchSize < 1 {
+		batchSize = 256
+	}
+	out := tensor.NewTensor3(x.B, x.T, g.OutDim())
+	for lo := 0; lo < x.B; lo += batchSize {
+		hi := lo + batchSize
+		if hi > x.B {
+			hi = x.B
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		pred := g.Forward(x.Gather(idx))
+		copy(out.Data[lo*x.T*g.OutDim():hi*x.T*g.OutDim()], pred.Data)
+	}
+	return out
+}
+
+// EvaluateR2 returns the coefficient of determination of g's predictions on
+// (x, y) — the paper's search reward and reporting metric.
+func EvaluateR2(g *Graph, x, y *tensor.Tensor3) float64 {
+	pred := Predict(g, x, 256)
+	return metrics.R2(pred.Data, y.Data)
+}

@@ -1,0 +1,202 @@
+// Package plot renders simple line charts as standalone SVG documents and
+// exports series data as CSV, using only the standard library. It exists so
+// cmd/experiments can materialize the paper's figures (search trajectories,
+// utilization traces, high-performer growth, probe series) as files rather
+// than only printing summaries.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Series is one named polyline.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a titled collection of series sharing axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the SVG dimensions in pixels (defaults 720×420).
+	Width, Height int
+}
+
+// palette cycles through visually distinct stroke colors.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf"}
+
+// Validate reports structural problems (no series, length mismatches).
+func (c *Chart) Validate() error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		points += len(s.X)
+	}
+	if points == 0 {
+		return fmt.Errorf("plot: chart %q has no points", c.Title)
+	}
+	return nil
+}
+
+// bounds returns the data extent across all series, ignoring non-finite
+// values, with a small margin; degenerate extents are widened.
+func (c *Chart) bounds() (x0, x1, y0, y1 float64) {
+	x0, y0 = math.Inf(1), math.Inf(1)
+	x1, y1 = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			x0 = math.Min(x0, s.X[i])
+			x1 = math.Max(x1, s.X[i])
+			y0 = math.Min(y0, s.Y[i])
+			y1 = math.Max(y1, s.Y[i])
+		}
+	}
+	if !finite(x0) { // all points were non-finite
+		x0, x1, y0, y1 = 0, 1, 0, 1
+	}
+	if x1-x0 < 1e-12 {
+		x0, x1 = x0-0.5, x1+0.5
+	}
+	if y1-y0 < 1e-12 {
+		y0, y1 = y0-0.5, y1+0.5
+	}
+	my := 0.05 * (y1 - y0)
+	return x0, x1, y0 - my, y1 + my
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// SVG renders the chart as a complete SVG document.
+func (c *Chart) SVG() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 420
+	}
+	const (
+		padL = 64
+		padR = 16
+		padT = 36
+		padB = 46
+	)
+	plotW := float64(w - padL - padR)
+	plotH := float64(h - padT - padB)
+	x0, x1, y0, y1 := c.bounds()
+	sx := func(x float64) float64 { return padL + plotW*(x-x0)/(x1-x0) }
+	sy := func(y float64) float64 { return float64(padT) + plotH*(1-(y-y0)/(y1-y0)) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" text-anchor="middle">%s</text>`+"\n", w/2, escape(c.Title))
+
+	// Axes box and ticks.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#333"/>`+"\n", padL, padT, plotW, plotH)
+	for i := 0; i <= 4; i++ {
+		fx := x0 + (x1-x0)*float64(i)/4
+		fy := y0 + (y1-y0)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n", sx(fx), h-padB+16, tick(fx))
+		fmt.Fprintf(&b, `<text x="%d" y="%.0f" font-size="11" text-anchor="end">%s</text>`+"\n", padL-6, sy(fy)+4, tick(fy))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", padL, sy(fy), float64(padL)+plotW, sy(fy))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n", padL+int(plotW)/2, h-10, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n", padT+int(plotH)/2, padT+int(plotH)/2, escape(c.YLabel))
+
+	// Series polylines and legend.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[i]), sy(s.Y[i])))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n", strings.Join(pts, " "), color)
+		}
+		ly := padT + 14 + 16*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n", padL+8, ly, padL+28, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", padL+33, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// tick formats an axis tick value compactly.
+func tick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteSVG renders the chart into dir/name.svg, creating dir if needed.
+func (c *Chart) WriteSVG(dir, name string) error {
+	svg, err := c.SVG()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".svg"), []byte(svg), 0o644)
+}
+
+// WriteCSV exports the chart's series to dir/name.csv in long form:
+// series,x,y — one row per point.
+func (c *Chart) WriteCSV(dir, name string) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("series,x,y\n")
+	for _, s := range c.Series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%g,%g\n", csvEscape(s.Name), s.X[i], s.Y[i])
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(b.String()), 0o644)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

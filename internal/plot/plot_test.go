@@ -1,0 +1,137 @@
+package plot
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:  "Search trajectories",
+		XLabel: "minutes",
+		YLabel: "R2",
+		Series: []Series{
+			{Name: "AE", X: []float64{0, 60, 120, 180}, Y: []float64{0.93, 0.96, 0.965, 0.966}},
+			{Name: "RS", X: []float64{0, 60, 120, 180}, Y: []float64{0.93, 0.94, 0.941, 0.94}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Chart{Title: "x"}).Validate(); err == nil {
+		t.Error("no series should fail")
+	}
+	bad := &Chart{Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	empty := &Chart{Series: []Series{{Name: "a"}}}
+	if err := empty.Validate(); err == nil {
+		t.Error("no points should fail")
+	}
+	if err := sample().Validate(); err != nil {
+		t.Errorf("valid chart rejected: %v", err)
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg, err := sample().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Search trajectories", "minutes", "AE", "RS",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("expected 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	c := sample()
+	c.Title = `a<b&"c"`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "a<b") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;") {
+		t.Error("expected escaped entities")
+	}
+}
+
+func TestSVGSkipsNonFinite(t *testing.T) {
+	c := &Chart{Series: []Series{{
+		Name: "n",
+		X:    []float64{0, 1, 2, 3},
+		Y:    []float64{1, math.NaN(), math.Inf(1), 2},
+	}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("non-finite values leaked into the SVG")
+	}
+}
+
+func TestDegenerateExtent(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "const", X: []float64{5, 5}, Y: []float64{3, 3}}}}
+	if _, err := c.SVG(); err != nil {
+		t.Fatalf("constant series should still render: %v", err)
+	}
+}
+
+func TestWriteSVGAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	c := sample()
+	if err := c.WriteSVG(dir, "fig3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteCSV(dir, "fig3"); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "fig3.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Error("svg file malformed")
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if lines[0] != "series,x,y" {
+		t.Errorf("csv header %q", lines[0])
+	}
+	if len(lines) != 1+8 {
+		t.Errorf("csv has %d lines, want 9", len(lines))
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	if got := csvEscape(`a,b"c`); got != `"a,b""c"` {
+		t.Errorf("csvEscape = %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Errorf("csvEscape = %q", got)
+	}
+}
+
+func TestWriteToBadDirFails(t *testing.T) {
+	c := sample()
+	if err := c.WriteSVG("/dev/null/notadir", "x"); err == nil {
+		t.Error("expected mkdir failure")
+	}
+}

@@ -1,0 +1,212 @@
+// Package pod implements proper orthogonal decomposition (POD, also known as
+// principal component analysis) via the method of snapshots, following §II-B
+// of Maulik et al. (SC 2020).
+//
+// Given Ns snapshots of an Nh-dimensional field arranged column-wise in a
+// snapshot matrix S (mean removed), the method solves the Ns×Ns eigenvalue
+// problem on the correlation matrix C = SᵀS, builds the basis ϑ = SW, and
+// truncates it to the leading Nr modes. Coefficients A = ψᵀS evolve in time
+// and are what the POD-LSTM forecasts.
+package pod
+
+import (
+	"fmt"
+	"math"
+
+	"podnas/internal/linalg"
+	"podnas/internal/tensor"
+)
+
+// Basis is a truncated POD basis computed from training snapshots.
+type Basis struct {
+	// Phi is the Nh×Nr orthonormal reduced basis ψ.
+	Phi *tensor.Matrix
+	// Mean is the Nh-vector temporal mean removed from the snapshots.
+	Mean []float64
+	// Eigenvalues holds all Ns correlation-matrix eigenvalues, descending.
+	// They measure the energy captured by each mode.
+	Eigenvalues []float64
+	// Nr is the number of retained modes (columns of Phi).
+	Nr int
+}
+
+// Compute builds a POD basis from the snapshot matrix s, whose columns are
+// snapshots (s is Nh×Ns). nr is the number of modes to retain; it must be in
+// [1, Ns]. The snapshot mean is removed internally; s is not modified.
+func Compute(s *tensor.Matrix, nr int) (*Basis, error) {
+	nh, ns := s.Rows, s.Cols
+	if ns == 0 || nh == 0 {
+		return nil, fmt.Errorf("pod: empty snapshot matrix %dx%d", nh, ns)
+	}
+	if nr < 1 || nr > ns {
+		return nil, fmt.Errorf("pod: nr=%d out of range [1, %d]", nr, ns)
+	}
+
+	mean := s.RowMeans()
+	centered := tensor.NewMatrix(nh, ns)
+	for i := 0; i < nh; i++ {
+		row := s.Row(i)
+		out := centered.Row(i)
+		m := mean[i]
+		for j, v := range row {
+			out[j] = v - m
+		}
+	}
+
+	// Method of snapshots: C = SᵀS (Ns×Ns), C W = W Λ.
+	corr := tensor.Gram(centered)
+	eig, err := linalg.SymEigen(corr)
+	if err != nil {
+		return nil, fmt.Errorf("pod: eigendecomposition failed: %w", err)
+	}
+
+	// ϑ = S W; normalize each retained column. The eigenvalue λ_j equals the
+	// squared norm of column j of SW, so the normalizer is 1/sqrt(λ_j).
+	phi := tensor.NewMatrix(nh, nr)
+	for j := 0; j < nr; j++ {
+		lambda := eig.Values[j]
+		if lambda <= 0 {
+			return nil, fmt.Errorf("pod: mode %d has nonpositive energy %g; reduce nr", j, lambda)
+		}
+		inv := 1 / math.Sqrt(lambda)
+		for i := 0; i < nh; i++ {
+			var v float64
+			row := centered.Row(i)
+			for k := 0; k < ns; k++ {
+				v += row[k] * eig.Vectors.At(k, j)
+			}
+			phi.Set(i, j, v*inv)
+		}
+	}
+
+	return &Basis{Phi: phi, Mean: mean, Eigenvalues: eig.Values, Nr: nr}, nil
+}
+
+// Project computes the coefficient matrix A = ψᵀ(S - mean) for the snapshot
+// matrix s (Nh×Ns). The result is Nr×Ns: row r holds the time series of POD
+// mode r. Works for both training and unseen (test) snapshots.
+func (b *Basis) Project(s *tensor.Matrix) *tensor.Matrix {
+	if s.Rows != b.Phi.Rows {
+		panic(fmt.Sprintf("pod: Project snapshot dim %d != basis dim %d", s.Rows, b.Phi.Rows))
+	}
+	centered := tensor.NewMatrix(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		m := b.Mean[i]
+		src := s.Row(i)
+		dst := centered.Row(i)
+		for j, v := range src {
+			dst[j] = v - m
+		}
+	}
+	return tensor.MatMulTransA(b.Phi, centered)
+}
+
+// Reconstruct maps coefficients A (Nr×Nt) back to physical space, adding the
+// mean: Ŝ = ψA + mean. The result is Nh×Nt.
+func (b *Basis) Reconstruct(a *tensor.Matrix) *tensor.Matrix {
+	if a.Rows != b.Nr {
+		panic(fmt.Sprintf("pod: Reconstruct coefficient rows %d != Nr %d", a.Rows, b.Nr))
+	}
+	out := tensor.MatMul(b.Phi, a)
+	for i := 0; i < out.Rows; i++ {
+		m := b.Mean[i]
+		row := out.Row(i)
+		for j := range row {
+			row[j] += m
+		}
+	}
+	return out
+}
+
+// ReconstructSnapshot maps a single Nr-coefficient vector to an Nh field.
+func (b *Basis) ReconstructSnapshot(coef []float64) []float64 {
+	if len(coef) != b.Nr {
+		panic(fmt.Sprintf("pod: ReconstructSnapshot got %d coefficients, want %d", len(coef), b.Nr))
+	}
+	nh := b.Phi.Rows
+	out := make([]float64, nh)
+	for i := 0; i < nh; i++ {
+		row := b.Phi.Row(i)
+		var v float64
+		for j, c := range coef {
+			v += row[j] * c
+		}
+		out[i] = v + b.Mean[i]
+	}
+	return out
+}
+
+// EnergyFraction returns the fraction of total energy (sum of eigenvalues)
+// captured by the leading nr modes — the variance-captured diagnostic the
+// paper uses to justify Nr = 5 (~92%).
+func (b *Basis) EnergyFraction(nr int) float64 {
+	if nr < 0 {
+		nr = 0
+	}
+	if nr > len(b.Eigenvalues) {
+		nr = len(b.Eigenvalues)
+	}
+	var total, lead float64
+	for i, v := range b.Eigenvalues {
+		if v < 0 {
+			v = 0 // clip numerically negative tail modes
+		}
+		total += v
+		if i < nr {
+			lead += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return lead / total
+}
+
+// ProjectionError returns the relative squared projection error of
+// reconstructing the snapshots s with the truncated basis:
+//
+//	Σᵢ ||q̂ᵢ − q̃ᵢ||² / Σᵢ ||q̂ᵢ||²
+//
+// where q̂ are the mean-removed snapshots and q̃ their rank-Nr POD
+// approximations. On the training set this equals the eigenvalue tail ratio
+// Σ_{i>Nr} λᵢ / Σᵢ λᵢ (the paper's Eq. 8 with energies λ rather than λ²; the
+// identity is exercised by tests).
+func (b *Basis) ProjectionError(s *tensor.Matrix) float64 {
+	coeff := b.Project(s)
+	recon := b.Reconstruct(coeff)
+	var num, den float64
+	for i := 0; i < s.Rows; i++ {
+		m := b.Mean[i]
+		srow := s.Row(i)
+		rrow := recon.Row(i)
+		for j, v := range srow {
+			d := v - rrow[j]
+			num += d * d
+			c := v - m
+			den += c * c
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// EigenvalueTailRatio returns Σ_{i>=nr} λᵢ / Σᵢ λᵢ, the analytic training-set
+// projection error for a rank-nr truncation.
+func (b *Basis) EigenvalueTailRatio(nr int) float64 {
+	var total, tail float64
+	for i, v := range b.Eigenvalues {
+		if v < 0 {
+			v = 0
+		}
+		total += v
+		if i >= nr {
+			tail += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return tail / total
+}

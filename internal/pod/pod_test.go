@@ -1,0 +1,308 @@
+package pod
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"podnas/internal/tensor"
+)
+
+// lowRankSnapshots builds Nh×Ns snapshots that are exactly rank `rank` plus
+// the mean, so a rank-`rank` POD must reconstruct them to machine precision.
+func lowRankSnapshots(rng *tensor.RNG, nh, ns, rank int) *tensor.Matrix {
+	u := tensor.NewMatrix(nh, rank)
+	v := tensor.NewMatrix(rank, ns)
+	rng.FillNormal(u.Data, 1)
+	rng.FillNormal(v.Data, 1)
+	s := tensor.MatMul(u, v)
+	for i := 0; i < nh; i++ {
+		off := rng.NormFloat64()
+		row := s.Row(i)
+		for j := range row {
+			row[j] += off
+		}
+	}
+	return s
+}
+
+func TestComputeValidation(t *testing.T) {
+	s := tensor.NewMatrix(4, 3)
+	if _, err := Compute(s, 0); err == nil {
+		t.Error("nr=0 should error")
+	}
+	if _, err := Compute(s, 4); err == nil {
+		t.Error("nr>Ns should error")
+	}
+	if _, err := Compute(tensor.NewMatrix(0, 0), 1); err == nil {
+		t.Error("empty snapshots should error")
+	}
+}
+
+func TestExactReconstructionOfLowRankData(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	s := lowRankSnapshots(rng, 40, 12, 3)
+	b, err := Compute(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeff := b.Project(s)
+	recon := b.Reconstruct(coeff)
+	if !recon.Equal(s, 1e-8) {
+		t.Error("rank-3 basis failed to reconstruct rank-3 data")
+	}
+	if e := b.ProjectionError(s); e > 1e-16 {
+		t.Errorf("projection error %g, want ~0", e)
+	}
+}
+
+func TestBasisOrthonormal(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	s := tensor.NewMatrix(30, 10)
+	rng.FillNormal(s.Data, 1)
+	b, err := Compute(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tensor.MatMulTransA(b.Phi, b.Phi)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-9 {
+				t.Fatalf("ψᵀψ(%d,%d) = %g", i, j, g.At(i, j))
+			}
+		}
+	}
+}
+
+func TestEigenvaluesDescendingNonnegative(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	s := tensor.NewMatrix(25, 8)
+	rng.FillNormal(s.Data, 1)
+	b, err := Compute(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range b.Eigenvalues {
+		if v < -1e-8 {
+			t.Errorf("eigenvalue %d = %g < 0", i, v)
+		}
+		if i > 0 && v > b.Eigenvalues[i-1]+1e-10 {
+			t.Errorf("eigenvalues not descending at %d", i)
+		}
+	}
+}
+
+func TestProjectionErrorMatchesEigenTail(t *testing.T) {
+	// Paper Eq. 8: training projection error equals the eigenvalue tail ratio.
+	rng := tensor.NewRNG(4)
+	s := tensor.NewMatrix(50, 15)
+	rng.FillNormal(s.Data, 1)
+	for nr := 1; nr <= 10; nr += 3 {
+		b, err := Compute(s, nr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := b.ProjectionError(s)
+		want := b.EigenvalueTailRatio(nr)
+		if math.Abs(got-want) > 1e-8 {
+			t.Errorf("nr=%d: projection error %g != eigen tail %g", nr, got, want)
+		}
+	}
+}
+
+func TestEnergyFractionMonotone(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	s := tensor.NewMatrix(20, 9)
+	rng.FillNormal(s.Data, 1)
+	b, err := Compute(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for nr := 0; nr <= 9; nr++ {
+		e := b.EnergyFraction(nr)
+		if e < prev-1e-12 {
+			t.Errorf("energy fraction decreased at nr=%d", nr)
+		}
+		if e < 0 || e > 1+1e-12 {
+			t.Errorf("energy fraction out of range: %g", e)
+		}
+		prev = e
+	}
+	if math.Abs(b.EnergyFraction(9)-1) > 1e-9 {
+		t.Errorf("full-rank energy fraction = %g, want 1", b.EnergyFraction(9))
+	}
+}
+
+func TestProjectReconstructSingleSnapshot(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	s := lowRankSnapshots(rng, 15, 8, 2)
+	b, err := Compute(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeff := b.Project(s)
+	// Column 3 via ReconstructSnapshot must match full Reconstruct.
+	single := make([]float64, 2)
+	for r := 0; r < 2; r++ {
+		single[r] = coeff.At(r, 3)
+	}
+	field := b.ReconstructSnapshot(single)
+	full := b.Reconstruct(coeff)
+	for i := 0; i < 15; i++ {
+		if math.Abs(field[i]-full.At(i, 3)) > 1e-12 {
+			t.Fatalf("single-snapshot reconstruction differs at %d", i)
+		}
+	}
+}
+
+func TestMoreModesNeverWorse(t *testing.T) {
+	// Property: projection error is nonincreasing in nr.
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		nh := 10 + rng.Intn(20)
+		ns := 5 + rng.Intn(8)
+		s := tensor.NewMatrix(nh, ns)
+		rng.FillNormal(s.Data, 1)
+		prev := math.Inf(1)
+		for nr := 1; nr < ns; nr++ {
+			b, err := Compute(s, nr)
+			if err != nil {
+				return false
+			}
+			e := b.ProjectionError(s)
+			if e > prev+1e-9 {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectUnseenSnapshots(t *testing.T) {
+	// Basis built on train; test snapshots from the same subspace must also
+	// be reconstructed exactly.
+	rng := tensor.NewRNG(7)
+	u := tensor.NewMatrix(30, 3)
+	rng.FillNormal(u.Data, 1)
+	vTrain := tensor.NewMatrix(3, 10)
+	vTest := tensor.NewMatrix(3, 6)
+	rng.FillNormal(vTrain.Data, 1)
+	rng.FillNormal(vTest.Data, 1)
+	train := tensor.MatMul(u, vTrain)
+	test := tensor.MatMul(u, vTest)
+	b, err := Compute(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Test snapshots have zero mean offset relative to training mean only in
+	// the subspace sense; reconstruct and compare after projecting both ways.
+	recon := b.Reconstruct(b.Project(test))
+	// The residual is the component of (test - trainMean) outside span(Phi);
+	// since columns of test lie in span(u)=span(Phi) and the train mean also
+	// lies in that span (it is an average of in-span columns), the error ~ 0.
+	if !recon.Equal(test, 1e-7) {
+		t.Error("unseen in-subspace snapshots not reconstructed")
+	}
+}
+
+func TestCoefficientsOfTrainingDataHaveZeroMean(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	s := tensor.NewMatrix(20, 12)
+	rng.FillNormal(s.Data, 1)
+	b, err := Compute(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := b.Project(s)
+	for r := 0; r < 4; r++ {
+		var mean float64
+		for j := 0; j < 12; j++ {
+			mean += a.At(r, j)
+		}
+		mean /= 12
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("mode %d coefficient mean %g, want 0", r, mean)
+		}
+	}
+}
+
+func TestEnergyFractionClamps(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	s := tensor.NewMatrix(10, 6)
+	rng.FillNormal(s.Data, 1)
+	b, err := Compute(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.EnergyFraction(-3) != 0 {
+		t.Error("negative nr should clamp to 0 energy")
+	}
+	if got := b.EnergyFraction(100); got < 0.999 {
+		t.Errorf("overlarge nr should clamp to full energy, got %g", got)
+	}
+}
+
+func TestReconstructPanicsOnWrongRows(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	s := tensor.NewMatrix(10, 6)
+	rng.FillNormal(s.Data, 1)
+	b, _ := Compute(s, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b.Reconstruct(tensor.NewMatrix(3, 4))
+}
+
+func TestProjectPanicsOnWrongDim(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	s := tensor.NewMatrix(10, 6)
+	rng.FillNormal(s.Data, 1)
+	b, _ := Compute(s, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b.Project(tensor.NewMatrix(11, 6))
+}
+
+func TestReconstructSnapshotPanicsOnWrongLen(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	s := tensor.NewMatrix(10, 6)
+	rng.FillNormal(s.Data, 1)
+	b, _ := Compute(s, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b.ReconstructSnapshot([]float64{1})
+}
+
+func TestComputeRejectsRankDeficientTail(t *testing.T) {
+	// Duplicate snapshots: requesting nr beyond the true rank must error
+	// (nonpositive mode energy) rather than divide by ~0.
+	s := tensor.NewMatrix(8, 4)
+	rng := tensor.NewRNG(13)
+	col := make([]float64, 8)
+	rng.FillNormal(col, 1)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 8; i++ {
+			s.Set(i, j, col[i]) // all columns identical
+		}
+	}
+	if _, err := Compute(s, 2); err == nil {
+		t.Error("rank-0 centered snapshots should reject nr=2")
+	}
+}

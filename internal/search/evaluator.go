@@ -1,0 +1,73 @@
+package search
+
+import (
+	"fmt"
+
+	"podnas/internal/arch"
+	"podnas/internal/metrics"
+	"podnas/internal/nn"
+	"podnas/internal/tensor"
+	"podnas/internal/window"
+)
+
+// Evaluator scores an architecture. Implementations must be safe for
+// concurrent use: the runner invokes Evaluate from many goroutines.
+type Evaluator interface {
+	// Evaluate returns the reward (validation R²) for a. seed makes the
+	// evaluation (weight init, batch shuffling) deterministic.
+	Evaluate(a arch.Arch, seed uint64) (float64, error)
+}
+
+// TrainingEvaluator is the paper's evaluation: build the candidate network,
+// train it on the windowed POD-coefficient training set with fixed
+// hyperparameters, and return the validation R². The datasets must already
+// be scaled. TrainingEvaluator is stateless per call and therefore safe for
+// concurrent use.
+type TrainingEvaluator struct {
+	Space      arch.Space
+	Train, Val *window.Dataset
+	Config     nn.TrainConfig
+	// Scaler, when non-nil, maps the (scaled) network outputs and targets
+	// back to physical coefficient units before computing the R² reward, so
+	// the reward weights POD modes by their true variance (the paper's
+	// convention).
+	Scaler *window.MinMaxScaler
+}
+
+// NewTrainingEvaluator validates shapes and returns the evaluator.
+func NewTrainingEvaluator(space arch.Space, train, val *window.Dataset, cfg nn.TrainConfig) (*TrainingEvaluator, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if train.Nr != space.InputDim || val.Nr != space.InputDim {
+		return nil, fmt.Errorf("search: dataset has %d modes, space expects %d", train.Nr, space.InputDim)
+	}
+	if train.Examples() == 0 || val.Examples() == 0 {
+		return nil, fmt.Errorf("search: empty train (%d) or val (%d) set", train.Examples(), val.Examples())
+	}
+	return &TrainingEvaluator{Space: space, Train: train, Val: val, Config: cfg}, nil
+}
+
+// Evaluate trains a fresh instance of a and scores it on the validation set.
+// Divergence is reported as a very poor reward rather than an error so the
+// search treats unstable architectures as bad candidates, matching how a
+// failed training shows up to DeepHyper.
+func (e *TrainingEvaluator) Evaluate(a arch.Arch, seed uint64) (float64, error) {
+	g, err := e.Space.Build(a, tensor.NewRNG(seed))
+	if err != nil {
+		return 0, err
+	}
+	cfg := e.Config
+	cfg.Seed = seed ^ 0x5eed
+	if _, err := nn.Train(g, e.Train.X, e.Train.Y, cfg); err != nil {
+		return -1, nil // diverged: worst-case reward
+	}
+	if e.Scaler == nil {
+		return nn.EvaluateR2(g, e.Val.X, e.Val.Y), nil
+	}
+	pred := nn.Predict(g, e.Val.X, 256)
+	e.Scaler.Inverse(pred)
+	target := e.Val.Y.Clone()
+	e.Scaler.Inverse(target)
+	return metrics.R2(pred.Data, target.Data), nil
+}

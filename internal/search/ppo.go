@@ -1,0 +1,217 @@
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"podnas/internal/arch"
+	"podnas/internal/tensor"
+)
+
+// PPOAgent is one reinforcement-learning master (§III-B2). The policy is a
+// factorized categorical distribution: independent logits per search-space
+// variable (an action per variable node / skip node). Updates use the
+// clipped PPO surrogate (paper Eq. 9) with a running-mean reward baseline,
+// and in the multi-agent configuration the per-agent gradients are averaged
+// (all-reduce with mean) before every agent applies the same update —
+// exactly the synchronization that costs RL its node utilization.
+type PPOAgent struct {
+	Space arch.Space
+	// Clip is the PPO ε (paper: typically 0.1 or 0.2).
+	Clip float64
+	// LR is the policy-gradient step size.
+	LR float64
+	// EntropyCoef adds an exploration bonus.
+	EntropyCoef float64
+
+	rng      *tensor.RNG
+	logits   [][]float64 // per variable, per choice
+	baseline float64
+	baseN    int
+}
+
+// NewPPOAgent returns an agent with zero-initialized (uniform) policy.
+func NewPPOAgent(space arch.Space, seed uint64) (*PPOAgent, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	a := &PPOAgent{Space: space, Clip: 0.2, LR: 0.35, EntropyCoef: 0.008, rng: tensor.NewRNG(seed)}
+	a.logits = make([][]float64, space.NumVariables())
+	for i := range a.logits {
+		a.logits[i] = make([]float64, space.NumChoices(i))
+	}
+	return a, nil
+}
+
+// softmax returns the probabilities for variable i under the given logits.
+func softmax(logits []float64) []float64 {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for j, v := range logits {
+		e := math.Exp(v - maxv)
+		out[j] = e
+		sum += e
+	}
+	for j := range out {
+		out[j] /= sum
+	}
+	return out
+}
+
+// ProposeBatch samples n architectures from the current policy.
+func (a *PPOAgent) ProposeBatch(n int) []arch.Arch {
+	out := make([]arch.Arch, n)
+	for k := range out {
+		ar := make(arch.Arch, len(a.logits))
+		for i, lg := range a.logits {
+			p := softmax(lg)
+			u := a.rng.Float64()
+			c := 0
+			acc := p[0]
+			for u > acc && c < len(p)-1 {
+				c++
+				acc += p[c]
+			}
+			ar[i] = c
+		}
+		out[k] = ar
+	}
+	return out
+}
+
+// Gradients computes the PPO policy gradient for a completed batch under
+// the *current* policy (which is also the behaviour policy, so the
+// importance ratio starts at 1 and the clip guards the update size). The
+// returned slice is the flattened gradient, suitable for all-reduce
+// averaging across agents. It also updates the agent's reward baseline.
+func (a *PPOAgent) Gradients(archs []arch.Arch, rewards []float64) ([]float64, error) {
+	if len(archs) != len(rewards) {
+		return nil, fmt.Errorf("search: %d archs vs %d rewards", len(archs), len(rewards))
+	}
+	grad := make([]float64, a.flatLen())
+	if len(archs) == 0 {
+		return grad, nil
+	}
+	// Advantage: reward − running baseline, normalized by the batch spread
+	// (standard PPO practice; makes the update scale-free in the reward).
+	for _, r := range rewards {
+		a.baseN++
+		a.baseline += (r - a.baseline) / float64(a.baseN)
+	}
+	var spread float64
+	if len(rewards) > 1 {
+		var mean float64
+		for _, r := range rewards {
+			mean += r
+		}
+		mean /= float64(len(rewards))
+		for _, r := range rewards {
+			d := r - mean
+			spread += d * d
+		}
+		spread = math.Sqrt(spread / float64(len(rewards)))
+	}
+	if spread < 1e-8 {
+		spread = 1
+	}
+	for k, ar := range archs {
+		adv := (rewards[k] - a.baseline) / spread
+		off := 0
+		for i, lg := range a.logits {
+			p := softmax(lg)
+			chosen := ar[i]
+			// With ratio r=1 the clipped surrogate gradient is
+			// adv * ∂logπ/∂θ; the clip only bites across repeated epochs,
+			// which we bound to one (conservative single-step PPO).
+			for c := range lg {
+				ind := 0.0
+				if c == chosen {
+					ind = 1
+				}
+				g := adv * (ind - p[c])
+				// Entropy bonus gradient: −Σ p log p → ∂/∂θ_c = −p_c(log p_c + H)
+				h := 0.0
+				for _, pv := range p {
+					if pv > 0 {
+						h -= pv * math.Log(pv)
+					}
+				}
+				if p[c] > 0 {
+					g += a.EntropyCoef * (-p[c] * (math.Log(p[c]) + h))
+				}
+				grad[off+c] += g / float64(len(archs))
+			}
+			off += len(lg)
+		}
+	}
+	return grad, nil
+}
+
+// ApplyGradients takes one ascent step along the (typically all-reduced)
+// gradient.
+func (a *PPOAgent) ApplyGradients(grad []float64) error {
+	if len(grad) != a.flatLen() {
+		return fmt.Errorf("search: gradient length %d, want %d", len(grad), a.flatLen())
+	}
+	off := 0
+	for i := range a.logits {
+		for c := range a.logits[i] {
+			a.logits[i][c] += a.LR * grad[off+c]
+		}
+		off += len(a.logits[i])
+	}
+	return nil
+}
+
+func (a *PPOAgent) flatLen() int {
+	n := 0
+	for _, lg := range a.logits {
+		n += len(lg)
+	}
+	return n
+}
+
+// Probabilities returns the current per-variable choice probabilities
+// (diagnostic; used by tests to verify policy improvement).
+func (a *PPOAgent) Probabilities() [][]float64 {
+	out := make([][]float64, len(a.logits))
+	for i, lg := range a.logits {
+		out[i] = softmax(lg)
+	}
+	return out
+}
+
+// AllReduceMean averages gradients in place across agents: every slice is
+// replaced by the elementwise mean, mirroring the synchronous MPI-style
+// all-reduce in DeepHyper's RL method.
+func AllReduceMean(grads [][]float64) error {
+	if len(grads) == 0 {
+		return nil
+	}
+	n := len(grads[0])
+	for _, g := range grads[1:] {
+		if len(g) != n {
+			return fmt.Errorf("search: all-reduce length mismatch")
+		}
+	}
+	mean := make([]float64, n)
+	for _, g := range grads {
+		for i, v := range g {
+			mean[i] += v
+		}
+	}
+	inv := 1 / float64(len(grads))
+	for i := range mean {
+		mean[i] *= inv
+	}
+	for _, g := range grads {
+		copy(g, mean)
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"podnas/internal/arch"
+)
+
+// Result is one completed architecture evaluation.
+type Result struct {
+	Index   int // proposal order
+	Arch    arch.Arch
+	Reward  float64
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunAsyncOptions configures the asynchronous parallel runner.
+type RunAsyncOptions struct {
+	// Workers is the number of concurrent evaluation goroutines — the
+	// in-process analogue of the paper's worker nodes.
+	Workers int
+	// MaxEvals bounds the total number of evaluations.
+	MaxEvals int
+	// Deadline optionally bounds wall-clock time (0 = none). Workers finish
+	// their in-flight evaluation and stop proposing once it passes.
+	Deadline time.Duration
+	// Seed derives per-evaluation seeds.
+	Seed uint64
+}
+
+// RunAsync drives an asynchronous Searcher (AE or RS) with a pool of real
+// worker goroutines, exactly the fully asynchronous execution model of the
+// paper's AE/RS deployments: each worker independently proposes, evaluates,
+// and reports with no barriers. Results are returned in completion order.
+//
+// With more than one worker the interleaving of Report calls depends on
+// evaluation timing, so rewards are reproducible per architecture but the
+// search trajectory is only deterministic for Workers == 1.
+func RunAsync(s Searcher, eval Evaluator, opts RunAsyncOptions) ([]Result, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("search: need at least one worker")
+	}
+	if opts.MaxEvals < 1 {
+		return nil, fmt.Errorf("search: MaxEvals must be positive")
+	}
+	var (
+		mu       sync.Mutex // guards searcher, results, proposed
+		results  []Result
+		proposed int
+		start    = time.Now()
+		wg       sync.WaitGroup
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			if proposed >= opts.MaxEvals || (opts.Deadline > 0 && time.Since(start) > opts.Deadline) {
+				mu.Unlock()
+				return
+			}
+			idx := proposed
+			proposed++
+			a := s.Propose()
+			mu.Unlock()
+
+			t0 := time.Now()
+			reward, err := eval.Evaluate(a, opts.Seed+uint64(idx)*0x9e37)
+			elapsed := time.Since(t0)
+
+			mu.Lock()
+			if err == nil {
+				s.Report(a, reward)
+			}
+			results = append(results, Result{Index: idx, Arch: a, Reward: reward, Err: err, Elapsed: elapsed})
+			mu.Unlock()
+		}
+	}
+	n := opts.Workers
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go worker()
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// RunRLOptions configures the synchronous multi-agent RL runner.
+type RunRLOptions struct {
+	// Agents is the number of PPO masters (paper: 11).
+	Agents int
+	// WorkersPerAgent is the per-agent evaluation batch size b.
+	WorkersPerAgent int
+	// Batches is the number of synchronous update rounds.
+	Batches int
+	// Seed derives agent policies and evaluation seeds.
+	Seed uint64
+}
+
+// RunRL runs the paper's distributed RL method in-process: every round,
+// each agent samples a batch, the batches are evaluated concurrently, each
+// agent computes its PPO gradient, the gradients are all-reduced with the
+// mean, and every agent applies the same update. The full barrier per round
+// is inherent to the method (and is what the paper's utilization metric
+// penalizes).
+func RunRL(space arch.Space, eval Evaluator, opts RunRLOptions) ([]Result, error) {
+	if opts.Agents < 1 || opts.WorkersPerAgent < 1 || opts.Batches < 1 {
+		return nil, fmt.Errorf("search: invalid RL options %+v", opts)
+	}
+	agents := make([]*PPOAgent, opts.Agents)
+	for i := range agents {
+		a, err := NewPPOAgent(space, opts.Seed+uint64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		agents[i] = a
+	}
+	var results []Result
+	idx := 0
+	for round := 0; round < opts.Batches; round++ {
+		type task struct {
+			agent int
+			arch  arch.Arch
+			idx   int
+		}
+		var tasks []task
+		batches := make([][]arch.Arch, opts.Agents)
+		for ai, agent := range agents {
+			batch := agent.ProposeBatch(opts.WorkersPerAgent)
+			batches[ai] = batch
+			for _, a := range batch {
+				tasks = append(tasks, task{agent: ai, arch: a, idx: idx})
+				idx++
+			}
+		}
+		rewards := make([]float64, len(tasks))
+		errs := make([]error, len(tasks))
+		elapsed := make([]time.Duration, len(tasks))
+		var wg sync.WaitGroup
+		wg.Add(len(tasks))
+		for ti := range tasks {
+			go func(ti int) {
+				defer wg.Done()
+				t0 := time.Now()
+				rewards[ti], errs[ti] = eval.Evaluate(tasks[ti].arch, opts.Seed+uint64(tasks[ti].idx)*0x9e37)
+				elapsed[ti] = time.Since(t0)
+			}(ti)
+		}
+		wg.Wait() // the synchronous barrier
+
+		grads := make([][]float64, opts.Agents)
+		off := 0
+		for ai, agent := range agents {
+			b := batches[ai]
+			rs := rewards[off : off+len(b)]
+			g, err := agent.Gradients(b, rs)
+			if err != nil {
+				return nil, err
+			}
+			grads[ai] = g
+			off += len(b)
+		}
+		if err := AllReduceMean(grads); err != nil {
+			return nil, err
+		}
+		for ai, agent := range agents {
+			if err := agent.ApplyGradients(grads[ai]); err != nil {
+				return nil, err
+			}
+		}
+		for ti, tk := range tasks {
+			results = append(results, Result{Index: tk.idx, Arch: tk.arch, Reward: rewards[ti], Err: errs[ti], Elapsed: elapsed[ti]})
+		}
+	}
+	return results, nil
+}
+
+// Best returns the result with the highest reward (ignoring errored
+// evaluations). ok is false when every result errored or results is empty.
+func Best(results []Result) (Result, bool) {
+	best := Result{Reward: -1e300}
+	ok := false
+	for _, r := range results {
+		if r.Err == nil && r.Reward > best.Reward {
+			best = r
+			ok = true
+		}
+	}
+	return best, ok
+}

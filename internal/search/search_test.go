@@ -1,0 +1,352 @@
+package search
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"podnas/internal/arch"
+	"podnas/internal/tensor"
+)
+
+// toyEvaluator scores architectures by a known deterministic function so
+// tests can verify that feedback-driven searches climb it. Reward increases
+// with the op index chosen at each variable-node position and is capped
+// below 1. Thread safe and instant.
+type toyEvaluator struct {
+	space arch.Space
+	noise float64
+	mu    sync.Mutex
+	calls int
+}
+
+func (e *toyEvaluator) Evaluate(a arch.Arch, seed uint64) (float64, error) {
+	e.mu.Lock()
+	e.calls++
+	e.mu.Unlock()
+	score := 0.0
+	maxScore := 0.0
+	for i, v := range a {
+		nc := e.space.NumChoices(i)
+		score += float64(v) / float64(nc-1)
+		maxScore++
+	}
+	r := score / maxScore
+	if e.noise > 0 {
+		r += e.noise * tensor.NewRNG(seed).NormFloat64()
+	}
+	return r, nil
+}
+
+func toySpace() arch.Space {
+	s := arch.Default()
+	return s
+}
+
+func TestAEConfigValidation(t *testing.T) {
+	s := toySpace()
+	if _, err := NewAgingEvolution(s, 10, 20, 1); err == nil {
+		t.Error("sample > population should fail")
+	}
+	if _, err := NewAgingEvolution(s, -1, 0, 1); err == nil {
+		t.Error("negative population should fail")
+	}
+	ae, err := NewAgingEvolution(s, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ae.Population != 100 || ae.Sample != 10 {
+		t.Errorf("defaults P=%d S=%d, want 100/10", ae.Population, ae.Sample)
+	}
+}
+
+func TestAEInitialProposalsAreRandomAndValid(t *testing.T) {
+	s := toySpace()
+	ae, _ := NewAgingEvolution(s, 20, 5, 2)
+	for i := 0; i < 20; i++ {
+		a := ae.Propose()
+		if err := s.ValidateArch(a); err != nil {
+			t.Fatal(err)
+		}
+		ae.Report(a, 0.5)
+	}
+}
+
+func TestAEPopulationBounded(t *testing.T) {
+	s := toySpace()
+	ae, _ := NewAgingEvolution(s, 10, 3, 3)
+	for i := 0; i < 50; i++ {
+		a := ae.Propose()
+		ae.Report(a, float64(i))
+	}
+	if len(ae.pop) != 10 {
+		t.Errorf("population size %d, want 10", len(ae.pop))
+	}
+	// Aging: the oldest entries (reward 0..39) must be gone; the population
+	// holds exactly the 10 most recent rewards 40..49.
+	for _, m := range ae.pop {
+		if m.reward < 40 {
+			t.Errorf("stale member with reward %g survived aging", m.reward)
+		}
+	}
+}
+
+func TestNonAgingKeepsBest(t *testing.T) {
+	s := toySpace()
+	ne, _ := NewNonAgingEvolution(s, 5, 2, 4)
+	// Insert a high-reward member early, then many poor ones.
+	star := s.Random(tensor.NewRNG(1))
+	ne.Report(star, 100)
+	for i := 0; i < 30; i++ {
+		ne.Report(s.Random(tensor.NewRNG(uint64(i+2))), 0.1)
+	}
+	found := false
+	for _, m := range ne.pop {
+		if m.reward == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("non-aging evolution should retain the best member indefinitely")
+	}
+}
+
+func TestAEClimbsToyLandscape(t *testing.T) {
+	s := toySpace()
+	ae, _ := NewAgingEvolution(s, 25, 5, 5)
+	eval := &toyEvaluator{space: s}
+	res, err := RunAsync(ae, eval, RunAsyncOptions{Workers: 1, MaxEvals: 600, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := Best(res)
+	if !ok {
+		t.Fatal("no results")
+	}
+	if best.Reward < 0.95 {
+		t.Errorf("AE best reward %.3f, want near-optimal (>0.95)", best.Reward)
+	}
+	// And it must beat random search given the same budget.
+	rs, _ := NewRandomSearch(s, 1)
+	rres, _ := RunAsync(rs, &toyEvaluator{space: s}, RunAsyncOptions{Workers: 1, MaxEvals: 600, Seed: 1})
+	rbest, _ := Best(rres)
+	if best.Reward <= rbest.Reward {
+		t.Errorf("AE (%.3f) did not beat RS (%.3f) on a smooth landscape", best.Reward, rbest.Reward)
+	}
+}
+
+func TestAERobustToNoise(t *testing.T) {
+	// With noisy rewards AE should still find good architectures (the aging
+	// regularization story from the paper).
+	s := toySpace()
+	ae, _ := NewAgingEvolution(s, 25, 5, 6)
+	eval := &toyEvaluator{space: s, noise: 0.05}
+	res, err := RunAsync(ae, eval, RunAsyncOptions{Workers: 1, MaxEvals: 800, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Judge by the true (noise-free) score of the best proposal.
+	trueEval := &toyEvaluator{space: s}
+	bestTrue := -1.0
+	for _, r := range res {
+		v, _ := trueEval.Evaluate(r.Arch, 0)
+		if v > bestTrue {
+			bestTrue = v
+		}
+	}
+	if bestTrue < 0.9 {
+		t.Errorf("AE under noise reached true score %.3f, want > 0.9", bestTrue)
+	}
+}
+
+func TestRunAsyncParallelWorkers(t *testing.T) {
+	s := toySpace()
+	rs, _ := NewRandomSearch(s, 7)
+	eval := &toyEvaluator{space: s}
+	res, err := RunAsync(rs, eval, RunAsyncOptions{Workers: 8, MaxEvals: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 200 {
+		t.Fatalf("got %d results, want 200", len(res))
+	}
+	if eval.calls != 200 {
+		t.Errorf("evaluator called %d times", eval.calls)
+	}
+	// Indices must be a permutation of 0..199.
+	seen := make([]bool, 200)
+	for _, r := range res {
+		if r.Index < 0 || r.Index >= 200 || seen[r.Index] {
+			t.Fatalf("bad index %d", r.Index)
+		}
+		seen[r.Index] = true
+	}
+}
+
+func TestRunAsyncOptionValidation(t *testing.T) {
+	s := toySpace()
+	rs, _ := NewRandomSearch(s, 1)
+	if _, err := RunAsync(rs, &toyEvaluator{space: s}, RunAsyncOptions{Workers: 0, MaxEvals: 5}); err == nil {
+		t.Error("zero workers should fail")
+	}
+	if _, err := RunAsync(rs, &toyEvaluator{space: s}, RunAsyncOptions{Workers: 1, MaxEvals: 0}); err == nil {
+		t.Error("zero evals should fail")
+	}
+}
+
+func TestPPOPolicyImproves(t *testing.T) {
+	// Single agent on the toy landscape: the probability mass at the best
+	// choice of the first op variable must grow.
+	s := toySpace()
+	agent, err := NewPPOAgent(s, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := &toyEvaluator{space: s}
+	for round := 0; round < 120; round++ {
+		batch := agent.ProposeBatch(10)
+		rewards := make([]float64, len(batch))
+		for i, a := range batch {
+			rewards[i], _ = eval.Evaluate(a, 0)
+		}
+		g, err := agent.Gradients(batch, rewards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agent.ApplyGradients(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probs := agent.Probabilities()
+	// Best op choice is the last index at every op position.
+	p := probs[0]
+	if p[len(p)-1] < 0.5 {
+		t.Errorf("after training, P(best op) = %.3f, want > 0.5", p[len(p)-1])
+	}
+}
+
+func TestPPOProposalsValid(t *testing.T) {
+	s := toySpace()
+	agent, _ := NewPPOAgent(s, 12)
+	for _, a := range agent.ProposeBatch(50) {
+		if err := s.ValidateArch(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllReduceMean(t *testing.T) {
+	g1 := []float64{1, 2, 3}
+	g2 := []float64{3, 4, 5}
+	if err := AllReduceMean([][]float64{g1, g2}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if g1[i] != want[i] || g2[i] != want[i] {
+			t.Errorf("all-reduce got %v / %v, want %v", g1, g2, want)
+		}
+	}
+	if err := AllReduceMean([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestRunRLProducesResultsAndImproves(t *testing.T) {
+	s := toySpace()
+	eval := &toyEvaluator{space: s}
+	res, err := RunRL(s, eval, RunRLOptions{Agents: 3, WorkersPerAgent: 4, Batches: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3*4*60 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// Mean reward of the last 10 rounds must exceed the first 10 rounds.
+	roundSize := 12
+	first, last := 0.0, 0.0
+	for i := 0; i < 10*roundSize; i++ {
+		first += res[i].Reward
+		last += res[len(res)-1-i].Reward
+	}
+	if last <= first {
+		t.Errorf("RL did not improve: first-10 sum %.2f, last-10 sum %.2f", first, last)
+	}
+}
+
+func TestRunRLOptionValidation(t *testing.T) {
+	s := toySpace()
+	if _, err := RunRL(s, &toyEvaluator{space: s}, RunRLOptions{Agents: 0, WorkersPerAgent: 1, Batches: 1}); err == nil {
+		t.Error("zero agents should fail")
+	}
+}
+
+func TestBestIgnoresErrors(t *testing.T) {
+	res := []Result{
+		{Reward: 0.9, Err: errFake},
+		{Reward: 0.5},
+	}
+	b, ok := Best(res)
+	if !ok || b.Reward != 0.5 {
+		t.Errorf("Best = %+v ok=%v", b, ok)
+	}
+	if _, ok := Best(nil); ok {
+		t.Error("empty Best should report !ok")
+	}
+}
+
+var errFake = &fakeError{}
+
+type fakeError struct{}
+
+func (*fakeError) Error() string { return "fake" }
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	p := softmax([]float64{1, 2, 3, 1000})
+	var sum float64
+	for _, v := range p {
+		if v < 0 {
+			t.Fatal("negative probability")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("softmax sum %g", sum)
+	}
+	if p[3] < 0.99 {
+		t.Errorf("dominant logit got p=%g", p[3])
+	}
+}
+
+func TestAEPopulationInvariant(t *testing.T) {
+	// Property: for any interleaving of proposals and reports, the
+	// population never exceeds P and every stored reward is one that was
+	// reported.
+	s := toySpace()
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		p := 2 + rng.Intn(8)
+		ae, err := NewAgingEvolution(s, p, 1+rng.Intn(p), seed)
+		if err != nil {
+			return false
+		}
+		var pending []arch.Arch
+		for op := 0; op < 60; op++ {
+			if len(pending) == 0 || rng.Float64() < 0.5 {
+				pending = append(pending, ae.Propose())
+			} else {
+				k := rng.Intn(len(pending))
+				ae.Report(pending[k], rng.Float64())
+				pending = append(pending[:k], pending[k+1:]...)
+			}
+			if len(ae.pop) > p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

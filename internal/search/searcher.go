@@ -1,0 +1,176 @@
+// Package search implements the three NAS methods compared in the paper:
+// aging evolution (AE, §III-B1), a distributed PPO-based reinforcement
+// learning method (§III-B2), and random search (§III-B3).
+//
+// AE and RS are fully asynchronous and implement the Searcher interface,
+// which decouples proposal/feedback from scheduling: the same algorithm
+// instance drives both the real parallel runner in this package and the
+// discrete-event cluster simulator in internal/hpcsim. The RL method is
+// synchronous by design (per-batch gradient all-reduce across agents) and
+// exposes the agent-level API the schedulers need to model its barriers.
+package search
+
+import (
+	"fmt"
+
+	"podnas/internal/arch"
+	"podnas/internal/tensor"
+)
+
+// Searcher is an asynchronous architecture proposer. Implementations are
+// not safe for concurrent use; schedulers serialize access.
+type Searcher interface {
+	// Propose returns the next architecture to evaluate.
+	Propose() arch.Arch
+	// Report records the reward (validation R²) of a completed evaluation.
+	Report(a arch.Arch, reward float64)
+	// Name identifies the method ("AE", "RS").
+	Name() string
+}
+
+// member is one individual of the AE population.
+type member struct {
+	arch   arch.Arch
+	reward float64
+}
+
+// AgingEvolution implements regularized evolution (Real et al. 2019) as
+// described in §III-B1: a FIFO population of size P; each proposal samples S
+// members uniformly without replacement, mutates the best of the sample, and
+// completed evaluations replace the oldest member once the population is
+// full. The aging mechanism discards stale high-reward flukes, providing
+// the noise regularization the paper credits for AE's advantage.
+type AgingEvolution struct {
+	Space      arch.Space
+	Population int // P (paper: 100)
+	Sample     int // S (paper: 10)
+
+	rng      *tensor.RNG
+	pop      []member // FIFO: index 0 is oldest
+	proposed int
+}
+
+// NewAgingEvolution returns an AE searcher with the paper's defaults when
+// population or sample are zero (100 and 10).
+func NewAgingEvolution(space arch.Space, population, sample int, seed uint64) (*AgingEvolution, error) {
+	if population == 0 {
+		population = 100
+	}
+	if sample == 0 {
+		sample = 10
+	}
+	if population < 1 || sample < 1 || sample > population {
+		return nil, fmt.Errorf("search: invalid AE config P=%d S=%d", population, sample)
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	return &AgingEvolution{Space: space, Population: population, Sample: sample, rng: tensor.NewRNG(seed)}, nil
+}
+
+// Name returns "AE".
+func (ae *AgingEvolution) Name() string { return "AE" }
+
+// Propose returns a random architecture while the initial population is
+// being seeded, then mutations of sampled parents.
+func (ae *AgingEvolution) Propose() arch.Arch {
+	ae.proposed++
+	if ae.proposed <= ae.Population || len(ae.pop) == 0 {
+		return ae.Space.Random(ae.rng)
+	}
+	s := ae.Sample
+	if s > len(ae.pop) {
+		s = len(ae.pop)
+	}
+	// Sample without replacement; keep the best.
+	idx := ae.rng.Perm(len(ae.pop))[:s]
+	best := idx[0]
+	for _, i := range idx[1:] {
+		if ae.pop[i].reward > ae.pop[best].reward {
+			best = i
+		}
+	}
+	return ae.Space.Mutate(ae.pop[best].arch, ae.rng)
+}
+
+// Report inserts the evaluated architecture, evicting the oldest member
+// when the population is at capacity.
+func (ae *AgingEvolution) Report(a arch.Arch, reward float64) {
+	ae.pop = append(ae.pop, member{arch: a.Clone(), reward: reward})
+	if len(ae.pop) > ae.Population {
+		ae.pop = ae.pop[1:]
+	}
+}
+
+// PopulationBest returns the best reward currently alive in the population
+// (for diagnostics). Returns false if the population is empty.
+func (ae *AgingEvolution) PopulationBest() (float64, bool) {
+	if len(ae.pop) == 0 {
+		return 0, false
+	}
+	best := ae.pop[0].reward
+	for _, m := range ae.pop[1:] {
+		if m.reward > best {
+			best = m.reward
+		}
+	}
+	return best, true
+}
+
+// RandomSearch samples architectures uniformly with no feedback (§III-B3).
+type RandomSearch struct {
+	Space arch.Space
+	rng   *tensor.RNG
+}
+
+// NewRandomSearch returns an RS searcher.
+func NewRandomSearch(space arch.Space, seed uint64) (*RandomSearch, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	return &RandomSearch{Space: space, rng: tensor.NewRNG(seed)}, nil
+}
+
+// Name returns "RS".
+func (rs *RandomSearch) Name() string { return "RS" }
+
+// Propose returns a uniform random architecture.
+func (rs *RandomSearch) Propose() arch.Arch { return rs.Space.Random(rs.rng) }
+
+// Report is a no-op: random search uses no feedback.
+func (rs *RandomSearch) Report(arch.Arch, float64) {}
+
+// NonAgingEvolution is the ablation variant of AE that replaces the *worst*
+// population member instead of the oldest. Without aging, a lucky noisy
+// evaluation can occupy the population forever; DESIGN.md lists this
+// ablation and the benches compare the two under reward noise.
+type NonAgingEvolution struct {
+	AgingEvolution
+}
+
+// NewNonAgingEvolution returns the non-regularized evolution ablation.
+func NewNonAgingEvolution(space arch.Space, population, sample int, seed uint64) (*NonAgingEvolution, error) {
+	ae, err := NewAgingEvolution(space, population, sample, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &NonAgingEvolution{AgingEvolution: *ae}, nil
+}
+
+// Name returns "NonAgingEvo".
+func (ne *NonAgingEvolution) Name() string { return "NonAgingEvo" }
+
+// Report inserts the evaluated architecture, evicting the worst member when
+// the population is at capacity.
+func (ne *NonAgingEvolution) Report(a arch.Arch, reward float64) {
+	ne.pop = append(ne.pop, member{arch: a.Clone(), reward: reward})
+	if len(ne.pop) > ne.Population {
+		worst := 0
+		for i, m := range ne.pop {
+			if m.reward < ne.pop[worst].reward {
+				worst = i
+			}
+		}
+		ne.pop = append(ne.pop[:worst], ne.pop[worst+1:]...)
+	}
+}

@@ -1,0 +1,122 @@
+package sst
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// parallelRows runs body(i) for i in [0, n) across GOMAXPROCS workers.
+func parallelRows(n int, body func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// CESMField returns the CESM-surrogate forecast field (flattened ocean
+// points) for week t. The surrogate is a free-running process model: it
+// shares the climatology, seasonal cycle, and warming trend with the truth
+// but has independent internal variability (its own ENSO phase and eddies),
+// a static warm bias, and interpolation-like noise. Its phase-unaligned
+// variability plus bias yield a regional RMSE near the paper's ~1.85 °C.
+func (d *Dataset) CESMField(t int) []float64 {
+	years, frac := d.yearFrac(t)
+	out := make([]float64, d.Nh())
+	for i := range out {
+		v := d.clim[i] + d.cesmBias[i] +
+			0.92*seasonalTerm(d.seasAmp[i], frac, d.seasPeak[i], d.hemi[i], d.cesmEnv[t], d.cesmEnvPhase[t]) +
+			d.trendRate[i]*years +
+			d.cesmEnso[t]*d.ensoPat[i]
+		prow := d.eddyPat.Row(i)
+		for p, pv := range prow {
+			v += 0.85 * pv * d.cesmCoef.At(p, t)
+		}
+		out[i] = v + 0.22*hashNorm(d.Cfg.Seed, streamCESM, i, t)
+	}
+	return out
+}
+
+// HYCOMField returns the HYCOM-surrogate forecast field for week t at the
+// given forecast lead (in weeks, ≥1). HYCOM is a short-term data-assimilating
+// model: its forecast tracks the truth closely with an error that grows
+// slowly with lead, plus a small interpolation penalty from regridding the
+// 1/12-degree model output onto the coarse grid. Calibrated to the paper's
+// ~1.0 °C regional RMSE.
+func (d *Dataset) HYCOMField(t, lead int) []float64 {
+	if lead < 1 {
+		lead = 1
+	}
+	sigma := 0.93 + 0.012*float64(lead)
+	out := make([]float64, d.Nh())
+	for i := range out {
+		truth := d.Snapshots.At(i, t)
+		out[i] = truth + sigma*hashNorm(d.Cfg.Seed, streamHYCOM+uint64(lead)*29, i, t)
+	}
+	return out
+}
+
+// HYCOMStart and HYCOMEnd bound the HYCOM data availability window used by
+// the paper's Table I (April 5, 2015 through June 24, 2018).
+var (
+	HYCOMStart = time.Date(2015, 4, 5, 0, 0, 0, 0, time.UTC)
+	HYCOMEnd   = time.Date(2018, 6, 24, 0, 0, 0, 0, time.UTC)
+)
+
+// HYCOMRange returns the snapshot index range [lo, hi) whose dates fall in
+// the HYCOM availability window. For short synthetic records the window is
+// empty; callers should fall back to the full test period.
+func (d *Dataset) HYCOMRange() (lo, hi int) {
+	lo, hi = -1, -1
+	for t, date := range d.Dates {
+		if !date.Before(HYCOMStart) && lo == -1 {
+			lo = t
+		}
+		if !date.After(HYCOMEnd) {
+			hi = t + 1
+		}
+	}
+	if lo == -1 || hi <= lo {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// IndexOfDate returns the index of the latest snapshot on or before date,
+// or -1 if the date precedes the record.
+func (d *Dataset) IndexOfDate(date time.Time) int {
+	idx := -1
+	for t, dd := range d.Dates {
+		if dd.After(date) {
+			break
+		}
+		idx = t
+	}
+	return idx
+}

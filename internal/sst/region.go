@@ -1,0 +1,97 @@
+package sst
+
+import (
+	"fmt"
+	"math"
+)
+
+// Region is a latitude/longitude box.
+type Region struct {
+	LatMin, LatMax float64
+	LonMin, LonMax float64 // degrees east; LonMin < LonMax, no wrap
+}
+
+// EasternPacific is the paper's Table I evaluation box: -10..+10 degrees
+// latitude, 200..250 degrees longitude.
+var EasternPacific = Region{LatMin: -10, LatMax: 10, LonMin: 200, LonMax: 250}
+
+// RegionOceanIndices returns the positions (into the flattened ocean vector)
+// of all ocean points inside the region.
+func (d *Dataset) RegionOceanIndices(r Region) []int {
+	var out []int
+	c := d.Cfg
+	for i, g := range d.OceanIdx {
+		lat := c.Lat(g / c.LonN)
+		lon := c.Lon(g % c.LonN)
+		if lat >= r.LatMin && lat <= r.LatMax && lon >= r.LonMin && lon <= r.LonMax {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ProbeIndex returns the flattened-ocean index of the grid cell containing
+// (lat, lon), or an error if that cell is land.
+func (d *Dataset) ProbeIndex(lat, lon float64) (int, error) {
+	c := d.Cfg
+	g := c.LatIndex(lat)*c.LonN + c.LonIndex(lon)
+	o := d.GridToOcean[g]
+	if o < 0 {
+		return 0, fmt.Errorf("sst: probe (%.1f, %.1f) is on land", lat, lon)
+	}
+	return o, nil
+}
+
+// Probe extracts the time series of the truth at (lat, lon) over the
+// snapshot index range [lo, hi).
+func (d *Dataset) Probe(lat, lon float64, lo, hi int) ([]float64, error) {
+	idx, err := d.ProbeIndex(lat, lon)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, hi-lo)
+	for t := lo; t < hi; t++ {
+		out[t-lo] = d.Snapshots.At(idx, t)
+	}
+	return out, nil
+}
+
+// ToGrid scatters a flattened ocean vector back onto the LatN×LonN grid.
+// Land cells get NaN.
+func (d *Dataset) ToGrid(field []float64) [][]float64 {
+	if len(field) != d.Nh() {
+		panic(fmt.Sprintf("sst: ToGrid got %d values, want %d", len(field), d.Nh()))
+	}
+	c := d.Cfg
+	grid := make([][]float64, c.LatN)
+	for li := range grid {
+		row := make([]float64, c.LonN)
+		for lj := range row {
+			row[lj] = math.NaN()
+		}
+		grid[li] = row
+	}
+	for i, g := range d.OceanIdx {
+		grid[g/c.LonN][g%c.LonN] = field[i]
+	}
+	return grid
+}
+
+// RegionRMSE computes the RMSE between pred and the truth at week t,
+// restricted to the given ocean-index subset.
+func (d *Dataset) RegionRMSE(pred []float64, t int, idx []int) float64 {
+	if len(idx) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, i := range idx {
+		diff := pred[i] - d.Snapshots.At(i, t)
+		s += diff * diff
+	}
+	return math.Sqrt(s / float64(len(idx)))
+}
+
+// OceanFraction returns the fraction of grid cells that are ocean.
+func (d *Dataset) OceanFraction() float64 {
+	return float64(d.Nh()) / float64(d.Cfg.LatN*d.Cfg.LonN)
+}

@@ -1,0 +1,506 @@
+package sst
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"podnas/internal/metrics"
+	"podnas/internal/pod"
+	"podnas/internal/tensor"
+)
+
+func small(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{LonN: 4, LatN: 4, Weeks: 10},
+		{LonN: 60, LatN: 30, Weeks: 1},
+		{LonN: 60, LatN: 30, Weeks: 10, NoiseSigma: -1},
+		{LonN: 60, LatN: 30, Weeks: 10, EddyPatterns: -2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	if err := Small().Validate(); err != nil {
+		t.Errorf("Small config invalid: %v", err)
+	}
+}
+
+func TestGridCoordinateRoundTrip(t *testing.T) {
+	c := Default()
+	for _, lat := range []float64{-89, -45.5, 0.3, 33, 89} {
+		i := c.LatIndex(lat)
+		if got := c.Lat(i); math.Abs(got-lat) > 180/float64(c.LatN) {
+			t.Errorf("lat %g maps to cell center %g", lat, got)
+		}
+	}
+	for _, lon := range []float64{0.1, 100, 359.9, -20, 380} {
+		j := c.LonIndex(lon)
+		if j < 0 || j >= c.LonN {
+			t.Errorf("lon %g index %d out of range", lon, j)
+		}
+	}
+}
+
+func TestLonDistWraps(t *testing.T) {
+	if d := lonDist(350, 10); math.Abs(d-20) > 1e-12 {
+		t.Errorf("lonDist(350,10) = %g, want 20", d)
+	}
+	if d := lonDist(0, 180); math.Abs(d-180) > 1e-12 {
+		t.Errorf("lonDist(0,180) = %g", d)
+	}
+}
+
+func TestOceanFractionRealistic(t *testing.T) {
+	d := small(t)
+	f := d.OceanFraction()
+	if f < 0.5 || f > 0.85 {
+		t.Errorf("ocean fraction %.2f outside plausible range", f)
+	}
+}
+
+func TestEasternPacificIsOcean(t *testing.T) {
+	d := small(t)
+	idx := d.RegionOceanIndices(EasternPacific)
+	// The paper's evaluation box must be open ocean on any grid.
+	wantCells := int(20.0 * 50.0 / (180 / float64(d.Cfg.LatN)) / (360 / float64(d.Cfg.LonN)))
+	if len(idx) < wantCells*8/10 {
+		t.Errorf("Eastern Pacific has only %d ocean cells, expected ~%d", len(idx), wantCells)
+	}
+	// All three Fig 7 probe locations must be ocean.
+	for _, p := range [][2]float64{{-5, 210}, {5, 250}, {10, 230}} {
+		if _, err := d.ProbeIndex(p[0], p[1]); err != nil {
+			t.Errorf("probe %v: %v", p, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := small(t)
+	b := small(t)
+	if !a.Snapshots.Equal(b.Snapshots, 0) {
+		t.Error("same config generated different snapshots")
+	}
+	// Comparators must also be deterministic.
+	ca := a.CESMField(10)
+	cb := b.CESMField(10)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("CESM fields differ between identical datasets")
+		}
+	}
+	ha := a.HYCOMField(10, 3)
+	hb := b.HYCOMField(10, 3)
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatal("HYCOM fields differ between identical datasets")
+		}
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	cfg := Small()
+	a, _ := Generate(cfg)
+	cfg.Seed++
+	b, _ := Generate(cfg)
+	if a.Snapshots.Equal(b.Snapshots, 1e-9) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestTemperatureRangePhysical(t *testing.T) {
+	d := small(t)
+	for _, v := range d.Snapshots.Data {
+		if v < -8 || v > 42 {
+			t.Fatalf("temperature %g outside physical bounds", v)
+		}
+	}
+}
+
+func TestEquatorWarmerThanPoles(t *testing.T) {
+	d := small(t)
+	eq, err := d.Probe(0, 210, 0, d.Weeks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := d.Probe(62, 210, 0, d.Weeks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, _ := metrics.MeanStd(eq)
+	mh, _ := metrics.MeanStd(hi)
+	if me < mh+8 {
+		t.Errorf("equator mean %.1f not clearly warmer than 62N mean %.1f", me, mh)
+	}
+}
+
+func TestSeasonalCycleOppositePhases(t *testing.T) {
+	// Correlation between a NH and a SH mid-latitude probe's anomalies must
+	// be strongly negative (opposite seasonal phase).
+	d := small(t)
+	nh, err := d.Probe(40, 190, 0, d.Weeks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := d.Probe(-40, 190, 0, d.Weeks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := correlation(nh, sh); c > -0.5 {
+		t.Errorf("NH/SH seasonal correlation %.2f, want strongly negative", c)
+	}
+}
+
+func correlation(a, b []float64) float64 {
+	ma, sa := metrics.MeanStd(a)
+	mb, sb := metrics.MeanStd(b)
+	var c float64
+	for i := range a {
+		c += (a[i] - ma) * (b[i] - mb)
+	}
+	return c / float64(len(a)) / (sa * sb)
+}
+
+func TestWarmingTrendPresent(t *testing.T) {
+	// Secular warming check that is robust to the chaotic seasonal envelope:
+	// pair each week with the week exactly 8 years (417 weeks ≈ 2920 days)
+	// later; the seasonal carrier cancels in the difference, eddies and the
+	// envelope average out over all pairs and ocean points, leaving the
+	// trend. Uses a 16-year record so the lag fits.
+	cfg := Small()
+	cfg.Weeks = 840
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lag = 417 // ≈ 7.99 years in weeks: same seasonal phase
+	var sum float64
+	n := 0
+	for w := 0; w+lag < d.Weeks(); w++ {
+		for i := 0; i < d.Nh(); i++ {
+			sum += d.Snapshots.At(i, w+lag) - d.Snapshots.At(i, w)
+		}
+		n += d.Nh()
+	}
+	years := float64(lag) * 7 / 365.25
+	slope := sum / float64(n) / years
+	if slope < 0.004 || slope > 0.06 {
+		t.Errorf("global warming slope %.4f degC/yr outside expected band", slope)
+	}
+}
+
+func TestNumTrainFullCalendar(t *testing.T) {
+	// With the real calendar the training split is exactly 427 snapshots.
+	cfg := Default()
+	cfg.Weeks = 1914
+	d := &Dataset{Cfg: cfg}
+	d.buildDates()
+	n := 0
+	for _, date := range d.Dates {
+		if date.After(TrainEndDate) {
+			break
+		}
+		n++
+	}
+	if n != 427 {
+		t.Errorf("full-calendar training snapshots = %d, want 427 (paper)", n)
+	}
+}
+
+func TestNumTrainShortRecord(t *testing.T) {
+	d := small(t)
+	n := d.NumTrain()
+	if n <= 0 || n >= d.Weeks() {
+		t.Errorf("short-record split %d of %d leaves no test data", n, d.Weeks())
+	}
+}
+
+func TestTrainTestSnapshotsPartition(t *testing.T) {
+	d := small(t)
+	tr := d.TrainSnapshots()
+	te := d.TestSnapshots()
+	if tr.Cols+te.Cols != d.Weeks() {
+		t.Errorf("train %d + test %d != weeks %d", tr.Cols, te.Cols, d.Weeks())
+	}
+	if tr.At(0, 0) != d.Snapshots.At(0, 0) {
+		t.Error("train snapshot 0 mismatch")
+	}
+	if te.At(0, 0) != d.Snapshots.At(0, tr.Cols) {
+		t.Error("test snapshot 0 mismatch")
+	}
+}
+
+func TestPODSpectrumDominatedBySeasonalModes(t *testing.T) {
+	// The paper retains Nr=5 modes capturing ~92% of variance; our synthetic
+	// data must have the same character: a handful of modes dominating.
+	d := small(t)
+	basis, err := pod.Compute(d.TrainSnapshots(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := basis.EnergyFraction(5)
+	if frac < 0.80 || frac > 0.995 {
+		t.Errorf("5-mode energy fraction %.3f, want dominant but not total", frac)
+	}
+	if one := basis.EnergyFraction(1); one < 0.3 {
+		t.Errorf("leading mode carries only %.3f of energy", one)
+	}
+}
+
+func TestCESMFieldBiasedButSeasonal(t *testing.T) {
+	d := small(t)
+	idx := d.RegionOceanIndices(EasternPacific)
+	tw := d.Weeks() / 2
+	cesm := d.CESMField(tw)
+	rmse := d.RegionRMSE(cesm, tw, idx)
+	if rmse < 0.8 || rmse > 3.5 {
+		t.Errorf("CESM regional RMSE %.2f outside target band (~1.8)", rmse)
+	}
+	hycom := d.HYCOMField(tw, 1)
+	hrmse := d.RegionRMSE(hycom, tw, idx)
+	if hrmse < 0.5 || hrmse > 1.6 {
+		t.Errorf("HYCOM regional RMSE %.2f outside target band (~1.0)", hrmse)
+	}
+	if hrmse >= rmse {
+		t.Errorf("HYCOM RMSE %.2f should beat CESM %.2f", hrmse, rmse)
+	}
+}
+
+func TestHYCOMErrorGrowsWithLead(t *testing.T) {
+	d := small(t)
+	idx := d.RegionOceanIndices(EasternPacific)
+	tw := d.Weeks() / 2
+	// Average over several weeks to suppress sampling noise.
+	avg := func(lead int) float64 {
+		var s float64
+		n := 0
+		for w := tw; w < tw+20 && w < d.Weeks(); w++ {
+			s += d.RegionRMSE(d.HYCOMField(w, lead), w, idx)
+			n++
+		}
+		return s / float64(n)
+	}
+	if a1, a8 := avg(1), avg(8); a8 <= a1 {
+		t.Errorf("HYCOM RMSE lead-8 %.3f not larger than lead-1 %.3f", a8, a1)
+	}
+}
+
+func TestHYCOMRange(t *testing.T) {
+	// Full calendar: the window must be ~168 weeks in 2015–2018.
+	cfg := Default()
+	d := &Dataset{Cfg: cfg}
+	d.buildDates()
+	lo, hi := d.HYCOMRange()
+	if lo == 0 && hi == 0 {
+		t.Fatal("full calendar should intersect the HYCOM window")
+	}
+	if d.Dates[lo].Before(HYCOMStart) {
+		t.Error("range start precedes HYCOM availability")
+	}
+	if d.Dates[hi-1].After(HYCOMEnd) {
+		t.Error("range end exceeds HYCOM availability")
+	}
+	weeks := hi - lo
+	if weeks < 160 || weeks < 150 || weeks > 175 {
+		t.Errorf("HYCOM window spans %d weeks, want ~168", weeks)
+	}
+	// Short test record: empty window.
+	s, _ := Generate(Small())
+	if lo, hi := s.HYCOMRange(); lo != 0 || hi != 0 {
+		t.Errorf("short record HYCOM range = [%d,%d), want empty", lo, hi)
+	}
+}
+
+func TestIndexOfDate(t *testing.T) {
+	cfg := Default()
+	d := &Dataset{Cfg: cfg}
+	d.buildDates()
+	if got := d.IndexOfDate(StartDate); got != 0 {
+		t.Errorf("IndexOfDate(start) = %d", got)
+	}
+	if got := d.IndexOfDate(StartDate.AddDate(0, 0, 13)); got != 1 {
+		t.Errorf("IndexOfDate(start+13d) = %d, want 1", got)
+	}
+	if got := d.IndexOfDate(StartDate.AddDate(0, 0, -1)); got != -1 {
+		t.Errorf("IndexOfDate before record = %d, want -1", got)
+	}
+	// The Fig 6 example week must exist on the full calendar.
+	fig6 := time.Date(2015, 6, 14, 0, 0, 0, 0, time.UTC)
+	if got := d.IndexOfDate(fig6); got <= 0 || got >= cfg.Weeks {
+		t.Errorf("Fig 6 week index %d out of range", got)
+	}
+}
+
+func TestToGrid(t *testing.T) {
+	d := small(t)
+	field := d.TruthField(0)
+	grid := d.ToGrid(field)
+	ocean, land := 0, 0
+	for li := range grid {
+		for lj := range grid[li] {
+			if math.IsNaN(grid[li][lj]) {
+				land++
+			} else {
+				ocean++
+			}
+		}
+	}
+	if ocean != d.Nh() {
+		t.Errorf("grid has %d ocean cells, want %d", ocean, d.Nh())
+	}
+	if land == 0 {
+		t.Error("grid has no land")
+	}
+}
+
+func TestRegionRMSEZeroForTruth(t *testing.T) {
+	d := small(t)
+	idx := d.RegionOceanIndices(EasternPacific)
+	if r := d.RegionRMSE(d.TruthField(5), 5, idx); r != 0 {
+		t.Errorf("truth-vs-truth RMSE %g, want 0", r)
+	}
+}
+
+func TestHashNormDeterministicAndDistributed(t *testing.T) {
+	if hashNorm(1, 2, 3, 4) != hashNorm(1, 2, 3, 4) {
+		t.Error("hashNorm not deterministic")
+	}
+	var sum, sumSq float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		v := hashNorm(99, 5, i, i*7+1)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 || math.Abs(variance-1) > 0.1 {
+		t.Errorf("hashNorm moments: mean %.3f var %.3f", mean, variance)
+	}
+}
+
+func TestProbeOnLandErrors(t *testing.T) {
+	d := small(t)
+	// Center of Eurasia ellipse must be land.
+	if _, err := d.ProbeIndex(52, 80); err == nil {
+		t.Error("expected land error for central Eurasia")
+	}
+}
+
+func TestSecondHarmonicAntisymmetric(t *testing.T) {
+	// The hemisphere-signed second harmonic: with equal amplitude and a
+	// positive envelope, the mean-removed seasonal terms at exactly opposite
+	// peaks must cancel in the global sum (spatial mean ~ 0), keeping the
+	// leading POD modes zero-mean dipoles (DESIGN.md §6.3).
+	var sum float64
+	n := 0
+	for fw := 0; fw < 52; fw++ {
+		frac := float64(fw) / 52
+		north := seasonalTerm(3.0, frac, 0.67, +1, 0.8, 0.2)
+		south := seasonalTerm(3.0, frac, 0.17, -1, 0.8, 0.2)
+		sum += north + south
+		n++
+	}
+	if math.Abs(sum/float64(n)) > 0.02 {
+		t.Errorf("hemispheric seasonal mean %.4f, want ~0", sum/float64(n))
+	}
+}
+
+func TestSeasonalPeakVariesWithLatitude(t *testing.T) {
+	d := small(t)
+	// Peaks must differ across NH latitudes (the quadrature requirement).
+	iLo, err := d.ProbeIndex(10, 190)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iHi, err := d.ProbeIndex(55, 190)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.seasPeak[iLo] == d.seasPeak[iHi] {
+		t.Error("seasonal peak does not vary with latitude; annual quadrature pair missing")
+	}
+}
+
+func TestHighPassRemovesSlowDrift(t *testing.T) {
+	// A pure linear ramp must be almost entirely removed by highPassRows.
+	m := tensorNewRamp(1, 400)
+	highPassRows(m)
+	var maxAbs float64
+	// Ignore the filter's edge transients.
+	row := m.Row(0)[50:350]
+	var mean float64
+	for _, v := range row {
+		mean += v
+	}
+	mean /= float64(len(row))
+	for _, v := range row {
+		if a := math.Abs(v - mean); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 0.5 {
+		t.Errorf("high-pass left drift of %.3f std units in the interior", maxAbs)
+	}
+}
+
+// tensorNewRamp builds a rows×cols matrix whose entries increase linearly
+// along each row.
+func tensorNewRamp(rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			row[c] = float64(c)
+		}
+	}
+	return m
+}
+
+func TestHYCOMLeadClamped(t *testing.T) {
+	d := small(t)
+	a := d.HYCOMField(10, 0) // clamped to lead 1
+	b := d.HYCOMField(10, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("lead 0 should clamp to lead 1")
+		}
+	}
+}
+
+func TestTruthFieldMatchesSnapshots(t *testing.T) {
+	d := small(t)
+	f := d.TruthField(7)
+	for i := range f {
+		if f[i] != d.Snapshots.At(i, 7) {
+			t.Fatal("TruthField disagrees with the snapshot matrix")
+		}
+	}
+}
+
+func TestRegionRMSEEmptyIndex(t *testing.T) {
+	d := small(t)
+	if v := d.RegionRMSE(d.TruthField(0), 0, nil); !math.IsNaN(v) {
+		t.Errorf("empty-region RMSE = %g, want NaN", v)
+	}
+}
+
+func TestToGridPanicsOnWrongLength(t *testing.T) {
+	d := small(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	d.ToGrid([]float64{1, 2, 3})
+}

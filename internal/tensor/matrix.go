@@ -1,0 +1,395 @@
+// Package tensor provides dense matrix and rank-3 tensor types with
+// cache-friendly, goroutine-parallel kernels. It is the numerical substrate
+// for the POD compression and neural-network packages.
+//
+// All storage is row-major float64. Kernels fall back to serial execution for
+// small problems to avoid goroutine overhead and use a shared worker fan-out
+// for large ones.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix dims %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (length r*c) in a Matrix without copying.
+func FromSlice(r, c int, data []float64) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (no copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	const bs = 64
+	for ib := 0; ib < m.Rows; ib += bs {
+		imax := min(ib+bs, m.Rows)
+		for jb := 0; jb < m.Cols; jb += bs {
+			jmax := min(jb+bs, m.Cols)
+			for i := ib; i < imax; i++ {
+				row := m.Data[i*m.Cols:]
+				for j := jb; j < jmax; j++ {
+					out.Data[j*m.Rows+i] = row[j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and n have identical shape and entries within tol.
+func (m *Matrix) Equal(n *Matrix, tol float64) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a small matrix for debugging; large matrices are summarized.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+// parallelThreshold is the flop count above which kernels fan out to
+// goroutines. Exported for tests via SetParallelThreshold.
+var parallelThreshold = 1 << 16
+
+// SetParallelThreshold overrides the serial/parallel cutover (flops). It
+// returns the previous value so tests can restore it.
+func SetParallelThreshold(n int) int {
+	old := parallelThreshold
+	parallelThreshold = n
+	return old
+}
+
+// parallelFor runs body(i) for i in [0,n) across GOMAXPROCS workers when
+// work*n exceeds the parallel threshold, and serially otherwise.
+func parallelFor(n, workPerItem int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || n*workPerItem < parallelThreshold || n == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes a×b into a new matrix.
+func MatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a×b. dst must be preallocated with the right
+// shape and is overwritten. The inner kernel is an ikj loop with row reuse,
+// parallelized across rows of a.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	n, k, c := a.Rows, a.Cols, b.Cols
+	parallelFor(n, 2*k*c, func(i int) {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*c : (i+1)*c]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*c : (p+1)*c]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	})
+}
+
+// MatMulAddInto computes dst += a×b without zeroing dst first.
+func MatMulAddInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMulAddInto shape mismatch")
+	}
+	n, k, c := a.Rows, a.Cols, b.Cols
+	parallelFor(n, 2*k*c, func(i int) {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*c : (i+1)*c]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*c : (p+1)*c]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	})
+}
+
+// MatMulTransA computes aᵀ×b into a new matrix without materializing aᵀ.
+func MatMulTransA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("tensor: MatMulTransA shape mismatch")
+	}
+	out := NewMatrix(a.Cols, b.Cols)
+	MatMulTransAAddInto(out, a, b)
+	return out
+}
+
+// MatMulTransAAddInto computes dst += aᵀ×b. Parallelized over columns of a
+// (rows of the result) so worker writes never alias.
+func MatMulTransAAddInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: MatMulTransAAddInto shape mismatch")
+	}
+	m, n, c := a.Rows, a.Cols, b.Cols
+	parallelFor(n, 2*m*c, func(i int) {
+		drow := dst.Data[i*c : (i+1)*c]
+		for p := 0; p < m; p++ {
+			av := a.Data[p*n+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*c : (p+1)*c]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	})
+}
+
+// MatMulTransB computes a×bᵀ into a new matrix without materializing bᵀ.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("tensor: MatMulTransB shape mismatch")
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	n, k, c := a.Rows, a.Cols, b.Rows
+	parallelFor(n, 2*k*c, func(i int) {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := out.Data[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			drow[j] = s
+		}
+	})
+	return out
+}
+
+// Gram computes aᵀ×a (the Gram / correlation matrix), exploiting symmetry.
+func Gram(a *Matrix) *Matrix {
+	n := a.Cols
+	out := NewMatrix(n, n)
+	MatMulTransAAddInto(out, a, a)
+	// Symmetrize to remove accumulated rounding asymmetry.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.5 * (out.At(i, j) + out.At(j, i))
+			out.Set(i, j, v)
+			out.Set(j, i, v)
+		}
+	}
+	return out
+}
+
+// Add returns a+b as a new matrix.
+func Add(a, b *Matrix) *Matrix {
+	checkSameShape("Add", a, b)
+	out := NewMatrix(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a-b as a new matrix.
+func Sub(a, b *Matrix) *Matrix {
+	checkSameShape("Sub", a, b)
+	out := NewMatrix(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace computes a += b.
+func AddInPlace(a, b *Matrix) {
+	checkSameShape("AddInPlace", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Axpy computes y += alpha*x for equally shaped matrices.
+func Axpy(alpha float64, x, y *Matrix) {
+	checkSameShape("Axpy", x, y)
+	for i, v := range x.Data {
+		y.Data[i] += alpha * v
+	}
+}
+
+// ColMeans returns the column means of m as a slice of length m.Cols.
+func (m *Matrix) ColMeans() []float64 {
+	means := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	inv := 1.0 / float64(m.Rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	return means
+}
+
+// RowMeans returns the row means of m as a slice of length m.Rows.
+func (m *Matrix) RowMeans() []float64 {
+	means := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		means[i] = s / float64(m.Cols)
+	}
+	return means
+}
+
+// Norm2 returns the Frobenius norm of m.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func checkSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,324 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomMatrix(rng *RNG, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	rng.FillNormal(m.Data, 1)
+	return m
+}
+
+// naiveMatMul is the reference O(n³) triple loop used to validate kernels.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := NewRNG(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 9}, {16, 16, 16}, {33, 17, 29}} {
+		a := randomMatrix(rng, dims[0], dims[1])
+		b := randomMatrix(rng, dims[1], dims[2])
+		got := MatMul(a, b)
+		want := naiveMatMul(a, b)
+		if !got.Equal(want, 1e-10) {
+			t.Errorf("MatMul mismatch for dims %v", dims)
+		}
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	old := SetParallelThreshold(1) // force the parallel path
+	defer SetParallelThreshold(old)
+	rng := NewRNG(2)
+	a := randomMatrix(rng, 64, 48)
+	b := randomMatrix(rng, 48, 80)
+	got := MatMul(a, b)
+	SetParallelThreshold(1 << 62) // force serial
+	want := MatMul(a, b)
+	if !got.Equal(want, 1e-12) {
+		t.Error("parallel MatMul disagrees with serial MatMul")
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	rng := NewRNG(3)
+	a := randomMatrix(rng, 13, 7)
+	b := randomMatrix(rng, 13, 5)
+	got := MatMulTransA(a, b)
+	want := naiveMatMul(a.T(), b)
+	if !got.Equal(want, 1e-10) {
+		t.Error("MatMulTransA disagrees with explicit transpose")
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	rng := NewRNG(4)
+	a := randomMatrix(rng, 9, 6)
+	b := randomMatrix(rng, 11, 6)
+	got := MatMulTransB(a, b)
+	want := naiveMatMul(a, b.T())
+	if !got.Equal(want, 1e-10) {
+		t.Error("MatMulTransB disagrees with explicit transpose")
+	}
+}
+
+func TestMatMulAddIntoAccumulates(t *testing.T) {
+	rng := NewRNG(5)
+	a := randomMatrix(rng, 4, 6)
+	b := randomMatrix(rng, 6, 3)
+	dst := randomMatrix(rng, 4, 3)
+	orig := dst.Clone()
+	MatMulAddInto(dst, a, b)
+	prod := MatMul(a, b)
+	want := Add(orig, prod)
+	if !dst.Equal(want, 1e-12) {
+		t.Error("MatMulAddInto did not accumulate correctly")
+	}
+}
+
+func TestGramSymmetricPSD(t *testing.T) {
+	rng := NewRNG(6)
+	a := randomMatrix(rng, 20, 8)
+	g := Gram(a)
+	if g.Rows != 8 || g.Cols != 8 {
+		t.Fatalf("Gram shape %dx%d", g.Rows, g.Cols)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if g.At(i, j) != g.At(j, i) {
+				t.Fatalf("Gram not symmetric at (%d,%d)", i, j)
+			}
+		}
+		if g.At(i, i) < 0 {
+			t.Fatalf("Gram diagonal negative at %d", i)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		r := 1 + rng.Intn(40)
+		c := 1 + rng.Intn(40)
+		m := randomMatrix(rng, r, c)
+		return m.T().T().Equal(m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulDistributesOverAdd(t *testing.T) {
+	// Property: A(B+C) == AB + AC.
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(12)
+		c := 1 + rng.Intn(12)
+		a := randomMatrix(rng, n, k)
+		b := randomMatrix(rng, k, c)
+		d := randomMatrix(rng, k, c)
+		left := MatMul(a, Add(b, d))
+		right := Add(MatMul(a, b), MatMul(a, d))
+		return left.Equal(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		r := 1 + rng.Intn(20)
+		c := 1 + rng.Intn(20)
+		a := randomMatrix(rng, r, c)
+		b := randomMatrix(rng, r, c)
+		return Sub(Add(a, b), b).Equal(a, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColRowMeans(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	cm := m.ColMeans()
+	want := []float64{2.5, 3.5, 4.5}
+	for j, v := range want {
+		if !almostEqual(cm[j], v, 1e-14) {
+			t.Errorf("ColMeans[%d] = %g, want %g", j, cm[j], v)
+		}
+	}
+	rm := m.RowMeans()
+	if !almostEqual(rm[0], 2, 1e-14) || !almostEqual(rm[1], 5, 1e-14) {
+		t.Errorf("RowMeans = %v", rm)
+	}
+}
+
+func TestAxpyScale(t *testing.T) {
+	x := FromSlice(1, 3, []float64{1, 2, 3})
+	y := FromSlice(1, 3, []float64{10, 20, 30})
+	Axpy(2, x, y)
+	want := []float64{12, 24, 36}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Errorf("Axpy result[%d] = %g, want %g", i, y.Data[i], v)
+		}
+	}
+	y.Scale(0.5)
+	if y.Data[0] != 6 {
+		t.Errorf("Scale result = %v", y.Data)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(4, 2))
+}
+
+func TestFromSliceLengthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong slice length")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestNorm2AndDot(t *testing.T) {
+	m := FromSlice(1, 2, []float64{3, 4})
+	if !almostEqual(m.Norm2(), 5, 1e-14) {
+		t.Errorf("Norm2 = %g", m.Norm2())
+	}
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := FromSlice(1, 2, []float64{1, 2})
+	if s := small.String(); s == "" || s[0] != 'M' {
+		t.Errorf("String = %q", s)
+	}
+	big := NewMatrix(20, 20)
+	if s := big.String(); s != "Matrix(20x20)" {
+		t.Errorf("large String = %q", s)
+	}
+}
+
+func TestFillAndZero(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Fill(3)
+	for _, v := range m.Data {
+		if v != 3 {
+			t.Fatal("Fill failed")
+		}
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if NewMatrix(1, 2).Equal(NewMatrix(2, 1), 1) {
+		t.Error("different shapes must not be Equal")
+	}
+}
+
+func TestRowView(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 99 {
+		t.Error("Row does not alias")
+	}
+}
+
+func TestNegativeDimsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestParallelForSmallN(t *testing.T) {
+	old := SetParallelThreshold(1)
+	defer SetParallelThreshold(old)
+	// n == 1 must run serially without deadlock; n == 0 must be a no-op.
+	ran := 0
+	parallelFor(1, 1<<30, func(i int) { ran++ })
+	parallelFor(0, 1<<30, func(i int) { ran += 100 })
+	if ran != 1 {
+		t.Errorf("parallelFor ran %d times", ran)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAddSubShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Add(NewMatrix(1, 2), NewMatrix(2, 1))
+}
+
+func TestMatMulTransShapePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"transA":  func() { MatMulTransA(NewMatrix(2, 3), NewMatrix(3, 2)) },
+		"transB":  func() { MatMulTransB(NewMatrix(2, 3), NewMatrix(3, 2)) },
+		"addInto": func() { MatMulAddInto(NewMatrix(1, 1), NewMatrix(2, 3), NewMatrix(4, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTensor3Indexing(t *testing.T) {
+	x := NewTensor3(2, 3, 4)
+	x.Set(1, 2, 3, 7.5)
+	if x.At(1, 2, 3) != 7.5 {
+		t.Error("Set/At round trip failed")
+	}
+	if x.At(0, 0, 0) != 0 {
+		t.Error("fresh tensor not zeroed")
+	}
+}
+
+func TestStepRoundTrip(t *testing.T) {
+	rng := NewRNG(1)
+	x := NewTensor3(3, 5, 2)
+	rng.FillNormal(x.Data, 1)
+	for step := 0; step < 5; step++ {
+		m := x.Step(step)
+		for b := 0; b < 3; b++ {
+			for f := 0; f < 2; f++ {
+				if m.At(b, f) != x.At(b, step, f) {
+					t.Fatalf("Step(%d) mismatch at (%d,%d)", step, b, f)
+				}
+			}
+		}
+	}
+	// SetStep then Step must round-trip.
+	m := NewMatrix(3, 2)
+	rng.FillNormal(m.Data, 1)
+	x.SetStep(2, m)
+	if !x.Step(2).Equal(m, 0) {
+		t.Error("SetStep/Step round trip failed")
+	}
+}
+
+func TestAddStepAccumulates(t *testing.T) {
+	x := NewTensor3(2, 2, 2)
+	m := NewMatrix(2, 2)
+	m.Fill(1.5)
+	x.AddStep(1, m)
+	x.AddStep(1, m)
+	if x.At(0, 1, 0) != 3 || x.At(1, 1, 1) != 3 {
+		t.Error("AddStep did not accumulate")
+	}
+	if x.At(0, 0, 0) != 0 {
+		t.Error("AddStep touched the wrong timestep")
+	}
+}
+
+func TestAsMatrixSharesStorage(t *testing.T) {
+	x := NewTensor3(2, 3, 4)
+	m := x.AsMatrix()
+	if m.Rows != 6 || m.Cols != 4 {
+		t.Fatalf("AsMatrix shape %dx%d", m.Rows, m.Cols)
+	}
+	m.Set(5, 3, 42)
+	if x.At(1, 2, 3) != 42 {
+		t.Error("AsMatrix does not alias tensor storage")
+	}
+}
+
+func TestRowsView(t *testing.T) {
+	x := NewTensor3(2, 3, 2)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	r := x.Rows(1)
+	if r.At(0, 0) != 6 || r.At(2, 1) != 11 {
+		t.Errorf("Rows view wrong: %v", r.Data)
+	}
+	r.Set(0, 0, -1)
+	if x.At(1, 0, 0) != -1 {
+		t.Error("Rows view does not alias")
+	}
+}
+
+func TestGather(t *testing.T) {
+	x := NewTensor3(4, 2, 1)
+	for b := 0; b < 4; b++ {
+		x.Set(b, 0, 0, float64(b))
+	}
+	g := x.Gather([]int{3, 1})
+	if g.B != 2 || g.At(0, 0, 0) != 3 || g.At(1, 0, 0) != 1 {
+		t.Errorf("Gather wrong: %+v", g)
+	}
+}
+
+func TestTensor3CloneAndZero(t *testing.T) {
+	x := NewTensor3(1, 1, 2)
+	x.Data[0] = 5
+	c := x.Clone()
+	x.Zero()
+	if c.Data[0] != 5 || x.Data[0] != 0 {
+		t.Error("Clone/Zero interaction wrong")
+	}
+}
+
+func TestStepIntoMatchesStep(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		b, tt, ff := 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(4)
+		x := NewTensor3(b, tt, ff)
+		rng.FillNormal(x.Data, 1)
+		step := rng.Intn(tt)
+		buf := NewMatrix(b, ff)
+		x.StepInto(buf, step)
+		return buf.Equal(x.Step(step), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTensor3NegativeDimsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTensor3(1, -1, 1)
+}
+
+func TestTensor3FromSliceLengthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Tensor3FromSlice(1, 2, 2, []float64{1})
+}
+
+func TestStepShapePanics(t *testing.T) {
+	x := NewTensor3(2, 2, 2)
+	for name, f := range map[string]func(){
+		"StepInto": func() { x.StepInto(NewMatrix(3, 2), 0) },
+		"SetStep":  func() { x.SetStep(0, NewMatrix(1, 1)) },
+		"AddStep":  func() { x.AddStep(0, NewMatrix(1, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAddTensor3Mismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AddTensor3(NewTensor3(1, 1, 1), NewTensor3(1, 1, 2))
+}

@@ -1,0 +1,220 @@
+// Package window builds the sequence-to-sequence training examples from POD
+// coefficient matrices, following §II-B of the paper: every stride-1
+// subinterval of width 2K becomes one example whose first K snapshots are
+// the input and whose last K snapshots are the target. Examples are split
+// 80/20 into training and validation with a seeded shuffle.
+package window
+
+import (
+	"fmt"
+	"math"
+
+	"podnas/internal/tensor"
+)
+
+// Dataset is a windowed sequence-to-sequence data set: X and Y have shape
+// (examples, K, Nr).
+type Dataset struct {
+	X, Y *tensor.Tensor3
+	K    int // window length (input = output length)
+	Nr   int // features per step (number of POD modes)
+}
+
+// Examples returns the number of (input, output) pairs.
+func (d *Dataset) Examples() int { return d.X.B }
+
+// Build converts a coefficient matrix a (Nr×Nt: rows are modes, columns are
+// time, the layout pod.Basis.Project produces) into windowed examples. It
+// returns an error if the record is too short for a single window.
+func Build(a *tensor.Matrix, k int) (*Dataset, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("window: K must be positive, got %d", k)
+	}
+	nr, nt := a.Rows, a.Cols
+	n := nt - 2*k + 1
+	if n < 1 {
+		return nil, fmt.Errorf("window: record of %d snapshots too short for 2K=%d", nt, 2*k)
+	}
+	x := tensor.NewTensor3(n, k, nr)
+	y := tensor.NewTensor3(n, k, nr)
+	for e := 0; e < n; e++ {
+		for t := 0; t < k; t++ {
+			for r := 0; r < nr; r++ {
+				x.Set(e, t, r, a.At(r, e+t))
+				y.Set(e, t, r, a.At(r, e+k+t))
+			}
+		}
+	}
+	return &Dataset{X: x, Y: y, K: k, Nr: nr}, nil
+}
+
+// Split partitions d into train and validation sets using a seeded shuffle;
+// trainFrac is the training fraction (the paper uses 0.8). Both subsets keep
+// at least one example.
+func (d *Dataset) Split(trainFrac float64, seed uint64) (train, val *Dataset, err error) {
+	n := d.Examples()
+	if n < 2 {
+		return nil, nil, fmt.Errorf("window: need at least 2 examples to split, have %d", n)
+	}
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("window: trainFrac %g outside (0,1)", trainFrac)
+	}
+	nTrain := int(float64(n) * trainFrac)
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain >= n {
+		nTrain = n - 1
+	}
+	perm := tensor.NewRNG(seed).Perm(n)
+	trainIdx, valIdx := perm[:nTrain], perm[nTrain:]
+	train = &Dataset{X: d.X.Gather(trainIdx), Y: d.Y.Gather(trainIdx), K: d.K, Nr: d.Nr}
+	val = &Dataset{X: d.X.Gather(valIdx), Y: d.Y.Gather(valIdx), K: d.K, Nr: d.Nr}
+	return train, val, nil
+}
+
+// Scaler standardizes features to zero mean and unit variance per mode,
+// fitted on training inputs. POD coefficients of different modes differ in
+// scale by orders of magnitude, so standardization keeps the LSTM gates in
+// their active range.
+type Scaler struct {
+	Mean, Std []float64 // per feature (mode)
+}
+
+// FitScaler computes per-feature statistics over all steps of x.
+func FitScaler(x *tensor.Tensor3) *Scaler {
+	f := x.F
+	s := &Scaler{Mean: make([]float64, f), Std: make([]float64, f)}
+	n := x.B * x.T
+	if n == 0 {
+		for j := range s.Std {
+			s.Std[j] = 1
+		}
+		return s
+	}
+	for i := 0; i < n; i++ {
+		row := x.Data[i*f : (i+1)*f]
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= float64(n)
+	}
+	for i := 0; i < n; i++ {
+		row := x.Data[i*f : (i+1)*f]
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] /= float64(n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		} else {
+			s.Std[j] = math.Sqrt(s.Std[j])
+		}
+	}
+	return s
+}
+
+// Transform returns a standardized copy of x.
+func (s *Scaler) Transform(x *tensor.Tensor3) *tensor.Tensor3 {
+	out := x.Clone()
+	f := x.F
+	n := x.B * x.T
+	for i := 0; i < n; i++ {
+		row := out.Data[i*f : (i+1)*f]
+		for j := range row {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out
+}
+
+// Inverse maps standardized values back to the original scale in place.
+func (s *Scaler) Inverse(x *tensor.Tensor3) {
+	f := x.F
+	n := x.B * x.T
+	for i := 0; i < n; i++ {
+		row := x.Data[i*f : (i+1)*f]
+		for j := range row {
+			row[j] = row[j]*s.Std[j] + s.Mean[j]
+		}
+	}
+}
+
+// MinMaxScaler maps each feature linearly from its training range into
+// [-Bound, Bound]. POD-LSTM pipelines use range scaling rather than
+// standardization because the final LSTM layer's outputs are confined to
+// (-1, 1) (h = o·tanh(c)); keeping targets inside that range makes them
+// reachable.
+type MinMaxScaler struct {
+	Min, Max []float64
+	Bound    float64
+}
+
+// FitMinMax computes per-feature ranges over all steps of x, targeting
+// [-bound, bound]. A bound of ~0.85 leaves headroom for test-time values
+// slightly outside the training range (e.g. the warming trend).
+func FitMinMax(x *tensor.Tensor3, bound float64) *MinMaxScaler {
+	f := x.F
+	s := &MinMaxScaler{Min: make([]float64, f), Max: make([]float64, f), Bound: bound}
+	for j := 0; j < f; j++ {
+		s.Min[j] = math.Inf(1)
+		s.Max[j] = math.Inf(-1)
+	}
+	n := x.B * x.T
+	for i := 0; i < n; i++ {
+		row := x.Data[i*f : (i+1)*f]
+		for j, v := range row {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > s.Max[j] {
+				s.Max[j] = v
+			}
+		}
+	}
+	for j := 0; j < f; j++ {
+		if n == 0 || s.Max[j]-s.Min[j] < 1e-12 {
+			// Degenerate feature: pick a unit range centred on the value.
+			c := 0.0
+			if n > 0 {
+				c = s.Min[j]
+			}
+			s.Min[j] = c - 0.5
+			s.Max[j] = c + 0.5
+		}
+	}
+	return s
+}
+
+// Transform returns a range-scaled copy of x.
+func (s *MinMaxScaler) Transform(x *tensor.Tensor3) *tensor.Tensor3 {
+	out := x.Clone()
+	f := x.F
+	n := x.B * x.T
+	for i := 0; i < n; i++ {
+		row := out.Data[i*f : (i+1)*f]
+		for j := range row {
+			u := (row[j] - s.Min[j]) / (s.Max[j] - s.Min[j]) // [0,1] on train
+			row[j] = (2*u - 1) * s.Bound
+		}
+	}
+	return out
+}
+
+// Inverse maps scaled values back to the original range in place.
+func (s *MinMaxScaler) Inverse(x *tensor.Tensor3) {
+	f := x.F
+	n := x.B * x.T
+	for i := 0; i < n; i++ {
+		row := x.Data[i*f : (i+1)*f]
+		for j := range row {
+			u := (row[j]/s.Bound + 1) / 2
+			row[j] = s.Min[j] + u*(s.Max[j]-s.Min[j])
+		}
+	}
+}

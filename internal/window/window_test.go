@@ -1,0 +1,288 @@
+package window
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"podnas/internal/tensor"
+)
+
+// ramp builds an Nr×Nt coefficient matrix with a[r][t] = 100r + t, which
+// makes window contents easy to verify.
+func ramp(nr, nt int) *tensor.Matrix {
+	a := tensor.NewMatrix(nr, nt)
+	for r := 0; r < nr; r++ {
+		for t := 0; t < nt; t++ {
+			a.Set(r, t, float64(100*r+t))
+		}
+	}
+	return a
+}
+
+func TestBuildCountAndContents(t *testing.T) {
+	a := ramp(2, 10)
+	d, err := Build(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Examples() != 10-6+1 {
+		t.Fatalf("examples = %d, want 5", d.Examples())
+	}
+	// Example e: input steps e..e+2, output steps e+3..e+5.
+	for e := 0; e < d.Examples(); e++ {
+		for step := 0; step < 3; step++ {
+			for r := 0; r < 2; r++ {
+				if got, want := d.X.At(e, step, r), float64(100*r+e+step); got != want {
+					t.Fatalf("X(%d,%d,%d) = %g, want %g", e, step, r, got, want)
+				}
+				if got, want := d.Y.At(e, step, r), float64(100*r+e+3+step); got != want {
+					t.Fatalf("Y(%d,%d,%d) = %g, want %g", e, step, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildPaperCount(t *testing.T) {
+	// With Ns=427 and K=8 the stride-1 window count is 412 (the paper quotes
+	// 1,111 for the same formula; see DESIGN.md).
+	d, err := Build(ramp(5, 427), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Examples() != 412 {
+		t.Errorf("examples = %d, want 412", d.Examples())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(ramp(2, 5), 3); err == nil {
+		t.Error("expected error: record shorter than 2K")
+	}
+	if _, err := Build(ramp(2, 5), 0); err == nil {
+		t.Error("expected error: K=0")
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	d, _ := Build(ramp(2, 50), 4)
+	train, val, err := d.Split(0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Examples()+val.Examples() != d.Examples() {
+		t.Errorf("split sizes %d + %d != %d", train.Examples(), val.Examples(), d.Examples())
+	}
+	want := int(float64(d.Examples()) * 0.8)
+	if train.Examples() != want {
+		t.Errorf("train size %d, want %d", train.Examples(), want)
+	}
+}
+
+func TestSplitDeterministicAndSeedSensitive(t *testing.T) {
+	d, _ := Build(ramp(1, 40), 3)
+	t1, _, _ := d.Split(0.8, 7)
+	t2, _, _ := d.Split(0.8, 7)
+	if !t1.X.Rows(0).Equal(t2.X.Rows(0), 0) {
+		t.Error("same seed gave different splits")
+	}
+	t3, _, _ := d.Split(0.8, 8)
+	same := true
+	for i := range t1.X.Data {
+		if t1.X.Data[i] != t3.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical shuffles (suspicious)")
+	}
+}
+
+func TestSplitPreservesPairs(t *testing.T) {
+	// Property: after splitting, each X window's content still matches its Y
+	// window (Y starts exactly K steps after X in the original series).
+	f := func(seed uint64) bool {
+		d, err := Build(ramp(2, 30), 3)
+		if err != nil {
+			return false
+		}
+		train, val, err := d.Split(0.75, seed)
+		if err != nil {
+			return false
+		}
+		check := func(s *Dataset) bool {
+			for e := 0; e < s.Examples(); e++ {
+				// Recover the original offset from X(e,0,0) = e0.
+				e0 := int(s.X.At(e, 0, 0))
+				if s.Y.At(e, 0, 0) != float64(e0+3) {
+					return false
+				}
+			}
+			return true
+		}
+		return check(train) && check(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	d, _ := Build(ramp(1, 7), 3)
+	if _, _, err := d.Split(1.5, 1); err == nil {
+		t.Error("expected error for trainFrac > 1")
+	}
+	tiny := &Dataset{X: tensor.NewTensor3(1, 2, 1), Y: tensor.NewTensor3(1, 2, 1), K: 2, Nr: 1}
+	if _, _, err := tiny.Split(0.8, 1); err == nil {
+		t.Error("expected error for single-example split")
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	x := tensor.NewTensor3(6, 4, 3)
+	rng.FillNormal(x.Data, 5)
+	for i := range x.Data {
+		x.Data[i] += 10
+	}
+	s := FitScaler(x)
+	z := s.Transform(x)
+	// Standardized data: mean ~0, std ~1 per feature.
+	zs := FitScaler(z)
+	for j := 0; j < 3; j++ {
+		if math.Abs(zs.Mean[j]) > 1e-9 {
+			t.Errorf("feature %d standardized mean %g", j, zs.Mean[j])
+		}
+		if math.Abs(zs.Std[j]-1) > 1e-9 {
+			t.Errorf("feature %d standardized std %g", j, zs.Std[j])
+		}
+	}
+	s.Inverse(z)
+	for i := range x.Data {
+		if math.Abs(z.Data[i]-x.Data[i]) > 1e-9 {
+			t.Fatal("Inverse(Transform(x)) != x")
+		}
+	}
+}
+
+func TestScalerConstantFeature(t *testing.T) {
+	x := tensor.NewTensor3(4, 2, 1)
+	for i := range x.Data {
+		x.Data[i] = 3
+	}
+	s := FitScaler(x)
+	if s.Std[0] != 1 {
+		t.Errorf("constant feature std clamped to %g, want 1", s.Std[0])
+	}
+	z := s.Transform(x)
+	for _, v := range z.Data {
+		if v != 0 {
+			t.Error("constant feature should standardize to 0")
+		}
+	}
+}
+
+func TestScalerEmptyInput(t *testing.T) {
+	s := FitScaler(tensor.NewTensor3(0, 0, 2))
+	if s.Std[0] != 1 || s.Std[1] != 1 {
+		t.Error("empty scaler should default std to 1")
+	}
+}
+
+func TestMinMaxRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	x := tensor.NewTensor3(5, 3, 2)
+	rng.FillNormal(x.Data, 7)
+	s := FitMinMax(x, 0.85)
+	z := s.Transform(x)
+	for _, v := range z.Data {
+		if v < -0.85-1e-12 || v > 0.85+1e-12 {
+			t.Fatalf("scaled training value %g outside bound", v)
+		}
+	}
+	s.Inverse(z)
+	for i := range x.Data {
+		if math.Abs(z.Data[i]-x.Data[i]) > 1e-9 {
+			t.Fatal("MinMax Inverse(Transform(x)) != x")
+		}
+	}
+}
+
+func TestMinMaxHitsBounds(t *testing.T) {
+	x := tensor.Tensor3FromSlice(1, 3, 1, []float64{-2, 0, 4})
+	s := FitMinMax(x, 0.8)
+	z := s.Transform(x)
+	if math.Abs(z.Data[0]+0.8) > 1e-12 || math.Abs(z.Data[2]-0.8) > 1e-12 {
+		t.Errorf("extremes map to %g, %g; want ±0.8", z.Data[0], z.Data[2])
+	}
+}
+
+func TestMinMaxConstantFeature(t *testing.T) {
+	x := tensor.NewTensor3(2, 2, 1)
+	for i := range x.Data {
+		x.Data[i] = 7
+	}
+	s := FitMinMax(x, 0.85)
+	z := s.Transform(x)
+	for _, v := range z.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("constant feature produced non-finite scaling")
+		}
+	}
+	s.Inverse(z)
+	if math.Abs(z.Data[0]-7) > 1e-9 {
+		t.Error("constant feature round trip failed")
+	}
+}
+
+func TestMinMaxExtrapolationStaysFinite(t *testing.T) {
+	// Test-period values beyond the training range scale beyond ±Bound but
+	// must invert exactly.
+	train := tensor.Tensor3FromSlice(1, 2, 1, []float64{0, 1})
+	s := FitMinMax(train, 0.85)
+	test := tensor.Tensor3FromSlice(1, 2, 1, []float64{-1, 2})
+	z := s.Transform(test)
+	if z.Data[0] >= -0.85 || z.Data[1] <= 0.85 {
+		t.Errorf("out-of-range values %v should exceed the bound", z.Data)
+	}
+	s.Inverse(z)
+	if math.Abs(z.Data[0]+1) > 1e-9 || math.Abs(z.Data[1]-2) > 1e-9 {
+		t.Error("extrapolated round trip failed")
+	}
+}
+
+func TestSplitEveryExampleAppearsExactlyOnce(t *testing.T) {
+	// Property: train ∪ val is a partition of the original examples.
+	f := func(seed uint64) bool {
+		d, err := Build(ramp(1, 25), 2)
+		if err != nil {
+			return false
+		}
+		train, val, err := d.Split(0.7, seed)
+		if err != nil {
+			return false
+		}
+		seen := map[int]int{}
+		collect := func(s *Dataset) {
+			for e := 0; e < s.Examples(); e++ {
+				seen[int(s.X.At(e, 0, 0))]++
+			}
+		}
+		collect(train)
+		collect(val)
+		if len(seen) != d.Examples() {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

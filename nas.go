@@ -1,0 +1,262 @@
+package podnas
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"podnas/internal/arch"
+	"podnas/internal/hpcsim"
+	"podnas/internal/metrics"
+	"podnas/internal/nn"
+	"podnas/internal/search"
+)
+
+// SearchOptions configures a real-evaluation NAS run: every proposal is
+// actually trained on the pipeline's windowed data (the paper's evaluation,
+// at a laptop-scale budget).
+type SearchOptions struct {
+	// Workers is the number of concurrent evaluations (the in-process
+	// analogue of Theta worker nodes).
+	Workers int
+	// MaxEvals bounds the number of architectures trained.
+	MaxEvals int
+	// Deadline optionally bounds wall-clock time (0 = none).
+	Deadline time.Duration
+	// Epochs is the per-evaluation training budget (paper: 20).
+	Epochs int
+	// Population and Sample are the AE hyperparameters (paper: 100/10).
+	Population, Sample int
+	// Seed drives everything.
+	Seed uint64
+}
+
+// DefaultSearchOptions returns a budget suitable for a single machine: a
+// reduced evaluation count with the paper's training hyperparameters.
+func DefaultSearchOptions() SearchOptions {
+	return SearchOptions{Workers: 2, MaxEvals: 24, Epochs: 20, Population: 12, Sample: 4, Seed: 1}
+}
+
+// SearchResult is the outcome of a real-evaluation search.
+type SearchResult struct {
+	Results []search.Result
+	Best    search.Result
+	// BestDesc is the human-readable best architecture (the Fig 4 view).
+	BestDesc string
+	Space    arch.Space
+}
+
+func (p *Pipeline) evaluator(opts SearchOptions) (*search.TrainingEvaluator, arch.Space, error) {
+	space := p.DefaultSpace()
+	cfg := nn.DefaultTrainConfig()
+	if opts.Epochs > 0 {
+		cfg.Epochs = opts.Epochs
+	}
+	ev, err := search.NewTrainingEvaluator(space, p.TrainWin, p.ValWin, cfg)
+	if err == nil {
+		ev.Scaler = p.Scaler
+	}
+	return ev, space, err
+}
+
+func (p *Pipeline) runAsyncSearch(s search.Searcher, ev *search.TrainingEvaluator, space arch.Space, opts SearchOptions) (*SearchResult, error) {
+	res, err := search.RunAsync(s, ev, search.RunAsyncOptions{
+		Workers: opts.Workers, MaxEvals: opts.MaxEvals, Deadline: opts.Deadline, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	best, ok := search.Best(res)
+	if !ok {
+		return nil, fmt.Errorf("podnas: search produced no successful evaluations")
+	}
+	return &SearchResult{Results: res, Best: best, BestDesc: space.Describe(best.Arch), Space: space}, nil
+}
+
+// SearchAE runs aging evolution with real training evaluations.
+func SearchAE(p *Pipeline, opts SearchOptions) (*SearchResult, error) {
+	ev, space, err := p.evaluator(opts)
+	if err != nil {
+		return nil, err
+	}
+	ae, err := search.NewAgingEvolution(space, opts.Population, opts.Sample, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return p.runAsyncSearch(ae, ev, space, opts)
+}
+
+// SearchRS runs random search with real training evaluations.
+func SearchRS(p *Pipeline, opts SearchOptions) (*SearchResult, error) {
+	ev, space, err := p.evaluator(opts)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := search.NewRandomSearch(space, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return p.runAsyncSearch(rs, ev, space, opts)
+}
+
+// SearchRL runs the synchronous multi-agent PPO method with real training
+// evaluations. agents×workersPerAgent×batches evaluations are performed.
+func SearchRL(p *Pipeline, opts SearchOptions, agents, workersPerAgent, batches int) (*SearchResult, error) {
+	ev, space, err := p.evaluator(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := search.RunRL(space, ev, search.RunRLOptions{
+		Agents: agents, WorkersPerAgent: workersPerAgent, Batches: batches, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	best, ok := search.Best(res)
+	if !ok {
+		return nil, fmt.Errorf("podnas: RL search produced no successful evaluations")
+	}
+	return &SearchResult{Results: res, Best: best, BestDesc: space.Describe(best.Arch), Space: space}, nil
+}
+
+// ScalingConfig configures a simulated Theta job (Table III, Figs 3/8/9).
+type ScalingConfig = hpcsim.Config
+
+// ScalingStats is the simulated job outcome.
+type ScalingStats = hpcsim.RunStats
+
+// ScalingMethod selects the simulated search method ("AE", "RL", "RS").
+type ScalingMethod = hpcsim.Method
+
+// Method names for SimulateScaling.
+const (
+	MethodAE = hpcsim.MethodAE
+	MethodRL = hpcsim.MethodRL
+	MethodRS = hpcsim.MethodRS
+)
+
+// SimulateScaling runs one discrete-event cluster simulation. Unset fields
+// get the paper's defaults (3 h wall time, 11 agents, population 100,
+// sample 10, high-performance threshold 0.96). The Space field may be left
+// zero-valued to use the paper's search space.
+func SimulateScaling(cfg ScalingConfig) (*ScalingStats, error) {
+	if cfg.Space.NumNodes == 0 {
+		cfg.Space = arch.Default()
+	}
+	return hpcsim.Run(cfg)
+}
+
+// VariabilityResult summarizes repeated simulated searches (paper Fig 9):
+// pointwise mean ± 2σ bands of the moving-average reward and the busy-node
+// fraction over wall-clock time.
+type VariabilityResult struct {
+	Method             ScalingMethod
+	Runs               int
+	RewardMean         *metrics.Curve
+	RewardLo, RewardHi *metrics.Curve // mean ± 2σ
+	UtilMean           *metrics.Curve
+	UtilLo, UtilHi     *metrics.Curve
+	FinalRewards       []float64
+	Utilizations       []float64
+}
+
+// VariabilityStudy runs `runs` simulated searches with distinct seeds and
+// aggregates their trajectories onto a common time grid. The paper's Fig 9
+// uses 10 runs of AE and RL at 128 nodes.
+func VariabilityStudy(method ScalingMethod, nodes, runs int, seed uint64) (*VariabilityResult, error) {
+	if runs < 2 {
+		return nil, fmt.Errorf("podnas: variability study needs at least 2 runs")
+	}
+	var rewardCurves, utilCurves []*metrics.Curve
+	out := &VariabilityResult{Method: method, Runs: runs}
+	const samples = 90
+	for k := 0; k < runs; k++ {
+		st, err := SimulateScaling(ScalingConfig{Method: method, Nodes: nodes, Seed: seed + uint64(k)*7919})
+		if err != nil {
+			return nil, err
+		}
+		wallMin := st.Config.WallTime / 60
+		rewardCurves = append(rewardCurves, st.RewardCurve.Resample(0, wallMin, samples))
+		utilCurves = append(utilCurves, st.UtilCurve.Resample(0, wallMin, samples))
+		out.FinalRewards = append(out.FinalRewards, st.RewardCurve.Y[len(st.RewardCurve.Y)-1])
+		out.Utilizations = append(out.Utilizations, st.Utilization)
+	}
+	out.RewardMean, out.RewardLo, out.RewardHi = metrics.EnsembleBand(rewardCurves, 2)
+	out.UtilMean, out.UtilLo, out.UtilHi = metrics.EnsembleBand(utilCurves, 2)
+	return out, nil
+}
+
+// searchResultJSON is the serialized form of a SearchResult (architectures
+// as canonical keys, rewards, and timing).
+type searchResultJSON struct {
+	Space   arch.Space `json:"space"`
+	Results []struct {
+		Index   int     `json:"index"`
+		Arch    string  `json:"arch"`
+		Reward  float64 `json:"reward"`
+		Seconds float64 `json:"seconds"`
+		Err     string  `json:"err,omitempty"`
+	} `json:"results"`
+	BestArch string  `json:"best_arch"`
+	BestR2   float64 `json:"best_r2"`
+}
+
+// SaveJSON writes the search history to path, so discovered architectures
+// can be reloaded (see LoadSearchResult and nasrun's -arch flag).
+func (r *SearchResult) SaveJSON(path string) error {
+	out := searchResultJSON{Space: r.Space, BestArch: r.Best.Arch.Key(), BestR2: r.Best.Reward}
+	for _, res := range r.Results {
+		entry := struct {
+			Index   int     `json:"index"`
+			Arch    string  `json:"arch"`
+			Reward  float64 `json:"reward"`
+			Seconds float64 `json:"seconds"`
+			Err     string  `json:"err,omitempty"`
+		}{Index: res.Index, Arch: res.Arch.Key(), Reward: res.Reward, Seconds: res.Elapsed.Seconds()}
+		if res.Err != nil {
+			entry.Err = res.Err.Error()
+		}
+		out.Results = append(out.Results, entry)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadSearchResult reads a history written by SaveJSON. Errors stored with
+// results are restored as opaque error strings.
+func LoadSearchResult(path string) (*SearchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var in searchResultJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("podnas: bad search history %s: %w", path, err)
+	}
+	if err := in.Space.Validate(); err != nil {
+		return nil, fmt.Errorf("podnas: bad space in %s: %w", path, err)
+	}
+	out := &SearchResult{Space: in.Space}
+	for _, e := range in.Results {
+		a, err := in.Space.ParseArch(e.Arch)
+		if err != nil {
+			return nil, fmt.Errorf("podnas: bad architecture in %s: %w", path, err)
+		}
+		res := search.Result{Index: e.Index, Arch: a, Reward: e.Reward, Elapsed: time.Duration(e.Seconds * float64(time.Second))}
+		if e.Err != "" {
+			res.Err = fmt.Errorf("%s", e.Err)
+		}
+		out.Results = append(out.Results, res)
+	}
+	best, err := in.Space.ParseArch(in.BestArch)
+	if err != nil {
+		return nil, fmt.Errorf("podnas: bad best architecture in %s: %w", path, err)
+	}
+	out.Best = search.Result{Arch: best, Reward: in.BestR2}
+	out.BestDesc = in.Space.Describe(best)
+	return out, nil
+}

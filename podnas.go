@@ -1,0 +1,169 @@
+// Package podnas reproduces "Recurrent Neural Network Architecture Search
+// for Geophysical Emulation" (Maulik, Egele, Lusch, Balaprakash; SC 2020) as
+// a self-contained Go library.
+//
+// The package is the public facade over the internal substrates:
+//
+//   - a synthetic NOAA-OISST-like data set (internal/sst),
+//   - proper orthogonal decomposition via the method of snapshots
+//     (internal/pod),
+//   - a from-scratch LSTM/dense neural-network library with the paper's
+//     DAG search space (internal/nn, internal/arch),
+//   - the three NAS methods — aging evolution, PPO reinforcement learning,
+//     random search (internal/search),
+//   - a discrete-event simulator of the paper's Theta deployments
+//     (internal/hpcsim), and
+//   - classical forecasting baselines (internal/baseline).
+//
+// The main entry points are:
+//
+//	p, _ := podnas.NewPipeline(podnas.DefaultPipelineConfig())
+//	model, _ := p.ManualLSTM(80, 1, 1)        // or p.BuildArch(space, arch, seed)
+//	_ = p.Posttrain(model, 100, 1)            // paper §IV-B
+//	fmt.Println(p.TestR2(model))              // Table II entry
+//
+// and, for the search experiments,
+//
+//	res, _ := podnas.SearchAE(p, podnas.DefaultSearchOptions())
+//	stats, _ := podnas.SimulateScaling(podnas.ScalingConfig{...})
+package podnas
+
+import (
+	"fmt"
+
+	"podnas/internal/arch"
+	"podnas/internal/pod"
+	"podnas/internal/sst"
+	"podnas/internal/tensor"
+	"podnas/internal/window"
+)
+
+// PipelineConfig describes the full data → POD → windows preparation.
+type PipelineConfig struct {
+	// Data selects the synthetic SST configuration.
+	Data sst.Config
+	// Nr is the number of retained POD modes (paper: 5, ~92% of variance).
+	Nr int
+	// K is the sequence window: K weeks in, K weeks out (paper: 8).
+	K int
+	// TrainFrac is the train/validation example split (paper: 0.8).
+	TrainFrac float64
+	// ScaleBound is the min-max scaling range half-width. Targets must stay
+	// inside the LSTM's (-1, 1) output range with enough headroom that
+	// test-period values drifting beyond the training range (the warming
+	// trend) remain reachable without saturating the gates.
+	ScaleBound float64
+	// Seed drives the validation split.
+	Seed uint64
+}
+
+// DefaultPipelineConfig returns the paper's configuration on the standard
+// (two-degree, full-calendar) synthetic data set.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{Data: sst.Default(), Nr: 5, K: 8, TrainFrac: 0.8, ScaleBound: 0.6, Seed: 42}
+}
+
+// SmallPipelineConfig returns a reduced configuration for tests and quick
+// demos (smaller grid, shorter record).
+func SmallPipelineConfig() PipelineConfig {
+	return PipelineConfig{Data: sst.Small(), Nr: 5, K: 8, TrainFrac: 0.8, ScaleBound: 0.6, Seed: 42}
+}
+
+// Pipeline holds the prepared data artifacts shared by every experiment.
+type Pipeline struct {
+	Cfg   PipelineConfig
+	Data  *sst.Dataset
+	Basis *pod.Basis
+	// Coeff is the Nr×Weeks coefficient matrix of every snapshot projected
+	// onto the training POD basis.
+	Coeff *tensor.Matrix
+	// NumTrain is the number of training-period snapshots (427 on the full
+	// calendar).
+	NumTrain int
+	// TrainWin and ValWin are the scaled sequence-to-sequence example sets
+	// used for architecture evaluation and training.
+	TrainWin, ValWin *window.Dataset
+	// TestWin is the scaled windowed test set (1990–2018 on the full
+	// calendar), built strictly from test-period coefficients.
+	TestWin *window.Dataset
+	// Scaler maps coefficients to the network's working range; fitted on
+	// training inputs only.
+	Scaler *window.MinMaxScaler
+}
+
+// NewPipeline generates the data set, computes the POD basis on the
+// training snapshots, projects all snapshots, and builds the scaled
+// windowed example sets.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.Nr < 1 {
+		return nil, fmt.Errorf("podnas: need at least one POD mode")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("podnas: need positive window K")
+	}
+	data, err := sst.Generate(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{Cfg: cfg, Data: data, NumTrain: data.NumTrain()}
+
+	basis, err := pod.Compute(data.TrainSnapshots(), cfg.Nr)
+	if err != nil {
+		return nil, fmt.Errorf("podnas: POD failed: %w", err)
+	}
+	p.Basis = basis
+	p.Coeff = basis.Project(data.Snapshots)
+
+	// Windowed examples over the training period only.
+	trainCoeff := tensor.NewMatrix(cfg.Nr, p.NumTrain)
+	for r := 0; r < cfg.Nr; r++ {
+		copy(trainCoeff.Row(r), p.Coeff.Row(r)[:p.NumTrain])
+	}
+	all, err := window.Build(trainCoeff, cfg.K)
+	if err != nil {
+		return nil, fmt.Errorf("podnas: windowing failed: %w", err)
+	}
+	rawTrain, rawVal, err := all.Split(cfg.TrainFrac, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p.Scaler = window.FitMinMax(rawTrain.X, cfg.ScaleBound)
+	p.TrainWin = &window.Dataset{X: p.Scaler.Transform(rawTrain.X), Y: p.Scaler.Transform(rawTrain.Y), K: cfg.K, Nr: cfg.Nr}
+	p.ValWin = &window.Dataset{X: p.Scaler.Transform(rawVal.X), Y: p.Scaler.Transform(rawVal.Y), K: cfg.K, Nr: cfg.Nr}
+
+	// Windowed test examples from the held-out period.
+	testCoeff := tensor.NewMatrix(cfg.Nr, data.Weeks()-p.NumTrain)
+	for r := 0; r < cfg.Nr; r++ {
+		copy(testCoeff.Row(r), p.Coeff.Row(r)[p.NumTrain:])
+	}
+	rawTest, err := window.Build(testCoeff, cfg.K)
+	if err != nil {
+		return nil, fmt.Errorf("podnas: test record too short: %w", err)
+	}
+	p.TestWin = &window.Dataset{X: p.Scaler.Transform(rawTest.X), Y: p.Scaler.Transform(rawTest.Y), K: cfg.K, Nr: cfg.Nr}
+	return p, nil
+}
+
+// DefaultSpace returns the paper's architecture search space bound to the
+// pipeline's mode count.
+func (p *Pipeline) DefaultSpace() arch.Space {
+	s := arch.Default()
+	s.InputDim = p.Cfg.Nr
+	s.OutputDim = p.Cfg.Nr
+	return s
+}
+
+// EnergyCaptured returns the variance fraction captured by the retained POD
+// modes (the paper's ~92% justification for Nr = 5).
+func (p *Pipeline) EnergyCaptured() float64 { return p.Basis.EnergyFraction(p.Cfg.Nr) }
+
+// Region is a latitude/longitude evaluation box (re-exported so callers
+// outside the module can target custom regions).
+type Region = sst.Region
+
+// EasternPacific is the paper's Table I evaluation box (-10..+10 latitude,
+// 200..250 longitude).
+var EasternPacific = sst.EasternPacific
+
+// DataConfig is the synthetic data set configuration (re-exported).
+type DataConfig = sst.Config

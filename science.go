@@ -1,0 +1,214 @@
+package podnas
+
+import (
+	"fmt"
+	"math"
+
+	"podnas/internal/sst"
+)
+
+// RegionalRMSETable is the Table I reproduction: per-lead-week RMSE in a
+// region for the POD-LSTM forecast and the CESM and HYCOM surrogates.
+type RegionalRMSETable struct {
+	// Predicted, CESM, HYCOM hold one RMSE (°C) per lead week 1..K.
+	Predicted, CESM, HYCOM []float64
+	// Weeks is the number of forecast start weeks aggregated.
+	Weeks int
+}
+
+// RegionalRMSE computes Table I: for every forecast start week t in
+// [startWeek, endWeek), the forecasts at leads 1..K are compared against
+// the truth inside the region; errors are aggregated as the RMSE over all
+// (start week, region point) pairs per lead.
+func (m *Model) RegionalRMSE(region sst.Region, startWeek, endWeek int) (*RegionalRMSETable, error) {
+	p := m.p
+	k := p.Cfg.K
+	if startWeek < p.Cfg.K {
+		startWeek = p.Cfg.K
+	}
+	if endWeek > p.Data.Weeks()-k {
+		endWeek = p.Data.Weeks() - k
+	}
+	if endWeek <= startWeek {
+		return nil, fmt.Errorf("podnas: empty forecast range [%d, %d)", startWeek, endWeek)
+	}
+	idx := p.Data.RegionOceanIndices(region)
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("podnas: region contains no ocean points")
+	}
+	table := &RegionalRMSETable{
+		Predicted: make([]float64, k),
+		CESM:      make([]float64, k),
+		HYCOM:     make([]float64, k),
+	}
+	sumP := make([]float64, k)
+	sumC := make([]float64, k)
+	sumH := make([]float64, k)
+	var count int
+	for t := startWeek; t < endWeek; t++ {
+		coeff, err := m.PredictCoefficients(t)
+		if err != nil {
+			return nil, err
+		}
+		for lead := 1; lead <= k; lead++ {
+			week := t + lead - 1
+			pred := p.Basis.ReconstructSnapshot(coeff.Row(lead - 1))
+			cesm := p.Data.CESMField(week)
+			hycom := p.Data.HYCOMField(week, lead)
+			for _, i := range idx {
+				truth := p.Data.Snapshots.At(i, week)
+				dp := pred[i] - truth
+				dc := cesm[i] - truth
+				dh := hycom[i] - truth
+				sumP[lead-1] += dp * dp
+				sumC[lead-1] += dc * dc
+				sumH[lead-1] += dh * dh
+			}
+		}
+		count++
+	}
+	n := float64(count * len(idx))
+	for lead := 0; lead < k; lead++ {
+		table.Predicted[lead] = math.Sqrt(sumP[lead] / n)
+		table.CESM[lead] = math.Sqrt(sumC[lead] / n)
+		table.HYCOM[lead] = math.Sqrt(sumH[lead] / n)
+	}
+	table.Weeks = count
+	return table, nil
+}
+
+// HYCOMWindow returns the forecast start-week range matching the paper's
+// Table I period (the HYCOM availability window). When the configured
+// record is too short to reach 2015 the test period is used instead, so
+// small demo configurations still produce a table.
+func (p *Pipeline) HYCOMWindow() (lo, hi int) {
+	lo, hi = p.Data.HYCOMRange()
+	if hi <= lo {
+		lo, hi = p.NumTrain+p.Cfg.K, p.Data.Weeks()-p.Cfg.K
+	}
+	return lo, hi
+}
+
+// Probe is one Fig 7 time series: truth, POD-LSTM forecast, CESM and HYCOM
+// surrogates at a single location.
+type Probe struct {
+	Lat, Lon                      float64
+	Weeks                         []int
+	Truth, Predicted, CESM, HYCOM []float64
+}
+
+// ProbeSeries extracts the Fig 7 comparison at (lat, lon) for forecast
+// start weeks in [startWeek, endWeek): each sample is the lead-1 forecast
+// of the corresponding week.
+func (m *Model) ProbeSeries(lat, lon float64, startWeek, endWeek int) (*Probe, error) {
+	p := m.p
+	oi, err := p.Data.ProbeIndex(lat, lon)
+	if err != nil {
+		return nil, err
+	}
+	if startWeek < p.Cfg.K {
+		startWeek = p.Cfg.K
+	}
+	// Each sample forecasts from window [t-K, t+K), so the last valid start
+	// week is Weeks-K.
+	if endWeek > p.Data.Weeks()-p.Cfg.K+1 {
+		endWeek = p.Data.Weeks() - p.Cfg.K + 1
+	}
+	if endWeek <= startWeek {
+		return nil, fmt.Errorf("podnas: empty probe range")
+	}
+	pr := &Probe{Lat: lat, Lon: lon}
+	for t := startWeek; t < endWeek; t++ {
+		field, err := m.ForecastField(t, 1)
+		if err != nil {
+			return nil, err
+		}
+		pr.Weeks = append(pr.Weeks, t)
+		pr.Truth = append(pr.Truth, p.Data.Snapshots.At(oi, t))
+		pr.Predicted = append(pr.Predicted, field[oi])
+		pr.CESM = append(pr.CESM, p.Data.CESMField(t)[oi])
+		pr.HYCOM = append(pr.HYCOM, p.Data.HYCOMField(t, 1)[oi])
+	}
+	return pr, nil
+}
+
+// FieldComparison is the Fig 6 reproduction for one week: the truth field
+// and the three forecasts, plus their global-ocean RMSEs.
+type FieldComparison struct {
+	Week                               int
+	Truth, Predicted, CESM, HYCOM      []float64
+	RMSEPredicted, RMSECESM, RMSEHYCOM float64
+}
+
+// CompareFields builds the Fig 6 panel for the forecast of snapshot t at
+// lead 1.
+func (m *Model) CompareFields(t int) (*FieldComparison, error) {
+	p := m.p
+	pred, err := m.ForecastField(t, 1)
+	if err != nil {
+		return nil, err
+	}
+	fc := &FieldComparison{
+		Week:      t,
+		Truth:     p.Data.TruthField(t),
+		Predicted: pred,
+		CESM:      p.Data.CESMField(t),
+		HYCOM:     p.Data.HYCOMField(t, 1),
+	}
+	rmse := func(a []float64) float64 {
+		var s float64
+		for i, v := range a {
+			d := v - fc.Truth[i]
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(a)))
+	}
+	fc.RMSEPredicted = rmse(fc.Predicted)
+	fc.RMSECESM = rmse(fc.CESM)
+	fc.RMSEHYCOM = rmse(fc.HYCOM)
+	return fc, nil
+}
+
+// CoefficientTrace returns the true and predicted coefficient series of one
+// POD mode over forecast start weeks [startWeek, endWeek) at lead 1 — the
+// Fig 5 panels.
+func (m *Model) CoefficientTrace(mode, startWeek, endWeek int) (truth, pred []float64, err error) {
+	p := m.p
+	if mode < 0 || mode >= p.Cfg.Nr {
+		return nil, nil, fmt.Errorf("podnas: mode %d outside [0, %d)", mode, p.Cfg.Nr)
+	}
+	if startWeek < p.Cfg.K {
+		startWeek = p.Cfg.K
+	}
+	if endWeek > p.Data.Weeks()-p.Cfg.K+1 {
+		endWeek = p.Data.Weeks() - p.Cfg.K + 1
+	}
+	for t := startWeek; t < endWeek; t++ {
+		coeff, cerr := m.PredictCoefficients(t)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		truth = append(truth, p.Coeff.At(mode, t))
+		pred = append(pred, coeff.At(0, mode))
+	}
+	return truth, pred, nil
+}
+
+// CESMCoefficientTrace projects the CESM surrogate onto the POD basis and
+// returns one mode's series (the Fig 5 CESM overlay).
+func (p *Pipeline) CESMCoefficientTrace(mode, startWeek, endWeek int) ([]float64, error) {
+	if mode < 0 || mode >= p.Cfg.Nr {
+		return nil, fmt.Errorf("podnas: mode %d outside [0, %d)", mode, p.Cfg.Nr)
+	}
+	var out []float64
+	for t := startWeek; t < endWeek; t++ {
+		field := p.Data.CESMField(t)
+		// Project a single snapshot: ψᵀ(q − mean), row `mode`.
+		var v float64
+		for i, q := range field {
+			v += p.Basis.Phi.At(i, mode) * (q - p.Basis.Mean[i])
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
