@@ -8,13 +8,21 @@
 //
 //	nasrun [-method ae|rs|rl] [-evals 24] [-workers 2] [-epochs 20]
 //	       [-grid small|default] [-seed 1] [-posttrain]
+//	       [-checkpoint ck.json] [-resume ck.json] [-evaltimeout 0] [-retries 0]
+//
+// A run with -checkpoint periodically persists the search state; a killed
+// run (Ctrl-C, SIGTERM, power loss) restarts from where it left off with
+// -resume, keeping the same evaluation budget.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"podnas"
@@ -33,6 +41,10 @@ func main() {
 	archKey := flag.String("arch", "", "skip the search: posttrain this saved architecture key (e.g. \"4-4-0-3-1-1-0-1-1-0-3-0-0-1\")")
 	save := flag.String("save", "", "write the search history as JSON to this path")
 	saveModel := flag.String("savemodel", "", "after posttraining, write the trained model (spec + weights) to this path")
+	checkpoint := flag.String("checkpoint", "", "periodically persist search state to this path (atomic writes)")
+	resume := flag.String("resume", "", "resume a search from this checkpoint (method and seed must match the original run)")
+	evalTimeout := flag.Duration("evaltimeout", 0, "per-evaluation timeout (0 = none); timed-out trainings are recorded as errors")
+	retries := flag.Int("retries", 0, "retry budget per evaluation for transient failures")
 	flag.Parse()
 
 	cfg := podnas.SmallPipelineConfig()
@@ -70,9 +82,25 @@ func main() {
 		return
 	}
 
+	// SIGINT/SIGTERM cancel the search context: in-flight trainings stop at
+	// the next epoch boundary, completed results are kept, and a final
+	// checkpoint is written so the run can be resumed.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	opts := podnas.SearchOptions{
 		Workers: *workers, MaxEvals: *evals, Epochs: *epochs,
 		Population: max(4, *evals/3), Sample: max(2, *evals/8), Seed: *seed,
+		Ctx: ctx, EvalTimeout: *evalTimeout, Retries: *retries,
+		CheckpointPath: *checkpoint,
+	}
+	if *resume != "" {
+		ck, err := podnas.LoadCheckpoint(*resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Resume = ck
+		fmt.Printf("resuming from %s: %d of %d evaluations already done\n", *resume, ck.NumResults(), *evals)
 	}
 	fmt.Printf("running %s search: %d evaluations, %d workers, %d epochs each\n", *method, *evals, *workers, *epochs)
 	t0 = time.Now()
@@ -91,9 +119,14 @@ func main() {
 		log.Fatalf("unknown method %q", *method)
 	}
 	if err != nil {
+		if ctx.Err() != nil && *checkpoint != "" {
+			log.Fatalf("%v\ninterrupted — resume with: nasrun -method %s -evals %d -seed %d -resume %s",
+				err, *method, *evals, *seed, *checkpoint)
+		}
 		log.Fatal(err)
 	}
 	elapsed := time.Since(t0)
+	interrupted := ctx.Err() != nil
 
 	rewards := make([]float64, 0, len(res.Results))
 	for _, r := range res.Results {
@@ -113,6 +146,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("search history written to %s\n", *save)
+	}
+	if interrupted {
+		if *checkpoint != "" {
+			fmt.Printf("\ninterrupted after %d evaluations — resume with: nasrun -method %s -evals %d -seed %d -resume %s\n",
+				len(res.Results), *method, *evals, *seed, *checkpoint)
+		} else {
+			fmt.Printf("\ninterrupted after %d evaluations (no -checkpoint set, run cannot be resumed)\n", len(res.Results))
+		}
+		return
 	}
 
 	if *posttrain {

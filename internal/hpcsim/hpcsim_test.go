@@ -380,3 +380,120 @@ func TestAgingBeatsNonAgingUnderHeavyNoise(t *testing.T) {
 		t.Errorf("aging evolution matched/beat non-aging in only %d/%d noisy runs", better, runs)
 	}
 }
+
+// --- Node-failure model (MTBF) tests ---
+
+// TestNoFailureExactWhenMTBFDisabled is the acceptance criterion that the
+// failure model is a true no-op when disabled: MTBF of 0 and +Inf must
+// reproduce the Table III numbers bit-for-bit for every method.
+func TestNoFailureExactWhenMTBFDisabled(t *testing.T) {
+	sp := space()
+	for _, m := range []Method{MethodAE, MethodRL, MethodRS} {
+		base, err := Run(Config{Method: m, Nodes: 33, Seed: 7, Space: sp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inf, err := Run(Config{Method: m, Nodes: 33, Seed: 7, Space: sp, MTBF: math.Inf(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Evaluations != inf.Evaluations || base.Utilization != inf.Utilization || base.BestReward != inf.BestReward {
+			t.Errorf("%s: infinite MTBF changed results: evals %d vs %d, util %v vs %v",
+				m, base.Evaluations, inf.Evaluations, base.Utilization, inf.Utilization)
+		}
+		if inf.NodeFailures != 0 || inf.LostEvals != 0 {
+			t.Errorf("%s: disabled failure model reported %d failures / %d lost evals", m, inf.NodeFailures, inf.LostEvals)
+		}
+	}
+}
+
+// TestFailuresDegradeThroughput checks the degraded Table III metrics: with
+// a finite MTBF the job completes fewer evaluations at lower utilization,
+// and the failure counters are populated and consistent.
+func TestFailuresDegradeThroughput(t *testing.T) {
+	sp := space()
+	base := run(t, MethodAE, 33, 43)
+	st, err := Run(Config{Method: MethodAE, Nodes: 33, Seed: 43, Space: sp, MTBF: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodeFailures == 0 || st.LostEvals == 0 {
+		t.Fatalf("MTBF 3600 produced %d failures / %d lost evals", st.NodeFailures, st.LostEvals)
+	}
+	if st.LostEvals > st.NodeFailures {
+		t.Errorf("lost evals %d exceed node failures %d", st.LostEvals, st.NodeFailures)
+	}
+	if st.Evaluations >= base.Evaluations {
+		t.Errorf("failures did not reduce throughput: %d vs %d", st.Evaluations, base.Evaluations)
+	}
+	if st.Utilization >= base.Utilization {
+		t.Errorf("failures did not reduce utilization: %.3f vs %.3f", st.Utilization, base.Utilization)
+	}
+	if st.Config.RepairTime != 600 {
+		t.Errorf("default repair time not applied: %g", st.Config.RepairTime)
+	}
+	for _, e := range st.Evals {
+		if e.Finish > st.Config.WallTime {
+			t.Fatal("failure run recorded an evaluation past the wall time")
+		}
+	}
+}
+
+// TestFailureModelDeterministic: the failure process draws from its own
+// seeded stream, so degraded runs replay exactly.
+func TestFailureModelDeterministic(t *testing.T) {
+	sp := space()
+	cfg := Config{Method: MethodAE, Nodes: 33, Seed: 47, Space: sp, MTBF: 5400, RepairTime: 300}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Evaluations != b.Evaluations || a.NodeFailures != b.NodeFailures ||
+		a.LostEvals != b.LostEvals || a.Utilization != b.Utilization {
+		t.Error("same failure seed produced different degraded runs")
+	}
+}
+
+// TestRLBarrierAmplifiesFailures is the RL-vs-AE sensitivity comparison:
+// under the same per-node MTBF, the synchronous barrier method loses a
+// larger fraction of its throughput than the asynchronous one, because a
+// dead worker's slot still holds up the all-reduce and produces nothing.
+// The simulator is deterministic, so the fixed seed panel is stable.
+func TestRLBarrierAmplifiesFailures(t *testing.T) {
+	sp := space()
+	var aeKeep, rlKeep float64
+	const runs = 10
+	for k := 0; k < runs; k++ {
+		seed := uint64(100 + k*13)
+		aeBase, err := Run(Config{Method: MethodAE, Nodes: 33, Seed: seed, Space: sp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rlBase, err := Run(Config{Method: MethodRL, Nodes: 33, Seed: seed, Space: sp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ae, err := Run(Config{Method: MethodAE, Nodes: 33, Seed: seed, Space: sp, MTBF: 3600})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := Run(Config{Method: MethodRL, Nodes: 33, Seed: seed, Space: sp, MTBF: 3600})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aeKeep += float64(ae.Evaluations) / float64(aeBase.Evaluations)
+		rlKeep += float64(rl.Evaluations) / float64(rlBase.Evaluations)
+	}
+	aeKeep /= runs
+	rlKeep /= runs
+	if rlKeep >= aeKeep {
+		t.Errorf("RL kept %.3f of its throughput vs AE %.3f: the barrier should amplify failures", rlKeep, aeKeep)
+	}
+	if aeKeep > 0.95 || aeKeep < 0.5 {
+		t.Errorf("AE kept %.3f of throughput at MTBF 3600; model calibration looks off", aeKeep)
+	}
+}

@@ -3,6 +3,7 @@ package hpcsim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 
 	"podnas/internal/arch"
@@ -47,7 +48,24 @@ type Config struct {
 	// ConstantCost, when true, replaces the parameter-proportional duration
 	// model with its mean (the DESIGN.md cost-model ablation).
 	ConstantCost bool
+
+	// MTBF is the per-node mean time between failures in seconds
+	// (exponential interarrivals). 0 or +Inf disables the failure model
+	// entirely — the simulation then reproduces the no-failure Table III
+	// numbers exactly, because no failure-model randomness is drawn at all.
+	MTBF float64
+	// RepairTime is the repair/reboot delay in seconds before a failed node
+	// rejoins the pool (default 600 when MTBF is finite). A rejoining node
+	// pays the environment-load startup cost again. A failed node drops its
+	// in-flight evaluation: asynchronous methods simply lose the result,
+	// while the RL method's barrier still waits out the lost evaluation's
+	// scheduled finish and feeds the agent the worst-case reward — which is
+	// why the synchronous method degrades faster under the same MTBF.
+	RepairTime float64
 }
+
+// failuresEnabled reports whether the node-failure model is active.
+func (c *Config) failuresEnabled() bool { return c.MTBF > 0 && !math.IsInf(c.MTBF, 1) }
 
 // applyDefaults fills in the paper's default values.
 func (c *Config) applyDefaults() {
@@ -68,6 +86,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Landscape == nil {
 		c.Landscape = NewLandscape(c.Space, c.Seed)
+	}
+	if c.failuresEnabled() && c.RepairTime == 0 {
+		c.RepairTime = 600
 	}
 }
 
@@ -105,6 +126,11 @@ type RunStats struct {
 	UtilCurve     *metrics.Curve // time (minutes) vs busy fraction (Fig 9)
 	HighPerfCurve *metrics.Curve // time (minutes) vs unique archs above threshold (Fig 8)
 	UniqueHigh    int            // final unique high performers (Fig 8b)
+	// NodeFailures and LostEvals summarize the node-failure model (both
+	// zero when MTBF is 0/Inf): node crashes during the job, and the
+	// in-flight evaluations those crashes destroyed.
+	NodeFailures int
+	LostEvals    int
 }
 
 // Run simulates one job.
@@ -131,6 +157,64 @@ type event struct {
 	time   float64
 	worker int
 	seq    int // tiebreaker for determinism
+	kind   int // evFinish or evRejoin
+}
+
+// Event kinds: an evaluation completing versus a repaired node rejoining.
+const (
+	evFinish = iota
+	evRejoin
+)
+
+// failureModel tracks per-node exponential failure arrivals and repair. All
+// of its randomness comes from a dedicated RNG so that, when disabled, the
+// simulation's other random streams — and therefore its results — are
+// bit-identical to a run with no failure model at all.
+type failureModel struct {
+	enabled  bool
+	mtbf     float64
+	repair   float64
+	rng      *tensor.RNG
+	nextFail []float64
+}
+
+func newFailureModel(cfg *Config) *failureModel {
+	fm := &failureModel{enabled: cfg.failuresEnabled(), mtbf: cfg.MTBF, repair: cfg.RepairTime}
+	if !fm.enabled {
+		return fm
+	}
+	fm.rng = tensor.NewRNG(cfg.Seed ^ 0xdeadfa11)
+	fm.nextFail = make([]float64, cfg.Nodes)
+	for w := range fm.nextFail {
+		fm.nextFail[w] = fm.sample(0)
+	}
+	return fm
+}
+
+// sample draws the next failure time for a node that is healthy at `from`.
+func (fm *failureModel) sample(from float64) float64 {
+	return from - fm.mtbf*math.Log(1-fm.rng.Float64())
+}
+
+// downAt reports whether node w's next failure strikes at or before t (the
+// node died while idle). rejoinAfter must be called to schedule recovery.
+func (fm *failureModel) downAt(w int, t float64) bool {
+	return fm.enabled && fm.nextFail[w] <= t
+}
+
+// killsBefore reports whether node w fails before `finish` (losing the
+// in-flight evaluation that would have completed then).
+func (fm *failureModel) killsBefore(w int, finish float64) bool {
+	return fm.enabled && fm.nextFail[w] < finish
+}
+
+// rejoinAfter consumes node w's pending failure: it returns the time the
+// repaired node is available again (repair delay plus a fresh
+// environment-load startup) and schedules the node's next failure.
+func (fm *failureModel) rejoinAfter(w int) float64 {
+	rejoin := fm.nextFail[w] + fm.repair + 90 + 240*fm.rng.Float64()
+	fm.nextFail[w] = fm.sample(rejoin)
+	return rejoin
 }
 
 type eventHeap []event
@@ -183,6 +267,7 @@ func runAsync(cfg Config) (*RunStats, error) {
 		constDur = meanDuration(land, cfg.Space, cfg.Seed)
 	}
 	rng := tensor.NewRNG(cfg.Seed ^ 0xfeed)
+	fm := newFailureModel(&cfg)
 
 	stats := &RunStats{Config: cfg, BestReward: -1}
 	busy := make([][]interval, cfg.Nodes)
@@ -194,6 +279,17 @@ func runAsync(cfg Config) (*RunStats, error) {
 		if t >= cfg.WallTime {
 			return
 		}
+		if fm.downAt(w, t) {
+			// The node died while idle (startup or dispatch gap); it comes
+			// back after the repair delay and a fresh environment load.
+			stats.NodeFailures++
+			rejoin := fm.rejoinAfter(w)
+			seq++
+			if rejoin < cfg.WallTime {
+				heap.Push(h, event{time: rejoin, worker: w, seq: seq, kind: evRejoin})
+			}
+			return
+		}
 		a := s.Propose()
 		evalSeed := cfg.Seed + uint64(seq)*0x9e37
 		dur := land.Duration(a, evalSeed)
@@ -201,6 +297,24 @@ func runAsync(cfg Config) (*RunStats, error) {
 			dur = constDur
 		}
 		finish := t + dur
+		if fm.killsBefore(w, finish) {
+			// The node dies mid-evaluation: the training is lost — never
+			// reported to the searcher, never counted — and the node rejoins
+			// after repair. This is the failure mode Balsam absorbs for the
+			// paper's jobs.
+			failT := fm.nextFail[w]
+			stats.NodeFailures++
+			stats.LostEvals++
+			if failT > t {
+				busy[w] = append(busy[w], interval{t, minf(failT, cfg.WallTime)})
+			}
+			rejoin := fm.rejoinAfter(w)
+			seq++
+			if rejoin < cfg.WallTime {
+				heap.Push(h, event{time: rejoin, worker: w, seq: seq, kind: evRejoin})
+			}
+			return
+		}
 		busyEnd := finish
 		if busyEnd > cfg.WallTime {
 			busyEnd = cfg.WallTime // the node works until the job is killed
@@ -219,6 +333,12 @@ func runAsync(cfg Config) (*RunStats, error) {
 	}
 	for h.Len() > 0 {
 		ev := heap.Pop(h).(event)
+		if ev.kind == evRejoin {
+			// The repaired node's availability time already includes its
+			// reload; it proposes immediately.
+			start(ev.worker, ev.time)
+			continue
+		}
 		done := inflight[ev.worker]
 		s.Report(done.Arch, done.Reward)
 		stats.Evals = append(stats.Evals, done)
@@ -254,6 +374,11 @@ func runRL(cfg Config) (*RunStats, error) {
 		constDur = meanDuration(land, cfg.Space, cfg.Seed)
 	}
 	rng := tensor.NewRNG(cfg.Seed ^ 0xfeed)
+	// Failures strike worker nodes only: a master failure would kill the
+	// whole search in the real deployment (Balsam restarts the job), which
+	// is out of scope for the degradation metrics this model feeds.
+	fm := newFailureModel(&cfg)
+	downUntil := make([]float64, cfg.Nodes)
 
 	stats := &RunStats{Config: cfg, BestReward: -1}
 	busy := make([][]interval, cfg.Nodes)
@@ -271,9 +396,26 @@ func runRL(cfg Config) (*RunStats, error) {
 		}
 		rounds := make([]pending, cfg.Agents)
 		for ai, agent := range agents {
-			batch := agent.ProposeBatch(workersPerAgent)
+			// An agent only dispatches to workers that are up at the round
+			// start; nodes under repair sit this round out, shrinking the
+			// batch — the barrier method cannot backfill a lost slot.
+			var avail []int
+			for wi := 0; wi < workersPerAgent; wi++ {
+				node := workerNode(ai, wi)
+				if downUntil[node] > t {
+					continue
+				}
+				if fm.downAt(node, t) {
+					// Died idle at the barrier since its last evaluation.
+					stats.NodeFailures++
+					downUntil[node] = fm.rejoinAfter(node)
+					continue
+				}
+				avail = append(avail, wi)
+			}
+			batch := agent.ProposeBatch(len(avail))
 			p := pending{agent: ai, archs: batch, rs: make([]float64, len(batch))}
-			for wi, a := range batch {
+			for bi, a := range batch {
 				evalSeed := cfg.Seed + uint64(seq)*0x9e37
 				seq++
 				dur := land.Duration(a, evalSeed)
@@ -281,19 +423,35 @@ func runRL(cfg Config) (*RunStats, error) {
 					dur = constDur
 				}
 				finish := t + dur
-				node := workerNode(ai, wi)
+				node := workerNode(ai, avail[bi])
+				if finish > roundEnd {
+					roundEnd = finish
+				}
+				if fm.killsBefore(node, finish) {
+					// The worker dies mid-evaluation. The master still waits
+					// out the slot's scheduled finish (it cannot distinguish a
+					// dead worker from a slow one until the timeout) and feeds
+					// the policy the worst-case reward — the DeepHyper
+					// convention for a failed training.
+					failT := fm.nextFail[node]
+					stats.NodeFailures++
+					stats.LostEvals++
+					if failT > t {
+						busy[node] = append(busy[node], interval{t, minf(failT, cfg.WallTime)})
+					}
+					downUntil[node] = fm.rejoinAfter(node)
+					p.rs[bi] = search.DivergedReward
+					continue
+				}
 				busyEnd := finish
 				if busyEnd > cfg.WallTime {
 					busyEnd = cfg.WallTime
 				}
 				busy[node] = append(busy[node], interval{t, busyEnd})
 				reward := land.Reward(a, evalSeed)
-				p.rs[wi] = reward
+				p.rs[bi] = reward
 				if finish <= cfg.WallTime {
 					stats.Evals = append(stats.Evals, Eval{Arch: a, Reward: reward, Start: t, Finish: finish, Worker: node})
-				}
-				if finish > roundEnd {
-					roundEnd = finish
 				}
 			}
 			rounds[ai] = p

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 
 	"podnas/internal/metrics"
@@ -26,6 +27,11 @@ type TrainConfig struct {
 	// epoch index and the epoch's mean training loss (used by the Fig 5
 	// convergence trace).
 	EpochCallback func(epoch int, loss float64)
+	// Ctx, when non-nil, is checked at every epoch boundary; once it is
+	// cancelled Train stops and returns the context's error wrapped, so a
+	// runner deadline or per-evaluation timeout actually interrupts an
+	// in-flight training instead of waiting for it to finish.
+	Ctx context.Context
 }
 
 // DefaultTrainConfig returns the paper's search-time hyperparameters.
@@ -71,6 +77,11 @@ func Train(g *Graph, x, y *tensor.Tensor3, cfg TrainConfig) (float64, error) {
 	}
 	var epochLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return epochLoss, fmt.Errorf("nn: training interrupted at epoch %d: %w", epoch, err)
+			}
+		}
 		rng.Shuffle(idx)
 		epochLoss = 0
 		batches := 0

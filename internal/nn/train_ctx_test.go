@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"podnas/internal/tensor"
+)
+
+// TestTrainInterruptedByContext: cancelling cfg.Ctx stops Train at the next
+// epoch boundary with a wrapped context error instead of running all epochs.
+func TestTrainInterruptedByContext(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	x := tensor.NewTensor3(32, 4, 2)
+	rng.FillNormal(x.Data, 1)
+	y := x.Clone()
+	for i := range y.Data {
+		y.Data[i] *= 0.5
+	}
+	g, err := NewStackedLSTM(2, 2, 4, 1, tensor.NewRNG(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	epochs := 0
+	cfg := TrainConfig{
+		Epochs: 500, BatchSize: 16, LR: 0.005, Seed: 1, Ctx: ctx,
+		EpochCallback: func(epoch int, _ float64) {
+			epochs++
+			if epoch == 2 {
+				cancel()
+			}
+		},
+	}
+	_, err = Train(g, x, y, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+	if epochs > 3 {
+		t.Errorf("training ran %d epochs after cancellation", epochs)
+	}
+}
+
+// TestTrainNilCtxUnaffected: a zero-value config (no context) trains to
+// completion exactly as before the Ctx field existed.
+func TestTrainNilCtxUnaffected(t *testing.T) {
+	rng := tensor.NewRNG(23)
+	x := tensor.NewTensor3(16, 4, 2)
+	rng.FillNormal(x.Data, 1)
+	y := x.Clone()
+	g, err := NewStackedLSTM(2, 2, 4, 1, tensor.NewRNG(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := 0
+	cfg := TrainConfig{Epochs: 5, BatchSize: 8, LR: 0.003, Seed: 2,
+		EpochCallback: func(int, float64) { epochs++ }}
+	if _, err := Train(g, x, y, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if epochs != 5 {
+		t.Errorf("ran %d epochs, want 5", epochs)
+	}
+}

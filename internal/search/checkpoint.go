@@ -1,0 +1,209 @@
+package search
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"podnas/internal/arch"
+)
+
+// SearcherState is one serialized searcher snapshot. Kind names the
+// implementation ("AE", "RS", "NonAgingEvo", "PPO") so a checkpoint cannot
+// be restored into the wrong algorithm.
+type SearcherState struct {
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Snapshotter is implemented by searchers (and PPO agents) whose full state
+// can be captured and restored, enabling checkpoint/resume of a search.
+// Snapshot and Restore follow the searcher's concurrency contract: callers
+// serialize access.
+type Snapshotter interface {
+	Snapshot() (SearcherState, error)
+	Restore(SearcherState) error
+}
+
+// resultRecord is the JSON form of a Result. Architectures serialize as
+// their raw gene slices, so a checkpoint is self-contained without the
+// search space.
+type resultRecord struct {
+	Index   int       `json:"index"`
+	Arch    arch.Arch `json:"arch"`
+	Reward  float64   `json:"reward"`
+	Err     string    `json:"err,omitempty"`
+	Seconds float64   `json:"seconds"`
+	Retries int       `json:"retries,omitempty"`
+}
+
+// Checkpoint is the persisted state of a search run: the searcher (or RL
+// agent ensemble) plus every completed result. A resumed run restores the
+// searcher, counts the results toward the evaluation budget, and continues.
+type Checkpoint struct {
+	// Kind is the searcher kind for async runs, or "RL" for RunRL.
+	Kind     string          `json:"kind"`
+	Searcher *SearcherState  `json:"searcher,omitempty"`
+	Agents   []SearcherState `json:"agents,omitempty"`
+	Results  []resultRecord  `json:"results"`
+	// Seed records the run seed for operator sanity checks; the runners do
+	// not enforce it.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// NumResults returns the number of completed evaluations in the checkpoint.
+func (ck *Checkpoint) NumResults() int { return len(ck.Results) }
+
+// restoredResults decodes the stored results. Stored errors come back as
+// opaque error strings, like LoadSearchResult does for histories.
+func (ck *Checkpoint) restoredResults() []Result {
+	out := make([]Result, 0, len(ck.Results))
+	for _, r := range ck.Results {
+		res := Result{
+			Index: r.Index, Arch: r.Arch, Reward: r.Reward,
+			Elapsed: time.Duration(r.Seconds * float64(time.Second)), Retries: r.Retries,
+		}
+		if r.Err != "" {
+			res.Err = errors.New(r.Err)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// apply restores an async searcher from the checkpoint and returns the
+// completed results.
+func (ck *Checkpoint) apply(s Searcher) ([]Result, error) {
+	snap, ok := s.(Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("search: cannot resume: %s does not support snapshots", s.Name())
+	}
+	if ck.Searcher == nil {
+		return nil, fmt.Errorf("search: checkpoint (kind %q) holds no async searcher state", ck.Kind)
+	}
+	if err := snap.Restore(*ck.Searcher); err != nil {
+		return nil, err
+	}
+	return ck.restoredResults(), nil
+}
+
+// applyRL restores the PPO agent ensemble from the checkpoint and returns
+// the completed results. Partially completed rounds are never stored, so
+// the result count is always a whole number of rounds.
+func (ck *Checkpoint) applyRL(agents []*PPOAgent) ([]Result, error) {
+	if ck.Kind != "RL" {
+		return nil, fmt.Errorf("search: checkpoint kind %q is not an RL run", ck.Kind)
+	}
+	if len(ck.Agents) != len(agents) {
+		return nil, fmt.Errorf("search: checkpoint has %d agents, run configured %d", len(ck.Agents), len(agents))
+	}
+	for i, st := range ck.Agents {
+		if err := agents[i].Restore(st); err != nil {
+			return nil, fmt.Errorf("search: agent %d: %w", i, err)
+		}
+	}
+	return ck.restoredResults(), nil
+}
+
+// LoadCheckpoint reads a checkpoint written by a Checkpointer.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("search: bad checkpoint %s: %w", path, err)
+	}
+	return ck, nil
+}
+
+// Checkpointer periodically persists search state to Path. Writes are
+// atomic (temp file + rename), so a crash mid-save leaves the previous
+// checkpoint intact.
+type Checkpointer struct {
+	Path string
+	// Every is the save cadence in completed results (default 10). The
+	// runner always writes a final checkpoint on exit regardless.
+	Every int
+
+	mu sync.Mutex
+}
+
+func (c *Checkpointer) due(nResults int) bool {
+	every := c.Every
+	if every <= 0 {
+		every = 10
+	}
+	return nResults%every == 0
+}
+
+// save persists an async-run checkpoint (searcher non-nil) or defers to the
+// RL form when agents are given.
+func (c *Checkpointer) save(s Searcher, agents []*PPOAgent, results []Result) error {
+	if agents != nil {
+		return c.saveRL(agents, results)
+	}
+	snap, ok := s.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("search: %s does not support snapshots", s.Name())
+	}
+	st, err := snap.Snapshot()
+	if err != nil {
+		return err
+	}
+	return c.write(&Checkpoint{Kind: st.Kind, Searcher: &st, Results: encodeResults(results)})
+}
+
+// saveRL persists the agent ensemble plus results after a completed round.
+func (c *Checkpointer) saveRL(agents []*PPOAgent, results []Result) error {
+	states := make([]SearcherState, len(agents))
+	for i, a := range agents {
+		st, err := a.Snapshot()
+		if err != nil {
+			return err
+		}
+		states[i] = st
+	}
+	return c.write(&Checkpoint{Kind: "RL", Agents: states, Results: encodeResults(results)})
+}
+
+func encodeResults(results []Result) []resultRecord {
+	out := make([]resultRecord, 0, len(results))
+	for _, r := range results {
+		rec := resultRecord{
+			Index: r.Index, Arch: r.Arch, Reward: r.Reward,
+			Seconds: r.Elapsed.Seconds(), Retries: r.Retries,
+		}
+		if math.IsNaN(rec.Reward) || math.IsInf(rec.Reward, 0) {
+			rec.Reward = DivergedReward // JSON cannot carry non-finite floats
+		}
+		if r.Err != nil {
+			rec.Err = r.Err.Error()
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func (c *Checkpointer) write(ck *Checkpoint) error {
+	data, err := json.MarshalIndent(ck, "", " ")
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tmp := c.Path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(c.Path), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.Path)
+}

@@ -1,7 +1,10 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"podnas/internal/arch"
 	"podnas/internal/metrics"
@@ -10,12 +13,26 @@ import (
 	"podnas/internal/window"
 )
 
+// DivergedReward is the worst-case reward sentinel assigned to diverged or
+// non-finite trainings, matching how a failed training shows up to
+// DeepHyper (the searcher sees a terrible candidate, not a crash).
+const DivergedReward = -1.0
+
 // Evaluator scores an architecture. Implementations must be safe for
 // concurrent use: the runner invokes Evaluate from many goroutines.
 type Evaluator interface {
 	// Evaluate returns the reward (validation R²) for a. seed makes the
 	// evaluation (weight init, batch shuffling) deterministic.
 	Evaluate(a arch.Arch, seed uint64) (float64, error)
+}
+
+// ContextEvaluator is an Evaluator whose evaluations can be interrupted.
+// The runners prefer this path when available, so deadlines and
+// per-evaluation timeouts cancel in-flight trainings instead of waiting
+// them out.
+type ContextEvaluator interface {
+	Evaluator
+	EvaluateCtx(ctx context.Context, a arch.Arch, seed uint64) (float64, error)
 }
 
 // TrainingEvaluator is the paper's evaluation: build the candidate network,
@@ -49,25 +66,47 @@ func NewTrainingEvaluator(space arch.Space, train, val *window.Dataset, cfg nn.T
 }
 
 // Evaluate trains a fresh instance of a and scores it on the validation set.
-// Divergence is reported as a very poor reward rather than an error so the
-// search treats unstable architectures as bad candidates, matching how a
-// failed training shows up to DeepHyper.
+// It is EvaluateCtx with a background context.
 func (e *TrainingEvaluator) Evaluate(a arch.Arch, seed uint64) (float64, error) {
+	return e.EvaluateCtx(context.Background(), a, seed)
+}
+
+// EvaluateCtx trains a fresh instance of a under ctx (checked per epoch) and
+// scores it on the validation set. Divergence — a non-finite loss, weights,
+// or validation R² — is reported as DivergedReward rather than an error so
+// the search treats unstable architectures as bad candidates, matching how
+// a failed training shows up to DeepHyper. Cancellation is reported as an
+// error so the runner can distinguish an interrupted evaluation from a bad
+// architecture.
+func (e *TrainingEvaluator) EvaluateCtx(ctx context.Context, a arch.Arch, seed uint64) (float64, error) {
 	g, err := e.Space.Build(a, tensor.NewRNG(seed))
 	if err != nil {
 		return 0, err
 	}
 	cfg := e.Config
 	cfg.Seed = seed ^ 0x5eed
+	cfg.Ctx = ctx
 	if _, err := nn.Train(g, e.Train.X, e.Train.Y, cfg); err != nil {
-		return -1, nil // diverged: worst-case reward
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return 0, err // interrupted, not diverged
+		}
+		return DivergedReward, nil // diverged: worst-case reward
 	}
+	var r float64
 	if e.Scaler == nil {
-		return nn.EvaluateR2(g, e.Val.X, e.Val.Y), nil
+		r = nn.EvaluateR2(g, e.Val.X, e.Val.Y)
+	} else {
+		pred := nn.Predict(g, e.Val.X, 256)
+		e.Scaler.Inverse(pred)
+		target := e.Val.Y.Clone()
+		e.Scaler.Inverse(target)
+		r = metrics.R2(pred.Data, target.Data)
 	}
-	pred := nn.Predict(g, e.Val.X, 256)
-	e.Scaler.Inverse(pred)
-	target := e.Val.Y.Clone()
-	e.Scaler.Inverse(target)
-	return metrics.R2(pred.Data, target.Data), nil
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		// A non-finite validation R² is divergence the training loss missed;
+		// clamp it to the sentinel so it can never silently win (or silently
+		// never win) the search.
+		return DivergedReward, nil
+	}
+	return r, nil
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -118,6 +119,65 @@ type slowEvaluator struct{ space arch.Space }
 func (e *slowEvaluator) Evaluate(a arch.Arch, seed uint64) (float64, error) {
 	time.Sleep(30 * time.Millisecond)
 	return 0.5, nil
+}
+
+// TestTrainingEvaluatorClampsNonFiniteReward: a constant-target validation
+// set has zero variance, so the R² denominator vanishes and the metric goes
+// non-finite. The evaluator must clamp that to the divergence sentinel — a
+// NaN reward would otherwise poison Best and every JSON history.
+func TestTrainingEvaluatorClampsNonFiniteReward(t *testing.T) {
+	train, _ := tinyWindows(t, 5)
+	s := evalSpace(5)
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 1
+	constVal := &window.Dataset{
+		X: tensor.NewTensor3(3, 4, 5), Y: tensor.NewTensor3(3, 4, 5), K: 4, Nr: 5,
+	}
+	ev, err := NewTrainingEvaluator(s, train, constVal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Random(tensor.NewRNG(6))
+	// Sanity: the raw metric really is non-finite for this setup.
+	raw := func() float64 {
+		g, err := s.Build(a, tensor.NewRNG(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cfg
+		c.Seed = 9 ^ 0x5eed
+		if _, err := nn.Train(g, train.X, train.Y, c); err != nil {
+			t.Fatal(err)
+		}
+		return nn.EvaluateR2(g, constVal.X, constVal.Y)
+	}()
+	if !math.IsNaN(raw) && !math.IsInf(raw, 0) {
+		t.Skipf("constant targets unexpectedly produced finite R² %g", raw)
+	}
+	r, err := ev.Evaluate(a, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != DivergedReward {
+		t.Errorf("non-finite R² evaluated to %g, want sentinel %g", r, DivergedReward)
+	}
+}
+
+// TestBestSkipsNonFinite: NaN and ±Inf rewards must never win a search.
+func TestBestSkipsNonFinite(t *testing.T) {
+	res := []Result{
+		{Reward: math.NaN()},
+		{Reward: math.Inf(1)},
+		{Reward: 0.3},
+		{Reward: math.Inf(-1)},
+	}
+	b, ok := Best(res)
+	if !ok || b.Reward != 0.3 {
+		t.Errorf("Best = %+v ok=%v, want finite 0.3", b, ok)
+	}
+	if _, ok := Best([]Result{{Reward: math.NaN()}}); ok {
+		t.Error("all-NaN results should report !ok")
+	}
 }
 
 func TestRunAsyncDeadline(t *testing.T) {

@@ -1,0 +1,136 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"podnas/internal/arch"
+	"podnas/internal/tensor"
+)
+
+// FaultCounts tallies what a FaultInjector actually injected.
+type FaultCounts struct {
+	Failures   int // transient errors returned
+	Panics     int // panics raised
+	Stragglers int // evaluations delayed
+	Hangs      int // evaluations blocked until cancellation
+	Passed     int // evaluations forwarded untouched (may still straggle)
+}
+
+// Total returns the number of injected faults (stragglers included).
+func (c FaultCounts) Total() int { return c.Failures + c.Panics + c.Stragglers + c.Hangs }
+
+// FaultInjector wraps an Evaluator and injects the failure modes of a real
+// HPC deployment — transient errors, worker panics, stragglers, and hung
+// evaluations — at configurable rates, so tests can prove the search stack
+// survives realistic fault rates (the paper's Theta jobs lose evaluations
+// to preempted and flaky KNL nodes as a matter of course).
+//
+// Injection is deterministic: the decision for an evaluation derives from
+// (Seed, evalSeed, attempt). A transient failure injected on attempt 0 may
+// therefore succeed on a retry, which is exactly what the runner's
+// ErrTransient retry policy models. The zero rates make the injector a
+// transparent pass-through. Safe for concurrent use.
+type FaultInjector struct {
+	Inner Evaluator
+	Seed  uint64
+	// FailRate is the probability of returning an ErrTransient-wrapped
+	// error instead of evaluating.
+	FailRate float64
+	// PanicRate is the probability of panicking mid-evaluation.
+	PanicRate float64
+	// StragglerRate is the probability of delaying the evaluation by
+	// StragglerDelay (scaled by uniform jitter in [0.5, 1.5)) before
+	// forwarding it.
+	StragglerRate float64
+	// StragglerDelay is the mean injected straggler latency (default 20ms).
+	StragglerDelay time.Duration
+	// HangRate is the probability of blocking until the context is
+	// cancelled — a worker that will never answer. Only meaningful under a
+	// per-evaluation timeout or deadline; without one the hang falls back to
+	// 10× StragglerDelay so nothing deadlocks.
+	HangRate float64
+
+	mu       sync.Mutex
+	counts   FaultCounts
+	attempts map[string]int // per (arch,seed) attempt counter, for retry determinism
+}
+
+// Counts returns a snapshot of the injected-fault tallies.
+func (f *FaultInjector) Counts() FaultCounts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts
+}
+
+// nextAttempt returns which attempt number this (arch, seed) call is, so
+// retries of the same evaluation draw fresh fault decisions.
+func (f *FaultInjector) nextAttempt(a arch.Arch, seed uint64) int {
+	key := fmt.Sprintf("%s#%d", a.Key(), seed)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.attempts == nil {
+		f.attempts = make(map[string]int)
+	}
+	n := f.attempts[key]
+	f.attempts[key] = n + 1
+	return n
+}
+
+func (f *FaultInjector) bump(field *int) {
+	f.mu.Lock()
+	*field++
+	f.mu.Unlock()
+}
+
+// Evaluate implements Evaluator.
+func (f *FaultInjector) Evaluate(a arch.Arch, seed uint64) (float64, error) {
+	return f.EvaluateCtx(context.Background(), a, seed)
+}
+
+// EvaluateCtx implements ContextEvaluator: it draws a deterministic fault
+// decision and either fails, panics, hangs, delays, or forwards to Inner.
+func (f *FaultInjector) EvaluateCtx(ctx context.Context, a arch.Arch, seed uint64) (float64, error) {
+	attempt := f.nextAttempt(a, seed)
+	rng := tensor.NewRNG(f.Seed ^ seed*0x9e3779b97f4a7c15 ^ uint64(attempt)*0x2545f4914f6cdd1d)
+	u := rng.Float64()
+	switch {
+	case u < f.PanicRate:
+		f.bump(&f.counts.Panics)
+		panic(fmt.Sprintf("injected panic (seed %d attempt %d)", seed, attempt))
+	case u < f.PanicRate+f.FailRate:
+		f.bump(&f.counts.Failures)
+		return 0, fmt.Errorf("injected failure (seed %d attempt %d): %w", seed, attempt, ErrTransient)
+	case u < f.PanicRate+f.FailRate+f.HangRate:
+		f.bump(&f.counts.Hangs)
+		if ctx.Done() != nil {
+			<-ctx.Done()
+			return 0, fmt.Errorf("injected hang (seed %d): %w", seed, ctx.Err())
+		}
+		time.Sleep(10 * f.stragglerDelay())
+		return 0, fmt.Errorf("injected hang (seed %d): %w", seed, ErrTransient)
+	case u < f.PanicRate+f.FailRate+f.HangRate+f.StragglerRate:
+		f.bump(&f.counts.Stragglers)
+		delay := time.Duration((0.5 + rng.Float64()) * float64(f.stragglerDelay()))
+		select {
+		case <-ctx.Done():
+			return 0, fmt.Errorf("straggler interrupted (seed %d): %w", seed, ctx.Err())
+		case <-time.After(delay):
+		}
+	default:
+		f.bump(&f.counts.Passed)
+	}
+	if ce, ok := f.Inner.(ContextEvaluator); ok {
+		return ce.EvaluateCtx(ctx, a, seed)
+	}
+	return f.Inner.Evaluate(a, seed)
+}
+
+func (f *FaultInjector) stragglerDelay() time.Duration {
+	if f.StragglerDelay > 0 {
+		return f.StragglerDelay
+	}
+	return 20 * time.Millisecond
+}

@@ -1,0 +1,354 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"podnas/internal/arch"
+	"podnas/internal/tensor"
+)
+
+// flakyEvaluator fails the first attempt of every evaluation with a
+// transient error and succeeds on retries.
+type flakyEvaluator struct {
+	inner Evaluator
+	mu    sync.Mutex
+	tried map[string]bool
+}
+
+func (e *flakyEvaluator) Evaluate(a arch.Arch, seed uint64) (float64, error) {
+	key := fmt.Sprintf("%s#%d", a.Key(), seed)
+	e.mu.Lock()
+	if e.tried == nil {
+		e.tried = make(map[string]bool)
+	}
+	first := !e.tried[key]
+	e.tried[key] = true
+	e.mu.Unlock()
+	if first {
+		return 0, fmt.Errorf("flaky node: %w", ErrTransient)
+	}
+	return e.inner.Evaluate(a, seed)
+}
+
+// panicEvaluator always panics.
+type panicEvaluator struct{}
+
+func (panicEvaluator) Evaluate(arch.Arch, uint64) (float64, error) { panic("boom") }
+
+// sleepEvaluator sleeps for d, honouring ctx — a controllable straggler.
+type sleepEvaluator struct {
+	d      time.Duration
+	reward float64
+}
+
+func (e *sleepEvaluator) Evaluate(a arch.Arch, seed uint64) (float64, error) {
+	return e.EvaluateCtx(context.Background(), a, seed)
+}
+
+func (e *sleepEvaluator) EvaluateCtx(ctx context.Context, a arch.Arch, seed uint64) (float64, error) {
+	select {
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-time.After(e.d):
+		return e.reward, nil
+	}
+}
+
+// TestRunAsyncSurvivesFaultRates is the acceptance scenario: an AE search
+// driven through the FaultInjector at 10% failure / 5% panic / 5% straggler
+// completes without crashing, reports the injected failures as errored
+// Results, and still finds a best architecture.
+func TestRunAsyncSurvivesFaultRates(t *testing.T) {
+	s := toySpace()
+	ae, err := NewAgingEvolution(s, 25, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &FaultInjector{
+		Inner: &toyEvaluator{space: s}, Seed: 99,
+		FailRate: 0.10, PanicRate: 0.05,
+		StragglerRate: 0.05, StragglerDelay: time.Millisecond,
+	}
+	res, err := RunAsync(ae, inj, RunAsyncOptions{Workers: 8, MaxEvals: 400, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 400 {
+		t.Fatalf("got %d results, want 400", len(res))
+	}
+	errored := 0
+	panics := 0
+	for _, r := range res {
+		if r.Err != nil {
+			errored++
+			var pe *PanicError
+			if errors.As(r.Err, &pe) {
+				panics++
+			}
+		}
+	}
+	counts := inj.Counts()
+	if errored != counts.Failures+counts.Panics {
+		t.Errorf("%d errored results, injector reports %d failures + %d panics",
+			errored, counts.Failures, counts.Panics)
+	}
+	if panics != counts.Panics {
+		t.Errorf("%d PanicError results vs %d injected panics", panics, counts.Panics)
+	}
+	// ~15% fault rate over 400 draws: both classes must have fired.
+	if counts.Failures == 0 || counts.Panics == 0 || counts.Stragglers == 0 {
+		t.Errorf("injector fired unevenly: %+v", counts)
+	}
+	best, ok := Best(res)
+	if !ok {
+		t.Fatal("no successful evaluations under faults")
+	}
+	if best.Reward < 0.9 {
+		t.Errorf("AE under faults reached %.3f, want > 0.9", best.Reward)
+	}
+}
+
+// TestRunAsyncRetriesTransient: transient failures are retried up to
+// Retries times; without a retry budget they surface as errors.
+func TestRunAsyncRetriesTransient(t *testing.T) {
+	s := toySpace()
+	rs, _ := NewRandomSearch(s, 9)
+	eval := &flakyEvaluator{inner: &toyEvaluator{space: s}}
+	res, err := RunAsync(rs, eval, RunAsyncOptions{
+		Workers: 4, MaxEvals: 40, Seed: 9, Retries: 2, RetryBackoff: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("evaluation %d failed despite retry budget: %v", r.Index, r.Err)
+		}
+		if r.Retries != 1 {
+			t.Fatalf("evaluation %d used %d retries, want exactly 1", r.Index, r.Retries)
+		}
+	}
+
+	rs2, _ := NewRandomSearch(s, 9)
+	res, err = RunAsync(rs2, &flakyEvaluator{inner: &toyEvaluator{space: s}}, RunAsyncOptions{
+		Workers: 4, MaxEvals: 40, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if !errors.Is(r.Err, ErrTransient) {
+			t.Fatalf("without retries evaluation %d should fail transiently, got %v", r.Index, r.Err)
+		}
+	}
+}
+
+// TestRunAsyncRecoversPanics: a panicking evaluator yields errored Results,
+// not a crashed search.
+func TestRunAsyncRecoversPanics(t *testing.T) {
+	s := toySpace()
+	rs, _ := NewRandomSearch(s, 10)
+	res, err := RunAsync(rs, panicEvaluator{}, RunAsyncOptions{Workers: 4, MaxEvals: 20, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 20 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, r := range res {
+		var pe *PanicError
+		if !errors.As(r.Err, &pe) {
+			t.Fatalf("result %d: want PanicError, got %v", r.Index, r.Err)
+		}
+	}
+	if _, ok := Best(res); ok {
+		t.Error("all-panicked run should have no best")
+	}
+}
+
+// TestRunAsyncFaultStress is the -race-clean concurrency stress test:
+// many workers, every fault class enabled (hangs bounded by the evaluation
+// timeout), retries on.
+func TestRunAsyncFaultStress(t *testing.T) {
+	s := toySpace()
+	ae, _ := NewAgingEvolution(s, 20, 4, 11)
+	inj := &FaultInjector{
+		Inner: &toyEvaluator{space: s}, Seed: 11,
+		FailRate: 0.10, PanicRate: 0.05, StragglerRate: 0.10, HangRate: 0.03,
+		StragglerDelay: time.Millisecond,
+	}
+	res, err := RunAsync(ae, inj, RunAsyncOptions{
+		Workers: 16, MaxEvals: 300, Seed: 11,
+		EvalTimeout: 50 * time.Millisecond, Retries: 1, RetryBackoff: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 300 {
+		t.Fatalf("stress run produced %d results, want 300", len(res))
+	}
+	if _, ok := Best(res); !ok {
+		t.Fatal("stress run found no best")
+	}
+}
+
+// TestRunAsyncDeterministicWithFaults: for Workers == 1 the trajectory is
+// identical across repeated runs, with the fault injector active (retries
+// enabled) and with retries disabled.
+func TestRunAsyncDeterministicWithFaults(t *testing.T) {
+	s := toySpace()
+	trajectory := func(retries int) []Result {
+		ae, err := NewAgingEvolution(s, 10, 3, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := &FaultInjector{
+			Inner: &toyEvaluator{space: s}, Seed: 12,
+			FailRate: 0.15, PanicRate: 0.05,
+		}
+		res, err := RunAsync(ae, inj, RunAsyncOptions{
+			Workers: 1, MaxEvals: 120, Seed: 12, Retries: retries, RetryBackoff: time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, retries := range []int{0, 2} {
+		a, b := trajectory(retries), trajectory(retries)
+		if len(a) != len(b) {
+			t.Fatalf("retries=%d: lengths differ %d vs %d", retries, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Index != b[i].Index || a[i].Arch.Key() != b[i].Arch.Key() ||
+				a[i].Reward != b[i].Reward || a[i].Retries != b[i].Retries ||
+				(a[i].Err == nil) != (b[i].Err == nil) {
+				t.Fatalf("retries=%d: trajectories diverge at %d: %+v vs %+v", retries, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestRunAsyncEvalTimeout: a per-evaluation timeout converts stragglers
+// into errored results without stalling the run.
+func TestRunAsyncEvalTimeout(t *testing.T) {
+	s := toySpace()
+	rs, _ := NewRandomSearch(s, 13)
+	slow := &sleepEvaluator{d: 10 * time.Second, reward: 0.5}
+	t0 := time.Now()
+	res, err := RunAsync(rs, slow, RunAsyncOptions{
+		Workers: 2, MaxEvals: 4, Seed: 13, EvalTimeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(t0); el > 5*time.Second {
+		t.Fatalf("timed-out evaluations stalled the run for %v", el)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, r := range res {
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Fatalf("result %d: want DeadlineExceeded, got %v", r.Index, r.Err)
+		}
+	}
+}
+
+// TestRunAsyncDeadlineBoundsInFlight is the deadline-semantics regression
+// test: Deadline must interrupt in-flight evaluations via context
+// cancellation, not merely stop new proposals — a deliberately slow
+// evaluator cannot hold the run open past the deadline.
+func TestRunAsyncDeadlineBoundsInFlight(t *testing.T) {
+	s := toySpace()
+	rs, _ := NewRandomSearch(s, 14)
+	slow := &sleepEvaluator{d: 30 * time.Second, reward: 0.5}
+	t0 := time.Now()
+	res, err := RunAsync(rs, slow, RunAsyncOptions{
+		Workers: 2, MaxEvals: 100, Deadline: 50 * time.Millisecond, Seed: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(t0); el > 5*time.Second {
+		t.Fatalf("deadline did not bound the in-flight evaluation: run took %v", el)
+	}
+	// The interrupted in-flight evaluations are discarded, not recorded.
+	if len(res) != 0 {
+		t.Fatalf("interrupted evaluations leaked into results: %d", len(res))
+	}
+
+	// A plain (non-context-aware) evaluator is abandoned at the deadline:
+	// the call still returns promptly.
+	rs2, _ := NewRandomSearch(s, 15)
+	plain := &slowEvaluator{space: s}
+	t0 = time.Now()
+	if _, err := RunAsync(rs2, plain, RunAsyncOptions{
+		Workers: 2, MaxEvals: 1000, Deadline: 60 * time.Millisecond, Seed: 15,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(t0); el > 5*time.Second {
+		t.Fatalf("plain evaluator held the run open for %v", el)
+	}
+}
+
+// TestRunRLSurvivesFaults: the synchronous method absorbs failed and
+// panicked evaluations as worst-case rewards and keeps its barriers.
+func TestRunRLSurvivesFaults(t *testing.T) {
+	s := toySpace()
+	inj := &FaultInjector{
+		Inner: &toyEvaluator{space: s}, Seed: 16,
+		FailRate: 0.10, PanicRate: 0.05,
+	}
+	res, err := RunRL(s, inj, RunRLOptions{Agents: 2, WorkersPerAgent: 4, Batches: 30, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2*4*30 {
+		t.Fatalf("got %d results", len(res))
+	}
+	errored := 0
+	for _, r := range res {
+		if r.Err != nil {
+			errored++
+			if r.Reward != DivergedReward {
+				t.Fatalf("errored RL result carries reward %g, want worst-case %g", r.Reward, DivergedReward)
+			}
+		}
+	}
+	if errored == 0 {
+		t.Error("fault injector never fired across 240 RL evaluations")
+	}
+	if _, ok := Best(res); !ok {
+		t.Fatal("RL under faults found no best")
+	}
+}
+
+// TestFaultInjectorPassThrough: zero rates forward everything untouched.
+func TestFaultInjectorPassThrough(t *testing.T) {
+	s := toySpace()
+	inner := &toyEvaluator{space: s}
+	inj := &FaultInjector{Inner: inner, Seed: 17}
+	a := s.Random(tensor.NewRNG(21))
+	direct, err := inner.Evaluate(a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := inj.Evaluate(a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != wrapped {
+		t.Errorf("pass-through changed reward: %g vs %g", direct, wrapped)
+	}
+	c := inj.Counts()
+	if c.Passed != 1 || c.Total() != 0 {
+		t.Errorf("pass-through counts: %+v", c)
+	}
+}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -175,6 +176,50 @@ func (a *PPOAgent) flatLen() int {
 		n += len(lg)
 	}
 	return n
+}
+
+// ppoSnapshot is the serialized policy state: logits, the reward baseline,
+// and the RNG mid-stream.
+type ppoSnapshot struct {
+	Logits   [][]float64     `json:"logits"`
+	Baseline float64         `json:"baseline"`
+	BaseN    int             `json:"base_n"`
+	RNG      tensor.RNGState `json:"rng"`
+}
+
+// Snapshot captures the agent's policy for checkpointing.
+func (a *PPOAgent) Snapshot() (SearcherState, error) {
+	snap := ppoSnapshot{Logits: a.logits, Baseline: a.baseline, BaseN: a.baseN, RNG: a.rng.State()}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return SearcherState{}, err
+	}
+	return SearcherState{Kind: "PPO", Data: data}, nil
+}
+
+// Restore overwrites the agent's policy from a snapshot. The logit shape
+// must match the agent's search space.
+func (a *PPOAgent) Restore(st SearcherState) error {
+	if st.Kind != "PPO" {
+		return fmt.Errorf("search: cannot restore %q snapshot into PPO agent", st.Kind)
+	}
+	var snap ppoSnapshot
+	if err := json.Unmarshal(st.Data, &snap); err != nil {
+		return fmt.Errorf("search: bad PPO snapshot: %w", err)
+	}
+	if len(snap.Logits) != len(a.logits) {
+		return fmt.Errorf("search: snapshot has %d variables, space has %d", len(snap.Logits), len(a.logits))
+	}
+	for i := range snap.Logits {
+		if len(snap.Logits[i]) != len(a.logits[i]) {
+			return fmt.Errorf("search: snapshot variable %d has %d choices, space has %d", i, len(snap.Logits[i]), len(a.logits[i]))
+		}
+	}
+	a.logits = snap.Logits
+	a.baseline = snap.Baseline
+	a.baseN = snap.BaseN
+	a.rng.SetState(snap.RNG)
+	return nil
 }
 
 // Probabilities returns the current per-variable choice probabilities

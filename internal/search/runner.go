@@ -1,12 +1,28 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"podnas/internal/arch"
+	"podnas/internal/tensor"
 )
+
+// ErrTransient marks an evaluation failure as retryable: node flakiness,
+// injected faults, anything where re-running the same training can succeed.
+// Permanent failures (an architecture that cannot be built) must not wrap it.
+var ErrTransient = errors.New("transient evaluation failure")
+
+// PanicError is a recovered evaluator panic, reported as an errored Result
+// instead of killing the whole search — the in-process analogue of DeepHyper
+// surviving a crashed worker.
+type PanicError struct{ Value any }
+
+func (e *PanicError) Error() string { return fmt.Sprintf("evaluator panic: %v", e.Value) }
 
 // Result is one completed architecture evaluation.
 type Result struct {
@@ -15,6 +31,9 @@ type Result struct {
 	Reward  float64
 	Err     error
 	Elapsed time.Duration
+	// Retries is the number of retry attempts consumed before the final
+	// outcome (0 = first attempt decided).
+	Retries int
 }
 
 // RunAsyncOptions configures the asynchronous parallel runner.
@@ -24,57 +43,134 @@ type RunAsyncOptions struct {
 	Workers int
 	// MaxEvals bounds the total number of evaluations.
 	MaxEvals int
-	// Deadline optionally bounds wall-clock time (0 = none). Workers finish
-	// their in-flight evaluation and stop proposing once it passes.
+	// Deadline optionally bounds wall-clock time (0 = none). It is enforced
+	// by context cancellation: in-flight evaluations of context-aware
+	// evaluators are interrupted, not merely awaited (see the deadline
+	// semantics note on RunAsyncCtx).
 	Deadline time.Duration
 	// Seed derives per-evaluation seeds.
 	Seed uint64
+	// EvalTimeout bounds each single evaluation attempt (0 = none). A timed
+	// out attempt is reported as an errored Result, mirroring DeepHyper
+	// treating a stuck training as a worst-case outcome.
+	EvalTimeout time.Duration
+	// Retries is the number of additional attempts granted to evaluations
+	// that fail with an error wrapping ErrTransient.
+	Retries int
+	// RetryBackoff is the base delay before a retry (default 5ms). The
+	// actual delay is the base scaled by the attempt number with seeded
+	// jitter, so backoff is deterministic per evaluation.
+	RetryBackoff time.Duration
+	// Checkpoint, when non-nil, periodically persists the searcher state and
+	// completed results so a killed run can resume.
+	Checkpoint *Checkpointer
+	// Resume seeds the run from a previously saved checkpoint: the searcher
+	// is restored and completed results count toward MaxEvals.
+	Resume *Checkpoint
 }
 
 // RunAsync drives an asynchronous Searcher (AE or RS) with a pool of real
 // worker goroutines, exactly the fully asynchronous execution model of the
 // paper's AE/RS deployments: each worker independently proposes, evaluates,
 // and reports with no barriers. Results are returned in completion order.
+// It is RunAsyncCtx with a background context.
+func RunAsync(s Searcher, eval Evaluator, opts RunAsyncOptions) ([]Result, error) {
+	return RunAsyncCtx(context.Background(), s, eval, opts)
+}
+
+// RunAsyncCtx is RunAsync under an external context. Cancelling ctx (or
+// exceeding opts.Deadline) stops the run gracefully: context-aware
+// evaluators are interrupted mid-training, interrupted proposals are
+// discarded (they do not consume budget and are re-proposed on resume), and
+// the completed results are returned with a nil error.
+//
+// Deadline semantics: Deadline bounds in-flight evaluations via context
+// cancellation, not just proposal time. An evaluator implementing
+// ContextEvaluator is interrupted as soon as the deadline passes; a plain
+// Evaluator is abandoned at the deadline (its goroutine's result is
+// discarded) so the call itself still returns promptly.
+//
+// Evaluator panics are recovered into errored Results. Errors wrapping
+// ErrTransient are retried up to opts.Retries times with seeded backoff.
 //
 // With more than one worker the interleaving of Report calls depends on
 // evaluation timing, so rewards are reproducible per architecture but the
 // search trajectory is only deterministic for Workers == 1.
-func RunAsync(s Searcher, eval Evaluator, opts RunAsyncOptions) ([]Result, error) {
+func RunAsyncCtx(ctx context.Context, s Searcher, eval Evaluator, opts RunAsyncOptions) ([]Result, error) {
 	if opts.Workers < 1 {
 		return nil, fmt.Errorf("search: need at least one worker")
 	}
 	if opts.MaxEvals < 1 {
 		return nil, fmt.Errorf("search: MaxEvals must be positive")
 	}
+	if opts.Checkpoint != nil {
+		if _, ok := s.(Snapshotter); !ok {
+			return nil, fmt.Errorf("search: checkpointing requires a Snapshotter searcher, %s is not one", s.Name())
+		}
+	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
+
 	var (
-		mu       sync.Mutex // guards searcher, results, proposed
+		mu       sync.Mutex // guards searcher, results, proposed, nextIdx
 		results  []Result
 		proposed int
-		start    = time.Now()
+		nextIdx  int
 		wg       sync.WaitGroup
 	)
+	if opts.Resume != nil {
+		restored, err := opts.Resume.apply(s)
+		if err != nil {
+			return nil, err
+		}
+		results = restored
+		proposed = len(results)
+		for _, r := range results {
+			if r.Index >= nextIdx {
+				nextIdx = r.Index + 1
+			}
+		}
+		if proposed >= opts.MaxEvals {
+			return results, nil
+		}
+	}
+
 	worker := func() {
 		defer wg.Done()
 		for {
 			mu.Lock()
-			if proposed >= opts.MaxEvals || (opts.Deadline > 0 && time.Since(start) > opts.Deadline) {
+			if proposed >= opts.MaxEvals || ctx.Err() != nil {
 				mu.Unlock()
 				return
 			}
-			idx := proposed
+			idx := nextIdx
+			nextIdx++
 			proposed++
 			a := s.Propose()
 			mu.Unlock()
 
 			t0 := time.Now()
-			reward, err := eval.Evaluate(a, opts.Seed+uint64(idx)*0x9e37)
+			reward, retries, err := evaluateWithRetry(ctx, eval, a, opts.Seed+uint64(idx)*0x9e37, opts)
 			elapsed := time.Since(t0)
 
 			mu.Lock()
-			if err == nil {
+			if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				// The run itself was cancelled mid-evaluation: give the
+				// proposal back so a resumed run keeps the full budget.
+				proposed--
+				mu.Unlock()
+				return
+			}
+			if err == nil && !math.IsNaN(reward) {
 				s.Report(a, reward)
 			}
-			results = append(results, Result{Index: idx, Arch: a, Reward: reward, Err: err, Elapsed: elapsed})
+			results = append(results, Result{Index: idx, Arch: a, Reward: reward, Err: err, Elapsed: elapsed, Retries: retries})
+			if opts.Checkpoint != nil && opts.Checkpoint.due(len(results)) {
+				opts.Checkpoint.save(s, nil, results)
+			}
 			mu.Unlock()
 		}
 	}
@@ -84,7 +180,93 @@ func RunAsync(s Searcher, eval Evaluator, opts RunAsyncOptions) ([]Result, error
 		go worker()
 	}
 	wg.Wait()
+	if opts.Checkpoint != nil {
+		// Final snapshot so the last partial window of results survives.
+		if err := opts.Checkpoint.save(s, nil, results); err != nil {
+			return results, fmt.Errorf("search: final checkpoint: %w", err)
+		}
+	}
 	return results, nil
+}
+
+// evaluate runs one evaluation attempt with panic recovery, preferring the
+// context-aware path when the evaluator supports it. A plain Evaluator under
+// a context with a deadline/cancellation is run on a side goroutine so the
+// attempt still returns when the context fires (the stale result is
+// discarded; the goroutine finishes on its own).
+func evaluate(ctx context.Context, eval Evaluator, a arch.Arch, seed uint64) (reward float64, err error) {
+	if ce, ok := eval.(ContextEvaluator); ok {
+		defer func() {
+			if r := recover(); r != nil {
+				reward, err = 0, &PanicError{Value: r}
+			}
+		}()
+		return ce.EvaluateCtx(ctx, a, seed)
+	}
+	if ctx.Done() == nil {
+		defer func() {
+			if r := recover(); r != nil {
+				reward, err = 0, &PanicError{Value: r}
+			}
+		}()
+		return eval.Evaluate(a, seed)
+	}
+	type outcome struct {
+		reward float64
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{0, &PanicError{Value: r}}
+			}
+		}()
+		r, e := eval.Evaluate(a, seed)
+		ch <- outcome{r, e}
+	}()
+	select {
+	case o := <-ch:
+		return o.reward, o.err
+	case <-ctx.Done():
+		return 0, fmt.Errorf("search: evaluation abandoned: %w", ctx.Err())
+	}
+}
+
+// evaluateWithRetry applies the per-attempt timeout and the bounded
+// transient-failure retry policy around evaluate.
+func evaluateWithRetry(ctx context.Context, eval Evaluator, a arch.Arch, seed uint64, opts RunAsyncOptions) (float64, int, error) {
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 5 * time.Millisecond
+	}
+	var (
+		reward float64
+		err    error
+	)
+	for attempt := 0; ; attempt++ {
+		attemptCtx := ctx
+		var cancel context.CancelFunc
+		if opts.EvalTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, opts.EvalTimeout)
+		}
+		reward, err = evaluate(attemptCtx, eval, a, seed)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil || attempt >= opts.Retries || !errors.Is(err, ErrTransient) || ctx.Err() != nil {
+			return reward, attempt, err
+		}
+		// Seeded backoff: deterministic per (evaluation, attempt), linear in
+		// the attempt number with ±50% jitter, interruptible by ctx.
+		jitter := 0.5 + tensor.NewRNG(seed^uint64(attempt+1)*0x2545f4914f6cdd1d).Float64()
+		delay := time.Duration(float64(backoff) * float64(attempt+1) * jitter)
+		select {
+		case <-ctx.Done():
+			return reward, attempt, err
+		case <-time.After(delay):
+		}
+	}
 }
 
 // RunRLOptions configures the synchronous multi-agent RL runner.
@@ -97,15 +279,38 @@ type RunRLOptions struct {
 	Batches int
 	// Seed derives agent policies and evaluation seeds.
 	Seed uint64
+	// EvalTimeout bounds each evaluation attempt (0 = none).
+	EvalTimeout time.Duration
+	// Retries is the transient-failure retry budget per evaluation.
+	Retries int
+	// RetryBackoff is the base retry delay (default 5ms).
+	RetryBackoff time.Duration
+	// Checkpoint, when non-nil, persists the agents and completed results
+	// after every synchronous round.
+	Checkpoint *Checkpointer
+	// Resume restores agent policies and completed rounds from a checkpoint.
+	Resume *Checkpoint
 }
 
-// RunRL runs the paper's distributed RL method in-process: every round,
-// each agent samples a batch, the batches are evaluated concurrently, each
-// agent computes its PPO gradient, the gradients are all-reduced with the
-// mean, and every agent applies the same update. The full barrier per round
-// is inherent to the method (and is what the paper's utilization metric
-// penalizes).
+// RunRL runs the paper's distributed RL method in-process. It is RunRLCtx
+// with a background context.
 func RunRL(space arch.Space, eval Evaluator, opts RunRLOptions) ([]Result, error) {
+	return RunRLCtx(context.Background(), space, eval, opts)
+}
+
+// RunRLCtx runs the synchronous multi-agent PPO method under a context:
+// every round, each agent samples a batch, the batches are evaluated
+// concurrently, each agent computes its PPO gradient, the gradients are
+// all-reduced with the mean, and every agent applies the same update. The
+// full barrier per round is inherent to the method (and is what the paper's
+// utilization metric penalizes).
+//
+// Failed or panicked evaluations contribute the worst-case reward
+// (DivergedReward) to the gradient, exactly how DeepHyper feeds a crashed
+// training back to the agent, and are recorded as errored Results. A
+// cancelled context ends the run at the next barrier with the completed
+// rounds' results.
+func RunRLCtx(ctx context.Context, space arch.Space, eval Evaluator, opts RunRLOptions) ([]Result, error) {
 	if opts.Agents < 1 || opts.WorkersPerAgent < 1 || opts.Batches < 1 {
 		return nil, fmt.Errorf("search: invalid RL options %+v", opts)
 	}
@@ -118,8 +323,25 @@ func RunRL(space arch.Space, eval Evaluator, opts RunRLOptions) ([]Result, error
 		agents[i] = a
 	}
 	var results []Result
-	idx := 0
-	for round := 0; round < opts.Batches; round++ {
+	startRound := 0
+	roundSize := opts.Agents * opts.WorkersPerAgent
+	if opts.Resume != nil {
+		restored, err := opts.Resume.applyRL(agents)
+		if err != nil {
+			return nil, err
+		}
+		results = restored
+		startRound = len(results) / roundSize
+	}
+	idx := startRound * roundSize
+	asyncOpts := RunAsyncOptions{
+		Seed: opts.Seed, EvalTimeout: opts.EvalTimeout,
+		Retries: opts.Retries, RetryBackoff: opts.RetryBackoff,
+	}
+	for round := startRound; round < opts.Batches; round++ {
+		if ctx.Err() != nil {
+			break
+		}
 		type task struct {
 			agent int
 			arch  arch.Arch
@@ -137,6 +359,7 @@ func RunRL(space arch.Space, eval Evaluator, opts RunRLOptions) ([]Result, error
 		}
 		rewards := make([]float64, len(tasks))
 		errs := make([]error, len(tasks))
+		retries := make([]int, len(tasks))
 		elapsed := make([]time.Duration, len(tasks))
 		var wg sync.WaitGroup
 		wg.Add(len(tasks))
@@ -144,11 +367,22 @@ func RunRL(space arch.Space, eval Evaluator, opts RunRLOptions) ([]Result, error
 			go func(ti int) {
 				defer wg.Done()
 				t0 := time.Now()
-				rewards[ti], errs[ti] = eval.Evaluate(tasks[ti].arch, opts.Seed+uint64(tasks[ti].idx)*0x9e37)
+				rewards[ti], retries[ti], errs[ti] = evaluateWithRetry(
+					ctx, eval, tasks[ti].arch, opts.Seed+uint64(tasks[ti].idx)*0x9e37, asyncOpts)
 				elapsed[ti] = time.Since(t0)
 			}(ti)
 		}
 		wg.Wait() // the synchronous barrier
+		if ctx.Err() != nil {
+			break // drop the interrupted round; resume re-runs it
+		}
+		for ti := range tasks {
+			// Failed evaluations feed the worst-case reward to the policy so
+			// the round's all-reduce still proceeds in lockstep.
+			if errs[ti] != nil || math.IsNaN(rewards[ti]) {
+				rewards[ti] = DivergedReward
+			}
+		}
 
 		grads := make([][]float64, opts.Agents)
 		off := 0
@@ -171,19 +405,29 @@ func RunRL(space arch.Space, eval Evaluator, opts RunRLOptions) ([]Result, error
 			}
 		}
 		for ti, tk := range tasks {
-			results = append(results, Result{Index: tk.idx, Arch: tk.arch, Reward: rewards[ti], Err: errs[ti], Elapsed: elapsed[ti]})
+			results = append(results, Result{Index: tk.idx, Arch: tk.arch, Reward: rewards[ti], Err: errs[ti], Elapsed: elapsed[ti], Retries: retries[ti]})
+		}
+		if opts.Checkpoint != nil {
+			if err := opts.Checkpoint.saveRL(agents, results); err != nil {
+				return results, fmt.Errorf("search: RL checkpoint: %w", err)
+			}
 		}
 	}
 	return results, nil
 }
 
-// Best returns the result with the highest reward (ignoring errored
-// evaluations). ok is false when every result errored or results is empty.
+// Best returns the result with the highest reward, ignoring errored
+// evaluations and non-finite rewards (a NaN validation R² is a diverged
+// training and must never win). ok is false when no finite successful result
+// exists.
 func Best(results []Result) (Result, bool) {
-	best := Result{Reward: -1e300}
+	best := Result{Reward: math.Inf(-1)}
 	ok := false
 	for _, r := range results {
-		if r.Err == nil && r.Reward > best.Reward {
+		if r.Err != nil || math.IsNaN(r.Reward) || math.IsInf(r.Reward, 0) {
+			continue
+		}
+		if r.Reward > best.Reward {
 			best = r
 			ok = true
 		}

@@ -11,6 +11,7 @@
 package search
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"podnas/internal/arch"
@@ -102,6 +103,66 @@ func (ae *AgingEvolution) Report(a arch.Arch, reward float64) {
 	}
 }
 
+// aeSnapshot is the serialized state of an (aging or non-aging) evolution
+// searcher: the FIFO population, the proposal counter that gates the
+// seeding phase, and the RNG mid-stream.
+type aeSnapshot struct {
+	Population int              `json:"population"`
+	Sample     int              `json:"sample"`
+	Proposed   int              `json:"proposed"`
+	Pop        []memberSnapshot `json:"pop"`
+	RNG        tensor.RNGState  `json:"rng"`
+}
+
+type memberSnapshot struct {
+	Arch   arch.Arch `json:"arch"`
+	Reward float64   `json:"reward"`
+}
+
+// Snapshot captures the full AE state for checkpointing.
+func (ae *AgingEvolution) Snapshot() (SearcherState, error) { return ae.snapshot("AE") }
+
+// Restore overwrites the AE state from a snapshot of the same kind.
+func (ae *AgingEvolution) Restore(st SearcherState) error { return ae.restore("AE", st) }
+
+func (ae *AgingEvolution) snapshot(kind string) (SearcherState, error) {
+	snap := aeSnapshot{Population: ae.Population, Sample: ae.Sample, Proposed: ae.proposed, RNG: ae.rng.State()}
+	for _, m := range ae.pop {
+		snap.Pop = append(snap.Pop, memberSnapshot{Arch: m.arch, Reward: m.reward})
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return SearcherState{}, err
+	}
+	return SearcherState{Kind: kind, Data: data}, nil
+}
+
+func (ae *AgingEvolution) restore(kind string, st SearcherState) error {
+	if st.Kind != kind {
+		return fmt.Errorf("search: cannot restore %q snapshot into %s", st.Kind, kind)
+	}
+	var snap aeSnapshot
+	if err := json.Unmarshal(st.Data, &snap); err != nil {
+		return fmt.Errorf("search: bad %s snapshot: %w", kind, err)
+	}
+	if snap.Population < 1 || snap.Sample < 1 || snap.Sample > snap.Population {
+		return fmt.Errorf("search: snapshot has invalid AE config P=%d S=%d", snap.Population, snap.Sample)
+	}
+	pop := make([]member, 0, len(snap.Pop))
+	for _, m := range snap.Pop {
+		if err := ae.Space.ValidateArch(m.Arch); err != nil {
+			return fmt.Errorf("search: snapshot population member invalid: %w", err)
+		}
+		pop = append(pop, member{arch: m.Arch.Clone(), reward: m.Reward})
+	}
+	ae.Population = snap.Population
+	ae.Sample = snap.Sample
+	ae.proposed = snap.Proposed
+	ae.pop = pop
+	ae.rng.SetState(snap.RNG)
+	return nil
+}
+
 // PopulationBest returns the best reward currently alive in the population
 // (for diagnostics). Returns false if the population is empty.
 func (ae *AgingEvolution) PopulationBest() (float64, bool) {
@@ -140,6 +201,33 @@ func (rs *RandomSearch) Propose() arch.Arch { return rs.Space.Random(rs.rng) }
 // Report is a no-op: random search uses no feedback.
 func (rs *RandomSearch) Report(arch.Arch, float64) {}
 
+// rsSnapshot is the serialized RS state: only the RNG stream position.
+type rsSnapshot struct {
+	RNG tensor.RNGState `json:"rng"`
+}
+
+// Snapshot captures the RS state for checkpointing.
+func (rs *RandomSearch) Snapshot() (SearcherState, error) {
+	data, err := json.Marshal(rsSnapshot{RNG: rs.rng.State()})
+	if err != nil {
+		return SearcherState{}, err
+	}
+	return SearcherState{Kind: "RS", Data: data}, nil
+}
+
+// Restore overwrites the RS state from a snapshot.
+func (rs *RandomSearch) Restore(st SearcherState) error {
+	if st.Kind != "RS" {
+		return fmt.Errorf("search: cannot restore %q snapshot into RS", st.Kind)
+	}
+	var snap rsSnapshot
+	if err := json.Unmarshal(st.Data, &snap); err != nil {
+		return fmt.Errorf("search: bad RS snapshot: %w", err)
+	}
+	rs.rng.SetState(snap.RNG)
+	return nil
+}
+
 // NonAgingEvolution is the ablation variant of AE that replaces the *worst*
 // population member instead of the oldest. Without aging, a lucky noisy
 // evaluation can occupy the population forever; DESIGN.md lists this
@@ -159,6 +247,13 @@ func NewNonAgingEvolution(space arch.Space, population, sample int, seed uint64)
 
 // Name returns "NonAgingEvo".
 func (ne *NonAgingEvolution) Name() string { return "NonAgingEvo" }
+
+// Snapshot captures the non-aging state under its own kind, so snapshots
+// cannot silently cross between the ablation and the real method.
+func (ne *NonAgingEvolution) Snapshot() (SearcherState, error) { return ne.snapshot("NonAgingEvo") }
+
+// Restore overwrites the non-aging state from a snapshot of the same kind.
+func (ne *NonAgingEvolution) Restore(st SearcherState) error { return ne.restore("NonAgingEvo", st) }
 
 // Report inserts the evaluated architecture, evicting the worst member when
 // the population is at capacity.

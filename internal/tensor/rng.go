@@ -108,6 +108,31 @@ func (r *RNG) Split(k uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (k * 0x9e3779b97f4a7c15))
 }
 
+// RNGState is the full serializable state of an RNG. Restoring it resumes
+// the deviate stream exactly where it left off, which checkpoint/resume of
+// the searchers depends on.
+type RNGState struct {
+	S        [4]uint64 `json:"s"`
+	HasSpare bool      `json:"has_spare,omitempty"`
+	Spare    float64   `json:"spare,omitempty"`
+}
+
+// State captures the generator state for serialization.
+func (r *RNG) State() RNGState {
+	return RNGState{S: r.s, HasSpare: r.hasSpare, Spare: r.spare}
+}
+
+// SetState overwrites the generator state with a previously captured one. A
+// zero 4-word state would be absorbing and is replaced like in NewRNG.
+func (r *RNG) SetState(st RNGState) {
+	r.s = st.S
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	r.hasSpare = st.HasSpare
+	r.spare = st.Spare
+}
+
 // FillNormal fills dst with N(0, sigma²) deviates.
 func (r *RNG) FillNormal(dst []float64, sigma float64) {
 	for i := range dst {

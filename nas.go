@@ -1,6 +1,7 @@
 package podnas
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -22,7 +23,9 @@ type SearchOptions struct {
 	Workers int
 	// MaxEvals bounds the number of architectures trained.
 	MaxEvals int
-	// Deadline optionally bounds wall-clock time (0 = none).
+	// Deadline optionally bounds wall-clock time (0 = none). It is enforced
+	// by context cancellation: in-flight trainings are interrupted at the
+	// next epoch boundary, not waited out.
 	Deadline time.Duration
 	// Epochs is the per-evaluation training budget (paper: 20).
 	Epochs int
@@ -30,12 +33,38 @@ type SearchOptions struct {
 	Population, Sample int
 	// Seed drives everything.
 	Seed uint64
+	// Ctx, when non-nil, allows external cancellation (e.g. SIGINT): the
+	// search stops gracefully and returns the completed evaluations.
+	Ctx context.Context
+	// EvalTimeout bounds each single evaluation (0 = none); a timed-out
+	// training is recorded as an errored result.
+	EvalTimeout time.Duration
+	// Retries is the per-evaluation retry budget for transient failures
+	// (errors wrapping search.ErrTransient).
+	Retries int
+	// CheckpointPath, when non-empty, periodically persists the searcher
+	// state and completed results so a killed run can be resumed.
+	CheckpointPath string
+	// CheckpointEvery is the save cadence in completed evaluations
+	// (default 10). A final checkpoint is always written on exit.
+	CheckpointEvery int
+	// Resume restores a previous run from a checkpoint written via
+	// CheckpointPath; completed evaluations count toward MaxEvals.
+	Resume *search.Checkpoint
 }
 
 // DefaultSearchOptions returns a budget suitable for a single machine: a
 // reduced evaluation count with the paper's training hyperparameters.
 func DefaultSearchOptions() SearchOptions {
 	return SearchOptions{Workers: 2, MaxEvals: 24, Epochs: 20, Population: 12, Sample: 4, Seed: 1}
+}
+
+// LoadCheckpoint reads a search checkpoint written via
+// SearchOptions.CheckpointPath, for use as SearchOptions.Resume. The
+// checkpoint records which method wrote it; resuming into a different
+// method fails with a kind-mismatch error.
+func LoadCheckpoint(path string) (*search.Checkpoint, error) {
+	return search.LoadCheckpoint(path)
 }
 
 // SearchResult is the outcome of a real-evaluation search.
@@ -60,15 +89,34 @@ func (p *Pipeline) evaluator(opts SearchOptions) (*search.TrainingEvaluator, arc
 	return ev, space, err
 }
 
+// searchCtx resolves the external context and the checkpointer from opts.
+func (opts SearchOptions) searchCtx() (context.Context, *search.Checkpointer) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var ck *search.Checkpointer
+	if opts.CheckpointPath != "" {
+		ck = &search.Checkpointer{Path: opts.CheckpointPath, Every: opts.CheckpointEvery}
+	}
+	return ctx, ck
+}
+
 func (p *Pipeline) runAsyncSearch(s search.Searcher, ev *search.TrainingEvaluator, space arch.Space, opts SearchOptions) (*SearchResult, error) {
-	res, err := search.RunAsync(s, ev, search.RunAsyncOptions{
+	ctx, ck := opts.searchCtx()
+	res, err := search.RunAsyncCtx(ctx, s, ev, search.RunAsyncOptions{
 		Workers: opts.Workers, MaxEvals: opts.MaxEvals, Deadline: opts.Deadline, Seed: opts.Seed,
+		EvalTimeout: opts.EvalTimeout, Retries: opts.Retries,
+		Checkpoint: ck, Resume: opts.Resume,
 	})
 	if err != nil {
 		return nil, err
 	}
 	best, ok := search.Best(res)
 	if !ok {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("podnas: search interrupted before any evaluation succeeded: %w", ctx.Err())
+		}
 		return nil, fmt.Errorf("podnas: search produced no successful evaluations")
 	}
 	return &SearchResult{Results: res, Best: best, BestDesc: space.Describe(best.Arch), Space: space}, nil
@@ -107,14 +155,20 @@ func SearchRL(p *Pipeline, opts SearchOptions, agents, workersPerAgent, batches 
 	if err != nil {
 		return nil, err
 	}
-	res, err := search.RunRL(space, ev, search.RunRLOptions{
+	ctx, ck := opts.searchCtx()
+	res, err := search.RunRLCtx(ctx, space, ev, search.RunRLOptions{
 		Agents: agents, WorkersPerAgent: workersPerAgent, Batches: batches, Seed: opts.Seed,
+		EvalTimeout: opts.EvalTimeout, Retries: opts.Retries,
+		Checkpoint: ck, Resume: opts.Resume,
 	})
 	if err != nil {
 		return nil, err
 	}
 	best, ok := search.Best(res)
 	if !ok {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("podnas: RL search interrupted before any evaluation succeeded: %w", ctx.Err())
+		}
 		return nil, fmt.Errorf("podnas: RL search produced no successful evaluations")
 	}
 	return &SearchResult{Results: res, Best: best, BestDesc: space.Describe(best.Arch), Space: space}, nil
