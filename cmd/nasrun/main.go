@@ -9,10 +9,17 @@
 //	nasrun [-method ae|rs|rl] [-evals 24] [-workers 2] [-epochs 20]
 //	       [-grid small|default] [-seed 1] [-posttrain]
 //	       [-checkpoint ck.json] [-resume ck.json] [-evaltimeout 0] [-retries 0]
+//	       [-isolate] [-heartbeat 1s] [-maxrestarts 3] [-speculate 0]
 //
 // A run with -checkpoint periodically persists the search state; a killed
 // run (Ctrl-C, SIGTERM, power loss) restarts from where it left off with
 // -resume, keeping the same evaluation budget.
+//
+// With -isolate each evaluation runs in a supervised worker subprocess
+// (nasrun re-executed with -worker), so a crashing or OOM-killed training
+// costs one process, not the search: the supervisor detects the death,
+// restarts the worker, and re-dispatches the evaluation. See the README's
+// "Isolated worker processes" section.
 package main
 
 import (
@@ -20,12 +27,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/exec"
 	"os/signal"
 	"sort"
+	"strconv"
 	"syscall"
 	"time"
 
 	"podnas"
+	"podnas/internal/search"
+	"podnas/internal/worker"
 )
 
 func main() {
@@ -45,12 +57,51 @@ func main() {
 	resume := flag.String("resume", "", "resume a search from this checkpoint (method and seed must match the original run)")
 	evalTimeout := flag.Duration("evaltimeout", 0, "per-evaluation timeout (0 = none); timed-out trainings are recorded as errors")
 	retries := flag.Int("retries", 0, "retry budget per evaluation for transient failures")
+	isolate := flag.Bool("isolate", false, "evaluate in supervised worker subprocesses: crashes cost one process, not the search")
+	workerMode := flag.Bool("worker", false, "serve evaluations over stdin/stdout as a pool worker (spawned by -isolate; not for direct use)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "worker heartbeat interval; a worker silent for 3 intervals is declared dead")
+	maxRestarts := flag.Int("maxrestarts", 3, "per-worker respawn budget before the pool degrades to in-process evaluation")
+	speculate := flag.Duration("speculate", 0, "re-dispatch an evaluation still unanswered after this long to a second worker (0 = off)")
+	killNth := flag.Int("killnth", 0, "fault injection: SIGKILL a worker right after the Nth dispatched evaluation (tests/CI smoke)")
+	faultKill := flag.Float64("faultkill", 0, "fault injection: probability a worker kills its own process mid-evaluation (needs -isolate)")
+	faultSeed := flag.Uint64("faultseed", 0, "fault injection seed (set by the supervisor per worker incarnation)")
 	flag.Parse()
+
+	// Fail fast on invalid flags with a one-line error before any expensive
+	// pipeline work, so typos do not waste minutes of data preparation.
+	if *workers < 1 {
+		log.Fatalf("-workers must be at least 1, got %d", *workers)
+	}
+	if *retries < 0 {
+		log.Fatalf("-retries must be non-negative, got %d", *retries)
+	}
+	if *evals < 1 {
+		log.Fatalf("-evals must be at least 1, got %d", *evals)
+	}
+	if *grid != "small" && *grid != "default" {
+		log.Fatalf("-grid must be \"small\" or \"default\", got %q", *grid)
+	}
+	if *heartbeat <= 0 {
+		log.Fatalf("-heartbeat must be positive, got %v", *heartbeat)
+	}
+	if *resume != "" {
+		if _, err := os.Stat(*resume); err != nil {
+			log.Fatalf("-resume: %v", err)
+		}
+	}
 
 	cfg := podnas.SmallPipelineConfig()
 	if *grid == "default" {
 		cfg = podnas.DefaultPipelineConfig()
 	}
+
+	if *workerMode {
+		// Worker processes own stdout as the protocol channel; everything
+		// human-readable goes to stderr (the supervisor passes it through).
+		runWorkerMode(cfg, *epochs, *heartbeat, *faultKill, *faultSeed)
+		return
+	}
+
 	fmt.Printf("preparing pipeline (%s grid)...\n", *grid)
 	t0 := time.Now()
 	p, err := podnas.NewPipeline(cfg)
@@ -93,6 +144,53 @@ func main() {
 		Population: max(4, *evals/3), Sample: max(2, *evals/8), Seed: *seed,
 		Ctx: ctx, EvalTimeout: *evalTimeout, Retries: *retries,
 		CheckpointPath: *checkpoint,
+	}
+	var pool *worker.Pool
+	if *isolate {
+		exe, err := os.Executable()
+		if err != nil {
+			log.Fatalf("-isolate: cannot locate own binary: %v", err)
+		}
+		// In-process fallback: if workers cannot be spawned at all or every
+		// slot exhausts its restart budget, the search continues un-isolated
+		// rather than dying.
+		fallback, err := p.NewEvaluator(*epochs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		killBase := *faultSeed
+		if killBase == 0 {
+			killBase = *seed + 0x9e3779b9
+		}
+		pool, err = worker.NewPool(worker.PoolOptions{
+			Workers: *workers,
+			Command: func(id, incarnation int) *exec.Cmd {
+				args := []string{
+					"-worker", "-grid", *grid,
+					"-epochs", strconv.Itoa(*epochs),
+					"-heartbeat", heartbeat.String(),
+				}
+				if *faultKill > 0 {
+					// Perturb the fault seed per incarnation so a restarted
+					// worker does not re-draw the same fatal decision forever.
+					fs := killBase + uint64(id)*1000 + uint64(incarnation)*7919
+					args = append(args,
+						"-faultkill", strconv.FormatFloat(*faultKill, 'g', -1, 64),
+						"-faultseed", strconv.FormatUint(fs, 10))
+				}
+				return exec.Command(exe, args...)
+			},
+			Heartbeat: *heartbeat, MaxRestarts: *maxRestarts, Seed: *seed,
+			SpeculativeAfter: *speculate, KillNth: *killNth,
+			Fallback: fallback,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer pool.Close()
+		opts.Evaluator = pool
+		fmt.Printf("isolated evaluation: %d worker processes, heartbeat %v, restart budget %d\n",
+			*workers, *heartbeat, *maxRestarts)
 	}
 	if *resume != "" {
 		ck, err := podnas.LoadCheckpoint(*resume)
@@ -139,6 +237,9 @@ func main() {
 	if n := len(rewards); n > 0 {
 		fmt.Printf("reward distribution: min %.4f  median %.4f  max %.4f\n", rewards[0], rewards[n/2], rewards[n-1])
 	}
+	if pool != nil {
+		printPoolStats(pool.Stats())
+	}
 	fmt.Printf("\nbest architecture (validation R2 = %.4f):\n%s", res.Best.Reward, res.BestDesc)
 	fmt.Printf("architecture key (reusable via -arch): %s\n", res.Best.Arch.Key())
 	if *save != "" {
@@ -169,6 +270,43 @@ func main() {
 		fmt.Printf("posttrained: val R2 %.4f  train R2 %.4f  test R2 %.4f  (%d parameters)\n",
 			m.ValR2(), m.TrainR2(), m.TestR2(), m.ParamCount())
 		saveTrained(m, *saveModel)
+	}
+}
+
+// runWorkerMode is the worker half of -isolate: build the same pipeline and
+// evaluator as the supervisor, then serve evaluations over stdin/stdout
+// until a shutdown frame arrives or the supervisor dies (stdin EOF). Stdout
+// carries protocol frames only; the log package already writes to stderr,
+// which the supervisor passes through.
+func runWorkerMode(cfg podnas.PipelineConfig, epochs int, heartbeat time.Duration, killRate float64, killSeed uint64) {
+	p, err := podnas.NewPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := p.NewEvaluator(epochs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if killRate > 0 {
+		// Self-kill fault injection: this process SIGKILLs itself
+		// mid-evaluation at the configured rate, exercising the supervisor's
+		// crash-restart path with a real process death.
+		ev = &search.FaultInjector{Inner: ev, Seed: killSeed, KillRate: killRate}
+	}
+	if err := worker.Serve(os.Stdin, os.Stdout, ev, worker.ServeOptions{Heartbeat: heartbeat}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// printPoolStats summarizes supervision events after an isolated run.
+func printPoolStats(st worker.PoolStats) {
+	fmt.Printf("worker pool: %d spawned, %d restarted, %d crashes, %d heartbeat timeouts, %d re-dispatches\n",
+		st.Spawns, st.Restarts, st.Crashes, st.HeartbeatTimeouts, st.Redispatches)
+	if st.SpeculativeRuns > 0 {
+		fmt.Printf("speculative re-execution: %d launched, %d won\n", st.SpeculativeRuns, st.SpeculativeWins)
+	}
+	if st.Degraded {
+		fmt.Printf("pool degraded: %d evaluations served in-process\n", st.FallbackEvals)
 	}
 }
 

@@ -41,6 +41,14 @@ func Compute(s *tensor.Matrix, nr int) (*Basis, error) {
 	if nr < 1 || nr > ns {
 		return nil, fmt.Errorf("pod: nr=%d out of range [1, %d]", nr, ns)
 	}
+	// Reject non-finite inputs at the boundary: a single NaN snapshot entry
+	// poisons the correlation matrix and the eigensolver degrades into
+	// nonsense (or an opaque convergence failure) far from the real cause.
+	for i, v := range s.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("pod: snapshot matrix has non-finite value %g at row %d, column %d", v, i/ns, i%ns)
+		}
+	}
 
 	mean := s.RowMeans()
 	centered := tensor.NewMatrix(nh, ns)

@@ -2,6 +2,7 @@ package pod
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -304,5 +305,17 @@ func TestComputeRejectsRankDeficientTail(t *testing.T) {
 	}
 	if _, err := Compute(s, 2); err == nil {
 		t.Error("rank-0 centered snapshots should reject nr=2")
+	}
+}
+
+func TestComputeRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		s := lowRankSnapshots(tensor.NewRNG(3), 6, 5, 3)
+		s.Set(2, 1, bad)
+		if _, err := Compute(s, 2); err == nil {
+			t.Errorf("Compute accepted snapshot matrix containing %g", bad)
+		} else if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("error %q does not mention non-finite input", err)
+		}
 	}
 }

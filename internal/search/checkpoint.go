@@ -1,9 +1,11 @@
 package search
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
@@ -12,6 +14,31 @@ import (
 
 	"podnas/internal/arch"
 )
+
+// CheckpointVersion is the on-disk schema version written by Checkpointer.
+// LoadCheckpoint rejects versions it does not understand, so a future
+// incompatible change fails loudly instead of restoring garbage state.
+const CheckpointVersion = 1
+
+// checkpointEnvelope is the on-disk wrapper: a schema version and a CRC32
+// of the payload, so truncated or silently corrupted checkpoint files (a
+// crash mid-rename on a non-atomic filesystem, bit rot on scratch storage)
+// are rejected with a clear error instead of resuming a damaged search.
+type checkpointEnvelope struct {
+	Version  int             `json:"version"`
+	Checksum uint32          `json:"crc32"` // IEEE CRC32 of the compacted payload
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// payloadChecksum hashes the JSON-compacted payload so the CRC is stable
+// under re-indentation of the file.
+func payloadChecksum(payload []byte) (uint32, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, payload); err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(buf.Bytes()), nil
+}
 
 // SearcherState is one serialized searcher snapshot. Kind names the
 // implementation ("AE", "RS", "NonAgingEvo", "PPO") so a checkpoint cannot
@@ -110,15 +137,41 @@ func (ck *Checkpoint) applyRL(agents []*PPOAgent) ([]Result, error) {
 	return ck.restoredResults(), nil
 }
 
-// LoadCheckpoint reads a checkpoint written by a Checkpointer.
+// LoadCheckpoint reads a checkpoint written by a Checkpointer, verifying
+// the schema version and payload CRC32. A truncated or corrupted file is
+// rejected with a clear error. Version-0 files (written before the
+// integrity envelope existed) are still accepted, without a CRC check.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	var env checkpointEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("search: checkpoint %s is truncated or not valid JSON: %w", path, err)
+	}
+	payload := []byte(env.Payload)
+	if env.Version == 0 && env.Payload == nil {
+		// Legacy pre-envelope file: the whole document is the checkpoint.
+		payload = data
+	} else {
+		if env.Version != CheckpointVersion {
+			return nil, fmt.Errorf("search: checkpoint %s has schema version %d, this build reads version %d", path, env.Version, CheckpointVersion)
+		}
+		sum, err := payloadChecksum(payload)
+		if err != nil {
+			return nil, fmt.Errorf("search: checkpoint %s payload is corrupted: %w", path, err)
+		}
+		if sum != env.Checksum {
+			return nil, fmt.Errorf("search: checkpoint %s is corrupted: payload CRC32 %08x does not match recorded %08x", path, sum, env.Checksum)
+		}
+	}
 	ck := &Checkpoint{}
-	if err := json.Unmarshal(data, ck); err != nil {
+	if err := json.Unmarshal(payload, ck); err != nil {
 		return nil, fmt.Errorf("search: bad checkpoint %s: %w", path, err)
+	}
+	if ck.Kind == "" {
+		return nil, fmt.Errorf("search: checkpoint %s holds no searcher state (is it a checkpoint file?)", path)
 	}
 	return ck, nil
 }
@@ -192,7 +245,17 @@ func encodeResults(results []Result) []resultRecord {
 }
 
 func (c *Checkpointer) write(ck *Checkpoint) error {
-	data, err := json.MarshalIndent(ck, "", " ")
+	payload, err := json.MarshalIndent(ck, "", " ")
+	if err != nil {
+		return err
+	}
+	sum, err := payloadChecksum(payload)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(checkpointEnvelope{
+		Version: CheckpointVersion, Checksum: sum, Payload: payload,
+	}, "", " ")
 	if err != nil {
 		return err
 	}

@@ -2,9 +2,11 @@ package search
 
 import (
 	"context"
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -397,5 +399,124 @@ func TestCheckpointAtomicOverwrite(t *testing.T) {
 	}
 	if loaded.NumResults() != 3 {
 		t.Errorf("latest save has %d results, want 3", loaded.NumResults())
+	}
+}
+
+// writeTestCheckpoint saves a small valid checkpoint and returns its path
+// and raw bytes, for the integrity tests to damage.
+func writeTestCheckpoint(t *testing.T) (string, []byte) {
+	t.Helper()
+	s := toySpace()
+	path := filepath.Join(t.TempDir(), "ck.json")
+	c := &Checkpointer{Path: path}
+	rs, _ := NewRandomSearch(s, 61)
+	rng := tensor.NewRNG(61)
+	results := []Result{
+		{Index: 0, Arch: s.Random(rng), Reward: 0.25},
+		{Index: 1, Arch: s.Random(rng), Reward: 0.5},
+	}
+	if err := c.save(rs, nil, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// TestCheckpointTruncationRejected: a file cut off mid-JSON (a crash while
+// writing on a filesystem without atomic rename) must be rejected with a
+// clear error, not half-restored.
+func TestCheckpointTruncationRejected(t *testing.T) {
+	path, data := writeTestCheckpoint(t)
+	for _, frac := range []float64{0.25, 0.5, 0.9} {
+		cut := int(float64(len(data)) * frac)
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadCheckpoint(path)
+		if err == nil {
+			t.Fatalf("truncation to %d of %d bytes was accepted", cut, len(data))
+		}
+		if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "corrupted") {
+			t.Fatalf("truncated checkpoint error not descriptive: %v", err)
+		}
+	}
+}
+
+// TestCheckpointCorruptionRejected: flipping payload bytes while keeping the
+// file valid JSON must trip the CRC, catching corruption plain parsing
+// would silently accept.
+func TestCheckpointCorruptionRejected(t *testing.T) {
+	path, data := writeTestCheckpoint(t)
+	// Change one reward digit inside the payload: still valid JSON, still a
+	// structurally plausible checkpoint — only the checksum knows.
+	corrupted := strings.Replace(string(data), "0.25", "0.26", 1)
+	if corrupted == string(data) {
+		t.Fatal("test setup: reward literal not found in checkpoint file")
+	}
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCheckpoint(path)
+	if err == nil {
+		t.Fatal("corrupted checkpoint was accepted")
+	}
+	if !strings.Contains(err.Error(), "CRC32") {
+		t.Fatalf("corruption error does not mention the checksum: %v", err)
+	}
+}
+
+// TestCheckpointVersionRejected: a future schema version fails loudly.
+func TestCheckpointVersionRejected(t *testing.T) {
+	path, data := writeTestCheckpoint(t)
+	bumped := strings.Replace(string(data), `"version": 1`, `"version": 99`, 1)
+	if bumped == string(data) {
+		t.Fatal("test setup: version field not found in checkpoint file")
+	}
+	if err := os.WriteFile(path, []byte(bumped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCheckpoint(path)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future schema version not rejected: %v", err)
+	}
+}
+
+// TestCheckpointLegacyFormatAccepted: pre-envelope files (plain Checkpoint
+// JSON, no version or CRC) still load, so old runs stay resumable.
+func TestCheckpointLegacyFormatAccepted(t *testing.T) {
+	path, _ := writeTestCheckpoint(t)
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := json.MarshalIndent(ck, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("legacy checkpoint rejected: %v", err)
+	}
+	if got.NumResults() != ck.NumResults() || got.Kind != ck.Kind {
+		t.Fatalf("legacy load mangled state: %+v", got)
+	}
+}
+
+// TestCheckpointNonCheckpointRejected: a valid-JSON file that is not a
+// checkpoint (e.g. a search history handed to -resume by mistake) errors
+// instead of resuming empty state.
+func TestCheckpointNonCheckpointRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notack.json")
+	if err := os.WriteFile(path, []byte(`{"results": [], "best_arch": "1-2-3"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("non-checkpoint JSON accepted as checkpoint")
 	}
 }

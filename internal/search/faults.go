@@ -3,6 +3,7 @@ package search
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -16,11 +17,12 @@ type FaultCounts struct {
 	Panics     int // panics raised
 	Stragglers int // evaluations delayed
 	Hangs      int // evaluations blocked until cancellation
+	Kills      int // process kills triggered
 	Passed     int // evaluations forwarded untouched (may still straggle)
 }
 
 // Total returns the number of injected faults (stragglers included).
-func (c FaultCounts) Total() int { return c.Failures + c.Panics + c.Stragglers + c.Hangs }
+func (c FaultCounts) Total() int { return c.Failures + c.Panics + c.Stragglers + c.Hangs + c.Kills }
 
 // FaultInjector wraps an Evaluator and injects the failure modes of a real
 // HPC deployment — transient errors, worker panics, stragglers, and hung
@@ -52,6 +54,17 @@ type FaultInjector struct {
 	// per-evaluation timeout or deadline; without one the hang falls back to
 	// 10× StragglerDelay so nothing deadlocks.
 	HangRate float64
+	// KillRate is the probability of killing the whole process
+	// mid-evaluation — the real OOM-killer failure mode that in-process
+	// recovery cannot survive. Only the process-isolated worker pool
+	// (internal/worker) lives through it: the supervisor sees the child die
+	// and re-dispatches the evaluation. Use only inside disposable worker
+	// processes, never in the search driver itself.
+	KillRate float64
+	// Kill overrides the kill action (default: SIGKILL the own process and
+	// block until death). Tests stub it to observe the decision without
+	// dying; if the stub returns, the evaluation fails with ErrTransient.
+	Kill func()
 
 	mu       sync.Mutex
 	counts   FaultCounts
@@ -97,13 +110,19 @@ func (f *FaultInjector) EvaluateCtx(ctx context.Context, a arch.Arch, seed uint6
 	rng := tensor.NewRNG(f.Seed ^ seed*0x9e3779b97f4a7c15 ^ uint64(attempt)*0x2545f4914f6cdd1d)
 	u := rng.Float64()
 	switch {
-	case u < f.PanicRate:
+	case u < f.KillRate:
+		f.bump(&f.counts.Kills)
+		f.kill()
+		// A stubbed Kill returns; surface the decision as a transient
+		// failure so tests (and a worker that somehow survives) stay sane.
+		return 0, fmt.Errorf("injected kill survived (seed %d attempt %d): %w", seed, attempt, ErrTransient)
+	case u < f.KillRate+f.PanicRate:
 		f.bump(&f.counts.Panics)
 		panic(fmt.Sprintf("injected panic (seed %d attempt %d)", seed, attempt))
-	case u < f.PanicRate+f.FailRate:
+	case u < f.KillRate+f.PanicRate+f.FailRate:
 		f.bump(&f.counts.Failures)
 		return 0, fmt.Errorf("injected failure (seed %d attempt %d): %w", seed, attempt, ErrTransient)
-	case u < f.PanicRate+f.FailRate+f.HangRate:
+	case u < f.KillRate+f.PanicRate+f.FailRate+f.HangRate:
 		f.bump(&f.counts.Hangs)
 		if ctx.Done() != nil {
 			<-ctx.Done()
@@ -111,7 +130,7 @@ func (f *FaultInjector) EvaluateCtx(ctx context.Context, a arch.Arch, seed uint6
 		}
 		time.Sleep(10 * f.stragglerDelay())
 		return 0, fmt.Errorf("injected hang (seed %d): %w", seed, ErrTransient)
-	case u < f.PanicRate+f.FailRate+f.HangRate+f.StragglerRate:
+	case u < f.KillRate+f.PanicRate+f.FailRate+f.HangRate+f.StragglerRate:
 		f.bump(&f.counts.Stragglers)
 		delay := time.Duration((0.5 + rng.Float64()) * float64(f.stragglerDelay()))
 		select {
@@ -126,6 +145,20 @@ func (f *FaultInjector) EvaluateCtx(ctx context.Context, a arch.Arch, seed uint6
 		return ce.EvaluateCtx(ctx, a, seed)
 	}
 	return f.Inner.Evaluate(a, seed)
+}
+
+// kill executes the process-kill action. The default SIGKILLs the current
+// process and blocks: SIGKILL is asynchronous, and returning would let the
+// evaluation continue in a process that is already condemned.
+func (f *FaultInjector) kill() {
+	if f.Kill != nil {
+		f.Kill()
+		return
+	}
+	if proc, err := os.FindProcess(os.Getpid()); err == nil {
+		_ = proc.Kill()
+	}
+	select {} // wait for the SIGKILL to land
 }
 
 func (f *FaultInjector) stragglerDelay() time.Duration {

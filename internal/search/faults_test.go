@@ -352,3 +352,50 @@ func TestFaultInjectorPassThrough(t *testing.T) {
 		t.Errorf("pass-through counts: %+v", c)
 	}
 }
+
+// TestFaultInjectorKillMode exercises the process-kill decision path with a
+// stubbed Kill: at rate 1 every evaluation draws the kill, the counter
+// advances, and — since the stub survives — the call fails transiently so
+// the retry policy can take over. The real default (SIGKILL of the own
+// process) is exercised end-to-end by internal/worker's pool tests.
+func TestFaultInjectorKillMode(t *testing.T) {
+	s := toySpace()
+	killed := 0
+	inj := &FaultInjector{
+		Inner:    &toyEvaluator{space: s},
+		Seed:     3,
+		KillRate: 1.0,
+		Kill:     func() { killed++ },
+	}
+	a := s.Random(tensor.NewRNG(8))
+	_, err := inj.Evaluate(a, 5)
+	if err == nil || !errors.Is(err, ErrTransient) {
+		t.Fatalf("survived kill returned %v, want ErrTransient", err)
+	}
+	if killed != 1 {
+		t.Fatalf("kill action ran %d times, want 1", killed)
+	}
+	if c := inj.Counts(); c.Kills != 1 || c.Total() != 1 {
+		t.Fatalf("kill counts: %+v", c)
+	}
+}
+
+// TestFaultInjectorKillRateZeroNeverKills pins the decision ordering: with
+// KillRate zero the other fault modes keep their PR 1 thresholds.
+func TestFaultInjectorKillRateZeroNeverKills(t *testing.T) {
+	s := toySpace()
+	inj := &FaultInjector{
+		Inner: &toyEvaluator{space: s},
+		Seed:  17,
+		Kill:  func() { t.Fatal("kill fired with KillRate 0") },
+	}
+	rng := tensor.NewRNG(4)
+	for i := 0; i < 50; i++ {
+		if _, err := inj.Evaluate(s.Random(rng), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := inj.Counts(); c.Kills != 0 || c.Passed != 50 {
+		t.Fatalf("counts with zero rates: %+v", c)
+	}
+}

@@ -35,6 +35,14 @@ func Build(a *tensor.Matrix, k int) (*Dataset, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("window: record of %d snapshots too short for 2K=%d", nt, 2*k)
 	}
+	// Reject non-finite coefficients at the boundary: one NaN would fan out
+	// into every overlapping window, silently corrupt the scaler fit, and
+	// surface much later as a diverged training.
+	for i, v := range a.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("window: coefficient matrix has non-finite value %g at mode %d, snapshot %d", v, i/nt, i%nt)
+		}
+	}
 	x := tensor.NewTensor3(n, k, nr)
 	y := tensor.NewTensor3(n, k, nr)
 	for e := 0; e < n; e++ {

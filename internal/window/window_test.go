@@ -2,6 +2,7 @@ package window
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -284,5 +285,17 @@ func TestSplitEveryExampleAppearsExactlyOnce(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestBuildRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		a := ramp(2, 10)
+		a.Set(1, 4, bad)
+		if _, err := Build(a, 3); err == nil {
+			t.Errorf("Build accepted coefficient matrix containing %g", bad)
+		} else if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("error %q does not mention non-finite input", err)
+		}
 	}
 }

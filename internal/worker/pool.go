@@ -1,0 +1,715 @@
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"podnas/internal/arch"
+	"podnas/internal/search"
+	"podnas/internal/tensor"
+)
+
+// errPoolClosed signals a supervision loop ending because Close was called,
+// not because its worker failed.
+var errPoolClosed = errors.New("worker: pool closed")
+
+// errHeartbeat marks a worker killed for going silent.
+var errHeartbeat = errors.New("worker: missed heartbeats")
+
+// PoolOptions configures a supervised pool of worker processes.
+type PoolOptions struct {
+	// Workers is the number of worker processes kept alive (>= 1).
+	Workers int
+	// Command builds the exec.Cmd for one worker process. workerID is the
+	// stable pool slot; incarnation counts respawns of that slot, so fault
+	// seeds can differ across restarts (a deterministic self-kill decision
+	// must not recur forever in the replacement process). A nil Stderr is
+	// replaced with os.Stderr so worker logs pass through.
+	Command func(workerID, incarnation int) *exec.Cmd
+	// Heartbeat is the expected heartbeat cadence (default 1s); it must
+	// match the interval the worker serves with.
+	Heartbeat time.Duration
+	// HeartbeatMisses is how many consecutive silent intervals mark a worker
+	// dead (default 3). Detection uses any frame as proof of life.
+	HeartbeatMisses int
+	// MaxRestarts is the per-worker respawn budget (default 3). A slot that
+	// exhausts it retires; when every slot has retired the pool degrades
+	// (see Fallback).
+	MaxRestarts int
+	// RestartBackoff is the base respawn delay (default 100ms), doubled per
+	// consecutive restart with seeded jitter and capped at MaxBackoff
+	// (default 5s).
+	RestartBackoff time.Duration
+	MaxBackoff     time.Duration
+	// StartTimeout bounds spawn-to-ready, which includes the worker building
+	// its data pipeline (default 120s).
+	StartTimeout time.Duration
+	// Seed derives the deterministic restart-backoff jitter.
+	Seed uint64
+	// SpeculativeAfter, when positive, re-dispatches an evaluation still
+	// unanswered after this long to a second worker — the paper's defense
+	// against straggler nodes. The first result wins; the loser is
+	// cancelled. At most one speculative copy runs per evaluation.
+	SpeculativeAfter time.Duration
+	// Fallback, when non-nil, evaluates in-process once the pool has
+	// degraded: spawning unavailable or every slot retired. With a nil
+	// Fallback a degraded pool fails evaluations with ErrTransient so the
+	// runner's retry policy decides.
+	Fallback search.Evaluator
+	// KillNth, when positive, SIGKILLs the worker right after it is sent the
+	// Nth dispatched evaluation (counting every dispatch, once) —
+	// deterministic fault injection for tests and CI smoke runs.
+	KillNth int
+	// CrashLimit is how many worker crashes a single evaluation may consume
+	// before it fails with ErrTransient instead of being re-dispatched
+	// (default 3). It bounds the damage of a poison evaluation that kills
+	// every worker it touches.
+	CrashLimit int
+}
+
+func (o PoolOptions) heartbeat() time.Duration {
+	if o.Heartbeat > 0 {
+		return o.Heartbeat
+	}
+	return time.Second
+}
+
+func (o PoolOptions) heartbeatTimeout() time.Duration {
+	misses := o.HeartbeatMisses
+	if misses < 2 {
+		misses = 3
+	}
+	return time.Duration(misses) * o.heartbeat()
+}
+
+func (o PoolOptions) maxRestarts() int {
+	if o.MaxRestarts > 0 {
+		return o.MaxRestarts
+	}
+	if o.MaxRestarts == 0 {
+		return 3
+	}
+	return 0
+}
+
+func (o PoolOptions) startTimeout() time.Duration {
+	if o.StartTimeout > 0 {
+		return o.StartTimeout
+	}
+	return 120 * time.Second
+}
+
+func (o PoolOptions) crashLimit() int {
+	if o.CrashLimit > 0 {
+		return o.CrashLimit
+	}
+	return 3
+}
+
+// PoolStats counts supervision events.
+type PoolStats struct {
+	Spawns            int // processes started (incl. restarts)
+	Restarts          int // respawns after a crash or silent death
+	Crashes           int // worker deaths: non-zero exits, broken pipes
+	HeartbeatTimeouts int // workers killed for going silent
+	Redispatches      int // evaluations re-queued after losing their worker
+	SpeculativeRuns   int // duplicate dispatches of stragglers
+	SpeculativeWins   int // evaluations decided by the speculative copy
+	FallbackEvals     int // evaluations served in-process after degradation
+	Degraded          bool
+}
+
+// jobResult is the terminal outcome of one pooled evaluation.
+type jobResult struct {
+	reward float64
+	err    error
+}
+
+// job is one evaluation moving through the pool. The same *job may sit in
+// the queue twice (crash re-dispatch, speculation); the done flag makes
+// delivery first-wins and everything after it a no-op.
+type job struct {
+	id     uint64
+	a      arch.Arch
+	seed   uint64
+	ctx    context.Context    // cancelled when the job no longer matters
+	cancel context.CancelFunc // fires ctx: caller gone or a dispatch won
+	res    chan jobResult     // buffered 1; written by the winning deliver
+
+	mu      sync.Mutex
+	done    bool
+	crashes int // workers lost while running this job
+
+	dispatches atomic.Int64 // total dispatch attempts
+	// specAt is the dispatch count at the moment the speculative copy was
+	// enqueued (0 = never speculated): any later dispatch is the copy, so a
+	// result from it counts as a speculative win.
+	specAt atomic.Int64
+}
+
+func (j *job) finished() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
+}
+
+// tryFinish marks the job done if no result has been delivered, returning
+// whether this call won the race.
+func (j *job) tryFinish() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done {
+		return false
+	}
+	j.done = true
+	return true
+}
+
+// deliver records the first result and cancels any other dispatch of the
+// same job (the speculation loser). Later results are dropped.
+func (j *job) deliver(r jobResult) bool {
+	if !j.tryFinish() {
+		return false
+	}
+	j.res <- r
+	j.cancel()
+	return true
+}
+
+// Pool dispatches evaluations to supervised worker subprocesses. It
+// implements search.Evaluator and search.ContextEvaluator, so the search
+// runners use it exactly like the in-process TrainingEvaluator. Safe for
+// concurrent use.
+type Pool struct {
+	opts  PoolOptions
+	queue chan *job
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	failed    chan struct{} // closed when the last worker slot retires
+	failOnce  sync.Once
+	wg        sync.WaitGroup
+
+	live        atomic.Int64
+	everReady   atomic.Bool
+	nextJobID   atomic.Uint64
+	dispatchSeq atomic.Int64
+
+	mu    sync.Mutex
+	stats PoolStats
+	pids  map[int]int // worker slot -> live pid
+}
+
+// NewPool starts the supervision loops and returns immediately; workers
+// spawn and handshake in the background, and evaluations queue until one is
+// ready. Callers must Close the pool to reap the processes.
+func NewPool(opts PoolOptions) (*Pool, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("worker: pool needs at least one worker, got %d", opts.Workers)
+	}
+	if opts.Command == nil {
+		return nil, errors.New("worker: pool needs a Command")
+	}
+	p := &Pool{
+		opts:   opts,
+		queue:  make(chan *job, 16*opts.Workers+64),
+		closed: make(chan struct{}),
+		failed: make(chan struct{}),
+		pids:   make(map[int]int),
+	}
+	p.live.Store(int64(opts.Workers))
+	p.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go p.supervise(i)
+	}
+	return p, nil
+}
+
+// Close shuts every worker down (gracefully when idle, forcefully when
+// mid-evaluation) and waits for the supervision loops to exit.
+func (p *Pool) Close() error {
+	p.closeOnce.Do(func() { close(p.closed) })
+	p.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the supervision counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Pids returns the pids of the currently live worker processes, for tests
+// that kill real workers from outside.
+func (p *Pool) Pids() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.pids))
+	for _, pid := range p.pids {
+		out = append(out, pid)
+	}
+	return out
+}
+
+// Evaluate implements search.Evaluator.
+func (p *Pool) Evaluate(a arch.Arch, seed uint64) (float64, error) {
+	return p.EvaluateCtx(context.Background(), a, seed)
+}
+
+// EvaluateCtx dispatches one evaluation to the pool and blocks until a
+// worker answers, the context is cancelled, or the pool degrades. Worker
+// crashes are absorbed internally: the evaluation is re-dispatched (bounded
+// by CrashLimit) and the caller only ever sees the final outcome.
+func (p *Pool) EvaluateCtx(ctx context.Context, a arch.Arch, seed uint64) (float64, error) {
+	select {
+	case <-p.failed:
+		return p.degradedEval(ctx, a, seed)
+	default:
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	j := &job{
+		id: p.nextJobID.Add(1), a: a.Clone(), seed: seed,
+		ctx: jctx, cancel: cancel, res: make(chan jobResult, 1),
+	}
+	select {
+	case p.queue <- j:
+	case <-ctx.Done():
+		return 0, fmt.Errorf("worker: evaluation cancelled: %w", ctx.Err())
+	case <-p.failed:
+		return p.degradedEval(ctx, a, seed)
+	}
+	var spec <-chan time.Time
+	if p.opts.SpeculativeAfter > 0 {
+		t := time.NewTimer(p.opts.SpeculativeAfter)
+		defer t.Stop()
+		spec = t.C
+	}
+	for {
+		select {
+		case r := <-j.res:
+			return r.reward, r.err
+		case <-ctx.Done():
+			if j.tryFinish() {
+				return 0, fmt.Errorf("worker: evaluation cancelled: %w", ctx.Err())
+			}
+			r := <-j.res // a result raced the cancellation in; take it
+			return r.reward, r.err
+		case <-p.failed:
+			if j.tryFinish() {
+				return p.degradedEval(ctx, a, seed)
+			}
+			r := <-j.res
+			return r.reward, r.err
+		case <-spec:
+			// Straggler: enqueue one speculative copy. Best-effort — a full
+			// queue means every worker is saturated and a duplicate could
+			// not run anyway.
+			spec = nil
+			select {
+			case p.queue <- j:
+				j.specAt.Store(j.dispatches.Load())
+				p.bump(func(s *PoolStats) { s.SpeculativeRuns++ })
+			default:
+			}
+		}
+	}
+}
+
+// degradedEval serves an evaluation after the pool has lost every worker:
+// in-process via Fallback when configured, otherwise a transient error so
+// the runner's retry policy (and DivergedReward accounting) takes over.
+func (p *Pool) degradedEval(ctx context.Context, a arch.Arch, seed uint64) (float64, error) {
+	if p.opts.Fallback == nil {
+		return 0, fmt.Errorf("worker: no live workers (restart budgets exhausted): %w", search.ErrTransient)
+	}
+	p.bump(func(s *PoolStats) { s.FallbackEvals++ })
+	if ce, ok := p.opts.Fallback.(search.ContextEvaluator); ok {
+		return ce.EvaluateCtx(ctx, a, seed)
+	}
+	return p.opts.Fallback.Evaluate(a, seed)
+}
+
+func (p *Pool) bump(f func(*PoolStats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}
+
+// supervise owns one worker slot: spawn, serve jobs, and on any process
+// failure respawn with seeded exponential backoff until the restart budget
+// runs out.
+func (p *Pool) supervise(workerID int) {
+	defer p.wg.Done()
+	defer p.retire()
+	restarts := 0
+	for incarnation := 0; ; incarnation++ {
+		select {
+		case <-p.closed:
+			return
+		default:
+		}
+		w, started, err := p.spawn(workerID, incarnation)
+		if err == nil {
+			p.everReady.Store(true)
+			p.setPid(workerID, w.cmd.Process.Pid)
+			err = p.runWorker(w)
+			p.clearPid(workerID)
+			w.ensureDead()
+			if errors.Is(err, errPoolClosed) {
+				return
+			}
+			p.bump(func(s *PoolStats) {
+				s.Crashes++
+				if errors.Is(err, errHeartbeat) {
+					s.HeartbeatTimeouts++
+				}
+			})
+		} else {
+			if errors.Is(err, errPoolClosed) {
+				return
+			}
+			if !started && !p.everReady.Load() {
+				// The worker binary cannot even start and no worker ever
+				// could: spawning is unavailable. Retire immediately so the
+				// pool degrades to the fallback without burning the restart
+				// budget on a hopeless loop.
+				fmt.Fprintf(os.Stderr, "worker: slot %d cannot spawn (%v); degrading\n", workerID, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "worker: slot %d spawn failed: %v\n", workerID, err)
+		}
+		if restarts >= p.opts.maxRestarts() {
+			return
+		}
+		restarts++
+		p.bump(func(s *PoolStats) { s.Restarts++ })
+		select {
+		case <-p.closed:
+			return
+		case <-time.After(p.backoffDelay(workerID, restarts)):
+		}
+	}
+}
+
+// backoffDelay is the respawn delay: exponential in the consecutive restart
+// count with deterministic seeded jitter in [0.5, 1.5), capped.
+func (p *Pool) backoffDelay(workerID, attempt int) time.Duration {
+	base := p.opts.RestartBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	ceil := p.opts.MaxBackoff
+	if ceil <= 0 {
+		ceil = 5 * time.Second
+	}
+	d := float64(base)
+	for i := 1; i < attempt && time.Duration(d) < ceil; i++ {
+		d *= 2
+	}
+	rng := tensor.NewRNG(p.opts.Seed ^ uint64(workerID)*0x9e3779b97f4a7c15 ^ uint64(attempt)*0x2545f4914f6cdd1d)
+	d *= 0.5 + rng.Float64()
+	if time.Duration(d) > ceil {
+		return ceil
+	}
+	return time.Duration(d)
+}
+
+// retire removes this slot from the live set; the last retirement fails the
+// pool so pending and future evaluations degrade instead of queueing
+// forever.
+func (p *Pool) retire() {
+	if p.live.Add(-1) != 0 {
+		return
+	}
+	p.failOnce.Do(func() {
+		select {
+		case <-p.closed: // normal shutdown, not degradation
+		default:
+			p.bump(func(s *PoolStats) { s.Degraded = true })
+		}
+		close(p.failed)
+	})
+}
+
+func (p *Pool) setPid(workerID, pid int) {
+	p.mu.Lock()
+	p.pids[workerID] = pid
+	p.mu.Unlock()
+}
+
+func (p *Pool) clearPid(workerID int) {
+	p.mu.Lock()
+	delete(p.pids, workerID)
+	p.mu.Unlock()
+}
+
+// runWorker serves jobs on one live worker process until the pool closes or
+// the process fails (crash, broken pipe, missed heartbeats).
+func (p *Pool) runWorker(w *proc) error {
+	hbTimeout := p.opts.heartbeatTimeout()
+	check := time.NewTicker(checkInterval(hbTimeout))
+	defer check.Stop()
+	for {
+		select {
+		case <-p.closed:
+			w.shutdown()
+			return errPoolClosed
+		case m, ok := <-w.msgs:
+			if !ok {
+				return fmt.Errorf("worker: process exited while idle: %w", w.waitResult())
+			}
+			_ = m // proof of life already recorded by the pump
+		case <-check.C:
+			if w.stale(hbTimeout) {
+				w.kill()
+				return errHeartbeat
+			}
+		case j := <-p.queue:
+			if j.finished() {
+				continue
+			}
+			if err := p.dispatch(w, j); err != nil {
+				p.requeue(j)
+				return err
+			}
+		}
+	}
+}
+
+// dispatch sends one evaluation to w and waits for its result. A nil return
+// means the worker is healthy and idle again (even if the job itself
+// failed or was cancelled); an error means the worker is lost and the job
+// has not been answered.
+func (p *Pool) dispatch(w *proc, j *job) error {
+	attempt := j.dispatches.Add(1)
+	seq := p.dispatchSeq.Add(1)
+	if err := w.send(Message{Type: MsgEval, ID: j.id, Arch: j.a, Seed: j.seed}); err != nil {
+		return fmt.Errorf("worker: dispatch write: %w", err)
+	}
+	if p.opts.KillNth > 0 && seq == int64(p.opts.KillNth) {
+		// Deterministic injected fault: SIGKILL the child mid-evaluation.
+		w.kill()
+	}
+	hbTimeout := p.opts.heartbeatTimeout()
+	check := time.NewTicker(checkInterval(hbTimeout))
+	defer check.Stop()
+	cancelDone := j.ctx.Done()
+	for {
+		select {
+		case <-p.closed:
+			w.kill()
+			return errPoolClosed
+		case m, ok := <-w.msgs:
+			if !ok {
+				return fmt.Errorf("worker: process died mid-evaluation: %w", w.waitResult())
+			}
+			if m.Type == MsgResult && m.ID == j.id {
+				p.deliverResult(j, m, attempt)
+				return nil
+			}
+			// Heartbeats and stale results from a previously cancelled job.
+		case <-check.C:
+			if w.stale(hbTimeout) {
+				w.kill()
+				return errHeartbeat
+			}
+		case <-cancelDone:
+			// The job stopped mattering: the caller is gone or another
+			// dispatch won. Ask the worker to abandon it, then keep waiting
+			// for the acknowledging result so the worker returns to a known
+			// idle state; the heartbeat check still covers a wedged worker.
+			cancelDone = nil
+			if err := w.send(Message{Type: MsgCancel, ID: j.id}); err != nil {
+				return fmt.Errorf("worker: cancel write: %w", err)
+			}
+		}
+	}
+}
+
+// deliverResult decodes a result frame and completes the job. Transient
+// worker-side failures are re-wrapped with ErrTransient so the runner's
+// retry policy sees them exactly as in-process ones.
+func (p *Pool) deliverResult(j *job, m Message, attempt int64) {
+	var err error
+	if m.Err != "" {
+		if m.Transient {
+			err = fmt.Errorf("%s: %w", m.Err, search.ErrTransient)
+		} else {
+			err = errors.New(m.Err)
+		}
+	}
+	if j.deliver(jobResult{reward: m.Reward, err: err}) {
+		if sa := j.specAt.Load(); sa > 0 && attempt > sa {
+			p.bump(func(s *PoolStats) { s.SpeculativeWins++ })
+		}
+	}
+}
+
+// requeue gives a job whose worker died another chance, bounded by
+// CrashLimit; past the limit it fails transiently (a poison evaluation must
+// not grind through every worker's restart budget).
+func (p *Pool) requeue(j *job) {
+	if j.finished() {
+		return
+	}
+	j.mu.Lock()
+	j.crashes++
+	crashes := j.crashes
+	j.mu.Unlock()
+	if crashes >= p.opts.crashLimit() {
+		j.deliver(jobResult{err: fmt.Errorf("worker: evaluation lost %d workers: %w", crashes, search.ErrTransient)})
+		return
+	}
+	p.bump(func(s *PoolStats) { s.Redispatches++ })
+	select {
+	case p.queue <- j:
+	default:
+		go func() {
+			select {
+			case p.queue <- j:
+			case <-j.ctx.Done():
+			case <-p.closed:
+			}
+		}()
+	}
+}
+
+func checkInterval(hbTimeout time.Duration) time.Duration {
+	iv := hbTimeout / 4
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	return iv
+}
+
+// proc wraps one live worker process: its pipes, its message pump, and its
+// lifecycle.
+type proc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	fw    *frameWriter
+	msgs  chan Message // closed when the pump sees EOF
+	dying chan struct{}
+	done  chan struct{} // closed once the process is reaped
+
+	lastBeat atomic.Int64 // unix nanos of the last frame seen
+	killOnce sync.Once
+	waitErr  error
+}
+
+func (w *proc) send(m Message) error { return w.fw.send(m) }
+
+func (w *proc) stale(timeout time.Duration) bool {
+	return time.Since(time.Unix(0, w.lastBeat.Load())) > timeout
+}
+
+// kill SIGKILLs the process and tells the pump its consumer may be gone.
+func (w *proc) kill() {
+	w.killOnce.Do(func() { close(w.dying) })
+	_ = w.cmd.Process.Kill()
+}
+
+// ensureDead guarantees the process is gone and reaped.
+func (w *proc) ensureDead() {
+	w.kill()
+	<-w.done
+}
+
+// shutdown asks the worker to exit cleanly, escalating to SIGKILL.
+func (w *proc) shutdown() {
+	_ = w.send(Message{Type: MsgShutdown})
+	_ = w.stdin.Close()
+	select {
+	case <-w.done:
+	case <-time.After(2 * time.Second):
+		w.ensureDead()
+	}
+}
+
+// waitResult reports the reaped process's exit error (only meaningful after
+// msgs has closed).
+func (w *proc) waitResult() error {
+	<-w.done
+	if w.waitErr == nil {
+		return errors.New("clean exit")
+	}
+	return w.waitErr
+}
+
+// spawn starts one worker process and waits for its ready frame. started
+// reports whether the process ever launched (false = spawning itself is
+// broken, the fast-degradation signal).
+func (p *Pool) spawn(workerID, incarnation int) (w *proc, started bool, err error) {
+	cmd := p.opts.Command(workerID, incarnation)
+	if cmd == nil {
+		return nil, false, errors.New("worker: Command returned nil")
+	}
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, false, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, false, fmt.Errorf("worker: starting %q: %w", cmd.Path, err)
+	}
+	p.bump(func(s *PoolStats) { s.Spawns++ })
+	w = &proc{
+		cmd: cmd, stdin: stdin, fw: newFrameWriter(stdin),
+		msgs: make(chan Message, 64), dying: make(chan struct{}), done: make(chan struct{}),
+	}
+	w.lastBeat.Store(time.Now().UnixNano())
+	go func() {
+		r := newFrameReader(stdout)
+		for {
+			m, err := r.next()
+			if err != nil {
+				break
+			}
+			w.lastBeat.Store(time.Now().UnixNano())
+			select {
+			case w.msgs <- m:
+			case <-w.dying:
+				// Consumer gone; keep draining so the pipe reaches EOF.
+			}
+		}
+		close(w.msgs)
+		w.waitErr = cmd.Wait()
+		close(w.done)
+	}()
+
+	ready := time.NewTimer(p.opts.startTimeout())
+	defer ready.Stop()
+	for {
+		select {
+		case m, ok := <-w.msgs:
+			if !ok {
+				err := fmt.Errorf("worker: exited before ready: %w", w.waitResult())
+				return nil, true, err
+			}
+			if m.Type == MsgReady {
+				return w, true, nil
+			}
+		case <-ready.C:
+			w.ensureDead()
+			return nil, true, fmt.Errorf("worker: not ready within %v", p.opts.startTimeout())
+		case <-p.closed:
+			w.ensureDead()
+			return nil, true, errPoolClosed
+		}
+	}
+}

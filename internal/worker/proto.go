@@ -1,0 +1,121 @@
+// Package worker provides process-isolated architecture evaluation: a
+// supervisor-side Pool that implements search.Evaluator by dispatching
+// evaluations to disposable worker subprocesses, and the worker-side Serve
+// loop those subprocesses run.
+//
+// This is the in-repo analogue of the paper's Balsam deployment on Theta
+// (Maulik et al., SC 2020, §IV-A): every evaluation runs as an independent
+// job, so a node that OOMs, hangs, or is SIGKILLed mid-training costs one
+// evaluation — which the supervisor re-dispatches — never the search. The
+// supervisor restarts crashed workers with seeded exponential backoff under
+// a restart budget, detects silent deaths via heartbeats, speculatively
+// re-executes stragglers (first result wins, the loser is cancelled), and
+// degrades gracefully to an in-process evaluator when subprocesses cannot
+// be spawned at all.
+//
+// The wire protocol is line-delimited JSON over the worker's stdin/stdout.
+// Worker logs go to stderr, which the supervisor passes through. Exactly
+// one evaluation is in flight per worker at a time:
+//
+//	supervisor → worker:  {"type":"eval","id":7,"arch":[3,1,...],"seed":42}
+//	                      {"type":"cancel","id":7}
+//	                      {"type":"shutdown"}
+//	worker → supervisor:  {"type":"ready"}
+//	                      {"type":"heartbeat"}          (periodic, even mid-training)
+//	                      {"type":"result","id":7,"reward":0.93}
+//
+// Rewards cross the boundary as JSON float64, which round-trips exactly, so
+// a single-worker isolated run reproduces the in-process search history
+// bit for bit.
+package worker
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"podnas/internal/arch"
+)
+
+// Message type tags of the wire protocol.
+const (
+	// Supervisor → worker.
+	MsgEval     = "eval"
+	MsgCancel   = "cancel"
+	MsgShutdown = "shutdown"
+	// Worker → supervisor.
+	MsgReady     = "ready"
+	MsgHeartbeat = "heartbeat"
+	MsgResult    = "result"
+)
+
+// Message is one protocol frame. Unused fields are omitted on the wire.
+type Message struct {
+	Type string `json:"type"`
+	// ID correlates an eval request with its cancel and result frames.
+	ID uint64 `json:"id,omitempty"`
+	// Arch and Seed define the evaluation (eval frames).
+	Arch arch.Arch `json:"arch,omitempty"`
+	Seed uint64    `json:"seed,omitempty"`
+	// Reward, Err, and Transient carry the outcome (result frames). JSON
+	// cannot encode non-finite floats, so workers clamp those to
+	// search.DivergedReward before replying, mirroring the checkpoint codec.
+	Reward    float64 `json:"reward,omitempty"`
+	Err       string  `json:"err,omitempty"`
+	Transient bool    `json:"transient,omitempty"`
+}
+
+// maxFrameBytes bounds one protocol line. Frames are tiny (an architecture
+// is ~14 small ints), so 1 MiB is generous headroom, not a real limit.
+const maxFrameBytes = 1 << 20
+
+// frameWriter serializes concurrent frame writes (heartbeat goroutine vs.
+// evaluation results) onto one stream.
+type frameWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{enc: json.NewEncoder(w)}
+}
+
+// send writes one frame as a single line. The error matters to supervisors
+// (a broken pipe means the peer died) and is advisory to workers.
+func (w *frameWriter) send(m Message) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Encode(m)
+}
+
+// frameReader yields frames from a line-delimited JSON stream.
+type frameReader struct {
+	sc *bufio.Scanner
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxFrameBytes)
+	return &frameReader{sc: sc}
+}
+
+// next returns the next parseable frame. Unparseable lines (a frame torn by
+// a mid-write crash, stray debug output on the wrong stream) are skipped:
+// the liveness mechanisms — heartbeats, process exit — decide the peer's
+// fate, not a single corrupt line. io.EOF reports a cleanly closed stream.
+func (r *frameReader) next() (Message, error) {
+	for r.sc.Scan() {
+		line := r.sc.Bytes()
+		var m Message
+		if err := json.Unmarshal(line, &m); err != nil || m.Type == "" {
+			continue
+		}
+		return m, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Message{}, fmt.Errorf("worker: protocol stream: %w", err)
+	}
+	return Message{}, io.EOF
+}

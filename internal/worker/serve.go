@@ -1,0 +1,144 @@
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"podnas/internal/search"
+)
+
+// ServeOptions configures the worker-side protocol loop.
+type ServeOptions struct {
+	// Heartbeat is the interval between heartbeat frames (default 1s). The
+	// heartbeat goroutine runs independently of the evaluation, so a worker
+	// grinding through a long training epoch still proves liveness; only a
+	// truly dead or wedged process goes silent.
+	Heartbeat time.Duration
+}
+
+func (o ServeOptions) heartbeat() time.Duration {
+	if o.Heartbeat > 0 {
+		return o.Heartbeat
+	}
+	return time.Second
+}
+
+// Serve runs the worker side of the protocol: announce readiness, heartbeat
+// periodically, and execute eval requests one at a time against eval,
+// preferring the context-aware path so cancel frames interrupt training at
+// the next epoch boundary. Serve returns nil on a shutdown frame or when in
+// closes (the supervisor died; there is no one left to serve).
+func Serve(in io.Reader, out io.Writer, eval search.Evaluator, opts ServeOptions) error {
+	w := newFrameWriter(out)
+	if err := w.send(Message{Type: MsgReady}); err != nil {
+		return fmt.Errorf("worker: sending ready: %w", err)
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(opts.heartbeat())
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				// A write error means the supervisor is gone; the reader
+				// loop will see EOF and exit, so just stop beating.
+				if w.send(Message{Type: MsgHeartbeat}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	var (
+		mu      sync.Mutex
+		running uint64             // id of the in-flight evaluation
+		cancel  context.CancelFunc // cancels it
+		busy    bool
+	)
+	r := newFrameReader(in)
+	for {
+		m, err := r.next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case MsgShutdown:
+			return nil
+		case MsgCancel:
+			mu.Lock()
+			if busy && running == m.ID && cancel != nil {
+				cancel()
+			}
+			mu.Unlock()
+		case MsgEval:
+			mu.Lock()
+			if busy {
+				// Protocol violation guard: the supervisor dispatches one
+				// evaluation at a time, so refuse rather than interleave.
+				mu.Unlock()
+				w.send(Message{Type: MsgResult, ID: m.ID, Err: "worker busy", Transient: true})
+				continue
+			}
+			ctx, cf := context.WithCancel(context.Background())
+			running, cancel, busy = m.ID, cf, true
+			mu.Unlock()
+			go func(m Message, ctx context.Context, cf context.CancelFunc) {
+				res := runEval(ctx, eval, m)
+				cf()
+				mu.Lock()
+				busy, cancel = false, nil
+				mu.Unlock()
+				w.send(res)
+			}(m, ctx, cf)
+		}
+	}
+}
+
+// runEval executes one evaluation with panic recovery and encodes the
+// outcome as a result frame.
+func runEval(ctx context.Context, eval search.Evaluator, m Message) (res Message) {
+	res = Message{Type: MsgResult, ID: m.ID}
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &search.PanicError{Value: r}
+			res.Reward, res.Err, res.Transient = 0, pe.Error(), false
+		}
+	}()
+	var (
+		reward float64
+		err    error
+	)
+	if ce, ok := eval.(search.ContextEvaluator); ok {
+		reward, err = ce.EvaluateCtx(ctx, m.Arch, m.Seed)
+	} else {
+		reward, err = eval.Evaluate(m.Arch, m.Seed)
+	}
+	if err != nil {
+		res.Err = err.Error()
+		res.Transient = errors.Is(err, search.ErrTransient)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// A cancelled evaluation is re-dispatched or abandoned by the
+			// supervisor, never recorded; mark it transient so nothing
+			// downstream mistakes it for a permanent failure.
+			res.Transient = true
+		}
+		return res
+	}
+	if math.IsNaN(reward) || math.IsInf(reward, 0) {
+		reward = search.DivergedReward // JSON cannot carry non-finite floats
+	}
+	res.Reward = reward
+	return res
+}

@@ -1,0 +1,175 @@
+package worker_test
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+
+	"podnas/internal/arch"
+	"podnas/internal/search"
+	"podnas/internal/worker"
+)
+
+// waitGoroutines waits for the goroutine count to settle back to roughly
+// the baseline, tolerating the runtime's own background goroutines.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	const slack = 6
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// killStorm SIGKILLs a random live worker every interval until stop closes.
+// This is the test's external chaos monkey: real kill -9 against real
+// worker processes, not simulated faults.
+func killStorm(pool *worker.Pool, interval time.Duration, seed int64, stop <-chan struct{}) {
+	rng := rand.New(rand.NewSource(seed))
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			pids := pool.Pids()
+			if len(pids) == 0 {
+				continue
+			}
+			syscall.Kill(pids[rng.Intn(len(pids))], syscall.SIGKILL)
+		}
+	}
+}
+
+// TestPoolKillStormStress runs a pooled search while an external process
+// randomly SIGKILLs workers, asserting the evaluation budget is fully spent
+// and no goroutines leak. Run under -race (CI does).
+func TestPoolKillStormStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-storm stress test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	opts := fastPoolOptions()
+	opts.Workers = 3
+	opts.MaxRestarts = 200 // the storm is relentless; the budget must outlast it
+	opts.RestartBackoff = 5 * time.Millisecond
+	opts.Command = helperCommand(func(int, int) []string { return []string{"HELPER_SLEEP=25ms"} })
+	pool, err := worker.NewPool(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	go killStorm(pool, 60*time.Millisecond, 42, stop)
+
+	const seed, evals = 11, 15
+	rs, err := search.NewRandomSearch(arch.Default(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := search.RunAsync(rs, pool, search.RunAsyncOptions{
+		Workers: 3, MaxEvals: evals, Seed: seed, Retries: 5,
+	})
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != evals {
+		t.Fatalf("budget not spent under kill storm: %d of %d evaluations", len(res), evals)
+	}
+	errored := 0
+	for _, r := range res {
+		if r.Err != nil {
+			errored++
+			continue
+		}
+		want := mockReward(r.Arch, seed+uint64(r.Index)*0x9e37)
+		if r.Reward != want {
+			t.Fatalf("eval %d reward %v, want %v", r.Index, r.Reward, want)
+		}
+	}
+	// The pool absorbs crashes by re-dispatching and the runner retries
+	// transient failures on top, so under a storm the vast majority of the
+	// budget still yields real rewards.
+	if errored > evals/3 {
+		t.Fatalf("%d of %d evaluations errored despite re-dispatch and retries", errored, evals)
+	}
+	st := pool.Stats()
+	t.Logf("kill-storm stats: %+v, %d errored results", st, errored)
+	if st.Crashes == 0 {
+		t.Fatalf("storm killed nothing (stats %+v); test is vacuous", st)
+	}
+
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestPoolKillStormWithCancellation layers context cancellation on top of
+// the kill storm: the search must stop promptly and cleanly, returning its
+// completed results without leaking goroutines or processes.
+func TestPoolKillStormWithCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-storm stress test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	opts := fastPoolOptions()
+	opts.Workers = 3
+	opts.MaxRestarts = 200
+	opts.RestartBackoff = 5 * time.Millisecond
+	opts.Command = helperCommand(func(int, int) []string { return []string{"HELPER_SLEEP=40ms"} })
+	pool, err := worker.NewPool(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	go killStorm(pool, 70*time.Millisecond, 7, stop)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		cancel()
+	}()
+	const seed = 23
+	rs, err := search.NewRandomSearch(arch.Default(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	res, err := search.RunAsyncCtx(ctx, rs, pool, search.RunAsyncOptions{
+		Workers: 3, MaxEvals: 500, Seed: seed, Retries: 3,
+	})
+	close(stop)
+	if err != nil {
+		t.Fatalf("cancelled run returned error: %v", err)
+	}
+	if took := time.Since(t0); took > 30*time.Second {
+		t.Fatalf("cancelled run took %v to wind down", took)
+	}
+	if len(res) >= 500 {
+		t.Fatalf("run was not actually interrupted (%d results)", len(res))
+	}
+
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, baseline)
+}

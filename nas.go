@@ -51,6 +51,12 @@ type SearchOptions struct {
 	// Resume restores a previous run from a checkpoint written via
 	// CheckpointPath; completed evaluations count toward MaxEvals.
 	Resume *search.Checkpoint
+	// Evaluator, when non-nil, replaces the default in-process training
+	// evaluator — e.g. a process-isolated worker pool (internal/worker)
+	// whose subprocesses run Pipeline.NewEvaluator. The override must score
+	// architectures from this pipeline's DefaultSpace; Epochs is ignored
+	// because the override owns its training budget.
+	Evaluator search.Evaluator
 }
 
 // DefaultSearchOptions returns a budget suitable for a single machine: a
@@ -76,17 +82,31 @@ type SearchResult struct {
 	Space    arch.Space
 }
 
-func (p *Pipeline) evaluator(opts SearchOptions) (*search.TrainingEvaluator, arch.Space, error) {
+func (p *Pipeline) evaluator(opts SearchOptions) (search.Evaluator, arch.Space, error) {
 	space := p.DefaultSpace()
-	cfg := nn.DefaultTrainConfig()
-	if opts.Epochs > 0 {
-		cfg.Epochs = opts.Epochs
+	if opts.Evaluator != nil {
+		return opts.Evaluator, space, nil
 	}
-	ev, err := search.NewTrainingEvaluator(space, p.TrainWin, p.ValWin, cfg)
-	if err == nil {
-		ev.Scaler = p.Scaler
-	}
+	ev, err := p.NewEvaluator(opts.Epochs)
 	return ev, space, err
+}
+
+// NewEvaluator builds the in-process training evaluator the search entry
+// points use by default: train on the pipeline's windowed data for epochs
+// (0 = the paper's default) and score by validation R². It is also what an
+// isolated worker process serves and what a degraded worker pool falls back
+// to, so pooled and in-process runs score identically.
+func (p *Pipeline) NewEvaluator(epochs int) (search.Evaluator, error) {
+	cfg := nn.DefaultTrainConfig()
+	if epochs > 0 {
+		cfg.Epochs = epochs
+	}
+	ev, err := search.NewTrainingEvaluator(p.DefaultSpace(), p.TrainWin, p.ValWin, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ev.Scaler = p.Scaler
+	return ev, nil
 }
 
 // searchCtx resolves the external context and the checkpointer from opts.
@@ -102,7 +122,7 @@ func (opts SearchOptions) searchCtx() (context.Context, *search.Checkpointer) {
 	return ctx, ck
 }
 
-func (p *Pipeline) runAsyncSearch(s search.Searcher, ev *search.TrainingEvaluator, space arch.Space, opts SearchOptions) (*SearchResult, error) {
+func (p *Pipeline) runAsyncSearch(s search.Searcher, ev search.Evaluator, space arch.Space, opts SearchOptions) (*SearchResult, error) {
 	ctx, ck := opts.searchCtx()
 	res, err := search.RunAsyncCtx(ctx, s, ev, search.RunAsyncOptions{
 		Workers: opts.Workers, MaxEvals: opts.MaxEvals, Deadline: opts.Deadline, Seed: opts.Seed,
