@@ -131,7 +131,7 @@ func (r *runner) searchBest() (*podnas.SearchResult, error) {
 		Population: maxInt(4, r.evals/3), Sample: maxInt(2, r.evals/8), Seed: r.seed,
 	}
 	fmt.Printf("running AE search (%d evaluations, %d epochs each)...\n", opts.MaxEvals, epochs)
-	res, err := podnas.SearchAE(p, opts)
+	res, err := podnas.Search(p, podnas.MethodAE, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@
 //	       [-grid small|default] [-seed 1] [-posttrain]
 //	       [-checkpoint ck.json] [-resume ck.json] [-evaltimeout 0] [-retries 0]
 //	       [-isolate] [-heartbeat 1s] [-maxrestarts 3] [-speculate 0]
+//	       [-obs :6060] [-trace out.jsonl]
 //
 // A run with -checkpoint periodically persists the search state; a killed
 // run (Ctrl-C, SIGTERM, power loss) restarts from where it left off with
@@ -20,10 +21,21 @@
 // costs one process, not the search: the supervisor detects the death,
 // restarts the worker, and re-dispatches the evaluation. See the README's
 // "Isolated worker processes" section.
+//
+// Observability: -trace streams every search event (evaluation lifecycle,
+// epoch ticks, worker supervision, checkpoints) as JSON lines; -obs serves
+// live aggregate metrics as the expvar "podnas.search" at /debug/vars plus
+// the pprof suite. See the README's "Observability" section.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error (bad flags,
+// unknown method, invalid options), 3 unreadable or corrupted checkpoint,
+// 4 interrupted before any evaluation succeeded, 5 evaluation budget
+// exhausted without a success.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -36,9 +48,55 @@ import (
 	"time"
 
 	"podnas"
+	"podnas/internal/obs"
 	"podnas/internal/search"
 	"podnas/internal/worker"
 )
+
+// Exit codes, so schedulers and shell scripts can branch on the failure
+// class (documented in the package comment).
+const (
+	exitFailure    = 1
+	exitUsage      = 2
+	exitCheckpoint = 3
+	exitInterrupt  = 4
+	exitBudget     = 5
+)
+
+// obsCleanup flushes the -trace sink before any exit path; log.Fatal-style
+// exits skip defers, so fatal routes through it explicitly.
+var obsCleanup = func() {}
+
+// exitCode maps an error onto the documented exit codes via the podnas
+// sentinels.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, podnas.ErrBadMethod), errors.Is(err, podnas.ErrBadOptions):
+		return exitUsage
+	case errors.Is(err, podnas.ErrBadCheckpoint):
+		return exitCheckpoint
+	case errors.Is(err, podnas.ErrInterrupted):
+		return exitInterrupt
+	case errors.Is(err, podnas.ErrBudgetExhausted):
+		return exitBudget
+	}
+	return exitFailure
+}
+
+// fatal reports err and exits with its mapped code, flushing the trace sink
+// first so the event log survives the failure it explains.
+func fatal(err error) {
+	obsCleanup()
+	log.Print(err)
+	os.Exit(exitCode(err))
+}
+
+// fatalUsage reports a flag/usage error and exits with the usage code.
+func fatalUsage(format string, args ...any) {
+	obsCleanup()
+	log.Printf(format, args...)
+	os.Exit(exitUsage)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -65,28 +123,34 @@ func main() {
 	killNth := flag.Int("killnth", 0, "fault injection: SIGKILL a worker right after the Nth dispatched evaluation (tests/CI smoke)")
 	faultKill := flag.Float64("faultkill", 0, "fault injection: probability a worker kills its own process mid-evaluation (needs -isolate)")
 	faultSeed := flag.Uint64("faultseed", 0, "fault injection seed (set by the supervisor per worker incarnation)")
+	obsAddr := flag.String("obs", "", "serve live metrics (expvar) and pprof on this address, e.g. :6060")
+	tracePath := flag.String("trace", "", "stream the search event log to this file as JSON lines")
 	flag.Parse()
 
 	// Fail fast on invalid flags with a one-line error before any expensive
 	// pipeline work, so typos do not waste minutes of data preparation.
+	searchMethod, merr := podnas.ParseMethod(*method)
+	if merr != nil {
+		fatal(merr)
+	}
 	if *workers < 1 {
-		log.Fatalf("-workers must be at least 1, got %d", *workers)
+		fatalUsage("-workers must be at least 1, got %d", *workers)
 	}
 	if *retries < 0 {
-		log.Fatalf("-retries must be non-negative, got %d", *retries)
+		fatalUsage("-retries must be non-negative, got %d", *retries)
 	}
 	if *evals < 1 {
-		log.Fatalf("-evals must be at least 1, got %d", *evals)
+		fatalUsage("-evals must be at least 1, got %d", *evals)
 	}
 	if *grid != "small" && *grid != "default" {
-		log.Fatalf("-grid must be \"small\" or \"default\", got %q", *grid)
+		fatalUsage("-grid must be \"small\" or \"default\", got %q", *grid)
 	}
 	if *heartbeat <= 0 {
-		log.Fatalf("-heartbeat must be positive, got %v", *heartbeat)
+		fatalUsage("-heartbeat must be positive, got %v", *heartbeat)
 	}
 	if *resume != "" {
 		if _, err := os.Stat(*resume); err != nil {
-			log.Fatalf("-resume: %v", err)
+			fatalUsage("-resume: %v", err)
 		}
 	}
 
@@ -139,11 +203,43 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// Observability: aggregate metrics live (and serve them with -obs),
+	// stream the raw event log with -trace. With neither flag the recorder
+	// stays nil and the search constructs no events at all.
+	var (
+		rec      obs.Recorder
+		met      *obs.Metrics
+		traceLog *obs.JSONL
+	)
+	if *obsAddr != "" || *tracePath != "" {
+		met = obs.NewMetrics(*workers)
+		sinks := []obs.Recorder{met}
+		if *tracePath != "" {
+			tl, err := obs.CreateJSONL(*tracePath)
+			if err != nil {
+				fatalUsage("-trace: %v", err)
+			}
+			traceLog = tl
+			sinks = append(sinks, traceLog)
+			obsCleanup = func() { _ = traceLog.Close() }
+		}
+		rec = obs.NewMulti(sinks...)
+		if *obsAddr != "" {
+			met.Publish("")
+			srv, ln, err := obs.Serve(*obsAddr)
+			if err != nil {
+				fatalUsage("-obs: %v", err)
+			}
+			defer srv.Close()
+			fmt.Printf("observability: http://%s/debug/vars (expvar %q) and /debug/pprof/\n", ln.Addr(), obs.DefaultVarName)
+		}
+	}
+
 	opts := podnas.SearchOptions{
 		Workers: *workers, MaxEvals: *evals, Epochs: *epochs,
 		Population: max(4, *evals/3), Sample: max(2, *evals/8), Seed: *seed,
 		Ctx: ctx, EvalTimeout: *evalTimeout, Retries: *retries,
-		CheckpointPath: *checkpoint,
+		CheckpointPath: *checkpoint, Recorder: rec,
 	}
 	var pool *worker.Pool
 	if *isolate {
@@ -182,7 +278,7 @@ func main() {
 			},
 			Heartbeat: *heartbeat, MaxRestarts: *maxRestarts, Seed: *seed,
 			SpeculativeAfter: *speculate, KillNth: *killNth,
-			Fallback: fallback,
+			Fallback: fallback, Recorder: rec,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -195,33 +291,27 @@ func main() {
 	if *resume != "" {
 		ck, err := podnas.LoadCheckpoint(*resume)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		opts.Resume = ck
 		fmt.Printf("resuming from %s: %d of %d evaluations already done\n", *resume, ck.NumResults(), *evals)
 	}
+	if searchMethod == podnas.MethodRL {
+		// Shape the RL run from the flag budget: 2 agents, -workers
+		// evaluations per agent batch, and enough rounds to spend -evals.
+		opts.Agents = 2
+		opts.WorkersPerAgent = max(1, *workers)
+		opts.Batches = max(1, *evals/(opts.Agents*opts.WorkersPerAgent))
+	}
 	fmt.Printf("running %s search: %d evaluations, %d workers, %d epochs each\n", *method, *evals, *workers, *epochs)
 	t0 = time.Now()
-	var res *podnas.SearchResult
-	switch *method {
-	case "ae":
-		res, err = podnas.SearchAE(p, opts)
-	case "rs":
-		res, err = podnas.SearchRS(p, opts)
-	case "rl":
-		agents := 2
-		batch := max(1, *workers)
-		rounds := max(1, *evals/(agents*batch))
-		res, err = podnas.SearchRL(p, opts, agents, batch, rounds)
-	default:
-		log.Fatalf("unknown method %q", *method)
-	}
+	res, err := podnas.Search(p, searchMethod, opts)
 	if err != nil {
 		if ctx.Err() != nil && *checkpoint != "" {
-			log.Fatalf("%v\ninterrupted — resume with: nasrun -method %s -evals %d -seed %d -resume %s",
+			err = fmt.Errorf("%w\ninterrupted — resume with: nasrun -method %s -evals %d -seed %d -resume %s",
 				err, *method, *evals, *seed, *checkpoint)
 		}
-		log.Fatal(err)
+		fatal(err)
 	}
 	elapsed := time.Since(t0)
 	interrupted := ctx.Err() != nil
@@ -240,11 +330,24 @@ func main() {
 	if pool != nil {
 		printPoolStats(pool.Stats())
 	}
+	if met != nil {
+		s := met.Snapshot()
+		fmt.Printf("live metrics: %d evaluations (%d errors, %d retries), reward MA %.4f, best %.4f, utilization %.1f%%\n",
+			s.Evals, s.Errors, s.Retries, s.RewardMA, s.BestReward, 100*s.UtilizationAUC)
+	}
+	if traceLog != nil {
+		obsCleanup = func() {}
+		if err := traceLog.Close(); err != nil {
+			log.Printf("trace: %v", err)
+		} else {
+			fmt.Printf("event trace written to %s\n", *tracePath)
+		}
+	}
 	fmt.Printf("\nbest architecture (validation R2 = %.4f):\n%s", res.Best.Reward, res.BestDesc)
 	fmt.Printf("architecture key (reusable via -arch): %s\n", res.Best.Arch.Key())
 	if *save != "" {
 		if err := res.SaveJSON(*save); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("search history written to %s\n", *save)
 	}
@@ -262,10 +365,10 @@ func main() {
 		fmt.Printf("\nposttraining the best architecture (100 epochs)...\n")
 		m, err := p.BuildArch(res.Space, res.Best.Arch, *seed)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if _, err := m.Posttrain(100, *seed); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("posttrained: val R2 %.4f  train R2 %.4f  test R2 %.4f  (%d parameters)\n",
 			m.ValR2(), m.TrainR2(), m.TestR2(), m.ParamCount())

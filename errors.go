@@ -1,0 +1,28 @@
+package podnas
+
+import (
+	"errors"
+
+	"podnas/internal/search"
+)
+
+// Sentinel errors returned by the search entry points. Callers branch on
+// them with errors.Is; nasrun maps each to a distinct exit code so shell
+// scripts and schedulers can tell a corrupted checkpoint from an interrupt.
+var (
+	// ErrBadMethod reports a search method name that is not AE, RS, or RL.
+	ErrBadMethod = errors.New("unknown search method")
+	// ErrBadOptions reports SearchOptions that fail validation (negative
+	// budgets, missing pipeline, ...).
+	ErrBadOptions = errors.New("invalid search options")
+	// ErrBadCheckpoint reports a checkpoint that cannot be restored: a
+	// truncated or corrupted file, a schema-version mismatch, or state from
+	// a different method or agent count.
+	ErrBadCheckpoint = search.ErrBadCheckpoint
+	// ErrBudgetExhausted reports a search that spent its full evaluation
+	// budget without a single successful evaluation.
+	ErrBudgetExhausted = errors.New("evaluation budget exhausted without a successful evaluation")
+	// ErrInterrupted reports a search cancelled (context/deadline) before
+	// any evaluation succeeded.
+	ErrInterrupted = errors.New("search interrupted")
+)

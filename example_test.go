@@ -33,7 +33,7 @@ func Example_search() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := podnas.SearchAE(p, podnas.DefaultSearchOptions())
+	res, err := podnas.Search(p, podnas.MethodAE, podnas.DefaultSearchOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

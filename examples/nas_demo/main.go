@@ -29,7 +29,7 @@ func main() {
 	}
 
 	t0 := time.Now()
-	ae, err := podnas.SearchAE(p, opts)
+	ae, err := podnas.Search(p, podnas.MethodAE, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func main() {
 	fmt.Print(ae.BestDesc)
 
 	t0 = time.Now()
-	rs, err := podnas.SearchRS(p, opts)
+	rs, err := podnas.Search(p, podnas.MethodRS, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"podnas/internal/metrics"
+	"podnas/internal/obs"
 	"podnas/internal/tensor"
 )
 
@@ -69,6 +70,11 @@ func Train(g *Graph, x, y *tensor.Tensor3, cfg TrainConfig) (float64, error) {
 	if cfg.Epochs < 1 || cfg.BatchSize < 1 || cfg.LR <= 0 {
 		return 0, fmt.Errorf("nn: invalid train config %+v", cfg)
 	}
+	// A search runner plants a Recorder (and the evaluation index it is
+	// scoring) in cfg.Ctx; when present, every epoch emits a live training
+	// tick without Train needing an explicit observability parameter.
+	recorder, _ := obs.RecorderFrom(cfg.Ctx)
+	evalIdx, _ := obs.EvalFrom(cfg.Ctx)
 	opt := NewAdam(cfg.LR)
 	rng := tensor.NewRNG(cfg.Seed)
 	idx := make([]int, x.B)
@@ -116,6 +122,9 @@ func Train(g *Graph, x, y *tensor.Tensor3, cfg TrainConfig) (float64, error) {
 			batches++
 		}
 		epochLoss /= float64(batches)
+		if recorder != nil {
+			recorder.Record(obs.Event{Kind: obs.KindEpoch, Eval: evalIdx, Epoch: epoch, Loss: epochLoss})
+		}
 		if cfg.EpochCallback != nil {
 			cfg.EpochCallback(epoch, epochLoss)
 		}

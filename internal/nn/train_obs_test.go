@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"podnas/internal/obs"
+	"podnas/internal/tensor"
+)
+
+// TestTrainEmitsEpochTicks plants a recorder in the training context (as the
+// search runners do) and asserts one epoch event per epoch, attributed to
+// the evaluation index, with a finite loss.
+func TestTrainEmitsEpochTicks(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	g, err := NewStackedLSTM(2, 2, 6, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewTensor3(16, 3, 2)
+	rng.FillNormal(x.Data, 1)
+	y := x.Clone()
+	for i := range y.Data {
+		y.Data[i] *= 0.3
+	}
+	ring := obs.NewRing(64)
+	cfg := TrainConfig{
+		Epochs: 4, BatchSize: 8, LR: 0.01, Seed: 2,
+		Ctx: obs.WithEval(context.Background(), ring, 5),
+	}
+	if _, err := Train(g, x, y, cfg); err != nil {
+		t.Fatal(err)
+	}
+	evs := ring.Events()
+	if len(evs) != cfg.Epochs {
+		t.Fatalf("got %d events, want %d epoch ticks", len(evs), cfg.Epochs)
+	}
+	for i, e := range evs {
+		if e.Kind != obs.KindEpoch {
+			t.Fatalf("event %d kind %v, want epoch", i, e.Kind)
+		}
+		if e.Eval != 5 {
+			t.Errorf("epoch tick attributed to evaluation %d, want 5", e.Eval)
+		}
+		if e.Epoch != i {
+			t.Errorf("epoch tick %d carries epoch %d", i, e.Epoch)
+		}
+		if math.IsNaN(e.Loss) || math.IsInf(e.Loss, 0) || e.Loss == 0 {
+			t.Errorf("epoch %d loss %v", i, e.Loss)
+		}
+	}
+}
+
+// TestTrainWithoutRecorderEmitsNothing is the zero-cost contract: a context
+// without a recorder (or no context at all) produces no events.
+func TestTrainWithoutRecorderEmitsNothing(t *testing.T) {
+	rng := tensor.NewRNG(32)
+	g, err := NewStackedLSTM(2, 2, 4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewTensor3(8, 2, 2)
+	rng.FillNormal(x.Data, 1)
+	y := x.Clone()
+	if _, err := Train(g, x, y, TrainConfig{Epochs: 2, BatchSize: 8, LR: 0.01, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := obs.RecorderFrom(context.Background()); ok || rec != nil {
+		t.Error("background context should carry no recorder")
+	}
+}

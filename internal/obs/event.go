@@ -1,0 +1,134 @@
+// Package obs is the live observability layer: a lock-cheap, typed event
+// bus for a running architecture search, plus a streaming metrics
+// aggregator that computes the paper's operational quantities (moving-
+// average reward, node-utilization AUC, unique high performers) while the
+// search runs instead of post-hoc from a finished SearchResult. The design
+// follows the DeepHyper/Balsam pattern of streaming per-job telemetry: the
+// runners, the worker pool, the checkpointer, and nn.Train each emit events
+// into a Recorder, and sinks (in-memory ring, JSONL file, live metrics,
+// expvar/pprof HTTP) consume them without the producers knowing who is
+// listening.
+//
+// The package depends only on the standard library, so every layer of the
+// stack — from the public API down to the training loop — can import it
+// without cycles.
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind identifies the event type.
+type Kind uint8
+
+// The event vocabulary. Producers throughout the stack emit these; sinks
+// switch on them. Unknown kinds must be ignored by consumers, so the
+// vocabulary can grow without breaking stored JSONL traces.
+const (
+	// KindSearchStart opens a run (Method, Worker = worker count).
+	KindSearchStart Kind = iota + 1
+	// KindSearchFinish closes a run (Eval = completed evaluations).
+	KindSearchFinish
+	// KindEvalStart marks an evaluation dispatched (Eval, Worker, Arch).
+	KindEvalStart
+	// KindEvalFinish marks a successful evaluation (Eval, Reward, Seconds).
+	KindEvalFinish
+	// KindEvalError marks a failed evaluation (Eval, Err, Seconds).
+	KindEvalError
+	// KindEvalRetry marks a transient failure about to be retried
+	// (Eval, Attempt, Err).
+	KindEvalRetry
+	// KindEpoch is one training-epoch tick from nn.Train (Eval, Epoch, Loss).
+	KindEpoch
+	// KindRound closes one synchronous PPO batch round (Round, Reward =
+	// round mean, Eval = evaluations so far).
+	KindRound
+	// KindCheckpoint marks a successful checkpoint write (Eval = results
+	// persisted).
+	KindCheckpoint
+	// KindWorkerSpawn marks a worker process ready (Worker, Attempt =
+	// incarnation).
+	KindWorkerSpawn
+	// KindWorkerCrash marks a worker death (Worker, Err).
+	KindWorkerCrash
+	// KindWorkerRestart marks a respawn decision (Worker, Attempt).
+	KindWorkerRestart
+	// KindHeartbeatMiss marks a worker killed for going silent (Worker).
+	KindHeartbeatMiss
+	// KindSpecLaunch marks a speculative duplicate dispatch (Eval = pool job
+	// id).
+	KindSpecLaunch
+	// KindSpecWin marks an evaluation decided by its speculative copy
+	// (Eval = pool job id).
+	KindSpecWin
+)
+
+var kindNames = [...]string{
+	KindSearchStart:   "search_start",
+	KindSearchFinish:  "search_finish",
+	KindEvalStart:     "eval_start",
+	KindEvalFinish:    "eval_finish",
+	KindEvalError:     "eval_error",
+	KindEvalRetry:     "eval_retry",
+	KindEpoch:         "epoch",
+	KindRound:         "round",
+	KindCheckpoint:    "checkpoint",
+	KindWorkerSpawn:   "worker_spawn",
+	KindWorkerCrash:   "worker_crash",
+	KindWorkerRestart: "worker_restart",
+	KindHeartbeatMiss: "heartbeat_miss",
+	KindSpecLaunch:    "spec_launch",
+	KindSpecWin:       "spec_win",
+}
+
+// String returns the stable snake_case name used in JSONL traces.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its stable string name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a kind from its string name. Unknown names decode to
+// 0 (no error), so old readers tolerate traces from newer writers.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("obs: kind must be a JSON string, got %s", b)
+	}
+	name := string(b[1 : len(b)-1])
+	for i, n := range kindNames {
+		if n == name {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	*k = 0
+	return nil
+}
+
+// Event is one telemetry sample. Which fields are meaningful depends on
+// Kind (see the kind constants); unused numeric fields are zero. T is the
+// monotonic offset since the recorder's start, stamped by the outermost
+// sink when the producer leaves it zero, so every sink fed through the same
+// Multi sees identical timestamps.
+type Event struct {
+	T       time.Duration `json:"t"`    // monotonic offset, nanoseconds
+	Kind    Kind          `json:"kind"` // snake_case name in JSON
+	Eval    int           `json:"eval"`
+	Worker  int           `json:"worker"`
+	Epoch   int           `json:"epoch"`
+	Round   int           `json:"round"`
+	Attempt int           `json:"attempt"`
+	Reward  float64       `json:"reward"`
+	Loss    float64       `json:"loss"`
+	Seconds float64       `json:"seconds"` // evaluation duration
+	Method  string        `json:"method,omitempty"`
+	Arch    string        `json:"arch,omitempty"` // canonical architecture key
+	Err     string        `json:"err,omitempty"`
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the observability mux served by `nasrun -obs`: the expvar
+// JSON snapshot at /debug/vars (including any Metrics published there) and
+// the full pprof suite under /debug/pprof/. Handlers are mounted explicitly
+// rather than via the net/http/pprof side-effect registration, so nothing
+// leaks onto http.DefaultServeMux.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability listener on addr (e.g. ":6060") and serves
+// Handler on it in the background. It returns the bound listener (its Addr
+// resolves ":0" for tests) and the server for shutdown. The server runs
+// until closed; serve errors after Close are discarded.
+func Serve(addr string) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln, nil
+}

@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"expvar"
+	"math"
+	"sync"
+	"time"
+)
+
+// Metrics is a Recorder that computes the paper's operational quantities
+// live from the event stream: the window-100 moving-average reward and the
+// trapezoidal node-utilization AUC that normally require a finished
+// SearchResult (or an hpcsim run) to compute post-hoc, plus evaluation
+// throughput, unique high performers, and supervision counters. Feed it the
+// same events as a Ring and the two computations agree to float rounding,
+// which is exactly the live-vs-post-hoc cross-check the tests enforce.
+//
+// All state transitions are driven by event timestamps, not wall reads at
+// Record time, so replaying a recorded stream reproduces the same snapshot.
+type Metrics struct {
+	clock
+
+	// Workers is the evaluation-slot capacity — the utilization
+	// denominator, the analogue of hpcsim's node count.
+	workers int
+	// window is the moving-average window (paper: 100).
+	window int
+	// highThreshold is the unique-high-performer reward cutoff (paper 0.96).
+	highThreshold float64
+
+	mu sync.Mutex
+
+	evals, successes, errors, retries int
+	epochs, rounds, checkpoints       int
+	spawns, crashes, restarts         int
+	hbMisses, specs, specWins         int
+
+	rewards []float64 // ring of the last `window` successful rewards
+	rwNext  int
+	rwLen   int
+
+	best       float64
+	high       map[string]bool
+	inflight   map[int]time.Duration // eval index -> start offset
+	busy       time.Duration         // completed evaluations' busy time
+	lastT      time.Duration
+	perWorker  map[int]*WorkerCounters
+	lastReward float64
+}
+
+// WorkerCounters are the per-slot supervision tallies.
+type WorkerCounters struct {
+	Spawns          int `json:"spawns"`
+	Crashes         int `json:"crashes"`
+	Restarts        int `json:"restarts"`
+	HeartbeatMisses int `json:"heartbeat_misses"`
+}
+
+// MetricsOptions tune the aggregator; zero values take the paper defaults.
+type MetricsOptions struct {
+	// Window is the moving-average window (default 100).
+	Window int
+	// HighThreshold is the unique-high-performer cutoff (default 0.96).
+	HighThreshold float64
+}
+
+// NewMetrics returns an aggregator sized for the given evaluation-slot
+// count (minimum 1) with paper-default window (100) and high-performer
+// threshold (0.96).
+func NewMetrics(workers int) *Metrics { return NewMetricsOpts(workers, MetricsOptions{}) }
+
+// NewMetricsOpts is NewMetrics with explicit tuning.
+func NewMetricsOpts(workers int, opts MetricsOptions) *Metrics {
+	if workers < 1 {
+		workers = 1
+	}
+	if opts.Window <= 0 {
+		opts.Window = 100
+	}
+	if opts.HighThreshold == 0 {
+		opts.HighThreshold = 0.96
+	}
+	return &Metrics{
+		clock: newClock(), workers: workers,
+		window: opts.Window, highThreshold: opts.HighThreshold,
+		rewards:   make([]float64, opts.Window),
+		best:      math.Inf(-1),
+		high:      make(map[string]bool),
+		inflight:  make(map[int]time.Duration),
+		perWorker: make(map[int]*WorkerCounters),
+	}
+}
+
+func (m *Metrics) worker(id int) *WorkerCounters {
+	w := m.perWorker[id]
+	if w == nil {
+		w = &WorkerCounters{}
+		m.perWorker[id] = w
+	}
+	return w
+}
+
+// Record implements Recorder.
+func (m *Metrics) Record(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stamp(&e)
+	if e.T > m.lastT {
+		m.lastT = e.T
+	}
+	switch e.Kind {
+	case KindEvalStart:
+		m.inflight[e.Eval] = e.T
+	case KindEvalFinish:
+		m.closeEval(e)
+		m.successes++
+		m.pushReward(e.Reward)
+		if e.Reward > m.best {
+			m.best = e.Reward
+		}
+		if e.Reward > m.highThreshold && e.Arch != "" {
+			m.high[e.Arch] = true
+		}
+	case KindEvalError:
+		m.closeEval(e)
+		m.errors++
+	case KindEvalRetry:
+		m.retries++
+	case KindEpoch:
+		m.epochs++
+	case KindRound:
+		m.rounds++
+	case KindCheckpoint:
+		m.checkpoints++
+	case KindWorkerSpawn:
+		m.spawns++
+		m.worker(e.Worker).Spawns++
+	case KindWorkerCrash:
+		m.crashes++
+		m.worker(e.Worker).Crashes++
+	case KindWorkerRestart:
+		m.restarts++
+		m.worker(e.Worker).Restarts++
+	case KindHeartbeatMiss:
+		m.hbMisses++
+		m.worker(e.Worker).HeartbeatMisses++
+	case KindSpecLaunch:
+		m.specs++
+	case KindSpecWin:
+		m.specWins++
+	}
+}
+
+// closeEval accounts one terminal evaluation: its busy interval (for the
+// utilization AUC) and the completion counter.
+func (m *Metrics) closeEval(e Event) {
+	m.evals++
+	if start, ok := m.inflight[e.Eval]; ok {
+		if e.T > start {
+			m.busy += e.T - start
+		}
+		delete(m.inflight, e.Eval)
+	}
+}
+
+func (m *Metrics) pushReward(r float64) {
+	m.rewards[m.rwNext] = r
+	m.rwNext = (m.rwNext + 1) % m.window
+	if m.rwLen < m.window {
+		m.rwLen++
+	}
+	m.lastReward = r
+}
+
+// rewardMA sums the trailing window in insertion order, matching
+// metrics.MovingAverage's accumulation order so the two agree to float
+// rounding (bitwise while the window has not wrapped).
+func (m *Metrics) rewardMA() float64 {
+	if m.rwLen == 0 {
+		return 0
+	}
+	start := m.rwNext - m.rwLen
+	if start < 0 {
+		start += m.window
+	}
+	var sum float64
+	for i := 0; i < m.rwLen; i++ {
+		sum += m.rewards[(start+i)%m.window]
+	}
+	return sum / float64(m.rwLen)
+}
+
+// Snapshot is one consistent view of the live metrics, JSON-encodable for
+// expvar (non-finite values are clamped to zero so encoding never fails).
+type Snapshot struct {
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Workers        int     `json:"workers"`
+
+	Evals       int     `json:"evals"`
+	Successes   int     `json:"successes"`
+	Errors      int     `json:"errors"`
+	Retries     int     `json:"retries"`
+	InFlight    int     `json:"in_flight"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+
+	RewardMA   float64 `json:"reward_ma"`
+	LastReward float64 `json:"last_reward"`
+	BestReward float64 `json:"best_reward"`
+	UniqueHigh int     `json:"unique_high"`
+
+	// UtilizationAUC is busy-slot-seconds (including in-flight evaluations
+	// up to the last event) over Workers × elapsed — the live counterpart of
+	// hpcsim's trapezoid-integrated busy-node AUC ratio.
+	UtilizationAUC float64 `json:"utilization_auc"`
+	BusySeconds    float64 `json:"busy_seconds"`
+
+	Epochs      int `json:"epochs"`
+	Rounds      int `json:"rounds"`
+	Checkpoints int `json:"checkpoints"`
+
+	WorkerSpawns      int                    `json:"worker_spawns"`
+	WorkerCrashes     int                    `json:"worker_crashes"`
+	WorkerRestarts    int                    `json:"worker_restarts"`
+	HeartbeatMisses   int                    `json:"heartbeat_misses"`
+	Speculations      int                    `json:"speculations"`
+	SpeculativeWins   int                    `json:"speculative_wins"`
+	PerWorkerCounters map[int]WorkerCounters `json:"per_worker,omitempty"`
+}
+
+// Snapshot returns the current aggregate state.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		ElapsedSeconds:  m.lastT.Seconds(),
+		Workers:         m.workers,
+		Evals:           m.evals,
+		Successes:       m.successes,
+		Errors:          m.errors,
+		Retries:         m.retries,
+		InFlight:        len(m.inflight),
+		RewardMA:        m.rewardMA(),
+		LastReward:      m.lastReward,
+		Epochs:          m.epochs,
+		Rounds:          m.rounds,
+		Checkpoints:     m.checkpoints,
+		UniqueHigh:      len(m.high),
+		WorkerSpawns:    m.spawns,
+		WorkerCrashes:   m.crashes,
+		WorkerRestarts:  m.restarts,
+		HeartbeatMisses: m.hbMisses,
+		Speculations:    m.specs,
+		SpeculativeWins: m.specWins,
+	}
+	if !math.IsInf(m.best, -1) {
+		s.BestReward = m.best
+	}
+	busy := m.busy
+	for _, start := range m.inflight {
+		if m.lastT > start {
+			busy += m.lastT - start
+		}
+	}
+	s.BusySeconds = busy.Seconds()
+	if m.lastT > 0 {
+		s.EvalsPerSec = float64(m.evals) / m.lastT.Seconds()
+		s.UtilizationAUC = busy.Seconds() / (float64(m.workers) * m.lastT.Seconds())
+	}
+	if len(m.perWorker) > 0 {
+		s.PerWorkerCounters = make(map[int]WorkerCounters, len(m.perWorker))
+		for id, w := range m.perWorker {
+			s.PerWorkerCounters[id] = *w
+		}
+	}
+	return s
+}
+
+// publishMu guards the expvar registry probe: expvar.Publish panics on
+// duplicate names, and Get-then-Publish must be atomic across goroutines.
+var publishMu sync.Mutex
+
+// DefaultVarName is the expvar name nasrun publishes the live snapshot
+// under.
+const DefaultVarName = "podnas.search"
+
+// Publish registers the live snapshot as an expvar Func under name (empty =
+// DefaultVarName), making it visible at /debug/vars. Returns false when the
+// name is already taken (expvar forbids re-registration, e.g. across tests
+// or repeated runs in one process).
+func (m *Metrics) Publish(name string) bool {
+	if name == "" {
+		name = DefaultVarName
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return false
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+	return true
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Recorder consumes telemetry events. Record must be safe for concurrent
+// use and cheap: producers call it from the search runners' hot paths with
+// no buffering of their own. A nil Recorder is never passed — producers
+// skip emission entirely when unconfigured, so the zero-cost path stays
+// free of event construction (arch keys, error strings).
+type Recorder interface {
+	Record(Event)
+}
+
+// Nop is the do-nothing Recorder, for callers that want an explicit sink
+// rather than leaving the option nil.
+type Nop struct{}
+
+// Record discards the event.
+func (Nop) Record(Event) {}
+
+// clock stamps events with monotonic offsets from a fixed start. Sinks
+// stamp only events the producer left unstamped (T == 0), so a Multi can
+// stamp once and fan out identical timestamps.
+type clock struct{ start time.Time }
+
+func newClock() clock { return clock{start: time.Now()} }
+
+func (c clock) stamp(e *Event) {
+	if e.T == 0 {
+		e.T = time.Since(c.start)
+	}
+}
+
+// Ring is a fixed-capacity in-memory event buffer that overwrites its
+// oldest entries — the flight recorder for tests, live inspection, and
+// post-run cross-checks. Safe for concurrent use.
+type Ring struct {
+	clock
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewRing returns a ring holding the last capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{clock: newClock(), buf: make([]Event, capacity)}
+}
+
+// Record stores the event, evicting the oldest when full.
+func (r *Ring) Record(e Event) {
+	r.mu.Lock()
+	r.stamp(&e)
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns how many events were ever recorded (including evicted).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// JSONL streams events as one JSON object per line — the `nasrun -trace`
+// sink. Writes are buffered; call Flush (or Close) to persist the tail.
+// Safe for concurrent use. Write errors are sticky and reported by Err, so
+// a full disk does not kill the search it is observing.
+type JSONL struct {
+	clock
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL writes events to w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{clock: newClock(), bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// CreateJSONL creates (truncating) the trace file at path.
+func CreateJSONL(path string) (*JSONL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	j := NewJSONL(f)
+	j.c = f
+	return j, nil
+}
+
+// Record appends one JSONL line.
+func (j *JSONL) Record(e Event) {
+	j.mu.Lock()
+	j.stamp(&e)
+	if j.err == nil {
+		j.err = j.enc.Encode(e)
+	}
+	j.mu.Unlock()
+}
+
+// Flush writes buffered lines through to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Close flushes and closes the underlying file (when opened by CreateJSONL).
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.c != nil {
+		if cerr := j.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		j.c = nil
+	}
+	return err
+}
+
+// Err returns the first write/encode error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Multi fans one event stream out to several sinks, stamping each event
+// once so all sinks agree on timestamps (ring ↔ metrics cross-checks rely
+// on this).
+type Multi struct {
+	clock
+	sinks []Recorder
+}
+
+// NewMulti returns a fan-out recorder over the given sinks; nils are
+// skipped.
+func NewMulti(sinks ...Recorder) *Multi {
+	m := &Multi{clock: newClock()}
+	for _, s := range sinks {
+		if s != nil {
+			m.sinks = append(m.sinks, s)
+		}
+	}
+	return m
+}
+
+// Record stamps the event and forwards it to every sink.
+func (m *Multi) Record(e Event) {
+	m.stamp(&e)
+	for _, s := range m.sinks {
+		s.Record(e)
+	}
+}
+
+// ctxKey scopes the context values this package plants.
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	evalKey
+)
+
+// WithRecorder returns a context carrying r, so layers below the runner
+// (evaluators, nn.Train) can emit events without new parameters threading
+// through every signature.
+func WithRecorder(ctx context.Context, r Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey, r)
+}
+
+// RecorderFrom extracts the recorder planted by WithRecorder. ok is false
+// when the context carries none (the common, cost-free case).
+func RecorderFrom(ctx context.Context) (Recorder, bool) {
+	if ctx == nil {
+		return nil, false
+	}
+	r, ok := ctx.Value(recorderKey).(Recorder)
+	return r, ok && r != nil
+}
+
+// WithEval returns a context carrying both the recorder and the evaluation
+// index it is currently scoring, so deep layers can attribute their events.
+func WithEval(ctx context.Context, r Recorder, eval int) context.Context {
+	return context.WithValue(WithRecorder(ctx, r), evalKey, eval)
+}
+
+// EvalFrom extracts the evaluation index planted by WithEval.
+func EvalFrom(ctx context.Context) (int, bool) {
+	if ctx == nil {
+		return 0, false
+	}
+	idx, ok := ctx.Value(evalKey).(int)
+	return idx, ok
+}

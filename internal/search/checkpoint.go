@@ -20,6 +20,12 @@ import (
 // incompatible change fails loudly instead of restoring garbage state.
 const CheckpointVersion = 1
 
+// ErrBadCheckpoint marks every way a checkpoint can fail to restore: a
+// truncated or corrupted file, a schema-version mismatch, or state that does
+// not fit the run being resumed (wrong method, wrong agent count). Callers
+// distinguish it with errors.Is; podnas re-exports it at the package root.
+var ErrBadCheckpoint = errors.New("bad checkpoint")
+
 // checkpointEnvelope is the on-disk wrapper: a schema version and a CRC32
 // of the payload, so truncated or silently corrupted checkpoint files (a
 // crash mid-rename on a non-atomic filesystem, bit rot on scratch storage)
@@ -108,13 +114,13 @@ func (ck *Checkpoint) restoredResults() []Result {
 func (ck *Checkpoint) apply(s Searcher) ([]Result, error) {
 	snap, ok := s.(Snapshotter)
 	if !ok {
-		return nil, fmt.Errorf("search: cannot resume: %s does not support snapshots", s.Name())
+		return nil, fmt.Errorf("search: cannot resume %s: %w: searcher does not support snapshots", s.Name(), ErrBadCheckpoint)
 	}
 	if ck.Searcher == nil {
-		return nil, fmt.Errorf("search: checkpoint (kind %q) holds no async searcher state", ck.Kind)
+		return nil, fmt.Errorf("search: %w: checkpoint (kind %q) holds no async searcher state", ErrBadCheckpoint, ck.Kind)
 	}
 	if err := snap.Restore(*ck.Searcher); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrBadCheckpoint, err)
 	}
 	return ck.restoredResults(), nil
 }
@@ -124,14 +130,14 @@ func (ck *Checkpoint) apply(s Searcher) ([]Result, error) {
 // the result count is always a whole number of rounds.
 func (ck *Checkpoint) applyRL(agents []*PPOAgent) ([]Result, error) {
 	if ck.Kind != "RL" {
-		return nil, fmt.Errorf("search: checkpoint kind %q is not an RL run", ck.Kind)
+		return nil, fmt.Errorf("search: %w: checkpoint kind %q is not an RL run", ErrBadCheckpoint, ck.Kind)
 	}
 	if len(ck.Agents) != len(agents) {
-		return nil, fmt.Errorf("search: checkpoint has %d agents, run configured %d", len(ck.Agents), len(agents))
+		return nil, fmt.Errorf("search: %w: checkpoint has %d agents, run configured %d", ErrBadCheckpoint, len(ck.Agents), len(agents))
 	}
 	for i, st := range ck.Agents {
 		if err := agents[i].Restore(st); err != nil {
-			return nil, fmt.Errorf("search: agent %d: %w", i, err)
+			return nil, fmt.Errorf("search: %w: agent %d: %w", ErrBadCheckpoint, i, err)
 		}
 	}
 	return ck.restoredResults(), nil
@@ -148,7 +154,7 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	}
 	var env checkpointEnvelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("search: checkpoint %s is truncated or not valid JSON: %w", path, err)
+		return nil, fmt.Errorf("search: %w: %s is truncated or not valid JSON: %w", ErrBadCheckpoint, path, err)
 	}
 	payload := []byte(env.Payload)
 	if env.Version == 0 && env.Payload == nil {
@@ -156,22 +162,22 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		payload = data
 	} else {
 		if env.Version != CheckpointVersion {
-			return nil, fmt.Errorf("search: checkpoint %s has schema version %d, this build reads version %d", path, env.Version, CheckpointVersion)
+			return nil, fmt.Errorf("search: %w: %s has schema version %d, this build reads version %d", ErrBadCheckpoint, path, env.Version, CheckpointVersion)
 		}
 		sum, err := payloadChecksum(payload)
 		if err != nil {
-			return nil, fmt.Errorf("search: checkpoint %s payload is corrupted: %w", path, err)
+			return nil, fmt.Errorf("search: %w: %s payload is corrupted: %w", ErrBadCheckpoint, path, err)
 		}
 		if sum != env.Checksum {
-			return nil, fmt.Errorf("search: checkpoint %s is corrupted: payload CRC32 %08x does not match recorded %08x", path, sum, env.Checksum)
+			return nil, fmt.Errorf("search: %w: %s is corrupted: payload CRC32 %08x does not match recorded %08x", ErrBadCheckpoint, path, sum, env.Checksum)
 		}
 	}
 	ck := &Checkpoint{}
 	if err := json.Unmarshal(payload, ck); err != nil {
-		return nil, fmt.Errorf("search: bad checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("search: %w: %s: %w", ErrBadCheckpoint, path, err)
 	}
 	if ck.Kind == "" {
-		return nil, fmt.Errorf("search: checkpoint %s holds no searcher state (is it a checkpoint file?)", path)
+		return nil, fmt.Errorf("search: %w: %s holds no searcher state (is it a checkpoint file?)", ErrBadCheckpoint, path)
 	}
 	return ck, nil
 }

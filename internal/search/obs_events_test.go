@@ -1,0 +1,180 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"podnas/internal/arch"
+	"podnas/internal/obs"
+)
+
+func kindCounts(evs []obs.Event) map[obs.Kind]int {
+	c := make(map[obs.Kind]int)
+	for _, e := range evs {
+		c[e.Kind]++
+	}
+	return c
+}
+
+// TestRunAsyncEmitsEvents asserts the async runner's event stream: a search
+// start first, a finish last, one start/finish pair per evaluation, and a
+// checkpoint event per persisted save.
+func TestRunAsyncEmitsEvents(t *testing.T) {
+	s := toySpace()
+	ae, err := NewAgingEvolution(s, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRing(256)
+	ck := &Checkpointer{Path: t.TempDir() + "/ck.json", Every: 4}
+	res, err := RunAsync(ae, &toyEvaluator{space: s}, RunAsyncOptions{
+		Workers: 1, MaxEvals: 8, Seed: 1, Checkpoint: ck, Recorder: ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 8 {
+		t.Fatalf("got %d results", len(res))
+	}
+	evs := ring.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if evs[0].Kind != obs.KindSearchStart || evs[0].Method != ae.Name() {
+		t.Errorf("first event %v (method %q), want search_start from %q", evs[0].Kind, evs[0].Method, ae.Name())
+	}
+	if last := evs[len(evs)-1]; last.Kind != obs.KindSearchFinish || last.Eval != 8 {
+		t.Errorf("last event %v eval %d, want search_finish with 8", last.Kind, last.Eval)
+	}
+	c := kindCounts(evs)
+	if c[obs.KindEvalStart] != 8 || c[obs.KindEvalFinish] != 8 {
+		t.Errorf("start/finish counts %d/%d, want 8/8", c[obs.KindEvalStart], c[obs.KindEvalFinish])
+	}
+	// Saves at 4 and 8 completed results plus the unconditional final one.
+	if c[obs.KindCheckpoint] != 3 {
+		t.Errorf("checkpoint events %d, want 3", c[obs.KindCheckpoint])
+	}
+	var lastT time.Duration
+	seen := make(map[int]bool)
+	for _, e := range evs {
+		if e.T < lastT {
+			t.Fatalf("timestamps regressed: %v after %v", e.T, lastT)
+		}
+		lastT = e.T
+		if e.Kind == obs.KindEvalFinish {
+			if e.Arch == "" {
+				t.Error("finish event without an arch key")
+			}
+			if seen[e.Eval] {
+				t.Errorf("evaluation %d finished twice", e.Eval)
+			}
+			seen[e.Eval] = true
+		}
+	}
+}
+
+// flakyOnce fails every architecture's first attempt transiently, so each
+// evaluation consumes exactly one retry.
+type flakyOnce struct {
+	inner *toyEvaluator
+	mu    sync.Mutex
+	seen  map[string]bool
+}
+
+func (f *flakyOnce) Evaluate(a arch.Arch, seed uint64) (float64, error) {
+	f.mu.Lock()
+	first := !f.seen[a.Key()]
+	f.seen[a.Key()] = true
+	f.mu.Unlock()
+	if first {
+		return 0, fmt.Errorf("injected flake: %w", ErrTransient)
+	}
+	return f.inner.Evaluate(a, seed)
+}
+
+func TestRetryEventsEmitted(t *testing.T) {
+	s := toySpace()
+	rs, err := NewRandomSearch(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRing(128)
+	eval := &flakyOnce{inner: &toyEvaluator{space: s}, seen: make(map[string]bool)}
+	res, err := RunAsync(rs, eval, RunAsyncOptions{
+		Workers: 1, MaxEvals: 3, Seed: 3, Retries: 1,
+		RetryBackoff: time.Millisecond, Recorder: ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := kindCounts(ring.Events())
+	if c[obs.KindEvalRetry] != 3 {
+		t.Errorf("retry events %d, want 3", c[obs.KindEvalRetry])
+	}
+	for _, e := range ring.Events() {
+		switch e.Kind {
+		case obs.KindEvalRetry:
+			if e.Attempt != 1 || e.Err == "" {
+				t.Errorf("retry event %+v, want attempt 1 with an error", e)
+			}
+		case obs.KindEvalFinish:
+			if e.Attempt != 1 {
+				t.Errorf("finish event attempt %d, want 1 (one retry consumed)", e.Attempt)
+			}
+		}
+	}
+	for _, r := range res {
+		if r.Err != nil || r.Retries != 1 {
+			t.Errorf("result %d: err %v retries %d", r.Index, r.Err, r.Retries)
+		}
+	}
+}
+
+// TestRunRLEmitsEvents asserts the synchronous runner's stream: per-task
+// lifecycle events with the agent index in Worker, one round event per
+// barrier, and a checkpoint event per round when configured.
+func TestRunRLEmitsEvents(t *testing.T) {
+	s := toySpace()
+	ring := obs.NewRing(256)
+	ck := &Checkpointer{Path: t.TempDir() + "/rl.json", Every: 1}
+	res, err := RunRL(s, &toyEvaluator{space: s}, RunRLOptions{
+		Agents: 2, WorkersPerAgent: 2, Batches: 3, Seed: 9,
+		Checkpoint: ck, Recorder: ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 12 {
+		t.Fatalf("got %d results", len(res))
+	}
+	evs := ring.Events()
+	if evs[0].Kind != obs.KindSearchStart || evs[0].Method != "RL" {
+		t.Errorf("first event %v method %q", evs[0].Kind, evs[0].Method)
+	}
+	if last := evs[len(evs)-1]; last.Kind != obs.KindSearchFinish || last.Method != "RL" {
+		t.Errorf("last event %v method %q", last.Kind, last.Method)
+	}
+	c := kindCounts(evs)
+	if c[obs.KindEvalStart] != 12 || c[obs.KindEvalFinish] != 12 {
+		t.Errorf("start/finish counts %d/%d, want 12/12", c[obs.KindEvalStart], c[obs.KindEvalFinish])
+	}
+	if c[obs.KindRound] != 3 || c[obs.KindCheckpoint] != 3 {
+		t.Errorf("round/checkpoint counts %d/%d, want 3/3", c[obs.KindRound], c[obs.KindCheckpoint])
+	}
+	wantRound := 0
+	for _, e := range evs {
+		switch e.Kind {
+		case obs.KindRound:
+			if e.Round != wantRound {
+				t.Errorf("round event %d, want %d", e.Round, wantRound)
+			}
+			wantRound++
+		case obs.KindEvalStart:
+			if e.Worker < 0 || e.Worker > 1 {
+				t.Errorf("eval start carries agent %d, want 0 or 1", e.Worker)
+			}
+		}
+	}
+}

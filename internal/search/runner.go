@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"podnas/internal/arch"
+	"podnas/internal/obs"
 	"podnas/internal/tensor"
 )
 
@@ -67,6 +68,11 @@ type RunAsyncOptions struct {
 	// Resume seeds the run from a previously saved checkpoint: the searcher
 	// is restored and completed results count toward MaxEvals.
 	Resume *Checkpoint
+	// Recorder, when non-nil, receives live observability events: evaluation
+	// start/finish/error/retry, checkpoint writes, and (via the context the
+	// evaluator sees) per-epoch training ticks. A nil Recorder costs nothing:
+	// no events are constructed at all.
+	Recorder obs.Recorder
 }
 
 // RunAsync drives an asynchronous Searcher (AE or RS) with a pool of real
@@ -138,7 +144,11 @@ func RunAsyncCtx(ctx context.Context, s Searcher, eval Evaluator, opts RunAsyncO
 		}
 	}
 
-	worker := func() {
+	rec := opts.Recorder
+	if rec != nil {
+		rec.Record(obs.Event{Kind: obs.KindSearchStart, Method: s.Name(), Worker: opts.Workers, Eval: proposed})
+	}
+	worker := func(wid int) {
 		defer wg.Done()
 		for {
 			mu.Lock()
@@ -152,8 +162,16 @@ func RunAsyncCtx(ctx context.Context, s Searcher, eval Evaluator, opts RunAsyncO
 			a := s.Propose()
 			mu.Unlock()
 
+			ectx := ctx
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KindEvalStart, Eval: idx, Worker: wid, Arch: a.Key()})
+				// Plant the recorder (and the evaluation it is scoring) in the
+				// context so deeper layers — nn.Train's epoch loop, custom
+				// evaluators — can attribute their own events.
+				ectx = obs.WithEval(ctx, rec, idx)
+			}
 			t0 := time.Now()
-			reward, retries, err := evaluateWithRetry(ctx, eval, a, opts.Seed+uint64(idx)*0x9e37, opts)
+			reward, retries, err := evaluateWithRetry(ectx, eval, a, opts.Seed+uint64(idx)*0x9e37, opts)
 			elapsed := time.Since(t0)
 
 			mu.Lock()
@@ -168,16 +186,29 @@ func RunAsyncCtx(ctx context.Context, s Searcher, eval Evaluator, opts RunAsyncO
 				s.Report(a, reward)
 			}
 			results = append(results, Result{Index: idx, Arch: a, Reward: reward, Err: err, Elapsed: elapsed, Retries: retries})
-			if opts.Checkpoint != nil && opts.Checkpoint.due(len(results)) {
-				opts.Checkpoint.save(s, nil, results)
+			nDone := len(results)
+			due := opts.Checkpoint != nil && opts.Checkpoint.due(nDone)
+			var ckErr error
+			if due {
+				ckErr = opts.Checkpoint.save(s, nil, results)
 			}
 			mu.Unlock()
+			if rec != nil {
+				if err != nil {
+					rec.Record(obs.Event{Kind: obs.KindEvalError, Eval: idx, Worker: wid, Arch: a.Key(), Seconds: elapsed.Seconds(), Attempt: retries, Err: err.Error()})
+				} else {
+					rec.Record(obs.Event{Kind: obs.KindEvalFinish, Eval: idx, Worker: wid, Arch: a.Key(), Reward: reward, Seconds: elapsed.Seconds(), Attempt: retries})
+				}
+				if due && ckErr == nil {
+					rec.Record(obs.Event{Kind: obs.KindCheckpoint, Eval: nDone})
+				}
+			}
 		}
 	}
 	n := opts.Workers
 	wg.Add(n)
 	for i := 0; i < n; i++ {
-		go worker()
+		go worker(i)
 	}
 	wg.Wait()
 	if opts.Checkpoint != nil {
@@ -185,6 +216,12 @@ func RunAsyncCtx(ctx context.Context, s Searcher, eval Evaluator, opts RunAsyncO
 		if err := opts.Checkpoint.save(s, nil, results); err != nil {
 			return results, fmt.Errorf("search: final checkpoint: %w", err)
 		}
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindCheckpoint, Eval: len(results)})
+		}
+	}
+	if rec != nil {
+		rec.Record(obs.Event{Kind: obs.KindSearchFinish, Method: s.Name(), Eval: len(results)})
 	}
 	return results, nil
 }
@@ -257,6 +294,10 @@ func evaluateWithRetry(ctx context.Context, eval Evaluator, a arch.Arch, seed ui
 		if err == nil || attempt >= opts.Retries || !errors.Is(err, ErrTransient) || ctx.Err() != nil {
 			return reward, attempt, err
 		}
+		if opts.Recorder != nil {
+			idx, _ := obs.EvalFrom(ctx)
+			opts.Recorder.Record(obs.Event{Kind: obs.KindEvalRetry, Eval: idx, Attempt: attempt + 1, Err: err.Error()})
+		}
 		// Seeded backoff: deterministic per (evaluation, attempt), linear in
 		// the attempt number with ±50% jitter, interruptible by ctx.
 		jitter := 0.5 + tensor.NewRNG(seed^uint64(attempt+1)*0x2545f4914f6cdd1d).Float64()
@@ -290,6 +331,10 @@ type RunRLOptions struct {
 	Checkpoint *Checkpointer
 	// Resume restores agent policies and completed rounds from a checkpoint.
 	Resume *Checkpoint
+	// Recorder, when non-nil, receives live observability events: one round
+	// event per PPO batch barrier plus the per-evaluation stream (the Worker
+	// field carries the agent index).
+	Recorder obs.Recorder
 }
 
 // RunRL runs the paper's distributed RL method in-process. It is RunRLCtx
@@ -334,9 +379,14 @@ func RunRLCtx(ctx context.Context, space arch.Space, eval Evaluator, opts RunRLO
 		startRound = len(results) / roundSize
 	}
 	idx := startRound * roundSize
+	rec := opts.Recorder
+	if rec != nil {
+		rec.Record(obs.Event{Kind: obs.KindSearchStart, Method: "RL", Worker: roundSize, Eval: len(results)})
+	}
 	asyncOpts := RunAsyncOptions{
 		Seed: opts.Seed, EvalTimeout: opts.EvalTimeout,
 		Retries: opts.Retries, RetryBackoff: opts.RetryBackoff,
+		Recorder: rec,
 	}
 	for round := startRound; round < opts.Batches; round++ {
 		if ctx.Err() != nil {
@@ -366,10 +416,23 @@ func RunRLCtx(ctx context.Context, space arch.Space, eval Evaluator, opts RunRLO
 		for ti := range tasks {
 			go func(ti int) {
 				defer wg.Done()
+				tk := tasks[ti]
+				ectx := ctx
+				if rec != nil {
+					rec.Record(obs.Event{Kind: obs.KindEvalStart, Eval: tk.idx, Worker: tk.agent, Arch: tk.arch.Key()})
+					ectx = obs.WithEval(ctx, rec, tk.idx)
+				}
 				t0 := time.Now()
 				rewards[ti], retries[ti], errs[ti] = evaluateWithRetry(
-					ctx, eval, tasks[ti].arch, opts.Seed+uint64(tasks[ti].idx)*0x9e37, asyncOpts)
+					ectx, eval, tk.arch, opts.Seed+uint64(tk.idx)*0x9e37, asyncOpts)
 				elapsed[ti] = time.Since(t0)
+				if rec != nil {
+					if errs[ti] != nil {
+						rec.Record(obs.Event{Kind: obs.KindEvalError, Eval: tk.idx, Worker: tk.agent, Arch: tk.arch.Key(), Seconds: elapsed[ti].Seconds(), Attempt: retries[ti], Err: errs[ti].Error()})
+					} else {
+						rec.Record(obs.Event{Kind: obs.KindEvalFinish, Eval: tk.idx, Worker: tk.agent, Arch: tk.arch.Key(), Reward: rewards[ti], Seconds: elapsed[ti].Seconds(), Attempt: retries[ti]})
+					}
+				}
 			}(ti)
 		}
 		wg.Wait() // the synchronous barrier
@@ -407,11 +470,24 @@ func RunRLCtx(ctx context.Context, space arch.Space, eval Evaluator, opts RunRLO
 		for ti, tk := range tasks {
 			results = append(results, Result{Index: tk.idx, Arch: tk.arch, Reward: rewards[ti], Err: errs[ti], Elapsed: elapsed[ti], Retries: retries[ti]})
 		}
+		if rec != nil {
+			var sum float64
+			for _, r := range rewards {
+				sum += r
+			}
+			rec.Record(obs.Event{Kind: obs.KindRound, Round: round, Eval: len(results), Reward: sum / float64(len(rewards))})
+		}
 		if opts.Checkpoint != nil {
 			if err := opts.Checkpoint.saveRL(agents, results); err != nil {
 				return results, fmt.Errorf("search: RL checkpoint: %w", err)
 			}
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KindCheckpoint, Eval: len(results)})
+			}
 		}
+	}
+	if rec != nil {
+		rec.Record(obs.Event{Kind: obs.KindSearchFinish, Method: "RL", Eval: len(results)})
 	}
 	return results, nil
 }

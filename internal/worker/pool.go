@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"podnas/internal/arch"
+	"podnas/internal/obs"
 	"podnas/internal/search"
 	"podnas/internal/tensor"
 )
@@ -72,6 +73,10 @@ type PoolOptions struct {
 	// (default 3). It bounds the damage of a poison evaluation that kills
 	// every worker it touches.
 	CrashLimit int
+	// Recorder, when non-nil, receives supervision events: worker
+	// spawn/crash/restart, heartbeat kills, and speculation launches/wins.
+	// The Event.Worker field carries the pool slot.
+	Recorder obs.Recorder
 }
 
 func (o PoolOptions) heartbeat() time.Duration {
@@ -318,6 +323,7 @@ func (p *Pool) EvaluateCtx(ctx context.Context, a arch.Arch, seed uint64) (float
 			case p.queue <- j:
 				j.specAt.Store(j.dispatches.Load())
 				p.bump(func(s *PoolStats) { s.SpeculativeRuns++ })
+				p.record(obs.Event{Kind: obs.KindSpecLaunch, Eval: int(j.id)})
 			default:
 			}
 		}
@@ -344,6 +350,15 @@ func (p *Pool) bump(f func(*PoolStats)) {
 	p.mu.Unlock()
 }
 
+// record forwards one supervision event to the configured Recorder. Pool
+// events carry only ints and static strings, so constructing the Event for a
+// nil Recorder costs nothing measurable.
+func (p *Pool) record(e obs.Event) {
+	if p.opts.Recorder != nil {
+		p.opts.Recorder.Record(e)
+	}
+}
+
 // supervise owns one worker slot: spawn, serve jobs, and on any process
 // failure respawn with seeded exponential backoff until the restart budget
 // runs out.
@@ -361,6 +376,7 @@ func (p *Pool) supervise(workerID int) {
 		if err == nil {
 			p.everReady.Store(true)
 			p.setPid(workerID, w.cmd.Process.Pid)
+			p.record(obs.Event{Kind: obs.KindWorkerSpawn, Worker: workerID, Attempt: incarnation})
 			err = p.runWorker(w)
 			p.clearPid(workerID)
 			w.ensureDead()
@@ -373,6 +389,10 @@ func (p *Pool) supervise(workerID int) {
 					s.HeartbeatTimeouts++
 				}
 			})
+			if errors.Is(err, errHeartbeat) {
+				p.record(obs.Event{Kind: obs.KindHeartbeatMiss, Worker: workerID, Err: err.Error()})
+			}
+			p.record(obs.Event{Kind: obs.KindWorkerCrash, Worker: workerID, Attempt: incarnation, Err: err.Error()})
 		} else {
 			if errors.Is(err, errPoolClosed) {
 				return
@@ -392,6 +412,7 @@ func (p *Pool) supervise(workerID int) {
 		}
 		restarts++
 		p.bump(func(s *PoolStats) { s.Restarts++ })
+		p.record(obs.Event{Kind: obs.KindWorkerRestart, Worker: workerID, Attempt: restarts})
 		select {
 		case <-p.closed:
 			return
@@ -550,6 +571,7 @@ func (p *Pool) deliverResult(j *job, m Message, attempt int64) {
 	if j.deliver(jobResult{reward: m.Reward, err: err}) {
 		if sa := j.specAt.Load(); sa > 0 && attempt > sa {
 			p.bump(func(s *PoolStats) { s.SpeculativeWins++ })
+			p.record(obs.Event{Kind: obs.KindSpecWin, Eval: int(j.id)})
 		}
 	}
 }

@@ -1,0 +1,98 @@
+package worker_test
+
+import (
+	"testing"
+	"time"
+
+	"podnas/internal/obs"
+	"podnas/internal/worker"
+)
+
+// TestPoolEmitsSupervisionEvents runs a KillNth fault through an observed
+// pool and asserts the supervision event stream mirrors PoolStats: every
+// crash and restart the stats count is also on the wire, attributed to a
+// valid slot.
+func TestPoolEmitsSupervisionEvents(t *testing.T) {
+	ring := obs.NewRing(256)
+	opts := fastPoolOptions()
+	opts.Workers = 2
+	opts.KillNth = 2
+	opts.Recorder = ring
+	opts.Command = helperCommand(func(int, int) []string { return []string{"HELPER_SLEEP=30ms"} })
+	pool, err := worker.NewPool(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runPooledSearch(t, pool, 5, 6, 2, 0)
+	if len(res) != 6 {
+		t.Fatalf("budget not spent: %d of 6 evaluations", len(res))
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := pool.Stats()
+	counts := map[obs.Kind]int{}
+	for _, e := range ring.Events() {
+		counts[e.Kind]++
+		switch e.Kind {
+		case obs.KindWorkerSpawn, obs.KindWorkerCrash, obs.KindWorkerRestart, obs.KindHeartbeatMiss:
+			if e.Worker < 0 || e.Worker >= opts.Workers {
+				t.Errorf("%v event on slot %d, want [0,%d)", e.Kind, e.Worker, opts.Workers)
+			}
+		}
+	}
+	if counts[obs.KindWorkerSpawn] < 3 {
+		t.Errorf("spawn events %d, want >= 3 (2 initial + restart after kill)", counts[obs.KindWorkerSpawn])
+	}
+	if counts[obs.KindWorkerCrash] != st.Crashes {
+		t.Errorf("crash events %d, stats counted %d", counts[obs.KindWorkerCrash], st.Crashes)
+	}
+	if counts[obs.KindWorkerRestart] != st.Restarts {
+		t.Errorf("restart events %d, stats counted %d", counts[obs.KindWorkerRestart], st.Restarts)
+	}
+	if counts[obs.KindWorkerCrash] < 1 || counts[obs.KindWorkerRestart] < 1 {
+		t.Errorf("injected kill produced no crash/restart events: %v", counts)
+	}
+}
+
+// TestPoolSpeculationEvents forces a straggler so the speculative copy is
+// launched and wins, and asserts both moments appear on the event stream.
+func TestPoolSpeculationEvents(t *testing.T) {
+	ring := obs.NewRing(128)
+	opts := fastPoolOptions()
+	opts.Workers = 2
+	opts.SpeculativeAfter = 60 * time.Millisecond
+	opts.Recorder = ring
+	// Slot 0 straggles hard; slot 1 answers fast, so the duplicate dispatch
+	// of a job stuck on slot 0 decides it.
+	opts.Command = helperCommand(func(workerID, _ int) []string {
+		if workerID == 0 {
+			return []string{"HELPER_STRAGGLE=2s"}
+		}
+		return nil
+	})
+	pool, err := worker.NewPool(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	res := runPooledSearch(t, pool, 11, 4, 2, 0)
+	if len(res) != 4 {
+		t.Fatalf("budget not spent: %d of 4", len(res))
+	}
+	st := pool.Stats()
+	if st.SpeculativeRuns < 1 {
+		t.Skip("no speculation triggered on this scheduling; nothing to assert")
+	}
+	counts := map[obs.Kind]int{}
+	for _, e := range ring.Events() {
+		counts[e.Kind]++
+	}
+	if counts[obs.KindSpecLaunch] != st.SpeculativeRuns {
+		t.Errorf("speculation launch events %d, stats counted %d", counts[obs.KindSpecLaunch], st.SpeculativeRuns)
+	}
+	if counts[obs.KindSpecWin] != st.SpeculativeWins {
+		t.Errorf("speculation win events %d, stats counted %d", counts[obs.KindSpecWin], st.SpeculativeWins)
+	}
+}

@@ -5,14 +5,36 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"podnas/internal/arch"
 	"podnas/internal/hpcsim"
 	"podnas/internal/metrics"
 	"podnas/internal/nn"
+	"podnas/internal/obs"
 	"podnas/internal/search"
 )
+
+// Method selects a search algorithm for Search: MethodAE (aging evolution),
+// MethodRS (random search), or MethodRL (synchronous multi-agent PPO). It is
+// the same type the scaling simulator uses, so a method name moves between
+// real searches and simulated ones unchanged.
+type Method = hpcsim.Method
+
+// ParseMethod maps a case-insensitive method name ("ae", "RS", "rl") to its
+// Method, or fails with ErrBadMethod.
+func ParseMethod(name string) (Method, error) {
+	switch {
+	case strings.EqualFold(name, string(MethodAE)):
+		return MethodAE, nil
+	case strings.EqualFold(name, string(MethodRS)):
+		return MethodRS, nil
+	case strings.EqualFold(name, string(MethodRL)):
+		return MethodRL, nil
+	}
+	return "", fmt.Errorf("podnas: %w: %q (want AE, RS, or RL)", ErrBadMethod, name)
+}
 
 // SearchOptions configures a real-evaluation NAS run: every proposal is
 // actually trained on the pipeline's windowed data (the paper's evaluation,
@@ -57,12 +79,56 @@ type SearchOptions struct {
 	// architectures from this pipeline's DefaultSpace; Epochs is ignored
 	// because the override owns its training budget.
 	Evaluator search.Evaluator
+	// Agents, WorkersPerAgent, and Batches shape the MethodRL run (paper:
+	// 11 agents). The RL evaluation count is Agents×WorkersPerAgent×Batches;
+	// MaxEvals does not apply. Zero values take the DefaultSearchOptions
+	// defaults; the async methods ignore all three.
+	Agents          int
+	WorkersPerAgent int
+	Batches         int
+	// Recorder, when non-nil, receives the live observability stream:
+	// evaluation start/finish/error/retry, per-epoch training ticks,
+	// PPO round barriers, and checkpoint writes. Aggregate it with
+	// obs.NewMetrics, buffer it with obs.NewRing, or stream it to disk with
+	// obs.CreateJSONL (nasrun's -trace). A nil Recorder costs nothing.
+	Recorder obs.Recorder
 }
 
 // DefaultSearchOptions returns a budget suitable for a single machine: a
 // reduced evaluation count with the paper's training hyperparameters.
 func DefaultSearchOptions() SearchOptions {
-	return SearchOptions{Workers: 2, MaxEvals: 24, Epochs: 20, Population: 12, Sample: 4, Seed: 1}
+	return SearchOptions{
+		Workers: 2, MaxEvals: 24, Epochs: 20, Population: 12, Sample: 4, Seed: 1,
+		Agents: 2, WorkersPerAgent: 2, Batches: 3,
+	}
+}
+
+// validate fills the zero RL-shape fields from DefaultSearchOptions and
+// rejects options the given method cannot run with.
+func (opts *SearchOptions) validate(method Method) error {
+	def := DefaultSearchOptions()
+	if opts.Agents == 0 {
+		opts.Agents = def.Agents
+	}
+	if opts.WorkersPerAgent == 0 {
+		opts.WorkersPerAgent = def.WorkersPerAgent
+	}
+	if opts.Batches == 0 {
+		opts.Batches = def.Batches
+	}
+	if method == MethodRL {
+		if opts.Agents < 1 || opts.WorkersPerAgent < 1 || opts.Batches < 1 {
+			return fmt.Errorf("podnas: %w: RL shape %d agents × %d workers × %d batches", ErrBadOptions, opts.Agents, opts.WorkersPerAgent, opts.Batches)
+		}
+		return nil
+	}
+	if opts.Workers < 1 {
+		return fmt.Errorf("podnas: %w: Workers must be at least 1, got %d", ErrBadOptions, opts.Workers)
+	}
+	if opts.MaxEvals < 1 {
+		return fmt.Errorf("podnas: %w: MaxEvals must be at least 1, got %d", ErrBadOptions, opts.MaxEvals)
+	}
+	return nil
 }
 
 // LoadCheckpoint reads a search checkpoint written via
@@ -122,76 +188,97 @@ func (opts SearchOptions) searchCtx() (context.Context, *search.Checkpointer) {
 	return ctx, ck
 }
 
-func (p *Pipeline) runAsyncSearch(s search.Searcher, ev search.Evaluator, space arch.Space, opts SearchOptions) (*SearchResult, error) {
-	ctx, ck := opts.searchCtx()
-	res, err := search.RunAsyncCtx(ctx, s, ev, search.RunAsyncOptions{
-		Workers: opts.Workers, MaxEvals: opts.MaxEvals, Deadline: opts.Deadline, Seed: opts.Seed,
-		EvalTimeout: opts.EvalTimeout, Retries: opts.Retries,
-		Checkpoint: ck, Resume: opts.Resume,
-	})
-	if err != nil {
-		return nil, err
-	}
+// finishSearch turns raw runner results into a SearchResult, mapping the
+// no-successful-evaluation outcomes onto the package sentinels.
+func finishSearch(ctx context.Context, res []search.Result, space arch.Space) (*SearchResult, error) {
 	best, ok := search.Best(res)
 	if !ok {
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("podnas: search interrupted before any evaluation succeeded: %w", ctx.Err())
+			return nil, fmt.Errorf("podnas: %w before any evaluation succeeded: %v", ErrInterrupted, ctx.Err())
 		}
-		return nil, fmt.Errorf("podnas: search produced no successful evaluations")
+		return nil, fmt.Errorf("podnas: %w", ErrBudgetExhausted)
 	}
 	return &SearchResult{Results: res, Best: best, BestDesc: space.Describe(best.Arch), Space: space}, nil
 }
 
-// SearchAE runs aging evolution with real training evaluations.
-func SearchAE(p *Pipeline, opts SearchOptions) (*SearchResult, error) {
+// Search runs one architecture search over p's data with the given method:
+//
+//	MethodAE — asynchronous aging evolution (the paper's best performer)
+//	MethodRS — asynchronous random search (the paper's baseline)
+//	MethodRL — synchronous multi-agent PPO
+//
+// Every proposal is really trained (opts.Epochs) and scored by validation
+// R². The async methods evaluate until opts.MaxEvals; RL evaluates
+// opts.Agents × opts.WorkersPerAgent × opts.Batches architectures in
+// synchronized rounds. Unknown methods fail with ErrBadMethod, impossible
+// budgets with ErrBadOptions, and a run that ends without a single
+// successful evaluation with ErrBudgetExhausted (or ErrInterrupted when the
+// context was cancelled first) — all matchable with errors.Is.
+func Search(p *Pipeline, method Method, opts SearchOptions) (*SearchResult, error) {
+	if err := opts.validate(method); err != nil {
+		return nil, err
+	}
 	ev, space, err := p.evaluator(opts)
 	if err != nil {
 		return nil, err
 	}
-	ae, err := search.NewAgingEvolution(space, opts.Population, opts.Sample, opts.Seed)
-	if err != nil {
-		return nil, err
+	ctx, ck := opts.searchCtx()
+	switch method {
+	case MethodAE, MethodRS:
+		var s search.Searcher
+		if method == MethodAE {
+			s, err = search.NewAgingEvolution(space, opts.Population, opts.Sample, opts.Seed)
+		} else {
+			s, err = search.NewRandomSearch(space, opts.Seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res, err := search.RunAsyncCtx(ctx, s, ev, search.RunAsyncOptions{
+			Workers: opts.Workers, MaxEvals: opts.MaxEvals, Deadline: opts.Deadline, Seed: opts.Seed,
+			EvalTimeout: opts.EvalTimeout, Retries: opts.Retries,
+			Checkpoint: ck, Resume: opts.Resume, Recorder: opts.Recorder,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return finishSearch(ctx, res, space)
+	case MethodRL:
+		res, err := search.RunRLCtx(ctx, space, ev, search.RunRLOptions{
+			Agents: opts.Agents, WorkersPerAgent: opts.WorkersPerAgent, Batches: opts.Batches,
+			Seed: opts.Seed, EvalTimeout: opts.EvalTimeout, Retries: opts.Retries,
+			Checkpoint: ck, Resume: opts.Resume, Recorder: opts.Recorder,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return finishSearch(ctx, res, space)
 	}
-	return p.runAsyncSearch(ae, ev, space, opts)
+	return nil, fmt.Errorf("podnas: %w: %q (want %s, %s, or %s)", ErrBadMethod, method, MethodAE, MethodRS, MethodRL)
+}
+
+// SearchAE runs aging evolution with real training evaluations.
+//
+// Deprecated: call Search(p, MethodAE, opts).
+func SearchAE(p *Pipeline, opts SearchOptions) (*SearchResult, error) {
+	return Search(p, MethodAE, opts)
 }
 
 // SearchRS runs random search with real training evaluations.
+//
+// Deprecated: call Search(p, MethodRS, opts).
 func SearchRS(p *Pipeline, opts SearchOptions) (*SearchResult, error) {
-	ev, space, err := p.evaluator(opts)
-	if err != nil {
-		return nil, err
-	}
-	rs, err := search.NewRandomSearch(space, opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	return p.runAsyncSearch(rs, ev, space, opts)
+	return Search(p, MethodRS, opts)
 }
 
 // SearchRL runs the synchronous multi-agent PPO method with real training
 // evaluations. agents×workersPerAgent×batches evaluations are performed.
+//
+// Deprecated: call Search(p, MethodRL, opts) with the shape in
+// opts.Agents, opts.WorkersPerAgent, and opts.Batches.
 func SearchRL(p *Pipeline, opts SearchOptions, agents, workersPerAgent, batches int) (*SearchResult, error) {
-	ev, space, err := p.evaluator(opts)
-	if err != nil {
-		return nil, err
-	}
-	ctx, ck := opts.searchCtx()
-	res, err := search.RunRLCtx(ctx, space, ev, search.RunRLOptions{
-		Agents: agents, WorkersPerAgent: workersPerAgent, Batches: batches, Seed: opts.Seed,
-		EvalTimeout: opts.EvalTimeout, Retries: opts.Retries,
-		Checkpoint: ck, Resume: opts.Resume,
-	})
-	if err != nil {
-		return nil, err
-	}
-	best, ok := search.Best(res)
-	if !ok {
-		if ctx.Err() != nil {
-			return nil, fmt.Errorf("podnas: RL search interrupted before any evaluation succeeded: %w", ctx.Err())
-		}
-		return nil, fmt.Errorf("podnas: RL search produced no successful evaluations")
-	}
-	return &SearchResult{Results: res, Best: best, BestDesc: space.Describe(best.Arch), Space: space}, nil
+	opts.Agents, opts.WorkersPerAgent, opts.Batches = agents, workersPerAgent, batches
+	return Search(p, MethodRL, opts)
 }
 
 // ScalingConfig configures a simulated Theta job (Table III, Figs 3/8/9).

@@ -1,0 +1,295 @@
+package podnas
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"podnas/internal/arch"
+	"podnas/internal/metrics"
+	"podnas/internal/obs"
+	"podnas/internal/tensor"
+)
+
+// hashEval is a deterministic stand-in for the training evaluator: reward is
+// a pure function of the architecture and seed, with a small reward-derived
+// delay so evaluations occupy real (but bounded) wall-clock intervals.
+type hashEval struct{ delay time.Duration }
+
+func (h hashEval) Evaluate(a arch.Arch, seed uint64) (float64, error) {
+	x := uint64(1469598103934665603)
+	for _, g := range a {
+		x = (x ^ uint64(g)) * 1099511628211
+	}
+	r := tensor.NewRNG(x ^ seed*0x9e3779b97f4a7c15).Float64()
+	if h.delay > 0 {
+		time.Sleep(time.Duration(float64(h.delay) * (0.5 + r)))
+	}
+	return r, nil
+}
+
+// failEval never succeeds, with a permanent (non-transient) error.
+type failEval struct{}
+
+func (failEval) Evaluate(arch.Arch, uint64) (float64, error) {
+	return 0, errors.New("permanent failure")
+}
+
+// TestLiveMetricsMatchPostHoc is the acceptance check for the observability
+// layer: on a deterministic single-worker run, the streaming aggregator's
+// final moving-average reward and utilization AUC must match the same
+// quantities recomputed post-hoc from the recorded event log to 1e-9.
+func TestLiveMetricsMatchPostHoc(t *testing.T) {
+	p := pipeline(t)
+	const workers, evals = 1, 30
+	ring := obs.NewRing(4 * evals)
+	met := obs.NewMetrics(workers)
+	opts := DefaultSearchOptions()
+	opts.Workers = workers
+	opts.MaxEvals = evals
+	opts.Seed = 42
+	opts.Evaluator = hashEval{delay: time.Millisecond}
+	opts.Recorder = obs.NewMulti(ring, met)
+	res, err := Search(p, MethodRS, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != evals {
+		t.Fatalf("got %d results", len(res.Results))
+	}
+
+	// Post-hoc recomputation from the event log the sinks shared.
+	starts := make(map[int]time.Duration)
+	var busy, lastT time.Duration
+	var rewards []float64
+	for _, e := range ring.Events() {
+		if e.T > lastT {
+			lastT = e.T
+		}
+		switch e.Kind {
+		case obs.KindEvalStart:
+			starts[e.Eval] = e.T
+		case obs.KindEvalFinish:
+			busy += e.T - starts[e.Eval]
+			rewards = append(rewards, e.Reward)
+		case obs.KindEvalError:
+			busy += e.T - starts[e.Eval]
+		}
+	}
+	if len(rewards) != evals {
+		t.Fatalf("event log holds %d finishes, want %d", len(rewards), evals)
+	}
+	ma := metrics.MovingAverage(rewards, 100)
+	wantMA := ma[len(ma)-1]
+	wantAUC := busy.Seconds() / (float64(workers) * lastT.Seconds())
+
+	s := met.Snapshot()
+	if s.Evals != evals || s.Successes != evals || s.InFlight != 0 {
+		t.Fatalf("snapshot %+v inconsistent with a clean %d-eval run", s, evals)
+	}
+	if diff := math.Abs(s.RewardMA - wantMA); diff > 1e-9 {
+		t.Errorf("live reward MA %.12f vs post-hoc %.12f (|diff| %g)", s.RewardMA, wantMA, diff)
+	}
+	if diff := math.Abs(s.UtilizationAUC - wantAUC); diff > 1e-9 {
+		t.Errorf("live utilization AUC %.12f vs post-hoc %.12f (|diff| %g)", s.UtilizationAUC, wantAUC, diff)
+	}
+	if s.UtilizationAUC <= 0 || s.UtilizationAUC > 1 {
+		t.Errorf("utilization AUC %g outside (0, 1]", s.UtilizationAUC)
+	}
+	if s.BestReward != res.Best.Reward {
+		t.Errorf("live best %.12f vs search best %.12f", s.BestReward, res.Best.Reward)
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	for name, want := range map[string]Method{
+		"ae": MethodAE, "AE": MethodAE, "rs": MethodRS, "Rl": MethodRL,
+	} {
+		got, err := ParseMethod(name)
+		if err != nil || got != want {
+			t.Errorf("ParseMethod(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseMethod("bogus"); !errors.Is(err, ErrBadMethod) {
+		t.Errorf("ParseMethod(bogus) err = %v, want ErrBadMethod", err)
+	}
+}
+
+// TestSearchUnifiedMatchesWrappers pins the API migration: the deprecated
+// wrappers are thin delegates, so a deterministic single-worker run through
+// either path produces the identical history.
+func TestSearchUnifiedMatchesWrappers(t *testing.T) {
+	p := pipeline(t)
+	opts := SearchOptions{Workers: 1, MaxEvals: 5, Epochs: 1, Population: 3, Sample: 2, Seed: 6, Evaluator: hashEval{}}
+	a, err := Search(p, MethodAE, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SearchAE(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(b.Results) || a.Best.Arch.Key() != b.Best.Arch.Key() {
+		t.Fatal("unified Search and SearchAE wrapper disagree")
+	}
+	for i := range a.Results {
+		if a.Results[i].Reward != b.Results[i].Reward || a.Results[i].Arch.Key() != b.Results[i].Arch.Key() {
+			t.Fatalf("histories diverge at %d", i)
+		}
+	}
+
+	// RL: wrapper's positional shape lands in the options fields.
+	opts.Seed = 7
+	rlA, err := Search(p, MethodRL, SearchOptions{Workers: 1, Epochs: 1, Seed: 7, Evaluator: hashEval{}, Agents: 2, WorkersPerAgent: 2, Batches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlB, err := SearchRL(p, SearchOptions{Workers: 1, Epochs: 1, Seed: 7, Evaluator: hashEval{}}, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rlA.Results) != 4 || len(rlB.Results) != 4 || rlA.Best.Reward != rlB.Best.Reward {
+		t.Fatal("unified RL Search and SearchRL wrapper disagree")
+	}
+}
+
+func TestSearchSentinelErrors(t *testing.T) {
+	p := pipeline(t)
+	base := SearchOptions{Workers: 1, MaxEvals: 2, Epochs: 1, Seed: 1, Evaluator: hashEval{}}
+
+	if _, err := Search(p, Method("NOPE"), base); !errors.Is(err, ErrBadMethod) {
+		t.Errorf("unknown method err = %v, want ErrBadMethod", err)
+	}
+	bad := base
+	bad.Workers = 0
+	if _, err := Search(p, MethodAE, bad); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Workers=0 err = %v, want ErrBadOptions", err)
+	}
+	bad = base
+	bad.MaxEvals = -1
+	if _, err := Search(p, MethodRS, bad); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("MaxEvals=-1 err = %v, want ErrBadOptions", err)
+	}
+	bad = base
+	bad.Agents = -2
+	if _, err := Search(p, MethodRL, bad); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Agents=-2 err = %v, want ErrBadOptions", err)
+	}
+
+	// Every evaluation fails permanently: the budget is spent with nothing
+	// to show for it.
+	exhausted := base
+	exhausted.Evaluator = failEval{}
+	if _, err := Search(p, MethodRS, exhausted); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("all-fail err = %v, want ErrBudgetExhausted", err)
+	}
+
+	// A context cancelled before the first success is an interruption, not
+	// an exhausted budget.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	interrupted := base
+	interrupted.Ctx = ctx
+	if _, err := Search(p, MethodRS, interrupted); !errors.Is(err, ErrInterrupted) {
+		t.Errorf("pre-cancelled err = %v, want ErrInterrupted", err)
+	}
+
+	// The checkpoint sentinel surfaces through the root re-export.
+	ckPath := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(ckPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(ckPath); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("corrupt checkpoint err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+// TestSearchRLDefaultsFromOptions: a zero RL shape takes the documented
+// DefaultSearchOptions values (2 agents × 2 workers × 3 batches = 12 evals).
+func TestSearchRLDefaultsFromOptions(t *testing.T) {
+	p := pipeline(t)
+	res, err := Search(p, MethodRL, SearchOptions{Workers: 1, Epochs: 1, Seed: 5, Evaluator: hashEval{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultSearchOptions()
+	want := def.Agents * def.WorkersPerAgent * def.Batches
+	if len(res.Results) != want {
+		t.Fatalf("defaulted RL run did %d evaluations, want %d", len(res.Results), want)
+	}
+}
+
+// corruptedCopy loads a saved history, applies mutate to its JSON document,
+// and writes the damaged variant to a fresh path.
+func corruptedCopy(t *testing.T, path string, mutate func(doc map[string]any)) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	mutate(doc)
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := t.TempDir() + "/corrupt.json"
+	if err := os.WriteFile(dst, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestLoadSearchResultRejectsCorruption: every damaged variant of a saved
+// history must be rejected with a descriptive error, never loaded as data.
+func TestLoadSearchResultRejectsCorruption(t *testing.T) {
+	p := pipeline(t)
+	res, err := Search(p, MethodRS, SearchOptions{Workers: 1, MaxEvals: 3, Epochs: 1, Seed: 8, Evaluator: hashEval{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/hist.json"
+	if err := res.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSearchResult(path); err != nil {
+		t.Fatalf("pristine file must load: %v", err)
+	}
+
+	truncated := t.TempDir() + "/trunc.json"
+	if err := os.WriteFile(truncated, []byte(`{"space":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSearchResult(truncated); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+
+	cases := map[string]func(doc map[string]any){
+		"invalid space": func(doc map[string]any) {
+			doc["space"] = map[string]any{}
+		},
+		"bad result arch": func(doc map[string]any) {
+			results := doc["results"].([]any)
+			results[0].(map[string]any)["arch"] = "not-an-arch"
+		},
+		"bad best arch": func(doc map[string]any) {
+			doc["best_arch"] = "9-9-9"
+		},
+	}
+	for name, mutate := range cases {
+		dst := corruptedCopy(t, path, mutate)
+		if _, err := LoadSearchResult(dst); err == nil {
+			t.Errorf("%s: corrupted history loaded without error", name)
+		} else if fmt.Sprint(err) == "" {
+			t.Errorf("%s: empty error", name)
+		}
+	}
+}
