@@ -1,0 +1,327 @@
+// Command nasreport analyzes recorded search traces (nasrun -trace) into
+// the paper's operational deliverables — the reproduction of the Balsam
+// log-analysis step that produced Figs 6–8 and Table III.
+//
+// Usage:
+//
+//	nasreport report [-out dir] [-window 100] [-high 0.96] [-bins 120] [-strict] trace.jsonl
+//	nasreport diff   [-best 0.01] [-ma 0.02] [-auc 0.05] [-rate 0.20]
+//	                 [-uniq 0] [-errs 0] [-strict] baseline.jsonl candidate.jsonl
+//	nasreport tail   [-interval 2s] [-once] trace.jsonl
+//
+// report reconstructs the live metrics snapshot from the trace (exactly —
+// replay feeds the recorded events through the same aggregator) and writes
+// a markdown report plus SVG/CSV figures: moving-average reward vs.
+// wall-clock (Fig 6), node-utilization trace (Fig 7), unique-high-performer
+// growth (Fig 8), and per-phase latency histograms with p50/p90/p99.
+//
+// diff compares a candidate run against a baseline with per-metric
+// regression thresholds (negative values disable a check) and prints the
+// delta table; it is the CI gate.
+//
+// tail follows a live trace file, re-analyzing on an interval and printing
+// a one-line summary until the run finishes.
+//
+// Exit codes: 0 success (diff: no regression), 1 diff found a regression,
+// 2 usage error, 3 runtime error (unreadable trace, schema violation,
+// output failure). Truncated traces are NOT errors: the clean prefix is
+// analyzed and the truncation reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"podnas/internal/metrics"
+	"podnas/internal/obs/replay"
+	"podnas/internal/plot"
+)
+
+const (
+	exitRegression = 1
+	exitUsage      = 2
+	exitRuntime    = 3
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  nasreport report [-out dir] [-window N] [-high R] [-bins N] [-strict] trace.jsonl
+  nasreport diff   [-best D] [-ma D] [-auc D] [-rate F] [-uniq N] [-errs N] [-strict] baseline.jsonl candidate.jsonl
+  nasreport tail   [-interval D] [-once] trace.jsonl
+`)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(exitUsage)
+	}
+	switch os.Args[1] {
+	case "report":
+		os.Exit(cmdReport(os.Args[2:]))
+	case "diff":
+		os.Exit(cmdDiff(os.Args[2:]))
+	case "tail":
+		os.Exit(cmdTail(os.Args[2:]))
+	case "-h", "-help", "--help", "help":
+		usage()
+		os.Exit(0)
+	default:
+		fmt.Fprintf(os.Stderr, "nasreport: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(exitUsage)
+	}
+}
+
+// analysisFlags registers the replay options shared by report and diff.
+func analysisFlags(fs *flag.FlagSet) *replay.Options {
+	o := &replay.Options{}
+	fs.IntVar(&o.Window, "window", 100, "reward moving-average window")
+	fs.Float64Var(&o.HighThreshold, "high", 0.96, "unique-high-performer reward cutoff")
+	fs.IntVar(&o.Bins, "bins", 120, "utilization trace bins")
+	fs.BoolVar(&o.Strict, "strict", false, "reject offset-monotonicity violations instead of counting them")
+	return o
+}
+
+func analyze(path string, opts replay.Options) (*replay.Analysis, int) {
+	a, err := replay.AnalyzeFile(path, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nasreport: %s: %v\n", path, err)
+		return nil, exitRuntime
+	}
+	if a.Read.Truncated {
+		fmt.Fprintf(os.Stderr, "nasreport: %s: truncated at line %d; analyzed the clean prefix of %d events\n",
+			path, a.Read.TruncatedLine, a.Read.Events)
+	}
+	return a, 0
+}
+
+func cmdReport(args []string) int {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	out := fs.String("out", "nasreport-out", "output directory for report.md and figures")
+	opts := analysisFlags(fs)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+		return exitUsage
+	}
+	a, code := analyze(fs.Arg(0), *opts)
+	if code != 0 {
+		return code
+	}
+	if err := writeReport(a, *out, *opts); err != nil {
+		fmt.Fprintf(os.Stderr, "nasreport: %v\n", err)
+		return exitRuntime
+	}
+	fmt.Printf("report written to %s\n", filepath.Join(*out, "report.md"))
+	return 0
+}
+
+// figures writes the three paper curves and the latency histograms, and
+// returns markdown links for the ones that had data.
+func figures(a *replay.Analysis, out string, opts replay.Options) ([]string, error) {
+	var links []string
+	write := func(name string, c *plot.Chart) error {
+		if err := c.WriteSVG(out, name); err != nil {
+			return err
+		}
+		if err := c.WriteCSV(out, name); err != nil {
+			return err
+		}
+		links = append(links, fmt.Sprintf("- [%s](%s.svg) ([csv](%s.csv))", c.Title, name, name))
+		return nil
+	}
+	curves := []struct {
+		name, title, ylabel string
+		c                   *metrics.Curve
+		step                bool
+	}{
+		{"reward", fmt.Sprintf("Reward moving average (window %d)", opts.Window), "reward MA", a.Reward, false},
+		{"utilization", "Slot utilization", "busy fraction", a.Utilization, true},
+		{"highperf", "Unique high performers", "count", a.HighPerf, true},
+	}
+	for _, cu := range curves {
+		if cu.c == nil || cu.c.Len() == 0 {
+			continue
+		}
+		chart := &plot.Chart{
+			Title: cu.title, XLabel: "seconds", YLabel: cu.ylabel,
+			Series: []plot.Series{{Name: cu.ylabel, X: cu.c.X, Y: cu.c.Y, Step: cu.step}},
+		}
+		if err := write(cu.name, chart); err != nil {
+			return nil, err
+		}
+	}
+	for _, ph := range []replay.Phase{replay.PhaseEval, replay.PhaseEpoch, replay.PhaseCheckpoint} {
+		h := a.Latency[ph]
+		if h == nil || h.N() == 0 {
+			continue
+		}
+		edges, counts := h.Buckets(20)
+		chart := plot.HistogramChart(fmt.Sprintf("%s latency", ph), "seconds", edges, counts)
+		if err := write("latency_"+string(ph), chart); err != nil {
+			return nil, err
+		}
+	}
+	return links, nil
+}
+
+func writeReport(a *replay.Analysis, out string, opts replay.Options) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	links, err := figures(a, out, opts)
+	if err != nil {
+		return err
+	}
+
+	var b strings.Builder
+	s := a.Snapshot
+	fmt.Fprintf(&b, "# Search run report\n\n")
+
+	fmt.Fprintf(&b, "## Run\n\n")
+	fmt.Fprintf(&b, "| field | value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| method | %s |\n", orDash(a.Method))
+	fmt.Fprintf(&b, "| seed | %d |\n", a.Seed)
+	fmt.Fprintf(&b, "| workers | %d |\n", a.Workers)
+	fmt.Fprintf(&b, "| writer version | %s |\n", orDash(a.Version))
+	if a.Header != nil {
+		fmt.Fprintf(&b, "| trace schema | %d |\n", a.Header.Schema)
+	}
+	fmt.Fprintf(&b, "| finished | %v |\n", a.Finished)
+	fmt.Fprintf(&b, "| events | %d (%d lines) |\n", a.Read.Events, a.Read.Lines)
+	if a.Read.Truncated {
+		fmt.Fprintf(&b, "| **truncated** | at line %d — clean prefix analyzed |\n", a.Read.TruncatedLine)
+	}
+	if a.Read.OutOfOrder > 0 {
+		fmt.Fprintf(&b, "| out-of-order offsets | %d |\n", a.Read.OutOfOrder)
+	}
+	if a.Read.UnknownKinds > 0 {
+		fmt.Fprintf(&b, "| unknown event kinds | %d |\n", a.Read.UnknownKinds)
+	}
+
+	fmt.Fprintf(&b, "\n## Outcome\n\n")
+	fmt.Fprintf(&b, "| metric | value |\n|---|---:|\n")
+	fmt.Fprintf(&b, "| elapsed (s) | %.3f |\n", s.ElapsedSeconds)
+	fmt.Fprintf(&b, "| evaluations | %d (%d ok, %d errored, %d retries) |\n", s.Evals, s.Successes, s.Errors, s.Retries)
+	fmt.Fprintf(&b, "| evals/sec | %.4g |\n", s.EvalsPerSec)
+	fmt.Fprintf(&b, "| best reward | %.6f |\n", s.BestReward)
+	fmt.Fprintf(&b, "| reward MA | %.6f |\n", s.RewardMA)
+	fmt.Fprintf(&b, "| unique high performers (> %.2f) | %d |\n", opts.HighThreshold, s.UniqueHigh)
+	fmt.Fprintf(&b, "| utilization AUC | %.4f |\n", s.UtilizationAUC)
+	fmt.Fprintf(&b, "| busy slot-seconds | %.3f |\n", s.BusySeconds)
+	fmt.Fprintf(&b, "| epochs / rounds / checkpoints | %d / %d / %d |\n", s.Epochs, s.Rounds, s.Checkpoints)
+	if s.WorkerCrashes+s.WorkerRestarts+s.HeartbeatMisses > 0 {
+		fmt.Fprintf(&b, "| worker crashes / restarts / hb misses | %d / %d / %d |\n",
+			s.WorkerCrashes, s.WorkerRestarts, s.HeartbeatMisses)
+	}
+
+	fmt.Fprintf(&b, "\n## Latency\n\n")
+	fmt.Fprintf(&b, "| phase | n | mean (s) | p50 | p90 | p99 | max |\n|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, ph := range []replay.Phase{replay.PhaseEval, replay.PhaseEpoch, replay.PhaseCheckpoint} {
+		h := a.Latency[ph]
+		if h == nil || h.N() == 0 {
+			fmt.Fprintf(&b, "| %s | 0 | — | — | — | — | — |\n", ph)
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | %d | %.4g | %.4g | %.4g | %.4g | %.4g |\n",
+			ph, h.N(), h.Mean(), h.P50(), h.P90(), h.P99(), h.Max())
+	}
+
+	if len(a.Slots) > 0 {
+		fmt.Fprintf(&b, "\n## Worker slots\n\n")
+		fmt.Fprintf(&b, "| worker | started | ok | errored | busy (s) | mean lat | crashes | restarts | hb misses | straggler |\n")
+		fmt.Fprintf(&b, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|\n")
+		for _, sl := range a.Slots {
+			verdict := ""
+			if sl.Straggler {
+				verdict = fmt.Sprintf("**yes** (%.2f×)", sl.StragglerScore)
+			}
+			fmt.Fprintf(&b, "| %d | %d | %d | %d | %.3f | %.4g | %d | %d | %d | %s |\n",
+				sl.Worker, sl.Started, sl.Finished, sl.Errored, sl.BusySeconds,
+				sl.MeanLatency, sl.Crashes, sl.Restarts, sl.HBMisses, verdict)
+		}
+	}
+
+	if len(links) > 0 {
+		fmt.Fprintf(&b, "\n## Figures\n\n%s\n", strings.Join(links, "\n"))
+	}
+	return os.WriteFile(filepath.Join(out, "report.md"), []byte(b.String()), 0o644)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
+}
+
+func cmdDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	th := replay.Thresholds{}
+	fs.Float64Var(&th.BestReward, "best", 0.01, "allowed absolute drop in best reward (negative disables)")
+	fs.Float64Var(&th.RewardMA, "ma", 0.02, "allowed absolute drop in reward moving average (negative disables)")
+	fs.Float64Var(&th.UtilizationAUC, "auc", 0.05, "allowed absolute drop in utilization AUC (negative disables)")
+	fs.Float64Var(&th.EvalsPerSec, "rate", 0.20, "allowed relative drop in evals/sec (negative disables)")
+	fs.Float64Var(&th.UniqueHigh, "uniq", 0, "allowed drop in unique high performers (negative disables)")
+	fs.Float64Var(&th.Errors, "errs", 0, "allowed increase in errored evaluations (negative disables)")
+	opts := analysisFlags(fs)
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+		return exitUsage
+	}
+	a, code := analyze(fs.Arg(0), *opts)
+	if code != 0 {
+		return code
+	}
+	b, code := analyze(fs.Arg(1), *opts)
+	if code != 0 {
+		return code
+	}
+	r := replay.Diff(a, b, th)
+	fmt.Print(r.Markdown())
+	if r.Regressed() {
+		return exitRegression
+	}
+	return 0
+}
+
+func cmdTail(args []string) int {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	interval := fs.Duration("interval", 2*time.Second, "re-analysis interval")
+	once := fs.Bool("once", false, "print one summary line and exit")
+	opts := analysisFlags(fs)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+		return exitUsage
+	}
+	path := fs.Arg(0)
+	for {
+		a, err := replay.AnalyzeFile(path, *opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nasreport: %s: %v\n", path, err)
+			return exitRuntime
+		}
+		s := a.Snapshot
+		status := "running"
+		switch {
+		case a.Finished:
+			status = "finished"
+		case a.Read.Truncated:
+			status = "truncated"
+		}
+		fmt.Printf("%s t=%.1fs evals=%d (ok %d, err %d, inflight %d) best=%.4f ma=%.4f util=%.2f\n",
+			status, s.ElapsedSeconds, s.Evals, s.Successes, s.Errors, s.InFlight,
+			s.BestReward, s.RewardMA, s.UtilizationAUC)
+		if a.Finished || *once {
+			return 0
+		}
+		time.Sleep(*interval)
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"podnas/internal/obs"
+)
+
+// writeTrace records a small deterministic run to a JSONL file and returns
+// its path. bestReward parameterizes the single successful evaluation so
+// diff tests can synthesize a regressed candidate.
+func writeTrace(t *testing.T, name string, bestReward float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	jl, err := obs.CreateJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := func(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+	for _, e := range []obs.Event{
+		{T: 1, Kind: obs.KindTraceHeader, Method: "rs", Seed: 7, Worker: 2, Schema: obs.SchemaVersion, Version: "test"},
+		{T: 1, Kind: obs.KindSearchStart, Method: "rs", Worker: 2},
+		{T: ms(2), Kind: obs.KindEvalStart, Eval: 0, Worker: 0, Arch: "a"},
+		{T: ms(3), Kind: obs.KindEpoch, Eval: 0, Worker: 0, Epoch: 1},
+		{T: ms(5), Kind: obs.KindEvalFinish, Eval: 0, Worker: 0, Arch: "a", Reward: bestReward},
+		{T: ms(6), Kind: obs.KindCheckpoint, Eval: 1},
+		{T: ms(7), Kind: obs.KindSearchFinish, Eval: 1},
+	} {
+		jl.Record(e)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReportWritesFiguresAndMarkdown(t *testing.T) {
+	trace := writeTrace(t, "run.jsonl", 0.97)
+	out := filepath.Join(t.TempDir(), "out")
+	if code := cmdReport([]string{"-out", out, trace}); code != 0 {
+		t.Fatalf("report exit %d", code)
+	}
+	md, err := os.ReadFile(filepath.Join(out, "report.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# Search run report", "| method | rs |", "| seed | 7 |", "| workers | 2 |",
+		"best reward | 0.970000", "unique high performers", "utilization AUC",
+		"| eval | 1 |", "Figures",
+	} {
+		if !strings.Contains(string(md), want) {
+			t.Errorf("report.md missing %q", want)
+		}
+	}
+	for _, f := range []string{"reward.svg", "reward.csv", "utilization.svg", "highperf.svg", "latency_eval.svg", "latency_eval.csv"} {
+		if _, err := os.Stat(filepath.Join(out, f)); err != nil {
+			t.Errorf("figure %s: %v", f, err)
+		}
+	}
+}
+
+func TestDiffExitCodes(t *testing.T) {
+	base := writeTrace(t, "base.jsonl", 0.97)
+	same := writeTrace(t, "same.jsonl", 0.97)
+	worse := writeTrace(t, "worse.jsonl", 0.50)
+
+	if code := cmdDiff([]string{base, same}); code != 0 {
+		t.Errorf("identical runs: exit %d, want 0", code)
+	}
+	if code := cmdDiff([]string{base, worse}); code != exitRegression {
+		t.Errorf("regressed run: exit %d, want %d", code, exitRegression)
+	}
+	// Disabled thresholds absorb the collapse.
+	if code := cmdDiff([]string{"-best", "-1", "-ma", "-1", "-uniq", "-1", base, worse}); code != 0 {
+		t.Errorf("disabled thresholds: exit %d, want 0", code)
+	}
+	if code := cmdDiff([]string{base}); code != exitUsage {
+		t.Errorf("missing operand: exit %d, want %d", code, exitUsage)
+	}
+	if code := cmdDiff([]string{base, filepath.Join(t.TempDir(), "missing.jsonl")}); code != exitRuntime {
+		t.Errorf("unreadable trace: exit %d, want %d", code, exitRuntime)
+	}
+}
+
+func TestTailOnce(t *testing.T) {
+	trace := writeTrace(t, "run.jsonl", 0.97)
+	if code := cmdTail([]string{"-once", trace}); code != 0 {
+		t.Errorf("tail -once exit %d", code)
+	}
+	// A finished trace exits immediately even without -once.
+	if code := cmdTail([]string{"-interval", "10ms", trace}); code != 0 {
+		t.Errorf("tail finished trace exit %d", code)
+	}
+	if code := cmdTail([]string{}); code != exitUsage {
+		t.Errorf("tail no operand exit %d, want %d", code, exitUsage)
+	}
+}
+
+func TestReportUsageAndRuntimeErrors(t *testing.T) {
+	if code := cmdReport([]string{}); code != exitUsage {
+		t.Errorf("no operand: exit %d, want %d", code, exitUsage)
+	}
+	if code := cmdReport([]string{filepath.Join(t.TempDir(), "missing.jsonl")}); code != exitRuntime {
+		t.Errorf("missing trace: exit %d, want %d", code, exitRuntime)
+	}
+}

@@ -224,6 +224,9 @@ func main() {
 			obsCleanup = func() { _ = traceLog.Close() }
 		}
 		rec = obs.NewMulti(sinks...)
+		// The header is the first record in the trace: replay tools learn the
+		// method, seed, slot count, and writer versions without scanning.
+		rec.Record(obs.NewHeader(*method, *seed, *workers, podnas.Version))
 		if *obsAddr != "" {
 			met.Publish("")
 			srv, ln, err := obs.Serve(*obsAddr)

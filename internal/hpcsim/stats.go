@@ -9,7 +9,10 @@ import (
 const rewardWindow = 100
 
 // finalizeWithBusy derives the Table III scalars and Fig 3/8/9 curves from
-// the completed evaluations and the per-node busy intervals.
+// the completed evaluations and the per-node busy intervals. The AUC and
+// binning math is the shared metrics implementation (metrics.UtilizationAUC,
+// metrics.BusyBins), the same code the live obs.Metrics invariants and
+// obs/replay analyses are checked against.
 func finalizeWithBusy(stats *RunStats, busy [][]interval) {
 	cfg := stats.Config
 
@@ -22,43 +25,21 @@ func finalizeWithBusy(stats *RunStats, busy [][]interval) {
 	}
 
 	// Node utilization: observed busy AUC over ideal (all nodes busy for
-	// the whole wall time), trapezoid-integrated from a sampled busy-count
-	// trace. Intervals are per node and non-overlapping by construction.
-	var busySeconds float64
-	for _, spans := range busy {
-		for _, iv := range spans {
-			if iv.hi > iv.lo {
-				busySeconds += iv.hi - iv.lo
-			}
+	// the whole wall time). Intervals are per node and non-overlapping by
+	// construction, so summed span lengths equal the trapezoid-integrated
+	// busy-count area.
+	spans := make([]metrics.Interval, 0, len(stats.Evals))
+	for _, nodeSpans := range busy {
+		for _, iv := range nodeSpans {
+			spans = append(spans, metrics.Interval{Lo: iv.lo, Hi: iv.hi})
 		}
 	}
-	stats.Utilization = busySeconds / (float64(cfg.Nodes) * cfg.WallTime)
+	stats.Utilization = metrics.UtilizationAUC(spans, cfg.Nodes, cfg.WallTime)
 
-	// Utilization trace: busy-node fraction sampled once a minute, then
-	// smoothed with the same window-100 moving average the paper uses.
+	// Utilization trace: busy-node fraction sampled once a minute.
 	const binSec = 60.0
 	nBins := int(cfg.WallTime/binSec) + 1
-	bins := make([]float64, nBins)
-	for _, spans := range busy {
-		for _, iv := range spans {
-			lo, hi := iv.lo, iv.hi
-			if hi <= lo {
-				continue
-			}
-			b0 := int(lo / binSec)
-			b1 := int(hi / binSec)
-			if b1 >= nBins {
-				b1 = nBins - 1
-			}
-			for b := b0; b <= b1; b++ {
-				s := maxf(lo, float64(b)*binSec)
-				e := minf(hi, float64(b+1)*binSec)
-				if e > s {
-					bins[b] += e - s
-				}
-			}
-		}
-	}
+	bins := metrics.BusyBins(spans, binSec, nBins)
 	stats.UtilCurve = &metrics.Curve{}
 	denom := float64(cfg.Nodes) * binSec
 	for b := 0; b < nBins; b++ {
@@ -92,11 +73,4 @@ func finalizeWithBusy(stats *RunStats, busy [][]interval) {
 		stats.HighPerfCurve.Append(e.Finish/60, float64(count))
 	}
 	stats.UniqueHigh = count
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

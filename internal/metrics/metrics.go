@@ -98,6 +98,130 @@ func MovingAverage(xs []float64, window int) []float64 {
 	return out
 }
 
+// WindowMA is the streaming counterpart of MovingAverage: a trailing
+// moving average over the last `window` pushed values. Value sums the
+// buffered entries in insertion order, so while the window has not wrapped
+// it is bitwise-identical to MovingAverage over the same inputs, and agrees
+// to float rounding afterwards. It is the single implementation behind the
+// live obs.Metrics reward average and trace replay, keeping the
+// live-vs-post-hoc cross-checks exact. Not safe for concurrent use; callers
+// hold their own locks.
+type WindowMA struct {
+	buf  []float64
+	next int
+	n    int
+	last float64
+}
+
+// NewWindowMA returns a streaming average over the last window values
+// (minimum 1).
+func NewWindowMA(window int) *WindowMA {
+	if window < 1 {
+		window = 1
+	}
+	return &WindowMA{buf: make([]float64, window)}
+}
+
+// Push appends one sample, evicting the oldest when the window is full.
+func (w *WindowMA) Push(v float64) {
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.last = v
+}
+
+// Value returns the trailing average, summed oldest-first. Zero before any
+// Push.
+func (w *WindowMA) Value() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	start := w.next - w.n
+	if start < 0 {
+		start += len(w.buf)
+	}
+	var sum float64
+	for i := 0; i < w.n; i++ {
+		sum += w.buf[(start+i)%len(w.buf)]
+	}
+	return sum / float64(w.n)
+}
+
+// Count returns how many samples are currently buffered (≤ window).
+func (w *WindowMA) Count() int { return w.n }
+
+// Last returns the most recently pushed sample (zero before any Push).
+func (w *WindowMA) Last() float64 { return w.last }
+
+// Interval is a closed busy span [Lo, Hi] on one execution slot (an hpcsim
+// node or a live evaluation worker), in seconds.
+type Interval struct{ Lo, Hi float64 }
+
+// Seconds returns the span length, zero for degenerate intervals.
+func (iv Interval) Seconds() float64 {
+	if iv.Hi <= iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// BusySeconds sums the lengths of all intervals (degenerate spans count
+// zero). With per-slot non-overlapping intervals this is the busy-time
+// numerator of the paper's Table III utilization metric.
+func BusySeconds(spans []Interval) float64 {
+	var s float64
+	for _, iv := range spans {
+		s += iv.Seconds()
+	}
+	return s
+}
+
+// UtilizationAUC is busy time over ideal capacity (slots × wall), the
+// trapezoid-equivalent area ratio hpcsim reports as Table III utilization
+// and obs.Metrics tracks live. Returns 0 for non-positive capacity.
+func UtilizationAUC(spans []Interval, slots int, wall float64) float64 {
+	if slots <= 0 || wall <= 0 {
+		return 0
+	}
+	return BusySeconds(spans) / (float64(slots) * wall)
+}
+
+// BusyBins distributes interval time into nBins contiguous bins of
+// binWidth seconds starting at 0: bins[b] accumulates the seconds of each
+// span overlapping [b·binWidth, (b+1)·binWidth). Span time beyond the grid
+// is dropped, matching hpcsim's sampled utilization trace (whose grid
+// always covers the wall time). It panics on a non-positive binWidth.
+func BusyBins(spans []Interval, binWidth float64, nBins int) []float64 {
+	if binWidth <= 0 {
+		panic("metrics: BusyBins binWidth must be positive")
+	}
+	bins := make([]float64, nBins)
+	for _, iv := range spans {
+		lo, hi := iv.Lo, iv.Hi
+		if hi <= lo {
+			continue
+		}
+		b0 := int(lo / binWidth)
+		if b0 < 0 {
+			b0 = 0
+		}
+		b1 := int(hi / binWidth)
+		if b1 >= nBins {
+			b1 = nBins - 1
+		}
+		for b := b0; b <= b1; b++ {
+			s := math.Max(lo, float64(b)*binWidth)
+			e := math.Min(hi, float64(b+1)*binWidth)
+			if e > s {
+				bins[b] += e - s
+			}
+		}
+	}
+	return bins
+}
+
 // TrapezoidAUC integrates the piecewise-linear curve (xs, ys) with the
 // trapezoidal rule. xs must be nondecreasing and the slices equal length.
 func TrapezoidAUC(xs, ys []float64) float64 {

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWindowMAMatchesMovingAverage pins the streaming/batch equivalence the
+// live-vs-replay invariants rely on: at every step, WindowMA.Value equals
+// the corresponding MovingAverage entry (bitwise before the window wraps,
+// 1e-12 after).
+func TestWindowMAMatchesMovingAverage(t *testing.T) {
+	xs := []float64{0.3, 0.7, -0.2, 0.96, 0.5, 0.11, 0.8, 0.8, 0.1, 0.42, 0.97}
+	for _, window := range []int{1, 3, 5, 100} {
+		batch := MovingAverage(xs, window)
+		w := NewWindowMA(window)
+		for i, v := range xs {
+			w.Push(v)
+			got, want := w.Value(), batch[i]
+			if i < window {
+				if got != want {
+					t.Fatalf("window %d step %d: streaming %v != batch %v (pre-wrap must be bitwise)", window, i, got, want)
+				}
+			} else if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("window %d step %d: streaming %v vs batch %v", window, i, got, want)
+			}
+			if w.Last() != v {
+				t.Fatalf("last %v, want %v", w.Last(), v)
+			}
+		}
+		wantN := len(xs)
+		if wantN > window {
+			wantN = window
+		}
+		if w.Count() != wantN {
+			t.Errorf("window %d count %d, want %d", window, w.Count(), wantN)
+		}
+	}
+}
+
+func TestWindowMAEmptyAndMinWindow(t *testing.T) {
+	w := NewWindowMA(0) // clamped to 1
+	if w.Value() != 0 || w.Count() != 0 {
+		t.Fatalf("fresh window: value %v count %d", w.Value(), w.Count())
+	}
+	w.Push(2)
+	w.Push(4)
+	if w.Value() != 4 || w.Count() != 1 {
+		t.Errorf("window-1 keeps only the last sample: value %v count %d", w.Value(), w.Count())
+	}
+}
+
+func TestBusySecondsAndUtilizationAUC(t *testing.T) {
+	spans := []Interval{{Lo: 0, Hi: 2}, {Lo: 3, Hi: 3.5}, {Lo: 5, Hi: 5}, {Lo: 7, Hi: 6}}
+	if got := BusySeconds(spans); got != 2.5 {
+		t.Fatalf("busy %v, want 2.5 (degenerate and inverted spans count zero)", got)
+	}
+	if got := UtilizationAUC(spans, 2, 10); got != 2.5/20 {
+		t.Errorf("AUC %v, want %v", got, 2.5/20)
+	}
+	if got := UtilizationAUC(spans, 0, 10); got != 0 {
+		t.Errorf("zero slots AUC %v", got)
+	}
+	if got := UtilizationAUC(spans, 2, 0); got != 0 {
+		t.Errorf("zero wall AUC %v", got)
+	}
+}
+
+// TestBusyBinsSplitsSpansAcrossBins: a span covering several bins deposits
+// exactly its overlap into each, total time is conserved within the grid,
+// and time past the grid is dropped (hpcsim's grid always covers the wall).
+func TestBusyBinsSplitsSpansAcrossBins(t *testing.T) {
+	spans := []Interval{{Lo: 0.5, Hi: 2.5}, {Lo: 1.0, Hi: 1.25}}
+	bins := BusyBins(spans, 1.0, 4)
+	want := []float64{0.5, 1.25, 0.5, 0}
+	for b := range want {
+		if math.Abs(bins[b]-want[b]) > 1e-12 {
+			t.Fatalf("bins %v, want %v", bins, want)
+		}
+	}
+	var total float64
+	for _, v := range bins {
+		total += v
+	}
+	if math.Abs(total-BusySeconds(spans)) > 1e-12 {
+		t.Errorf("binned total %v vs busy %v", total, BusySeconds(spans))
+	}
+
+	// Overflow past the grid is clipped, never folded back in.
+	over := BusyBins([]Interval{{Lo: 3.5, Hi: 9}}, 1.0, 4)
+	if math.Abs(over[3]-0.5) > 1e-12 {
+		t.Errorf("overflow bin %v, want 0.5", over[3])
+	}
+
+	// Negative starts clamp into bin 0.
+	neg := BusyBins([]Interval{{Lo: -1, Hi: 0.5}}, 1.0, 2)
+	if math.Abs(neg[0]-0.5) > 1e-12 {
+		t.Errorf("negative-start bin %v, want 0.5", neg[0])
+	}
+}

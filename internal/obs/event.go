@@ -9,9 +9,10 @@
 // expvar/pprof HTTP) consume them without the producers knowing who is
 // listening.
 //
-// The package depends only on the standard library, so every layer of the
-// stack — from the public API down to the training loop — can import it
-// without cycles.
+// The package depends only on the standard library and the leaf
+// internal/metrics package (the shared moving-average/AUC math), so every
+// layer of the stack — from the public API down to the training loop — can
+// import it without cycles.
 package obs
 
 import (
@@ -62,7 +63,35 @@ const (
 	// KindSpecWin marks an evaluation decided by its speculative copy
 	// (Eval = pool job id).
 	KindSpecWin
+	// KindTraceHeader is the run-metadata record emitted as the first line
+	// of a `nasrun -trace` log (Method, Seed, Worker = worker count, Schema,
+	// Version = podnas version). Replay tooling uses it to size its
+	// aggregates and to reject traces written by a newer schema than it
+	// understands; consumers of headerless traces (written before this
+	// record existed) fall back to the search_start event.
+	KindTraceHeader
 )
+
+// SchemaVersion is the trace-format generation stamped into every
+// KindTraceHeader record. Bump it when an existing field changes meaning or
+// an event's semantics shift — NOT when new kinds or fields are added, since
+// consumers already ignore unknown kinds and fields. Readers must reject
+// traces whose header carries a larger value.
+const SchemaVersion = 1
+
+// NewHeader builds the trace-header event for a run: the record `nasrun
+// -trace` writes first so replay tools know the method, seed, evaluation
+// slot count, and writer versions without scanning the stream.
+func NewHeader(method string, seed uint64, workers int, version string) Event {
+	return Event{
+		Kind:    KindTraceHeader,
+		Method:  method,
+		Seed:    seed,
+		Worker:  workers,
+		Schema:  SchemaVersion,
+		Version: version,
+	}
+}
 
 var kindNames = [...]string{
 	KindSearchStart:   "search_start",
@@ -80,6 +109,7 @@ var kindNames = [...]string{
 	KindHeartbeatMiss: "heartbeat_miss",
 	KindSpecLaunch:    "spec_launch",
 	KindSpecWin:       "spec_win",
+	KindTraceHeader:   "trace_header",
 }
 
 // String returns the stable snake_case name used in JSONL traces.
@@ -131,4 +161,9 @@ type Event struct {
 	Method  string        `json:"method,omitempty"`
 	Arch    string        `json:"arch,omitempty"` // canonical architecture key
 	Err     string        `json:"err,omitempty"`
+
+	// Trace-header fields (KindTraceHeader only).
+	Seed    uint64 `json:"seed,omitempty"`    // search seed
+	Schema  int    `json:"schema,omitempty"`  // trace schema generation
+	Version string `json:"version,omitempty"` // podnas version of the writer
 }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"podnas/internal/metrics"
 )
 
 // Metrics is a Recorder that computes the paper's operational quantities
@@ -23,8 +25,6 @@ type Metrics struct {
 	// Workers is the evaluation-slot capacity — the utilization
 	// denominator, the analogue of hpcsim's node count.
 	workers int
-	// window is the moving-average window (paper: 100).
-	window int
 	// highThreshold is the unique-high-performer reward cutoff (paper 0.96).
 	highThreshold float64
 
@@ -35,17 +35,17 @@ type Metrics struct {
 	spawns, crashes, restarts         int
 	hbMisses, specs, specWins         int
 
-	rewards []float64 // ring of the last `window` successful rewards
-	rwNext  int
-	rwLen   int
+	// ma is the shared streaming window average (metrics.WindowMA), the
+	// same implementation hpcsim's batch MovingAverage and obs/replay are
+	// cross-checked against.
+	ma *metrics.WindowMA
 
-	best       float64
-	high       map[string]bool
-	inflight   map[int]time.Duration // eval index -> start offset
-	busy       time.Duration         // completed evaluations' busy time
-	lastT      time.Duration
-	perWorker  map[int]*WorkerCounters
-	lastReward float64
+	best      float64
+	high      map[string]bool
+	inflight  map[int]time.Duration // eval index -> start offset
+	busy      time.Duration         // completed evaluations' busy time
+	lastT     time.Duration
+	perWorker map[int]*WorkerCounters
 }
 
 // WorkerCounters are the per-slot supervision tallies.
@@ -82,12 +82,12 @@ func NewMetricsOpts(workers int, opts MetricsOptions) *Metrics {
 	}
 	return &Metrics{
 		clock: newClock(), workers: workers,
-		window: opts.Window, highThreshold: opts.HighThreshold,
-		rewards:   make([]float64, opts.Window),
-		best:      math.Inf(-1),
-		high:      make(map[string]bool),
-		inflight:  make(map[int]time.Duration),
-		perWorker: make(map[int]*WorkerCounters),
+		highThreshold: opts.HighThreshold,
+		ma:            metrics.NewWindowMA(opts.Window),
+		best:          math.Inf(-1),
+		high:          make(map[string]bool),
+		inflight:      make(map[int]time.Duration),
+		perWorker:     make(map[int]*WorkerCounters),
 	}
 }
 
@@ -109,12 +109,25 @@ func (m *Metrics) Record(e Event) {
 		m.lastT = e.T
 	}
 	switch e.Kind {
+	case KindSearchFinish:
+		// Evaluations still in flight when the run closes (cancelled
+		// mid-training, workers torn down) were busy right up to the finish
+		// event and will never report their own terminal event. Fold that
+		// time into the committed busy total and settle the in-flight set,
+		// so the AUC of a truncated run matches hpcsim's trapezoidal
+		// busy-interval definition instead of under-counting those slots.
+		for idx, start := range m.inflight {
+			if e.T > start {
+				m.busy += e.T - start
+			}
+			delete(m.inflight, idx)
+		}
 	case KindEvalStart:
 		m.inflight[e.Eval] = e.T
 	case KindEvalFinish:
 		m.closeEval(e)
 		m.successes++
-		m.pushReward(e.Reward)
+		m.ma.Push(e.Reward)
 		if e.Reward > m.best {
 			m.best = e.Reward
 		}
@@ -161,33 +174,6 @@ func (m *Metrics) closeEval(e Event) {
 		}
 		delete(m.inflight, e.Eval)
 	}
-}
-
-func (m *Metrics) pushReward(r float64) {
-	m.rewards[m.rwNext] = r
-	m.rwNext = (m.rwNext + 1) % m.window
-	if m.rwLen < m.window {
-		m.rwLen++
-	}
-	m.lastReward = r
-}
-
-// rewardMA sums the trailing window in insertion order, matching
-// metrics.MovingAverage's accumulation order so the two agree to float
-// rounding (bitwise while the window has not wrapped).
-func (m *Metrics) rewardMA() float64 {
-	if m.rwLen == 0 {
-		return 0
-	}
-	start := m.rwNext - m.rwLen
-	if start < 0 {
-		start += m.window
-	}
-	var sum float64
-	for i := 0; i < m.rwLen; i++ {
-		sum += m.rewards[(start+i)%m.window]
-	}
-	return sum / float64(m.rwLen)
 }
 
 // Snapshot is one consistent view of the live metrics, JSON-encodable for
@@ -239,8 +225,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Errors:          m.errors,
 		Retries:         m.retries,
 		InFlight:        len(m.inflight),
-		RewardMA:        m.rewardMA(),
-		LastReward:      m.lastReward,
+		RewardMA:        m.ma.Value(),
+		LastReward:      m.ma.Last(),
 		Epochs:          m.epochs,
 		Rounds:          m.rounds,
 		Checkpoints:     m.checkpoints,

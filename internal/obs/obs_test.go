@@ -15,7 +15,7 @@ import (
 )
 
 func TestKindJSONRoundTrip(t *testing.T) {
-	for k := KindSearchStart; k <= KindSpecWin; k++ {
+	for k := KindSearchStart; k <= KindTraceHeader; k++ {
 		b, err := json.Marshal(k)
 		if err != nil {
 			t.Fatal(err)
@@ -279,6 +279,68 @@ func TestMetricsInFlightUtilization(t *testing.T) {
 	}
 	if snap.Epochs != 1 {
 		t.Errorf("epochs %d", snap.Epochs)
+	}
+}
+
+// TestMetricsFinishClosesInflight is the regression test for truncated-run
+// utilization: an evaluation still in flight at search_finish was busy until
+// the finish event, so it must be folded into the committed busy time (the
+// same interval hpcsim's trapezoidal accounting would integrate) and the
+// in-flight set must settle to empty.
+func TestMetricsFinishClosesInflight(t *testing.T) {
+	m := NewMetrics(2)
+	m.Record(Event{T: 1 * time.Millisecond, Kind: KindEvalStart, Eval: 0})
+	m.Record(Event{T: 2 * time.Millisecond, Kind: KindEvalStart, Eval: 1})
+	m.Record(Event{T: 5 * time.Millisecond, Kind: KindEvalFinish, Eval: 0, Reward: 0.4})
+	// Eval 1 never finishes: the run is cancelled and closes at t=8ms.
+	m.Record(Event{T: 8 * time.Millisecond, Kind: KindSearchFinish, Eval: 1})
+	snap := m.Snapshot()
+	if snap.InFlight != 0 {
+		t.Fatalf("in flight after finish %d, want 0", snap.InFlight)
+	}
+	// Busy spans: eval 0 over [1,5]ms, eval 1 over [2,8]ms — the interval
+	// set hpcsim would integrate — over 2 slots × 8ms elapsed.
+	wantBusy := (4 + 6) * time.Millisecond
+	if snap.BusySeconds != wantBusy.Seconds() {
+		t.Errorf("busy %v, want %v", snap.BusySeconds, wantBusy.Seconds())
+	}
+	wantAUC := wantBusy.Seconds() / (2 * (8 * time.Millisecond).Seconds())
+	if diff := snap.UtilizationAUC - wantAUC; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("truncated-run AUC %.15f, want %.15f", snap.UtilizationAUC, wantAUC)
+	}
+	// The interrupted evaluation is not a completion: only its busy time
+	// counts.
+	if snap.Evals != 1 || snap.Successes != 1 {
+		t.Errorf("counts %+v", snap)
+	}
+}
+
+// TestHeaderEvent pins the trace-header record shape and its JSON names,
+// which the replay subsystem and external tooling key on.
+func TestHeaderEvent(t *testing.T) {
+	h := NewHeader("RS", 42, 4, "0.4.0")
+	if h.Kind != KindTraceHeader || h.Schema != SchemaVersion {
+		t.Fatalf("header %+v", h)
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["kind"] != "trace_header" || m["method"] != "RS" ||
+		m["seed"] != float64(42) || m["worker"] != float64(4) ||
+		m["schema"] != float64(SchemaVersion) || m["version"] != "0.4.0" {
+		t.Errorf("header JSON %v", m)
+	}
+	// Metrics must tolerate (and ignore) the header without disturbing
+	// aggregates.
+	mt := NewMetrics(2)
+	mt.Record(h)
+	if s := mt.Snapshot(); s.Evals != 0 || s.InFlight != 0 {
+		t.Errorf("header perturbed metrics: %+v", s)
 	}
 }
 

@@ -1,0 +1,187 @@
+package replay
+
+// Crash-consistency coverage for the JSONL trace pipeline: a recorder
+// killed mid-write leaves a torn final line, concurrent producers fan in
+// through a Multi, and replay must recover the clean prefix in every case.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"podnas/internal/obs"
+)
+
+// TestReplayTornFinalLine: a process killed mid-write leaves a partial JSON
+// object with no newline; replay recovers every complete line before it and
+// reports exactly where the tear happened.
+func TestReplayTornFinalLine(t *testing.T) {
+	events := sampleRun()
+	data := record(t, events)
+	// Tear the last line: keep the trailing newline of line n-1, then a
+	// partial object.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	var torn []byte
+	for _, l := range lines[:len(lines)-2] {
+		torn = append(torn, l...)
+	}
+	last := lines[len(lines)-2]
+	torn = append(torn, last[:len(last)/2]...) // half an object, no newline
+
+	a, err := Analyze(bytes.NewReader(torn), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Read.Truncated {
+		t.Fatal("torn line not reported")
+	}
+	if a.Read.Events != len(events)-1 {
+		t.Errorf("clean prefix %d events, want %d", a.Read.Events, len(events)-1)
+	}
+	if a.Read.TruncatedLine != len(events) {
+		t.Errorf("tear reported at line %d, want %d", a.Read.TruncatedLine, len(events))
+	}
+	// The torn event was search_finish, so the recovered run is unfinished
+	// and its snapshot equals a live aggregator fed the clean prefix.
+	if a.Finished {
+		t.Error("torn finish should leave the run unfinished")
+	}
+	live := obs.NewMetrics(2)
+	for _, e := range events[:len(events)-1] {
+		live.Record(e)
+	}
+	if !reflect.DeepEqual(a.Snapshot, live.Snapshot()) {
+		t.Errorf("clean-prefix snapshot diverges:\nreplay: %+v\nlive:   %+v", a.Snapshot, live.Snapshot())
+	}
+}
+
+// TestReplayMidFileCorruptionStopsAtCleanPrefix: corruption in the middle
+// of a trace ends the clean prefix there — later valid lines are not
+// trusted past a hole in the stream.
+func TestReplayMidFileCorruptionStopsAtCleanPrefix(t *testing.T) {
+	events := sampleRun()
+	data := record(t, events)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	var mangled []byte
+	for i, l := range lines {
+		if i == 4 {
+			mangled = append(mangled, []byte("{\"t\":zzz garbage\n")...)
+			continue
+		}
+		mangled = append(mangled, l...)
+	}
+	a, err := Analyze(bytes.NewReader(mangled), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Read.Truncated || a.Read.TruncatedLine != 5 {
+		t.Fatalf("read stats %+v", a.Read)
+	}
+	if a.Read.Events != 4 {
+		t.Errorf("clean prefix %d events, want 4", a.Read.Events)
+	}
+}
+
+// TestMultiInterleavedWritesReplay: many goroutines record through one
+// Multi into a JSONL sink and a live Metrics at once. Every line of the
+// resulting trace must decode (the sink's lock keeps lines atomic), and
+// replaying it must reproduce the live aggregator's counters even though
+// goroutine scheduling may have written offsets slightly out of order.
+func TestMultiInterleavedWritesReplay(t *testing.T) {
+	const workers, perWorker = 8, 50
+	var buf bytes.Buffer
+	jl := obs.NewJSONL(&buf)
+	live := obs.NewMetrics(workers)
+	multi := obs.NewMulti(live, jl)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				idx := w*perWorker + i
+				arch := fmt.Sprintf("a-%d", idx)
+				multi.Record(obs.Event{Kind: obs.KindEvalStart, Eval: idx, Worker: w, Arch: arch})
+				if rng.Intn(8) == 0 {
+					multi.Record(obs.Event{Kind: obs.KindEvalError, Eval: idx, Worker: w, Err: "boom"})
+				} else {
+					multi.Record(obs.Event{Kind: obs.KindEvalFinish, Eval: idx, Worker: w, Arch: arch, Reward: rng.Float64()})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := jl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := Analyze(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Read.Truncated {
+		t.Fatalf("interleaved trace reported truncated: %+v", a.Read)
+	}
+	if a.Read.Events != 2*workers*perWorker {
+		t.Fatalf("decoded %d events, want %d", a.Read.Events, 2*workers*perWorker)
+	}
+	ls := live.Snapshot()
+	rs := a.Snapshot
+	if rs.Evals != ls.Evals || rs.Successes != ls.Successes || rs.Errors != ls.Errors {
+		t.Errorf("replay counters %d/%d/%d vs live %d/%d/%d",
+			rs.Evals, rs.Successes, rs.Errors, ls.Evals, ls.Successes, ls.Errors)
+	}
+	if rs.BestReward != ls.BestReward || rs.UniqueHigh != ls.UniqueHigh {
+		t.Errorf("replay best/high %v/%d vs live %v/%d", rs.BestReward, rs.UniqueHigh, ls.BestReward, ls.UniqueHigh)
+	}
+	if rs.BusySeconds != ls.BusySeconds {
+		t.Errorf("replay busy %v vs live %v", rs.BusySeconds, ls.BusySeconds)
+	}
+}
+
+// TestReplayCrashedFileOnDisk drills the full path a real crash takes: a
+// CreateJSONL sink writes a trace file, the "process" dies after a torn
+// partial append, and AnalyzeFile recovers the clean prefix.
+func TestReplayCrashedFileOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	jl, err := obs.CreateJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := sampleRun()
+	for _, e := range events[:len(events)-3] {
+		jl.Record(e)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash: a partial line lands after the clean prefix.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":123456,"kind":"eval_fin`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := AnalyzeFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Read.Truncated || a.Read.Events != len(events)-3 {
+		t.Fatalf("recovered %d events (truncated=%v), want %d", a.Read.Events, a.Read.Truncated, len(events)-3)
+	}
+	if a.Snapshot.Evals == 0 {
+		t.Error("clean prefix lost its evaluations")
+	}
+}

@@ -1,0 +1,169 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Thresholds configure how much adverse movement Diff tolerates per tracked
+// metric before declaring a regression. Zero values take the defaults shown
+// on each field; negative values disable the check entirely. Thresholds
+// bound the *adverse* direction only — improvements never regress.
+type Thresholds struct {
+	// BestReward is the allowed absolute drop in best reward (default 0.01).
+	BestReward float64
+	// RewardMA is the allowed absolute drop in the final (and
+	// time-aligned) moving-average reward (default 0.02).
+	RewardMA float64
+	// UtilizationAUC is the allowed absolute drop in the utilization AUC
+	// ratio (default 0.05).
+	UtilizationAUC float64
+	// EvalsPerSec is the allowed relative drop in evaluation throughput
+	// (default 0.20 = 20%).
+	EvalsPerSec float64
+	// UniqueHigh is the allowed drop in the unique-high-performer count
+	// (default 0).
+	UniqueHigh float64
+	// Errors is the allowed increase in failed-evaluation count
+	// (default 0).
+	Errors float64
+}
+
+// DefaultThresholds returns the documented defaults.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		BestReward:     0.01,
+		RewardMA:       0.02,
+		UtilizationAUC: 0.05,
+		EvalsPerSec:    0.20,
+		UniqueHigh:     0,
+		Errors:         0,
+	}
+}
+
+func (t *Thresholds) defaults() {
+	d := DefaultThresholds()
+	if t.BestReward == 0 {
+		t.BestReward = d.BestReward
+	}
+	if t.RewardMA == 0 {
+		t.RewardMA = d.RewardMA
+	}
+	if t.UtilizationAUC == 0 {
+		t.UtilizationAUC = d.UtilizationAUC
+	}
+	if t.EvalsPerSec == 0 {
+		t.EvalsPerSec = d.EvalsPerSec
+	}
+	// UniqueHigh and Errors default to 0 allowed movement already.
+}
+
+// Delta is one tracked metric compared across two runs. Delta = B − A;
+// Allowed is the tolerated adverse movement in the same (absolute) units.
+type Delta struct {
+	Metric string  `json:"metric"`
+	A      float64 `json:"a"`
+	B      float64 `json:"b"`
+	Delta  float64 `json:"delta"`
+	// Allowed is the adverse budget; math.Inf(1) when the check is
+	// disabled.
+	Allowed float64 `json:"allowed"`
+	// HigherBetter orients the adverse direction.
+	HigherBetter bool `json:"higher_better"`
+	Regressed    bool `json:"regressed"`
+}
+
+// DiffReport is the outcome of comparing run B against baseline A.
+type DiffReport struct {
+	Deltas []Delta `json:"deltas"`
+	// Regressions lists the metric names that moved adversely past their
+	// threshold.
+	Regressions []string `json:"regressions,omitempty"`
+	// Note carries alignment caveats (e.g. differing evaluation budgets)
+	// that change how the deltas should be read.
+	Note string `json:"note,omitempty"`
+}
+
+// Regressed reports whether any tracked metric regressed.
+func (r *DiffReport) Regressed() bool { return len(r.Regressions) > 0 }
+
+// Diff aligns two analyzed runs and reports per-metric deltas of B against
+// the baseline A, flagging adverse movements beyond the thresholds. Runs of
+// different lengths are additionally compared at their common wall-clock
+// horizon (the reward curve of the longer run is evaluated where the
+// shorter one ended), so a longer follow-up run does not mask an early
+// reward collapse.
+func Diff(a, b *Analysis, th Thresholds) *DiffReport {
+	th.defaults()
+	r := &DiffReport{}
+	add := func(metric string, av, bv, allowed float64, higherBetter bool) {
+		if allowed < 0 {
+			allowed = math.Inf(1)
+		}
+		d := Delta{Metric: metric, A: av, B: bv, Delta: bv - av, Allowed: allowed, HigherBetter: higherBetter}
+		adverse := av - bv // drop, for higher-better metrics
+		if !higherBetter {
+			adverse = bv - av
+		}
+		if adverse > allowed {
+			d.Regressed = true
+			r.Regressions = append(r.Regressions, metric)
+		}
+		r.Deltas = append(r.Deltas, d)
+	}
+
+	sa, sb := a.Snapshot, b.Snapshot
+	add("best_reward", sa.BestReward, sb.BestReward, th.BestReward, true)
+	add("reward_ma", sa.RewardMA, sb.RewardMA, th.RewardMA, true)
+	add("utilization_auc", sa.UtilizationAUC, sb.UtilizationAUC, th.UtilizationAUC, true)
+	// Throughput is thresholded relatively: the budget scales with the
+	// baseline rate.
+	add("evals_per_sec", sa.EvalsPerSec, sb.EvalsPerSec, th.EvalsPerSec*math.Abs(sa.EvalsPerSec), true)
+	add("unique_high", float64(sa.UniqueHigh), float64(sb.UniqueHigh), th.UniqueHigh, true)
+	add("errors", float64(sa.Errors), float64(sb.Errors), th.Errors, false)
+
+	// Time-aligned reward: compare the MA curves at the common horizon.
+	if a.Reward.Len() > 0 && b.Reward.Len() > 0 {
+		t := math.Min(sa.ElapsedSeconds, sb.ElapsedSeconds)
+		add("reward_ma@common_t", a.Reward.ValueAt(t), b.Reward.ValueAt(t), th.RewardMA, true)
+	}
+
+	if sa.Evals != sb.Evals {
+		r.Note = fmt.Sprintf("runs differ in completed evaluations (%d vs %d): count-like metrics are not directly comparable", sa.Evals, sb.Evals)
+	}
+	return r
+}
+
+// Markdown renders the report as a table, flagging regressions — the body
+// of `nasreport diff` output.
+func (r *DiffReport) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| metric | baseline | candidate | delta | allowed | verdict |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---|\n")
+	for _, d := range r.Deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "**REGRESSED**"
+		}
+		allowed := "—"
+		if !math.IsInf(d.Allowed, 1) {
+			dir := "-"
+			if !d.HigherBetter {
+				dir = "+"
+			}
+			allowed = fmt.Sprintf("%s%.4g", dir, d.Allowed)
+		}
+		fmt.Fprintf(&b, "| %s | %.6g | %.6g | %+.6g | %s | %s |\n",
+			d.Metric, d.A, d.B, d.Delta, allowed, verdict)
+	}
+	if r.Note != "" {
+		fmt.Fprintf(&b, "\n> note: %s\n", r.Note)
+	}
+	if r.Regressed() {
+		fmt.Fprintf(&b, "\n%d regression(s): %s\n", len(r.Regressions), strings.Join(r.Regressions, ", "))
+	} else {
+		b.WriteString("\nno regressions\n")
+	}
+	return b.String()
+}

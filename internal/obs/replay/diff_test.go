@@ -1,0 +1,205 @@
+package replay
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"podnas/internal/obs"
+)
+
+func analyzed(t *testing.T, events []obs.Event) *Analysis {
+	t.Helper()
+	a, err := Analyze(bytes.NewReader(record(t, events)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestDiffSelfIsClean pins the CI contract: a run diffed against itself has
+// zero deltas and zero regressions.
+func TestDiffSelfIsClean(t *testing.T) {
+	a := analyzed(t, sampleRun())
+	r := Diff(a, a, Thresholds{})
+	if r.Regressed() {
+		t.Fatalf("self-diff regressed: %v", r.Regressions)
+	}
+	for _, d := range r.Deltas {
+		if d.Delta != 0 || d.Regressed {
+			t.Errorf("self-diff delta %+v", d)
+		}
+	}
+	if r.Note != "" {
+		t.Errorf("self-diff note %q", r.Note)
+	}
+	if !strings.Contains(r.Markdown(), "no regressions") {
+		t.Error("markdown missing the all-clear")
+	}
+}
+
+// TestDiffFlagsRegressions: adverse movements past their thresholds are
+// flagged; improvements and within-budget drift are not.
+func TestDiffFlagsRegressions(t *testing.T) {
+	a := analyzed(t, sampleRun())
+
+	// Candidate run: the high performer collapsed (0.97 → 0.90), dropping
+	// best reward beyond 0.01, losing the unique-high architecture, and
+	// moving the MA.
+	events := sampleRun()
+	worse := make([]obs.Event, len(events))
+	copy(worse, events)
+	for i, e := range worse {
+		if e.Kind == obs.KindEvalFinish && e.Arch == "a" {
+			e.Reward = 0.90
+			worse[i] = e
+		}
+	}
+	b := analyzed(t, worse)
+
+	r := Diff(a, b, Thresholds{})
+	if !r.Regressed() {
+		t.Fatal("collapse not flagged")
+	}
+	got := map[string]bool{}
+	for _, m := range r.Regressions {
+		got[m] = true
+	}
+	for _, want := range []string{"best_reward", "reward_ma", "unique_high", "reward_ma@common_t"} {
+		if !got[want] {
+			t.Errorf("missing regression %q (have %v)", want, r.Regressions)
+		}
+	}
+	if got["utilization_auc"] || got["evals_per_sec"] || got["errors"] {
+		t.Errorf("schedule-identical metrics must not regress: %v", r.Regressions)
+	}
+	if !strings.Contains(r.Markdown(), "REGRESSED") {
+		t.Error("markdown missing the flag")
+	}
+
+	// The reverse direction is an improvement, not a regression.
+	if rr := Diff(b, a, Thresholds{}); rr.Regressed() {
+		t.Errorf("improvement flagged: %v", rr.Regressions)
+	}
+
+	// Loosened thresholds absorb the movement; negative disables a check.
+	if rr := Diff(a, b, Thresholds{BestReward: 0.5, RewardMA: 0.5, UniqueHigh: 5}); rr.Regressed() {
+		t.Errorf("loose thresholds still regress: %v", rr.Regressions)
+	}
+	if rr := Diff(a, b, Thresholds{BestReward: -1, RewardMA: -1, UniqueHigh: -1}); rr.Regressed() {
+		t.Errorf("disabled thresholds still regress: %v", rr.Regressions)
+	}
+}
+
+// TestDiffErrorBudget: more failed evaluations than the baseline is a
+// regression under the default zero budget.
+func TestDiffErrorBudget(t *testing.T) {
+	clean := []obs.Event{
+		{T: ms(1), Kind: obs.KindSearchStart, Method: "RS", Worker: 1},
+		{T: ms(2), Kind: obs.KindEvalStart, Eval: 0, Worker: 0, Arch: "a"},
+		{T: ms(5), Kind: obs.KindEvalFinish, Eval: 0, Worker: 0, Arch: "a", Reward: 0.5},
+		{T: ms(6), Kind: obs.KindSearchFinish, Eval: 1},
+	}
+	flaky := []obs.Event{
+		{T: ms(1), Kind: obs.KindSearchStart, Method: "RS", Worker: 1},
+		{T: ms(2), Kind: obs.KindEvalStart, Eval: 0, Worker: 0, Arch: "a"},
+		{T: ms(5), Kind: obs.KindEvalFinish, Eval: 0, Worker: 0, Arch: "a", Reward: 0.5},
+		{T: ms(5), Kind: obs.KindEvalStart, Eval: 1, Worker: 0, Arch: "b"},
+		{T: ms(6), Kind: obs.KindEvalError, Eval: 1, Worker: 0, Err: "boom"},
+		{T: ms(7), Kind: obs.KindSearchFinish, Eval: 2},
+	}
+	r := Diff(analyzed(t, clean), analyzed(t, flaky), Thresholds{})
+	found := false
+	for _, m := range r.Regressions {
+		if m == "errors" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("error increase not flagged: %v", r.Regressions)
+	}
+	if r.Note == "" {
+		t.Error("differing eval counts should carry an alignment note")
+	}
+	// A one-error budget absorbs it.
+	if rr := Diff(analyzed(t, clean), analyzed(t, flaky), Thresholds{Errors: 1}); func() bool {
+		for _, m := range rr.Regressions {
+			if m == "errors" {
+				return true
+			}
+		}
+		return false
+	}() {
+		t.Errorf("errors regressed despite budget: %v", rr.Regressions)
+	}
+}
+
+// TestDiffThroughputRelative: the evals/sec budget scales with the baseline
+// rate, so halving throughput regresses while a 10% dip does not.
+func TestDiffThroughputRelative(t *testing.T) {
+	fast := []obs.Event{
+		{T: ms(1), Kind: obs.KindSearchStart, Method: "RS", Worker: 1},
+		{T: ms(1), Kind: obs.KindEvalStart, Eval: 0, Worker: 0, Arch: "a"},
+		{T: ms(10), Kind: obs.KindEvalFinish, Eval: 0, Worker: 0, Arch: "a", Reward: 0.5},
+		{T: ms(10), Kind: obs.KindSearchFinish, Eval: 1},
+	}
+	slow := []obs.Event{
+		{T: ms(1), Kind: obs.KindSearchStart, Method: "RS", Worker: 1},
+		{T: ms(1), Kind: obs.KindEvalStart, Eval: 0, Worker: 0, Arch: "a"},
+		{T: ms(25), Kind: obs.KindEvalFinish, Eval: 0, Worker: 0, Arch: "a", Reward: 0.5},
+		{T: ms(25), Kind: obs.KindSearchFinish, Eval: 1},
+	}
+	r := Diff(analyzed(t, fast), analyzed(t, slow), Thresholds{})
+	hit := false
+	for _, m := range r.Regressions {
+		if m == "evals_per_sec" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("2.5× slowdown not flagged: %v", r.Regressions)
+	}
+	// Same run is within any relative budget.
+	if rr := Diff(analyzed(t, fast), analyzed(t, fast), Thresholds{}); rr.Regressed() {
+		t.Errorf("identical throughput regressed: %v", rr.Regressions)
+	}
+}
+
+// TestDiffCommonHorizon: runs of different lengths compare reward at the
+// shorter horizon, so a long run that started badly is caught even if its
+// final MA recovered.
+func TestDiffCommonHorizon(t *testing.T) {
+	short := []obs.Event{
+		{T: ms(1), Kind: obs.KindSearchStart, Method: "RS", Worker: 1},
+		{T: ms(1), Kind: obs.KindEvalStart, Eval: 0, Worker: 0, Arch: "a"},
+		{T: ms(5), Kind: obs.KindEvalFinish, Eval: 0, Worker: 0, Arch: "a", Reward: 0.9},
+		{T: ms(5), Kind: obs.KindSearchFinish, Eval: 1},
+	}
+	// Long run: terrible at the 5ms horizon (0.1), recovered later (final
+	// MA pulled up by a 0.9 at 50ms).
+	long := []obs.Event{
+		{T: ms(1), Kind: obs.KindSearchStart, Method: "RS", Worker: 1},
+		{T: ms(1), Kind: obs.KindEvalStart, Eval: 0, Worker: 0, Arch: "b"},
+		{T: ms(5), Kind: obs.KindEvalFinish, Eval: 0, Worker: 0, Arch: "b", Reward: 0.1},
+		{T: ms(6), Kind: obs.KindEvalStart, Eval: 1, Worker: 0, Arch: "c"},
+		{T: ms(50), Kind: obs.KindEvalFinish, Eval: 1, Worker: 0, Arch: "c", Reward: 0.9},
+		{T: ms(50), Kind: obs.KindSearchFinish, Eval: 2},
+	}
+	r := Diff(analyzed(t, short), analyzed(t, long), Thresholds{})
+	var aligned *Delta
+	for i := range r.Deltas {
+		if r.Deltas[i].Metric == "reward_ma@common_t" {
+			aligned = &r.Deltas[i]
+		}
+	}
+	if aligned == nil {
+		t.Fatal("no time-aligned reward delta")
+	}
+	if !aligned.Regressed {
+		t.Errorf("early collapse at common horizon not flagged: %+v", aligned)
+	}
+	if math.Abs(aligned.A-0.9) > 1e-12 || math.Abs(aligned.B-0.1) > 1e-12 {
+		t.Errorf("aligned values %v vs %v", aligned.A, aligned.B)
+	}
+}

@@ -1,0 +1,548 @@
+// Package replay turns recorded JSONL event traces (nasrun -trace) back
+// into the paper's operational deliverables: the reconstructed live
+// obs.Metrics snapshot, the moving-average reward vs. wall-clock curve
+// (Fig 6), the node-utilization trace and AUC (Table III / Fig 7), the
+// unique-high-performer growth curve (Fig 8), per-phase latency
+// histograms, and per-worker crash/straggler attribution. It is the
+// analysis half of the Balsam-style telemetry pipeline: the live layer
+// writes the log, this package reads it — including logs truncated by a
+// crash, for which it reports the clean prefix it could recover.
+//
+// The replayed snapshot is exact: feeding a recorded stream through
+// Analyze reproduces the numbers the live obs.Metrics reported at the
+// moment the trace was written (the same event timestamps drive both),
+// which the root-package acceptance test pins to 1e-9.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"podnas/internal/metrics"
+	"podnas/internal/obs"
+)
+
+// Sentinel errors. Hard failures (bad schema, future trace) wrap these;
+// mere truncation is NOT an error — it is reported in ReadStats so a
+// crashed run's partial log still analyzes.
+var (
+	// ErrSchema marks a structurally invalid trace: negative offsets, or
+	// out-of-order offsets under Options.Strict.
+	ErrSchema = errors.New("replay: invalid trace schema")
+	// ErrSchemaVersion marks a trace written by a newer schema generation
+	// than this reader understands.
+	ErrSchemaVersion = errors.New("replay: trace schema version too new")
+)
+
+// ReadStats describes how much of a trace the reader consumed and what it
+// had to tolerate along the way.
+type ReadStats struct {
+	// Lines is the number of physical lines consumed, including a final
+	// undecodable one.
+	Lines int
+	// Events is the number of events decoded — the clean prefix.
+	Events int
+	// Truncated reports that the trace ended in an undecodable line (torn
+	// final write of a crashed run, or mid-file corruption); everything
+	// before TruncatedLine is the clean prefix and was analyzed.
+	Truncated bool
+	// TruncatedLine is the 1-based line number of the first undecodable
+	// line (0 when Truncated is false).
+	TruncatedLine int
+	// OutOfOrder counts events whose offset ran backwards relative to the
+	// stream so far. Concurrent producers stamp through a shared Multi but
+	// append to the JSONL sink under its own lock, so slight inversions are
+	// legal in live traces; Options.Strict turns them into ErrSchema.
+	OutOfOrder int
+	// UnknownKinds counts events carrying a kind this vocabulary does not
+	// know (traces from newer writers); they advance the clock but carry no
+	// other meaning here.
+	UnknownKinds int
+}
+
+// Reader streams events out of a JSONL trace, validating as it goes. It
+// tolerates a torn or corrupt line by ending the stream there (clean-prefix
+// recovery); schema violations and future schema versions are hard errors.
+type Reader struct {
+	sc     *bufio.Scanner
+	strict bool
+
+	stats  ReadStats
+	lastT  time.Duration
+	header *obs.Event
+	done   bool
+	err    error
+}
+
+// NewReader wraps r. Set strict to reject offset-monotonicity violations
+// instead of tolerating (and counting) them.
+func NewReader(r io.Reader, strict bool) *Reader {
+	sc := bufio.NewScanner(r)
+	// Events are small, but an arch key plus error string can stretch a
+	// line; give the scanner generous headroom over bufio's 64 KiB default.
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Reader{sc: sc, strict: strict}
+}
+
+// Next returns the next decoded event. It returns io.EOF at the end of the
+// clean prefix — whether the trace ended cleanly or in a torn line; consult
+// Stats to distinguish. Schema violations return errors wrapping ErrSchema
+// or ErrSchemaVersion and poison the reader.
+func (r *Reader) Next() (obs.Event, error) {
+	if r.err != nil {
+		return obs.Event{}, r.err
+	}
+	if r.done {
+		return obs.Event{}, io.EOF
+	}
+	for r.sc.Scan() {
+		r.stats.Lines++
+		line := r.sc.Bytes()
+		if len(line) == 0 {
+			continue // blank line (trailing newline artifacts)
+		}
+		var e obs.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			// Torn final write or corruption: end of the clean prefix.
+			r.stats.Truncated = true
+			r.stats.TruncatedLine = r.stats.Lines
+			r.done = true
+			return obs.Event{}, io.EOF
+		}
+		if e.T < 0 {
+			r.err = fmt.Errorf("%w: line %d: negative offset %d", ErrSchema, r.stats.Lines, e.T)
+			return obs.Event{}, r.err
+		}
+		if e.Kind == obs.KindTraceHeader {
+			if e.Schema > obs.SchemaVersion {
+				r.err = fmt.Errorf("%w: trace schema %d, this reader understands ≤ %d (upgrade nasreport)",
+					ErrSchemaVersion, e.Schema, obs.SchemaVersion)
+				return obs.Event{}, r.err
+			}
+			if r.header == nil {
+				h := e
+				r.header = &h
+			}
+		}
+		if e.T < r.lastT {
+			if r.strict {
+				r.err = fmt.Errorf("%w: line %d: offset %v runs backwards past %v", ErrSchema, r.stats.Lines, e.T, r.lastT)
+				return obs.Event{}, r.err
+			}
+			r.stats.OutOfOrder++
+		} else {
+			r.lastT = e.T
+		}
+		if e.Kind == 0 {
+			// Unknown kind names decode to 0 by contract (forward
+			// compatibility): the event advances the clock but carries no
+			// meaning this reader understands.
+			r.stats.UnknownKinds++
+		}
+		r.stats.Events++
+		return e, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		// A line beyond the scanner's buffer is corruption, not truncation
+		// we can see past: still report the clean prefix.
+		r.stats.Truncated = true
+		r.stats.TruncatedLine = r.stats.Lines + 1
+	}
+	r.done = true
+	return obs.Event{}, io.EOF
+}
+
+// Header returns the trace-header event, if one has been read so far.
+func (r *Reader) Header() (obs.Event, bool) {
+	if r.header == nil {
+		return obs.Event{}, false
+	}
+	return *r.header, true
+}
+
+// Stats returns the reader's consumption statistics so far.
+func (r *Reader) Stats() ReadStats { return r.stats }
+
+// Phase names the latency populations the analysis histograms.
+type Phase string
+
+const (
+	// PhaseEval is evaluation dispatch→terminal-event latency.
+	PhaseEval Phase = "eval"
+	// PhaseEpoch is the spacing between training-epoch ticks of one
+	// evaluation (first tick measured from its dispatch).
+	PhaseEpoch Phase = "epoch"
+	// PhaseCheckpoint is the spacing between checkpoint writes (first
+	// measured from the start of the run).
+	PhaseCheckpoint Phase = "checkpoint"
+)
+
+// Options tune an analysis; zero values take the live-metrics defaults, so
+// a default replay reconstructs exactly what `nasrun -obs` showed.
+type Options struct {
+	// Window is the reward moving-average window (default 100).
+	Window int
+	// HighThreshold is the unique-high-performer cutoff (default 0.96).
+	HighThreshold float64
+	// Bins is the utilization-trace resolution (default 120 bins over the
+	// run; minimum 1).
+	Bins int
+	// StragglerFactor flags a worker slot whose mean evaluation latency
+	// exceeds the run mean by this factor (default 1.5).
+	StragglerFactor float64
+	// Strict rejects offset-monotonicity violations instead of counting
+	// them.
+	Strict bool
+}
+
+func (o *Options) defaults() {
+	if o.Window <= 0 {
+		o.Window = 100
+	}
+	if o.HighThreshold == 0 {
+		o.HighThreshold = 0.96
+	}
+	if o.Bins <= 0 {
+		o.Bins = 120
+	}
+	if o.StragglerFactor <= 0 {
+		o.StragglerFactor = 1.5
+	}
+}
+
+// SlotReport attributes work, crashes, and stragglerhood to one evaluation
+// slot (worker id).
+type SlotReport struct {
+	Worker                      int     `json:"worker"`
+	Started                     int     `json:"started"`
+	Finished                    int     `json:"finished"`
+	Errored                     int     `json:"errored"`
+	BusySeconds                 float64 `json:"busy_seconds"`
+	MeanLatency                 float64 `json:"mean_latency_seconds"`
+	MaxLatency                  float64 `json:"max_latency_seconds"`
+	Crashes, Restarts, HBMisses int
+	// StragglerScore is this slot's mean terminal-evaluation latency over
+	// the run-wide mean (1.0 = typical; 0 with no terminal evaluations).
+	StragglerScore float64 `json:"straggler_score"`
+	// Straggler is set when StragglerScore ≥ Options.StragglerFactor with
+	// at least two terminal evaluations to stand on.
+	Straggler bool `json:"straggler"`
+}
+
+// Analysis is everything this package derives from one trace.
+type Analysis struct {
+	// Header is the trace-header event (nil for headerless, pre-header
+	// traces).
+	Header *obs.Event
+	// Method/Seed/Workers are taken from the header when present, else
+	// inferred from the event stream (Seed stays 0 without a header).
+	Method  string
+	Seed    uint64
+	Workers int
+	// Version is the podnas version that wrote the trace ("" headerless).
+	Version string
+
+	// Read describes the consumed trace, including truncation tolerance.
+	Read ReadStats
+	// Finished reports that the trace contains a search_finish event — a
+	// false value means the run crashed or the trace was cut mid-run.
+	Finished bool
+
+	// Snapshot is the reconstructed live obs.Metrics state at the last
+	// event: replaying is exact, so this equals what the live aggregator
+	// published at that moment.
+	Snapshot obs.Snapshot
+
+	// Reward is the window-MA reward vs. wall-clock seconds (Fig 6).
+	Reward *metrics.Curve
+	// Utilization is the busy-slot fraction vs. wall-clock seconds,
+	// bin-averaged (Fig 7 / hpcsim's UtilCurve analogue).
+	Utilization *metrics.Curve
+	// HighPerf is cumulative unique architectures above HighThreshold vs.
+	// wall-clock seconds (Fig 8).
+	HighPerf *metrics.Curve
+
+	// Latency holds the per-phase latency histograms (p50/p90/p99 etc.).
+	Latency map[Phase]*Histogram
+	// Slots is the per-worker attribution, ordered by worker id.
+	Slots []SlotReport
+}
+
+// AnalyzeFile opens and analyzes the trace at path.
+func AnalyzeFile(path string, opts Options) (*Analysis, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Analyze(f, opts)
+}
+
+// Analyze reads a whole trace and derives every analysis in one pass over
+// the decoded events. Truncated traces analyze their clean prefix; schema
+// violations fail.
+func Analyze(r io.Reader, opts Options) (*Analysis, error) {
+	opts.defaults()
+	rd := NewReader(r, opts.Strict)
+	var events []obs.Event
+	for {
+		e, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+
+	a := &Analysis{
+		Read:        rd.Stats(),
+		Reward:      &metrics.Curve{},
+		Utilization: &metrics.Curve{},
+		HighPerf:    &metrics.Curve{},
+		Latency: map[Phase]*Histogram{
+			PhaseEval:       NewHistogram(),
+			PhaseEpoch:      NewHistogram(),
+			PhaseCheckpoint: NewHistogram(),
+		},
+	}
+	if h, ok := rd.Header(); ok {
+		a.Header = &h
+		a.Method, a.Seed, a.Workers, a.Version = h.Method, h.Seed, h.Worker, h.Version
+	}
+	inferShape(a, events)
+
+	// Reconstruct the live aggregator by feeding it the recorded stream:
+	// events carry their original offsets, so the snapshot is the one the
+	// live Metrics held after the same events.
+	met := obs.NewMetricsOpts(a.Workers, obs.MetricsOptions{
+		Window: opts.Window, HighThreshold: opts.HighThreshold,
+	})
+	for _, e := range events {
+		met.Record(e)
+	}
+	a.Snapshot = met.Snapshot()
+
+	deriveSeries(a, events, opts)
+	deriveLatency(a, events)
+	deriveSlots(a, events, opts)
+	return a, nil
+}
+
+// inferShape fills Method/Workers for headerless traces and notices the
+// finish event.
+func inferShape(a *Analysis, events []obs.Event) {
+	maxWorker := -1
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindSearchStart:
+			if a.Method == "" {
+				a.Method = e.Method
+			}
+			if a.Workers == 0 {
+				a.Workers = e.Worker
+			}
+		case obs.KindSearchFinish:
+			a.Finished = true
+		case obs.KindEvalStart, obs.KindEvalFinish, obs.KindEvalError:
+			if e.Worker > maxWorker {
+				maxWorker = e.Worker
+			}
+		}
+	}
+	if a.Workers <= 0 {
+		a.Workers = maxWorker + 1
+	}
+	if a.Workers <= 0 {
+		a.Workers = 1
+	}
+}
+
+// busyIntervals reconstructs the per-evaluation busy spans in seconds:
+// dispatch to terminal event, with evaluations still open at search_finish
+// (or at the end of a truncated trace) closed at that boundary — the same
+// closure rule the live aggregator applies.
+func busyIntervals(events []obs.Event) ([]metrics.Interval, float64) {
+	starts := make(map[int]time.Duration)
+	var spans []metrics.Interval
+	var lastT time.Duration
+	for _, e := range events {
+		if e.T > lastT {
+			lastT = e.T
+		}
+		switch e.Kind {
+		case obs.KindEvalStart:
+			starts[e.Eval] = e.T
+		case obs.KindEvalFinish, obs.KindEvalError:
+			if s, ok := starts[e.Eval]; ok {
+				spans = append(spans, metrics.Interval{Lo: s.Seconds(), Hi: e.T.Seconds()})
+				delete(starts, e.Eval)
+			}
+		case obs.KindSearchFinish:
+			for idx, s := range starts {
+				spans = append(spans, metrics.Interval{Lo: s.Seconds(), Hi: e.T.Seconds()})
+				delete(starts, idx)
+			}
+		}
+	}
+	// Truncated mid-run: open evaluations were busy until the last thing we
+	// know about.
+	for _, s := range starts {
+		spans = append(spans, metrics.Interval{Lo: s.Seconds(), Hi: lastT.Seconds()})
+	}
+	return spans, lastT.Seconds()
+}
+
+// deriveSeries builds the three paper curves from the event stream.
+func deriveSeries(a *Analysis, events []obs.Event, opts Options) {
+	var rewards []float64
+	var times []float64
+	seen := make(map[string]bool)
+	unique := 0
+	for _, e := range events {
+		if e.Kind != obs.KindEvalFinish {
+			continue
+		}
+		rewards = append(rewards, e.Reward)
+		times = append(times, e.T.Seconds())
+		if e.Reward > opts.HighThreshold && e.Arch != "" && !seen[e.Arch] {
+			seen[e.Arch] = true
+			unique++
+		}
+		a.HighPerf.Append(e.T.Seconds(), float64(unique))
+	}
+	ma := metrics.MovingAverage(rewards, opts.Window)
+	for i := range ma {
+		a.Reward.Append(times[i], ma[i])
+	}
+
+	spans, wall := busyIntervals(events)
+	if wall <= 0 {
+		return
+	}
+	binWidth := wall / float64(opts.Bins)
+	bins := metrics.BusyBins(spans, binWidth, opts.Bins)
+	denom := float64(a.Workers) * binWidth
+	for b, busy := range bins {
+		a.Utilization.Append(float64(b)*binWidth, busy/denom)
+	}
+}
+
+// deriveLatency fills the per-phase histograms.
+func deriveLatency(a *Analysis, events []obs.Event) {
+	evalStart := make(map[int]time.Duration)
+	lastTick := make(map[int]time.Duration) // eval -> last epoch tick (or dispatch)
+	var lastCheckpoint time.Duration
+	haveCheckpointOrigin := false
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindSearchStart:
+			if !haveCheckpointOrigin {
+				lastCheckpoint = e.T
+				haveCheckpointOrigin = true
+			}
+		case obs.KindEvalStart:
+			evalStart[e.Eval] = e.T
+			lastTick[e.Eval] = e.T
+		case obs.KindEpoch:
+			if prev, ok := lastTick[e.Eval]; ok && e.T >= prev {
+				a.Latency[PhaseEpoch].Add((e.T - prev).Seconds())
+			}
+			lastTick[e.Eval] = e.T
+		case obs.KindEvalFinish, obs.KindEvalError:
+			if s, ok := evalStart[e.Eval]; ok && e.T >= s {
+				a.Latency[PhaseEval].Add((e.T - s).Seconds())
+			}
+			delete(evalStart, e.Eval)
+			delete(lastTick, e.Eval)
+		case obs.KindCheckpoint:
+			if haveCheckpointOrigin && e.T >= lastCheckpoint {
+				a.Latency[PhaseCheckpoint].Add((e.T - lastCheckpoint).Seconds())
+			}
+			lastCheckpoint = e.T
+			haveCheckpointOrigin = true
+		}
+	}
+}
+
+// deriveSlots attributes evaluations, crashes, and stragglerhood per worker
+// slot.
+func deriveSlots(a *Analysis, events []obs.Event, opts Options) {
+	type acc struct {
+		SlotReport
+		latencies []float64
+	}
+	slots := make(map[int]*acc)
+	slot := func(id int) *acc {
+		s := slots[id]
+		if s == nil {
+			s = &acc{SlotReport: SlotReport{Worker: id}}
+			slots[id] = s
+		}
+		return s
+	}
+	starts := make(map[int]time.Duration)
+	var totalLatency float64
+	var totalN int
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindEvalStart:
+			slot(e.Worker).Started++
+			starts[e.Eval] = e.T
+		case obs.KindEvalFinish, obs.KindEvalError:
+			s := slot(e.Worker)
+			if e.Kind == obs.KindEvalFinish {
+				s.Finished++
+			} else {
+				s.Errored++
+			}
+			if t0, ok := starts[e.Eval]; ok && e.T >= t0 {
+				lat := (e.T - t0).Seconds()
+				s.latencies = append(s.latencies, lat)
+				s.BusySeconds += lat
+				if lat > s.MaxLatency {
+					s.MaxLatency = lat
+				}
+				totalLatency += lat
+				totalN++
+				delete(starts, e.Eval)
+			}
+		case obs.KindWorkerCrash:
+			slot(e.Worker).Crashes++
+		case obs.KindWorkerRestart:
+			slot(e.Worker).Restarts++
+		case obs.KindHeartbeatMiss:
+			slot(e.Worker).HBMisses++
+		}
+	}
+	if len(slots) == 0 {
+		return
+	}
+	globalMean := 0.0
+	if totalN > 0 {
+		globalMean = totalLatency / float64(totalN)
+	}
+	ids := make([]int, 0, len(slots))
+	for id := range slots {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := slots[id]
+		if n := len(s.latencies); n > 0 {
+			s.MeanLatency = s.BusySeconds / float64(n)
+			if globalMean > 0 {
+				s.StragglerScore = s.MeanLatency / globalMean
+			}
+			s.Straggler = n >= 2 && s.StragglerScore >= opts.StragglerFactor
+		}
+		a.Slots = append(a.Slots, s.SlotReport)
+	}
+}

@@ -1,0 +1,413 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"podnas/internal/metrics"
+	"podnas/internal/obs"
+)
+
+// ms builds a pre-stamped offset so synthetic traces are deterministic.
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// record encodes events through the real JSONL sink (exactly what
+// `nasrun -trace` writes) and returns the bytes.
+func record(t *testing.T, events []obs.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	j := obs.NewJSONL(&buf)
+	for _, e := range events {
+		j.Record(e)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// sampleRun is a deterministic 2-worker schedule with a header, overlapping
+// evaluations, one failure, epochs, checkpoints, supervision events, and a
+// clean finish.
+func sampleRun() []obs.Event {
+	h := obs.NewHeader("RS", 9, 2, "test")
+	h.T = 1 // pre-stamp so the trace is fully deterministic
+	return []obs.Event{
+		h,
+		{T: ms(1), Kind: obs.KindSearchStart, Method: "RS", Worker: 2},
+		{T: ms(2), Kind: obs.KindEvalStart, Eval: 0, Worker: 0, Arch: "a"},
+		{T: ms(3), Kind: obs.KindEvalStart, Eval: 1, Worker: 1, Arch: "b"},
+		{T: ms(4), Kind: obs.KindEpoch, Eval: 0, Epoch: 0, Loss: 0.5},
+		{T: ms(6), Kind: obs.KindEpoch, Eval: 0, Epoch: 1, Loss: 0.3},
+		{T: ms(8), Kind: obs.KindEvalFinish, Eval: 0, Worker: 0, Arch: "a", Reward: 0.97, Seconds: 0.006},
+		{T: ms(9), Kind: obs.KindCheckpoint, Eval: 1},
+		{T: ms(10), Kind: obs.KindEvalStart, Eval: 2, Worker: 0, Arch: "c"},
+		{T: ms(11), Kind: obs.KindWorkerCrash, Worker: 1, Err: "signal: killed"},
+		{T: ms(12), Kind: obs.KindWorkerRestart, Worker: 1, Attempt: 1},
+		{T: ms(14), Kind: obs.KindEvalError, Eval: 1, Worker: 1, Err: "crash"},
+		{T: ms(20), Kind: obs.KindEvalFinish, Eval: 2, Worker: 0, Arch: "c", Reward: 0.40, Seconds: 0.010},
+		{T: ms(21), Kind: obs.KindCheckpoint, Eval: 3},
+		{T: ms(22), Kind: obs.KindSearchFinish, Method: "RS", Eval: 3},
+	}
+}
+
+func TestReaderCleanTrace(t *testing.T) {
+	data := record(t, sampleRun())
+	rd := NewReader(bytes.NewReader(data), false)
+	n := 0
+	for {
+		_, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(sampleRun()) {
+		t.Fatalf("read %d events, want %d", n, len(sampleRun()))
+	}
+	st := rd.Stats()
+	if st.Truncated || st.Events != n || st.OutOfOrder != 0 || st.UnknownKinds != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	h, ok := rd.Header()
+	if !ok || h.Method != "RS" || h.Seed != 9 || h.Worker != 2 || h.Schema != obs.SchemaVersion {
+		t.Errorf("header %+v (ok=%v)", h, ok)
+	}
+}
+
+func TestReaderRejectsFutureSchema(t *testing.T) {
+	h := obs.NewHeader("RS", 1, 2, "future")
+	h.T = 1
+	h.Schema = obs.SchemaVersion + 1
+	data := record(t, []obs.Event{h})
+	rd := NewReader(bytes.NewReader(data), false)
+	if _, err := rd.Next(); !errors.Is(err, ErrSchemaVersion) {
+		t.Fatalf("future schema err = %v, want ErrSchemaVersion", err)
+	}
+	// The reader stays poisoned.
+	if _, err := rd.Next(); !errors.Is(err, ErrSchemaVersion) {
+		t.Fatalf("poisoned reader err = %v", err)
+	}
+	if _, err := Analyze(bytes.NewReader(data), Options{}); !errors.Is(err, ErrSchemaVersion) {
+		t.Fatalf("Analyze err = %v, want ErrSchemaVersion", err)
+	}
+}
+
+func TestReaderNegativeOffsetIsSchemaError(t *testing.T) {
+	data := []byte(`{"t":-5,"kind":"epoch","eval":0,"worker":0,"epoch":0,"round":0,"attempt":0,"reward":0,"loss":0,"seconds":0}` + "\n")
+	rd := NewReader(bytes.NewReader(data), false)
+	if _, err := rd.Next(); !errors.Is(err, ErrSchema) {
+		t.Fatalf("negative offset err = %v, want ErrSchema", err)
+	}
+}
+
+func TestReaderMonotonicity(t *testing.T) {
+	events := []obs.Event{
+		{T: ms(5), Kind: obs.KindEvalStart, Eval: 0},
+		{T: ms(3), Kind: obs.KindEvalStart, Eval: 1}, // runs backwards
+		{T: ms(7), Kind: obs.KindEvalFinish, Eval: 0, Reward: 0.5},
+	}
+	data := record(t, events)
+
+	// Tolerant mode counts the inversion and keeps going (live traces from
+	// concurrent producers can legally interleave this way).
+	rd := NewReader(bytes.NewReader(data), false)
+	n := 0
+	for {
+		if _, err := rd.Next(); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 3 || rd.Stats().OutOfOrder != 1 {
+		t.Fatalf("tolerant read n=%d stats=%+v", n, rd.Stats())
+	}
+
+	// Strict mode turns it into a schema error.
+	rd = NewReader(bytes.NewReader(data), true)
+	if _, err := rd.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); !errors.Is(err, ErrSchema) {
+		t.Fatalf("strict err = %v, want ErrSchema", err)
+	}
+}
+
+func TestReaderUnknownKindsTolerated(t *testing.T) {
+	data := append(record(t, sampleRun()[:3]),
+		[]byte(`{"t":99000000,"kind":"from_the_future","eval":0,"worker":0,"epoch":0,"round":0,"attempt":0,"reward":0,"loss":0,"seconds":0}`+"\n")...)
+	rd := NewReader(bytes.NewReader(data), false)
+	n := 0
+	for {
+		if _, err := rd.Next(); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 4 || rd.Stats().UnknownKinds != 1 {
+		t.Fatalf("n=%d stats=%+v", n, rd.Stats())
+	}
+}
+
+// TestAnalyzeReconstructsLiveSnapshot is the package-level half of the
+// live-vs-replay invariant: feeding the recorded JSONL back through Analyze
+// must reproduce the exact snapshot a live obs.Metrics held after the same
+// events — not approximately, bitwise (identical inputs, identical code).
+func TestAnalyzeReconstructsLiveSnapshot(t *testing.T) {
+	events := sampleRun()
+	live := obs.NewMetrics(2)
+	var buf bytes.Buffer
+	jl := obs.NewJSONL(&buf)
+	multi := obs.NewMulti(live, jl)
+	for _, e := range events {
+		multi.Record(e)
+	}
+	if err := jl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := Analyze(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Snapshot, live.Snapshot()) {
+		t.Errorf("replayed snapshot diverges:\nreplay: %+v\nlive:   %+v", a.Snapshot, live.Snapshot())
+	}
+	if a.Method != "RS" || a.Seed != 9 || a.Workers != 2 || a.Version != "test" {
+		t.Errorf("header fields %q %d %d %q", a.Method, a.Seed, a.Workers, a.Version)
+	}
+	if !a.Finished {
+		t.Error("finish event not noticed")
+	}
+}
+
+func TestAnalyzeDerivedSeries(t *testing.T) {
+	data := record(t, sampleRun())
+	a, err := Analyze(bytes.NewReader(data), Options{Bins: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reward curve: MA over successful rewards (0.97, 0.40) at their finish
+	// times; the final point equals the snapshot's live MA.
+	if a.Reward.Len() != 2 {
+		t.Fatalf("reward curve %d points", a.Reward.Len())
+	}
+	if got := a.Reward.Y[a.Reward.Len()-1]; math.Abs(got-a.Snapshot.RewardMA) > 1e-12 {
+		t.Errorf("reward curve tail %v vs snapshot MA %v", got, a.Snapshot.RewardMA)
+	}
+	if a.Reward.X[0] != (8 * time.Millisecond).Seconds() {
+		t.Errorf("first finish at %v", a.Reward.X[0])
+	}
+
+	// High-performer growth: only "a" (0.97 > 0.96) qualifies.
+	if a.HighPerf.Len() != 2 || a.HighPerf.Y[1] != 1 {
+		t.Errorf("highperf curve %+v", a.HighPerf)
+	}
+	if a.Snapshot.UniqueHigh != 1 {
+		t.Errorf("unique high %d", a.Snapshot.UniqueHigh)
+	}
+
+	// Utilization trace: bin-summed busy seconds over slots × elapsed must
+	// integrate back to the snapshot AUC (both sides are the same span set).
+	var busy float64
+	binWidth := a.Utilization.X[1] - a.Utilization.X[0]
+	for _, u := range a.Utilization.Y {
+		busy += u * float64(a.Workers) * binWidth
+	}
+	if math.Abs(busy-a.Snapshot.BusySeconds) > 1e-9 {
+		t.Errorf("binned busy %v vs snapshot %v", busy, a.Snapshot.BusySeconds)
+	}
+	spans, wall := busyIntervals(sampleRun())
+	if auc := metrics.UtilizationAUC(spans, 2, wall); math.Abs(auc-a.Snapshot.UtilizationAUC) > 1e-9 {
+		t.Errorf("interval AUC %v vs snapshot %v", auc, a.Snapshot.UtilizationAUC)
+	}
+}
+
+func TestAnalyzeLatencyHistograms(t *testing.T) {
+	data := record(t, sampleRun())
+	a, err := Analyze(bytes.NewReader(data), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eval latencies: eval0 6ms, eval1 11ms, eval2 10ms.
+	ev := a.Latency[PhaseEval]
+	if ev.N() != 3 {
+		t.Fatalf("eval samples %d", ev.N())
+	}
+	if got := ev.Max(); math.Abs(got-0.011) > 1e-12 {
+		t.Errorf("eval max %v", got)
+	}
+	if got := ev.P50(); math.Abs(got-0.010) > 1e-12 {
+		t.Errorf("eval p50 %v", got)
+	}
+	// Epoch ticks for eval 0: dispatch(2ms)→4ms→6ms = 2ms spacing twice.
+	ep := a.Latency[PhaseEpoch]
+	if ep.N() != 2 || math.Abs(ep.Mean()-0.002) > 1e-12 {
+		t.Errorf("epoch hist n=%d mean=%v", ep.N(), ep.Mean())
+	}
+	// Checkpoints at 9ms and 21ms, origin search_start at 1ms: 8ms, 12ms.
+	ck := a.Latency[PhaseCheckpoint]
+	if ck.N() != 2 || math.Abs(ck.Min()-0.008) > 1e-12 || math.Abs(ck.Max()-0.012) > 1e-12 {
+		t.Errorf("checkpoint hist n=%d min=%v max=%v", ck.N(), ck.Min(), ck.Max())
+	}
+}
+
+func TestAnalyzeSlotAttribution(t *testing.T) {
+	data := record(t, sampleRun())
+	a, err := Analyze(bytes.NewReader(data), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Slots) != 2 {
+		t.Fatalf("slots %+v", a.Slots)
+	}
+	w0, w1 := a.Slots[0], a.Slots[1]
+	if w0.Worker != 0 || w0.Started != 2 || w0.Finished != 2 || w0.Errored != 0 {
+		t.Errorf("worker 0 %+v", w0)
+	}
+	if w1.Worker != 1 || w1.Started != 1 || w1.Errored != 1 || w1.Crashes != 1 || w1.Restarts != 1 {
+		t.Errorf("worker 1 %+v", w1)
+	}
+	// Worker 1's single 11ms evaluation vs the 9ms run mean is above 1.0
+	// but cannot be flagged on one sample.
+	if w1.StragglerScore <= 1 || w1.Straggler {
+		t.Errorf("worker 1 straggler %+v", w1)
+	}
+}
+
+// TestAnalyzeStragglerFlag: a slot consistently ~3× slower than its peer is
+// flagged once it has the samples to stand on.
+func TestAnalyzeStragglerFlag(t *testing.T) {
+	var events []obs.Event
+	tick := 0
+	addEval := func(idx, worker, durMs int) {
+		events = append(events,
+			obs.Event{T: ms(tick), Kind: obs.KindEvalStart, Eval: idx, Worker: worker, Arch: "x"},
+			obs.Event{T: ms(tick + durMs), Kind: obs.KindEvalFinish, Eval: idx, Worker: worker, Arch: "x", Reward: 0.5})
+		tick += durMs + 1
+	}
+	addEval(0, 0, 2)
+	addEval(1, 1, 9)
+	addEval(2, 0, 2)
+	addEval(3, 1, 9)
+	events = append(events, obs.Event{T: ms(tick), Kind: obs.KindSearchFinish, Eval: 4})
+	a, err := Analyze(bytes.NewReader(record(t, events)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Slots[1].Straggler || a.Slots[0].Straggler {
+		t.Errorf("straggler flags %+v", a.Slots)
+	}
+}
+
+// TestAnalyzeTruncatedMidRun: a trace cut before search_finish still
+// analyzes, reports Finished=false, and charges open evaluations as busy up
+// to the last known offset — matching the live aggregator's view at the
+// same moment.
+func TestAnalyzeTruncatedMidRun(t *testing.T) {
+	events := sampleRun()
+	cut := events[:9] // through eval 2's dispatch at 10ms; everything later dropped
+	live := obs.NewMetrics(2)
+	for _, e := range cut {
+		live.Record(e)
+	}
+	a, err := Analyze(bytes.NewReader(record(t, cut)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Finished {
+		t.Error("truncated run claims to have finished")
+	}
+	if !reflect.DeepEqual(a.Snapshot, live.Snapshot()) {
+		t.Errorf("truncated replay snapshot diverges:\nreplay: %+v\nlive:   %+v", a.Snapshot, live.Snapshot())
+	}
+	// Open evals (1 and 2) are charged to the last offset (10ms) in the
+	// busy intervals used for the utilization trace.
+	spans, wall := busyIntervals(cut)
+	if wall != 0.010 {
+		t.Fatalf("wall %v", wall)
+	}
+	want := 0.006 + (0.010 - 0.003) + 0 // eval0 2→8ms, eval1 3→10ms, eval2 10→10ms
+	if got := metrics.BusySeconds(spans); math.Abs(got-want) > 1e-12 {
+		t.Errorf("busy %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzeHeaderlessTraceInfersShape(t *testing.T) {
+	events := sampleRun()[1:] // drop the header
+	a, err := Analyze(bytes.NewReader(record(t, events)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Header != nil || a.Method != "RS" || a.Workers != 2 || a.Seed != 0 {
+		t.Errorf("headerless inference: header=%v method=%q workers=%d seed=%d", a.Header, a.Method, a.Workers, a.Seed)
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	a, err := Analyze(bytes.NewReader(nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Read.Events != 0 || a.Finished || a.Snapshot.Evals != 0 {
+		t.Errorf("empty analysis %+v", a)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.P50() != 0 || h.Mean() != 0 || h.N() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must answer zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	h.Add(math.NaN())
+	h.Add(math.Inf(1))
+	h.Add(-1)
+	if h.N() != 100 {
+		t.Fatalf("n %d (non-finite/negative must be dropped)", h.N())
+	}
+	if got := h.P50(); math.Abs(got-50.5) > 1e-12 {
+		t.Errorf("p50 %v", got)
+	}
+	if got := h.Quantile(0.90); math.Abs(got-90.1) > 1e-9 {
+		t.Errorf("p90 %v", got)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("range %v..%v", h.Min(), h.Max())
+	}
+	if math.Abs(h.Mean()-50.5) > 1e-12 {
+		t.Errorf("mean %v", h.Mean())
+	}
+	edges, counts := h.Buckets(10)
+	if len(edges) != 11 || len(counts) != 10 {
+		t.Fatalf("bucket shape %d/%d", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100 {
+		t.Errorf("bucketed %d samples", total)
+	}
+
+	spike := NewHistogram()
+	spike.Add(3)
+	spike.Add(3)
+	if _, counts := spike.Buckets(4); counts[0]+counts[1]+counts[2]+counts[3] != 2 {
+		t.Error("degenerate-range buckets lose samples")
+	}
+}

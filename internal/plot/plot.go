@@ -13,10 +13,18 @@ import (
 	"strings"
 )
 
-// Series is one named polyline.
+// Series is one named data set. By default it renders as a polyline; Step
+// and Bars select the other mark types.
 type Series struct {
 	Name string
 	X, Y []float64
+	// Step renders a step-after line: each y holds until the next x. Right
+	// for counters and bin-sampled traces (utilization, high-performer
+	// growth) where interpolating between samples would invent data.
+	Step bool
+	// Bars renders vertical bars rooted at the y=0 baseline — the
+	// histogram form. Bar width is inferred from the x spacing.
+	Bars bool
 }
 
 // Chart is a titled collection of series sharing axes.
@@ -27,6 +35,21 @@ type Chart struct {
 	Series []Series
 	// Width and Height are the SVG dimensions in pixels (defaults 720×420).
 	Width, Height int
+}
+
+// HistogramChart builds a bar chart from equal-width bucket edges (n+1
+// values) and per-bucket counts (n values), placing each bar at its bucket
+// center — the shape replay latency histograms arrive in.
+func HistogramChart(title, xLabel string, edges []float64, counts []int) *Chart {
+	s := Series{Name: "count", Bars: true}
+	for i, n := range counts {
+		if i+1 >= len(edges) {
+			break
+		}
+		s.X = append(s.X, (edges[i]+edges[i+1])/2)
+		s.Y = append(s.Y, float64(n))
+	}
+	return &Chart{Title: title, XLabel: xLabel, YLabel: "count", Series: []Series{s}}
 }
 
 // palette cycles through visually distinct stroke colors.
@@ -69,6 +92,13 @@ func (c *Chart) bounds() (x0, x1, y0, y1 float64) {
 	if !finite(x0) { // all points were non-finite
 		x0, x1, y0, y1 = 0, 1, 0, 1
 	}
+	for _, s := range c.Series {
+		if s.Bars { // bars are rooted at zero, so the baseline must be visible
+			y0 = math.Min(y0, 0)
+			y1 = math.Max(y1, 0)
+			break
+		}
+	}
 	if x1-x0 < 1e-12 {
 		x0, x1 = x0-0.5, x1+0.5
 	}
@@ -80,6 +110,22 @@ func (c *Chart) bounds() (x0, x1, y0, y1 float64) {
 }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// barHalfWidth picks a bar half-width in data units: 45% of the smallest
+// gap between consecutive x values, so adjacent bars touch but never
+// overlap; a lone bar spans a fixed fraction of the x extent.
+func barHalfWidth(xs []float64, xSpan float64) float64 {
+	gap := math.Inf(1)
+	for i := 1; i < len(xs); i++ {
+		if d := xs[i] - xs[i-1]; d > 0 && d < gap {
+			gap = d
+		}
+	}
+	if math.IsInf(gap, 1) {
+		return 0.02 * xSpan
+	}
+	return 0.45 * gap
+}
 
 // SVG renders the chart as a complete SVG document.
 func (c *Chart) SVG() (string, error) {
@@ -122,21 +168,57 @@ func (c *Chart) SVG() (string, error) {
 	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n", padL+int(plotW)/2, h-10, escape(c.XLabel))
 	fmt.Fprintf(&b, `<text x="14" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n", padT+int(plotH)/2, padT+int(plotH)/2, escape(c.YLabel))
 
-	// Series polylines and legend.
+	// Series marks and legend.
 	for si, s := range c.Series {
 		color := palette[si%len(palette)]
-		var pts []string
+		// Collect the finite points once; all three mark types skip holes.
+		var fx, fy []float64
 		for i := range s.X {
 			if !finite(s.X[i]) || !finite(s.Y[i]) {
 				continue
 			}
-			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[i]), sy(s.Y[i])))
+			fx = append(fx, s.X[i])
+			fy = append(fy, s.Y[i])
 		}
-		if len(pts) > 0 {
-			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n", strings.Join(pts, " "), color)
+		switch {
+		case s.Bars:
+			hw := barHalfWidth(fx, x1-x0)
+			base := sy(0)
+			for i := range fx {
+				top := sy(fy[i])
+				y, hgt := top, base-top
+				if hgt < 0 { // negative bar hangs below the baseline
+					y, hgt = base, -hgt
+				}
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.7" stroke="%s"/>`+"\n",
+					sx(fx[i]-hw), y, sx(fx[i]+hw)-sx(fx[i]-hw), hgt, color, color)
+			}
+		case s.Step:
+			var pts []string
+			for i := range fx {
+				if i > 0 { // hold the previous y until this x
+					pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(fx[i]), sy(fy[i-1])))
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(fx[i]), sy(fy[i])))
+			}
+			if len(pts) > 0 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n", strings.Join(pts, " "), color)
+			}
+		default:
+			var pts []string
+			for i := range fx {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(fx[i]), sy(fy[i])))
+			}
+			if len(pts) > 0 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n", strings.Join(pts, " "), color)
+			}
 		}
 		ly := padT + 14 + 16*si
-		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n", padL+8, ly, padL+28, ly, color)
+		if s.Bars {
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="20" height="8" fill="%s" fill-opacity="0.7"/>`+"\n", padL+8, ly-4, color)
+		} else {
+			fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n", padL+8, ly, padL+28, ly, color)
+		}
 		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", padL+33, ly+4, escape(s.Name))
 	}
 	b.WriteString("</svg>\n")

@@ -120,6 +120,97 @@ func TestWriteSVGAndCSV(t *testing.T) {
 	}
 }
 
+func TestStepSeriesInsertsHoldPoints(t *testing.T) {
+	c := &Chart{Series: []Series{{
+		Name: "util",
+		X:    []float64{0, 1, 2},
+		Y:    []float64{0.5, 1.0, 0.25},
+		Step: true,
+	}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := strings.Index(svg, `<polyline points="`)
+	if start < 0 {
+		t.Fatal("no polyline rendered")
+	}
+	pts := svg[start+len(`<polyline points="`):]
+	pts = pts[:strings.Index(pts, `"`)]
+	// 3 data points step-rendered become 5 vertices (2 hold points added).
+	if n := len(strings.Fields(pts)); n != 5 {
+		t.Errorf("step polyline has %d vertices, want 5: %q", n, pts)
+	}
+}
+
+func TestBarSeriesRendersRects(t *testing.T) {
+	c := &Chart{
+		Title:  "latency",
+		Series: []Series{{Name: "count", X: []float64{1, 2, 3}, Y: []float64{4, 0, 2}, Bars: true}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One rect per bar plus the background, axes box, and legend swatch.
+	if n := strings.Count(svg, "<rect"); n != 3+3 {
+		t.Errorf("bar chart has %d rects, want 6", n)
+	}
+	if strings.Contains(svg, "<polyline") {
+		t.Error("bar series must not emit a polyline")
+	}
+	if strings.Contains(svg, `height="-`) || strings.Contains(svg, `width="-`) {
+		t.Error("negative rect dimensions")
+	}
+}
+
+func TestBarBoundsIncludeZero(t *testing.T) {
+	// All-positive bars far from zero: the baseline must still be in range.
+	c := &Chart{Series: []Series{{Name: "n", X: []float64{0, 1}, Y: []float64{100, 110}, Bars: true}}}
+	_, _, y0, _ := c.bounds()
+	if y0 > 0 {
+		t.Errorf("bar chart y0 = %v, want <= 0", y0)
+	}
+	// Line charts keep the tight extent.
+	l := &Chart{Series: []Series{{Name: "n", X: []float64{0, 1}, Y: []float64{100, 110}}}}
+	_, _, ly0, _ := l.bounds()
+	if ly0 <= 0 {
+		t.Errorf("line chart y0 = %v, want tight bounds", ly0)
+	}
+}
+
+func TestBarHalfWidth(t *testing.T) {
+	if hw := barHalfWidth([]float64{0, 2, 4}, 4); math.Abs(hw-0.9) > 1e-12 {
+		t.Errorf("uniform spacing half-width %v, want 0.9", hw)
+	}
+	if hw := barHalfWidth([]float64{5}, 10); math.Abs(hw-0.2) > 1e-12 {
+		t.Errorf("lone bar half-width %v, want 0.2", hw)
+	}
+}
+
+func TestHistogramChart(t *testing.T) {
+	c := HistogramChart("eval latency", "seconds", []float64{0, 1, 2, 3}, []int{5, 0, 2})
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Series[0]
+	if !s.Bars {
+		t.Error("histogram series must be bars")
+	}
+	wantX := []float64{0.5, 1.5, 2.5}
+	for i := range wantX {
+		if s.X[i] != wantX[i] {
+			t.Errorf("bucket center[%d] = %v, want %v", i, s.X[i], wantX[i])
+		}
+	}
+	if s.Y[0] != 5 || s.Y[1] != 0 || s.Y[2] != 2 {
+		t.Errorf("counts %v", s.Y)
+	}
+	if _, err := c.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCSVEscaping(t *testing.T) {
 	if got := csvEscape(`a,b"c`); got != `"a,b""c"` {
 		t.Errorf("csvEscape = %q", got)

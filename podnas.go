@@ -38,6 +38,12 @@ import (
 	"podnas/internal/window"
 )
 
+// Version identifies this build of the library. It is stamped into trace
+// headers (obs.NewHeader) so replayed runs record which writer produced
+// them; it is informational and carries no compatibility promise — the
+// trace format itself is versioned separately by obs.SchemaVersion.
+const Version = "0.5.0"
+
 // PipelineConfig describes the full data → POD → windows preparation.
 type PipelineConfig struct {
 	// Data selects the synthetic SST configuration.

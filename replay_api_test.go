@@ -1,0 +1,120 @@
+package podnas
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"podnas/internal/obs"
+	"podnas/internal/obs/replay"
+)
+
+// traceRun executes a real deterministic search with a JSONL trace and a
+// live Metrics aggregator sharing one Multi recorder — the exact wiring
+// `nasrun -trace -obs` uses, header included — and returns the trace path
+// and the live snapshot.
+func traceRun(t *testing.T, workers, evals int) (string, obs.Snapshot) {
+	t.Helper()
+	p := pipeline(t)
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	jl, err := obs.CreateJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewMetrics(workers)
+	rec := obs.NewMulti(met, jl)
+	rec.Record(obs.NewHeader("rs", 42, workers, Version))
+
+	opts := DefaultSearchOptions()
+	opts.Workers = workers
+	opts.MaxEvals = evals
+	opts.Seed = 42
+	opts.Evaluator = hashEval{delay: time.Millisecond}
+	opts.Recorder = rec
+	if _, err := Search(p, MethodRS, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, met.Snapshot()
+}
+
+// TestReplayReproducesLiveRunExactly is the tentpole acceptance check: on a
+// single-worker run the trace file is a total order of the events the live
+// aggregator saw, so replaying it reproduces the live snapshot bit for bit.
+func TestReplayReproducesLiveRunExactly(t *testing.T) {
+	path, live := traceRun(t, 1, 20)
+	a, err := replay.AnalyzeFile(path, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Read.Truncated {
+		t.Fatalf("clean run read as truncated: %+v", a.Read)
+	}
+	if !a.Finished {
+		t.Fatal("finished run replayed as unfinished")
+	}
+	if a.Method != "rs" || a.Seed != 42 || a.Workers != 1 || a.Version != Version {
+		t.Fatalf("header mismatch: method=%q seed=%d workers=%d version=%q", a.Method, a.Seed, a.Workers, a.Version)
+	}
+	if !reflect.DeepEqual(a.Snapshot, live) {
+		t.Errorf("replayed snapshot diverges from live:\nreplay: %+v\nlive:   %+v", a.Snapshot, live)
+	}
+	// The derived reward curve ends at the live moving average.
+	if n := a.Reward.Len(); n == 0 || math.Abs(a.Reward.Y[n-1]-live.RewardMA) > 1e-9 {
+		t.Errorf("reward curve tail %v vs live MA %v", a.Reward.Y[a.Reward.Len()-1], live.RewardMA)
+	}
+	// A run diffed against its own trace is clean — the CI gate's contract.
+	if r := replay.Diff(a, a, replay.Thresholds{}); r.Regressed() {
+		t.Errorf("self-diff regressed: %v", r.Regressions)
+	}
+}
+
+// TestReplayMatchesLiveConcurrent holds the 1e-9 invariant under real
+// concurrency: with two workers the file order may differ from the live
+// aggregator's record order (the Multi stamps once, sinks append under
+// their own locks), so order-dependent float accumulations may differ in
+// the last bits — but never beyond 1e-9 — and every count is exact.
+func TestReplayMatchesLiveConcurrent(t *testing.T) {
+	path, live := traceRun(t, 2, 24)
+	a, err := replay.AnalyzeFile(path, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Snapshot
+	if s.Evals != live.Evals || s.Successes != live.Successes || s.Errors != live.Errors ||
+		s.InFlight != live.InFlight || s.UniqueHigh != live.UniqueHigh ||
+		s.Epochs != live.Epochs || s.Checkpoints != live.Checkpoints {
+		t.Errorf("replay counters diverge:\nreplay: %+v\nlive:   %+v", s, live)
+	}
+	if s.BestReward != live.BestReward {
+		t.Errorf("best reward %v vs live %v", s.BestReward, live.BestReward)
+	}
+	for _, c := range []struct {
+		name    string
+		got, at float64
+	}{
+		{"reward_ma", s.RewardMA, live.RewardMA},
+		{"utilization_auc", s.UtilizationAUC, live.UtilizationAUC},
+		{"busy_seconds", s.BusySeconds, live.BusySeconds},
+		{"elapsed_seconds", s.ElapsedSeconds, live.ElapsedSeconds},
+		{"evals_per_sec", s.EvalsPerSec, live.EvalsPerSec},
+	} {
+		if math.Abs(c.got-c.at) > 1e-9 {
+			t.Errorf("%s: replay %.12f vs live %.12f", c.name, c.got, c.at)
+		}
+	}
+	if len(a.Slots) == 0 {
+		t.Error("concurrent run produced no per-slot attribution")
+	}
+	var started int
+	for _, sl := range a.Slots {
+		started += sl.Started
+	}
+	if started < live.Evals {
+		t.Errorf("slot-attributed starts %d < %d terminal evals", started, live.Evals)
+	}
+}
