@@ -1,0 +1,163 @@
+// Command podnaslint runs the project's custom static analyzers — the
+// machine-checked form of the invariants the reproduction's results rest
+// on: determinism of the core packages (detrand), sentinel-error wrapping
+// discipline (errwrap), no direct float equality (floateq), and exhaustive
+// obs.Kind event folds (kindswitch). See internal/lint for the framework
+// and README "Static analysis" for suppression semantics.
+//
+// Usage:
+//
+//	podnaslint [-json] [-checks detrand,errwrap,...] [packages]
+//
+// Packages are directory patterns: "./..." (default) lints the whole
+// module; a plain directory lints that one package.
+//
+// Exit codes: 0 clean, 1 findings, 2 load/type-check error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"podnas/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type jsonReport struct {
+	Module   string            `json:"module"`
+	Packages int               `json:"packages"`
+	Checks   []string          `json:"checks"`
+	Findings []lint.Diagnostic `json:"findings"`
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("podnaslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON on stdout")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: podnaslint [-json] [-checks a,b] [packages]\n\nchecks:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *checks != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "podnaslint: unknown check %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "podnaslint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "podnaslint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		loaded, err := loadPattern(loader, cwd, pat)
+		if err != nil {
+			fmt.Fprintf(stderr, "podnaslint: %v\n", err)
+			return 2
+		}
+		for _, p := range loaded {
+			if !seen[p.ImportPath] {
+				seen[p.ImportPath] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	diags := lint.Run(loader.Fset, pkgs, analyzers)
+	// Report module-relative paths so output is stable across machines.
+	for i := range diags {
+		if rel, err := filepath.Rel(loader.ModDir, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+
+	if *jsonOut {
+		names := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			names[i] = a.Name
+		}
+		findings := diags
+		if findings == nil {
+			findings = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{
+			Module: loader.ModPath, Packages: len(pkgs), Checks: names, Findings: findings,
+		}); err != nil {
+			fmt.Fprintf(stderr, "podnaslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stdout, "podnaslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// loadPattern resolves one command-line pattern to loaded packages.
+func loadPattern(loader *lint.Loader, cwd, pat string) ([]*lint.Package, error) {
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		root := rest
+		if root == "." || root == "" {
+			root = cwd
+		} else if !filepath.IsAbs(root) {
+			root = filepath.Join(cwd, root)
+		}
+		return loader.LoadAll(root)
+	}
+	dir := pat
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(cwd, dir)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return []*lint.Package{pkg}, nil
+}

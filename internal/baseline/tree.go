@@ -104,6 +104,7 @@ func buildTree(x, y *tensor.Matrix, idx []int, cfg treeConfig, depth int, rng *t
 				continue
 			}
 			xv, xn := x.At(order[k], f), x.At(order[k+1], f)
+			//podnas:allow floateq a split between bitwise-equal feature values is undefined; exact equality is the contract
 			if xv == xn {
 				continue // cannot split between equal values
 			}

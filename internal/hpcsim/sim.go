@@ -69,6 +69,7 @@ func (c *Config) failuresEnabled() bool { return c.MTBF > 0 && !math.IsInf(c.MTB
 
 // applyDefaults fills in the paper's default values.
 func (c *Config) applyDefaults() {
+	//podnas:allow floateq zero-value option detection: 0 means "take the paper default"
 	if c.WallTime == 0 {
 		c.WallTime = 10800
 	}
@@ -81,12 +82,14 @@ func (c *Config) applyDefaults() {
 	if c.Sample == 0 {
 		c.Sample = 10
 	}
+	//podnas:allow floateq zero-value option detection: 0 means "take the paper default"
 	if c.HighThreshold == 0 {
 		c.HighThreshold = 0.96
 	}
 	if c.Landscape == nil {
 		c.Landscape = NewLandscape(c.Space, c.Seed)
 	}
+	//podnas:allow floateq zero-value option detection: 0 means "take the paper default"
 	if c.failuresEnabled() && c.RepairTime == 0 {
 		c.RepairTime = 600
 	}
@@ -221,6 +224,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//podnas:allow floateq exact event-time ordering; ties break on the deterministic sequence number
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}

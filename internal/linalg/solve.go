@@ -53,6 +53,7 @@ func CholeskySolve(l, b *tensor.Matrix) *tensor.Matrix {
 		xi := x.Row(i)
 		for k := 0; k < i; k++ {
 			lik := l.At(i, k)
+			//podnas:allow floateq exact sparsity skip: only bitwise zero contributes nothing
 			if lik == 0 {
 				continue
 			}
@@ -71,6 +72,7 @@ func CholeskySolve(l, b *tensor.Matrix) *tensor.Matrix {
 		xi := x.Row(i)
 		for k := i + 1; k < n; k++ {
 			lki := l.At(k, i)
+			//podnas:allow floateq exact sparsity skip: only bitwise zero contributes nothing
 			if lki == 0 {
 				continue
 			}

@@ -1,0 +1,15 @@
+package lint
+
+// Analyzers returns the production analyzer suite with this module's
+// configuration: the deterministic-core package list, the approved
+// tolerance helpers, and the obs.Kind event vocabulary. cmd/podnaslint and
+// the self-check test both run exactly this set, so "the linter is clean"
+// means the same thing everywhere.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDetrand(DefaultCorePackages),
+		NewErrwrap(),
+		NewFloateq(DefaultToleranceHelpers),
+		NewKindswitch("podnas/internal/obs", "Kind"),
+	}
+}

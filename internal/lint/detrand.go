@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DefaultCorePackages are the deterministic-core import paths: every
+// package whose outputs must be bit-reproducible run to run (the promise
+// internal/tensor/rng.go states and checkpoint/resume plus the replay
+// 1e-9 contracts depend on). Timing-legitimate layers — obs, hpcsim,
+// worker, the cmd binaries — are deliberately not listed; inside the core,
+// legitimate wall reads carry a //podnas:allow detrand directive instead.
+var DefaultCorePackages = []string{
+	"podnas/internal/pod",
+	"podnas/internal/arch",
+	"podnas/internal/nn",
+	"podnas/internal/search",
+	"podnas/internal/tensor",
+	"podnas/internal/linalg",
+	"podnas/internal/window",
+}
+
+// wallFuncs are the time-package functions that read the wall or monotonic
+// clock; calling one makes output depend on when the code ran.
+var wallFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// NewDetrand builds the determinism analyzer scoped to the given core
+// import paths.
+func NewDetrand(core []string) *Analyzer {
+	coreSet := make(map[string]bool, len(core))
+	for _, p := range core {
+		coreSet[p] = true
+	}
+	a := &Analyzer{
+		Name: "detrand",
+		Doc:  "deterministic core packages must not read the clock, use math/rand, or iterate maps",
+	}
+	a.Run = func(pass *Pass) {
+		if !coreSet[pass.Pkg.ImportPath] {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			detrandFile(pass, f)
+		}
+	}
+	return a
+}
+
+func detrandFile(pass *Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path == "math/rand" || path == "math/rand/v2" {
+			pass.Reportf(imp.Pos(),
+				"%s imported in deterministic core package %s; draw from an explicitly seeded tensor.RNG instead",
+				path, pass.Pkg.ImportPath)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if obj.Pkg().Path() == "time" && wallFuncs[obj.Name()] {
+				pass.Reportf(n.Pos(),
+					"time.%s in deterministic core package %s makes output depend on the wall clock; inject timestamps or move timing to the obs layer (//podnas:allow detrand <reason> if the read never feeds results)",
+					obj.Name(), pass.Pkg.ImportPath)
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.Pkg.Info.Types[n.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(n.Pos(),
+					"map iteration in deterministic core package %s is randomly ordered; iterate a sorted key slice (//podnas:allow detrand <reason> if order provably cannot escape)",
+					pass.Pkg.ImportPath)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// NewErrwrap builds the sentinel-error discipline analyzer: package-level
+// `ErrX` sentinels passed to fmt.Errorf must use the %w verb (anything else
+// strips them from the errors.Is chain), and errors must never be compared
+// to sentinels with == / != (wrapping breaks identity; errors.Is is the
+// contract the package roots document).
+func NewErrwrap() *Analyzer {
+	a := &Analyzer{
+		Name: "errwrap",
+		Doc:  "sentinel errors must be wrapped with %w and matched with errors.Is",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkErrorfCall(pass, n)
+				case *ast.BinaryExpr:
+					checkSentinelCompare(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// sentinelOf returns the package-level sentinel error variable an
+// expression refers to, or nil. A sentinel is a package-scoped var of an
+// error type whose name follows the ErrX convention.
+func sentinelOf(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	rest, ok := strings.CutPrefix(v.Name(), "Err")
+	if !ok || rest == "" {
+		return nil
+	}
+	if r, _ := utf8.DecodeRuneInString(rest); !unicode.IsUpper(r) {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// checkErrorfCall flags fmt.Errorf calls that pass a sentinel under any
+// verb but %w.
+func checkErrorfCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.Pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // explicit argument indexes: too clever for this check
+	}
+	for i, arg := range call.Args[1:] {
+		v := sentinelOf(pass.Pkg.Info, arg)
+		if v == nil {
+			continue
+		}
+		verb := byte('!') // more operands than verbs: vet territory, still wrong for a sentinel
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		if verb != 'w' {
+			pass.Reportf(arg.Pos(),
+				"sentinel %s passed to fmt.Errorf with %%%c; wrap it with %%w so errors.Is still matches",
+				v.Name(), verb)
+		}
+	}
+}
+
+// checkSentinelCompare flags == / != between an error value and a sentinel.
+func checkSentinelCompare(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		v := sentinelOf(pass.Pkg.Info, pair[0])
+		if v == nil {
+			continue
+		}
+		otherTV, ok := pass.Pkg.Info.Types[pair[1]]
+		if !ok || otherTV.Type == nil || otherTV.IsNil() || !isErrorType(otherTV.Type) {
+			continue
+		}
+		pass.Reportf(b.Pos(),
+			"error compared to sentinel %s with %s; use errors.Is so wrapped errors still match",
+			v.Name(), b.Op)
+		return
+	}
+}
+
+// formatVerbs returns the verb letter consuming each successive operand of
+// a Printf-style format string. A '*' width or precision consumes an
+// operand and is recorded as '*'. Explicit argument indexes (%[1]d) return
+// ok=false — callers skip the check rather than mis-attribute operands.
+func formatVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags
+		for i < len(format) && strings.IndexByte("#+- 0", format[i]) >= 0 {
+			i++
+		}
+		// width
+		if i < len(format) && format[i] == '[' {
+			return nil, false
+		}
+		for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+			if format[i] == '*' {
+				verbs = append(verbs, '*')
+			}
+			i++
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+				if format[i] == '*' {
+					verbs = append(verbs, '*')
+				}
+				i++
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '[' {
+			return nil, false
+		}
+		if format[i] == '%' {
+			continue // %% consumes no operand
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs, true
+}

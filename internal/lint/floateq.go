@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DefaultToleranceHelpers are the approved comparison helpers: float
+// equality inside their bodies is the point, not a bug. Functions can also
+// opt in locally with a //podnas:tolerance directive in their doc comment.
+var DefaultToleranceHelpers = []string{
+	"podnas/internal/metrics.ApproxEqual",
+}
+
+// NewFloateq builds the float-comparison analyzer: direct == / != between
+// floating-point operands silently breaks on the last-ulp differences this
+// codebase is full of (R² thresholds, 1e-9 replay equality), so comparisons
+// must go through an approved tolerance helper or carry a justified
+// //podnas:allow floateq directive (exact zero-guards, zero-value option
+// detection).
+func NewFloateq(approved []string) *Analyzer {
+	approvedSet := make(map[string]bool, len(approved))
+	for _, name := range approved {
+		approvedSet[name] = true
+	}
+	a := &Analyzer{
+		Name: "floateq",
+		Doc:  "no direct ==/!= between floats outside approved tolerance helpers",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			exempt := toleranceSpans(pass, f, approvedSet)
+			ast.Inspect(f, func(n ast.Node) bool {
+				b, ok := n.(*ast.BinaryExpr)
+				if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+					return true
+				}
+				xt, yt := pass.Pkg.Info.Types[b.X], pass.Pkg.Info.Types[b.Y]
+				if !isFloat(xt.Type) && !isFloat(yt.Type) {
+					return true
+				}
+				if xt.Value != nil && yt.Value != nil {
+					return true // constant fold: decided at compile time
+				}
+				for _, span := range exempt {
+					if b.Pos() >= span[0] && b.Pos() < span[1] {
+						return true
+					}
+				}
+				pass.Reportf(b.Pos(),
+					"float %s comparison; use metrics.ApproxEqual with an explicit tolerance (//podnas:allow floateq <reason> if exact equality is the contract)",
+					b.Op)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// toleranceSpans returns the source ranges of functions exempt from
+// floateq: members of the approved list, or functions whose doc comment
+// carries the //podnas:tolerance directive.
+func toleranceSpans(pass *Pass, f *ast.File, approved map[string]bool) [][2]token.Pos {
+	var spans [][2]token.Pos
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		qualified := pass.Pkg.ImportPath + "." + fn.Name.Name
+		ok = approved[qualified]
+		if !ok && fn.Doc != nil {
+			for _, c := range fn.Doc.List {
+				if strings.HasPrefix(c.Text, ToleranceDirective) {
+					ok = true
+					break
+				}
+			}
+		}
+		if ok {
+			spans = append(spans, [2]token.Pos{fn.Body.Pos(), fn.Body.End()})
+		}
+	}
+	return spans
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// corpusNames are the testdata packages the golden test loads together, the
+// way the driver loads the real module.
+var corpusNames = []string{"detcore", "detother", "errwrapt", "floateqt", "kindt", "directivet"}
+
+// corpusAnalyzers is the suite configured for the corpus: detcore is the
+// deterministic core, kindt.Kind is the event vocabulary, and floateqt's
+// ConfiguredHelper is approved by configuration (Near is approved by its
+// //podnas:tolerance directive).
+func corpusAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDetrand([]string{"detcore"}),
+		NewErrwrap(),
+		NewFloateq([]string{"floateqt.ConfiguredHelper"}),
+		NewKindswitch("kindt", "Kind"),
+	}
+}
+
+// wantSpec is one expected diagnostic: a line plus a regexp the message
+// must match. Corpus files declare them with trailing comments:
+//
+//	expr // want "regexp" ["regexp" ...]
+//
+// or, for lines that cannot carry a trailing comment (such as the
+// malformed-directive corpus), on the preceding line with an offset:
+//
+//	// want+1 "regexp"
+type wantSpec struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`// want(\+\d+)? (".*")\s*$`)
+
+func parseWants(t *testing.T, path string) []*wantSpec {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*wantSpec
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		target := i + 1 // 1-based line of the comment itself
+		if m[1] != "" {
+			off, err := strconv.Atoi(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want offset %q", path, i+1, m[1])
+			}
+			target += off
+		}
+		rest := m[2]
+		for rest != "" {
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				t.Fatalf("%s:%d: malformed want clause %q: %v", path, i+1, rest, err)
+			}
+			pattern, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s:%d: %v", path, i+1, err)
+			}
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pattern, err)
+			}
+			wants = append(wants, &wantSpec{file: path, line: target, re: re})
+			rest = strings.TrimSpace(rest[len(q):])
+		}
+	}
+	return wants
+}
+
+// TestGoldenCorpus runs the configured analyzer suite over the testdata
+// corpus and requires the produced diagnostics to match the // want
+// annotations exactly — both directions: no unexpected findings, no
+// unmatched expectations. A regression in any of the four checks (or in the
+// directive machinery) fails here.
+func TestGoldenCorpus(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Extra = make(map[string]string, len(corpusNames))
+	for _, name := range corpusNames {
+		abs, err := filepath.Abs(filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Extra[name] = abs
+	}
+	var pkgs []*Package
+	var wants []*wantSpec
+	for _, name := range corpusNames {
+		pkg, err := l.LoadDir(filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		if pkg.ImportPath != name {
+			t.Fatalf("corpus %s loaded under import path %q", name, pkg.ImportPath)
+		}
+		pkgs = append(pkgs, pkg)
+		entries, err := os.ReadDir(pkg.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".go") {
+				wants = append(wants, parseWants(t, filepath.Join(pkg.Dir, e.Name()))...)
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("corpus declares no expectations; the golden test is vacuous")
+	}
+
+	for _, d := range Run(l.Fset, pkgs, corpusAnalyzers()) {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && sameDir(w.file, d.File) && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q: no matching diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		verbs  string
+		ok     bool
+	}{
+		{"plain", "", true},
+		{"%d and %s", "ds", true},
+		{"100%% done: %w", "w", true},
+		{"%*d then %s", "*ds", true},
+		{"%.2f %+v %#x", "fvx", true},
+		{"%[1]d", "", false},
+		{"trailing %", "", true},
+	}
+	for _, c := range cases {
+		verbs, ok := formatVerbs(c.format)
+		if ok != c.ok || string(verbs) != c.verbs {
+			t.Errorf("formatVerbs(%q) = %q, %v; want %q, %v", c.format, verbs, ok, c.verbs, c.ok)
+		}
+	}
+}

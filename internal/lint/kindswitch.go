@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewKindswitch builds the event-protocol exhaustiveness analyzer for the
+// named type pkgPath.typeName (production: podnas/internal/obs.Kind). Every
+// switch over that type must either carry an explicit default clause or
+// cover every declared constant of the type; otherwise adding a new event
+// kind silently desynchronizes one fold (say, the live obs.Metrics) from
+// another (trace replay) that did learn the new kind.
+func NewKindswitch(pkgPath, typeName string) *Analyzer {
+	a := &Analyzer{
+		Name: "kindswitch",
+		Doc:  "switches over " + pkgPath + "." + typeName + " must be exhaustive or carry an explicit default",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				tv, ok := pass.Pkg.Info.Types[sw.Tag]
+				if !ok {
+					return true
+				}
+				named, ok := types.Unalias(tv.Type).(*types.Named)
+				if !ok {
+					return true
+				}
+				obj := named.Obj()
+				if obj.Name() != typeName || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+					return true
+				}
+				checkKindSwitch(pass, sw, named, obj.Pkg())
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkKindSwitch(pass *Pass, sw *ast.SwitchStmt, named *types.Named, declPkg *types.Package) {
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the author decided what unknown kinds mean
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	// The declared vocabulary: every constant of the switched type in its
+	// defining package.
+	type kindConst struct {
+		name  string
+		value string
+	}
+	var declared []kindConst
+	scope := declPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		declared = append(declared, kindConst{name: c.Name(), value: c.Val().ExactString()})
+	}
+	var missing []string
+	seen := make(map[string]bool)
+	for _, k := range declared {
+		if !covered[k.value] && !seen[k.value] {
+			seen[k.value] = true
+			missing = append(missing, k.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch over %s.%s is not exhaustive and has no default: missing %s; handle them or add an explicit default so new kinds cannot silently desynchronize this fold",
+		declPkg.Name(), named.Obj().Name(), strings.Join(missing, ", "))
+}

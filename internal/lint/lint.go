@@ -1,0 +1,194 @@
+// Package lint is a stdlib-only static-analysis framework (go/ast +
+// go/parser + go/types with the source importer — no golang.org/x/tools,
+// honoring the module's zero-dependency promise) plus the project-specific
+// analyzers behind cmd/podnaslint. Generic tools (vet, staticcheck) cannot
+// see the invariants this repository's correctness claims rest on:
+//
+//   - detrand: the deterministic core (pod/arch/nn/search/tensor/linalg/
+//     window) must stay bit-reproducible — no wall-clock reads, no
+//     math/rand, no map-iteration-ordered output.
+//   - errwrap: package sentinel errors must stay visible to errors.Is —
+//     fmt.Errorf must wrap them with %w, and code must not compare errors
+//     to sentinels with == / !=.
+//   - floateq: no direct ==/!= between floating-point operands outside
+//     approved tolerance helpers — the R² > 0.96 threshold logic and the
+//     1e-9 replay-equality contracts depend on deliberate comparisons.
+//   - kindswitch: every switch over obs.Kind must be exhaustive or carry
+//     an explicit default, so a new event kind cannot silently
+//     desynchronize the live metrics fold from trace replay.
+//
+// Findings are suppressed line by line with a justified escape directive:
+//
+//	//podnas:allow <check> <reason>
+//
+// The directive covers the line it is written on and the line directly
+// below it (so it can sit on its own line above the flagged statement). A
+// directive without a reason, or naming an unknown check, is itself a
+// finding, so suppressions stay auditable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by position so drivers can print
+// file:line:col lines or machine-readable JSON.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String formats the diagnostic the way compilers do.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the check identifier used in output and in //podnas:allow
+	// directives.
+	Name string
+	// Doc is a one-line description for driver usage text.
+	Doc string
+	// Run inspects pass.Pkg and reports findings through pass.Reportf.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// DirectivePrefix introduces a suppression comment.
+const DirectivePrefix = "//podnas:allow"
+
+// ToleranceDirective marks a function declaration as an approved tolerance
+// helper: floateq does not flag float comparisons inside its body. It takes
+// no arguments; the function's doc comment is the justification.
+const ToleranceDirective = "//podnas:tolerance"
+
+// allowKey identifies one suppression target: a (file, line, check) cell.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// directives scans a file for //podnas:allow comments. Malformed ones are
+// reported as "directive" findings on diags.
+func directives(fset *token.FileSet, f *ast.File, known map[string]bool, diags *[]Diagnostic) map[allowKey]bool {
+	allow := make(map[allowKey]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, DirectivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+			pos := fset.Position(c.Pos())
+			bad := func(format string, args ...any) {
+				*diags = append(*diags, Diagnostic{
+					Check: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Message: fmt.Sprintf(format, args...),
+				})
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				// e.g. //podnas:allowed — some other word, not our directive.
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				bad("malformed directive: want %q", DirectivePrefix+" <check> <reason>")
+				continue
+			}
+			check := fields[0]
+			if !known[check] {
+				bad("directive names unknown check %q (known: %s)", check, strings.Join(sortedKeys(known), ", "))
+				continue
+			}
+			if len(fields) < 2 {
+				bad("directive for %q has no reason; every suppression must say why", check)
+				continue
+			}
+			// The directive covers its own line and the next one, so it can
+			// trail the flagged statement or sit alone directly above it.
+			allow[allowKey{pos.Filename, pos.Line, check}] = true
+			allow[allowKey{pos.Filename, pos.Line + 1, check}] = true
+		}
+	}
+	return allow
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. Suppressed findings are dropped; malformed
+// suppression directives are themselves findings.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allow := make(map[allowKey]bool)
+		for _, f := range pkg.Files {
+			for k := range directives(fset, f, known, &out) {
+				allow[k] = true
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if allow[allowKey{d.File, d.Line, d.Check}] {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return out
+}

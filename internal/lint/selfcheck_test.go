@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// TestAnalyzersCleanOnModule is the self-check: the production analyzer
+// suite (exactly what `go run ./cmd/podnaslint ./...` runs) must be clean
+// on this module. Every invariant the checks encode — deterministic core,
+// %w sentinel wrapping, no bare float equality, exhaustive obs.Kind folds —
+// is thereby enforced on every `go test ./...`, not just in CI's lint job.
+func TestAnalyzersCleanOnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module from source")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module walk is broken", len(pkgs))
+	}
+	for _, d := range Run(l.Fset, pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}

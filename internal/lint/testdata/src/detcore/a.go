@@ -1,0 +1,37 @@
+// Package detcore is a podnaslint corpus package. The golden test
+// configures it as a deterministic-core package, so clock reads, math/rand,
+// and map iteration are findings.
+package detcore
+
+import (
+	"math/rand" // want "math/rand imported in deterministic core"
+	"time"
+)
+
+// Tick reads the wall clock twice.
+func Tick() float64 {
+	t0 := time.Now()                // want "time.Now in deterministic core"
+	return time.Since(t0).Seconds() // want "time.Since in deterministic core"
+}
+
+// Draw uses the global math/rand source (the import is the finding).
+func Draw() int { return rand.Int() }
+
+// SumValues iterates a map in random order while accumulating floats.
+func SumValues(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "map iteration in deterministic core"
+		s += v
+	}
+	return s
+}
+
+// SumAllowed documents why its iteration order cannot escape.
+func SumAllowed(m map[string]int) int {
+	n := 0
+	//podnas:allow detrand integer addition is commutative and associative; order cannot escape
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

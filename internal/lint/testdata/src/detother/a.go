@@ -1,0 +1,18 @@
+// Package detother is a podnaslint corpus package. It is NOT configured as
+// a deterministic-core package, so the same constructs detcore is flagged
+// for are fine here.
+package detother
+
+import "time"
+
+// Elapsed may read the clock: detother is a timing-legitimate layer.
+func Elapsed(t0 time.Time) float64 { return time.Since(t0).Seconds() }
+
+// Sum may iterate a map: order never reaches a deterministic contract.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,18 @@
+// Package directivet is a podnaslint corpus package exercising malformed
+// //podnas:allow suppression directives, which are findings themselves.
+package directivet
+
+// Empty lacks a check name.
+// want+1 "malformed directive"
+//podnas:allow
+
+// NoReason names a check but gives no justification.
+// want+1 "directive for .floateq. has no reason"
+//podnas:allow floateq
+
+// Unknown names a check that does not exist.
+// want+1 "directive names unknown check"
+//podnas:allow nosuchcheck because reasons
+
+// Anchor keeps the package non-empty.
+func Anchor() int { return 1 }

@@ -1,0 +1,46 @@
+// Package errwrapt is a podnaslint corpus package exercising the errwrap
+// check: sentinels must be wrapped with %w and matched with errors.Is.
+package errwrapt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBoom and ErrNotReady are package sentinels by the ErrX convention.
+var (
+	ErrBoom     = errors.New("boom")
+	ErrNotReady = errors.New("not ready")
+)
+
+// errQuiet is unexported and lowercase: not a sentinel by convention.
+var errQuiet = errors.New("quiet")
+
+// Wraps uses %w: errors.Is keeps matching.
+func Wraps(path string) error {
+	return fmt.Errorf("open %s: %w", path, ErrBoom)
+}
+
+// Stringifies strips the sentinel from the chain.
+func Stringifies(path string) error {
+	return fmt.Errorf("open %s: %v", path, ErrBoom) // want "sentinel ErrBoom passed to fmt.Errorf with %v"
+}
+
+// StarWidth must still map operands across a * width.
+func StarWidth() error {
+	return fmt.Errorf("%*d: %s", 3, 7, ErrNotReady) // want "sentinel ErrNotReady passed to fmt.Errorf with %s"
+}
+
+// Compares uses identity where wrapping would break it.
+func Compares(err error) bool {
+	if err == ErrBoom { // want "error compared to sentinel ErrBoom with =="
+		return true
+	}
+	return err != ErrNotReady // want "error compared to sentinel ErrNotReady with !="
+}
+
+// Fine shows the approved patterns: errors.Is, nil checks, and non-sentinel
+// identity.
+func Fine(err error) bool {
+	return errors.Is(err, ErrBoom) || err == nil || err == errQuiet
+}

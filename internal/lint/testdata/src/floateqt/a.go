@@ -1,0 +1,45 @@
+// Package floateqt is a podnaslint corpus package exercising the floateq
+// check: no direct ==/!= between floats outside approved tolerance helpers.
+package floateqt
+
+// Close compares two floats directly.
+func Close(a, b float64) bool {
+	return a == b // want "float == comparison"
+}
+
+// Distinct compares float32 operands directly.
+func Distinct(a, b float32) bool {
+	return a != b // want "float != comparison"
+}
+
+// SameInt is fine: integer equality is exact.
+func SameInt(a, b int) bool { return a == b }
+
+//podnas:tolerance Near is this corpus's approved comparison helper.
+func Near(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// ConfiguredHelper is approved via the analyzer's configuration list.
+func ConfiguredHelper(a, b float64) bool { return a == b }
+
+// Guard documents an exact comparison with a justified suppression.
+func Guard(x float64) float64 {
+	//podnas:allow floateq exact zero guard before dividing
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+const eps = 1e-9
+
+// Consts fold at compile time; there is nothing to get wrong at run time.
+func Consts() bool { return eps == 0.0 }

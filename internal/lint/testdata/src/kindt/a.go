@@ -1,0 +1,49 @@
+package kindt
+
+// Exhaustive covers every kind, including via a multi-value case.
+func Exhaustive(k Kind) int {
+	switch k {
+	case KindA, KindB:
+		return 1
+	case KindC:
+		return 3
+	}
+	return 0
+}
+
+// Defaulted decided explicitly what unhandled kinds mean.
+func Defaulted(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Partial silently drops KindB and KindC.
+func Partial(k Kind) int {
+	switch k { // want "switch over kindt.Kind is not exhaustive and has no default: missing KindB, KindC"
+	case KindA:
+		return 1
+	}
+	return 0
+}
+
+// Ints is not a Kind switch; exhaustiveness does not apply.
+func Ints(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// Tagless switches have no tag expression to analyze.
+func Tagless(k Kind) int {
+	switch {
+	case k == KindA:
+		return 1
+	}
+	return 0
+}

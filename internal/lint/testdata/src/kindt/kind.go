@@ -1,0 +1,13 @@
+// Package kindt is a podnaslint corpus package mimicking the obs event
+// vocabulary for the kindswitch check.
+package kindt
+
+// Kind identifies the event type.
+type Kind uint8
+
+// The corpus vocabulary.
+const (
+	KindA Kind = iota + 1
+	KindB
+	KindC
+)

@@ -37,10 +37,31 @@ func R2(pred, target []float64) float64 {
 		c := t - mean
 		ssTot += c * c
 	}
+	//podnas:allow floateq exact zero-variance guard: R2 is undefined only at bitwise-zero SS_tot
 	if ssTot == 0 {
 		return math.NaN()
 	}
 	return 1 - ssRes/ssTot
+}
+
+// ApproxEqual reports whether a and b are within tol of each other. It is
+// the approved comparison helper podnaslint's floateq check steers float
+// comparisons through: NaN never compares equal to anything (use math.IsNaN
+// to branch on divergence), equal infinities do, and tol must be
+// non-negative. Direct ==/!= between floats elsewhere needs a justified
+// //podnas:allow floateq directive.
+func ApproxEqual(a, b, tol float64) bool {
+	if tol < 0 {
+		panic("metrics: ApproxEqual tolerance must be non-negative")
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		//podnas:allow floateq infinities of the same sign are exactly equal; arithmetic on them yields NaN
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
 }
 
 // MSE returns the mean squared error.
@@ -294,6 +315,7 @@ func (c *Curve) ValueAt(x float64) float64 {
 		}
 	}
 	x0, x1 := c.X[lo], c.X[hi]
+	//podnas:allow floateq exact degenerate-segment guard before dividing by x1-x0
 	if x1 == x0 {
 		return c.Y[lo]
 	}

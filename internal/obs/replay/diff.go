@@ -44,15 +44,19 @@ func DefaultThresholds() Thresholds {
 
 func (t *Thresholds) defaults() {
 	d := DefaultThresholds()
+	//podnas:allow floateq zero-value threshold detection: 0 means "take the default"
 	if t.BestReward == 0 {
 		t.BestReward = d.BestReward
 	}
+	//podnas:allow floateq zero-value threshold detection: 0 means "take the default"
 	if t.RewardMA == 0 {
 		t.RewardMA = d.RewardMA
 	}
+	//podnas:allow floateq zero-value threshold detection: 0 means "take the default"
 	if t.UtilizationAUC == 0 {
 		t.UtilizationAUC = d.UtilizationAUC
 	}
+	//podnas:allow floateq zero-value threshold detection: 0 means "take the default"
 	if t.EvalsPerSec == 0 {
 		t.EvalsPerSec = d.EvalsPerSec
 	}

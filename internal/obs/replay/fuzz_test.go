@@ -1,0 +1,71 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReplayReader drives the streaming JSONL trace reader and the
+// full Analyze pipeline with arbitrary bytes. The contracts under fuzzing:
+// never panic, terminate, keep the ReadStats invariants (the clean prefix
+// can never exceed the physical lines consumed), and fail only with the
+// documented sentinel errors.
+func FuzzReplayReader(f *testing.F) {
+	f.Add([]byte(`{"t":0,"kind":"trace_header","method":"rs","seed":7,"worker":2,"schema":1,"version":"x"}
+{"t":1,"kind":"search_start","method":"rs","worker":2}
+{"t":10,"kind":"eval_start","eval":0,"worker":0,"arch":"a"}
+{"t":20,"kind":"eval_finish","eval":0,"worker":0,"reward":0.97,"arch":"a","seconds":1}
+{"t":30,"kind":"search_finish","eval":1}
+`))
+	f.Add([]byte(`{"t":5,"kind":"epoch","eval":0,"epoch":1,"loss":0.5}` + "\n" + `{"t":3,"kind":"round","round":1}` + "\n"))
+	f.Add([]byte(`{"t":-1,"kind":"eval_start"}`))                                  // negative offset: ErrSchema
+	f.Add([]byte(`{"t":0,"kind":"trace_header","schema":99}`))                     // future schema: ErrSchemaVersion
+	f.Add([]byte(`{"t":1,"kind":"eval_start","eval":1}` + "\n" + `{"t":2,"ki`))    // torn final line
+	f.Add([]byte("\n\n{\"t\":1,\"kind\":\"nobody_knows_this_kind\"}\n"))           // unknown kind
+	f.Add([]byte(`{"t":9223372036854775807,"kind":"eval_start","eval":2}` + "\n")) // max duration offset
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewReader(bytes.NewReader(data), false)
+		events := 0
+		for {
+			_, err := rd.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrSchema) && !errors.Is(err, ErrSchemaVersion) {
+					t.Fatalf("undocumented reader error: %v", err)
+				}
+				break
+			}
+			events++
+			if events > len(data)+1 {
+				t.Fatalf("reader yielded %d events from %d bytes; not terminating", events, len(data))
+			}
+		}
+		st := rd.Stats()
+		if st.Events > st.Lines {
+			t.Fatalf("clean prefix %d exceeds physical lines %d", st.Events, st.Lines)
+		}
+		if st.Truncated && st.TruncatedLine == 0 {
+			t.Fatal("truncation reported without a line number")
+		}
+
+		// The one-pass analysis over the same bytes must hold up as well.
+		a, err := Analyze(bytes.NewReader(data), Options{})
+		if err != nil {
+			if !errors.Is(err, ErrSchema) && !errors.Is(err, ErrSchemaVersion) {
+				t.Fatalf("undocumented Analyze error: %v", err)
+			}
+			return
+		}
+		if a.Workers < 1 {
+			t.Fatalf("analysis inferred %d workers; minimum is 1", a.Workers)
+		}
+		if a.Snapshot.Evals < 0 {
+			t.Fatalf("negative eval count in snapshot: %+v", a.Snapshot)
+		}
+	})
+}

@@ -205,6 +205,7 @@ func (o *Options) defaults() {
 	if o.Window <= 0 {
 		o.Window = 100
 	}
+	//podnas:allow floateq zero-value option detection: 0 means "take the paper default"
 	if o.HighThreshold == 0 {
 		o.HighThreshold = 0.96
 	}
@@ -355,6 +356,8 @@ func inferShape(a *Analysis, events []obs.Event) {
 			if e.Worker > maxWorker {
 				maxWorker = e.Worker
 			}
+		default:
+			// Other kinds carry no shape information.
 		}
 	}
 	if a.Workers <= 0 {
@@ -390,6 +393,8 @@ func busyIntervals(events []obs.Event) ([]metrics.Interval, float64) {
 				spans = append(spans, metrics.Interval{Lo: s.Seconds(), Hi: e.T.Seconds()})
 				delete(starts, idx)
 			}
+		default:
+			// Other kinds neither open nor close a busy interval.
 		}
 	}
 	// Truncated mid-run: open evaluations were busy until the last thing we
@@ -468,6 +473,8 @@ func deriveLatency(a *Analysis, events []obs.Event) {
 			}
 			lastCheckpoint = e.T
 			haveCheckpointOrigin = true
+		default:
+			// Other kinds mark no phase boundary.
 		}
 	}
 }
@@ -520,6 +527,8 @@ func deriveSlots(a *Analysis, events []obs.Event, opts Options) {
 			slot(e.Worker).Restarts++
 		case obs.KindHeartbeatMiss:
 			slot(e.Worker).HBMisses++
+		default:
+			// Other kinds attribute nothing to a slot.
 		}
 	}
 	if len(slots) == 0 {

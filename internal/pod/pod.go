@@ -164,6 +164,7 @@ func (b *Basis) EnergyFraction(nr int) float64 {
 			lead += v
 		}
 	}
+	//podnas:allow floateq exact zero-energy guard before dividing
 	if total == 0 {
 		return 0
 	}
@@ -194,6 +195,7 @@ func (b *Basis) ProjectionError(s *tensor.Matrix) float64 {
 			den += c * c
 		}
 	}
+	//podnas:allow floateq exact zero-energy guard before dividing
 	if den == 0 {
 		return 0
 	}
@@ -213,6 +215,7 @@ func (b *Basis) EigenvalueTailRatio(nr int) float64 {
 			tail += v
 		}
 	}
+	//podnas:allow floateq exact zero-energy guard before dividing
 	if total == 0 {
 		return 0
 	}

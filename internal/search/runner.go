@@ -170,9 +170,9 @@ func RunAsyncCtx(ctx context.Context, s Searcher, eval Evaluator, opts RunAsyncO
 				// evaluators — can attribute their own events.
 				ectx = obs.WithEval(ctx, rec, idx)
 			}
-			t0 := time.Now()
+			t0 := time.Now() //podnas:allow detrand evaluation timing is telemetry (Result.Elapsed, obs events); it never feeds proposals or rewards
 			reward, retries, err := evaluateWithRetry(ectx, eval, a, opts.Seed+uint64(idx)*0x9e37, opts)
-			elapsed := time.Since(t0)
+			elapsed := time.Since(t0) //podnas:allow detrand evaluation timing is telemetry; it never feeds proposals or rewards
 
 			mu.Lock()
 			if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
@@ -422,10 +422,10 @@ func RunRLCtx(ctx context.Context, space arch.Space, eval Evaluator, opts RunRLO
 					rec.Record(obs.Event{Kind: obs.KindEvalStart, Eval: tk.idx, Worker: tk.agent, Arch: tk.arch.Key()})
 					ectx = obs.WithEval(ctx, rec, tk.idx)
 				}
-				t0 := time.Now()
+				t0 := time.Now() //podnas:allow detrand evaluation timing is telemetry (Result.Elapsed, obs events); it never feeds proposals or rewards
 				rewards[ti], retries[ti], errs[ti] = evaluateWithRetry(
 					ectx, eval, tk.arch, opts.Seed+uint64(tk.idx)*0x9e37, asyncOpts)
-				elapsed[ti] = time.Since(t0)
+				elapsed[ti] = time.Since(t0) //podnas:allow detrand evaluation timing is telemetry; it never feeds proposals or rewards
 				if rec != nil {
 					if errs[ti] != nil {
 						rec.Record(obs.Event{Kind: obs.KindEvalError, Eval: tk.idx, Worker: tk.agent, Arch: tk.arch.Key(), Seconds: elapsed[ti].Seconds(), Attempt: retries[ti], Err: errs[ti].Error()})

@@ -323,6 +323,7 @@ func chaosSeries(k, weeks, stride int, sigma float64, rng *tensor.RNG) *tensor.M
 		panic(err) // k <= n+2 by construction
 	}
 	highPassRows(out)
+	//podnas:allow floateq exact skip: scaling by bitwise 1.0 is the identity
 	if sigma != 1 {
 		out.Scale(sigma)
 	}

@@ -191,6 +191,7 @@ func MatMulInto(dst, a, b *Matrix) {
 		}
 		for p := 0; p < k; p++ {
 			av := arow[p]
+			//podnas:allow floateq exact sparsity skip: only bitwise zero contributes nothing
 			if av == 0 {
 				continue
 			}
@@ -213,6 +214,7 @@ func MatMulAddInto(dst, a, b *Matrix) {
 		drow := dst.Data[i*c : (i+1)*c]
 		for p := 0; p < k; p++ {
 			av := arow[p]
+			//podnas:allow floateq exact sparsity skip: only bitwise zero contributes nothing
 			if av == 0 {
 				continue
 			}
@@ -245,6 +247,7 @@ func MatMulTransAAddInto(dst, a, b *Matrix) {
 		drow := dst.Data[i*c : (i+1)*c]
 		for p := 0; p < m; p++ {
 			av := a.Data[p*n+i]
+			//podnas:allow floateq exact sparsity skip: only bitwise zero contributes nothing
 			if av == 0 {
 				continue
 			}

@@ -70,6 +70,7 @@ func (r *RNG) NormFloat64() float64 {
 		u := 2*r.Float64() - 1
 		v := 2*r.Float64() - 1
 		s := u*u + v*v
+		//podnas:allow floateq exact rejection guard of the polar method: log(0) must never be reached
 		if s >= 1 || s == 0 {
 			continue
 		}

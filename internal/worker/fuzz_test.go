@@ -1,0 +1,44 @@
+package worker
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWorkerFrame drives the line-protocol frame reader with arbitrary
+// bytes. The contracts under fuzzing: never panic, terminate, never yield a
+// frame with an empty type tag (the supervisor dispatches on it), and fail
+// only with io.EOF or a wrapped scanner error.
+func FuzzWorkerFrame(f *testing.F) {
+	f.Add([]byte(`{"type":"eval","id":7,"arch":[3,1,2],"seed":42}` + "\n"))
+	f.Add([]byte(`{"type":"heartbeat"}` + "\n" + `{"type":"result","id":1,"reward":0.5}` + "\n"))
+	f.Add([]byte("stray stderr noise\n{\"type\":\"ready\"}\n"))
+	f.Add([]byte(`{"type":"cancel","id":`)) // torn frame
+	f.Add([]byte(`{"type":""}` + "\n" + `{"id":3}` + "\n"))
+	f.Add(bytes.Repeat([]byte("x"), 2<<20)) // one line beyond maxFrameBytes
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := newFrameReader(bytes.NewReader(data))
+		frames := 0
+		for {
+			m, err := r.next()
+			if err != nil {
+				// next documents exactly two terminations: io.EOF for a
+				// cleanly closed stream, or a scanner error wrapped with %w.
+				if !errors.Is(err, io.EOF) && errors.Unwrap(err) == nil {
+					t.Fatalf("undocumented frame error: %v", err)
+				}
+				break
+			}
+			if m.Type == "" {
+				t.Fatal("frame with empty type escaped the reader")
+			}
+			frames++
+			if frames > bytes.Count(data, []byte("\n"))+2 {
+				t.Fatalf("%d frames from %d lines; reader not consuming input", frames, bytes.Count(data, []byte("\n")))
+			}
+		}
+	})
+}
