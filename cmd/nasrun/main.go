@@ -10,7 +10,10 @@
 //	       [-grid small|default] [-seed 1] [-posttrain]
 //	       [-checkpoint ck.json] [-resume ck.json] [-evaltimeout 0] [-retries 0]
 //	       [-isolate] [-heartbeat 1s] [-maxrestarts 3] [-speculate 0]
+//	       [-connect host:port,...] [-dialtimeout 5s] [-readtimeout 0]
 //	       [-obs :6060] [-trace out.jsonl]
+//	nasrun -worker -listen host:port [-grid small|default] [-epochs 20]
+//	       [-heartbeat 1s]
 //
 // A run with -checkpoint periodically persists the search state; a killed
 // run (Ctrl-C, SIGTERM, power loss) restarts from where it left off with
@@ -21,6 +24,12 @@
 // costs one process, not the search: the supervisor detects the death,
 // restarts the worker, and re-dispatches the evaluation. See the README's
 // "Isolated worker processes" section.
+//
+// With -connect the same supervision drives remote worker agents over TCP
+// (started with -worker -listen on the other machines), with per-connection
+// leases, reconnect-with-resume, and degradation to local subprocess
+// workers when agents stay unreachable. See the README's "Distributed
+// workers" section.
 //
 // Observability: -trace streams every search event (evaluation lifecycle,
 // epoch ticks, worker supervision, checkpoints) as JSON lines; -obs serves
@@ -39,11 +48,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/exec"
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -116,7 +127,11 @@ func main() {
 	evalTimeout := flag.Duration("evaltimeout", 0, "per-evaluation timeout (0 = none); timed-out trainings are recorded as errors")
 	retries := flag.Int("retries", 0, "retry budget per evaluation for transient failures")
 	isolate := flag.Bool("isolate", false, "evaluate in supervised worker subprocesses: crashes cost one process, not the search")
+	connect := flag.String("connect", "", "dispatch evaluations to remote worker agents at these comma-separated host:port addresses (slots round-robin over them)")
+	dialTimeout := flag.Duration("dialtimeout", 5*time.Second, "per-attempt timeout dialing a remote agent (with -connect)")
+	readTimeout := flag.Duration("readtimeout", 0, "per-read deadline on agent connections, 0 = heartbeats only; must exceed 3x -heartbeat when set")
 	workerMode := flag.Bool("worker", false, "serve evaluations over stdin/stdout as a pool worker (spawned by -isolate; not for direct use)")
+	listen := flag.String("listen", "", "with -worker: serve evaluations as a TCP agent on this address instead of stdin/stdout")
 	heartbeat := flag.Duration("heartbeat", time.Second, "worker heartbeat interval; a worker silent for 3 intervals is declared dead")
 	maxRestarts := flag.Int("maxrestarts", 3, "per-worker respawn budget before the pool degrades to in-process evaluation")
 	speculate := flag.Duration("speculate", 0, "re-dispatch an evaluation still unanswered after this long to a second worker (0 = off)")
@@ -153,6 +168,38 @@ func main() {
 			fatalUsage("-resume: %v", err)
 		}
 	}
+	// Mode exclusions. A worker serves evaluations, so search/driver flags on
+	// its command line are a mangled invocation, not a preference — fail fast
+	// instead of silently ignoring them. flag.Visit sees only flags the user
+	// actually set, so defaults never trip these checks.
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *listen != "" && !*workerMode {
+		fatalUsage("-listen starts a worker agent and requires -worker")
+	}
+	if *workerMode {
+		for _, name := range []string{
+			"method", "evals", "workers", "seed", "posttrain", "arch", "save",
+			"savemodel", "checkpoint", "resume", "evaltimeout", "retries",
+			"isolate", "maxrestarts", "speculate", "killnth", "obs", "trace",
+			"connect", "dialtimeout", "readtimeout",
+		} {
+			if set[name] {
+				fatalUsage("-worker serves evaluations: -%s is a driver flag and has no effect here", name)
+			}
+		}
+	}
+	if *connect != "" {
+		if *isolate {
+			fatalUsage("-connect and -isolate are mutually exclusive: remote agents are already isolated, and local subprocess workers are the automatic fallback")
+		}
+		if set["faultkill"] {
+			fatalUsage("-faultkill needs -isolate; to inject faults on remote workers, pass -faultkill to the agent's own command line")
+		}
+	}
+	if *readTimeout > 0 && *readTimeout <= 3**heartbeat {
+		fatalUsage("-readtimeout %v would cut healthy idle connections: it must exceed 3x the heartbeat interval (%v)", *readTimeout, *heartbeat)
+	}
 
 	cfg := podnas.SmallPipelineConfig()
 	if *grid == "default" {
@@ -160,6 +207,10 @@ func main() {
 	}
 
 	if *workerMode {
+		if *listen != "" {
+			runAgentMode(cfg, *epochs, *heartbeat, *faultKill, *faultSeed, *listen)
+			return
+		}
 		// Worker processes own stdout as the protocol channel; everything
 		// human-readable goes to stderr (the supervisor passes it through).
 		runWorkerMode(cfg, *epochs, *heartbeat, *faultKill, *faultSeed)
@@ -245,7 +296,7 @@ func main() {
 		CheckpointPath: *checkpoint, Recorder: rec,
 	}
 	var pool *worker.Pool
-	if *isolate {
+	if *isolate || *connect != "" {
 		exe, err := os.Executable()
 		if err != nil {
 			log.Fatalf("-isolate: cannot locate own binary: %v", err)
@@ -261,35 +312,40 @@ func main() {
 		if killBase == 0 {
 			killBase = *seed + 0x9e3779b9
 		}
-		pool, err = worker.NewPool(worker.PoolOptions{
-			Workers: *workers,
-			Command: func(id, incarnation int) *exec.Cmd {
-				args := []string{
-					"-worker", "-grid", *grid,
-					"-epochs", strconv.Itoa(*epochs),
-					"-heartbeat", heartbeat.String(),
-				}
-				if *faultKill > 0 {
-					// Perturb the fault seed per incarnation so a restarted
-					// worker does not re-draw the same fatal decision forever.
-					fs := killBase + uint64(id)*1000 + uint64(incarnation)*7919
-					args = append(args,
-						"-faultkill", strconv.FormatFloat(*faultKill, 'g', -1, 64),
-						"-faultseed", strconv.FormatUint(fs, 10))
-				}
-				return exec.Command(exe, args...)
-			},
+		popts := worker.PoolOptions{
+			Workers:   *workers,
 			Heartbeat: *heartbeat, MaxRestarts: *maxRestarts, Seed: *seed,
 			SpeculativeAfter: *speculate, KillNth: *killNth,
 			Fallback: fallback, Recorder: rec,
-		})
+		}
+		if *connect != "" {
+			addrs := splitAddrs(*connect)
+			if len(addrs) == 0 {
+				fatalUsage("-connect: no agent addresses in %q", *connect)
+			}
+			popts.Transport = &worker.DialTransport{
+				Addrs: addrs, DialTimeout: *dialTimeout, ReadTimeout: *readTimeout, Seed: *seed,
+			}
+			// Two degradation rungs: slots whose agent stays unreachable past
+			// the restart budget first fall back to local subprocess workers;
+			// only if those cannot spawn either does the pool serve
+			// evaluations in-process via Fallback.
+			popts.LocalFallback = &worker.PipeTransport{
+				Command: localWorkerCommand(exe, *grid, *epochs, *heartbeat, 0, 0),
+			}
+			fmt.Printf("distributed evaluation: %d slots over %d agent(s) %v, heartbeat %v, restart budget %d\n",
+				*workers, len(addrs), addrs, *heartbeat, *maxRestarts)
+		} else {
+			popts.Command = localWorkerCommand(exe, *grid, *epochs, *heartbeat, *faultKill, killBase)
+			fmt.Printf("isolated evaluation: %d worker processes, heartbeat %v, restart budget %d\n",
+				*workers, *heartbeat, *maxRestarts)
+		}
+		pool, err = worker.NewPool(popts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer pool.Close()
 		opts.Evaluator = pool
-		fmt.Printf("isolated evaluation: %d worker processes, heartbeat %v, restart budget %d\n",
-			*workers, *heartbeat, *maxRestarts)
 	}
 	if *resume != "" {
 		ck, err := podnas.LoadCheckpoint(*resume)
@@ -379,6 +435,70 @@ func main() {
 	}
 }
 
+// localWorkerCommand builds the exec.Cmd factory for pipe-spawned local
+// workers: this binary re-executed in -worker mode.
+func localWorkerCommand(exe, grid string, epochs int, heartbeat time.Duration, faultKill float64, killBase uint64) func(int, int) *exec.Cmd {
+	return func(id, incarnation int) *exec.Cmd {
+		args := []string{
+			"-worker", "-grid", grid,
+			"-epochs", strconv.Itoa(epochs),
+			"-heartbeat", heartbeat.String(),
+		}
+		if faultKill > 0 {
+			// Perturb the fault seed per incarnation so a restarted
+			// worker does not re-draw the same fatal decision forever.
+			fs := killBase + uint64(id)*1000 + uint64(incarnation)*7919
+			args = append(args,
+				"-faultkill", strconv.FormatFloat(faultKill, 'g', -1, 64),
+				"-faultseed", strconv.FormatUint(fs, 10))
+		}
+		return exec.Command(exe, args...)
+	}
+}
+
+// splitAddrs parses the -connect list: comma-separated, blanks tolerated.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// runAgentMode is the serving half of -connect: build the same pipeline and
+// evaluator as a pipe worker, then accept driver connections on addr and
+// serve each under its handshaken lease until SIGINT/SIGTERM. A driver
+// disconnect ends one connection, never the agent, which is what lets a
+// partitioned driver reconnect and resume.
+func runAgentMode(cfg podnas.PipelineConfig, epochs int, heartbeat time.Duration, killRate float64, killSeed uint64, addr string) {
+	p, err := podnas.NewPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := p.NewEvaluator(epochs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if killRate > 0 {
+		// Self-kill fault injection, as in pipe-worker mode: the agent
+		// process SIGKILLs itself mid-evaluation at the configured rate, so
+		// drivers exercise real connection loss with a real process death.
+		ev = &search.FaultInjector{Inner: ev, Seed: killSeed, KillRate: killRate}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalUsage("-listen: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("agent listening on %s (evaluations: %d epochs, heartbeat %v)", ln.Addr(), epochs, heartbeat)
+	if err := worker.ServeListener(ctx, ln, ev, worker.AgentOptions{Heartbeat: heartbeat}); err != nil {
+		log.Fatal(err)
+	}
+}
+
 // runWorkerMode is the worker half of -isolate: build the same pipeline and
 // evaluator as the supervisor, then serve evaluations over stdin/stdout
 // until a shutdown frame arrives or the supervisor dies (stdin EOF). Stdout
@@ -410,6 +530,13 @@ func printPoolStats(st worker.PoolStats) {
 		st.Spawns, st.Restarts, st.Crashes, st.HeartbeatTimeouts, st.Redispatches)
 	if st.SpeculativeRuns > 0 {
 		fmt.Printf("speculative re-execution: %d launched, %d won\n", st.SpeculativeRuns, st.SpeculativeWins)
+	}
+	if st.Connects > 0 || st.Disconnects > 0 {
+		fmt.Printf("remote agents: %d connects, %d disconnects, %d lease expiries, %d fenced stale frames\n",
+			st.Connects, st.Disconnects, st.LeaseExpires, st.StaleLeaseFrames)
+	}
+	if st.LocalFallbacks > 0 {
+		fmt.Printf("transport degradation: %d slot(s) fell back to local subprocess workers\n", st.LocalFallbacks)
 	}
 	if st.Degraded {
 		fmt.Printf("pool degraded: %d evaluations served in-process\n", st.FallbackEvals)

@@ -497,3 +497,137 @@ func TestRLBarrierAmplifiesFailures(t *testing.T) {
 		t.Errorf("AE kept %.3f of throughput at MTBF 3600; model calibration looks off", aeKeep)
 	}
 }
+
+// TestPartitionsDisabledBitIdentical: the partition model draws no
+// randomness of its own, so configuring none of it leaves the simulation
+// bit-identical to a run that predates the model.
+func TestPartitionsDisabledBitIdentical(t *testing.T) {
+	sp := space()
+	base := run(t, MethodAE, 64, 11)
+	st, err := Run(Config{Method: MethodAE, Nodes: 64, Seed: 11, Space: sp, Partitions: []Partition{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Evaluations != st.Evaluations || base.Utilization != st.Utilization || base.BestReward != st.BestReward {
+		t.Errorf("empty partition list changed results: evals %d vs %d, util %v vs %v",
+			base.Evaluations, st.Evaluations, base.Utilization, st.Utilization)
+	}
+	if st.DelayedResults != 0 || st.ExpiredLeases != 0 {
+		t.Errorf("disabled partition model reported %d delayed / %d expired", st.DelayedResults, st.ExpiredLeases)
+	}
+	for i := range base.Evals {
+		a, b := base.Evals[i], st.Evals[i]
+		if a.Reward != b.Reward || a.Start != b.Start || a.Finish != b.Finish || a.Worker != b.Worker {
+			t.Fatalf("eval %d differs with the disabled partition model", i)
+		}
+	}
+}
+
+// TestPartitionHealWithinLease: a partition shorter than the slot lease
+// delays the covered results to the heal (reconnect-with-resume) but loses
+// nothing — the paper-scale 512-node deployment sees late deliveries, not
+// lost work.
+func TestPartitionHealWithinLease(t *testing.T) {
+	sp := space()
+	st, err := Run(Config{
+		Method: MethodAE, Nodes: 512, Seed: 13, Space: sp,
+		Partitions:   []Partition{{T0: 2000, T1: 2055, NodeLo: 0, NodeHi: 256}},
+		LeaseTimeout: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DelayedResults == 0 {
+		t.Fatal("a 55s partition over half the machine delayed nothing")
+	}
+	if st.ExpiredLeases != 0 || st.LostEvals != 0 {
+		t.Errorf("heal within the lease must lose nothing, got %d expired / %d lost", st.ExpiredLeases, st.LostEvals)
+	}
+	for _, e := range st.Evals {
+		if e.Finish > st.Config.WallTime {
+			t.Fatal("recorded an evaluation delivered past the wall time")
+		}
+	}
+}
+
+// TestPartitionOutlivesLease: a partition longer than the lease expires the
+// covered slots' leases — finished work is fenced off and lost, throughput
+// drops, and the losses are tallied.
+func TestPartitionOutlivesLease(t *testing.T) {
+	sp := space()
+	base := run(t, MethodAE, 512, 13)
+	st, err := Run(Config{
+		Method: MethodAE, Nodes: 512, Seed: 13, Space: sp,
+		Partitions:   []Partition{{T0: 2000, T1: 2900, NodeLo: 0, NodeHi: 256}},
+		LeaseTimeout: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExpiredLeases == 0 {
+		t.Fatal("a 15-minute partition with a 60s lease expired nothing")
+	}
+	if st.LostEvals != st.ExpiredLeases {
+		t.Errorf("with failures disabled every lost eval is a lease expiry: lost %d, expired %d", st.LostEvals, st.ExpiredLeases)
+	}
+	if st.Evaluations >= base.Evaluations {
+		t.Errorf("lease expiries did not reduce throughput: %d vs %d", st.Evaluations, base.Evaluations)
+	}
+	if st.Config.LeaseTimeout != 60 {
+		t.Errorf("lease timeout mangled: %g", st.Config.LeaseTimeout)
+	}
+}
+
+// TestPartitionDefaultLease: configuring partitions without a lease takes
+// the 60s default.
+func TestPartitionDefaultLease(t *testing.T) {
+	st, err := Run(Config{
+		Method: MethodRS, Nodes: 33, Seed: 3, Space: space(),
+		Partitions: []Partition{{T0: 1000, T1: 1030, NodeLo: 0, NodeHi: 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Config.LeaseTimeout != 60 {
+		t.Errorf("default lease timeout not applied: %g", st.Config.LeaseTimeout)
+	}
+}
+
+// TestPartitionDeterministic: partitioned runs replay exactly.
+func TestPartitionDeterministic(t *testing.T) {
+	cfg := Config{
+		Method: MethodAE, Nodes: 512, Seed: 17, Space: space(),
+		Partitions:   []Partition{{T0: 1500, T1: 3000, NodeLo: 128, NodeHi: 384}},
+		LeaseTimeout: 120,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Evaluations != b.Evaluations || a.DelayedResults != b.DelayedResults ||
+		a.ExpiredLeases != b.ExpiredLeases || a.Utilization != b.Utilization {
+		t.Error("same partition config produced different runs")
+	}
+}
+
+// TestPartitionValidation rejects nonsense windows and the RL method (the
+// barrier model has no per-slot lease to expire).
+func TestPartitionValidation(t *testing.T) {
+	sp := space()
+	bad := []Config{
+		{Method: MethodAE, Nodes: 33, Space: sp, Partitions: []Partition{{T0: 100, T1: 100, NodeLo: 0, NodeHi: 4}}},
+		{Method: MethodAE, Nodes: 33, Space: sp, Partitions: []Partition{{T0: -5, T1: 100, NodeLo: 0, NodeHi: 4}}},
+		{Method: MethodAE, Nodes: 33, Space: sp, Partitions: []Partition{{T0: 0, T1: 100, NodeLo: 4, NodeHi: 4}}},
+		{Method: MethodAE, Nodes: 33, Space: sp, Partitions: []Partition{{T0: 0, T1: 100, NodeLo: 0, NodeHi: 64}}},
+		{Method: MethodRL, Nodes: 33, Space: sp, Partitions: []Partition{{T0: 0, T1: 100, NodeLo: 12, NodeHi: 20}}},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d should have been rejected", i)
+		}
+	}
+}

@@ -62,6 +62,32 @@ type Config struct {
 	// scheduled finish and feeds the agent the worst-case reward — which is
 	// why the synchronous method degrades faster under the same MTBF.
 	RepairTime float64
+
+	// Partitions are network-partition windows (async methods only): the
+	// covered nodes keep computing but are unreachable from the driver for
+	// the window — a rack switch failure, not a node crash. Results that
+	// finish inside a window are delivered late if the partition heals
+	// within LeaseTimeout (reconnect-with-resume) and fenced off as lost if
+	// it does not (the driver has retired the slot's lease). The model draws
+	// no randomness of its own, so an empty slice is bit-identical to a
+	// build without the model.
+	Partitions []Partition
+	// LeaseTimeout is the driver-side slot-lease lifetime in seconds
+	// (default 60 when Partitions is non-empty), mirroring the worker pool's
+	// heartbeat-timeout-driven lease retirement.
+	LeaseTimeout float64
+}
+
+// Partition is one network-partition window: nodes in [NodeLo, NodeHi) are
+// unreachable from the driver during [T0, T1).
+type Partition struct {
+	T0, T1         float64
+	NodeLo, NodeHi int
+}
+
+// covers reports whether node w is partitioned at time t (half-open window).
+func (p Partition) covers(w int, t float64) bool {
+	return w >= p.NodeLo && w < p.NodeHi && t >= p.T0 && t < p.T1
 }
 
 // failuresEnabled reports whether the node-failure model is active.
@@ -93,6 +119,10 @@ func (c *Config) applyDefaults() {
 	if c.failuresEnabled() && c.RepairTime == 0 {
 		c.RepairTime = 600
 	}
+	//podnas:allow floateq zero-value option detection: 0 means "take the lease default"
+	if len(c.Partitions) > 0 && c.LeaseTimeout == 0 {
+		c.LeaseTimeout = 60
+	}
 }
 
 func (c *Config) validate() error {
@@ -104,6 +134,17 @@ func (c *Config) validate() error {
 	}
 	if c.Method == MethodRL && c.Nodes <= c.Agents {
 		return fmt.Errorf("hpcsim: RL needs more nodes (%d) than agents (%d)", c.Nodes, c.Agents)
+	}
+	if len(c.Partitions) > 0 && c.Method == MethodRL {
+		return fmt.Errorf("hpcsim: the partition model applies to the async methods only, not %s", c.Method)
+	}
+	for i, p := range c.Partitions {
+		if p.T1 <= p.T0 || p.T0 < 0 {
+			return fmt.Errorf("hpcsim: partition %d has an empty or negative window [%g, %g)", i, p.T0, p.T1)
+		}
+		if p.NodeLo < 0 || p.NodeHi > c.Nodes || p.NodeHi <= p.NodeLo {
+			return fmt.Errorf("hpcsim: partition %d covers invalid nodes [%d, %d) of %d", i, p.NodeLo, p.NodeHi, c.Nodes)
+		}
 	}
 	return c.Space.Validate()
 }
@@ -131,9 +172,16 @@ type RunStats struct {
 	UniqueHigh    int            // final unique high performers (Fig 8b)
 	// NodeFailures and LostEvals summarize the node-failure model (both
 	// zero when MTBF is 0/Inf): node crashes during the job, and the
-	// in-flight evaluations those crashes destroyed.
+	// in-flight evaluations those crashes destroyed. Lease-expired
+	// partition losses count into LostEvals too.
 	NodeFailures int
 	LostEvals    int
+	// DelayedResults and ExpiredLeases summarize the partition model:
+	// results that arrived late because their partition healed within the
+	// lease, and leases the driver retired because the partition outlived
+	// them (those evaluations are fenced off and also counted in LostEvals).
+	DelayedResults int
+	ExpiredLeases  int
 }
 
 // Run simulates one job.
@@ -220,6 +268,35 @@ func (fm *failureModel) rejoinAfter(w int) float64 {
 	return rejoin
 }
 
+// partitionModel answers "is this node reachable at time t" for the async
+// scheduler. It draws no randomness, so disabling it (no partitions) leaves
+// every random stream — and therefore every result — bit-identical.
+type partitionModel struct {
+	parts []Partition
+	lease float64
+}
+
+func newPartitionModel(cfg *Config) *partitionModel {
+	return &partitionModel{parts: cfg.Partitions, lease: cfg.LeaseTimeout}
+}
+
+// cutAt returns the partition covering node w at time t, or nil.
+func (pm *partitionModel) cutAt(w int, t float64) *Partition {
+	for i := range pm.parts {
+		if pm.parts[i].covers(w, t) {
+			return &pm.parts[i]
+		}
+	}
+	return nil
+}
+
+// expires reports whether p outlives the driver's slot lease: the driver
+// loses contact at T0 and retires the lease LeaseTimeout later, so a heal
+// past that point finds the slot fenced.
+func (pm *partitionModel) expires(p *Partition) bool {
+	return p.T1 > p.T0+pm.lease
+}
+
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -272,6 +349,7 @@ func runAsync(cfg Config) (*RunStats, error) {
 	}
 	rng := tensor.NewRNG(cfg.Seed ^ 0xfeed)
 	fm := newFailureModel(&cfg)
+	pm := newPartitionModel(&cfg)
 
 	stats := &RunStats{Config: cfg, BestReward: -1}
 	busy := make([][]interval, cfg.Nodes)
@@ -281,6 +359,15 @@ func runAsync(cfg Config) (*RunStats, error) {
 
 	start := func(w int, t float64) {
 		if t >= cfg.WallTime {
+			return
+		}
+		if p := pm.cutAt(w, t); p != nil {
+			// The driver cannot reach the node to dispatch; the healthy,
+			// idle node waits out the partition and proposes at the heal.
+			seq++
+			if p.T1 < cfg.WallTime {
+				heap.Push(h, event{time: p.T1, worker: w, seq: seq, kind: evRejoin})
+			}
 			return
 		}
 		if fm.downAt(w, t) {
@@ -319,15 +406,45 @@ func runAsync(cfg Config) (*RunStats, error) {
 			}
 			return
 		}
+		deliverAt := finish
+		if p := pm.cutAt(w, finish); p != nil {
+			if pm.expires(p) {
+				// The partition outlives the slot lease: by the heal, the
+				// driver has retired the lease and whatever this node still
+				// reports is fenced off by its stale lease ID. The training
+				// ran (the node was busy) but the result is lost, and the
+				// node rejoins the pool at the heal.
+				if finish <= cfg.WallTime {
+					stats.ExpiredLeases++
+					stats.LostEvals++
+				}
+				if busyEnd := minf(finish, cfg.WallTime); busyEnd > t {
+					busy[w] = append(busy[w], interval{t, busyEnd})
+				}
+				seq++
+				if p.T1 < cfg.WallTime {
+					heap.Push(h, event{time: p.T1, worker: w, seq: seq, kind: evRejoin})
+				}
+				return
+			}
+			// The partition heals within the lease: the driver reconnects
+			// under the same lease and the buffered result arrives late —
+			// reconnect-with-resume. The delivery time is when the driver
+			// (and the searcher) learns the reward.
+			deliverAt = p.T1
+		}
 		busyEnd := finish
 		if busyEnd > cfg.WallTime {
 			busyEnd = cfg.WallTime // the node works until the job is killed
 		}
 		busy[w] = append(busy[w], interval{t, busyEnd})
-		inflight[w] = Eval{Arch: a, Reward: land.Reward(a, evalSeed), Start: t, Finish: finish, Worker: w}
+		if deliverAt > finish && deliverAt <= cfg.WallTime {
+			stats.DelayedResults++
+		}
+		inflight[w] = Eval{Arch: a, Reward: land.Reward(a, evalSeed), Start: t, Finish: deliverAt, Worker: w}
 		seq++
-		if finish <= cfg.WallTime {
-			heap.Push(h, event{time: finish, worker: w, seq: seq})
+		if deliverAt <= cfg.WallTime {
+			heap.Push(h, event{time: deliverAt, worker: w, seq: seq})
 		}
 	}
 

@@ -70,6 +70,18 @@ const (
 	// understands; consumers of headerless traces (written before this
 	// record existed) fall back to the search_start event.
 	KindTraceHeader
+	// KindWorkerConnect marks a remote worker connection handshaken and
+	// leased (Worker, Attempt = lease epoch, Ident = "addr#lease").
+	KindWorkerConnect
+	// KindWorkerDisconnect marks a remote worker connection lost — peer
+	// death, network drop, or a heartbeat kill of a silent link (Worker,
+	// Ident, Err).
+	KindWorkerDisconnect
+	// KindLeaseExpire marks a slot lease retired while an evaluation was
+	// still claimed under it (Worker, Eval = pool job id, Ident): the job is
+	// re-dispatched under a fresh lease and any result the zombie still
+	// delivers is fenced off by its stale lease ID.
+	KindLeaseExpire
 )
 
 // SchemaVersion is the trace-format generation stamped into every
@@ -94,22 +106,25 @@ func NewHeader(method string, seed uint64, workers int, version string) Event {
 }
 
 var kindNames = [...]string{
-	KindSearchStart:   "search_start",
-	KindSearchFinish:  "search_finish",
-	KindEvalStart:     "eval_start",
-	KindEvalFinish:    "eval_finish",
-	KindEvalError:     "eval_error",
-	KindEvalRetry:     "eval_retry",
-	KindEpoch:         "epoch",
-	KindRound:         "round",
-	KindCheckpoint:    "checkpoint",
-	KindWorkerSpawn:   "worker_spawn",
-	KindWorkerCrash:   "worker_crash",
-	KindWorkerRestart: "worker_restart",
-	KindHeartbeatMiss: "heartbeat_miss",
-	KindSpecLaunch:    "spec_launch",
-	KindSpecWin:       "spec_win",
-	KindTraceHeader:   "trace_header",
+	KindSearchStart:      "search_start",
+	KindSearchFinish:     "search_finish",
+	KindEvalStart:        "eval_start",
+	KindEvalFinish:       "eval_finish",
+	KindEvalError:        "eval_error",
+	KindEvalRetry:        "eval_retry",
+	KindEpoch:            "epoch",
+	KindRound:            "round",
+	KindCheckpoint:       "checkpoint",
+	KindWorkerSpawn:      "worker_spawn",
+	KindWorkerCrash:      "worker_crash",
+	KindWorkerRestart:    "worker_restart",
+	KindHeartbeatMiss:    "heartbeat_miss",
+	KindSpecLaunch:       "spec_launch",
+	KindSpecWin:          "spec_win",
+	KindTraceHeader:      "trace_header",
+	KindWorkerConnect:    "worker_connect",
+	KindWorkerDisconnect: "worker_disconnect",
+	KindLeaseExpire:      "lease_expire",
 }
 
 // String returns the stable snake_case name used in JSONL traces.
@@ -161,6 +176,9 @@ type Event struct {
 	Method  string        `json:"method,omitempty"`
 	Arch    string        `json:"arch,omitempty"` // canonical architecture key
 	Err     string        `json:"err,omitempty"`
+	// Ident is the slot's transport identity ("local:<pid>" or
+	// "remote:<addr>#<lease>") on worker connect/disconnect/lease events.
+	Ident string `json:"ident,omitempty"`
 
 	// Trace-header fields (KindTraceHeader only).
 	Seed    uint64 `json:"seed,omitempty"`    // search seed

@@ -34,6 +34,7 @@ type Metrics struct {
 	epochs, rounds, checkpoints       int
 	spawns, crashes, restarts         int
 	hbMisses, specs, specWins         int
+	connects, disconnects, leaseExps  int
 
 	// ma is the shared streaming window average (metrics.WindowMA), the
 	// same implementation hpcsim's batch MovingAverage and obs/replay are
@@ -54,6 +55,9 @@ type WorkerCounters struct {
 	Crashes         int `json:"crashes"`
 	Restarts        int `json:"restarts"`
 	HeartbeatMisses int `json:"heartbeat_misses"`
+	Connects        int `json:"connects,omitempty"`
+	Disconnects     int `json:"disconnects,omitempty"`
+	LeaseExpires    int `json:"lease_expires,omitempty"`
 }
 
 // MetricsOptions tune the aggregator; zero values take the paper defaults.
@@ -162,6 +166,15 @@ func (m *Metrics) Record(e Event) {
 		m.specs++
 	case KindSpecWin:
 		m.specWins++
+	case KindWorkerConnect:
+		m.connects++
+		m.worker(e.Worker).Connects++
+	case KindWorkerDisconnect:
+		m.disconnects++
+		m.worker(e.Worker).Disconnects++
+	case KindLeaseExpire:
+		m.leaseExps++
+		m.worker(e.Worker).LeaseExpires++
 	case KindSearchStart, KindTraceHeader:
 		// Run metadata: no aggregate state beyond the clock advance above.
 	default:
@@ -218,6 +231,9 @@ type Snapshot struct {
 	HeartbeatMisses   int                    `json:"heartbeat_misses"`
 	Speculations      int                    `json:"speculations"`
 	SpeculativeWins   int                    `json:"speculative_wins"`
+	WorkerConnects    int                    `json:"worker_connects"`
+	WorkerDisconnects int                    `json:"worker_disconnects"`
+	LeaseExpires      int                    `json:"lease_expires"`
 	PerWorkerCounters map[int]WorkerCounters `json:"per_worker,omitempty"`
 }
 
@@ -226,25 +242,28 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		ElapsedSeconds:  m.lastT.Seconds(),
-		Workers:         m.workers,
-		Evals:           m.evals,
-		Successes:       m.successes,
-		Errors:          m.errors,
-		Retries:         m.retries,
-		InFlight:        len(m.inflight),
-		RewardMA:        m.ma.Value(),
-		LastReward:      m.ma.Last(),
-		Epochs:          m.epochs,
-		Rounds:          m.rounds,
-		Checkpoints:     m.checkpoints,
-		UniqueHigh:      len(m.high),
-		WorkerSpawns:    m.spawns,
-		WorkerCrashes:   m.crashes,
-		WorkerRestarts:  m.restarts,
-		HeartbeatMisses: m.hbMisses,
-		Speculations:    m.specs,
-		SpeculativeWins: m.specWins,
+		ElapsedSeconds:    m.lastT.Seconds(),
+		Workers:           m.workers,
+		Evals:             m.evals,
+		Successes:         m.successes,
+		Errors:            m.errors,
+		Retries:           m.retries,
+		InFlight:          len(m.inflight),
+		RewardMA:          m.ma.Value(),
+		LastReward:        m.ma.Last(),
+		Epochs:            m.epochs,
+		Rounds:            m.rounds,
+		Checkpoints:       m.checkpoints,
+		UniqueHigh:        len(m.high),
+		WorkerSpawns:      m.spawns,
+		WorkerCrashes:     m.crashes,
+		WorkerRestarts:    m.restarts,
+		HeartbeatMisses:   m.hbMisses,
+		Speculations:      m.specs,
+		SpeculativeWins:   m.specWins,
+		WorkerConnects:    m.connects,
+		WorkerDisconnects: m.disconnects,
+		LeaseExpires:      m.leaseExps,
 	}
 	if !math.IsInf(m.best, -1) {
 		s.BestReward = m.best

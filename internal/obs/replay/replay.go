@@ -228,6 +228,11 @@ type SlotReport struct {
 	MeanLatency                 float64 `json:"mean_latency_seconds"`
 	MaxLatency                  float64 `json:"max_latency_seconds"`
 	Crashes, Restarts, HBMisses int
+	// Disconnects and LeaseExpires attribute network-transport supervision
+	// to the slot: remote connections lost, and leases retired with an
+	// evaluation still claimed (each such job was re-dispatched).
+	Disconnects  int `json:"disconnects,omitempty"`
+	LeaseExpires int `json:"lease_expires,omitempty"`
 	// StragglerScore is this slot's mean terminal-evaluation latency over
 	// the run-wide mean (1.0 = typical; 0 with no terminal evaluations).
 	StragglerScore float64 `json:"straggler_score"`
@@ -527,6 +532,10 @@ func deriveSlots(a *Analysis, events []obs.Event, opts Options) {
 			slot(e.Worker).Restarts++
 		case obs.KindHeartbeatMiss:
 			slot(e.Worker).HBMisses++
+		case obs.KindWorkerDisconnect:
+			slot(e.Worker).Disconnects++
+		case obs.KindLeaseExpire:
+			slot(e.Worker).LeaseExpires++
 		default:
 			// Other kinds attribute nothing to a slot.
 		}

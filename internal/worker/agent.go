@@ -1,0 +1,121 @@
+package worker
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"podnas/internal/search"
+)
+
+// AgentOptions configures a dialable worker agent (ServeListener).
+type AgentOptions struct {
+	// Heartbeat is the cadence served to every driver (default 1s). It must
+	// match the driver pool's Heartbeat option.
+	Heartbeat time.Duration
+	// Ident is the agent's self-reported identity in welcome frames
+	// (default "<hostname>/<pid>").
+	Ident string
+	// HandshakeTimeout bounds reading a new connection's hello frame
+	// (default 10s), so a port-scanner or wedged dialer cannot pin an accept
+	// slot open forever.
+	HandshakeTimeout time.Duration
+}
+
+func (o AgentOptions) handshakeTimeout() time.Duration {
+	if o.HandshakeTimeout > 0 {
+		return o.HandshakeTimeout
+	}
+	return 10 * time.Second
+}
+
+func (o AgentOptions) ident() string {
+	if o.Ident != "" {
+		return o.Ident
+	}
+	host, err := os.Hostname()
+	if err != nil {
+		host = "agent"
+	}
+	return fmt.Sprintf("%s/%d", host, os.Getpid())
+}
+
+// ServeListener runs a worker agent: accept driver connections on ln,
+// answer each hello with a welcome echoing the driver's lease and epoch,
+// and then run the ordinary Serve loop on the connection with that lease
+// stamped into every outbound frame. Each connection is one leased slot
+// attachment; connections are served concurrently and independently, so
+// eval must be safe for concurrent use (the in-process runners already
+// call evaluators concurrently). A driver disconnect — clean shutdown
+// frame, heartbeat kill, network drop — ends only that connection; the
+// agent keeps listening, which is what lets a driver reconnect and resume
+// after a partition.
+//
+// ServeListener returns nil once ctx is cancelled (in-flight connections
+// are closed and drained first) and an error if the listener itself fails.
+func ServeListener(ctx context.Context, ln net.Listener, eval search.Evaluator, opts AgentOptions) error {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	defer func() {
+		close(done)
+		wg.Wait()
+	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		_ = ln.Close()
+	}()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("worker: agent accept: %w", err)
+		}
+		wg.Add(1)
+		go func(c net.Conn) {
+			defer wg.Done()
+			connDone := make(chan struct{})
+			go func() {
+				select {
+				case <-ctx.Done():
+				case <-done:
+				case <-connDone:
+				}
+				_ = c.Close()
+			}()
+			defer close(connDone)
+			agentConn(c, eval, opts)
+		}(c)
+	}
+}
+
+// agentConn handshakes one driver connection and serves it to completion.
+// Handshake failures are answered with a welcome frame carrying the
+// refusal (so the dialer can report why) and the connection dropped; the
+// driver, not the agent, owns retry policy.
+func agentConn(c net.Conn, eval search.Evaluator, opts AgentOptions) {
+	_ = c.SetReadDeadline(time.Now().Add(opts.handshakeTimeout()))
+	r := newFrameReader(c)
+	fw := newFrameWriter(c)
+	m, err := r.next()
+	if err != nil {
+		return
+	}
+	if err := ValidateHello(m); err != nil {
+		_ = fw.send(Message{Type: MsgWelcome, Schema: ProtoSchema, Err: err.Error()})
+		return
+	}
+	_ = c.SetReadDeadline(time.Time{})
+	welcome := Message{Type: MsgWelcome, Schema: ProtoSchema, Lease: m.Lease, Epoch: m.Epoch, Ident: opts.ident()}
+	if err := fw.send(welcome); err != nil {
+		return
+	}
+	_ = serveFrames(r, fw, eval, ServeOptions{Heartbeat: opts.Heartbeat, Lease: m.Lease, Epoch: m.Epoch})
+}

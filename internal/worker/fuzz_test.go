@@ -42,3 +42,48 @@ func FuzzWorkerFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzHandshakeDecode feeds arbitrary bytes through the frame reader into
+// both handshake validators — the exact path a hostile or confused peer's
+// opening bytes take on either end of a connection. The contracts: never
+// panic, and never accept a frame that is truncated, the wrong type, from a
+// future schema, unleased, or answering with the wrong lease/epoch echo.
+func FuzzHandshakeDecode(f *testing.F) {
+	f.Add([]byte(`{"type":"hello","schema":1,"lease":771,"epoch":2,"caps":["eval"]}` + "\n"))
+	f.Add([]byte(`{"type":"welcome","schema":1,"lease":771,"epoch":2,"ident":"host/4242"}` + "\n"))
+	f.Add([]byte(`{"type":"hello","schema":99,"lease":1}` + "\n"))   // hello from the future
+	f.Add([]byte(`{"type":"hello","schema":1,"lease":0}` + "\n"))    // unleased hello
+	f.Add([]byte(`{"type":"welcome","schema":1,"lease":9,"epo`))     // torn welcome
+	f.Add([]byte(`{"type":"welcome","err":"agent refused"}` + "\n")) // refusal
+	f.Add([]byte(`{"type":"ready"}` + "\n"))                         // protocol frame out of order
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))               // port scanner
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := newFrameReader(bytes.NewReader(data)).next()
+		if err != nil {
+			// Truncated or unparseable handshakes must surface as read
+			// errors, exactly like the frame reader documents.
+			if !errors.Is(err, io.EOF) && errors.Unwrap(err) == nil {
+				t.Fatalf("undocumented frame error: %v", err)
+			}
+			return
+		}
+		if herr := ValidateHello(m); herr == nil {
+			// Anything the agent accepts must really be a speakable,
+			// leased hello.
+			if m.Type != MsgHello || m.Schema < 1 || m.Schema > ProtoSchema || m.Lease == 0 {
+				t.Fatalf("ValidateHello accepted %+v", m)
+			}
+		}
+		const lease, epoch = 771, 2
+		if werr := ValidateWelcome(m, lease, epoch); werr == nil {
+			// Anything the driver accepts must echo its fence exactly and
+			// name the agent.
+			if m.Type != MsgWelcome || m.Err != "" || m.Schema < 1 || m.Schema > ProtoSchema ||
+				m.Lease != lease || m.Epoch != epoch || m.Ident == "" {
+				t.Fatalf("ValidateWelcome accepted %+v", m)
+			}
+		}
+	})
+}

@@ -1,0 +1,553 @@
+package worker_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"podnas/internal/arch"
+	"podnas/internal/obs"
+	"podnas/internal/search"
+	"podnas/internal/tensor"
+	"podnas/internal/worker"
+)
+
+// startAgent runs an in-process worker agent on a loopback listener and
+// returns its address plus an idempotent stop function. The agent outlives
+// any number of driver connections, which is exactly what the reconnect and
+// partition tests need.
+func startAgent(t *testing.T, eval search.Evaluator, opts worker.AgentOptions) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := worker.ServeListener(ctx, ln, eval, opts); err != nil {
+			t.Errorf("agent: %v", err)
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}
+	return ln.Addr().String(), stop
+}
+
+// dialPoolOptions mirrors fastPoolOptions for a TCP-attached pool.
+func dialPoolOptions(addrs ...string) worker.PoolOptions {
+	return worker.PoolOptions{
+		Workers: 1,
+		Transport: &worker.DialTransport{
+			Addrs:            addrs,
+			DialTimeout:      2 * time.Second,
+			HandshakeTimeout: 2 * time.Second,
+			Seed:             1,
+		},
+		Heartbeat:       50 * time.Millisecond,
+		HeartbeatMisses: 4,
+		MaxRestarts:     5,
+		RestartBackoff:  10 * time.Millisecond,
+		StartTimeout:    20 * time.Second,
+		Seed:            1,
+	}
+}
+
+func agentOptions() worker.AgentOptions {
+	return worker.AgentOptions{Heartbeat: 50 * time.Millisecond}
+}
+
+// loadScrubbedCheckpoint loads a checkpoint and re-marshals it with the
+// wall-clock Seconds fields zeroed, leaving only the deterministic content:
+// searcher state, seed, and every result's index, genes, and reward.
+func loadScrubbedCheckpoint(t *testing.T, path string) []byte {
+	t.Helper()
+	ck, err := search.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ck.Results {
+		ck.Results[i].Seconds = 0
+	}
+	raw, err := json.Marshal(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestDialPoolDeterminismMatchesInProcess is the distributed determinism
+// contract: a Workers=1 search over TCP reproduces the in-process history
+// bit for bit, down to byte-identical checkpoints once the wall-clock
+// Seconds fields are scrubbed.
+func TestDialPoolDeterminismMatchesInProcess(t *testing.T) {
+	const seed, evals = 17, 8
+	dir := t.TempDir()
+	ckDirect := filepath.Join(dir, "direct.ckpt")
+	ckPooled := filepath.Join(dir, "pooled.ckpt")
+
+	rs, err := search.NewRandomSearch(arch.Default(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := search.RunAsync(rs, &mockEval{}, search.RunAsyncOptions{
+		Workers: 1, MaxEvals: evals, Seed: seed,
+		Checkpoint: &search.Checkpointer{Path: ckDirect, Every: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr, stop := startAgent(t, &mockEval{}, agentOptions())
+	defer stop()
+	pool, err := worker.NewPool(dialPoolOptions(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	rs2, err := search.NewRandomSearch(arch.Default(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := search.RunAsync(rs2, pool, search.RunAsyncOptions{
+		Workers: 1, MaxEvals: evals, Seed: seed,
+		Checkpoint: &search.Checkpointer{Path: ckPooled, Every: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(direct) != len(pooled) {
+		t.Fatalf("history lengths differ: %d in-process vs %d over TCP", len(direct), len(pooled))
+	}
+	for i := range direct {
+		if direct[i].Arch.Key() != pooled[i].Arch.Key() {
+			t.Fatalf("eval %d arch: in-process %s, TCP %s", i, direct[i].Arch.Key(), pooled[i].Arch.Key())
+		}
+		if direct[i].Reward != pooled[i].Reward {
+			t.Fatalf("eval %d reward: in-process %v, TCP %v (must be bit-identical)", i, direct[i].Reward, pooled[i].Reward)
+		}
+		if pooled[i].Err != nil {
+			t.Fatalf("TCP eval %d errored: %v", i, pooled[i].Err)
+		}
+	}
+	a, b := loadScrubbedCheckpoint(t, ckDirect), loadScrubbedCheckpoint(t, ckPooled)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("checkpoints diverge after scrubbing wall-clock:\nin-process: %s\nTCP:        %s", a, b)
+	}
+}
+
+// TestDialPoolReconnectResume cuts the link mid-evaluation (KillNth) and
+// asserts the slot redials under a fresh lease, re-dispatches the orphaned
+// evaluation, and spends the full budget — with the connect, disconnect,
+// and lease-expiry moments on the supervision event stream, each carrying
+// the slot's remote identity.
+func TestDialPoolReconnectResume(t *testing.T) {
+	addr, stop := startAgent(t, &mockEval{sleep: 30 * time.Millisecond}, agentOptions())
+	defer stop()
+	ring := obs.NewRing(256)
+	opts := dialPoolOptions(addr)
+	opts.KillNth = 2
+	opts.Recorder = ring
+	pool, err := worker.NewPool(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const seed, evals = 5, 6
+	res := runPooledSearch(t, pool, seed, evals, 1, 0)
+	if len(res) != evals {
+		t.Fatalf("budget not spent: %d of %d evaluations", len(res), evals)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("eval %d errored: %v", r.Index, r.Err)
+		}
+		if want := mockReward(r.Arch, seed+uint64(r.Index)*0x9e37); r.Reward != want {
+			t.Fatalf("eval %d reward %v, want %v", r.Index, r.Reward, want)
+		}
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := pool.Stats()
+	if st.Connects < 2 {
+		t.Fatalf("link cut did not force a reconnect: stats %+v", st)
+	}
+	if st.Disconnects < 1 || st.LeaseExpires < 1 || st.Redispatches < 1 {
+		t.Fatalf("expected disconnect + lease expiry + re-dispatch, stats %+v", st)
+	}
+	counts := map[obs.Kind]int{}
+	for _, e := range ring.Events() {
+		counts[e.Kind]++
+		switch e.Kind {
+		case obs.KindWorkerConnect, obs.KindWorkerDisconnect, obs.KindLeaseExpire:
+			if e.Ident == "" {
+				t.Errorf("%v event carries no identity: %+v", e.Kind, e)
+			}
+		}
+		if e.Kind == obs.KindLeaseExpire && e.Eval <= 0 {
+			t.Errorf("lease-expiry event names no evaluation: %+v", e)
+		}
+	}
+	if counts[obs.KindWorkerConnect] != st.Connects {
+		t.Errorf("connect events %d, stats counted %d", counts[obs.KindWorkerConnect], st.Connects)
+	}
+	if counts[obs.KindWorkerDisconnect] != st.Disconnects {
+		t.Errorf("disconnect events %d, stats counted %d", counts[obs.KindWorkerDisconnect], st.Disconnects)
+	}
+	if counts[obs.KindLeaseExpire] != st.LeaseExpires {
+		t.Errorf("lease-expiry events %d, stats counted %d", counts[obs.KindLeaseExpire], st.LeaseExpires)
+	}
+}
+
+// TestDialPoolStaleLeaseFencing drives the pool against a handcrafted agent
+// that answers an evaluation twice: first with a bogus reward under a
+// foreign lease (the zombie-worker scenario), then with the true reward
+// under the leased one. The fence must drop the zombie frame.
+func TestDialPoolStaleLeaseFencing(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	agentDone := make(chan struct{})
+	go func() {
+		defer close(agentDone)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		dec, enc := json.NewDecoder(c), json.NewEncoder(c)
+		var hello worker.Message
+		if err := dec.Decode(&hello); err != nil {
+			t.Errorf("fake agent: reading hello: %v", err)
+			return
+		}
+		lease, epoch := hello.Lease, hello.Epoch
+		enc.Encode(worker.Message{Type: worker.MsgWelcome, Schema: worker.ProtoSchema, Lease: lease, Epoch: epoch, Ident: "zombie-farm/1"})
+		enc.Encode(worker.Message{Type: worker.MsgReady, Lease: lease, Epoch: epoch})
+		var ev worker.Message
+		for {
+			if err := dec.Decode(&ev); err != nil {
+				t.Errorf("fake agent: waiting for eval: %v", err)
+				return
+			}
+			if ev.Type == worker.MsgEval {
+				break
+			}
+		}
+		// The zombie: a plausible result frame fenced off by its stale lease.
+		enc.Encode(worker.Message{Type: worker.MsgResult, ID: ev.ID, Reward: -123, Lease: lease + 1, Epoch: epoch})
+		// The legitimate answer under the live lease.
+		enc.Encode(worker.Message{Type: worker.MsgResult, ID: ev.ID, Reward: mockReward(ev.Arch, ev.Seed), Lease: lease, Epoch: epoch})
+		for {
+			var m worker.Message
+			if err := dec.Decode(&m); err != nil || m.Type == worker.MsgShutdown {
+				return
+			}
+		}
+	}()
+
+	pool, err := worker.NewPool(dialPoolOptions(ln.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.Default().Random(tensor.NewRNG(8))
+	got, err := pool.Evaluate(a, 21)
+	if err != nil {
+		t.Fatalf("evaluation failed: %v", err)
+	}
+	if want := mockReward(a, 21); got != want {
+		t.Fatalf("reward %v, want %v — the foreign-lease frame leaked through the fence", got, want)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-agentDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("fake agent never finished")
+	}
+	if st := pool.Stats(); st.StaleLeaseFrames < 1 {
+		t.Fatalf("fenced frame not counted, stats %+v", st)
+	}
+}
+
+// TestDialPoolIdentities asserts the per-slot identity surface: a remote
+// slot reports remote:<addr>#<lease> with the agent's self-reported name
+// and no local pid, so Pids (the kill-storm hook) skips it.
+func TestDialPoolIdentities(t *testing.T) {
+	addr, stop := startAgent(t, &mockEval{}, agentOptions())
+	defer stop()
+	pool, err := worker.NewPool(dialPoolOptions(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	a := arch.Default().Random(tensor.NewRNG(5))
+	if _, err := pool.Evaluate(a, 3); err != nil {
+		t.Fatalf("evaluation failed: %v", err)
+	}
+	ids := pool.Identities()
+	if len(ids) != 1 {
+		t.Fatalf("identities = %v, want one attached slot", ids)
+	}
+	id := ids[0]
+	if !id.Remote || id.Addr != addr || id.Lease == 0 || id.Name == "" {
+		t.Fatalf("remote slot identity %+v, want Remote with addr %s, a lease, and an agent name", id, addr)
+	}
+	if want := "remote:" + addr; len(id.String()) <= len(want) || id.String()[:len(want)] != want {
+		t.Fatalf("identity string %q, want %q#<lease>", id.String(), want)
+	}
+	if pids := pool.Pids(); len(pids) != 0 {
+		t.Fatalf("remote slots leaked into Pids: %v", pids)
+	}
+}
+
+// TestDialPoolFallsBackToLocal points the dial transport at a dead address
+// with a pipe transport configured as LocalFallback: the slot must demote to
+// a local subprocess worker and the search must still produce exact rewards.
+func TestDialPoolFallsBackToLocal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close() // nothing listens here anymore
+
+	opts := dialPoolOptions(deadAddr)
+	opts.LocalFallback = &worker.PipeTransport{Command: helperCommand(nil)}
+	pool, err := worker.NewPool(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const seed, evals = 7, 4
+	res := runPooledSearch(t, pool, seed, evals, 1, 0)
+	if len(res) != evals {
+		t.Fatalf("budget not spent: %d of %d evaluations", len(res), evals)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("eval %d errored: %v", r.Index, r.Err)
+		}
+		if want := mockReward(r.Arch, seed+uint64(r.Index)*0x9e37); r.Reward != want {
+			t.Fatalf("eval %d reward %v, want %v", r.Index, r.Reward, want)
+		}
+	}
+	st := pool.Stats()
+	if st.LocalFallbacks < 1 {
+		t.Fatalf("slot never demoted to the local transport, stats %+v", st)
+	}
+	if st.Degraded || st.Connects != 0 {
+		t.Fatalf("expected a clean demotion, not degradation: stats %+v", st)
+	}
+	if ids := pool.Identities(); len(ids) == 1 && ids[0].Remote {
+		t.Fatalf("demoted slot still claims a remote identity: %+v", ids[0])
+	}
+}
+
+// blackholeProxy sits between the driver and an agent and, once hole is
+// set, silently swallows traffic instead of forwarding it — the peers see
+// silence, not a connection reset, which is what a network partition looks
+// like. New connections made during the partition are swallowed whole, so
+// reconnect attempts time out at the handshake. A connection that was
+// forwarding when the partition began is doomed (frames were dropped
+// mid-stream) and never resumes.
+type blackholeProxy struct {
+	ln     net.Listener
+	target string
+	hole   atomic.Bool
+	wg     sync.WaitGroup
+}
+
+func newBlackholeProxy(t *testing.T, target string) *blackholeProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &blackholeProxy{ln: ln, target: target}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			p.wg.Add(1)
+			go p.serve(c)
+		}
+	}()
+	return p
+}
+
+func (p *blackholeProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *blackholeProxy) close() {
+	_ = p.ln.Close()
+	p.wg.Wait()
+}
+
+func (p *blackholeProxy) serve(c net.Conn) {
+	defer p.wg.Done()
+	defer c.Close()
+	if p.hole.Load() {
+		// Born into the partition: swallow everything, answer nothing.
+		_, _ = io.Copy(io.Discard, c)
+		return
+	}
+	up, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	done := make(chan struct{}, 2)
+	pipe := func(dst, src net.Conn) {
+		defer func() { done <- struct{}{} }()
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 && !p.hole.Load() {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+	go pipe(up, c)
+	go pipe(c, up)
+	// Either side finishing dooms the pair; closing both unwedges the other
+	// copier (important for the in-process agent's goroutine hygiene).
+	<-done
+	_ = c.Close()
+	_ = up.Close()
+	<-done
+}
+
+// countingEval counts invocations (at-least-once execution is expected under
+// re-dispatch) and signals when the first one arrives, so the test can time
+// the partition to strand an evaluation mid-flight.
+type countingEval struct {
+	calls atomic.Int64
+	first chan struct{}
+	sleep time.Duration
+}
+
+func (e *countingEval) Evaluate(a arch.Arch, seed uint64) (float64, error) {
+	if e.calls.Add(1) == 1 && e.first != nil {
+		close(e.first)
+	}
+	time.Sleep(e.sleep)
+	return mockReward(a, seed), nil
+}
+
+// TestDialPoolPartitionBlackhole is the partition-tolerance end-to-end: the
+// network goes silent (not closed) with an evaluation in flight. The driver
+// must heartbeat-kill the dead link, expire the lease, burn reconnect
+// attempts into the blackhole, and — once the partition heals — redial under
+// a fresh lease and re-dispatch, delivering the result exactly once.
+func TestDialPoolPartitionBlackhole(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition stress test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	eval := &countingEval{first: make(chan struct{}), sleep: 150 * time.Millisecond}
+	addr, stopAgent := startAgent(t, eval, agentOptions())
+	proxy := newBlackholeProxy(t, addr)
+	opts := dialPoolOptions(proxy.addr())
+	opts.MaxRestarts = 50
+	opts.Transport = &worker.DialTransport{
+		Addrs:            []string{proxy.addr()},
+		DialTimeout:      500 * time.Millisecond,
+		HandshakeTimeout: 300 * time.Millisecond,
+		Seed:             1,
+	}
+	pool, err := worker.NewPool(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := arch.Default().Random(tensor.NewRNG(4))
+	type out struct {
+		reward float64
+		err    error
+	}
+	resCh := make(chan out, 1)
+	go func() {
+		r, err := pool.Evaluate(a, 42)
+		resCh <- out{r, err}
+	}()
+
+	select {
+	case <-eval.first:
+	case <-time.After(15 * time.Second):
+		t.Fatal("evaluation never reached the agent")
+	}
+	proxy.hole.Store(true)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for pool.Stats().LeaseExpires < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("lease never expired under the partition; stats %+v", pool.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Let a few reconnect attempts die in the blackhole before healing.
+	time.Sleep(400 * time.Millisecond)
+	proxy.hole.Store(false)
+
+	select {
+	case o := <-resCh:
+		if o.err != nil {
+			t.Fatalf("evaluation failed after the partition healed: %v", o.err)
+		}
+		if want := mockReward(a, 42); o.reward != want {
+			t.Fatalf("reward %v, want %v", o.reward, want)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("evaluation never completed after the partition healed; stats %+v", pool.Stats())
+	}
+	if calls := eval.calls.Load(); calls < 2 {
+		t.Fatalf("stranded evaluation was not re-executed (evaluator ran %d times)", calls)
+	}
+	st := pool.Stats()
+	if st.Connects < 2 || st.Disconnects < 1 || st.HeartbeatTimeouts < 1 || st.Redispatches < 1 {
+		t.Fatalf("partition not exercised: stats %+v", st)
+	}
+	if st.Degraded {
+		t.Fatalf("pool degraded instead of riding out the partition: stats %+v", st)
+	}
+	t.Logf("partition stats: %+v, evaluator calls %d", st, eval.calls.Load())
+
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	proxy.close()
+	stopAgent()
+	waitGoroutines(t, baseline)
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"os/exec"
 	"sync"
@@ -26,14 +25,26 @@ var errHeartbeat = errors.New("worker: missed heartbeats")
 
 // PoolOptions configures a supervised pool of worker processes.
 type PoolOptions struct {
-	// Workers is the number of worker processes kept alive (>= 1).
+	// Workers is the number of worker slots kept attached (>= 1).
 	Workers int
 	// Command builds the exec.Cmd for one worker process. workerID is the
 	// stable pool slot; incarnation counts respawns of that slot, so fault
 	// seeds can differ across restarts (a deterministic self-kill decision
 	// must not recur forever in the replacement process). A nil Stderr is
-	// replaced with os.Stderr so worker logs pass through.
+	// replaced with os.Stderr so worker logs pass through. Ignored when
+	// Transport is set.
 	Command func(workerID, incarnation int) *exec.Cmd
+	// Transport attaches slots to workers. Nil means a PipeTransport built
+	// from Command — the classic subprocess pool. A DialTransport attaches
+	// slots to remote agents over TCP; the supervision loop (heartbeats,
+	// restart budgets, speculation, CrashLimit) is identical either way.
+	Transport Transport
+	// LocalFallback, when non-nil, is the transport a slot degrades to after
+	// its primary Transport stays unreachable past the restart budget —
+	// typically a PipeTransport, so a driver that loses its remote agents
+	// falls back to local subprocess workers before giving up entirely. The
+	// slot's restart budget resets on the switch.
+	LocalFallback Transport
 	// Heartbeat is the expected heartbeat cadence (default 1s); it must
 	// match the interval the worker serves with.
 	Heartbeat time.Duration
@@ -64,8 +75,9 @@ type PoolOptions struct {
 	// Fallback a degraded pool fails evaluations with ErrTransient so the
 	// runner's retry policy decides.
 	Fallback search.Evaluator
-	// KillNth, when positive, SIGKILLs the worker right after it is sent the
-	// Nth dispatched evaluation (counting every dispatch, once) —
+	// KillNth, when positive, kills the worker attachment right after it is
+	// sent the Nth dispatched evaluation (counting every dispatch, once):
+	// SIGKILL for a subprocess, connection close for a remote agent —
 	// deterministic fault injection for tests and CI smoke runs.
 	KillNth int
 	// CrashLimit is how many worker crashes a single evaluation may consume
@@ -74,8 +86,9 @@ type PoolOptions struct {
 	// every worker it touches.
 	CrashLimit int
 	// Recorder, when non-nil, receives supervision events: worker
-	// spawn/crash/restart, heartbeat kills, and speculation launches/wins.
-	// The Event.Worker field carries the pool slot.
+	// spawn/crash/restart, heartbeat kills, speculation launches/wins, and
+	// remote connect/disconnect/lease-expiry. The Event.Worker field carries
+	// the pool slot.
 	Recorder obs.Recorder
 }
 
@@ -120,14 +133,19 @@ func (o PoolOptions) crashLimit() int {
 
 // PoolStats counts supervision events.
 type PoolStats struct {
-	Spawns            int // processes started (incl. restarts)
+	Spawns            int // worker attachments started (incl. restarts)
 	Restarts          int // respawns after a crash or silent death
-	Crashes           int // worker deaths: non-zero exits, broken pipes
+	Crashes           int // worker deaths: non-zero exits, broken pipes, dropped links
 	HeartbeatTimeouts int // workers killed for going silent
 	Redispatches      int // evaluations re-queued after losing their worker
 	SpeculativeRuns   int // duplicate dispatches of stragglers
 	SpeculativeWins   int // evaluations decided by the speculative copy
 	FallbackEvals     int // evaluations served in-process after degradation
+	Connects          int // remote connections handshaken and leased
+	Disconnects       int // remote connections lost
+	LeaseExpires      int // leases retired with an evaluation still in flight
+	StaleLeaseFrames  int // frames fenced off for carrying a superseded lease
+	LocalFallbacks    int // slots demoted from the remote transport to LocalFallback
 	Degraded          bool
 }
 
@@ -188,13 +206,15 @@ func (j *job) deliver(r jobResult) bool {
 	return true
 }
 
-// Pool dispatches evaluations to supervised worker subprocesses. It
-// implements search.Evaluator and search.ContextEvaluator, so the search
-// runners use it exactly like the in-process TrainingEvaluator. Safe for
-// concurrent use.
+// Pool dispatches evaluations to supervised workers — subprocesses over
+// pipes or remote agents over TCP, per its Transport. It implements
+// search.Evaluator and search.ContextEvaluator, so the search runners use
+// it exactly like the in-process TrainingEvaluator. Safe for concurrent
+// use.
 type Pool struct {
-	opts  PoolOptions
-	queue chan *job
+	opts      PoolOptions
+	transport Transport
+	queue     chan *job
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -207,27 +227,32 @@ type Pool struct {
 	nextJobID   atomic.Uint64
 	dispatchSeq atomic.Int64
 
-	mu    sync.Mutex
-	stats PoolStats
-	pids  map[int]int // worker slot -> live pid
+	mu     sync.Mutex
+	stats  PoolStats
+	idents map[int]SlotIdentity // worker slot -> live attachment identity
 }
 
 // NewPool starts the supervision loops and returns immediately; workers
-// spawn and handshake in the background, and evaluations queue until one is
-// ready. Callers must Close the pool to reap the processes.
+// attach and handshake in the background, and evaluations queue until one
+// is ready. Callers must Close the pool to reap processes and connections.
 func NewPool(opts PoolOptions) (*Pool, error) {
 	if opts.Workers < 1 {
 		return nil, fmt.Errorf("worker: pool needs at least one worker, got %d", opts.Workers)
 	}
-	if opts.Command == nil {
-		return nil, errors.New("worker: pool needs a Command")
+	tr := opts.Transport
+	if tr == nil {
+		if opts.Command == nil {
+			return nil, errors.New("worker: pool needs a Command or a Transport")
+		}
+		tr = &PipeTransport{Command: opts.Command}
 	}
 	p := &Pool{
-		opts:   opts,
-		queue:  make(chan *job, 16*opts.Workers+64),
-		closed: make(chan struct{}),
-		failed: make(chan struct{}),
-		pids:   make(map[int]int),
+		opts:      opts,
+		transport: tr,
+		queue:     make(chan *job, 16*opts.Workers+64),
+		closed:    make(chan struct{}),
+		failed:    make(chan struct{}),
+		idents:    make(map[int]SlotIdentity),
 	}
 	p.live.Store(int64(opts.Workers))
 	p.wg.Add(opts.Workers)
@@ -252,14 +277,30 @@ func (p *Pool) Stats() PoolStats {
 	return p.stats
 }
 
-// Pids returns the pids of the currently live worker processes, for tests
-// that kill real workers from outside.
+// Pids returns the pids of the currently live local worker processes, for
+// tests that kill real workers from outside. Remote slots have no local
+// pid and are not listed — see Identities for the full per-slot view.
 func (p *Pool) Pids() []int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]int, 0, len(p.pids))
-	for _, pid := range p.pids {
-		out = append(out, pid)
+	out := make([]int, 0, len(p.idents))
+	for _, id := range p.idents {
+		if !id.Remote {
+			out = append(out, id.PID)
+		}
+	}
+	return out
+}
+
+// Identities returns the transport identity of every currently attached
+// slot: "local:<pid>" for subprocess workers, "remote:<addr>#<lease>" for
+// leased network attachments.
+func (p *Pool) Identities() map[int]SlotIdentity {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[int]SlotIdentity, len(p.idents))
+	for slot, id := range p.idents {
+		out[slot] = id
 	}
 	return out
 }
@@ -359,12 +400,14 @@ func (p *Pool) record(e obs.Event) {
 	}
 }
 
-// supervise owns one worker slot: spawn, serve jobs, and on any process
-// failure respawn with seeded exponential backoff until the restart budget
-// runs out.
+// supervise owns one worker slot: attach, serve jobs, and on any failure
+// reattach with seeded exponential backoff until the restart budget runs
+// out. A slot on a remote transport that stays unreachable past the budget
+// demotes to LocalFallback (when configured) before retiring.
 func (p *Pool) supervise(workerID int) {
 	defer p.wg.Done()
 	defer p.retire()
+	tr := p.transport
 	restarts := 0
 	for incarnation := 0; ; incarnation++ {
 		select {
@@ -372,14 +415,20 @@ func (p *Pool) supervise(workerID int) {
 			return
 		default:
 		}
-		w, started, err := p.spawn(workerID, incarnation)
+		w, started, err := p.connect(tr, workerID, incarnation)
 		if err == nil {
+			id := w.Identity()
 			p.everReady.Store(true)
-			p.setPid(workerID, w.cmd.Process.Pid)
+			p.setIdent(workerID, id)
 			p.record(obs.Event{Kind: obs.KindWorkerSpawn, Worker: workerID, Attempt: incarnation})
-			err = p.runWorker(w)
-			p.clearPid(workerID)
-			w.ensureDead()
+			if id.Remote {
+				p.bump(func(s *PoolStats) { s.Connects++ })
+				p.record(obs.Event{Kind: obs.KindWorkerConnect, Worker: workerID, Attempt: id.Epoch, Ident: id.String()})
+			}
+			err = p.runWorker(workerID, w)
+			p.clearIdent(workerID)
+			w.EnsureDead()
+			p.collectFenced(w)
 			if errors.Is(err, errPoolClosed) {
 				return
 			}
@@ -388,9 +437,15 @@ func (p *Pool) supervise(workerID int) {
 				if errors.Is(err, errHeartbeat) {
 					s.HeartbeatTimeouts++
 				}
+				if id.Remote {
+					s.Disconnects++
+				}
 			})
 			if errors.Is(err, errHeartbeat) {
 				p.record(obs.Event{Kind: obs.KindHeartbeatMiss, Worker: workerID, Err: err.Error()})
+			}
+			if id.Remote {
+				p.record(obs.Event{Kind: obs.KindWorkerDisconnect, Worker: workerID, Ident: id.String(), Err: err.Error()})
 			}
 			p.record(obs.Event{Kind: obs.KindWorkerCrash, Worker: workerID, Attempt: incarnation, Err: err.Error()})
 		} else {
@@ -398,16 +453,25 @@ func (p *Pool) supervise(workerID int) {
 				return
 			}
 			if !started && !p.everReady.Load() {
-				// The worker binary cannot even start and no worker ever
-				// could: spawning is unavailable. Retire immediately so the
-				// pool degrades to the fallback without burning the restart
-				// budget on a hopeless loop.
+				// The worker endpoint cannot even come up and no worker ever
+				// could: the transport is unavailable. Demote to the local
+				// fallback transport when there is one; otherwise retire
+				// immediately so the pool degrades to the in-process Fallback
+				// without burning the restart budget on a hopeless loop.
+				if next := p.demote(tr, workerID, err); next != nil {
+					tr, restarts = next, 0
+					continue
+				}
 				fmt.Fprintf(os.Stderr, "worker: slot %d cannot spawn (%v); degrading\n", workerID, err)
 				return
 			}
 			fmt.Fprintf(os.Stderr, "worker: slot %d spawn failed: %v\n", workerID, err)
 		}
 		if restarts >= p.opts.maxRestarts() {
+			if next := p.demote(tr, workerID, err); next != nil {
+				tr, restarts = next, 0
+				continue
+			}
 			return
 		}
 		restarts++
@@ -421,8 +485,34 @@ func (p *Pool) supervise(workerID int) {
 	}
 }
 
-// backoffDelay is the respawn delay: exponential in the consecutive restart
-// count with deterministic seeded jitter in [0.5, 1.5), capped.
+// demote switches one slot off a failed primary transport onto
+// LocalFallback, resetting its restart budget. It returns nil — keep
+// retiring — when there is no fallback or the slot is already on it.
+func (p *Pool) demote(cur Transport, workerID int, cause error) Transport {
+	lf := p.opts.LocalFallback
+	if lf == nil || cur == lf {
+		return nil
+	}
+	p.bump(func(s *PoolStats) { s.LocalFallbacks++ })
+	fmt.Fprintf(os.Stderr, "worker: slot %d: %s transport exhausted its budget (%v); degrading to %s workers\n",
+		workerID, cur.Kind(), cause, lf.Kind())
+	return lf
+}
+
+// collectFenced folds a dead connection's fenced-frame count into the pool
+// stats (remote attachments only).
+func (p *Pool) collectFenced(w Conn) {
+	f, ok := w.(interface{ StaleFrames() int64 })
+	if !ok {
+		return
+	}
+	if n := f.StaleFrames(); n > 0 {
+		p.bump(func(s *PoolStats) { s.StaleLeaseFrames += int(n) })
+	}
+}
+
+// backoffDelay is the reattach delay: exponential in the consecutive
+// restart count with deterministic seeded jitter in [0.5, 1.5), capped.
 func (p *Pool) backoffDelay(workerID, attempt int) time.Duration {
 	base := p.opts.RestartBackoff
 	if base <= 0 {
@@ -461,37 +551,38 @@ func (p *Pool) retire() {
 	})
 }
 
-func (p *Pool) setPid(workerID, pid int) {
+func (p *Pool) setIdent(workerID int, id SlotIdentity) {
 	p.mu.Lock()
-	p.pids[workerID] = pid
+	p.idents[workerID] = id
 	p.mu.Unlock()
 }
 
-func (p *Pool) clearPid(workerID int) {
+func (p *Pool) clearIdent(workerID int) {
 	p.mu.Lock()
-	delete(p.pids, workerID)
+	delete(p.idents, workerID)
 	p.mu.Unlock()
 }
 
-// runWorker serves jobs on one live worker process until the pool closes or
-// the process fails (crash, broken pipe, missed heartbeats).
-func (p *Pool) runWorker(w *proc) error {
+// runWorker serves jobs on one live worker attachment until the pool closes
+// or the attachment fails (crash, broken pipe, dropped link, missed
+// heartbeats).
+func (p *Pool) runWorker(workerID int, w Conn) error {
 	hbTimeout := p.opts.heartbeatTimeout()
 	check := time.NewTicker(checkInterval(hbTimeout))
 	defer check.Stop()
 	for {
 		select {
 		case <-p.closed:
-			w.shutdown()
+			w.Shutdown()
 			return errPoolClosed
-		case m, ok := <-w.msgs:
+		case _, ok := <-w.Msgs():
 			if !ok {
-				return fmt.Errorf("worker: process exited while idle: %w", w.waitResult())
+				return fmt.Errorf("worker: worker lost while idle: %w", w.WaitResult())
 			}
-			_ = m // proof of life already recorded by the pump
+			// Proof of life already recorded by the pump.
 		case <-check.C:
-			if w.stale(hbTimeout) {
-				w.kill()
+			if w.Stale(hbTimeout) {
+				w.Kill()
 				return errHeartbeat
 			}
 		case j := <-p.queue:
@@ -499,6 +590,14 @@ func (p *Pool) runWorker(w *proc) error {
 				continue
 			}
 			if err := p.dispatch(w, j); err != nil {
+				if id := w.Identity(); id.Remote && !errors.Is(err, errPoolClosed) && !j.finished() {
+					// The lease died with the evaluation still claimed under
+					// it: the job is re-dispatched below under whatever lease
+					// comes next, and any result the old worker still grinds
+					// out is fenced off by its stale lease ID.
+					p.bump(func(s *PoolStats) { s.LeaseExpires++ })
+					p.record(obs.Event{Kind: obs.KindLeaseExpire, Worker: workerID, Eval: int(j.id), Ident: id.String()})
+				}
 				p.requeue(j)
 				return err
 			}
@@ -510,15 +609,16 @@ func (p *Pool) runWorker(w *proc) error {
 // means the worker is healthy and idle again (even if the job itself
 // failed or was cancelled); an error means the worker is lost and the job
 // has not been answered.
-func (p *Pool) dispatch(w *proc, j *job) error {
+func (p *Pool) dispatch(w Conn, j *job) error {
 	attempt := j.dispatches.Add(1)
 	seq := p.dispatchSeq.Add(1)
-	if err := w.send(Message{Type: MsgEval, ID: j.id, Arch: j.a, Seed: j.seed}); err != nil {
+	if err := w.Send(Message{Type: MsgEval, ID: j.id, Arch: j.a, Seed: j.seed}); err != nil {
 		return fmt.Errorf("worker: dispatch write: %w", err)
 	}
 	if p.opts.KillNth > 0 && seq == int64(p.opts.KillNth) {
-		// Deterministic injected fault: SIGKILL the child mid-evaluation.
-		w.kill()
+		// Deterministic injected fault: kill the attachment mid-evaluation
+		// (SIGKILL for a subprocess, link cut for a remote agent).
+		w.Kill()
 	}
 	hbTimeout := p.opts.heartbeatTimeout()
 	check := time.NewTicker(checkInterval(hbTimeout))
@@ -527,11 +627,11 @@ func (p *Pool) dispatch(w *proc, j *job) error {
 	for {
 		select {
 		case <-p.closed:
-			w.kill()
+			w.Kill()
 			return errPoolClosed
-		case m, ok := <-w.msgs:
+		case m, ok := <-w.Msgs():
 			if !ok {
-				return fmt.Errorf("worker: process died mid-evaluation: %w", w.waitResult())
+				return fmt.Errorf("worker: worker died mid-evaluation: %w", w.WaitResult())
 			}
 			if m.Type == MsgResult && m.ID == j.id {
 				p.deliverResult(j, m, attempt)
@@ -539,8 +639,8 @@ func (p *Pool) dispatch(w *proc, j *job) error {
 			}
 			// Heartbeats and stale results from a previously cancelled job.
 		case <-check.C:
-			if w.stale(hbTimeout) {
-				w.kill()
+			if w.Stale(hbTimeout) {
+				w.Kill()
 				return errHeartbeat
 			}
 		case <-cancelDone:
@@ -549,7 +649,7 @@ func (p *Pool) dispatch(w *proc, j *job) error {
 			// for the acknowledging result so the worker returns to a known
 			// idle state; the heartbeat check still covers a wedged worker.
 			cancelDone = nil
-			if err := w.send(Message{Type: MsgCancel, ID: j.id}); err != nil {
+			if err := w.Send(Message{Type: MsgCancel, ID: j.id}); err != nil {
 				return fmt.Errorf("worker: cancel write: %w", err)
 			}
 		}
@@ -613,124 +713,32 @@ func checkInterval(hbTimeout time.Duration) time.Duration {
 	return iv
 }
 
-// proc wraps one live worker process: its pipes, its message pump, and its
-// lifecycle.
-type proc struct {
-	cmd   *exec.Cmd
-	stdin io.WriteCloser
-	fw    *frameWriter
-	msgs  chan Message // closed when the pump sees EOF
-	dying chan struct{}
-	done  chan struct{} // closed once the process is reaped
-
-	lastBeat atomic.Int64 // unix nanos of the last frame seen
-	killOnce sync.Once
-	waitErr  error
-}
-
-func (w *proc) send(m Message) error { return w.fw.send(m) }
-
-func (w *proc) stale(timeout time.Duration) bool {
-	return time.Since(time.Unix(0, w.lastBeat.Load())) > timeout
-}
-
-// kill SIGKILLs the process and tells the pump its consumer may be gone.
-func (w *proc) kill() {
-	w.killOnce.Do(func() { close(w.dying) })
-	_ = w.cmd.Process.Kill()
-}
-
-// ensureDead guarantees the process is gone and reaped.
-func (w *proc) ensureDead() {
-	w.kill()
-	<-w.done
-}
-
-// shutdown asks the worker to exit cleanly, escalating to SIGKILL.
-func (w *proc) shutdown() {
-	_ = w.send(Message{Type: MsgShutdown})
-	_ = w.stdin.Close()
-	select {
-	case <-w.done:
-	case <-time.After(2 * time.Second):
-		w.ensureDead()
-	}
-}
-
-// waitResult reports the reaped process's exit error (only meaningful after
-// msgs has closed).
-func (w *proc) waitResult() error {
-	<-w.done
-	if w.waitErr == nil {
-		return errors.New("clean exit")
-	}
-	return w.waitErr
-}
-
-// spawn starts one worker process and waits for its ready frame. started
-// reports whether the process ever launched (false = spawning itself is
-// broken, the fast-degradation signal).
-func (p *Pool) spawn(workerID, incarnation int) (w *proc, started bool, err error) {
-	cmd := p.opts.Command(workerID, incarnation)
-	if cmd == nil {
-		return nil, false, errors.New("worker: Command returned nil")
-	}
-	if cmd.Stderr == nil {
-		cmd.Stderr = os.Stderr
-	}
-	stdin, err := cmd.StdinPipe()
+// connect attaches one worker through tr and waits for its ready frame
+// under StartTimeout. started reports whether an attachment ever came up
+// (false = the endpoint itself is unavailable, the fast-degradation
+// signal).
+func (p *Pool) connect(tr Transport, workerID, incarnation int) (w Conn, started bool, err error) {
+	w, started, err = tr.Connect(workerID, incarnation, p.closed)
 	if err != nil {
-		return nil, false, err
-	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return nil, false, err
-	}
-	if err := cmd.Start(); err != nil {
-		return nil, false, fmt.Errorf("worker: starting %q: %w", cmd.Path, err)
+		return nil, started, err
 	}
 	p.bump(func(s *PoolStats) { s.Spawns++ })
-	w = &proc{
-		cmd: cmd, stdin: stdin, fw: newFrameWriter(stdin),
-		msgs: make(chan Message, 64), dying: make(chan struct{}), done: make(chan struct{}),
-	}
-	w.lastBeat.Store(time.Now().UnixNano())
-	go func() {
-		r := newFrameReader(stdout)
-		for {
-			m, err := r.next()
-			if err != nil {
-				break
-			}
-			w.lastBeat.Store(time.Now().UnixNano())
-			select {
-			case w.msgs <- m:
-			case <-w.dying:
-				// Consumer gone; keep draining so the pipe reaches EOF.
-			}
-		}
-		close(w.msgs)
-		w.waitErr = cmd.Wait()
-		close(w.done)
-	}()
-
 	ready := time.NewTimer(p.opts.startTimeout())
 	defer ready.Stop()
 	for {
 		select {
-		case m, ok := <-w.msgs:
+		case m, ok := <-w.Msgs():
 			if !ok {
-				err := fmt.Errorf("worker: exited before ready: %w", w.waitResult())
-				return nil, true, err
+				return nil, true, fmt.Errorf("worker: exited before ready: %w", w.WaitResult())
 			}
 			if m.Type == MsgReady {
 				return w, true, nil
 			}
 		case <-ready.C:
-			w.ensureDead()
+			w.EnsureDead()
 			return nil, true, fmt.Errorf("worker: not ready within %v", p.opts.startTimeout())
 		case <-p.closed:
-			w.ensureDead()
+			w.EnsureDead()
 			return nil, true, errPoolClosed
 		}
 	}

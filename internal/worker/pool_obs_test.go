@@ -1,6 +1,7 @@
 package worker_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -53,6 +54,65 @@ func TestPoolEmitsSupervisionEvents(t *testing.T) {
 	}
 	if counts[obs.KindWorkerCrash] < 1 || counts[obs.KindWorkerRestart] < 1 {
 		t.Errorf("injected kill produced no crash/restart events: %v", counts)
+	}
+}
+
+// TestPoolLocalSlotIdentities pins down the per-slot identity surface for
+// the pipe transport: every attached slot reports local:<pid>, Pids (the
+// kill-storm hook) lists exactly those pids, and nothing claims to be
+// remote.
+func TestPoolLocalSlotIdentities(t *testing.T) {
+	opts := fastPoolOptions()
+	opts.Workers = 2
+	pool, err := worker.NewPool(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if res := runPooledSearch(t, pool, 3, 4, 2, 0); len(res) != 4 {
+		t.Fatalf("budget not spent: %d of 4", len(res))
+	}
+
+	// A slot can be mid-restart (e.g. a heartbeat kill under scheduler
+	// pressure) at the instant the search returns; the pool re-attaches it
+	// on its own, so wait for a full, mutually consistent snapshot of the
+	// two identity surfaces before asserting on them.
+	var ids map[int]worker.SlotIdentity
+	pids := map[int]bool{}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ids = pool.Identities()
+		pids = map[int]bool{}
+		for _, pid := range pool.Pids() {
+			pids[pid] = true
+		}
+		consistent := len(ids) == opts.Workers && len(pids) == len(ids)
+		for _, id := range ids {
+			if !pids[id.PID] {
+				consistent = false
+			}
+		}
+		if consistent || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(ids) != opts.Workers {
+		t.Fatalf("identities = %v, want %d attached slots", ids, opts.Workers)
+	}
+	for slot, id := range ids {
+		if id.Remote || id.PID <= 0 {
+			t.Errorf("slot %d identity %+v, want a local pid", slot, id)
+		}
+		if want := fmt.Sprintf("local:%d", id.PID); id.String() != want {
+			t.Errorf("slot %d identity string %q, want %q", slot, id.String(), want)
+		}
+		if !pids[id.PID] {
+			t.Errorf("slot %d pid %d missing from Pids() %v", slot, id.PID, pool.Pids())
+		}
+	}
+	if len(pids) != len(ids) {
+		t.Errorf("Pids() lists %d processes, identities list %d", len(pids), len(ids))
 	}
 }
 

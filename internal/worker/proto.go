@@ -24,6 +24,19 @@
 //	                      {"type":"heartbeat"}          (periodic, even mid-training)
 //	                      {"type":"result","id":7,"reward":0.93}
 //
+// The same frames also run over TCP between a driver (DialTransport) and a
+// dialable worker agent (ServeListener, `nasrun -worker -listen`). A network
+// connection opens with a versioned handshake that fences the slot with a
+// lease:
+//
+//	driver → agent:  {"type":"hello","schema":1,"lease":771...,"epoch":2,"caps":["eval"]}
+//	agent → driver:  {"type":"welcome","schema":1,"lease":771...,"epoch":2,"ident":"host/4242"}
+//
+// after which the agent stamps the lease and epoch into every frame it
+// sends. The driver mints a fresh lease per (slot, reconnect-epoch) and
+// drops frames carrying any other lease, so a zombie agent still grinding a
+// superseded evaluation can never deliver its result (see DESIGN.md §9).
+//
 // Rewards cross the boundary as JSON float64, which round-trips exactly, so
 // a single-worker isolated run reproduces the in-process search history
 // bit for bit.
@@ -49,7 +62,21 @@ const (
 	MsgReady     = "ready"
 	MsgHeartbeat = "heartbeat"
 	MsgResult    = "result"
+	// Network handshake (driver → agent, then agent → driver). Pipe-spawned
+	// subprocess workers skip the handshake entirely: their channel is
+	// private to the supervisor that spawned them, so the pipe wire format
+	// stays byte-identical to earlier releases.
+	MsgHello   = "hello"
+	MsgWelcome = "welcome"
 )
+
+// ProtoSchema is the wire-protocol generation carried in the handshake. A
+// driver announces the version it speaks in its hello; an agent refuses a
+// hello from the future (it cannot know what the frames mean) and answers
+// with the version it actually speaks, which the driver checks in turn.
+// Bump it when an existing frame field changes meaning, not when fields or
+// message types are added — unknown JSON fields are ignored by both sides.
+const ProtoSchema = 1
 
 // Message is one protocol frame. Unused fields are omitted on the wire.
 type Message struct {
@@ -65,6 +92,82 @@ type Message struct {
 	Reward    float64 `json:"reward,omitempty"`
 	Err       string  `json:"err,omitempty"`
 	Transient bool    `json:"transient,omitempty"`
+
+	// Network-transport fields. Schema is the handshake protocol generation
+	// (hello/welcome). Lease and Epoch fence one slot incarnation: the
+	// driver mints them per connection, the agent echoes them in every frame
+	// it sends, and the driver drops any frame whose lease is not the one it
+	// currently holds for that slot — a zombie worker from a stale lease can
+	// never deliver a result. Ident names the agent ("host/pid") in the
+	// welcome; Caps lists what it can do (currently just "eval").
+	Schema int      `json:"schema,omitempty"`
+	Lease  uint64   `json:"lease,omitempty"`
+	Epoch  int      `json:"epoch,omitempty"`
+	Ident  string   `json:"ident,omitempty"`
+	Caps   []string `json:"caps,omitempty"`
+}
+
+// CapEval is the one capability current agents advertise: evaluating
+// architectures. Future capabilities (weight shipping, island migration)
+// extend this list without a schema bump.
+const CapEval = "eval"
+
+// LeaseID derives the fencing token for one slot incarnation. It is seeded
+// (deterministic for tests) and collision-free across the (slot, epoch)
+// pairs one pool can mint; zero — the "unleased" value pipe workers carry —
+// is never returned.
+func LeaseID(seed uint64, slot, epoch int) uint64 {
+	h := seed ^ 0x9e3779b97f4a7c15
+	h = (h ^ (uint64(slot) + 1)) * 0x100000001b3
+	h ^= h >> 29
+	h = (h ^ (uint64(epoch) + 1)) * 0x100000001b3
+	h ^= h >> 32
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+// ValidateHello checks a driver's opening frame on the agent side: the right
+// type, a schema the agent can speak, and a nonzero lease to echo. The error
+// is safe to send back to the driver verbatim.
+func ValidateHello(m Message) error {
+	if m.Type != MsgHello {
+		return fmt.Errorf("worker: handshake: expected %q frame, got %q", MsgHello, m.Type)
+	}
+	if m.Schema < 1 || m.Schema > ProtoSchema {
+		return fmt.Errorf("worker: handshake: driver speaks protocol schema %d, this agent speaks 1..%d", m.Schema, ProtoSchema)
+	}
+	if m.Lease == 0 {
+		return fmt.Errorf("worker: handshake: hello carries no lease")
+	}
+	return nil
+}
+
+// ValidateWelcome checks the agent's handshake reply on the driver side: the
+// right type, a schema within what the driver speaks, the exact lease and
+// epoch echoed back (proof the agent acknowledged the fence), and a worker
+// identity.
+func ValidateWelcome(m Message, lease uint64, epoch int) error {
+	if m.Type != MsgWelcome {
+		if m.Type == MsgHello {
+			return fmt.Errorf("worker: handshake: peer sent its own hello; two drivers dialed each other?")
+		}
+		return fmt.Errorf("worker: handshake: expected %q frame, got %q", MsgWelcome, m.Type)
+	}
+	if m.Err != "" {
+		return fmt.Errorf("worker: handshake: agent refused: %s", m.Err)
+	}
+	if m.Schema < 1 || m.Schema > ProtoSchema {
+		return fmt.Errorf("worker: handshake: agent speaks protocol schema %d, this driver speaks 1..%d", m.Schema, ProtoSchema)
+	}
+	if m.Lease != lease || m.Epoch != epoch {
+		return fmt.Errorf("worker: handshake: agent echoed lease %d epoch %d, want lease %d epoch %d", m.Lease, m.Epoch, lease, epoch)
+	}
+	if m.Ident == "" {
+		return fmt.Errorf("worker: handshake: welcome carries no worker identity")
+	}
+	return nil
 }
 
 // maxFrameBytes bounds one protocol line. Frames are tiny (an architecture

@@ -19,6 +19,12 @@ type ServeOptions struct {
 	// grinding through a long training epoch still proves liveness; only a
 	// truly dead or wedged process goes silent.
 	Heartbeat time.Duration
+	// Lease and Epoch are the fencing tokens from the connection handshake,
+	// stamped into every frame this serve loop sends so the driver can drop
+	// frames from a superseded attachment. Pipe workers leave them zero and
+	// the pipe wire format is unchanged (zero fields are omitted).
+	Lease uint64
+	Epoch int
 }
 
 func (o ServeOptions) heartbeat() time.Duration {
@@ -34,7 +40,14 @@ func (o ServeOptions) heartbeat() time.Duration {
 // the next epoch boundary. Serve returns nil on a shutdown frame or when in
 // closes (the supervisor died; there is no one left to serve).
 func Serve(in io.Reader, out io.Writer, eval search.Evaluator, opts ServeOptions) error {
-	w := newFrameWriter(out)
+	return serveFrames(newFrameReader(in), newFrameWriter(out), eval, opts)
+}
+
+// serveFrames is Serve on pre-built frame codecs, so the agent handshake
+// can hand over its reader without losing frames its scanner already
+// buffered.
+func serveFrames(r *frameReader, fw *frameWriter, eval search.Evaluator, opts ServeOptions) error {
+	w := &stampedWriter{fw: fw, lease: opts.Lease, epoch: opts.Epoch}
 	if err := w.send(Message{Type: MsgReady}); err != nil {
 		return fmt.Errorf("worker: sending ready: %w", err)
 	}
@@ -64,7 +77,6 @@ func Serve(in io.Reader, out io.Writer, eval search.Evaluator, opts ServeOptions
 		cancel  context.CancelFunc // cancels it
 		busy    bool
 	)
-	r := newFrameReader(in)
 	for {
 		m, err := r.next()
 		if errors.Is(err, io.EOF) {
@@ -104,6 +116,19 @@ func Serve(in io.Reader, out io.Writer, eval search.Evaluator, opts ServeOptions
 			}(m, ctx, cf)
 		}
 	}
+}
+
+// stampedWriter stamps the serve loop's lease and epoch into every outbound
+// frame before handing it to the shared frameWriter.
+type stampedWriter struct {
+	fw    *frameWriter
+	lease uint64
+	epoch int
+}
+
+func (w *stampedWriter) send(m Message) error {
+	m.Lease, m.Epoch = w.lease, w.epoch
+	return w.fw.send(m)
 }
 
 // runEval executes one evaluation with panic recovery and encodes the

@@ -1,0 +1,405 @@
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlotIdentity describes what currently backs one pool slot: a subprocess
+// spawned over pipes, or a leased network connection to a remote agent.
+type SlotIdentity struct {
+	// Remote distinguishes network-attached workers from local subprocesses.
+	Remote bool
+	// PID is the subprocess id (local slots only).
+	PID int
+	// Addr, Lease, and Epoch identify the connection (remote slots only):
+	// the agent address, the fencing lease the driver minted for this
+	// attachment, and the slot's reconnect epoch.
+	Addr  string
+	Lease uint64
+	Epoch int
+	// Name is the agent's self-reported identity from the welcome frame.
+	Name string
+}
+
+// String renders the stable identity form used in stats, events, and tests:
+// "local:<pid>" or "remote:<addr>#<lease>".
+func (id SlotIdentity) String() string {
+	if id.Remote {
+		return fmt.Sprintf("remote:%s#%d", id.Addr, id.Lease)
+	}
+	return fmt.Sprintf("local:%d", id.PID)
+}
+
+// Conn is one live worker attachment being driven by the supervision loop.
+// Both transports satisfy it, so heartbeat liveness, crash detection,
+// restart budgets, speculation, and CrashLimit apply identically to a
+// subprocess over pipes and an agent over TCP.
+type Conn interface {
+	// Send writes one frame; an error means the peer is lost.
+	Send(Message) error
+	// Msgs yields inbound frames and is closed when the peer is gone.
+	Msgs() <-chan Message
+	// Stale reports no proof of life (no valid frame) within timeout.
+	Stale(timeout time.Duration) bool
+	// Kill force-terminates the attachment: SIGKILL for a subprocess,
+	// connection close for a network peer (the agent process survives).
+	Kill()
+	// EnsureDead kills and waits until the attachment is fully reaped.
+	EnsureDead()
+	// Shutdown asks the worker to finish cleanly, escalating to Kill.
+	Shutdown()
+	// WaitResult reports the terminal error (meaningful after Msgs closed).
+	WaitResult() error
+	// Identity reports what backs the slot right now.
+	Identity() SlotIdentity
+}
+
+// Transport establishes worker attachments for pool slots. Connect blocks
+// until the worker is attached (process started and pumping, or connection
+// handshaken) but not until it is ready — the pool waits for the ready
+// frame itself, under StartTimeout, for both transports. started reports
+// whether a process/connection ever came up: false means the endpoint is
+// entirely unavailable, the pool's fast-degradation signal. cancel aborts a
+// connect attempt when the pool closes.
+type Transport interface {
+	Connect(workerID, incarnation int, cancel <-chan struct{}) (conn Conn, started bool, err error)
+	// Kind is a short label for logs: "pipe" or "tcp".
+	Kind() string
+}
+
+// PipeTransport spawns worker subprocesses and attaches to them over
+// stdin/stdout — the original single-machine transport.
+type PipeTransport struct {
+	// Command builds the exec.Cmd for one worker process (see
+	// PoolOptions.Command).
+	Command func(workerID, incarnation int) *exec.Cmd
+}
+
+// Kind implements Transport.
+func (t *PipeTransport) Kind() string { return "pipe" }
+
+// Connect implements Transport: start the subprocess and its frame pump.
+func (t *PipeTransport) Connect(workerID, incarnation int, cancel <-chan struct{}) (Conn, bool, error) {
+	if t.Command == nil {
+		return nil, false, errors.New("worker: PipeTransport needs a Command")
+	}
+	cmd := t.Command(workerID, incarnation)
+	if cmd == nil {
+		return nil, false, errors.New("worker: Command returned nil")
+	}
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, false, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, false, fmt.Errorf("worker: starting %q: %w", cmd.Path, err)
+	}
+	w := &proc{
+		cmd: cmd, stdin: stdin, fw: newFrameWriter(stdin),
+		msgs: make(chan Message, 64), dying: make(chan struct{}), done: make(chan struct{}),
+	}
+	w.lastBeat.Store(time.Now().UnixNano())
+	go func() {
+		r := newFrameReader(stdout)
+		for {
+			m, err := r.next()
+			if err != nil {
+				break
+			}
+			w.lastBeat.Store(time.Now().UnixNano())
+			select {
+			case w.msgs <- m:
+			case <-w.dying:
+				// Consumer gone; keep draining so the pipe reaches EOF.
+			}
+		}
+		close(w.msgs)
+		w.waitErr = cmd.Wait()
+		close(w.done)
+	}()
+	return w, true, nil
+}
+
+// proc wraps one live worker subprocess: its pipes, its message pump, and
+// its lifecycle.
+type proc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	fw    *frameWriter
+	msgs  chan Message // closed when the pump sees EOF
+	dying chan struct{}
+	done  chan struct{} // closed once the process is reaped
+
+	lastBeat atomic.Int64 // unix nanos of the last frame seen
+	killOnce sync.Once
+	waitErr  error
+}
+
+func (w *proc) Send(m Message) error { return w.fw.send(m) }
+
+func (w *proc) Msgs() <-chan Message { return w.msgs }
+
+func (w *proc) Identity() SlotIdentity {
+	return SlotIdentity{PID: w.cmd.Process.Pid}
+}
+
+func (w *proc) Stale(timeout time.Duration) bool {
+	return time.Since(time.Unix(0, w.lastBeat.Load())) > timeout
+}
+
+// Kill SIGKILLs the process and tells the pump its consumer may be gone.
+func (w *proc) Kill() {
+	w.killOnce.Do(func() { close(w.dying) })
+	_ = w.cmd.Process.Kill()
+}
+
+// EnsureDead guarantees the process is gone and reaped.
+func (w *proc) EnsureDead() {
+	w.Kill()
+	<-w.done
+}
+
+// Shutdown asks the worker to exit cleanly, escalating to SIGKILL.
+func (w *proc) Shutdown() {
+	_ = w.Send(Message{Type: MsgShutdown})
+	_ = w.stdin.Close()
+	select {
+	case <-w.done:
+	case <-time.After(2 * time.Second):
+		w.EnsureDead()
+	}
+}
+
+// WaitResult reports the reaped process's exit error (only meaningful after
+// msgs has closed).
+func (w *proc) WaitResult() error {
+	<-w.done
+	if w.waitErr == nil {
+		return errors.New("clean exit")
+	}
+	return w.waitErr
+}
+
+// netWriteTimeout bounds one frame write to a network peer, so a driver
+// never wedges on a half-dead connection whose receive window filled up;
+// the frames are tiny, so a healthy peer acknowledges far sooner.
+const netWriteTimeout = 30 * time.Second
+
+// DialTransport attaches pool slots to remote worker agents over TCP (see
+// ServeListener for the agent side). Each slot dials Addrs[slot mod
+// len(Addrs)], so a pool spreads its slots round-robin over the fleet. Every
+// connection opens with a versioned hello/welcome handshake that fences the
+// attachment with a lease (LeaseID of Seed, slot, and the reconnect epoch):
+// the agent echoes the lease in every frame, and the driver discards frames
+// carrying any other lease, so a zombie worker from a superseded connection
+// can never deliver a result. Connection loss is handled by the pool's
+// ordinary supervision: seeded-backoff reconnect (a fresh epoch, a fresh
+// lease) and re-dispatch of whatever was in flight.
+type DialTransport struct {
+	// Addrs are the agent addresses ("host:port"); at least one.
+	Addrs []string
+	// DialTimeout bounds one TCP connect attempt (default 5s).
+	DialTimeout time.Duration
+	// HandshakeTimeout bounds the hello/welcome exchange (default 10s).
+	HandshakeTimeout time.Duration
+	// ReadTimeout, when positive, is a per-read deadline on the live
+	// connection — a transport-level dead-peer bound underneath the
+	// application-level heartbeat liveness check. It must exceed the pool's
+	// heartbeat timeout or healthy idle links get cut. 0 disables it.
+	ReadTimeout time.Duration
+	// Seed derives the deterministic lease IDs.
+	Seed uint64
+}
+
+func (t *DialTransport) dialTimeout() time.Duration {
+	if t.DialTimeout > 0 {
+		return t.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+func (t *DialTransport) handshakeTimeout() time.Duration {
+	if t.HandshakeTimeout > 0 {
+		return t.HandshakeTimeout
+	}
+	return 10 * time.Second
+}
+
+// Kind implements Transport.
+func (t *DialTransport) Kind() string { return "tcp" }
+
+// Connect implements Transport: dial, handshake, lease, pump.
+func (t *DialTransport) Connect(workerID, incarnation int, cancel <-chan struct{}) (Conn, bool, error) {
+	if len(t.Addrs) == 0 {
+		return nil, false, errors.New("worker: DialTransport has no agent addresses")
+	}
+	addr := t.Addrs[workerID%len(t.Addrs)]
+	ctx, stop := context.WithTimeout(context.Background(), t.dialTimeout())
+	defer stop()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-cancel:
+			stop()
+		case <-watchDone:
+		}
+	}()
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		// A refused or timed-out dial means the endpoint is unavailable —
+		// started=false, the fast-degradation signal, mirroring a worker
+		// binary that cannot even start.
+		return nil, false, fmt.Errorf("worker: dial %s: %w", addr, err)
+	}
+	lease := LeaseID(t.Seed, workerID, incarnation)
+	fw := newFrameWriter(c)
+	dr := &deadlineReader{c: c}
+	r := newFrameReader(dr)
+	_ = c.SetDeadline(time.Now().Add(t.handshakeTimeout()))
+	hello := Message{Type: MsgHello, Schema: ProtoSchema, Lease: lease, Epoch: incarnation, Caps: []string{CapEval}}
+	if err := fw.send(hello); err != nil {
+		_ = c.Close()
+		return nil, true, fmt.Errorf("worker: handshake with %s: sending hello: %w", addr, err)
+	}
+	m, err := r.next()
+	if err != nil {
+		_ = c.Close()
+		return nil, true, fmt.Errorf("worker: handshake with %s: %w", addr, err)
+	}
+	if err := ValidateWelcome(m, lease, incarnation); err != nil {
+		_ = c.Close()
+		return nil, true, fmt.Errorf("%w (agent %s)", err, addr)
+	}
+	_ = c.SetDeadline(time.Time{})
+	dr.timeout = t.ReadTimeout
+	w := &netConn{
+		c: c, fw: fw,
+		msgs: make(chan Message, 64), dying: make(chan struct{}), done: make(chan struct{}),
+		id: SlotIdentity{Remote: true, Addr: addr, Lease: lease, Epoch: incarnation, Name: m.Ident},
+	}
+	w.lastBeat.Store(time.Now().UnixNano())
+	go func() {
+		for {
+			m, err := r.next()
+			if err != nil {
+				w.waitErr = err
+				break
+			}
+			if m.Lease != lease {
+				// Fencing: a frame from some other lease (a zombie serve loop,
+				// a confused agent) is not proof of life and must never reach
+				// the supervision loop as a deliverable result.
+				w.staleFrames.Add(1)
+				continue
+			}
+			w.lastBeat.Store(time.Now().UnixNano())
+			select {
+			case w.msgs <- m:
+			case <-w.dying:
+				// Consumer gone; keep draining until the peer closes.
+			}
+		}
+		close(w.msgs)
+		close(w.done)
+	}()
+	return w, true, nil
+}
+
+// deadlineReader arms a fresh read deadline before every Read, turning
+// net.Conn's absolute deadlines into the per-read timeout DialTransport
+// exposes. timeout is written once, before the pump goroutine starts.
+type deadlineReader struct {
+	c       net.Conn
+	timeout time.Duration
+}
+
+func (r *deadlineReader) Read(p []byte) (int, error) {
+	if r.timeout > 0 {
+		_ = r.c.SetReadDeadline(time.Now().Add(r.timeout))
+	}
+	return r.c.Read(p)
+}
+
+// netConn is one leased TCP attachment to a remote agent.
+type netConn struct {
+	c     net.Conn
+	fw    *frameWriter
+	msgs  chan Message // closed when the pump sees a terminal read error
+	dying chan struct{}
+	done  chan struct{}
+
+	lastBeat    atomic.Int64 // unix nanos of the last valid-lease frame
+	staleFrames atomic.Int64 // frames dropped for carrying a foreign lease
+	killOnce    sync.Once
+	waitErr     error // set by the pump before done closes
+	id          SlotIdentity
+}
+
+func (w *netConn) Send(m Message) error {
+	_ = w.c.SetWriteDeadline(time.Now().Add(netWriteTimeout))
+	return w.fw.send(m)
+}
+
+func (w *netConn) Msgs() <-chan Message { return w.msgs }
+
+func (w *netConn) Identity() SlotIdentity { return w.id }
+
+// StaleFrames reports how many inbound frames this connection fenced off
+// for carrying a lease other than its own.
+func (w *netConn) StaleFrames() int64 { return w.staleFrames.Load() }
+
+func (w *netConn) Stale(timeout time.Duration) bool {
+	return time.Since(time.Unix(0, w.lastBeat.Load())) > timeout
+}
+
+// Kill severs the connection. The agent process keeps running and keeps
+// accepting new connections; only this lease dies.
+func (w *netConn) Kill() {
+	w.killOnce.Do(func() { close(w.dying) })
+	_ = w.c.Close()
+}
+
+// EnsureDead severs the connection and waits for the pump to drain.
+func (w *netConn) EnsureDead() {
+	w.Kill()
+	<-w.done
+}
+
+// Shutdown tells the agent this lease is done (its serve loop for this
+// connection exits; the agent itself keeps listening) and closes the link.
+func (w *netConn) Shutdown() {
+	_ = w.Send(Message{Type: MsgShutdown})
+	select {
+	case <-w.done:
+	case <-time.After(2 * time.Second):
+	}
+	w.EnsureDead()
+}
+
+// WaitResult reports why the connection ended (only meaningful after Msgs
+// closed).
+func (w *netConn) WaitResult() error {
+	<-w.done
+	if w.waitErr == nil || errors.Is(w.waitErr, io.EOF) {
+		return errors.New("connection closed")
+	}
+	return w.waitErr
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/exec"
 	"strconv"
@@ -41,6 +42,23 @@ func helperMain() {
 	}
 	if rate := envFloat("HELPER_KILLRATE", 0); rate > 0 {
 		ev = &search.FaultInjector{Inner: ev, Seed: envUint("HELPER_KILLSEED", 0), KillRate: rate}
+	}
+	if addr := os.Getenv("HELPER_LISTEN"); addr != "" {
+		// Agent mode: a dialable TCP worker instead of a pipe worker. The
+		// LISTENING line on stdout tells the babysitting test the port is
+		// bound, so it can respawn storm-killed agents without racing the
+		// driver's reconnect dials.
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "helper agent:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("LISTENING %s\n", ln.Addr())
+		if err := worker.ServeListener(context.Background(), ln, ev, worker.AgentOptions{Heartbeat: hb}); err != nil {
+			fmt.Fprintln(os.Stderr, "helper agent:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
 	}
 	if err := worker.Serve(os.Stdin, os.Stdout, ev, worker.ServeOptions{Heartbeat: hb}); err != nil {
 		fmt.Fprintln(os.Stderr, "helper worker:", err)
