@@ -1,0 +1,263 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"podnas/internal/jobs"
+)
+
+// TestMain doubles as the daemon entry point: when re-executed with
+// NASD_HELPER=1 the test binary runs nasd's real main(), so the kill and
+// drain tests exercise the same process lifecycle (flock, signal handling,
+// exit codes) as a production daemon.
+func TestMain(m *testing.M) {
+	if os.Getenv("NASD_HELPER") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one re-executed nasd incarnation plus the client plumbing to
+// talk to it.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+	logs *bytes.Buffer
+}
+
+// startDaemon launches the test binary as nasd over dir and waits until the
+// API answers /healthz. Each incarnation writes its bound address to its own
+// file so a restart never reads the predecessor's stale address.
+func startDaemon(t *testing.T, dir string, tag string, extra ...string) *daemon {
+	t.Helper()
+	addrFile := filepath.Join(dir, "addr-"+tag)
+	args := append([]string{
+		"-listen", "127.0.0.1:0",
+		"-dir", dir,
+		"-addrfile", addrFile,
+		"-grid", "small",
+		"-maxrunning", "2",
+		"-draintimeout", "30s",
+	}, extra...)
+	d := &daemon{logs: &bytes.Buffer{}}
+	d.cmd = exec.Command(os.Args[0], args...)
+	d.cmd.Env = append(os.Environ(), "NASD_HELPER=1")
+	d.cmd.Stdout = d.logs
+	d.cmd.Stderr = d.logs
+	if err := d.cmd.Start(); err != nil {
+		t.Fatalf("start daemon: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			d.addr = strings.TrimSpace(string(b))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if d.addr == "" {
+		t.Fatalf("daemon never wrote %s; logs:\n%s", addrFile, d.logs)
+	}
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.url("/healthz"))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never became healthy; logs:\n%s", d.addr, d.logs)
+	return nil
+}
+
+func (d *daemon) url(path string) string { return "http://" + d.addr + path }
+
+// submit POSTs a job spec and returns the created job.
+func (d *daemon) submit(t *testing.T, spec string) jobs.Job {
+	t.Helper()
+	resp, err := http.Post(d.url("/jobs"), "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var j jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("decode job: %v", err)
+	}
+	return j
+}
+
+// get fetches one job's status.
+func (d *daemon) get(t *testing.T, id string) jobs.Job {
+	t.Helper()
+	resp, err := http.Get(d.url("/jobs/" + id))
+	if err != nil {
+		t.Fatalf("get %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get %s: status %d", id, resp.StatusCode)
+	}
+	var j jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("decode job: %v", err)
+	}
+	return j
+}
+
+// waitDone polls a job until it reaches the done state.
+func (d *daemon) waitDone(t *testing.T, id string, timeout time.Duration) jobs.Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		j := d.get(t, id)
+		switch j.State {
+		case jobs.StateDone:
+			return j
+		case jobs.StateFailed, jobs.StateCancelled, jobs.StatePaused:
+			t.Fatalf("job %s reached %s (%q), want done; logs:\n%s", id, j.State, j.Error, d.logs)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	j := d.get(t, id)
+	t.Fatalf("job %s still %s after %v; logs:\n%s", id, j.State, timeout, d.logs)
+	return jobs.Job{}
+}
+
+// waitCheckpoint polls until the job has persisted a search checkpoint —
+// proof at least one evaluation completed and durable resume state exists.
+func waitCheckpoint(t *testing.T, dir, id string) {
+	t.Helper()
+	path := filepath.Join(dir, id+".ck.json")
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never wrote a checkpoint at %s", id, path)
+}
+
+// TestKillDashNineRestartResumes is the crash-safety acceptance walk:
+// a daemon with two in-flight jobs is SIGKILLed after both have durable
+// checkpoints, a fresh incarnation over the same state directory re-admits
+// them, and both finish exactly once with results surviving further
+// restarts of nothing (the terminal manifests are durable).
+func TestKillDashNineRestartResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process kill/restart walk")
+	}
+	dir := t.TempDir()
+	d1 := startDaemon(t, dir, "1")
+	defer d1.cmd.Process.Kill()
+
+	spec := `{"method":"rs","evals":4,"epochs":1,"workers":1,"seed":%d}`
+	j1 := d1.submit(t, fmt.Sprintf(spec, 3))
+	j2 := d1.submit(t, fmt.Sprintf(spec, 4))
+	waitCheckpoint(t, dir, j1.ID)
+	waitCheckpoint(t, dir, j2.ID)
+
+	if err := d1.cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatalf("kill: %v", err)
+	}
+	_ = d1.cmd.Wait()
+
+	d2 := startDaemon(t, dir, "2")
+	defer d2.cmd.Process.Kill()
+	var done [2]jobs.Job
+	for i, id := range []string{j1.ID, j2.ID} {
+		done[i] = d2.waitDone(t, id, 2*time.Minute)
+	}
+	for _, j := range done {
+		if j.Result == nil || j.Result.Evals != 4 || j.Result.BestArch == "" {
+			t.Fatalf("job %s resumed badly: %+v", j.ID, j.Result)
+		}
+		if j.Attempt < 2 {
+			t.Fatalf("job %s finished on attempt %d; a post-crash completion must be a re-admission", j.ID, j.Attempt)
+		}
+		// Exactly-once: the settled result is stable across reads.
+		again := d2.get(t, j.ID)
+		if again.Result == nil || *again.Result != *j.Result || !again.FinishedAt.Equal(j.FinishedAt) {
+			t.Fatalf("job %s result not stable: %+v vs %+v", j.ID, again.Result, j.Result)
+		}
+	}
+
+	// The per-job traces must have survived the crash as analyzable JSONL:
+	// first line a header carrying the job ID.
+	for _, j := range done {
+		resp, err := http.Get(d2.url("/jobs/" + j.ID + "/trace"))
+		if err != nil {
+			t.Fatalf("trace: %v", err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		line, _, _ := strings.Cut(buf.String(), "\n")
+		var first struct {
+			Kind string `json:"kind"`
+			Job  string `json:"job"`
+		}
+		if err := json.Unmarshal([]byte(line), &first); err != nil || first.Kind != "trace_header" || first.Job != j.ID {
+			t.Fatalf("trace head %q (err %v), want header for %s", line, err, j.ID)
+		}
+	}
+}
+
+// TestSigtermDrainExitsZero checks graceful degradation at shutdown: SIGTERM
+// while a job is mid-run checkpoints and re-queues the job durably, and the
+// process exits 0 so supervisors do not treat a routine drain as a crash.
+func TestSigtermDrainExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process drain walk")
+	}
+	dir := t.TempDir()
+	d := startDaemon(t, dir, "1")
+	defer d.cmd.Process.Kill()
+
+	// A job too long to finish before the drain: the daemon must evict it.
+	j := d.submit(t, `{"method":"rs","evals":500,"epochs":2,"workers":1,"seed":5}`)
+	waitCheckpoint(t, dir, j.ID)
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("sigterm: %v", err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("drain exited non-zero: %v; logs:\n%s", err, d.logs)
+	}
+
+	// The evicted job must be durably re-queued with its progress intact.
+	st, err := jobs.NewStore(dir)
+	if err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	after, err := st.Load(j.ID)
+	if err != nil {
+		t.Fatalf("load after drain: %v", err)
+	}
+	if after.State != jobs.StateQueued {
+		t.Fatalf("drained job state %s, want queued", after.State)
+	}
+	if after.Evals < 1 {
+		t.Fatalf("drained job lost its progress: %+v", after)
+	}
+	if _, err := os.Stat(filepath.Join(dir, j.ID+".ck.json")); err != nil {
+		t.Fatalf("drained job checkpoint missing: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"podnas/internal/obs"
+	"podnas/internal/obs/replay"
+)
+
+// traceBytes builds a tiny finished-run trace through the real JSONL sink.
+func traceBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	j := obs.NewJSONL(&buf)
+	j.Record(obs.NewHeader("rs", 1, 2, "test"))
+	j.Record(obs.Event{Kind: obs.KindSearchStart, Method: "rs", Worker: 2})
+	j.Record(obs.Event{Kind: obs.KindEvalStart, Eval: 0, Worker: 0, Arch: "a"})
+	j.Record(obs.Event{Kind: obs.KindEvalFinish, Eval: 0, Reward: 0.5, Arch: "a"})
+	j.Record(obs.Event{Kind: obs.KindSearchFinish, Eval: 1})
+	if err := j.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestAnalyzeSourceHTTP(t *testing.T) {
+	data := traceBytes(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/jobs/j1/trace" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		_, _ = w.Write(data)
+	}))
+	defer srv.Close()
+
+	a, err := analyzeSource(srv.URL+"/jobs/j1/trace", replay.Options{})
+	if err != nil {
+		t.Fatalf("analyze over http: %v", err)
+	}
+	if !a.Finished || a.Snapshot.Evals != 1 || a.Method != "rs" {
+		t.Fatalf("bad analysis: finished=%v evals=%d method=%q", a.Finished, a.Snapshot.Evals, a.Method)
+	}
+
+	if _, err := analyzeSource(srv.URL+"/jobs/missing/trace", replay.Options{}); err == nil {
+		t.Fatalf("404 trace analyzed without error")
+	}
+}
+
+func TestAnalyzeSourceFileStillWorks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, traceBytes(t), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	a, err := analyzeSource(path, replay.Options{})
+	if err != nil {
+		t.Fatalf("analyze file: %v", err)
+	}
+	if a.Snapshot.Evals != 1 {
+		t.Fatalf("evals %d, want 1", a.Snapshot.Evals)
+	}
+}

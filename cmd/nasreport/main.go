@@ -19,8 +19,12 @@
 // regression thresholds (negative values disable a check) and prints the
 // delta table; it is the CI gate.
 //
-// tail follows a live trace file, re-analyzing on an interval and printing
+// tail follows a live trace, re-analyzing on an interval and printing
 // a one-line summary until the run finishes.
+//
+// Every trace argument may be a local file or an http(s):// URL — in
+// particular a running nasd daemon's per-job trace endpoint, e.g.
+// `nasreport tail http://127.0.0.1:8765/jobs/<id>/trace`.
 //
 // Exit codes: 0 success (diff: no regression), 1 diff found a regression,
 // 2 usage error, 3 runtime error (unreadable trace, schema violation,
@@ -31,6 +35,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -87,8 +92,26 @@ func analysisFlags(fs *flag.FlagSet) *replay.Options {
 	return o
 }
 
+// analyzeSource analyzes a trace from a local file or an http(s):// URL —
+// nasd's per-job trace endpoint (GET /jobs/{id}/trace) — so report, diff,
+// and tail all work directly against a running daemon.
+func analyzeSource(src string, opts replay.Options) (*replay.Analysis, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		return replay.Analyze(resp.Body, opts)
+	}
+	return replay.AnalyzeFile(src, opts)
+}
+
 func analyze(path string, opts replay.Options) (*replay.Analysis, int) {
-	a, err := replay.AnalyzeFile(path, opts)
+	a, err := analyzeSource(path, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nasreport: %s: %v\n", path, err)
 		return nil, exitRuntime
@@ -303,7 +326,7 @@ func cmdTail(args []string) int {
 	}
 	path := fs.Arg(0)
 	for {
-		a, err := replay.AnalyzeFile(path, *opts)
+		a, err := analyzeSource(path, *opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nasreport: %s: %v\n", path, err)
 			return exitRuntime

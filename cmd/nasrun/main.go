@@ -44,69 +44,40 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
-	"os/exec"
 	"os/signal"
 	"sort"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	"podnas"
+	"podnas/internal/cli"
 	"podnas/internal/obs"
 	"podnas/internal/search"
 	"podnas/internal/worker"
-)
-
-// Exit codes, so schedulers and shell scripts can branch on the failure
-// class (documented in the package comment).
-const (
-	exitFailure    = 1
-	exitUsage      = 2
-	exitCheckpoint = 3
-	exitInterrupt  = 4
-	exitBudget     = 5
 )
 
 // obsCleanup flushes the -trace sink before any exit path; log.Fatal-style
 // exits skip defers, so fatal routes through it explicitly.
 var obsCleanup = func() {}
 
-// exitCode maps an error onto the documented exit codes via the podnas
-// sentinels.
-func exitCode(err error) int {
-	switch {
-	case errors.Is(err, podnas.ErrBadMethod), errors.Is(err, podnas.ErrBadOptions):
-		return exitUsage
-	case errors.Is(err, podnas.ErrBadCheckpoint):
-		return exitCheckpoint
-	case errors.Is(err, podnas.ErrInterrupted):
-		return exitInterrupt
-	case errors.Is(err, podnas.ErrBudgetExhausted):
-		return exitBudget
-	}
-	return exitFailure
-}
-
 // fatal reports err and exits with its mapped code, flushing the trace sink
 // first so the event log survives the failure it explains.
 func fatal(err error) {
 	obsCleanup()
 	log.Print(err)
-	os.Exit(exitCode(err))
+	os.Exit(cli.ExitCode(err))
 }
 
 // fatalUsage reports a flag/usage error and exits with the usage code.
 func fatalUsage(format string, args ...any) {
 	obsCleanup()
 	log.Printf(format, args...)
-	os.Exit(exitUsage)
+	os.Exit(cli.ExitUsage)
 }
 
 func main() {
@@ -319,7 +290,7 @@ func main() {
 			Fallback: fallback, Recorder: rec,
 		}
 		if *connect != "" {
-			addrs := splitAddrs(*connect)
+			addrs := cli.SplitAddrs(*connect)
 			if len(addrs) == 0 {
 				fatalUsage("-connect: no agent addresses in %q", *connect)
 			}
@@ -331,12 +302,12 @@ func main() {
 			// only if those cannot spawn either does the pool serve
 			// evaluations in-process via Fallback.
 			popts.LocalFallback = &worker.PipeTransport{
-				Command: localWorkerCommand(exe, *grid, *epochs, *heartbeat, 0, 0),
+				Command: cli.WorkerCommand(exe, *grid, *epochs, *heartbeat, 0, 0),
 			}
 			fmt.Printf("distributed evaluation: %d slots over %d agent(s) %v, heartbeat %v, restart budget %d\n",
 				*workers, len(addrs), addrs, *heartbeat, *maxRestarts)
 		} else {
-			popts.Command = localWorkerCommand(exe, *grid, *epochs, *heartbeat, *faultKill, killBase)
+			popts.Command = cli.WorkerCommand(exe, *grid, *epochs, *heartbeat, *faultKill, killBase)
 			fmt.Printf("isolated evaluation: %d worker processes, heartbeat %v, restart budget %d\n",
 				*workers, *heartbeat, *maxRestarts)
 		}
@@ -433,38 +404,6 @@ func main() {
 			m.ValR2(), m.TrainR2(), m.TestR2(), m.ParamCount())
 		saveTrained(m, *saveModel)
 	}
-}
-
-// localWorkerCommand builds the exec.Cmd factory for pipe-spawned local
-// workers: this binary re-executed in -worker mode.
-func localWorkerCommand(exe, grid string, epochs int, heartbeat time.Duration, faultKill float64, killBase uint64) func(int, int) *exec.Cmd {
-	return func(id, incarnation int) *exec.Cmd {
-		args := []string{
-			"-worker", "-grid", grid,
-			"-epochs", strconv.Itoa(epochs),
-			"-heartbeat", heartbeat.String(),
-		}
-		if faultKill > 0 {
-			// Perturb the fault seed per incarnation so a restarted
-			// worker does not re-draw the same fatal decision forever.
-			fs := killBase + uint64(id)*1000 + uint64(incarnation)*7919
-			args = append(args,
-				"-faultkill", strconv.FormatFloat(faultKill, 'g', -1, 64),
-				"-faultseed", strconv.FormatUint(fs, 10))
-		}
-		return exec.Command(exe, args...)
-	}
-}
-
-// splitAddrs parses the -connect list: comma-separated, blanks tolerated.
-func splitAddrs(s string) []string {
-	var out []string
-	for _, a := range strings.Split(s, ",") {
-		if a = strings.TrimSpace(a); a != "" {
-			out = append(out, a)
-		}
-	}
-	return out
 }
 
 // runAgentMode is the serving half of -connect: build the same pipeline and

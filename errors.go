@@ -3,6 +3,7 @@ package podnas
 import (
 	"errors"
 
+	"podnas/internal/jobs"
 	"podnas/internal/search"
 )
 
@@ -25,4 +26,9 @@ var (
 	// ErrInterrupted reports a search cancelled (context/deadline) before
 	// any evaluation succeeded.
 	ErrInterrupted = errors.New("search interrupted")
+	// ErrUnavailable reports a nasd daemon refusing work: the admission
+	// queue is full, a drain is in progress, or another daemon instance
+	// already owns the state directory. Clients should back off and retry
+	// (the HTTP API sends Retry-After guidance).
+	ErrUnavailable = jobs.ErrUnavailable
 )

@@ -1,0 +1,78 @@
+// Package cli holds the flag plumbing and error→exit-code policy shared by
+// the podnas command-line binaries (nasrun, nasd), so the two front ends
+// cannot drift apart on what an exit status means or how a worker
+// subprocess is spawned.
+package cli
+
+import (
+	"errors"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"podnas"
+)
+
+// Exit codes, common to every podnas binary. Schedulers and shell scripts
+// branch on the failure class.
+const (
+	ExitFailure     = 1 // generic runtime failure
+	ExitUsage       = 2 // bad flags, unknown method, invalid options
+	ExitCheckpoint  = 3 // unreadable or corrupted checkpoint
+	ExitInterrupt   = 4 // interrupted before any evaluation succeeded
+	ExitBudget      = 5 // evaluation budget exhausted without a success
+	ExitUnavailable = 6 // daemon unavailable: queue full, draining, or state dir already owned
+)
+
+// ExitCode maps an error onto the documented exit codes via the podnas
+// sentinels.
+func ExitCode(err error) int {
+	switch {
+	case errors.Is(err, podnas.ErrBadMethod), errors.Is(err, podnas.ErrBadOptions):
+		return ExitUsage
+	case errors.Is(err, podnas.ErrBadCheckpoint):
+		return ExitCheckpoint
+	case errors.Is(err, podnas.ErrInterrupted):
+		return ExitInterrupt
+	case errors.Is(err, podnas.ErrBudgetExhausted):
+		return ExitBudget
+	case errors.Is(err, podnas.ErrUnavailable):
+		return ExitUnavailable
+	}
+	return ExitFailure
+}
+
+// SplitAddrs parses a -connect list: comma-separated, blanks tolerated.
+func SplitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// WorkerCommand builds the exec.Cmd factory for pipe-spawned local workers:
+// the nasrun binary at exe re-executed in -worker mode. Both nasrun
+// -isolate and nasd's subprocess rung spawn workers through it, so the
+// worker command line has one definition.
+func WorkerCommand(exe, grid string, epochs int, heartbeat time.Duration, faultKill float64, killBase uint64) func(int, int) *exec.Cmd {
+	return func(id, incarnation int) *exec.Cmd {
+		args := []string{
+			"-worker", "-grid", grid,
+			"-epochs", strconv.Itoa(epochs),
+			"-heartbeat", heartbeat.String(),
+		}
+		if faultKill > 0 {
+			// Perturb the fault seed per incarnation so a restarted
+			// worker does not re-draw the same fatal decision forever.
+			fs := killBase + uint64(id)*1000 + uint64(incarnation)*7919
+			args = append(args,
+				"-faultkill", strconv.FormatFloat(faultKill, 'g', -1, 64),
+				"-faultseed", strconv.FormatUint(fs, 10))
+		}
+		return exec.Command(exe, args...)
+	}
+}

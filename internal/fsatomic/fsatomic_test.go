@@ -1,0 +1,74 @@
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "state.json")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("read back %q, want %q", got, "v1")
+	}
+	// Overwrite: readers must see old-or-new, and the temp file must not
+	// linger.
+	if err := WriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("read back %q, want %q", got, "v2")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// TestWriteFileSyncs asserts the durability contract directly: one write
+// must issue at least two fsyncs — the temp file's data before the rename,
+// and the parent directory after it — not merely rename atomically.
+func TestWriteFileSyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	before := SyncCount()
+	if err := WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := SyncCount() - before; got < 2 {
+		t.Fatalf("WriteFile issued %d fsyncs, want >= 2 (temp file + parent dir)", got)
+	}
+}
+
+func TestWriteFileErrorKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Make the directory unwritable so the temp-file create fails; the
+	// committed content must be untouched.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if os.Geteuid() != 0 { // root ignores permission bits; skip the failure half
+		if err := WriteFile(path, []byte("new"), 0o644); err == nil {
+			t.Fatal("write into read-only dir unexpectedly succeeded")
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "old" {
+			t.Fatalf("failed write corrupted the file: %q", got)
+		}
+	}
+}

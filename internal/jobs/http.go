@@ -1,0 +1,181 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+)
+
+// API wires a Manager to HTTP. Routes (all JSON):
+//
+//	POST /jobs             submit a Spec → 201 Job; 429 + Retry-After when
+//	                       the queue is full or the daemon is draining
+//	GET  /jobs             list all jobs
+//	GET  /jobs/{id}        one job's status
+//	POST /jobs/{id}/cancel cancel a job
+//	GET  /jobs/{id}/result a done job's Result (409 while not done)
+//	GET  /jobs/{id}/trace  the job's JSONL event trace (nasreport tail this)
+//	POST /drain            begin graceful drain → 202
+//	GET  /healthz          load counters
+//
+// OnDrain, when set, is called (once, in its own goroutine) after a POST
+// /drain request is accepted — nasd uses it to exit after the drain
+// settles.
+type API struct {
+	Manager *Manager
+	OnDrain func()
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error      string  `json:"error"`
+	RetryAfter float64 `json:"retry_after_seconds,omitempty"`
+}
+
+// Handler returns the daemon's API mux.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", a.submit)
+	mux.HandleFunc("GET /jobs", a.list)
+	mux.HandleFunc("GET /jobs/{id}", a.get)
+	mux.HandleFunc("POST /jobs/{id}/cancel", a.cancel)
+	mux.HandleFunc("GET /jobs/{id}/result", a.result)
+	mux.HandleFunc("GET /jobs/{id}/trace", a.trace)
+	mux.HandleFunc("POST /drain", a.drain)
+	mux.HandleFunc("GET /healthz", a.healthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// writeErr maps the package's sentinels to status codes. ErrUnavailable
+// carries jittered Retry-After guidance so clients back off instead of
+// stampeding a saturated daemon.
+func (a *API) writeErr(w http.ResponseWriter, err error) {
+	body := errorBody{Error: err.Error()}
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnavailable):
+		code = http.StatusTooManyRequests
+		ra := a.Manager.RetryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(int(ra.Seconds()+0.5)))
+		body.RetryAfter = ra.Seconds()
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrTerminal), errors.Is(err, ErrNotDone):
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, body)
+}
+
+func (a *API) submit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad spec: %v", err)})
+		return
+	}
+	job, err := a.Manager.Submit(spec)
+	if err != nil {
+		if errors.Is(err, ErrUnavailable) {
+			a.writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+job.ID)
+	writeJSON(w, http.StatusCreated, job)
+}
+
+func (a *API) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.Manager.List())
+}
+
+func (a *API) get(w http.ResponseWriter, r *http.Request) {
+	job, err := a.Manager.Get(r.PathValue("id"))
+	if err != nil {
+		a.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (a *API) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := a.Manager.Cancel(id); err != nil {
+		a.writeErr(w, err)
+		return
+	}
+	job, err := a.Manager.Get(id)
+	if err != nil {
+		a.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (a *API) result(w http.ResponseWriter, r *http.Request) {
+	res, err := a.Manager.Result(r.PathValue("id"))
+	if err != nil {
+		a.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// trace streams the job's JSONL trace as it stands now. nasreport tail
+// polls this endpoint; each GET serves a consistent snapshot of the
+// append-only file.
+func (a *API) trace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := a.Manager.Get(id); err != nil {
+		a.writeErr(w, err)
+		return
+	}
+	f, err := os.Open(a.Manager.opts.Store.TracePath(id))
+	if os.IsNotExist(err) {
+		// Admitted but never started: an empty trace is the honest answer.
+		w.Header().Set("Content-Type", "application/jsonl")
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	http.ServeContent(w, r, id+".trace.jsonl", fi.ModTime(), f)
+}
+
+func (a *API) drain(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusAccepted, map[string]string{"state": "draining"})
+	go func() {
+		if a.OnDrain != nil {
+			a.OnDrain()
+			return
+		}
+		_ = a.Manager.Drain(context.Background())
+	}()
+}
+
+func (a *API) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.Manager.Stats())
+}

@@ -1,0 +1,178 @@
+// Package jobs is the crash-safe job layer behind nasd: a durable store of
+// job manifests (the same versioned+CRC envelope and atomic-rename
+// discipline as search checkpoints), a Manager that owns admission control,
+// per-job deadlines and retry budgets, a degradation ladder of runners, and
+// graceful drain — and an HTTP handler exposing submit/status/cancel/
+// result/trace over JSON.
+//
+// The split mirrors Balsam's service/database architecture: the HTTP layer
+// is stateless, every decision the Manager makes is committed to the store
+// before it takes effect, and a SIGKILLed daemon restarts into exactly the
+// set of jobs the manifests describe — finished jobs keep their results
+// (exactly-once), interrupted jobs re-enter the queue and resume from their
+// last search checkpoint.
+//
+// The package deliberately does not import the podnas root package (the
+// root re-exports ErrUnavailable from here), only internal/search,
+// internal/obs, and internal/fsatomic.
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors. Always wrapped with %w and matched with errors.Is
+// (enforced by podnaslint's errwrap check).
+var (
+	// ErrUnavailable means the daemon cannot admit work right now: the
+	// admission queue is full or a drain is in progress. Clients should
+	// back off and retry; the HTTP layer maps it to 429 with a jittered
+	// Retry-After.
+	ErrUnavailable = errors.New("service unavailable")
+	// ErrNotFound means no job with the given ID exists.
+	ErrNotFound = errors.New("no such job")
+	// ErrTerminal means the operation needs a live job but the job already
+	// reached a terminal state (done/failed/cancelled).
+	ErrTerminal = errors.New("job already terminal")
+	// ErrNotDone means the job's result was requested before the job
+	// finished successfully.
+	ErrNotDone = errors.New("job not done")
+)
+
+// State is a job's lifecycle position. Transitions:
+//
+//	queued → running → done | failed | cancelled   (terminal)
+//	running → queued                               (evicted with retries left, or drained)
+//	running → paused                               (ladder exhausted, checkpoint kept)
+//	queued  → cancelled                            (cancel before start)
+//	paused  → queued                               (daemon restart re-admits)
+type State string
+
+// The job states. Paused is the degradation ladder's last rung: no runner
+// could make progress and the retry budget is spent, but the checkpoint is
+// durable, so a restart (or an operator) can re-admit the job without
+// losing completed evaluations.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+	StatePaused    State = "paused"
+)
+
+// Terminal reports whether no further transitions can occur.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	case StateQueued, StateRunning, StatePaused:
+		return false
+	}
+	return false
+}
+
+func validState(s State) bool {
+	switch s {
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StatePaused:
+		return true
+	}
+	return false
+}
+
+// Spec is a client-submitted search job description.
+type Spec struct {
+	// Method is the search method name ("ae", "rs", "rl", ...); the
+	// Manager's SpecCheck hook (nasd wires podnas.ParseMethod) rejects
+	// unknown names at admission.
+	Method string `json:"method"`
+	// Evals is the evaluation budget (required, >= 1).
+	Evals int `json:"evals"`
+	// Workers is the number of concurrent evaluation slots (default 1).
+	Workers int `json:"workers,omitempty"`
+	// Epochs is the per-evaluation training budget (0 = runner default).
+	Epochs int `json:"epochs,omitempty"`
+	// Seed seeds the search (0 = runner default).
+	Seed uint64 `json:"seed,omitempty"`
+	// DeadlineSeconds bounds one run attempt's wall clock; the watchdog
+	// evicts the job when exceeded (0 = the manager's default, which may
+	// itself be "none").
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	// Retries is how many re-admissions the job gets after an eviction or
+	// a failed attempt before it parks or fails (0 = manager default,
+	// -1 = explicitly none).
+	Retries int `json:"retries,omitempty"`
+}
+
+// Validate checks the structural invariants every spec must satisfy
+// regardless of the runner behind the daemon.
+func (s Spec) Validate() error {
+	if s.Method == "" {
+		return fmt.Errorf("jobs: spec: method is required")
+	}
+	if s.Evals < 1 {
+		return fmt.Errorf("jobs: spec: evals must be >= 1, got %d", s.Evals)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("jobs: spec: workers must be >= 0, got %d", s.Workers)
+	}
+	if s.Epochs < 0 {
+		return fmt.Errorf("jobs: spec: epochs must be >= 0, got %d", s.Epochs)
+	}
+	if s.DeadlineSeconds < 0 {
+		return fmt.Errorf("jobs: spec: deadline_seconds must be >= 0, got %g", s.DeadlineSeconds)
+	}
+	if s.Retries < -1 {
+		return fmt.Errorf("jobs: spec: retries must be >= -1, got %d", s.Retries)
+	}
+	return nil
+}
+
+// Result is a finished job's payload: the best architecture the search
+// found and how much budget it consumed.
+type Result struct {
+	BestArch   string  `json:"best_arch"`
+	BestReward float64 `json:"best_reward"`
+	Evals      int     `json:"evals"`
+	// Rung names the runner that produced the result ("search",
+	// "fallback", a test fake...), recording how far down the degradation
+	// ladder the job had to go.
+	Rung string `json:"rung,omitempty"`
+}
+
+// Job is the durable record of one submitted search — exactly what the
+// manifest on disk holds and what the HTTP API returns.
+type Job struct {
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+
+	State State `json:"state"`
+	// Attempt counts run attempts consumed (0 while never started).
+	Attempt int `json:"attempt"`
+	// Evals is the number of completed evaluations known to be durable —
+	// from the final result for done jobs, from the last search checkpoint
+	// otherwise.
+	Evals int `json:"evals"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+
+	// Result is set exactly once, when the job reaches StateDone.
+	Result *Result `json:"result,omitempty"`
+	// Error is the terminal failure or latest eviction reason.
+	Error string `json:"error,omitempty"`
+}
+
+// Clone returns a deep copy, so callers can hand out snapshots without
+// racing the Manager's mutations.
+func (j *Job) Clone() Job {
+	out := *j
+	if j.Result != nil {
+		r := *j.Result
+		out.Result = &r
+	}
+	return out
+}

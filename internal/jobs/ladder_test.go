@@ -1,0 +1,198 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"podnas/internal/arch"
+	"podnas/internal/obs"
+	"podnas/internal/search"
+	"podnas/internal/worker"
+)
+
+// hashEval is a deterministic in-process evaluator standing in for real
+// training, so the ladder test's exactly-once assertions are about delivery,
+// not model variance.
+type hashEval struct{}
+
+func (hashEval) Evaluate(a arch.Arch, seed uint64) (float64, error) {
+	h := fnv.New64a()
+	for _, v := range a {
+		fmt.Fprintf(h, "%d,", v)
+	}
+	fmt.Fprintf(h, "s%d", seed)
+	return float64(h.Sum64()%1000) / 1000, nil
+}
+
+// deadAddr reserves a TCP port and releases it, returning an address that
+// refuses connections — the "remote fleet is gone" rung of the ladder.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// poolRunner drives a real worker.Pool configured with the full degradation
+// ladder: a dead remote transport, an unspawnable local subprocess fallback,
+// and an in-process Fallback evaluator. It keeps the pool stats around so
+// the test can assert which rungs were actually exercised.
+type poolRunner struct {
+	remote   string
+	badBin   string
+	lastStat worker.PoolStats
+}
+
+func (r *poolRunner) Name() string { return "pool-ladder" }
+
+func (r *poolRunner) Run(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+	pool, err := worker.NewPool(worker.PoolOptions{
+		Workers: 1,
+		Transport: &worker.DialTransport{
+			Addrs:       []string{r.remote},
+			DialTimeout: 100 * time.Millisecond,
+			Seed:        1,
+		},
+		LocalFallback: &worker.PipeTransport{
+			Command: func(id, inc int) *exec.Cmd { return exec.Command(r.badBin) },
+		},
+		Fallback:       hashEval{},
+		Heartbeat:      20 * time.Millisecond,
+		MaxRestarts:    1,
+		RestartBackoff: time.Millisecond,
+		StartTimeout:   time.Second,
+		Seed:           1,
+		Recorder:       run.Recorder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		r.lastStat = pool.Stats()
+		pool.Close()
+	}()
+
+	s, err := search.NewRandomSearch(arch.Default(), spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	results, err := search.RunAsyncCtx(ctx, s, pool, search.RunAsyncOptions{
+		Workers:  1,
+		MaxEvals: spec.Evals,
+		Seed:     spec.Seed,
+		Recorder: run.Recorder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := Result{Evals: len(results), BestReward: -1}
+	for _, res := range results {
+		if res.Err == nil && res.Reward > best.BestReward {
+			best.BestReward = res.Reward
+			best.BestArch = res.Arch.Key()
+		}
+	}
+	if best.BestArch == "" {
+		return nil, fmt.Errorf("pool-ladder: no successful evaluation")
+	}
+	return &best, nil
+}
+
+// TestFullDegradationLadderWithRealPool walks the complete ladder with a
+// real worker.Pool inside a managed job: the remote transport refuses every
+// dial, the local subprocess fallback points at a binary that does not
+// exist, and the pool must degrade to the in-process Fallback evaluator —
+// while the job still finishes exactly once with a coherent event stream.
+// Run under -race this also exercises the recorder fan-out (jobTagger + tee)
+// against the pool's supervision goroutines.
+func TestFullDegradationLadderWithRealPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawn-timeout ladder walk")
+	}
+	dir := t.TempDir()
+	runner := &poolRunner{
+		remote: deadAddr(t),
+		badBin: filepath.Join(dir, "no-such-worker-binary"),
+	}
+	m, ring := newTestManager(t, dir, []Runner{runner}, nil)
+
+	const evals = 3
+	sub, err := m.Submit(Spec{Method: "rs", Evals: evals, Seed: 7, Retries: -1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	id := sub.ID
+	j := waitState(t, m, id, StateDone)
+	if j.Result == nil || j.Result.Evals != evals || j.Result.BestArch == "" {
+		t.Fatalf("bad result: %+v", j.Result)
+	}
+
+	st := runner.lastStat
+	if !st.Degraded {
+		t.Fatalf("pool never degraded: %+v", st)
+	}
+	if st.LocalFallbacks != 1 {
+		t.Fatalf("want exactly one remote→local demotion, got %d (%+v)", st.LocalFallbacks, st)
+	}
+	if st.FallbackEvals != evals {
+		t.Fatalf("want all %d evals served in-process, got %d (%+v)", evals, st.FallbackEvals, st)
+	}
+	if st.Connects != 0 {
+		t.Fatalf("dead endpoint handshaken %d times", st.Connects)
+	}
+
+	// Event-stream invariants: the job frame brackets the evaluations, and
+	// every evaluation index finishes exactly once (exactly-once delivery
+	// even though the pool walked the whole ladder underneath).
+	events := jobEvents(ring, id)
+	var starts, finishes, evalFinish int
+	finishByIdx := map[int]int{}
+	firstEval, jobStart, jobFinish := -1, -1, -1
+	for i, e := range events {
+		switch e.Kind {
+		case obs.KindJobStart:
+			starts++
+			jobStart = i
+		case obs.KindJobFinish:
+			finishes++
+			jobFinish = i
+		case obs.KindEvalStart:
+			if firstEval < 0 {
+				firstEval = i
+			}
+		case obs.KindEvalFinish:
+			evalFinish++
+			finishByIdx[e.Eval]++
+		}
+	}
+	if starts != 1 || finishes != 1 {
+		t.Fatalf("want exactly one job_start and job_finish, got %d/%d", starts, finishes)
+	}
+	if jobStart < 0 || firstEval < 0 || jobStart > firstEval {
+		t.Fatalf("job_start (%d) must precede first eval_start (%d)", jobStart, firstEval)
+	}
+	if jobFinish != len(events)-1 {
+		t.Fatalf("job_finish at %d, want last of %d events", jobFinish, len(events))
+	}
+	if evalFinish != evals {
+		t.Fatalf("want %d eval_finish events, got %d", evals, evalFinish)
+	}
+	for idx, n := range finishByIdx {
+		if n != 1 {
+			t.Fatalf("eval %d finished %d times", idx, n)
+		}
+	}
+	if events[len(events)-1].Method != string(StateDone) {
+		t.Fatalf("final event method %q, want %q", events[len(events)-1].Method, StateDone)
+	}
+}

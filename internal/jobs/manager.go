@@ -1,0 +1,747 @@
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	mrand "math/rand/v2"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"podnas/internal/obs"
+	"podnas/internal/search"
+)
+
+// Runner executes one attempt of a job. The Manager tries its configured
+// runners in order — the degradation ladder — so a daemon can fall from
+// remote agents to subprocess workers to an in-process evaluator without
+// client-visible failures. Run must respect ctx (the watchdog and drain
+// cancel through it), write search checkpoints to run.CheckpointPath, and
+// emit its events through run.Recorder.
+type Runner interface {
+	// Name labels the rung in results and traces.
+	Name() string
+	Run(ctx context.Context, spec Spec, run RunInfo) (*Result, error)
+}
+
+// RunInfo is the per-attempt context the Manager hands a Runner.
+type RunInfo struct {
+	JobID   string
+	Attempt int
+	// CheckpointPath is where the attempt must persist its search
+	// checkpoint; the next attempt (or the next daemon incarnation)
+	// resumes from it.
+	CheckpointPath string
+	// Resume is the checkpoint recovered from a previous attempt or
+	// incarnation, nil for a fresh start.
+	Resume *search.Checkpoint
+	// Recorder receives the attempt's events: it tees into the job's
+	// own trace file and the daemon-wide sink, tagging every event with
+	// the job ID.
+	Recorder obs.Recorder
+}
+
+// Options configure a Manager. Zero values take the documented defaults.
+type Options struct {
+	// Store is the durable manifest store (required).
+	Store *Store
+	// Rungs is the degradation ladder, tried in order per attempt
+	// (required, non-empty).
+	Rungs []Runner
+	// MaxRunning bounds concurrently running jobs (default 1).
+	MaxRunning int
+	// MaxQueued bounds the admission queue; submits beyond it are refused
+	// with ErrUnavailable (default 8).
+	MaxQueued int
+	// DefaultDeadline bounds one attempt's wall clock when the spec does
+	// not (0 = no deadline).
+	DefaultDeadline time.Duration
+	// RetryBudget is the default re-admission count after evictions or
+	// failed attempts (default 1); Spec.Retries overrides per job.
+	RetryBudget int
+	// RetryAfterBase scales the Retry-After guidance (default 2s).
+	RetryAfterBase time.Duration
+	// WatchdogInterval is the deadline-scan cadence (default 100ms).
+	WatchdogInterval time.Duration
+	// Recorder is the daemon-wide sink (metrics, global trace); optional.
+	Recorder obs.Recorder
+	// Version is stamped into per-job trace headers.
+	Version string
+	// SpecCheck, when set, vets specs at admission beyond Spec.Validate —
+	// nasd wires method-name parsing here.
+	SpecCheck func(Spec) error
+}
+
+func (o *Options) defaults() error {
+	if o.Store == nil {
+		return fmt.Errorf("jobs: Options.Store is required")
+	}
+	if len(o.Rungs) == 0 {
+		return fmt.Errorf("jobs: Options.Rungs must name at least one runner")
+	}
+	if o.MaxRunning < 1 {
+		o.MaxRunning = 1
+	}
+	if o.MaxQueued < 1 {
+		o.MaxQueued = 8
+	}
+	if o.RetryBudget < 0 {
+		o.RetryBudget = 0
+	}
+	if o.RetryAfterBase <= 0 {
+		o.RetryAfterBase = 2 * time.Second
+	}
+	if o.WatchdogInterval <= 0 {
+		o.WatchdogInterval = 100 * time.Millisecond
+	}
+	return nil
+}
+
+// Eviction reasons; the watchdog and control paths set these before
+// cancelling an attempt's context so the run goroutine can tell deadline
+// evictions, user cancels, and drains apart.
+const (
+	evictCancel = "cancelled by client"
+	evictDrain  = "drain"
+)
+
+// managed is the Manager's live record of one job.
+type managed struct {
+	job      Job
+	cancel   context.CancelFunc // non-nil while an attempt runs
+	evict    string             // eviction reason, set before cancel
+	rec      obs.Recorder       // the running attempt's tee, for watchdog emissions
+	started  time.Time          // attempt start (deadline base)
+	deadline time.Duration      // 0 = none
+}
+
+// Manager owns the daemon's job state machine. All public methods are safe
+// for concurrent use. Every state transition is persisted to the Store
+// before it is visible, so a SIGKILL at any moment restarts into a
+// consistent (at worst slightly stale, never ahead-of-disk) view.
+type Manager struct {
+	opts Options
+
+	mu       sync.Mutex
+	jobs     map[string]*managed
+	queue    []string // FIFO of queued job IDs
+	running  int
+	draining bool
+	rng      *mrand.Rand
+
+	corrupt []error // manifests LoadAll could not decode at startup
+
+	wake     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	bg       sync.WaitGroup // scheduler + watchdog
+	runWG    sync.WaitGroup // runJob goroutines
+}
+
+// New builds a Manager over opts.Store, re-admits every non-terminal job
+// the previous incarnation left behind (queued and paused jobs re-enter the
+// queue; jobs that were mid-run when the daemon died re-enter with their
+// checkpoints), and starts the scheduler and watchdog. Call Close (or
+// Drain) to stop it.
+func New(opts Options) (*Manager, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		opts: opts,
+		jobs: make(map[string]*managed),
+		rng:  mrand.New(mrand.NewPCG(uint64(time.Now().UnixNano()), 0x9e3779b97f4a7c15)),
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+	}
+	loaded, errs := opts.Store.LoadAll()
+	m.corrupt = errs
+	for _, j := range loaded {
+		mg := &managed{job: *j}
+		switch j.State {
+		case StateDone, StateFailed, StateCancelled:
+			// Terminal: keep the record (exactly-once results), never re-run.
+		case StateQueued, StateRunning, StatePaused:
+			// Running means the previous daemon was killed mid-attempt;
+			// paused means its ladder was exhausted. Both re-admit: the
+			// next attempt resumes from the durable checkpoint.
+			mg.job.State = StateQueued
+			if err := opts.Store.Save(&mg.job); err != nil {
+				m.corrupt = append(m.corrupt, err)
+			}
+			m.queue = append(m.queue, j.ID)
+		}
+		m.jobs[j.ID] = mg
+	}
+	m.bg.Add(2)
+	go m.scheduler()
+	go m.watchdog()
+	m.kick()
+	return m, nil
+}
+
+// CorruptManifests reports manifests the startup scan could not decode.
+// The daemon keeps serving; the operator decides what to do with the files.
+func (m *Manager) CorruptManifests() []error { return append([]error(nil), m.corrupt...) }
+
+// record emits to the daemon-wide sink.
+func (m *Manager) record(e obs.Event) {
+	if m.opts.Recorder != nil {
+		m.opts.Recorder.Record(e)
+	}
+}
+
+// recordFor emits through the job's running tee when one is open (so the
+// event lands in the per-job trace too), else the daemon-wide sink.
+func (m *Manager) recordFor(mg *managed, e obs.Event) {
+	if e.Job == "" {
+		e.Job = mg.job.ID
+	}
+	if mg.rec != nil {
+		mg.rec.Record(e)
+		return
+	}
+	m.record(e)
+}
+
+func (m *Manager) kick() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// newID draws a fresh URL- and filename-safe job ID.
+func (m *Manager) newIDLocked() (string, error) {
+	for range 16 {
+		var b [6]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "", fmt.Errorf("jobs: draw job id: %w", err)
+		}
+		id := "j" + hex.EncodeToString(b[:])
+		if _, taken := m.jobs[id]; taken {
+			continue
+		}
+		if _, err := os.Stat(m.opts.Store.ManifestPath(id)); err == nil {
+			continue
+		}
+		return id, nil
+	}
+	return "", fmt.Errorf("jobs: could not draw a unique job id")
+}
+
+// Submit admits a job or refuses it with an error wrapping ErrUnavailable
+// (draining, or the bounded queue is full). The returned Job snapshot is
+// durable: by the time Submit returns, a crash cannot lose the admission.
+func (m *Manager) Submit(spec Spec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	if m.opts.SpecCheck != nil {
+		if err := m.opts.SpecCheck(spec); err != nil {
+			return Job{}, err
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return Job{}, fmt.Errorf("jobs: daemon is draining: %w", ErrUnavailable)
+	}
+	if len(m.queue) >= m.opts.MaxQueued {
+		return Job{}, fmt.Errorf("jobs: admission queue full (%d queued): %w", len(m.queue), ErrUnavailable)
+	}
+	id, err := m.newIDLocked()
+	if err != nil {
+		return Job{}, err
+	}
+	mg := &managed{job: Job{
+		ID:          id,
+		Spec:        spec,
+		State:       StateQueued,
+		SubmittedAt: time.Now().UTC(),
+	}}
+	if err := m.opts.Store.Save(&mg.job); err != nil {
+		return Job{}, err
+	}
+	m.jobs[id] = mg
+	m.queue = append(m.queue, id)
+	m.record(obs.Event{Kind: obs.KindJobSubmit, Job: id, Method: spec.Method, Eval: spec.Evals})
+	m.kick()
+	return mg.job.Clone(), nil
+}
+
+// RetryAfter returns jittered backoff guidance for refused clients, scaled
+// by current load so a saturated daemon pushes callers further out.
+func (m *Manager) RetryAfter() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	depth := len(m.queue) + m.running
+	d := float64(m.opts.RetryAfterBase) * (1 + float64(depth)/float64(m.opts.MaxRunning))
+	d *= 0.7 + 0.6*m.rng.Float64() // ±30% jitter breaks up retry stampedes
+	if d < float64(time.Second) {
+		d = float64(time.Second)
+	}
+	return time.Duration(d)
+}
+
+// Get returns a snapshot of one job.
+func (m *Manager) Get(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mg := m.jobs[id]
+	if mg == nil {
+		return Job{}, fmt.Errorf("jobs: %q: %w", id, ErrNotFound)
+	}
+	return mg.job.Clone(), nil
+}
+
+// List returns snapshots of every known job, oldest submission first.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.jobs))
+	for _, mg := range m.jobs {
+		out = append(out, mg.job.Clone())
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].SubmittedAt.Equal(out[b].SubmittedAt) {
+			return out[a].SubmittedAt.Before(out[b].SubmittedAt)
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Result returns a done job's result; ErrNotDone otherwise.
+func (m *Manager) Result(id string) (Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mg := m.jobs[id]
+	if mg == nil {
+		return Result{}, fmt.Errorf("jobs: %q: %w", id, ErrNotFound)
+	}
+	if mg.job.State != StateDone || mg.job.Result == nil {
+		return Result{}, fmt.Errorf("jobs: %q is %s: %w", id, mg.job.State, ErrNotDone)
+	}
+	return *mg.job.Result, nil
+}
+
+// Cancel stops a job: queued and paused jobs transition to cancelled
+// immediately; a running job's attempt is cancelled and settles to
+// cancelled when the runner unwinds. Terminal jobs report ErrTerminal.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mg := m.jobs[id]
+	if mg == nil {
+		return fmt.Errorf("jobs: %q: %w", id, ErrNotFound)
+	}
+	switch mg.job.State {
+	case StateDone, StateFailed, StateCancelled:
+		return fmt.Errorf("jobs: %q is %s: %w", id, mg.job.State, ErrTerminal)
+	case StateQueued, StatePaused:
+		m.dropFromQueueLocked(id)
+		mg.job.State = StateCancelled
+		mg.job.FinishedAt = time.Now().UTC()
+		mg.job.Error = evictCancel
+		if err := m.opts.Store.Save(&mg.job); err != nil {
+			return err
+		}
+		m.recordFor(mg, obs.Event{Kind: obs.KindJobCheckpoint, Eval: mg.job.Evals})
+		m.recordFor(mg, obs.Event{Kind: obs.KindJobFinish, Method: string(StateCancelled), Eval: mg.job.Evals, Err: evictCancel})
+		return nil
+	case StateRunning:
+		if mg.evict == "" {
+			mg.evict = evictCancel
+		}
+		if mg.cancel != nil {
+			mg.cancel()
+		}
+		return nil
+	}
+	return fmt.Errorf("jobs: %q in unexpected state %q", id, mg.job.State)
+}
+
+func (m *Manager) dropFromQueueLocked(id string) {
+	for i, q := range m.queue {
+		if q == id {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats is the health snapshot the HTTP layer serves.
+type Stats struct {
+	Queued   int  `json:"queued"`
+	Running  int  `json:"running"`
+	Jobs     int  `json:"jobs"`
+	Draining bool `json:"draining"`
+}
+
+// Stats returns current load counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Queued: len(m.queue), Running: m.running, Jobs: len(m.jobs), Draining: m.draining}
+}
+
+// Drain gracefully stops the daemon's work: admission closes, every
+// running attempt is evicted (its runner checkpoints and unwinds), and
+// Drain returns once nothing is running — queued and interrupted jobs stay
+// durable in the store for the next incarnation. ctx bounds the wait.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	for _, mg := range m.jobs {
+		if mg.job.State == StateRunning && mg.cancel != nil && mg.evict == "" {
+			mg.evict = evictDrain
+			m.recordFor(mg, obs.Event{Kind: obs.KindJobEvict, Attempt: mg.job.Attempt, Err: evictDrain})
+			mg.cancel()
+		}
+	}
+	m.mu.Unlock()
+	for {
+		m.mu.Lock()
+		n := m.running
+		m.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("jobs: drain: %w", ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// Close drains (bounded) and stops the background goroutines. Safe to call
+// after Drain; subsequent calls are no-ops.
+func (m *Manager) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := m.Drain(ctx)
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.bg.Wait()
+	m.runWG.Wait()
+	return err
+}
+
+// scheduler moves queued jobs into run slots whenever capacity frees up.
+func (m *Manager) scheduler() {
+	defer m.bg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.wake:
+		}
+		m.dispatch()
+	}
+}
+
+func (m *Manager) dispatch() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for !m.draining && m.running < m.opts.MaxRunning && len(m.queue) > 0 {
+		id := m.queue[0]
+		m.queue = m.queue[1:]
+		mg := m.jobs[id]
+		if mg == nil || mg.job.State != StateQueued {
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		mg.cancel = cancel
+		mg.evict = ""
+		mg.started = time.Now()
+		mg.deadline = m.deadlineFor(mg.job.Spec)
+		mg.job.State = StateRunning
+		mg.job.Attempt++
+		if mg.job.StartedAt.IsZero() {
+			mg.job.StartedAt = time.Now().UTC()
+		}
+		if err := m.opts.Store.Save(&mg.job); err != nil {
+			// Disk trouble: run anyway — memory is ahead of disk, and the
+			// worst a crash can do now is repeat this attempt.
+			mg.job.Error = err.Error()
+		}
+		m.record(obs.Event{Kind: obs.KindJobCheckpoint, Job: id, Eval: mg.job.Evals})
+		m.running++
+		m.runWG.Add(1)
+		go m.runJob(ctx, cancel, id)
+	}
+}
+
+func (m *Manager) deadlineFor(spec Spec) time.Duration {
+	if spec.DeadlineSeconds > 0 {
+		return time.Duration(spec.DeadlineSeconds * float64(time.Second))
+	}
+	return m.opts.DefaultDeadline
+}
+
+func (m *Manager) retriesFor(spec Spec) int {
+	switch {
+	case spec.Retries > 0:
+		return spec.Retries
+	case spec.Retries < 0:
+		return 0
+	}
+	return m.opts.RetryBudget
+}
+
+// watchdog scans running attempts and evicts any past its deadline.
+func (m *Manager) watchdog() {
+	defer m.bg.Done()
+	t := time.NewTicker(m.opts.WatchdogInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		m.mu.Lock()
+		for _, mg := range m.jobs {
+			if mg.job.State != StateRunning || mg.cancel == nil || mg.deadline <= 0 || mg.evict != "" {
+				continue
+			}
+			if over := now.Sub(mg.started); over > mg.deadline {
+				mg.evict = fmt.Sprintf("deadline %s exceeded (ran %s)", mg.deadline, over.Round(time.Millisecond))
+				m.recordFor(mg, obs.Event{Kind: obs.KindJobEvict, Attempt: mg.job.Attempt, Err: mg.evict})
+				mg.cancel()
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// loadResume recovers the job's checkpoint; nil means a fresh start. A
+// corrupt checkpoint degrades to fresh — the atomic write path makes that
+// unreachable short of disk damage, and restarting from zero is the safe
+// answer to damage.
+func loadResume(path string) (*search.Checkpoint, int) {
+	ck, err := search.LoadCheckpoint(path)
+	if err != nil || ck == nil {
+		return nil, 0
+	}
+	return ck, ck.NumResults()
+}
+
+func checkpointExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// runJob executes one attempt: open the per-job trace (appending across
+// incarnations), walk the degradation ladder, and settle the outcome.
+func (m *Manager) runJob(ctx context.Context, cancel context.CancelFunc, id string) {
+	defer m.runWG.Done()
+	defer cancel()
+
+	m.mu.Lock()
+	mg := m.jobs[id]
+	job := mg.job.Clone()
+	m.mu.Unlock()
+
+	ckPath := m.opts.Store.CheckpointPath(id)
+	resume, resumeEvals := loadResume(ckPath)
+
+	trace, fresh, terr := obs.AppendJSONL(m.opts.Store.TracePath(id))
+	var rec obs.Recorder
+	if terr != nil {
+		// No trace file (disk trouble): still run, observed daemon-wide only.
+		rec = jobTagger{id: id, r: orNop(m.opts.Recorder)}
+	} else {
+		if fresh {
+			workers := job.Spec.Workers
+			if workers < 1 {
+				workers = 1
+			}
+			h := obs.NewHeader(job.Spec.Method, job.Spec.Seed, workers, m.opts.Version)
+			h.Job = id
+			trace.Record(h)
+		}
+		rec = jobTagger{id: id, r: tee{a: flushOn{trace}, b: orNop(m.opts.Recorder)}}
+	}
+
+	m.mu.Lock()
+	mg.rec = rec
+	m.mu.Unlock()
+
+	rec.Record(obs.Event{Kind: obs.KindJobStart, Attempt: job.Attempt, Eval: resumeEvals})
+
+	var res *Result
+	var runErr error
+	var rung string
+	for _, r := range m.opts.Rungs {
+		if ctx.Err() != nil {
+			break
+		}
+		res, runErr = r.Run(ctx, job.Spec, RunInfo{
+			JobID:          id,
+			Attempt:        job.Attempt,
+			CheckpointPath: ckPath,
+			Resume:         resume,
+			Recorder:       rec,
+		})
+		rung = r.Name()
+		if runErr == nil && res == nil {
+			runErr = fmt.Errorf("jobs: rung %s returned no result", rung)
+		}
+		if runErr == nil || ctx.Err() != nil {
+			break
+		}
+		// The rung may have made durable progress before failing; the next
+		// rung resumes from it rather than repeating work.
+		resume, resumeEvals = loadResume(ckPath)
+	}
+
+	m.settle(mg, id, res, rung, runErr, ctx)
+	if trace != nil && terr == nil {
+		trace.Close()
+	}
+	m.kick()
+}
+
+// settle commits the attempt's outcome: done, cancelled, re-queued (evicted
+// or failed with retries left), paused with checkpoint, or failed.
+func (m *Manager) settle(mg *managed, id string, res *Result, rung string, runErr error, ctx context.Context) {
+	_, ckEvals := loadResume(m.opts.Store.CheckpointPath(id))
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	evict := mg.evict
+	mg.cancel = nil
+	rec := mg.rec
+	mg.rec = nil
+	now := time.Now().UTC()
+	retries := m.retriesFor(mg.job.Spec)
+	requeue := false
+
+	switch {
+	case res != nil && runErr == nil:
+		res.Rung = rung
+		mg.job.State = StateDone
+		mg.job.Result = res
+		mg.job.Evals = res.Evals
+		mg.job.FinishedAt = now
+		mg.job.Error = ""
+	case ctx.Err() != nil && evict == evictCancel:
+		mg.job.State = StateCancelled
+		mg.job.Evals = ckEvals
+		mg.job.FinishedAt = now
+		mg.job.Error = evictCancel
+	case ctx.Err() != nil && evict == evictDrain:
+		// Drained: back to durable queued; the next incarnation resumes it.
+		mg.job.State = StateQueued
+		mg.job.Evals = ckEvals
+		mg.job.Error = evictDrain
+	case ctx.Err() != nil: // watchdog deadline eviction
+		mg.job.Evals = ckEvals
+		mg.job.Error = evict
+		if mg.job.Attempt <= retries {
+			mg.job.State = StateQueued
+			requeue = true
+		} else if checkpointExists(m.opts.Store.CheckpointPath(id)) {
+			mg.job.State = StatePaused
+		} else {
+			mg.job.State = StateFailed
+			mg.job.FinishedAt = now
+		}
+	default: // every rung failed
+		mg.job.Evals = ckEvals
+		mg.job.Error = runErr.Error()
+		if mg.job.Attempt <= retries {
+			mg.job.State = StateQueued
+			requeue = true
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KindJobEvict, Attempt: mg.job.Attempt, Err: runErr.Error()})
+			}
+		} else if checkpointExists(m.opts.Store.CheckpointPath(id)) {
+			mg.job.State = StatePaused
+		} else {
+			mg.job.State = StateFailed
+			mg.job.FinishedAt = now
+		}
+	}
+
+	if err := m.opts.Store.Save(&mg.job); err != nil && mg.job.Error == "" {
+		mg.job.Error = err.Error()
+	}
+	if rec != nil {
+		rec.Record(obs.Event{Kind: obs.KindJobCheckpoint, Eval: mg.job.Evals})
+		switch mg.job.State {
+		case StateDone:
+			rec.Record(obs.Event{Kind: obs.KindJobFinish, Method: string(StateDone), Eval: mg.job.Evals, Reward: mg.job.Result.BestReward, Arch: mg.job.Result.BestArch})
+		case StateFailed, StateCancelled, StatePaused:
+			rec.Record(obs.Event{Kind: obs.KindJobFinish, Method: string(mg.job.State), Eval: mg.job.Evals, Err: mg.job.Error})
+		case StateQueued, StateRunning:
+			// Re-queued (eviction with retries left, or drain): not a finish;
+			// the next job_start continues the story.
+		}
+	}
+	if requeue && !m.draining {
+		m.queue = append(m.queue, id)
+	}
+	m.running--
+}
+
+// orNop substitutes Nop for a nil daemon recorder so tee never needs nil
+// checks on the hot path.
+func orNop(r obs.Recorder) obs.Recorder {
+	if r == nil {
+		return obs.Nop{}
+	}
+	return r
+}
+
+// jobTagger stamps the job ID on every event passing through, so a
+// daemon-wide trace still attributes per-job streams.
+type jobTagger struct {
+	id string
+	r  obs.Recorder
+}
+
+func (t jobTagger) Record(e obs.Event) {
+	if e.Job == "" {
+		e.Job = t.id
+	}
+	t.r.Record(e)
+}
+
+// flushOn pushes the buffered per-job trace to disk after every
+// durability-relevant event, mirroring the checkpoint cadence: a SIGKILLed
+// daemon then loses at most the events of the evaluation in flight, so a
+// resumed job's trace stays content-comparable (nasreport diff) with an
+// uninterrupted run of the same spec.
+type flushOn struct {
+	j *obs.JSONL
+}
+
+func (f flushOn) Record(e obs.Event) {
+	f.j.Record(e)
+	switch e.Kind {
+	case obs.KindEvalFinish, obs.KindEvalError, obs.KindCheckpoint,
+		obs.KindJobSubmit, obs.KindJobStart, obs.KindJobCheckpoint,
+		obs.KindJobFinish, obs.KindJobEvict:
+		_ = f.j.Flush()
+	default:
+		// High-rate events (epoch ticks, worker chatter) stay buffered.
+	}
+}
+
+// tee forwards each event to both sinks, letting each stamp its own clock:
+// the per-job trace runs on job-relative time (monotonic across daemon
+// incarnations) while the daemon-wide sink keeps daemon-relative time.
+type tee struct{ a, b obs.Recorder }
+
+func (t tee) Record(e obs.Event) {
+	t.a.Record(e)
+	t.b.Record(e)
+}

@@ -1,0 +1,505 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"podnas/internal/fsatomic"
+	"podnas/internal/obs"
+	"podnas/internal/search"
+)
+
+// fakeRunner adapts a closure to the Runner interface.
+type fakeRunner struct {
+	name string
+	run  func(ctx context.Context, spec Spec, run RunInfo) (*Result, error)
+}
+
+func (f *fakeRunner) Name() string { return f.name }
+func (f *fakeRunner) Run(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+	return f.run(ctx, spec, run)
+}
+
+// writeFakeCheckpoint persists a minimal but fully valid search checkpoint
+// holding n completed results, through the same envelope the real
+// checkpointer uses.
+func writeFakeCheckpoint(t *testing.T, path string, n int) {
+	t.Helper()
+	type rec struct {
+		Index  int     `json:"index"`
+		Arch   []int   `json:"arch"`
+		Reward float64 `json:"reward"`
+	}
+	recs := make([]rec, n)
+	for i := range recs {
+		recs[i] = rec{Index: i, Arch: []int{1, 2}, Reward: 0.1 * float64(i)}
+	}
+	payload, err := json.Marshal(map[string]any{"kind": "RS", "results": recs})
+	if err != nil {
+		t.Fatalf("encode checkpoint: %v", err)
+	}
+	sealed, err := search.SealEnvelope(payload)
+	if err != nil {
+		t.Fatalf("seal checkpoint: %v", err)
+	}
+	if err := fsatomic.WriteFile(path, sealed, 0o644); err != nil {
+		t.Fatalf("write checkpoint: %v", err)
+	}
+}
+
+func newTestManager(t *testing.T, dir string, rungs []Runner, mutate func(*Options)) (*Manager, *obs.Ring) {
+	t.Helper()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	ring := obs.NewRing(4096)
+	opts := Options{
+		Store:            st,
+		Rungs:            rungs,
+		RetryBudget:      0,
+		WatchdogInterval: 5 * time.Millisecond,
+		Recorder:         ring,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	m, err := New(opts)
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, ring
+}
+
+// waitState polls until the job reaches want or the deadline passes.
+func waitState(t *testing.T, m *Manager, id string, want State) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		j, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		if j.State == want {
+			return j
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := m.Get(id)
+	t.Fatalf("job %s stuck in %s, want %s (err=%q)", id, j.State, want, j.Error)
+	return Job{}
+}
+
+func jobEvents(ring *obs.Ring, id string) []obs.Event {
+	var out []obs.Event
+	for _, e := range ring.Events() {
+		if e.Job == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func kindsOf(events []obs.Event) []obs.Kind {
+	out := make([]obs.Kind, len(events))
+	for i, e := range events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+func TestJobLifecycleHappyPath(t *testing.T) {
+	dir := t.TempDir()
+	done := &fakeRunner{name: "ok", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+		writeFakeCheckpoint(t, run.CheckpointPath, spec.Evals)
+		return &Result{BestArch: "a1", BestReward: 0.9, Evals: spec.Evals}, nil
+	}}
+	m, ring := newTestManager(t, dir, []Runner{done}, nil)
+
+	j, err := m.Submit(Spec{Method: "rs", Evals: 4})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	got := waitState(t, m, j.ID, StateDone)
+	if got.Result == nil || got.Result.BestArch != "a1" || got.Result.Rung != "ok" {
+		t.Fatalf("bad result: %+v", got.Result)
+	}
+	if got.Evals != 4 || got.Attempt != 1 {
+		t.Fatalf("evals=%d attempt=%d, want 4/1", got.Evals, got.Attempt)
+	}
+	res, err := m.Result(j.ID)
+	if err != nil || res.BestReward != got.Result.BestReward {
+		t.Fatalf("result endpoint: %+v %v", res, err)
+	}
+
+	// Event ordering: submitted → durably dispatched → started → committed →
+	// finished, all tagged with the job ID.
+	want := []obs.Kind{obs.KindJobSubmit, obs.KindJobCheckpoint, obs.KindJobStart, obs.KindJobCheckpoint, obs.KindJobFinish}
+	evs := jobEvents(ring, j.ID)
+	if fmt.Sprint(kindsOf(evs)) != fmt.Sprint(want) {
+		t.Fatalf("event order %v, want %v", kindsOf(evs), want)
+	}
+	last := evs[len(evs)-1]
+	if last.Method != string(StateDone) || last.Eval != 4 {
+		t.Fatalf("finish event %+v", last)
+	}
+
+	// The per-job trace holds the same story, starting with a header.
+	st := m.opts.Store
+	data, err := os.ReadFile(st.TracePath(j.ID))
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	var first obs.Event
+	if err := json.Unmarshal(data[:indexByte(data, '\n')], &first); err != nil {
+		t.Fatalf("trace first line: %v", err)
+	}
+	if first.Kind != obs.KindTraceHeader || first.Job != j.ID {
+		t.Fatalf("trace header %+v", first)
+	}
+
+	// The manifest on disk survives a reload and keeps the result.
+	onDisk, err := st.Load(j.ID)
+	if err != nil || onDisk.State != StateDone || onDisk.Result == nil {
+		t.Fatalf("manifest reload: %+v %v", onDisk, err)
+	}
+}
+
+func indexByte(b []byte, c byte) int {
+	for i := range b {
+		if b[i] == c {
+			return i
+		}
+	}
+	return len(b)
+}
+
+func TestAdmissionControlBackpressure(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	blocker := &fakeRunner{name: "block", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+		select {
+		case <-release:
+			return &Result{BestArch: "a", BestReward: 1, Evals: spec.Evals}, nil
+		case <-ctx.Done():
+			return nil, fmt.Errorf("blocker: %w", ctx.Err())
+		}
+	}}
+	m, _ := newTestManager(t, dir, []Runner{blocker}, func(o *Options) {
+		o.MaxRunning = 1
+		o.MaxQueued = 1
+	})
+
+	j1, err := m.Submit(Spec{Method: "rs", Evals: 1})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	waitState(t, m, j1.ID, StateRunning)
+	j2, err := m.Submit(Spec{Method: "rs", Evals: 1})
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if _, err := m.Submit(Spec{Method: "rs", Evals: 1}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("submit 3: got %v, want ErrUnavailable", err)
+	}
+	if ra := m.RetryAfter(); ra < time.Second {
+		t.Fatalf("RetryAfter %v, want >= 1s", ra)
+	}
+	close(release)
+	waitState(t, m, j1.ID, StateDone)
+	waitState(t, m, j2.ID, StateDone)
+}
+
+func TestDegradationLadderFallsThrough(t *testing.T) {
+	dir := t.TempDir()
+	var firstCalls, secondCalls atomic.Int32
+	bad := &fakeRunner{name: "remote", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+		firstCalls.Add(1)
+		// Simulate partial progress before dying: the next rung must resume.
+		writeFakeCheckpoint(t, run.CheckpointPath, 2)
+		return nil, fmt.Errorf("remote agents unreachable")
+	}}
+	good := &fakeRunner{name: "inproc", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+		secondCalls.Add(1)
+		if run.Resume == nil || run.Resume.NumResults() != 2 {
+			return nil, fmt.Errorf("expected resume with 2 results, got %+v", run.Resume)
+		}
+		return &Result{BestArch: "b", BestReward: 0.5, Evals: spec.Evals}, nil
+	}}
+	m, ring := newTestManager(t, dir, []Runner{bad, good}, nil)
+
+	j, err := m.Submit(Spec{Method: "rs", Evals: 5})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	got := waitState(t, m, j.ID, StateDone)
+	if got.Result.Rung != "inproc" {
+		t.Fatalf("rung %q, want inproc", got.Result.Rung)
+	}
+	if firstCalls.Load() != 1 || secondCalls.Load() != 1 {
+		t.Fatalf("calls remote=%d inproc=%d, want 1/1", firstCalls.Load(), secondCalls.Load())
+	}
+	// Exactly one finish event despite the fallen rung.
+	var finishes int
+	for _, e := range jobEvents(ring, j.ID) {
+		if e.Kind == obs.KindJobFinish {
+			finishes++
+		}
+	}
+	if finishes != 1 {
+		t.Fatalf("finish events %d, want 1", finishes)
+	}
+}
+
+func TestLadderExhaustedParksWithCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	bad := &fakeRunner{name: "bad", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+		writeFakeCheckpoint(t, run.CheckpointPath, 1)
+		return nil, fmt.Errorf("no capacity")
+	}}
+	m, _ := newTestManager(t, dir, []Runner{bad}, nil)
+	j, err := m.Submit(Spec{Method: "rs", Evals: 3, Retries: -1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	got := waitState(t, m, j.ID, StatePaused)
+	if got.Evals != 1 {
+		t.Fatalf("paused evals %d, want 1 (from checkpoint)", got.Evals)
+	}
+	if got.Error == "" {
+		t.Fatalf("paused job should carry the failure reason")
+	}
+}
+
+func TestLadderExhaustedNoCheckpointFails(t *testing.T) {
+	dir := t.TempDir()
+	bad := &fakeRunner{name: "bad", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+		return nil, fmt.Errorf("no capacity")
+	}}
+	m, _ := newTestManager(t, dir, []Runner{bad}, nil)
+	j, err := m.Submit(Spec{Method: "rs", Evals: 3, Retries: -1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitState(t, m, j.ID, StateFailed)
+}
+
+func TestRetryBudgetReRunsFailedAttempt(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int32
+	flaky := &fakeRunner{name: "flaky", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("transient")
+		}
+		return &Result{BestArch: "c", BestReward: 0.7, Evals: spec.Evals}, nil
+	}}
+	m, _ := newTestManager(t, dir, []Runner{flaky}, nil)
+	j, err := m.Submit(Spec{Method: "rs", Evals: 2, Retries: 1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	got := waitState(t, m, j.ID, StateDone)
+	if got.Attempt != 2 || calls.Load() != 2 {
+		t.Fatalf("attempt=%d calls=%d, want 2/2", got.Attempt, calls.Load())
+	}
+}
+
+func TestWatchdogEvictsOnDeadline(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int32
+	slowThenFast := &fakeRunner{name: "slow", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+		if calls.Add(1) == 1 {
+			writeFakeCheckpoint(t, run.CheckpointPath, 1)
+			<-ctx.Done() // hang until the watchdog evicts us
+			return nil, fmt.Errorf("evicted: %w", ctx.Err())
+		}
+		return &Result{BestArch: "d", BestReward: 0.8, Evals: spec.Evals}, nil
+	}}
+	m, ring := newTestManager(t, dir, []Runner{slowThenFast}, nil)
+	j, err := m.Submit(Spec{Method: "rs", Evals: 2, DeadlineSeconds: 0.05, Retries: 1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	got := waitState(t, m, j.ID, StateDone)
+	if got.Attempt != 2 {
+		t.Fatalf("attempt %d, want 2 (one eviction, one success)", got.Attempt)
+	}
+	var evicts int
+	for _, e := range jobEvents(ring, j.ID) {
+		if e.Kind == obs.KindJobEvict {
+			evicts++
+			if e.Err == "" {
+				t.Fatalf("evict event without reason")
+			}
+		}
+	}
+	if evicts != 1 {
+		t.Fatalf("evict events %d, want 1", evicts)
+	}
+}
+
+func TestDeadlineExhaustedParks(t *testing.T) {
+	dir := t.TempDir()
+	slow := &fakeRunner{name: "slow", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+		writeFakeCheckpoint(t, run.CheckpointPath, 1)
+		<-ctx.Done()
+		return nil, fmt.Errorf("evicted: %w", ctx.Err())
+	}}
+	m, _ := newTestManager(t, dir, []Runner{slow}, nil)
+	j, err := m.Submit(Spec{Method: "rs", Evals: 2, DeadlineSeconds: 0.05, Retries: -1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitState(t, m, j.ID, StatePaused)
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	blocker := &fakeRunner{name: "block", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+		select {
+		case <-release:
+			return &Result{BestArch: "a", BestReward: 1, Evals: spec.Evals}, nil
+		case <-ctx.Done():
+			return nil, fmt.Errorf("blocker: %w", ctx.Err())
+		}
+	}}
+	m, _ := newTestManager(t, dir, []Runner{blocker}, func(o *Options) {
+		o.MaxRunning = 1
+		o.MaxQueued = 4
+	})
+	j1, _ := m.Submit(Spec{Method: "rs", Evals: 1})
+	waitState(t, m, j1.ID, StateRunning)
+	j2, _ := m.Submit(Spec{Method: "rs", Evals: 1})
+
+	if err := m.Cancel(j2.ID); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	waitState(t, m, j2.ID, StateCancelled)
+	if err := m.Cancel(j1.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	waitState(t, m, j1.ID, StateCancelled)
+	if err := m.Cancel(j1.ID); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("double cancel: %v, want ErrTerminal", err)
+	}
+	if _, err := m.Result(j1.ID); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("result of cancelled: %v, want ErrNotDone", err)
+	}
+	if err := m.Cancel("jdeadbeef0000"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cancel unknown: %v, want ErrNotFound", err)
+	}
+}
+
+func TestDrainCheckpointsAndRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	started := make(chan struct{}, 2)
+	var resumedWith atomic.Int32
+	runner := func(final bool) *fakeRunner {
+		return &fakeRunner{name: "r", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+			if !final {
+				writeFakeCheckpoint(t, run.CheckpointPath, 3)
+				started <- struct{}{}
+				<-ctx.Done()
+				return nil, fmt.Errorf("drained: %w", ctx.Err())
+			}
+			if run.Resume != nil {
+				resumedWith.Store(int32(run.Resume.NumResults()))
+			}
+			return &Result{BestArch: "z", BestReward: 0.99, Evals: spec.Evals}, nil
+		}}
+	}
+
+	m1, ring := newTestManager(t, dir, []Runner{runner(false)}, nil)
+	j, err := m1.Submit(Spec{Method: "rs", Evals: 5})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	got, _ := m1.Get(j.ID)
+	if got.State != StateQueued || got.Evals != 3 {
+		t.Fatalf("after drain: state=%s evals=%d, want queued/3", got.State, got.Evals)
+	}
+	// Admission is closed while draining.
+	if _, err := m1.Submit(Spec{Method: "rs", Evals: 1}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("submit during drain: %v, want ErrUnavailable", err)
+	}
+	var drainEvict bool
+	for _, e := range jobEvents(ring, j.ID) {
+		if e.Kind == obs.KindJobEvict && e.Err == evictDrain {
+			drainEvict = true
+		}
+	}
+	if !drainEvict {
+		t.Fatalf("no drain evict event recorded")
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Next incarnation over the same directory resumes from the checkpoint.
+	m2, _ := newTestManager(t, dir, []Runner{runner(true)}, nil)
+	got = waitState(t, m2, j.ID, StateDone)
+	if resumedWith.Load() != 3 {
+		t.Fatalf("resumed with %d results, want 3", resumedWith.Load())
+	}
+	if got.Attempt != 2 {
+		t.Fatalf("attempt %d, want 2", got.Attempt)
+	}
+
+	// A third incarnation must not re-run the finished job: exactly-once.
+	poison := &fakeRunner{name: "poison", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+		t.Errorf("finished job was re-run")
+		return nil, fmt.Errorf("poison")
+	}}
+	m3, _ := newTestManager(t, dir, []Runner{poison}, nil)
+	time.Sleep(50 * time.Millisecond) // give a wrong scheduler time to misbehave
+	got3, err := m3.Get(j.ID)
+	if err != nil || got3.State != StateDone || got3.Result == nil || got3.Result.BestArch != "z" {
+		t.Fatalf("after restart: %+v %v", got3, err)
+	}
+}
+
+func TestCrashRestartReadmitsRunningJobs(t *testing.T) {
+	// Simulate a SIGKILL by writing a manifest that claims to be running —
+	// exactly what a killed daemon leaves behind — and checking that a new
+	// manager re-admits and finishes it.
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	j := &Job{ID: "jcafecafe0001", Spec: Spec{Method: "rs", Evals: 4}, State: StateRunning, Attempt: 1, SubmittedAt: time.Now().UTC()}
+	if err := st.Save(j); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	writeFakeCheckpoint(t, st.CheckpointPath(j.ID), 2)
+
+	var sawResume atomic.Int32
+	done := &fakeRunner{name: "ok", run: func(ctx context.Context, spec Spec, run RunInfo) (*Result, error) {
+		if run.Resume != nil {
+			sawResume.Store(int32(run.Resume.NumResults()))
+		}
+		return &Result{BestArch: "r", BestReward: 0.6, Evals: spec.Evals}, nil
+	}}
+	m, _ := newTestManager(t, dir, []Runner{done}, nil)
+	got := waitState(t, m, j.ID, StateDone)
+	if sawResume.Load() != 2 {
+		t.Fatalf("resumed with %d, want 2", sawResume.Load())
+	}
+	if got.Attempt != 2 {
+		t.Fatalf("attempt %d, want 2", got.Attempt)
+	}
+}

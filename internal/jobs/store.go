@@ -1,0 +1,186 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"podnas/internal/fsatomic"
+	"podnas/internal/search"
+)
+
+// Store persists job manifests under one directory, one file per job:
+//
+//	<dir>/<id>.job.json    manifest (versioned+CRC envelope, atomic+fsynced)
+//	<dir>/<id>.ck.json     the job's search checkpoint (written by the runner)
+//	<dir>/<id>.trace.jsonl the job's event trace (appended across incarnations)
+//
+// Manifests go through the same checkpoint envelope (version + CRC32 over
+// the compacted payload) and the same write discipline (temp file, fsync,
+// rename, directory fsync) as search checkpoints, so a crash at any point
+// leaves either the old manifest or the new one — never a torn file.
+type Store struct{ Dir string }
+
+const manifestSuffix = ".job.json"
+
+// NewStore creates the state directory (if needed) and returns a store
+// over it.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("jobs: store dir is required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create store dir: %w", err)
+	}
+	return &Store{Dir: dir}, nil
+}
+
+// ManifestPath returns the manifest file for id.
+func (s *Store) ManifestPath(id string) string { return filepath.Join(s.Dir, id+manifestSuffix) }
+
+// CheckpointPath returns the search-checkpoint file for id.
+func (s *Store) CheckpointPath(id string) string { return filepath.Join(s.Dir, id+".ck.json") }
+
+// TracePath returns the event-trace file for id.
+func (s *Store) TracePath(id string) string { return filepath.Join(s.Dir, id+".trace.jsonl") }
+
+// Save commits the manifest durably: by the time Save returns, a crash (or
+// SIGKILL) cannot roll the job back to its previous state.
+func (s *Store) Save(j *Job) error {
+	if err := validID(j.ID); err != nil {
+		return err
+	}
+	payload, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: encode manifest %s: %w", j.ID, err)
+	}
+	data, err := search.SealEnvelope(payload)
+	if err != nil {
+		return fmt.Errorf("jobs: seal manifest %s: %w", j.ID, err)
+	}
+	if err := fsatomic.WriteFile(s.ManifestPath(j.ID), data, 0o644); err != nil {
+		return fmt.Errorf("jobs: write manifest %s: %w", j.ID, err)
+	}
+	return nil
+}
+
+// Load reads one manifest. A missing file reports ErrNotFound.
+func (s *Store) Load(id string) (*Job, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.ManifestPath(id))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("jobs: load %s: %w", id, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: load %s: %w", id, err)
+	}
+	j, err := DecodeManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: load %s: %w", id, err)
+	}
+	if j.ID != id {
+		return nil, fmt.Errorf("jobs: load %s: manifest names job %q", id, j.ID)
+	}
+	return j, nil
+}
+
+// LoadAll reads every manifest in the directory, sorted by submission time
+// (ties broken by ID for determinism). Unreadable or corrupt manifests do
+// not block the rest — the daemon must come back up after a crash even if
+// one file is damaged — they are reported alongside the good ones.
+func (s *Store) LoadAll() ([]*Job, []error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, []error{fmt.Errorf("jobs: scan store: %w", err)}
+	}
+	var out []*Job
+	var errs []error
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, manifestSuffix) {
+			continue
+		}
+		id := strings.TrimSuffix(name, manifestSuffix)
+		j, err := s.Load(id)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].SubmittedAt.Equal(out[b].SubmittedAt) {
+			return out[a].SubmittedAt.Before(out[b].SubmittedAt)
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, errs
+}
+
+// Remove deletes every file belonging to id (manifest, checkpoint, trace).
+// Missing files are fine; the manifest must go last so a crash mid-remove
+// never leaves a manifest pointing at deleted state.
+func (s *Store) Remove(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	for _, p := range []string{s.CheckpointPath(id), s.TracePath(id), s.ManifestPath(id)} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("jobs: remove %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// DecodeManifest parses and validates one manifest file's bytes: envelope
+// (version + CRC), JSON payload, and the structural invariants a daemon
+// relies on. It is the fuzz surface for the store — corrupt, truncated, or
+// hostile input must produce an error, never a panic or a bogus Job.
+func DecodeManifest(data []byte) (*Job, error) {
+	payload, err := search.OpenEnvelope("job manifest", data)
+	if err != nil {
+		return nil, err
+	}
+	var j Job
+	if err := json.Unmarshal(payload, &j); err != nil {
+		return nil, fmt.Errorf("jobs: decode manifest: %w: %v", search.ErrBadCheckpoint, err)
+	}
+	if err := validID(j.ID); err != nil {
+		return nil, fmt.Errorf("jobs: decode manifest: %w: %v", search.ErrBadCheckpoint, err)
+	}
+	if !validState(j.State) {
+		return nil, fmt.Errorf("jobs: decode manifest: %w: unknown state %q", search.ErrBadCheckpoint, j.State)
+	}
+	if err := j.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("jobs: decode manifest: %w: %v", search.ErrBadCheckpoint, err)
+	}
+	if j.Attempt < 0 || j.Evals < 0 {
+		return nil, fmt.Errorf("jobs: decode manifest: %w: negative counters", search.ErrBadCheckpoint)
+	}
+	if j.State == StateDone && j.Result == nil {
+		return nil, fmt.Errorf("jobs: decode manifest: %w: done job without result", search.ErrBadCheckpoint)
+	}
+	return &j, nil
+}
+
+// validID gates IDs before they become file-path components or URL
+// segments: short, and drawn from a filesystem- and URL-safe alphabet.
+func validID(id string) error {
+	if id == "" || len(id) > 64 {
+		return fmt.Errorf("jobs: invalid job id %q", id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return fmt.Errorf("jobs: invalid job id %q", id)
+		}
+	}
+	return nil
+}

@@ -44,3 +44,29 @@ func Compares(err error) bool {
 func Fine(err error) bool {
 	return errors.Is(err, ErrBoom) || err == nil || err == errQuiet
 }
+
+// ErrUnavailable mirrors nasd's admission sentinel: callers branch on it
+// (HTTP 429 mapping, exit code 6), so every refusal must keep it in the
+// chain.
+var ErrUnavailable = errors.New("service unavailable")
+
+// Refuses wraps the admission sentinel: the queue-depth annotation keeps
+// errors.Is matching downstream.
+func Refuses(depth int) error {
+	return fmt.Errorf("queue full (%d waiting): %w", depth, ErrUnavailable)
+}
+
+// RefusesBadly stringifies the sentinel, so an exit-code mapping downstream
+// would report a generic failure instead of "unavailable".
+func RefusesBadly(depth int) error {
+	return fmt.Errorf("queue full (%d waiting): %s", depth, ErrUnavailable) // want "sentinel ErrUnavailable passed to fmt.Errorf with %s"
+}
+
+// RetryDecision must use errors.Is, not identity: admission errors arrive
+// wrapped.
+func RetryDecision(err error) bool {
+	if err == ErrUnavailable { // want "error compared to sentinel ErrUnavailable with =="
+		return true
+	}
+	return errors.Is(err, ErrUnavailable)
+}

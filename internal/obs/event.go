@@ -82,6 +82,25 @@ const (
 	// re-dispatched under a fresh lease and any result the zombie still
 	// delivers is fenced off by its stale lease ID.
 	KindLeaseExpire
+	// KindJobSubmit marks a search job admitted into the nasd queue (Job,
+	// Method, Eval = requested evaluation budget).
+	KindJobSubmit
+	// KindJobStart marks a job leaving the queue for a run slot (Job,
+	// Attempt = run attempt, Eval = evaluations already completed when the
+	// start is a resume from a checkpoint).
+	KindJobStart
+	// KindJobCheckpoint marks a job's durable state committed — manifest
+	// and per-job checkpoint on disk (Job, Eval = results persisted).
+	KindJobCheckpoint
+	// KindJobFinish marks a job reaching a terminal or parked state (Job,
+	// Method = final state name, Eval = completed evaluations, Reward =
+	// best reward for done jobs, Err for failures).
+	KindJobFinish
+	// KindJobEvict marks the watchdog evicting a running job — deadline
+	// exceeded or drain — before its budget completed (Job, Attempt,
+	// Err = eviction reason). The job retries, pauses with its checkpoint,
+	// or fails, which the subsequent job_start/job_finish records.
+	KindJobEvict
 )
 
 // SchemaVersion is the trace-format generation stamped into every
@@ -125,6 +144,11 @@ var kindNames = [...]string{
 	KindWorkerConnect:    "worker_connect",
 	KindWorkerDisconnect: "worker_disconnect",
 	KindLeaseExpire:      "lease_expire",
+	KindJobSubmit:        "job_submit",
+	KindJobStart:         "job_start",
+	KindJobCheckpoint:    "job_checkpoint",
+	KindJobFinish:        "job_finish",
+	KindJobEvict:         "job_evict",
 }
 
 // String returns the stable snake_case name used in JSONL traces.
@@ -179,6 +203,10 @@ type Event struct {
 	// Ident is the slot's transport identity ("local:<pid>" or
 	// "remote:<addr>#<lease>") on worker connect/disconnect/lease events.
 	Ident string `json:"ident,omitempty"`
+	// Job is the nasd job ID on job-lifecycle events (job_submit/start/
+	// checkpoint/finish/evict), and on every event a job's per-run recorder
+	// stamps, so one daemon-wide trace still attributes per-job streams.
+	Job string `json:"job,omitempty"`
 
 	// Trace-header fields (KindTraceHeader only).
 	Seed    uint64 `json:"seed,omitempty"`    // search seed

@@ -36,6 +36,10 @@ type Metrics struct {
 	hbMisses, specs, specWins         int
 	connects, disconnects, leaseExps  int
 
+	// Job-lifecycle tallies (nasd daemon runs; zero in one-shot traces).
+	jobSubmits, jobStarts, jobCheckpoints int
+	jobFinishes, jobEvicts                int
+
 	// ma is the shared streaming window average (metrics.WindowMA), the
 	// same implementation hpcsim's batch MovingAverage and obs/replay are
 	// cross-checked against.
@@ -175,6 +179,16 @@ func (m *Metrics) Record(e Event) {
 	case KindLeaseExpire:
 		m.leaseExps++
 		m.worker(e.Worker).LeaseExpires++
+	case KindJobSubmit:
+		m.jobSubmits++
+	case KindJobStart:
+		m.jobStarts++
+	case KindJobCheckpoint:
+		m.jobCheckpoints++
+	case KindJobFinish:
+		m.jobFinishes++
+	case KindJobEvict:
+		m.jobEvicts++
 	case KindSearchStart, KindTraceHeader:
 		// Run metadata: no aggregate state beyond the clock advance above.
 	default:
@@ -235,6 +249,13 @@ type Snapshot struct {
 	WorkerDisconnects int                    `json:"worker_disconnects"`
 	LeaseExpires      int                    `json:"lease_expires"`
 	PerWorkerCounters map[int]WorkerCounters `json:"per_worker,omitempty"`
+
+	// Job-lifecycle counters (nasd daemon traces; zero for one-shot runs).
+	JobSubmits     int `json:"job_submits,omitempty"`
+	JobStarts      int `json:"job_starts,omitempty"`
+	JobCheckpoints int `json:"job_checkpoints,omitempty"`
+	JobFinishes    int `json:"job_finishes,omitempty"`
+	JobEvicts      int `json:"job_evicts,omitempty"`
 }
 
 // Snapshot returns the current aggregate state.
@@ -264,6 +285,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		WorkerConnects:    m.connects,
 		WorkerDisconnects: m.disconnects,
 		LeaseExpires:      m.leaseExps,
+		JobSubmits:        m.jobSubmits,
+		JobStarts:         m.jobStarts,
+		JobCheckpoints:    m.jobCheckpoints,
+		JobFinishes:       m.jobFinishes,
+		JobEvicts:         m.jobEvicts,
 	}
 	if !math.IsInf(m.best, -1) {
 		s.BestReward = m.best

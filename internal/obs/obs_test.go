@@ -15,7 +15,7 @@ import (
 )
 
 func TestKindJSONRoundTrip(t *testing.T) {
-	for k := KindSearchStart; k <= KindTraceHeader; k++ {
+	for k := KindSearchStart; k <= KindJobEvict; k++ {
 		b, err := json.Marshal(k)
 		if err != nil {
 			t.Fatal(err)

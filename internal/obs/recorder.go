@@ -123,6 +123,45 @@ func CreateJSONL(path string) (*JSONL, error) {
 	return j, nil
 }
 
+// AppendJSONL opens the trace at path for appending, so a resumed run (a
+// restarted nasd job) continues the stream one incarnation left behind
+// instead of truncating it. The existing tail is scanned for the largest
+// recorded offset and the new sink's clock starts there, keeping offsets
+// monotonic across incarnations (daemon downtime is elided, exactly as a
+// replay of the stream would see it). fresh reports that the file held no
+// decodable events, i.e. the caller should write a trace header first.
+func AppendJSONL(path string) (*JSONL, bool, error) {
+	var last time.Duration
+	fresh := true
+	if prev, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(prev)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var e Event
+			if err := json.Unmarshal(line, &e); err != nil {
+				break // torn tail from the crash; replay tolerates it too
+			}
+			fresh = false
+			if e.T > last {
+				last = e.T
+			}
+		}
+		prev.Close()
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, false, err
+	}
+	j := NewJSONL(f)
+	j.c = f
+	j.clock.start = j.clock.start.Add(-last)
+	return j, fresh, nil
+}
+
 // Record appends one JSONL line.
 func (j *JSONL) Record(e Event) {
 	j.mu.Lock()

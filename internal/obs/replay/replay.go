@@ -361,6 +361,10 @@ func inferShape(a *Analysis, events []obs.Event) {
 			if e.Worker > maxWorker {
 				maxWorker = e.Worker
 			}
+		case obs.KindJobSubmit, obs.KindJobStart, obs.KindJobCheckpoint,
+			obs.KindJobFinish, obs.KindJobEvict:
+			// Job lifecycle describes the daemon's queue, not this trace's
+			// evaluation-slot shape.
 		default:
 			// Other kinds carry no shape information.
 		}
@@ -398,6 +402,10 @@ func busyIntervals(events []obs.Event) ([]metrics.Interval, float64) {
 				spans = append(spans, metrics.Interval{Lo: s.Seconds(), Hi: e.T.Seconds()})
 				delete(starts, idx)
 			}
+		case obs.KindJobSubmit, obs.KindJobStart, obs.KindJobCheckpoint,
+			obs.KindJobFinish, obs.KindJobEvict:
+			// Job admission and eviction do not occupy an evaluation slot;
+			// the evaluations a job runs open their own intervals.
 		default:
 			// Other kinds neither open nor close a busy interval.
 		}
@@ -478,6 +486,11 @@ func deriveLatency(a *Analysis, events []obs.Event) {
 			}
 			lastCheckpoint = e.T
 			haveCheckpointOrigin = true
+		case obs.KindJobSubmit, obs.KindJobStart, obs.KindJobCheckpoint,
+			obs.KindJobFinish, obs.KindJobEvict:
+			// Job transitions are queueing decisions, not evaluation phases;
+			// job_checkpoint in particular commits manifests, not the search
+			// checkpoint cadence PhaseCheckpoint histograms.
 		default:
 			// Other kinds mark no phase boundary.
 		}
@@ -536,6 +549,9 @@ func deriveSlots(a *Analysis, events []obs.Event, opts Options) {
 			slot(e.Worker).Disconnects++
 		case obs.KindLeaseExpire:
 			slot(e.Worker).LeaseExpires++
+		case obs.KindJobSubmit, obs.KindJobStart, obs.KindJobCheckpoint,
+			obs.KindJobFinish, obs.KindJobEvict:
+			// Job lifecycle belongs to the daemon queue, not a worker slot.
 		default:
 			// Other kinds attribute nothing to a slot.
 		}

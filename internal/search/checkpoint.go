@@ -8,11 +8,11 @@ import (
 	"hash/crc32"
 	"math"
 	"os"
-	"path/filepath"
 	"sync"
 	"time"
 
 	"podnas/internal/arch"
+	"podnas/internal/fsatomic"
 )
 
 // CheckpointVersion is the on-disk schema version written by Checkpointer.
@@ -44,6 +44,48 @@ func payloadChecksum(payload []byte) (uint32, error) {
 		return 0, err
 	}
 	return crc32.ChecksumIEEE(buf.Bytes()), nil
+}
+
+// SealEnvelope wraps a JSON payload in the versioned+CRC on-disk envelope.
+// It is exported so other durable stores (the nasd job manifests in
+// internal/jobs) commit state under exactly the integrity envelope the
+// checkpoint fuzzing and corruption tests already trust.
+func SealEnvelope(payload []byte) ([]byte, error) {
+	sum, err := payloadChecksum(payload)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(checkpointEnvelope{
+		Version: CheckpointVersion, Checksum: sum, Payload: payload,
+	}, "", " ")
+}
+
+// OpenEnvelope verifies the envelope around data and returns the inner
+// payload. name is used in error messages only (typically the file path).
+// Truncation, corruption, a CRC mismatch, or an unknown schema version all
+// fail with errors wrapping ErrBadCheckpoint. Legacy pre-envelope documents
+// (version 0, no payload field) are returned whole, without a CRC check.
+func OpenEnvelope(name string, data []byte) ([]byte, error) {
+	var env checkpointEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("search: %w: %s is truncated or not valid JSON: %w", ErrBadCheckpoint, name, err)
+	}
+	if env.Version == 0 && env.Payload == nil {
+		// Legacy pre-envelope file: the whole document is the payload.
+		return data, nil
+	}
+	if env.Version != CheckpointVersion {
+		return nil, fmt.Errorf("search: %w: %s has schema version %d, this build reads version %d", ErrBadCheckpoint, name, env.Version, CheckpointVersion)
+	}
+	payload := []byte(env.Payload)
+	sum, err := payloadChecksum(payload)
+	if err != nil {
+		return nil, fmt.Errorf("search: %w: %s payload is corrupted: %w", ErrBadCheckpoint, name, err)
+	}
+	if sum != env.Checksum {
+		return nil, fmt.Errorf("search: %w: %s is corrupted: payload CRC32 %08x does not match recorded %08x", ErrBadCheckpoint, name, sum, env.Checksum)
+	}
+	return payload, nil
 }
 
 // SearcherState is one serialized searcher snapshot. Kind names the
@@ -152,25 +194,9 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	var env checkpointEnvelope
-	if err := json.Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("search: %w: %s is truncated or not valid JSON: %w", ErrBadCheckpoint, path, err)
-	}
-	payload := []byte(env.Payload)
-	if env.Version == 0 && env.Payload == nil {
-		// Legacy pre-envelope file: the whole document is the checkpoint.
-		payload = data
-	} else {
-		if env.Version != CheckpointVersion {
-			return nil, fmt.Errorf("search: %w: %s has schema version %d, this build reads version %d", ErrBadCheckpoint, path, env.Version, CheckpointVersion)
-		}
-		sum, err := payloadChecksum(payload)
-		if err != nil {
-			return nil, fmt.Errorf("search: %w: %s payload is corrupted: %w", ErrBadCheckpoint, path, err)
-		}
-		if sum != env.Checksum {
-			return nil, fmt.Errorf("search: %w: %s is corrupted: payload CRC32 %08x does not match recorded %08x", ErrBadCheckpoint, path, sum, env.Checksum)
-		}
+	payload, err := OpenEnvelope(path, data)
+	if err != nil {
+		return nil, err
 	}
 	ck := &Checkpoint{}
 	if err := json.Unmarshal(payload, ck); err != nil {
@@ -183,8 +209,10 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 }
 
 // Checkpointer periodically persists search state to Path. Writes are
-// atomic (temp file + rename), so a crash mid-save leaves the previous
-// checkpoint intact.
+// atomic and durable (temp file + fsync + rename + directory fsync, via
+// internal/fsatomic), so a crash mid-save leaves the previous checkpoint
+// intact and a power loss immediately after a save cannot surface an empty
+// or torn "committed" file.
 type Checkpointer struct {
 	Path string
 	// Every is the save cadence in completed results (default 10). The
@@ -255,24 +283,11 @@ func (c *Checkpointer) write(ck *Checkpoint) error {
 	if err != nil {
 		return err
 	}
-	sum, err := payloadChecksum(payload)
-	if err != nil {
-		return err
-	}
-	data, err := json.MarshalIndent(checkpointEnvelope{
-		Version: CheckpointVersion, Checksum: sum, Payload: payload,
-	}, "", " ")
+	data, err := SealEnvelope(payload)
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	tmp := c.Path + ".tmp"
-	if err := os.MkdirAll(filepath.Dir(c.Path), 0o755); err != nil {
-		return err
-	}
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, c.Path)
+	return fsatomic.WriteFile(c.Path, data, 0o644)
 }

@@ -1,8 +1,10 @@
 package search
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"podnas/internal/arch"
+	"podnas/internal/fsatomic"
 	"podnas/internal/tensor"
 )
 
@@ -518,5 +521,69 @@ func TestCheckpointNonCheckpointRejected(t *testing.T) {
 	}
 	if _, err := LoadCheckpoint(path); err == nil {
 		t.Fatal("non-checkpoint JSON accepted as checkpoint")
+	}
+}
+
+// TestCheckpointWriteSyncs: the checkpoint write path must fsync the temp
+// file and the parent directory (via fsatomic), not merely rename — a power
+// loss right after a "committed" save must never surface an empty or torn
+// checkpoint.
+func TestCheckpointWriteSyncs(t *testing.T) {
+	s := toySpace()
+	path := filepath.Join(t.TempDir(), "ck.json")
+	c := &Checkpointer{Path: path}
+	rs, _ := NewRandomSearch(s, 55)
+	before := fsatomic.SyncCount()
+	if err := c.save(rs, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := fsatomic.SyncCount() - before; got < 2 {
+		t.Fatalf("checkpoint save issued %d fsyncs, want >= 2 (temp file + parent dir)", got)
+	}
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatalf("synced checkpoint does not load: %v", err)
+	}
+}
+
+// TestEnvelopeSealOpenRoundTrip pins the exported envelope helpers other
+// durable stores (the nasd job manifests) build on: seal→open returns the
+// payload, corruption and truncation are rejected with ErrBadCheckpoint,
+// and legacy bare documents pass through.
+func TestEnvelopeSealOpenRoundTrip(t *testing.T) {
+	payload := []byte(`{"kind":"RS","results":[]}`)
+	sealed, err := SealEnvelope(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenEnvelope("test", sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The envelope re-indents the embedded payload; the CRC (and this
+	// comparison) are over the compacted form, which must be identical.
+	var a, b bytes.Buffer
+	if err := json.Compact(&a, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&b, back); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("payload round-tripped to %q", back)
+	}
+	// One flipped byte inside the payload must fail the CRC.
+	bad := []byte(strings.Replace(string(sealed), `"RS"`, `"rs"`, 1))
+	if _, err := OpenEnvelope("test", bad); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("corrupted envelope opened: %v", err)
+	}
+	// Truncation must fail, not panic.
+	if _, err := OpenEnvelope("test", sealed[:len(sealed)/2]); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("truncated envelope opened: %v", err)
+	}
+	// Legacy pre-envelope documents (no version, no payload) pass through.
+	legacy := []byte(`{"kind":"RS"}`)
+	back, err = OpenEnvelope("test", legacy)
+	if err != nil || string(back) != string(legacy) {
+		t.Errorf("legacy document rejected: %q, %v", back, err)
 	}
 }
