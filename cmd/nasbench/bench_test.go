@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunBenchSmall runs the full measurement on a tiny shape and
+// sanity-checks the report invariants (both engines timed, speedups
+// computed, JSON round trip).
+func TestRunBenchSmall(t *testing.T) {
+	rep, err := runBench(BenchConfig{Hidden: 8, Batch: 4, Window: 3, Modes: 2, MinSeconds: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NsEvalFused <= 0 || rep.NsEvalRef <= 0 || rep.NsEpochFused <= 0 || rep.NsEpochRef <= 0 {
+		t.Fatalf("missing timings: %+v", rep)
+	}
+	if rep.SpeedupEval <= 0 || rep.SpeedupEpoch <= 0 {
+		t.Fatalf("speedups not computed: %+v", rep)
+	}
+	if rep.GemmGFLOPS <= 0 {
+		t.Fatalf("gemm throughput not measured: %+v", rep)
+	}
+	if rep.SIMD == "" {
+		t.Fatal("SIMD class missing")
+	}
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := rep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SpeedupEval != rep.SpeedupEval || got.Rev != rep.Rev {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, rep)
+	}
+}
+
+func TestDiffGate(t *testing.T) {
+	base := &Report{SIMD: "avx512", SpeedupEval: 5.0, SpeedupEpoch: 4.0, AllocsPerStep: 6}
+	same := &Report{SIMD: "avx512", SpeedupEval: 4.8, SpeedupEpoch: 3.9, AllocsPerStep: 6}
+	if regs := Diff(base, same, 0.10); len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+	slow := &Report{SIMD: "avx512", SpeedupEval: 4.0, SpeedupEpoch: 4.0, AllocsPerStep: 6}
+	regs := Diff(base, slow, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "speedup_eval") {
+		t.Fatalf("eval regression not flagged: %v", regs)
+	}
+	leaky := &Report{SIMD: "avx512", SpeedupEval: 5.0, SpeedupEpoch: 4.0, AllocsPerStep: 40}
+	if regs := Diff(base, leaky, 0.10); len(regs) != 1 || !strings.Contains(regs[0], "allocs_per_step") {
+		t.Fatalf("alloc regression not flagged: %v", regs)
+	}
+	// Cross-ISA: ratios skipped, allocations still gated.
+	cross := &Report{SIMD: "avx2", SpeedupEval: 2.0, SpeedupEpoch: 2.0, AllocsPerStep: 6}
+	if regs := Diff(base, cross, 0.10); len(regs) != 0 {
+		t.Fatalf("cross-ISA ratios must not be compared: %v", regs)
+	}
+}
+
+// TestGitRev reads a synthetic .git layout: symbolic ref, packed ref,
+// and detached HEAD.
+func TestGitRev(t *testing.T) {
+	dir := t.TempDir()
+	git := filepath.Join(dir, ".git")
+	if err := os.MkdirAll(filepath.Join(git, "refs", "heads"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	hex := "0123456789abcdef0123456789abcdef01234567"
+	write := func(p, s string) {
+		t.Helper()
+		if err := os.WriteFile(p, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(filepath.Join(git, "HEAD"), "ref: refs/heads/main\n")
+	write(filepath.Join(git, "refs", "heads", "main"), hex+"\n")
+	if got := gitRev(dir); got != hex[:12] {
+		t.Fatalf("loose ref: got %q", got)
+	}
+	// Nested working-directory path should walk up to the root.
+	sub := filepath.Join(dir, "a", "b")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if got := gitRev(sub); got != hex[:12] {
+		t.Fatalf("nested walk-up: got %q", got)
+	}
+	// Packed ref fallback.
+	if err := os.Remove(filepath.Join(git, "refs", "heads", "main")); err != nil {
+		t.Fatal(err)
+	}
+	write(filepath.Join(git, "packed-refs"), "# pack-refs with: peeled\n"+hex+" refs/heads/main\n")
+	if got := gitRev(dir); got != hex[:12] {
+		t.Fatalf("packed ref: got %q", got)
+	}
+	// Detached HEAD.
+	write(filepath.Join(git, "HEAD"), hex+"\n")
+	if got := gitRev(dir); got != hex[:12] {
+		t.Fatalf("detached: got %q", got)
+	}
+	if got := gitRev(t.TempDir()); got != "unknown" {
+		t.Fatalf("no repo: got %q", got)
+	}
+}

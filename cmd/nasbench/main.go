@@ -1,0 +1,96 @@
+// Command nasbench measures the training hot path on the machine it
+// runs on and gates performance regressions.
+//
+// `nasbench run` times the paper's hot configuration (LSTM(80), batch
+// 64, 8-step windows, 5 POD modes) on both engines in the same process
+// — the fused kernel path and the preserved pre-kernel reference path —
+// and writes a BENCH_<rev>.json report with ns/eval, ns/epoch, achieved
+// GEMM GFLOP/s, allocs/step, and the fused-over-reference speedups.
+//
+// `nasbench diff old.json new.json` exits 1 when new regresses a
+// machine-stable metric by more than the tolerance (default 10%): the
+// speedup ratios when both files come from the same SIMD class, and the
+// per-step allocation count always. Absolute nanosecond numbers are
+// machine-dependent and never gated.
+//
+// Usage:
+//
+//	nasbench run [-o out.json] [-hidden 80] [-batch 64] [-window 8]
+//	             [-modes 5] [-secs 1.0]
+//	nasbench diff [-tol 0.10] old.json new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nasbench: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ExitOnError)
+		out := fs.String("o", "", "output path (default BENCH_<rev>.json)")
+		hidden := fs.Int("hidden", 80, "LSTM hidden width")
+		batch := fs.Int("batch", 64, "batch size")
+		window := fs.Int("window", 8, "window length (timesteps)")
+		modes := fs.Int("modes", 5, "POD modes (feature width)")
+		secs := fs.Float64("secs", 1.0, "min measurement seconds per timer")
+		fs.Parse(os.Args[2:])
+		rep, err := runBench(BenchConfig{
+			Hidden: *hidden, Batch: *batch, Window: *window, Modes: *modes,
+			MinSeconds: *secs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := *out
+		if path == "" {
+			path = "BENCH_" + rep.Rev + ".json"
+		}
+		if err := rep.Save(path); err != nil {
+			log.Fatal(err)
+		}
+		rep.Print(os.Stdout)
+		fmt.Printf("wrote %s\n", path)
+	case "diff":
+		fs := flag.NewFlagSet("diff", flag.ExitOnError)
+		tol := fs.Float64("tol", 0.10, "allowed fractional regression")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 2 {
+			usage()
+		}
+		oldRep, err := LoadReport(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		newRep, err := LoadReport(fs.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		regs := Diff(oldRep, newRep, *tol)
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+		if len(regs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("ok: no regression beyond %.0f%% (%s -> %s)\n",
+			*tol*100, oldRep.Rev, newRep.Rev)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  nasbench run  [-o out.json] [-hidden 80] [-batch 64] [-window 8] [-modes 5] [-secs 1.0]
+  nasbench diff [-tol 0.10] old.json new.json`)
+	os.Exit(2)
+}

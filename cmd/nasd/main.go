@@ -117,6 +117,7 @@ func run() error {
 
 	met := obs.NewMetrics(*maxRunning)
 	met.Publish("")
+	obs.PublishKernelStats("")
 	sinks := []obs.Recorder{met}
 	var traceLog *obs.JSONL
 	if *tracePath != "" {

@@ -251,6 +251,7 @@ func main() {
 		rec.Record(obs.NewHeader(*method, *seed, *workers, podnas.Version))
 		if *obsAddr != "" {
 			met.Publish("")
+			obs.PublishKernelStats("")
 			srv, ln, err := obs.Serve(*obsAddr)
 			if err != nil {
 				fatalUsage("-obs: %v", err)

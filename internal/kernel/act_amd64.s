@@ -1,0 +1,232 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// lstmFwdAVX512 constants. Layout is fixed; the #defines below name the
+// byte offsets. The exp polynomial is the degree-11 Taylor series of e^r
+// on |r| <= ln2/2 after Cody-Waite range reduction, scaled back with
+// VSCALEFPD (no integer exponent arithmetic, so extreme k saturates to
+// 0/Inf gracefully instead of wrapping).
+DATA lstmK<>+0x00(SB)/8, $0x7FFFFFFFFFFFFFFF // abs mask
+DATA lstmK<>+0x08(SB)/8, $0x4044000000000000 // 40.0 (gate saturation bound)
+DATA lstmK<>+0x10(SB)/8, $0x4034000000000000 // 20.0 (tanh-argument bound)
+DATA lstmK<>+0x18(SB)/8, $0x3FF71547652B82FE // log2(e)
+DATA lstmK<>+0x20(SB)/8, $0x3FE62E42FEE00000 // ln2 hi (20 trailing zero bits)
+DATA lstmK<>+0x28(SB)/8, $0x3DEA39EF35793C76 // ln2 lo
+DATA lstmK<>+0x30(SB)/8, $0xC000000000000000 // -2.0
+DATA lstmK<>+0x38(SB)/8, $0x3FF0000000000000 // 1.0
+DATA lstmK<>+0x40(SB)/8, $0x3E5AE64567F544E4 // 1/11!
+DATA lstmK<>+0x48(SB)/8, $0x3E927E4FB7789F5C // 1/10!
+DATA lstmK<>+0x50(SB)/8, $0x3EC71DE3A556C734 // 1/9!
+DATA lstmK<>+0x58(SB)/8, $0x3EFA01A01A01A01A // 1/8!
+DATA lstmK<>+0x60(SB)/8, $0x3F2A01A01A01A01A // 1/7!
+DATA lstmK<>+0x68(SB)/8, $0x3F56C16C16C16C17 // 1/6!
+DATA lstmK<>+0x70(SB)/8, $0x3F81111111111111 // 1/5!
+DATA lstmK<>+0x78(SB)/8, $0x3FA5555555555555 // 1/4!
+DATA lstmK<>+0x80(SB)/8, $0x3FC5555555555555 // 1/3!
+DATA lstmK<>+0x88(SB)/8, $0x3FE0000000000000 // 1/2!
+DATA lstmK<>+0x90(SB)/8, $0x8000000000000000 // sign bit
+GLOBL lstmK<>(SB), RODATA|NOPTR, $0x98
+
+#define ABSMASK lstmK<>+0x00(SB)
+#define SAT40   lstmK<>+0x08(SB)
+#define SAT20   lstmK<>+0x10(SB)
+#define LOG2E   lstmK<>+0x18(SB)
+#define LN2HI   lstmK<>+0x20(SB)
+#define LN2LO   lstmK<>+0x28(SB)
+#define NEGTWO  lstmK<>+0x30(SB)
+#define ONE     lstmK<>+0x38(SB)
+#define C11     lstmK<>+0x40(SB)
+#define C10     lstmK<>+0x48(SB)
+#define C9      lstmK<>+0x50(SB)
+#define C8      lstmK<>+0x58(SB)
+#define C7      lstmK<>+0x60(SB)
+#define C6      lstmK<>+0x68(SB)
+#define C5      lstmK<>+0x70(SB)
+#define C4      lstmK<>+0x78(SB)
+#define C3      lstmK<>+0x80(SB)
+#define C2      lstmK<>+0x88(SB)
+#define SIGNBIT lstmK<>+0x90(SB)
+
+// EXPSTEP folds one Taylor coefficient into all four interleaved Horner
+// chains: p_i = p_i*r_i + coeff.
+#define EXPSTEP(coeff) \
+	VFMADD213PD.BCST coeff, Z8, Z12  \
+	VFMADD213PD.BCST coeff, Z9, Z13  \
+	VFMADD213PD.BCST coeff, Z10, Z14 \
+	VFMADD213PD.BCST coeff, Z11, Z15
+
+// func lstmFwdAVX512(z, cPrev, c, tanhC, h *float64, n, stride int64) int64
+//
+// Fused LSTM gate sweep over groups of 8 batch-row elements: the four
+// gate blocks live at z, z+8*stride, z+16*stride, z+24*stride bytes
+// (pre-activations in, activated gates out), with the cell update and
+// cell tanh computed in the same pass. Processes floor-to-group until a
+// group contains a saturated or non-finite value (|z_ifo| >= 40,
+// |z_g| >= 20, or |c| >= 20), then returns the count of elements fully
+// written; the caller finishes that group and the tail with the scalar
+// path. Nothing is stored for a bailed group.
+TEXT ·lstmFwdAVX512(SB), NOSPLIT, $0-64
+	MOVQ z+0(FP), DI
+	MOVQ cPrev+8(FP), SI
+	MOVQ c+16(FP), DX
+	MOVQ tanhC+24(FP), R8
+	MOVQ h+32(FP), R9
+	MOVQ n+40(FP), BX
+	MOVQ stride+48(FP), R10
+	SHLQ $3, R10           // gate-block stride in bytes
+	LEAQ (R10)(R10*2), R11 // 3*stride for the o block
+	XORQ CX, CX            // elements done
+
+loop:
+	MOVQ BX, AX
+	SUBQ CX, AX
+	CMPQ AX, $8
+	JL   done
+
+	// Load the four gate pre-activation vectors.
+	VMOVUPD (DI), Z0         // z_i
+	VMOVUPD (DI)(R10*1), Z1  // z_f
+	VMOVUPD (DI)(R10*2), Z2  // z_g
+	VMOVUPD (DI)(R11*1), Z3  // z_o
+
+	// Saturation / non-finite check (ordered LT: NaN lanes drop out).
+	VANDPD.BCST ABSMASK, Z0, Z25
+	VCMPPD.BCST $17, SAT40, Z25, K1
+	VANDPD.BCST ABSMASK, Z1, Z25
+	VCMPPD.BCST $17, SAT40, Z25, K2
+	KANDW       K2, K1, K1
+	VANDPD.BCST ABSMASK, Z3, Z25
+	VCMPPD.BCST $17, SAT40, Z25, K2
+	KANDW       K2, K1, K1
+	VANDPD.BCST ABSMASK, Z2, Z25
+	VCMPPD.BCST $17, SAT20, Z25, K2
+	KANDW       K2, K1, K1
+	KMOVW       K1, AX
+	CMPW        AX, $0xFF
+	JNE         done
+
+	// Exponent arguments: -z_i, -z_f, -2*z_g, -z_o.
+	VXORPD.BCST SIGNBIT, Z0, Z0
+	VXORPD.BCST SIGNBIT, Z1, Z1
+	VMULPD.BCST NEGTWO, Z2, Z2
+	VXORPD.BCST SIGNBIT, Z3, Z3
+
+	// Four interleaved exponentials: k = round(x*log2e),
+	// r = x - k*ln2Hi - k*ln2Lo, p = Taylor_11(r), e = p * 2^k.
+	VMULPD.BCST  LOG2E, Z0, Z4
+	VMULPD.BCST  LOG2E, Z1, Z5
+	VMULPD.BCST  LOG2E, Z2, Z6
+	VMULPD.BCST  LOG2E, Z3, Z7
+	VRNDSCALEPD  $0, Z4, Z4
+	VRNDSCALEPD  $0, Z5, Z5
+	VRNDSCALEPD  $0, Z6, Z6
+	VRNDSCALEPD  $0, Z7, Z7
+	VMOVAPD      Z0, Z8
+	VMOVAPD      Z1, Z9
+	VMOVAPD      Z2, Z10
+	VMOVAPD      Z3, Z11
+	VFNMADD231PD.BCST LN2HI, Z4, Z8
+	VFNMADD231PD.BCST LN2HI, Z5, Z9
+	VFNMADD231PD.BCST LN2HI, Z6, Z10
+	VFNMADD231PD.BCST LN2HI, Z7, Z11
+	VFNMADD231PD.BCST LN2LO, Z4, Z8
+	VFNMADD231PD.BCST LN2LO, Z5, Z9
+	VFNMADD231PD.BCST LN2LO, Z6, Z10
+	VFNMADD231PD.BCST LN2LO, Z7, Z11
+	VBROADCASTSD C11, Z12
+	VBROADCASTSD C11, Z13
+	VBROADCASTSD C11, Z14
+	VBROADCASTSD C11, Z15
+	EXPSTEP(C10)
+	EXPSTEP(C9)
+	EXPSTEP(C8)
+	EXPSTEP(C7)
+	EXPSTEP(C6)
+	EXPSTEP(C5)
+	EXPSTEP(C4)
+	EXPSTEP(C3)
+	EXPSTEP(C2)
+	EXPSTEP(ONE)
+	EXPSTEP(ONE)
+	VSCALEFPD Z4, Z12, Z4 // e_i = exp(-z_i)
+	VSCALEFPD Z5, Z13, Z5 // e_f
+	VSCALEFPD Z6, Z14, Z6 // e_g = exp(-2*z_g)
+	VSCALEFPD Z7, Z15, Z7 // e_o
+
+	// sigma(x) = 1/(1+e), tanh via (1-e)/(1+e); one reciprocal covers
+	// all four denominators (1/d_k = inv * product of the other three).
+	VBROADCASTSD ONE, Z24
+	VADDPD Z24, Z4, Z8   // d_i
+	VADDPD Z24, Z5, Z9   // d_f
+	VADDPD Z24, Z6, Z10  // d_g
+	VADDPD Z24, Z7, Z11  // d_o
+	VMULPD Z9, Z8, Z12   // d_i*d_f
+	VMULPD Z11, Z10, Z13 // d_g*d_o
+	VMULPD Z13, Z12, Z14
+	VDIVPD Z14, Z24, Z14 // 1/(d_i*d_f*d_g*d_o)
+	VMULPD Z13, Z14, Z15 // 1/(d_i*d_f)
+	VMULPD Z12, Z14, Z12 // 1/(d_g*d_o)
+	VMULPD Z9, Z15, Z16  // gate i = 1/d_i
+	VMULPD Z8, Z15, Z17  // gate f = 1/d_f
+	VMULPD Z11, Z12, Z18 // 1/d_g
+	VMULPD Z10, Z12, Z19 // gate o = 1/d_o
+	VSUBPD Z6, Z24, Z20
+	VMULPD Z20, Z18, Z18 // gate g = (1-e_g)/(1+e_g)
+
+	// c = f*cPrev + i*g, then bail before storing if |c| >= 20.
+	VMOVUPD (SI), Z21
+	VMULPD  Z18, Z16, Z22
+	VFMADD231PD Z21, Z17, Z22
+	VANDPD.BCST ABSMASK, Z22, Z25
+	VCMPPD.BCST $17, SAT20, Z25, K1
+	KMOVW       K1, AX
+	CMPW        AX, $0xFF
+	JNE         done
+
+	// tanh(c) = (1-e)/(1+e), e = exp(-2c); h = o*tanh(c).
+	VMULPD.BCST  NEGTWO, Z22, Z0
+	VMULPD.BCST  LOG2E, Z0, Z4
+	VRNDSCALEPD  $0, Z4, Z4
+	VMOVAPD      Z0, Z8
+	VFNMADD231PD.BCST LN2HI, Z4, Z8
+	VFNMADD231PD.BCST LN2LO, Z4, Z8
+	VBROADCASTSD C11, Z12
+	VFMADD213PD.BCST C10, Z8, Z12
+	VFMADD213PD.BCST C9, Z8, Z12
+	VFMADD213PD.BCST C8, Z8, Z12
+	VFMADD213PD.BCST C7, Z8, Z12
+	VFMADD213PD.BCST C6, Z8, Z12
+	VFMADD213PD.BCST C5, Z8, Z12
+	VFMADD213PD.BCST C4, Z8, Z12
+	VFMADD213PD.BCST C3, Z8, Z12
+	VFMADD213PD.BCST C2, Z8, Z12
+	VFMADD213PD.BCST ONE, Z8, Z12
+	VFMADD213PD.BCST ONE, Z8, Z12
+	VSCALEFPD Z4, Z12, Z4
+	VADDPD Z24, Z4, Z8  // 1+e
+	VSUBPD Z4, Z24, Z9  // 1-e
+	VDIVPD Z8, Z9, Z23  // tanh(c)
+	VMULPD Z23, Z19, Z26
+
+	// Store activated gates, cell state, tanh, hidden output.
+	VMOVUPD Z16, (DI)
+	VMOVUPD Z17, (DI)(R10*1)
+	VMOVUPD Z18, (DI)(R10*2)
+	VMOVUPD Z19, (DI)(R11*1)
+	VMOVUPD Z22, (DX)
+	VMOVUPD Z23, (R8)
+	VMOVUPD Z26, (R9)
+
+	ADDQ $64, DI
+	ADDQ $64, SI
+	ADDQ $64, DX
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $8, CX
+	JMP  loop
+
+done:
+	VZEROUPPER
+	MOVQ CX, ret+56(FP)
+	RET

@@ -1,0 +1,74 @@
+package kernel
+
+import "testing"
+
+func TestArenaReuseAfterReset(t *testing.T) {
+	a := NewArena()
+	s1 := a.Alloc(100)
+	s2 := a.Alloc(200)
+	if &s1[0] == &s2[0] {
+		t.Fatal("distinct allocations alias")
+	}
+	for i := range s2 {
+		s2[i] = 7
+	}
+	a.Reset()
+	r1 := a.Alloc(100)
+	if &r1[0] != &s1[0] {
+		t.Fatal("post-Reset allocation did not reuse the slab")
+	}
+	// Same-size allocs after reset replay the same addresses, the
+	// property that makes steady-state training allocation-free.
+	r2 := a.Alloc(200)
+	if &r2[0] != &s2[0] {
+		t.Fatal("second allocation did not replay")
+	}
+}
+
+func TestArenaAllocZero(t *testing.T) {
+	a := NewArena()
+	s := a.Alloc(64)
+	for i := range s {
+		s[i] = 3.5
+	}
+	a.Reset()
+	z := a.AllocZero(64)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("AllocZero[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestArenaLargeAlloc(t *testing.T) {
+	a := NewArena()
+	big := a.Alloc(3 * arenaMinSlab)
+	if len(big) != 3*arenaMinSlab {
+		t.Fatalf("len %d", len(big))
+	}
+	small := a.Alloc(10)
+	big[len(big)-1] = 1
+	small[0] = 2
+	if big[len(big)-1] != 1 {
+		t.Fatal("allocations overlap")
+	}
+	a.Reset()
+	again := a.Alloc(3 * arenaMinSlab)
+	if &again[0] != &big[0] {
+		t.Fatal("large slab not reused after Reset")
+	}
+}
+
+// TestArenaCapIsolation: returned slices have capacity clamped to their
+// length so an append cannot silently scribble over a neighbour.
+func TestArenaCapIsolation(t *testing.T) {
+	a := NewArena()
+	s1 := a.Alloc(8)
+	s2 := a.Alloc(8)
+	s2[0] = 42
+	s1 = append(s1, 99)
+	if s2[0] != 42 {
+		t.Fatal("append into s1 overwrote s2")
+	}
+	_ = s1
+}

@@ -1,0 +1,62 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The benchmark shapes are the BPTT hot shapes for the paper's widest
+// search-space cell (H=80..96, batch 64, 4H gate blocks).
+var benchShapes = [][3]int{
+	{64, 80, 320}, // h·Wh recurrent step
+	{64, 320, 80}, // dz·Whᵀ
+	{80, 64, 320}, // hᵀ·dz weight gradient
+	{512, 5, 320}, // X·Wx bulk input projection
+	{128, 128, 128},
+}
+
+func BenchmarkGemm(b *testing.B) {
+	for _, sh := range benchShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		for _, mode := range []string{"kernel", "generic", "ref"} {
+			b.Run(fmt.Sprintf("%s/m%dk%dn%d", mode, m, k, n), func(b *testing.B) {
+				r := &testRNG{s: 1}
+				a := randMat(r, m, k)
+				bm := randMat(r, k, n)
+				dst := MatOf(m, n, make([]float64, m*n))
+				b.SetBytes(int64(8 * (m*k + k*n + m*n)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					switch mode {
+					case "kernel":
+						Config{Workers: 1}.Gemm(dst, a, bm, false, false, false)
+					case "generic":
+						Config{Workers: 1, ForceGeneric: true}.Gemm(dst, a, bm, false, false, false)
+					default:
+						RefGemm(dst, a, bm, false, false, false)
+					}
+				}
+				flops := float64(2*m*k*n) * float64(b.N)
+				b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+			})
+		}
+	}
+}
+
+func BenchmarkLSTMForwardStep(b *testing.B) {
+	const H = 80
+	r := &testRNG{s: 2}
+	z := make([]float64, 4*H)
+	orig := make([]float64, 4*H)
+	for i := range orig {
+		orig[i] = 3 * r.next()
+	}
+	cPrev := make([]float64, H)
+	c, tc, h := make([]float64, H), make([]float64, H), make([]float64, H)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(z, orig)
+		LSTMForwardStep(z, cPrev, c, tc, h)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package kernel
+
+// No SIMD micro-kernels off amd64: every Config resolves to the
+// pure-Go blocked path.
+var hasAVX2, hasAVX512 bool

@@ -1,0 +1,301 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Micro-kernel families. The asm kernels accumulate a full mr×nr tile
+// of C from zero-padded packed panels; the generic path is the pure-Go
+// fallback with the same packing contract.
+const (
+	isaGeneric = iota
+	isaAVX2
+	isaAVX512
+)
+
+// isaDims returns the register-tile shape of a micro-kernel family.
+func isaDims(isa int) (mr, nr int) {
+	switch isa {
+	case isaAVX512:
+		return 8, 16
+	case isaAVX2:
+		return 6, 8
+	default:
+		return 4, 4
+	}
+}
+
+// isa resolves the micro-kernel family for this config on this CPU.
+func (c Config) isa() int {
+	if c.ForceGeneric {
+		return isaGeneric
+	}
+	if hasAVX512 {
+		return isaAVX512
+	}
+	if hasAVX2 {
+		return isaAVX2
+	}
+	return isaGeneric
+}
+
+// PackedB is op(B) repacked into zero-padded nr-wide column panels, the
+// form the micro-kernels stream. Packing is the dominant per-call
+// overhead for small GEMMs, so hot loops that reuse one right-hand side
+// across many calls (the LSTM recurrence reuses Wh for every timestep)
+// pack once with PackB and call GemmPacked.
+//
+// A PackedB is tied to the micro-kernel family of the Config that
+// packed it; use it with a Config resolving to the same family.
+type PackedB struct {
+	k, n   int
+	isa    int
+	mr, nr int
+	buf    []float64
+}
+
+// PackB packs op(B) (k×n, where op is the identity or the transpose)
+// into pb, reusing its buffer when large enough. A nil pb allocates a
+// fresh one. Returns pb.
+func (c Config) PackB(pb *PackedB, b Mat, transB bool) *PackedB {
+	if !b.ok() {
+		panic(fmt.Sprintf("kernel: PackB bad view %dx%d stride %d over %d floats", b.R, b.C, b.Stride, len(b.Data)))
+	}
+	k, n := b.R, b.C
+	if transB {
+		k, n = b.C, b.R
+	}
+	if pb == nil {
+		pb = &PackedB{}
+	}
+	pb.k, pb.n = k, n
+	pb.isa = c.isa()
+	pb.mr, pb.nr = isaDims(pb.isa)
+	nr := pb.nr
+	nb := (n + nr - 1) / nr
+	need := nb * k * nr
+	if cap(pb.buf) < need {
+		pb.buf = make([]float64, need)
+	}
+	pb.buf = pb.buf[:need]
+	for jb := 0; jb < nb; jb++ {
+		j0 := jb * nr
+		w := min(nr, n-j0)
+		panel := pb.buf[jb*k*nr : (jb+1)*k*nr]
+		if transB {
+			for p := 0; p < k; p++ {
+				drow := panel[p*nr : p*nr+nr]
+				for jr := 0; jr < w; jr++ {
+					drow[jr] = b.Data[(j0+jr)*b.Stride+p]
+				}
+				for jr := w; jr < nr; jr++ {
+					drow[jr] = 0
+				}
+			}
+		} else {
+			for p := 0; p < k; p++ {
+				brow := b.Data[p*b.Stride+j0 : p*b.Stride+j0+w]
+				drow := panel[p*nr : p*nr+nr]
+				copy(drow, brow)
+				for jr := w; jr < nr; jr++ {
+					drow[jr] = 0
+				}
+			}
+		}
+	}
+	return pb
+}
+
+// scratch is the per-worker packing buffer set, pooled so steady-state
+// GEMM calls allocate nothing.
+type scratch struct {
+	ap []float64
+	ct [8 * 16]float64 // mrMax × nrMax edge tile
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+var packPool = sync.Pool{New: func() any { return &PackedB{} }}
+
+// Gemm computes dst = op(A)·op(B) (or dst += when accumulate is true)
+// where op is the identity or the transpose per the trans flags. dst
+// must be preshaped (m×n) and must not alias a or b. This is the single
+// entry point the tensor MatMul* family wraps.
+func (c Config) Gemm(dst, a, b Mat, transA, transB, accumulate bool) {
+	pb := packPool.Get().(*PackedB)
+	pb = c.PackB(pb, b, transB)
+	c.GemmPacked(dst, a, transA, pb, accumulate)
+	packPool.Put(pb)
+}
+
+// Gemm runs Config.Gemm with the default policy (auto SIMD, GOMAXPROCS
+// workers).
+func Gemm(dst, a, b Mat, transA, transB, accumulate bool) {
+	Config{}.Gemm(dst, a, b, transA, transB, accumulate)
+}
+
+// GemmPacked is Gemm with the right-hand side already packed by PackB.
+func (c Config) GemmPacked(dst, a Mat, transA bool, pb *PackedB, accumulate bool) {
+	if !dst.ok() || !a.ok() {
+		panic(fmt.Sprintf("kernel: Gemm bad view dst %dx%d/%d a %dx%d/%d", dst.R, dst.C, dst.Stride, a.R, a.C, a.Stride))
+	}
+	m, k := a.R, a.C
+	if transA {
+		m, k = a.C, a.R
+	}
+	n := pb.n
+	if k != pb.k || dst.R != m || dst.C != n {
+		panic(fmt.Sprintf("kernel: Gemm shape mismatch op(A) %dx%d, packed B %dx%d, dst %dx%d", m, k, pb.k, pb.n, dst.R, dst.C))
+	}
+	gemmCalls.Add(1)
+	gemmFLOPs.Add(2 * uint64(m) * uint64(n) * uint64(k))
+	if m == 0 || n == 0 {
+		return
+	}
+	// Serial fast path avoids the escaping closure (one heap alloc per
+	// call) that the goroutine fan-out needs.
+	w := c.workers()
+	if w <= 1 || m*2*k*n < c.threshold() {
+		gemmRowBlock(dst, a, transA, pb, accumulate, 0, m)
+		return
+	}
+	c.parallelRows(m, 2*k*n, pb.mr, func(lo, hi int) {
+		gemmRowBlock(dst, a, transA, pb, accumulate, lo, hi)
+	})
+}
+
+// gemmRowBlock computes rows [lo, hi) of dst — the per-worker unit of
+// GemmPacked. Row blocks are disjoint, so any partition of [0, m) into
+// aligned blocks yields bit-identical results.
+func gemmRowBlock(dst, a Mat, transA bool, pb *PackedB, accumulate bool, lo, hi int) {
+	k, n := pb.k, pb.n
+	mr, nr := pb.mr, pb.nr
+	nb := (n + nr - 1) / nr
+	{
+		if !accumulate {
+			for i := lo; i < hi; i++ {
+				row := dst.Data[i*dst.Stride : i*dst.Stride+n]
+				for j := range row {
+					row[j] = 0
+				}
+			}
+		}
+		if k == 0 {
+			return
+		}
+		s := scratchPool.Get().(*scratch)
+		if cap(s.ap) < k*mr {
+			s.ap = make([]float64, k*mr)
+		}
+		ap := s.ap[:k*mr]
+		for i0 := lo; i0 < hi; i0 += mr {
+			h := min(mr, hi-i0)
+			// Pack the A panel for this row block: p-major, mr-wide,
+			// zero-padded, absorbing stride and transpose.
+			if transA {
+				for p := 0; p < k; p++ {
+					arow := a.Data[p*a.Stride:]
+					for ir := 0; ir < h; ir++ {
+						ap[p*mr+ir] = arow[i0+ir]
+					}
+					for ir := h; ir < mr; ir++ {
+						ap[p*mr+ir] = 0
+					}
+				}
+			} else {
+				for p := 0; p < k; p++ {
+					for ir := 0; ir < h; ir++ {
+						ap[p*mr+ir] = a.Data[(i0+ir)*a.Stride+p]
+					}
+					for ir := h; ir < mr; ir++ {
+						ap[p*mr+ir] = 0
+					}
+				}
+			}
+			for jb := 0; jb < nb; jb++ {
+				j0 := jb * nr
+				w := min(nr, n-j0)
+				bp := pb.buf[jb*k*nr:]
+				if h == mr && w == nr {
+					callKernel(pb.isa, dst.Data[i0*dst.Stride+j0:], ap, bp, k, dst.Stride)
+					continue
+				}
+				// Edge tile: run the kernel into a zeroed scratch tile,
+				// then fold the live h×w corner into dst.
+				for i := range s.ct[:mr*nr] {
+					s.ct[i] = 0
+				}
+				callKernel(pb.isa, s.ct[:], ap, bp, k, nr)
+				for ir := 0; ir < h; ir++ {
+					drow := dst.Data[(i0+ir)*dst.Stride+j0:]
+					trow := s.ct[ir*nr:]
+					for jr := 0; jr < w; jr++ {
+						drow[jr] += trow[jr]
+					}
+				}
+			}
+		}
+		scratchPool.Put(s)
+	}
+}
+
+// callKernel dispatches one register tile: C(mr×nr, row stride ldc) +=
+// Apanel(kc×mr packed) · Bpanel(kc×nr packed).
+func callKernel(isa int, c, ap, bp []float64, kc, ldc int) {
+	switch isa {
+	case isaAVX512:
+		gemmKernel8x16(&c[0], &ap[0], &bp[0], int64(kc), int64(ldc))
+	case isaAVX2:
+		gemmKernel6x8(&c[0], &ap[0], &bp[0], int64(kc), int64(ldc))
+	default:
+		gemmKernel4x4(c, ap, bp, kc, ldc)
+	}
+}
+
+// gemmKernel4x4 is the pure-Go micro-kernel (mr=nr=4): sixteen scalar
+// accumulators the compiler keeps in registers.
+func gemmKernel4x4(c, ap, bp []float64, kc, ldc int) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	for p := 0; p < kc; p++ {
+		a := ap[p*4 : p*4+4]
+		b := bp[p*4 : p*4+4]
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	c[0] += c00
+	c[1] += c01
+	c[2] += c02
+	c[3] += c03
+	c[ldc+0] += c10
+	c[ldc+1] += c11
+	c[ldc+2] += c12
+	c[ldc+3] += c13
+	c[2*ldc+0] += c20
+	c[2*ldc+1] += c21
+	c[2*ldc+2] += c22
+	c[2*ldc+3] += c23
+	c[3*ldc+0] += c30
+	c[3*ldc+1] += c31
+	c[3*ldc+2] += c32
+	c[3*ldc+3] += c33
+}

@@ -1,0 +1,199 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+)
+
+// testRNG is a splitmix64 kept local so the kernel package stays free
+// of math/rand (detrand covers internal/kernel).
+type testRNG struct{ s uint64 }
+
+func (r *testRNG) next() float64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/float64(1<<53)*2 - 1
+}
+
+func randMat(r *testRNG, rows, cols int) Mat {
+	m := MatOf(rows, cols, make([]float64, rows*cols))
+	for i := range m.Data {
+		m.Data[i] = r.next()
+	}
+	return m
+}
+
+// maxRelDiff returns the largest |x-y| / (1+|y|) over the views.
+func maxRelDiff(x, y Mat) float64 {
+	var worst float64
+	for i := 0; i < x.R; i++ {
+		xr, yr := x.Row(i), y.Row(i)
+		for j := range xr {
+			d := math.Abs(xr[j]-yr[j]) / (1 + math.Abs(yr[j]))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestGemmMatchesRef drives every trans/accumulate combination and a
+// shape sweep covering full tiles, ragged edges, and k=0 against the
+// scalar oracle, on both the SIMD and forced-generic paths.
+func TestGemmMatchesRef(t *testing.T) {
+	shapes := [][3]int{
+		{1, 1, 1}, {2, 3, 4}, {4, 4, 4}, {5, 7, 3}, {6, 8, 8},
+		{8, 16, 16}, {13, 29, 17}, {31, 10, 33}, {64, 80, 96}, {64, 320, 80},
+		{7, 0, 5},
+	}
+	for _, forceGeneric := range []bool{false, true} {
+		cfg := Config{Workers: 1, ForceGeneric: forceGeneric}
+		for _, sh := range shapes {
+			m, k, n := sh[0], sh[1], sh[2]
+			for mask := 0; mask < 8; mask++ {
+				transA, transB, acc := mask&1 != 0, mask&2 != 0, mask&4 != 0
+				r := &testRNG{s: uint64(m*1000000 + k*1000 + n + mask)}
+				ar, ac := m, k
+				if transA {
+					ar, ac = k, m
+				}
+				br, bc := k, n
+				if transB {
+					br, bc = n, k
+				}
+				a := randMat(r, ar, ac)
+				b := randMat(r, br, bc)
+				got := randMat(r, m, n)
+				want := MatOf(m, n, append([]float64(nil), got.Data...))
+				cfg.Gemm(got, a, b, transA, transB, acc)
+				RefGemm(want, a, b, transA, transB, acc)
+				if d := maxRelDiff(got, want); d > 1e-13 {
+					t.Fatalf("generic=%v m=%d k=%d n=%d tA=%v tB=%v acc=%v: rel diff %g",
+						forceGeneric, m, k, n, transA, transB, acc, d)
+				}
+			}
+		}
+	}
+}
+
+// TestGemmSerialParallelBitIdentical pins the determinism contract:
+// destination rows are partitioned, never split, so any worker count
+// produces bitwise-equal output.
+func TestGemmSerialParallelBitIdentical(t *testing.T) {
+	for _, forceGeneric := range []bool{false, true} {
+		r := &testRNG{s: 7}
+		m, k, n := 67, 45, 53
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		serial := MatOf(m, n, make([]float64, m*n))
+		Config{Workers: 1, ForceGeneric: forceGeneric}.Gemm(serial, a, b, false, false, false)
+		for _, w := range []int{2, 3, 8} {
+			par := MatOf(m, n, make([]float64, m*n))
+			Config{Workers: w, ParallelThreshold: 1, ForceGeneric: forceGeneric}.Gemm(par, a, b, false, false, false)
+			for i := range par.Data {
+				if math.Float64bits(par.Data[i]) != math.Float64bits(serial.Data[i]) {
+					t.Fatalf("generic=%v workers=%d differs from serial at %d: %x vs %x",
+						forceGeneric, w, i, par.Data[i], serial.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGemmStridedViews multiplies through strided source and
+// destination views (one timestep of a larger buffer) and checks that
+// bytes outside the view are untouched.
+func TestGemmStridedViews(t *testing.T) {
+	r := &testRNG{s: 11}
+	const B, T, F, H = 5, 3, 4, 6
+	// x is (B,T,F) feature-fastest; view timestep 1 as a B×F matrix.
+	xbuf := make([]float64, B*T*F)
+	for i := range xbuf {
+		xbuf[i] = r.next()
+	}
+	xview := Mat{R: B, C: F, Stride: T * F, Data: xbuf[1*F:]}
+	w := randMat(r, F, H)
+	// dst is one timestep of a (B,T,H) buffer, prefilled with a marker.
+	dbuf := make([]float64, B*T*H)
+	for i := range dbuf {
+		dbuf[i] = 99
+	}
+	dview := Mat{R: B, C: H, Stride: T * H, Data: dbuf[1*H:]}
+	Config{Workers: 1}.Gemm(dview, xview, w, false, false, false)
+
+	// Dense oracle on copied-out operands.
+	xd := MatOf(B, F, make([]float64, B*F))
+	for i := 0; i < B; i++ {
+		copy(xd.Row(i), xview.Row(i))
+	}
+	want := MatOf(B, H, make([]float64, B*H))
+	RefGemm(want, xd, w, false, false, false)
+	for i := 0; i < B; i++ {
+		got := dview.Row(i)
+		for j := 0; j < H; j++ {
+			if math.Abs(got[j]-want.Row(i)[j]) > 1e-13 {
+				t.Fatalf("strided dst (%d,%d) = %g want %g", i, j, got[j], want.Row(i)[j])
+			}
+		}
+	}
+	// Everything outside timestep 1 must still be the marker.
+	for b := 0; b < B; b++ {
+		for tt := 0; tt < T; tt++ {
+			if tt == 1 {
+				continue
+			}
+			for j := 0; j < H; j++ {
+				if v := dbuf[(b*T+tt)*H+j]; v != 99 {
+					t.Fatalf("gemm wrote outside its view at (%d,%d,%d): %g", b, tt, j, v)
+				}
+			}
+		}
+	}
+}
+
+// TestGemmPackedReuse packs B once and reuses it across calls,
+// matching per-call Gemm bitwise (same code path underneath).
+func TestGemmPackedReuse(t *testing.T) {
+	r := &testRNG{s: 3}
+	cfg := Config{Workers: 1}
+	wh := randMat(r, 24, 96)
+	pb := cfg.PackB(nil, wh, false)
+	for trial := 0; trial < 3; trial++ {
+		a := randMat(r, 10, 24)
+		got := MatOf(10, 96, make([]float64, 10*96))
+		want := MatOf(10, 96, make([]float64, 10*96))
+		cfg.GemmPacked(got, a, false, pb, false)
+		cfg.Gemm(want, a, wh, false, false, false)
+		for i := range got.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("trial %d: packed reuse differs at %d", trial, i)
+			}
+		}
+		// Repack (weights changed) into the same buffer.
+		for i := range wh.Data {
+			wh.Data[i] += 0.25
+		}
+		pb = cfg.PackB(pb, wh, false)
+	}
+}
+
+// TestGemmStatsAdvance checks the cumulative counters move by the
+// expected FLOP count.
+func TestGemmStatsAdvance(t *testing.T) {
+	r := &testRNG{s: 5}
+	a, b := randMat(r, 8, 9), randMat(r, 9, 10)
+	dst := MatOf(8, 10, make([]float64, 80))
+	before := ReadStats()
+	Config{Workers: 1}.Gemm(dst, a, b, false, false, false)
+	after := ReadStats()
+	if after.GemmCalls != before.GemmCalls+1 {
+		t.Fatalf("calls %d -> %d", before.GemmCalls, after.GemmCalls)
+	}
+	if got := after.GemmFLOPs - before.GemmFLOPs; got != 2*8*9*10 {
+		t.Fatalf("flops delta %d, want %d", got, 2*8*9*10)
+	}
+}

@@ -15,6 +15,7 @@ import (
 var DefaultCorePackages = []string{
 	"podnas/internal/pod",
 	"podnas/internal/arch",
+	"podnas/internal/kernel",
 	"podnas/internal/nn",
 	"podnas/internal/search",
 	"podnas/internal/tensor",

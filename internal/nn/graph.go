@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"podnas/internal/kernel"
 	"podnas/internal/tensor"
 )
 
@@ -75,11 +76,32 @@ type Graph struct {
 	nodes  []*graphNode
 	params []*Param
 	outDim int
+	es     *engineState // execution policy + arenas shared by all layers
 
 	// backward scratch: per-node accumulated output gradients
 	douts []*tensor.Tensor3
 	dIn   *tensor.Tensor3
 }
+
+// SetEngine selects the compute path for every layer: EngineFused (the
+// default kernel path) or EngineReference (the preserved pre-kernel
+// scalar path, which reproduces pre-kernel checkpoints bit for bit).
+func (g *Graph) SetEngine(e Engine) { g.es.engine = e }
+
+// Engine returns the active compute engine.
+func (g *Graph) Engine() Engine { return g.es.engine }
+
+// SetArenas toggles arena-backed scratch for the fused engine (default
+// on). Off allocates every buffer fresh — the bit-identity oracle the
+// arena property test compares against.
+func (g *Graph) SetArenas(enabled bool) { g.es.noArena = !enabled }
+
+// SetKernelConfig sets the kernel execution policy (workers, parallel
+// threshold, SIMD selection) for every layer of the network.
+func (g *Graph) SetKernelConfig(cfg kernel.Config) { g.es.cfg = cfg }
+
+// KernelConfig returns the active kernel execution policy.
+func (g *Graph) KernelConfig() kernel.Config { return g.es.cfg }
 
 // NewGraph compiles spec into a trainable network, initializing parameters
 // from rng.
@@ -87,7 +109,7 @@ func NewGraph(spec GraphSpec, rng *tensor.RNG) (*Graph, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	g := &Graph{spec: spec}
+	g := &Graph{spec: spec, es: newEngineState()}
 	dims := make([]int, len(spec.Nodes))
 	dimOf := func(idx int) int {
 		if idx == GraphInput {
@@ -103,14 +125,17 @@ func NewGraph(spec GraphSpec, rng *tensor.RNG) (*Graph, error) {
 			node.proj = make([]*Dense, len(ns.Inputs))
 			for j, in := range ns.Inputs {
 				node.proj[j] = NewDense(fmt.Sprintf("n%d.proj%d", i, j), dimOf(in), mergedDim, rng)
+				node.proj[j].es = g.es
 				g.params = append(g.params, node.proj[j].Params()...)
 			}
 			if !spec.NoMergeReLU {
 				node.relu = NewReLU(mergedDim)
+				node.relu.es = g.es
 			}
 		}
 		if ns.Units > 0 {
 			lstm := NewLSTM(fmt.Sprintf("n%d.lstm", i), mergedDim, ns.Units, rng)
+			lstm.es = g.es
 			node.body = lstm
 			g.params = append(g.params, lstm.Params()...)
 			dims[i] = ns.Units
@@ -147,6 +172,11 @@ func (g *Graph) ParamCount() int {
 func (g *Graph) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 	if x.F != g.spec.InputDim {
 		panic(fmt.Sprintf("nn: graph expects %d features, got %d", g.spec.InputDim, x.F))
+	}
+	// Recycle the forward arena: every activation from the previous
+	// Forward (including the tensor it returned) is dead from here on.
+	if g.es.engine == EngineFused && !g.es.noArena {
+		g.es.fwd.Reset()
 	}
 	outOf := func(idx int) *tensor.Tensor3 {
 		if idx == GraphInput {
@@ -196,18 +226,32 @@ func (g *Graph) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
 	}
 	g.dIn = nil
 	g.douts[n-1] = dOut
+	// Recycle the backward arena; forward caches live in the other one.
+	if g.es.engine == EngineFused && !g.es.noArena {
+		g.es.bwd.Reset()
+	}
 
+	// cloneGrad copies a gradient the accumulator must own: arena-backed
+	// under the fused engine, a heap clone under the reference engine.
+	cloneGrad := func(src *tensor.Tensor3) *tensor.Tensor3 {
+		if g.es.engine == EngineReference {
+			return src.Clone()
+		}
+		data := g.es.alloc(g.es.bwd, len(src.Data))
+		copy(data, src.Data)
+		return tensor.Tensor3FromSlice(src.B, src.T, src.F, data)
+	}
 	accumulate := func(idx int, grad *tensor.Tensor3) {
 		if idx == GraphInput {
 			if g.dIn == nil {
-				g.dIn = grad.Clone()
+				g.dIn = cloneGrad(grad)
 			} else {
 				tensor.AddTensor3(g.dIn, grad)
 			}
 			return
 		}
 		if g.douts[idx] == nil {
-			g.douts[idx] = grad.Clone()
+			g.douts[idx] = cloneGrad(grad)
 		} else {
 			tensor.AddTensor3(g.douts[idx], grad)
 		}

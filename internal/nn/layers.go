@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"podnas/internal/kernel"
 	"podnas/internal/tensor"
 )
 
@@ -11,6 +12,10 @@ import (
 // Backward accumulates parameter gradients and returns the gradient with
 // respect to the layer input. A layer instance carries training state and
 // must not be shared across goroutines.
+//
+// Under the fused engine, tensors returned by Forward and Backward alias
+// arena storage owned by the network: valid until the next Forward
+// (respectively Backward) pass, so consume or copy them within the step.
 type Layer interface {
 	// Forward computes the layer output for x.
 	Forward(x *tensor.Tensor3) *tensor.Tensor3
@@ -52,6 +57,7 @@ func (l *Identity) OutDim() int { return l.dim }
 // layers with no activation (§IV: "the dense layers for projection did not
 // have any activation function").
 type Dense struct {
+	engined
 	in, out int
 	W, B    *Param
 	x       *tensor.Tensor3 // cached input
@@ -70,17 +76,31 @@ func (l *Dense) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 		panic(fmt.Sprintf("nn: Dense expects %d features, got %d", l.in, x.F))
 	}
 	l.x = x
-	out := tensor.NewTensor3(x.B, x.T, l.out)
-	w := tensor.FromSlice(l.in, l.out, l.W.W)
-	tensor.MatMulInto(out.AsMatrix(), x.AsMatrix(), w)
+	es := l.state()
 	rows := x.B * x.T
+	if es.engine == EngineReference {
+		out := tensor.NewTensor3(x.B, x.T, l.out)
+		w := tensor.FromSlice(l.in, l.out, l.W.W)
+		refMatMulInto(out.AsMatrix(), x.AsMatrix(), w)
+		addBiasRows(out.Data, l.B.W, rows, l.out)
+		return out
+	}
+	es.resetFwd()
+	data := es.alloc(es.fwd, rows*l.out)
+	es.cfg.Gemm(kernel.MatOf(rows, l.out, data),
+		kernel.MatOf(rows, l.in, x.Data),
+		kernel.MatOf(l.in, l.out, l.W.W), false, false, false)
+	addBiasRows(data, l.B.W, rows, l.out)
+	return tensor.Tensor3FromSlice(x.B, x.T, l.out, data)
+}
+
+func addBiasRows(data, bias []float64, rows, width int) {
 	for i := 0; i < rows; i++ {
-		dst := out.Data[i*l.out : (i+1)*l.out]
-		for j, b := range l.B.W {
+		dst := data[i*width : (i+1)*width]
+		for j, b := range bias {
 			dst[j] += b
 		}
 	}
-	return out
 }
 
 // Backward accumulates dW, db and returns dX.
@@ -88,20 +108,37 @@ func (l *Dense) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
 	if l.x == nil {
 		panic("nn: Dense.Backward before Forward")
 	}
-	dw := tensor.FromSlice(l.in, l.out, l.W.G)
-	tensor.MatMulTransAAddInto(dw, l.x.AsMatrix(), dOut.AsMatrix())
+	es := l.state()
 	rows := dOut.B * dOut.T
+	if es.engine == EngineReference {
+		dw := tensor.FromSlice(l.in, l.out, l.W.G)
+		refMatMulTransAAddInto(dw, l.x.AsMatrix(), dOut.AsMatrix())
+		sumGradRows(l.B.G, dOut.Data, rows, l.out)
+		dx := tensor.NewTensor3(l.x.B, l.x.T, l.in)
+		w := tensor.FromSlice(l.in, l.out, l.W.W)
+		dxm := refMatMulTransB(dOut.AsMatrix(), w)
+		copy(dx.Data, dxm.Data)
+		return dx
+	}
+	es.resetBwd()
+	es.cfg.Gemm(kernel.MatOf(l.in, l.out, l.W.G),
+		kernel.MatOf(rows, l.in, l.x.Data),
+		kernel.MatOf(rows, l.out, dOut.Data), true, false, true)
+	sumGradRows(l.B.G, dOut.Data, rows, l.out)
+	dx := es.alloc(es.bwd, rows*l.in)
+	es.cfg.Gemm(kernel.MatOf(rows, l.in, dx),
+		kernel.MatOf(rows, l.out, dOut.Data),
+		kernel.MatOf(l.in, l.out, l.W.W), false, true, false)
+	return tensor.Tensor3FromSlice(l.x.B, l.x.T, l.in, dx)
+}
+
+func sumGradRows(acc, data []float64, rows, width int) {
 	for i := 0; i < rows; i++ {
-		src := dOut.Data[i*l.out : (i+1)*l.out]
+		src := data[i*width : (i+1)*width]
 		for j, v := range src {
-			l.B.G[j] += v
+			acc[j] += v
 		}
 	}
-	dx := tensor.NewTensor3(l.x.B, l.x.T, l.in)
-	w := tensor.FromSlice(l.in, l.out, l.W.W)
-	dxm := tensor.MatMulTransB(dOut.AsMatrix(), w)
-	copy(dx.Data, dxm.Data)
-	return dx
 }
 
 // Params returns the weight and bias parameters.
@@ -116,6 +153,7 @@ func (l *Dense) OutDim() int { return l.out }
 // ReLU is an elementwise rectifier layer. The paper applies it after every
 // skip-connection add.
 type ReLU struct {
+	engined
 	dim  int
 	mask []bool
 }
@@ -125,31 +163,50 @@ func NewReLU(dim int) *ReLU { return &ReLU{dim: dim} }
 
 // Forward rectifies x elementwise.
 func (l *ReLU) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
-	out := x.Clone()
-	if cap(l.mask) < len(x.Data) {
-		l.mask = make([]bool, len(x.Data))
+	es := l.state()
+	n := len(x.Data)
+	if cap(l.mask) < n {
+		l.mask = make([]bool, n)
 	}
-	l.mask = l.mask[:len(x.Data)]
-	for i, v := range out.Data {
+	l.mask = l.mask[:n]
+	var data []float64
+	if es.engine == EngineReference {
+		data = make([]float64, n)
+	} else {
+		es.resetFwd()
+		data = es.alloc(es.fwd, n)
+	}
+	for i, v := range x.Data {
 		if v > 0 {
 			l.mask[i] = true
+			data[i] = v
 		} else {
 			l.mask[i] = false
-			out.Data[i] = 0
+			data[i] = 0
 		}
 	}
-	return out
+	return tensor.Tensor3FromSlice(x.B, x.T, x.F, data)
 }
 
 // Backward gates dOut by the forward activation mask.
 func (l *ReLU) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
-	dx := dOut.Clone()
-	for i := range dx.Data {
-		if !l.mask[i] {
-			dx.Data[i] = 0
+	es := l.state()
+	n := len(dOut.Data)
+	var data []float64
+	if es.engine == EngineReference {
+		data = make([]float64, n)
+	} else {
+		es.resetBwd()
+		data = es.alloc(es.bwd, n)
+	}
+	for i, v := range dOut.Data {
+		if l.mask[i] {
+			data[i] = v
+		} else {
+			data[i] = 0
 		}
 	}
-	return dx
+	return tensor.Tensor3FromSlice(dOut.B, dOut.T, dOut.F, data)
 }
 
 // Params returns nil.

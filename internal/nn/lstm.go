@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"podnas/internal/kernel"
 	"podnas/internal/tensor"
 )
 
@@ -18,20 +19,34 @@ import (
 //	c_t = f ∘ c_{t-1} + i ∘ g
 //	h_t = o ∘ tanh(c_t)
 //
-// Backward implements full backpropagation through time. The input
-// contribution z = X·Wx for all timesteps is computed as a single GEMM over
-// the flattened (B·T)×F view for cache efficiency; only the recurrent part
-// walks timesteps.
+// The default (fused) engine computes the concatenated [i|f|g|o] gate block
+// with one bulk GEMM for the input projection, one packed GEMM per timestep
+// for the recurrence writing straight into strided views of the gate buffer,
+// and one fused activation sweep per row (kernel.LSTMForwardStep). Backward
+// mirrors it with kernel.LSTMBackwardStep plus bulk weight-gradient GEMMs.
+// All scratch comes from the network's arenas, so steady-state training
+// steps allocate nothing here. The reference engine (lstm_ref.go) preserves
+// the pre-kernel four-pass loop bit for bit.
 type LSTM struct {
+	engined
 	in, hidden int
 	Wx, Wh, B  *Param
 
-	// Forward caches (valid until the next Forward call).
+	// Fused-path forward caches (arena-backed, valid until the next
+	// Forward; the returned hidden tensor aliases hs).
 	x     *tensor.Tensor3
-	gates *tensor.Tensor3 // (B,T,4H) post-activation gate values i,f,g,o
-	cells *tensor.Tensor3 // (B,T,H) cell states c_t
-	tanhC *tensor.Tensor3 // (B,T,H) tanh(c_t)
-	hs    *tensor.Tensor3 // (B,T,H) hidden states h_t
+	b, t  int
+	gates []float64 // (B,T,4H) post-activation gate values i,f,g,o
+	cells []float64 // (B,T,H) cell states c_t
+	tanhC []float64 // (B,T,H) tanh(c_t)
+	hs    []float64 // (B,T,H) hidden states h_t
+	zeroH []float64 // read-only zeros standing in for c_{-1}
+
+	pbWh  *kernel.PackedB // Wh packed once per Forward, reused every step
+	pbWhT *kernel.PackedB // Whᵀ packed once per Backward for the dh carry
+
+	// Reference-path caches (heap tensors, pre-kernel behavior).
+	rGates, rCells, rTanhC, rHs *tensor.Tensor3
 }
 
 // NewLSTM returns an LSTM layer with Glorot-initialized kernels and the
@@ -57,139 +72,156 @@ func NewLSTM(name string, in, hidden int, rng *tensor.RNG) *LSTM {
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
 // Forward runs the recurrence over all timesteps of x (B,T,in) and returns
-// the hidden sequence (B,T,hidden).
+// the hidden sequence (B,T,hidden). The result aliases arena storage owned
+// by this layer: consume or copy it before the next Forward.
 func (l *LSTM) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 	if x.F != l.in {
 		panic(fmt.Sprintf("nn: LSTM expects %d features, got %d", l.in, x.F))
 	}
-	b, t, h := x.B, x.T, l.hidden
-	l.x = x
-	l.gates = tensor.NewTensor3(b, t, 4*h)
-	l.cells = tensor.NewTensor3(b, t, h)
-	l.tanhC = tensor.NewTensor3(b, t, h)
-	l.hs = tensor.NewTensor3(b, t, h)
-
-	// Input contribution for every timestep in one GEMM: (B·T,F)·(F,4H).
-	wx := tensor.FromSlice(l.in, 4*h, l.Wx.W)
-	zAll := tensor.MatMul(x.AsMatrix(), wx)
-
-	wh := tensor.FromSlice(h, 4*h, l.Wh.W)
-	hPrev := tensor.NewMatrix(b, h)  // h_{t-1}, zero at t=0
-	zRec := tensor.NewMatrix(b, 4*h) // recurrent contribution buffer
-	cPrev := tensor.NewMatrix(b, h)  // c_{t-1}, zero at t=0
-
-	for step := 0; step < t; step++ {
-		tensor.MatMulInto(zRec, hPrev, wh)
-		for bi := 0; bi < b; bi++ {
-			// z for this (batch, step): input part + recurrent part + bias.
-			zin := zAll.Row(bi*t + step)
-			zr := zRec.Row(bi)
-			gates := l.gates.Data[(bi*t+step)*4*h : (bi*t+step+1)*4*h]
-			cell := l.cells.Data[(bi*t+step)*h : (bi*t+step+1)*h]
-			tc := l.tanhC.Data[(bi*t+step)*h : (bi*t+step+1)*h]
-			hrow := l.hs.Data[(bi*t+step)*h : (bi*t+step+1)*h]
-			cp := cPrev.Row(bi)
-			for j := 0; j < h; j++ {
-				zi := zin[j] + zr[j] + l.B.W[j]
-				zf := zin[h+j] + zr[h+j] + l.B.W[h+j]
-				zg := zin[2*h+j] + zr[2*h+j] + l.B.W[2*h+j]
-				zo := zin[3*h+j] + zr[3*h+j] + l.B.W[3*h+j]
-				ig := sigmoid(zi)
-				fg := sigmoid(zf)
-				gg := math.Tanh(zg)
-				og := sigmoid(zo)
-				gates[j] = ig
-				gates[h+j] = fg
-				gates[2*h+j] = gg
-				gates[3*h+j] = og
-				c := fg*cp[j] + ig*gg
-				cell[j] = c
-				tcv := math.Tanh(c)
-				tc[j] = tcv
-				hrow[j] = og * tcv
-			}
-		}
-		l.hs.StepInto(hPrev, step)
-		l.cells.StepInto(cPrev, step)
+	es := l.state()
+	if es.engine == EngineReference {
+		return l.forwardRef(x)
 	}
-	return l.hs.Clone()
+	es.resetFwd()
+	b, t, h := x.B, x.T, l.hidden
+	h4 := 4 * h
+	l.x, l.b, l.t = x, b, t
+	l.gates = es.alloc(es.fwd, b*t*h4)
+	l.cells = es.alloc(es.fwd, b*t*h)
+	l.tanhC = es.alloc(es.fwd, b*t*h)
+	l.hs = es.alloc(es.fwd, b*t*h)
+	if cap(l.zeroH) < h {
+		l.zeroH = make([]float64, h)
+	}
+
+	// Input contribution for every timestep in one GEMM, written straight
+	// into the gate buffer: (B·T,F)·(F,4H), then the bias.
+	es.cfg.Gemm(kernel.MatOf(b*t, h4, l.gates),
+		kernel.MatOf(b*t, l.in, x.Data),
+		kernel.MatOf(l.in, h4, l.Wx.W), false, false, false)
+	for r := 0; r < b*t; r++ {
+		row := l.gates[r*h4 : r*h4+h4]
+		for j, bv := range l.B.W {
+			row[j] += bv
+		}
+	}
+
+	// Recurrent part: z_t += h_{t-1}·Wh through strided timestep views of
+	// the shared buffers (no StepInto copies), with Wh packed once. The
+	// t=0 recurrent GEMM is skipped outright since h_{-1} is zero.
+	l.pbWh = es.cfg.PackB(l.pbWh, kernel.MatOf(h, h4, l.Wh.W), false)
+	for step := 0; step < t; step++ {
+		if step > 0 {
+			zStep := kernel.Mat{R: b, C: h4, Stride: t * h4, Data: l.gates[step*h4:]}
+			hPrev := kernel.Mat{R: b, C: h, Stride: t * h, Data: l.hs[(step-1)*h:]}
+			es.cfg.GemmPacked(zStep, hPrev, false, l.pbWh, true)
+		}
+		if es.parallel() {
+			step := step
+			es.cfg.ParallelRows(b, 40*h4, func(lo, hi int) { l.forwardSweep(lo, hi, step) })
+		} else {
+			l.forwardSweep(0, b, step)
+		}
+	}
+	return tensor.Tensor3FromSlice(b, t, h, l.hs)
+}
+
+// forwardSweep applies the fused activation update for batch rows [lo, hi)
+// of one timestep. Rows are disjoint, so any partition is bit-identical.
+func (l *LSTM) forwardSweep(lo, hi, step int) {
+	h, t := l.hidden, l.t
+	h4 := 4 * h
+	for bi := lo; bi < hi; bi++ {
+		base := bi*t + step
+		cp := l.zeroH[:h]
+		if step > 0 {
+			cp = l.cells[(base-1)*h : base*h]
+		}
+		kernel.LSTMForwardStep(
+			l.gates[base*h4:base*h4+h4], cp,
+			l.cells[base*h:base*h+h],
+			l.tanhC[base*h:base*h+h],
+			l.hs[base*h:base*h+h])
+	}
 }
 
 // Backward consumes dOut (B,T,hidden), accumulates gradients for Wx, Wh, b,
-// and returns the gradient with respect to the input (B,T,in).
+// and returns the gradient with respect to the input (B,T,in). The result
+// aliases arena storage valid until the next Backward.
 func (l *LSTM) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
+	es := l.state()
+	if es.engine == EngineReference {
+		return l.backwardRef(dOut)
+	}
 	if l.x == nil {
 		panic("nn: LSTM.Backward before Forward")
 	}
-	b, t, h := l.x.B, l.x.T, l.hidden
+	es.resetBwd()
+	b, t, h := l.b, l.t, l.hidden
+	h4 := 4 * h
+	dz := es.alloc(es.bwd, b*t*h4)   // pre-activation gate gradients
+	dc := es.allocZero(es.bwd, b*h)  // cell-gradient carry
+	dhn := es.allocZero(es.bwd, b*h) // recurrent hidden-gradient carry
 
-	dzAll := tensor.NewTensor3(b, t, 4*h) // pre-activation gate gradients
-	dcNext := tensor.NewMatrix(b, h)
-	dhNext := tensor.NewMatrix(b, h)
-	wh := tensor.FromSlice(h, 4*h, l.Wh.W)
-	dhRec := tensor.NewMatrix(b, h)
-	dzStep := tensor.NewMatrix(b, 4*h)
-
+	// Whᵀ packed once for the per-step dh_{t-1} = dz_t·Whᵀ recurrence.
+	l.pbWhT = es.cfg.PackB(l.pbWhT, kernel.MatOf(h, h4, l.Wh.W), true)
 	for step := t - 1; step >= 0; step-- {
-		for bi := 0; bi < b; bi++ {
-			base := (bi*t + step)
-			gates := l.gates.Data[base*4*h : (base+1)*4*h]
-			tc := l.tanhC.Data[base*h : (base+1)*h]
-			dout := dOut.Data[base*h : (base+1)*h]
-			dz := dzAll.Data[base*4*h : (base+1)*4*h]
-			dcn := dcNext.Row(bi)
-			dhn := dhNext.Row(bi)
-			var cPrev []float64
-			if step > 0 {
-				cPrev = l.cells.Data[(base-1)*h : base*h]
-			}
-			for j := 0; j < h; j++ {
-				ig, fg, gg, og := gates[j], gates[h+j], gates[2*h+j], gates[3*h+j]
-				dh := dout[j] + dhn[j]
-				do := dh * tc[j]
-				dc := dh*og*(1-tc[j]*tc[j]) + dcn[j]
-				di := dc * gg
-				dg := dc * ig
-				var cp float64
-				if cPrev != nil {
-					cp = cPrev[j]
-				}
-				df := dc * cp
-				dz[j] = di * ig * (1 - ig)
-				dz[h+j] = df * fg * (1 - fg)
-				dz[2*h+j] = dg * (1 - gg*gg)
-				dz[3*h+j] = do * og * (1 - og)
-				dcn[j] = dc * fg // becomes dcNext for step-1
-			}
+		// Fused per-row sweep: reads the dhn carry from step+1, fills
+		// dz_t, and updates the dc carry in place.
+		if es.parallel() {
+			step := step
+			es.cfg.ParallelRows(b, 60*h4, func(lo, hi int) { l.backwardSweep(dOut, dz, dc, dhn, lo, hi, step) })
+		} else {
+			l.backwardSweep(dOut, dz, dc, dhn, 0, b, step)
 		}
-		// dh_{t-1} += dz_t · Whᵀ ; dWh += h_{t-1}ᵀ · dz_t.
-		dzAll.StepInto(dzStep, step)
-		dhm := tensor.MatMulTransB(dzStep, wh)
-		copy(dhRec.Data, dhm.Data)
-		dhNext, dhRec = dhRec, dhNext
 		if step > 0 {
-			hPrev := l.hs.Step(step - 1)
-			dwh := tensor.FromSlice(h, 4*h, l.Wh.G)
-			tensor.MatMulTransAAddInto(dwh, hPrev, dzStep)
+			dzStep := kernel.Mat{R: b, C: h4, Stride: t * h4, Data: dz[step*h4:]}
+			hPrev := kernel.Mat{R: b, C: h, Stride: t * h, Data: l.hs[(step-1)*h:]}
+			// dh_{t-1} = dz_t·Whᵀ (overwrites the carry the sweep just
+			// consumed); dWh += h_{t-1}ᵀ·dz_t.
+			es.cfg.GemmPacked(kernel.MatOf(b, h, dhn), dzStep, false, l.pbWhT, false)
+			es.cfg.Gemm(kernel.MatOf(h, h4, l.Wh.G), hPrev, dzStep, true, false, true)
 		}
 	}
 
 	// Input-side gradients in bulk: dWx += Xᵀ·dZ, db += colsum(dZ),
 	// dX = dZ·Wxᵀ over the flattened (B·T) view.
-	dwx := tensor.FromSlice(l.in, 4*h, l.Wx.G)
-	tensor.MatMulTransAAddInto(dwx, l.x.AsMatrix(), dzAll.AsMatrix())
-	rows := b * t
-	for i := 0; i < rows; i++ {
-		src := dzAll.Data[i*4*h : (i+1)*4*h]
+	es.cfg.Gemm(kernel.MatOf(l.in, h4, l.Wx.G),
+		kernel.MatOf(b*t, l.in, l.x.Data),
+		kernel.MatOf(b*t, h4, dz), true, false, true)
+	for r := 0; r < b*t; r++ {
+		src := dz[r*h4 : r*h4+h4]
 		for j, v := range src {
 			l.B.G[j] += v
 		}
 	}
-	wx := tensor.FromSlice(l.in, 4*h, l.Wx.W)
-	dxm := tensor.MatMulTransB(dzAll.AsMatrix(), wx)
-	dx := tensor.NewTensor3(b, t, l.in)
-	copy(dx.Data, dxm.Data)
-	return dx
+	dx := es.alloc(es.bwd, b*t*l.in)
+	es.cfg.Gemm(kernel.MatOf(b*t, l.in, dx),
+		kernel.MatOf(b*t, h4, dz),
+		kernel.MatOf(l.in, h4, l.Wx.W), false, true, false)
+	return tensor.Tensor3FromSlice(b, t, l.in, dx)
+}
+
+// backwardSweep runs the fused BPTT gate sweep for batch rows [lo, hi) of
+// one timestep.
+func (l *LSTM) backwardSweep(dOut *tensor.Tensor3, dz, dc, dhn []float64, lo, hi, step int) {
+	h, t := l.hidden, l.t
+	h4 := 4 * h
+	for bi := lo; bi < hi; bi++ {
+		base := bi*t + step
+		var cPrev []float64
+		if step > 0 {
+			cPrev = l.cells[(base-1)*h : base*h]
+		}
+		kernel.LSTMBackwardStep(
+			l.gates[base*h4:base*h4+h4],
+			l.tanhC[base*h:base*h+h],
+			cPrev,
+			dOut.Data[base*h:base*h+h],
+			dhn[bi*h:bi*h+h],
+			dc[bi*h:bi*h+h],
+			dz[base*h4:base*h4+h4])
+	}
 }
 
 // Params returns Wx, Wh and the bias.

@@ -59,7 +59,8 @@ func TestLSTMShapesAndDeterminism(t *testing.T) {
 	l := NewLSTM("l", 3, 5, rng)
 	x := tensor.NewTensor3(4, 6, 3)
 	tensor.NewRNG(9).FillNormal(x.Data, 1)
-	y1 := l.Forward(x)
+	// Forward output aliases the layer's arena; clone before the next pass.
+	y1 := l.Forward(x).Clone()
 	if y1.B != 4 || y1.T != 6 || y1.F != 5 {
 		t.Fatalf("LSTM output shape %dx%dx%d", y1.B, y1.T, y1.F)
 	}
@@ -92,7 +93,8 @@ func TestLSTMCausality(t *testing.T) {
 	l := NewLSTM("l", 2, 3, rng)
 	x := tensor.NewTensor3(1, 6, 2)
 	tensor.NewRNG(11).FillNormal(x.Data, 1)
-	y1 := l.Forward(x)
+	// Forward output aliases the layer's arena; clone before the next pass.
+	y1 := l.Forward(x).Clone()
 	x2 := x.Clone()
 	x2.Set(0, 4, 0, 99)
 	x2.Set(0, 4, 1, -99)

@@ -3,6 +3,7 @@ package nn
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"podnas/internal/metrics"
 	"podnas/internal/obs"
@@ -33,6 +34,10 @@ type TrainConfig struct {
 	// runner deadline or per-evaluation timeout actually interrupts an
 	// in-flight training instead of waiting for it to finish.
 	Ctx context.Context
+	// Workers, when > 0, caps the goroutines a single kernel call may fan
+	// out to during this training run (kernel.Config.Workers). Results are
+	// bit-identical for any value; 0 leaves the graph's policy unchanged.
+	Workers int
 }
 
 // DefaultTrainConfig returns the paper's search-time hyperparameters.
@@ -43,11 +48,27 @@ func DefaultTrainConfig() TrainConfig {
 // MSELoss computes the mean squared error between pred and target and the
 // gradient of the loss with respect to pred.
 func MSELoss(pred, target *tensor.Tensor3) (float64, *tensor.Tensor3) {
+	return MSELossInto(nil, pred, target)
+}
+
+// MSELossInto is MSELoss writing the gradient into grad's storage when it
+// has the capacity (a nil grad allocates). Returns the loss and the
+// gradient tensor; the training loop threads grad through steps so the
+// loss gradient costs no allocation after the first batch.
+func MSELossInto(grad *tensor.Tensor3, pred, target *tensor.Tensor3) (float64, *tensor.Tensor3) {
 	if len(pred.Data) != len(target.Data) {
 		panic(fmt.Sprintf("nn: MSELoss shape mismatch %d vs %d", len(pred.Data), len(target.Data)))
 	}
-	n := float64(len(pred.Data))
-	grad := tensor.NewTensor3(pred.B, pred.T, pred.F)
+	need := len(pred.Data)
+	if grad == nil {
+		grad = &tensor.Tensor3{}
+	}
+	if cap(grad.Data) < need {
+		grad.Data = make([]float64, need)
+	}
+	grad.B, grad.T, grad.F = pred.B, pred.T, pred.F
+	grad.Data = grad.Data[:need]
+	n := float64(need)
 	var loss float64
 	for i, p := range pred.Data {
 		d := p - target.Data[i]
@@ -75,12 +96,20 @@ func Train(g *Graph, x, y *tensor.Tensor3, cfg TrainConfig) (float64, error) {
 	// tick without Train needing an explicit observability parameter.
 	recorder, _ := obs.RecorderFrom(cfg.Ctx)
 	evalIdx, _ := obs.EvalFrom(cfg.Ctx)
+	if cfg.Workers > 0 {
+		kcfg := g.KernelConfig()
+		kcfg.Workers = cfg.Workers
+		g.SetKernelConfig(kcfg)
+	}
 	opt := NewAdam(cfg.LR)
 	rng := tensor.NewRNG(cfg.Seed)
 	idx := make([]int, x.B)
 	for i := range idx {
 		idx[i] = i
 	}
+	// Reused minibatch scratch: with the layer arenas these make the
+	// steady-state training step allocation-free.
+	var bx, by, grad *tensor.Tensor3
 	var epochLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if cfg.Ctx != nil {
@@ -96,17 +125,18 @@ func Train(g *Graph, x, y *tensor.Tensor3, cfg TrainConfig) (float64, error) {
 			if hi > len(idx) {
 				hi = len(idx)
 			}
-			bx := x.Gather(idx[lo:hi])
-			by := y.Gather(idx[lo:hi])
+			bx = x.GatherInto(bx, idx[lo:hi])
+			by = y.GatherInto(by, idx[lo:hi])
 			if cfg.InputNoise > 0 {
 				for i := range bx.Data {
 					bx.Data[i] += cfg.InputNoise * rng.NormFloat64()
 				}
 			}
 			pred := g.Forward(bx)
-			loss, grad := MSELoss(pred, by)
-			if err := checkFinite("loss", []float64{loss}); err != nil {
-				return loss, fmt.Errorf("nn: training diverged at epoch %d: %w", epoch, err)
+			var loss float64
+			loss, grad = MSELossInto(grad, pred, by)
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				return loss, fmt.Errorf("nn: training diverged at epoch %d: loss is not finite (%g)", epoch, loss)
 			}
 			g.Backward(grad)
 			if cfg.WeightDecay > 0 {
@@ -144,16 +174,19 @@ func Predict(g *Graph, x *tensor.Tensor3, batchSize int) *tensor.Tensor3 {
 		batchSize = 256
 	}
 	out := tensor.NewTensor3(x.B, x.T, g.OutDim())
+	idx := make([]int, 0, batchSize)
+	var bx *tensor.Tensor3
 	for lo := 0; lo < x.B; lo += batchSize {
 		hi := lo + batchSize
 		if hi > x.B {
 			hi = x.B
 		}
-		idx := make([]int, hi-lo)
-		for i := range idx {
-			idx[i] = lo + i
+		idx = idx[:0]
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
 		}
-		pred := g.Forward(x.Gather(idx))
+		bx = x.GatherInto(bx, idx)
+		pred := g.Forward(bx)
 		copy(out.Data[lo*x.T*g.OutDim():hi*x.T*g.OutDim()], pred.Data)
 	}
 	return out

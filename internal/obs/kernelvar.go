@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"expvar"
+
+	"podnas/internal/kernel"
+)
+
+// DefaultKernelVarName is the expvar name the compute-kernel counters
+// are published under.
+const DefaultKernelVarName = "podnas.kernel"
+
+// PublishKernelStats registers the cumulative kernel counters
+// (kernel.ReadStats: GEMM calls and FLOPs) as an expvar Func under name
+// (empty = DefaultKernelVarName), so a live run exposes its effective
+// GEMM throughput at /debug/vars next to the search snapshot. Returns
+// false when the name is already taken (expvar forbids
+// re-registration, e.g. across tests or repeated runs in one process).
+func PublishKernelStats(name string) bool {
+	if name == "" {
+		name = DefaultKernelVarName
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return false
+	}
+	expvar.Publish(name, expvar.Func(func() any { return kernel.ReadStats() }))
+	return true
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"podnas/internal/kernel"
 )
 
 func TestKindJSONRoundTrip(t *testing.T) {
@@ -382,6 +385,24 @@ func TestMetricsSnapshotJSONSafe(t *testing.T) {
 	m.Record(Event{Kind: KindEvalFinish, Eval: 0, Reward: 0.5})
 	if _, err := json.Marshal(m.Snapshot()); err != nil {
 		t.Fatalf("snapshot not JSON safe: %v", err)
+	}
+}
+
+func TestPublishKernelStats(t *testing.T) {
+	name := "podnas.test.kernel"
+	if !PublishKernelStats(name) {
+		t.Fatal("first kernel-stats publish failed")
+	}
+	if PublishKernelStats(name) {
+		t.Error("second publish under the same name must refuse")
+	}
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("kernel stats not registered")
+	}
+	var s kernel.Stats
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatalf("kernel stats snapshot is not JSON: %v", err)
 	}
 }
 

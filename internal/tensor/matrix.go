@@ -1,17 +1,17 @@
-// Package tensor provides dense matrix and rank-3 tensor types with
-// cache-friendly, goroutine-parallel kernels. It is the numerical substrate
-// for the POD compression and neural-network packages.
+// Package tensor provides dense matrix and rank-3 tensor types. It is the
+// numerical substrate for the POD compression and neural-network packages.
 //
-// All storage is row-major float64. Kernels fall back to serial execution for
-// small problems to avoid goroutine overhead and use a shared worker fan-out
-// for large ones.
+// All storage is row-major float64. The MatMul* family is a thin wrapper
+// over internal/kernel's blocked GEMM (SIMD where available, deterministic
+// row-partitioned parallelism); execution policy lives in kernel.Config,
+// not in package-global state here.
 package tensor
 
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+
+	"podnas/internal/kernel"
 )
 
 // Matrix is a dense row-major matrix.
@@ -67,6 +67,13 @@ func (m *Matrix) Fill(v float64) {
 }
 
 // T returns the transpose of m as a new matrix.
+//
+// No production code calls this anymore: every hot-path consumer moved
+// to kernel.Gemm's transA/transB flags, which read the operand in
+// transposed order during packing instead of materializing a copy. T is
+// kept for tests and as a convenience for exploratory code; if you find
+// yourself calling it next to a MatMul, use the transposed MatMul
+// variant instead.
 func (m *Matrix) T() *Matrix {
 	out := NewMatrix(m.Cols, m.Rows)
 	const bs = 64
@@ -118,51 +125,12 @@ func (m *Matrix) String() string {
 	return s + "]"
 }
 
-// parallelThreshold is the flop count above which kernels fan out to
-// goroutines. Exported for tests via SetParallelThreshold.
-var parallelThreshold = 1 << 16
-
-// SetParallelThreshold overrides the serial/parallel cutover (flops). It
-// returns the previous value so tests can restore it.
-func SetParallelThreshold(n int) int {
-	old := parallelThreshold
-	parallelThreshold = n
-	return old
-}
-
-// parallelFor runs body(i) for i in [0,n) across GOMAXPROCS workers when
-// work*n exceeds the parallel threshold, and serially otherwise.
-func parallelFor(n, workPerItem int, body func(i int)) {
-	if n <= 0 {
-		return
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || n*workPerItem < parallelThreshold || n == 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+// Kern returns m as a kernel.Mat view (shared storage, dense stride).
+// The MatMul* family below is a thin compatibility surface over the one
+// kernel.Gemm entry point; call the kernel directly for strided views
+// or a non-default execution Config.
+func (m *Matrix) Kern() kernel.Mat {
+	return kernel.Mat{R: m.Rows, C: m.Cols, Stride: m.Cols, Data: m.Data}
 }
 
 // MatMul computes a×b into a new matrix.
@@ -173,8 +141,7 @@ func MatMul(a, b *Matrix) *Matrix {
 }
 
 // MatMulInto computes dst = a×b. dst must be preallocated with the right
-// shape and is overwritten. The inner kernel is an ikj loop with row reuse,
-// parallelized across rows of a.
+// shape, must not alias a or b, and is overwritten.
 func MatMulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -182,25 +149,7 @@ func MatMulInto(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	n, k, c := a.Rows, a.Cols, b.Cols
-	parallelFor(n, 2*k*c, func(i int) {
-		arow := a.Data[i*k : (i+1)*k]
-		drow := dst.Data[i*c : (i+1)*c]
-		for j := range drow {
-			drow[j] = 0
-		}
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			//podnas:allow floateq exact sparsity skip: only bitwise zero contributes nothing
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*c : (p+1)*c]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	})
+	kernel.Gemm(dst.Kern(), a.Kern(), b.Kern(), false, false, false)
 }
 
 // MatMulAddInto computes dst += a×b without zeroing dst first.
@@ -208,22 +157,7 @@ func MatMulAddInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("tensor: MatMulAddInto shape mismatch")
 	}
-	n, k, c := a.Rows, a.Cols, b.Cols
-	parallelFor(n, 2*k*c, func(i int) {
-		arow := a.Data[i*k : (i+1)*k]
-		drow := dst.Data[i*c : (i+1)*c]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			//podnas:allow floateq exact sparsity skip: only bitwise zero contributes nothing
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*c : (p+1)*c]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	})
+	kernel.Gemm(dst.Kern(), a.Kern(), b.Kern(), false, false, true)
 }
 
 // MatMulTransA computes aᵀ×b into a new matrix without materializing aᵀ.
@@ -232,31 +166,16 @@ func MatMulTransA(a, b *Matrix) *Matrix {
 		panic("tensor: MatMulTransA shape mismatch")
 	}
 	out := NewMatrix(a.Cols, b.Cols)
-	MatMulTransAAddInto(out, a, b)
+	kernel.Gemm(out.Kern(), a.Kern(), b.Kern(), true, false, false)
 	return out
 }
 
-// MatMulTransAAddInto computes dst += aᵀ×b. Parallelized over columns of a
-// (rows of the result) so worker writes never alias.
+// MatMulTransAAddInto computes dst += aᵀ×b.
 func MatMulTransAAddInto(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("tensor: MatMulTransAAddInto shape mismatch")
 	}
-	m, n, c := a.Rows, a.Cols, b.Cols
-	parallelFor(n, 2*m*c, func(i int) {
-		drow := dst.Data[i*c : (i+1)*c]
-		for p := 0; p < m; p++ {
-			av := a.Data[p*n+i]
-			//podnas:allow floateq exact sparsity skip: only bitwise zero contributes nothing
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*c : (p+1)*c]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	})
+	kernel.Gemm(dst.Kern(), a.Kern(), b.Kern(), true, false, true)
 }
 
 // MatMulTransB computes a×bᵀ into a new matrix without materializing bᵀ.
@@ -265,19 +184,7 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 		panic("tensor: MatMulTransB shape mismatch")
 	}
 	out := NewMatrix(a.Rows, b.Rows)
-	n, k, c := a.Rows, a.Cols, b.Rows
-	parallelFor(n, 2*k*c, func(i int) {
-		arow := a.Data[i*k : (i+1)*k]
-		drow := out.Data[i*c : (i+1)*c]
-		for j := 0; j < c; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var s float64
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			drow[j] = s
-		}
-	})
+	kernel.Gemm(out.Kern(), a.Kern(), b.Kern(), false, true, false)
 	return out
 }
 

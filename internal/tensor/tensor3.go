@@ -103,12 +103,28 @@ func (x *Tensor3) Rows(b int) *Matrix {
 
 // Gather copies the examples with the given indices into a new tensor.
 func (x *Tensor3) Gather(idx []int) *Tensor3 {
-	out := NewTensor3(len(idx), x.T, x.F)
+	return x.GatherInto(nil, idx)
+}
+
+// GatherInto copies the examples with the given indices into dst, reusing
+// dst's storage when it has the capacity (a nil dst allocates). Returns
+// the gathered tensor, which training loops thread through iterations so
+// steady-state minibatch assembly allocates nothing.
+func (x *Tensor3) GatherInto(dst *Tensor3, idx []int) *Tensor3 {
 	stride := x.T * x.F
-	for i, b := range idx {
-		copy(out.Data[i*stride:(i+1)*stride], x.Data[b*stride:(b+1)*stride])
+	need := len(idx) * stride
+	if dst == nil {
+		dst = &Tensor3{}
 	}
-	return out
+	if cap(dst.Data) < need {
+		dst.Data = make([]float64, need)
+	}
+	dst.B, dst.T, dst.F = len(idx), x.T, x.F
+	dst.Data = dst.Data[:need]
+	for i, b := range idx {
+		copy(dst.Data[i*stride:(i+1)*stride], x.Data[b*stride:(b+1)*stride])
+	}
+	return dst
 }
 
 // AddTensor3 computes a += b elementwise.

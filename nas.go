@@ -257,30 +257,6 @@ func Search(p *Pipeline, method Method, opts SearchOptions) (*SearchResult, erro
 	return nil, fmt.Errorf("podnas: %w: %q (want %s, %s, or %s)", ErrBadMethod, method, MethodAE, MethodRS, MethodRL)
 }
 
-// SearchAE runs aging evolution with real training evaluations.
-//
-// Deprecated: call Search(p, MethodAE, opts).
-func SearchAE(p *Pipeline, opts SearchOptions) (*SearchResult, error) {
-	return Search(p, MethodAE, opts)
-}
-
-// SearchRS runs random search with real training evaluations.
-//
-// Deprecated: call Search(p, MethodRS, opts).
-func SearchRS(p *Pipeline, opts SearchOptions) (*SearchResult, error) {
-	return Search(p, MethodRS, opts)
-}
-
-// SearchRL runs the synchronous multi-agent PPO method with real training
-// evaluations. agents×workersPerAgent×batches evaluations are performed.
-//
-// Deprecated: call Search(p, MethodRL, opts) with the shape in
-// opts.Agents, opts.WorkersPerAgent, and opts.Batches.
-func SearchRL(p *Pipeline, opts SearchOptions, agents, workersPerAgent, batches int) (*SearchResult, error) {
-	opts.Agents, opts.WorkersPerAgent, opts.Batches = agents, workersPerAgent, batches
-	return Search(p, MethodRL, opts)
-}
-
 // ScalingConfig configures a simulated Theta job (Table III, Figs 3/8/9).
 type ScalingConfig = hpcsim.Config
 

@@ -120,22 +120,22 @@ func TestParseMethod(t *testing.T) {
 	}
 }
 
-// TestSearchUnifiedMatchesWrappers pins the API migration: the deprecated
-// wrappers are thin delegates, so a deterministic single-worker run through
-// either path produces the identical history.
-func TestSearchUnifiedMatchesWrappers(t *testing.T) {
+// TestSearchDeterministicReplay pins the unified-API determinism the
+// removed SearchAE/SearchRS/SearchRL wrappers used to be tested
+// through: the same seed and options replay the identical history.
+func TestSearchDeterministicReplay(t *testing.T) {
 	p := pipeline(t)
 	opts := SearchOptions{Workers: 1, MaxEvals: 5, Epochs: 1, Population: 3, Sample: 2, Seed: 6, Evaluator: hashEval{}}
 	a, err := Search(p, MethodAE, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SearchAE(p, opts)
+	b, err := Search(p, MethodAE, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(a.Results) != len(b.Results) || a.Best.Arch.Key() != b.Best.Arch.Key() {
-		t.Fatal("unified Search and SearchAE wrapper disagree")
+		t.Fatal("same-seed Search runs disagree")
 	}
 	for i := range a.Results {
 		if a.Results[i].Reward != b.Results[i].Reward || a.Results[i].Arch.Key() != b.Results[i].Arch.Key() {
@@ -143,18 +143,14 @@ func TestSearchUnifiedMatchesWrappers(t *testing.T) {
 		}
 	}
 
-	// RL: wrapper's positional shape lands in the options fields.
-	opts.Seed = 7
-	rlA, err := Search(p, MethodRL, SearchOptions{Workers: 1, Epochs: 1, Seed: 7, Evaluator: hashEval{}, Agents: 2, WorkersPerAgent: 2, Batches: 1})
+	// RL shape comes from the options fields (agents × workers × batches
+	// evaluations).
+	rl, err := Search(p, MethodRL, SearchOptions{Workers: 1, Epochs: 1, Seed: 7, Evaluator: hashEval{}, Agents: 2, WorkersPerAgent: 2, Batches: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rlB, err := SearchRL(p, SearchOptions{Workers: 1, Epochs: 1, Seed: 7, Evaluator: hashEval{}}, 2, 2, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rlA.Results) != 4 || len(rlB.Results) != 4 || rlA.Best.Reward != rlB.Best.Reward {
-		t.Fatal("unified RL Search and SearchRL wrapper disagree")
+	if len(rl.Results) != 4 {
+		t.Fatalf("RL run produced %d results, want 4", len(rl.Results))
 	}
 }
 

@@ -24,7 +24,7 @@
 //
 // and, for the search experiments,
 //
-//	res, _ := podnas.SearchAE(p, podnas.DefaultSearchOptions())
+//	res, _ := podnas.Search(p, podnas.MethodAE, podnas.DefaultSearchOptions())
 //	stats, _ := podnas.SimulateScaling(podnas.ScalingConfig{...})
 package podnas
 

@@ -277,7 +277,7 @@ func TestCoefficientTraces(t *testing.T) {
 func TestSearchAESmall(t *testing.T) {
 	p := pipeline(t)
 	opts := SearchOptions{Workers: 2, MaxEvals: 6, Epochs: 2, Population: 4, Sample: 2, Seed: 1}
-	res, err := SearchAE(p, opts)
+	res, err := Search(p, MethodAE, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,10 +295,11 @@ func TestSearchAESmall(t *testing.T) {
 func TestSearchRSAndRLSmall(t *testing.T) {
 	p := pipeline(t)
 	opts := SearchOptions{Workers: 2, MaxEvals: 4, Epochs: 1, Seed: 2}
-	if _, err := SearchRS(p, opts); err != nil {
+	if _, err := Search(p, MethodRS, opts); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := SearchRL(p, opts, 2, 2, 1); err != nil {
+	opts.Agents, opts.WorkersPerAgent, opts.Batches = 2, 2, 1
+	if _, err := Search(p, MethodRL, opts); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -427,7 +428,7 @@ func TestRegionReexports(t *testing.T) {
 func TestSearchResultJSONRoundTrip(t *testing.T) {
 	p := pipeline(t)
 	opts := SearchOptions{Workers: 1, MaxEvals: 3, Epochs: 1, Population: 2, Sample: 1, Seed: 8}
-	res, err := SearchRS(p, opts)
+	res, err := Search(p, MethodRS, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
