@@ -12,13 +12,24 @@
 //	     [-maxrunning 1] [-maxqueued 8] [-deadline 0] [-retrybudget 1]
 //	     [-connect host:port,...] [-workerbin nasrun] [-heartbeat 1s]
 //	     [-maxrestarts 3] [-dialtimeout 5s] [-trace out.jsonl]
-//	     [-addrfile path]
+//	     [-addrfile path] [-slo-eval-p99 0] [-slo-queue-p99 0]
+//	     [-slo-hb-rate 0] [-slo-interval 5s]
 //
 // API (JSON): POST /jobs, GET /jobs, GET /jobs/{id}, POST /jobs/{id}/cancel,
 // GET /jobs/{id}/result, GET /jobs/{id}/trace, POST /drain, GET /healthz,
-// plus expvar metrics at /debug/vars. When the admission queue is full or
-// the daemon is draining, submits get 429 with jittered Retry-After backoff
-// guidance.
+// plus expvar metrics at /debug/vars and an OpenMetrics exposition at
+// /metrics (eval-latency histogram, kernel GFLOP counters, queue depth).
+// When the admission queue is full or the daemon is draining, submits get
+// 429 with jittered Retry-After backoff guidance.
+//
+// Every job carries a deterministic trace (root span id derived from the
+// job id), so a job's admission, queue wait, dispatch, per-eval training,
+// and remote-agent rpc spans stitch into one tree across processes; pull
+// them from GET /jobs/{id}/trace and render with "nasreport spans". The
+// -slo-* flags arm a watchdog that, on the first breach of an objective
+// (eval p99, queue-wait p99, heartbeat-miss rate), captures one CPU+heap
+// profile bundle under <dir>/slo-profiles and records a KindSLOBreach
+// event; capture re-arms only after the objective recovers.
 //
 // Degradation ladder: with -connect, evaluations go to remote agents; slots
 // whose agent stays dead fall back to local subprocess workers (-workerbin,
@@ -55,6 +66,8 @@ import (
 	"podnas/internal/cli"
 	"podnas/internal/jobs"
 	"podnas/internal/obs"
+	"podnas/internal/obs/slo"
+	"podnas/internal/obs/span"
 	"podnas/internal/worker"
 )
 
@@ -84,6 +97,10 @@ func run() error {
 	drainTimeout := flag.Duration("draintimeout", time.Minute, "bound on graceful drain before exiting anyway")
 	tracePath := flag.String("trace", "", "append the daemon-wide event log to this file as JSON lines")
 	addrFile := flag.String("addrfile", "", "write the bound listen address to this file once serving (for scripts and tests)")
+	sloEvalP99 := flag.Duration("slo-eval-p99", 0, "SLO: breach when eval latency p99 exceeds this (0 = off)")
+	sloQueueP99 := flag.Duration("slo-queue-p99", 0, "SLO: breach when job queue-wait p99 exceeds this (0 = off)")
+	sloHBRate := flag.Float64("slo-hb-rate", 0, "SLO: breach when heartbeat misses/minute exceed this (0 = off)")
+	sloInterval := flag.Duration("slo-interval", 5*time.Second, "SLO watch-loop poll interval")
 	flag.Parse()
 
 	if *grid != "small" && *grid != "default" {
@@ -116,8 +133,12 @@ func run() error {
 	log.Printf("pipeline ready in %v", time.Since(t0).Round(time.Millisecond))
 
 	met := obs.NewMetrics(*maxRunning)
-	met.Publish("")
-	obs.PublishKernelStats("")
+	if !met.Publish("") {
+		log.Printf("warning: expvar %q already registered; live metrics not republished", obs.DefaultVarName)
+	}
+	if !obs.PublishKernelStats("") {
+		log.Printf("warning: expvar %q already registered; kernel counters not republished", obs.DefaultKernelVarName)
+	}
 	sinks := []obs.Recorder{met}
 	var traceLog *obs.JSONL
 	if *tracePath != "" {
@@ -130,6 +151,28 @@ func run() error {
 		sinks = append(sinks, traceLog)
 	}
 	rec := obs.NewMulti(sinks...)
+
+	var sloWatch *slo.Watcher
+	if *sloEvalP99 > 0 || *sloQueueP99 > 0 || *sloHBRate > 0 {
+		w, err := slo.New(slo.Options{
+			Targets: slo.Targets{
+				EvalP99:           *sloEvalP99,
+				QueueWaitP99:      *sloQueueP99,
+				HeartbeatMissRate: *sloHBRate,
+			},
+			Dir:      filepath.Join(*dir, "slo-profiles"),
+			Interval: *sloInterval,
+			Snapshot: met.Snapshot,
+			Recorder: rec,
+		})
+		if err != nil {
+			return fmt.Errorf("slo: %w", err)
+		}
+		sloWatch = w
+		defer sloWatch.Close()
+		log.Printf("SLO watch: eval p99 %v, queue-wait p99 %v, hb-miss rate %.3g/min; breach profiles in %s",
+			*sloEvalP99, *sloQueueP99, *sloHBRate, filepath.Join(*dir, "slo-profiles"))
+	}
 
 	store, err := jobs.NewStore(*dir)
 	if err != nil {
@@ -188,6 +231,14 @@ func run() error {
 	mux := http.NewServeMux()
 	mux.Handle("/", api.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", obs.MetricsHandler(
+		met.Families,
+		obs.KernelFamilies,
+		obs.GaugeSource("podnas_jobs_queued", "Jobs waiting in the admission queue.",
+			func() float64 { return float64(mgr.Stats().Queued) }),
+		obs.GaugeSource("podnas_jobs_running", "Jobs currently running.",
+			func() float64 { return float64(mgr.Stats().Running) }),
+	))
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -303,6 +354,9 @@ func (r *searchRunner) Run(ctx context.Context, spec jobs.Spec, run jobs.RunInfo
 		CheckpointPath: run.CheckpointPath, CheckpointEvery: 1,
 		Resume:   run.Resume,
 		Recorder: run.Recorder,
+		// The job's root span context: the search subtree parents under the
+		// same trace as the manager's admission/queue_wait spans.
+		Trace: run.Trace,
 	}
 	if method == podnas.MethodRL {
 		opts.Agents = 2
@@ -310,7 +364,7 @@ func (r *searchRunner) Run(ctx context.Context, spec jobs.Spec, run jobs.RunInfo
 		opts.Batches = max(1, spec.Evals/(opts.Agents*opts.WorkersPerAgent))
 	}
 	if len(r.connect) > 0 || r.workerBin != "" {
-		pool, err := r.newPool(workers, seed, epochs, run.Recorder)
+		pool, err := r.newPool(workers, seed, epochs, run.Recorder, run.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -341,7 +395,7 @@ func (r *searchRunner) Run(ctx context.Context, spec jobs.Spec, run jobs.RunInfo
 // newPool assembles the degradation-ladder worker pool: remote agents when
 // -connect is set, local subprocess workers (when -workerbin names the
 // nasrun binary) as transport fallback, in-process evaluation as the floor.
-func (r *searchRunner) newPool(workers int, seed uint64, epochs int, rec obs.Recorder) (*worker.Pool, error) {
+func (r *searchRunner) newPool(workers int, seed uint64, epochs int, rec obs.Recorder, trace span.Context) (*worker.Pool, error) {
 	fallback, err := r.p.NewEvaluator(epochs)
 	if err != nil {
 		return nil, err
@@ -350,6 +404,9 @@ func (r *searchRunner) newPool(workers int, seed uint64, epochs int, rec obs.Rec
 		Workers:   workers,
 		Heartbeat: r.heartbeat, MaxRestarts: r.maxRestarts, Seed: seed,
 		Fallback: fallback, Recorder: rec,
+		// The job's root span context: pool dispatch/rpc/handshake spans join
+		// the same trace as the manager's admission and queue_wait spans.
+		Trace: trace,
 	}
 	switch {
 	case len(r.connect) > 0:

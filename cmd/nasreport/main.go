@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	nasreport report [-out dir] [-window 100] [-high 0.96] [-bins 120] [-strict] trace.jsonl
-//	nasreport diff   [-best 0.01] [-ma 0.02] [-auc 0.05] [-rate 0.20]
-//	                 [-uniq 0] [-errs 0] [-strict] baseline.jsonl candidate.jsonl
-//	nasreport tail   [-interval 2s] [-once] trace.jsonl
+//	nasreport report  [-out dir] [-window 100] [-high 0.96] [-bins 120] [-strict] trace.jsonl
+//	nasreport diff    [-best 0.01] [-ma 0.02] [-auc 0.05] [-rate 0.20]
+//	                  [-uniq 0] [-errs 0] [-strict] baseline.jsonl candidate.jsonl
+//	nasreport tail    [-interval 2s] [-once] trace.jsonl
+//	nasreport spans   [-out dir] [-trace ID] [-tree] trace.jsonl
+//	nasreport metrics [-q] metrics.txt|http://host:port/metrics
 //
 // report reconstructs the live metrics snapshot from the trace (exactly —
 // replay feeds the recorded events through the same aggregator) and writes
@@ -21,6 +23,14 @@
 //
 // tail follows a live trace, re-analyzing on an interval and printing
 // a one-line summary until the run finishes.
+//
+// spans reconstructs the cross-process trace-span trees (search → eval →
+// dispatch/rpc → train → epoch, or a nasd job's admission → queue_wait →
+// search subtree) from the recorded span events, prints each trace's
+// critical path, and writes one gantt-style timeline SVG per trace.
+//
+// metrics validates an OpenMetrics exposition — a saved file or a live
+// /metrics endpoint — with the same parser the unit tests use.
 //
 // Every trace argument may be a local file or an http(s):// URL — in
 // particular a running nasd daemon's per-job trace endpoint, e.g.
@@ -54,9 +64,11 @@ const (
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  nasreport report [-out dir] [-window N] [-high R] [-bins N] [-strict] trace.jsonl
-  nasreport diff   [-best D] [-ma D] [-auc D] [-rate F] [-uniq N] [-errs N] [-strict] baseline.jsonl candidate.jsonl
-  nasreport tail   [-interval D] [-once] trace.jsonl
+  nasreport report  [-out dir] [-window N] [-high R] [-bins N] [-strict] trace.jsonl
+  nasreport diff    [-best D] [-ma D] [-auc D] [-rate F] [-uniq N] [-errs N] [-strict] baseline.jsonl candidate.jsonl
+  nasreport tail    [-interval D] [-once] trace.jsonl
+  nasreport spans   [-out dir] [-trace ID] [-tree] trace.jsonl
+  nasreport metrics [-q] metrics.txt|http://host/metrics
 `)
 }
 
@@ -72,6 +84,10 @@ func main() {
 		os.Exit(cmdDiff(os.Args[2:]))
 	case "tail":
 		os.Exit(cmdTail(os.Args[2:]))
+	case "spans":
+		os.Exit(cmdSpans(os.Args[2:]))
+	case "metrics":
+		os.Exit(cmdMetrics(os.Args[2:]))
 	case "-h", "-help", "--help", "help":
 		usage()
 		os.Exit(0)

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"podnas/internal/obs"
+	"podnas/internal/obs/replay"
+	"podnas/internal/obs/span"
+)
+
+// readEvents decodes a whole trace (local file or http(s):// URL) into its
+// clean-prefix event slice, tolerating truncation like the analyses do.
+func readEvents(src string) ([]obs.Event, error) {
+	var r io.ReadCloser
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return nil, err
+		}
+		r = f
+	}
+	defer r.Close()
+	rd := replay.NewReader(r, false)
+	var events []obs.Event
+	for {
+		e, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+	if st := rd.Stats(); st.Truncated {
+		fmt.Fprintf(os.Stderr, "nasreport: %s: truncated at line %d; using the clean prefix of %d events\n",
+			src, st.TruncatedLine, st.Events)
+	}
+	return events, nil
+}
+
+// cmdSpans reconstructs every trace's span tree from a recorded event
+// stream, prints the critical-path summary, and writes one gantt SVG per
+// trace.
+func cmdSpans(args []string) int {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	out := fs.String("out", "nasreport-out", "output directory for gantt SVGs")
+	only := fs.String("trace", "", "render only the trace with this 16-hex ID")
+	tree := fs.Bool("tree", false, "also print each trace's indented span tree")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+		return exitUsage
+	}
+	events, err := readEvents(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nasreport: %s: %v\n", fs.Arg(0), err)
+		return exitRuntime
+	}
+	traces := replay.Spans(events)
+	if *only != "" {
+		id, err := span.ParseID(*only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nasreport: -trace %q: %v\n", *only, err)
+			return exitUsage
+		}
+		kept := traces[:0]
+		for _, t := range traces {
+			if t.ID == id {
+				kept = append(kept, t)
+			}
+		}
+		traces = kept
+	}
+	if len(traces) == 0 {
+		fmt.Println("no spans in trace (run with tracing enabled: nasrun -obs, or a nasd job)")
+		return 0
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "nasreport: %v\n", err)
+		return exitRuntime
+	}
+	for _, t := range traces {
+		name := fmt.Sprintf("spans_%s.svg", t.ID)
+		if err := os.WriteFile(filepath.Join(*out, name), []byte(ganttSVG(t)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "nasreport: %v\n", err)
+			return exitRuntime
+		}
+		fmt.Printf("trace %s: %d spans over %.3fs → %s\n",
+			t.ID, len(t.Spans), (t.End() - t.Start()).Seconds(), filepath.Join(*out, name))
+		path := replay.CriticalPath(t)
+		if len(path) > 0 {
+			fmt.Printf("  critical path:\n")
+			for _, step := range path {
+				fmt.Printf("    %-12s +%8.3fs  dur %8.3fs  self %8.3fs\n",
+					step.Span.Name, step.Span.Start.Seconds(),
+					step.Span.Duration().Seconds(), step.Self.Seconds())
+			}
+		}
+		if *tree {
+			fmt.Print(replay.FormatSpanTree(t))
+		}
+	}
+	return 0
+}
+
+// ganttSVG renders one trace as a timeline: one row per span in
+// depth-first tree order, bar position and width from the span's recorded
+// start/end, indentation showing depth. The output is deterministic for
+// identical traces.
+func ganttSVG(t *replay.Trace) string {
+	type row struct {
+		s     *replay.Span
+		depth int
+	}
+	var rows []row
+	var walk func(s *replay.Span, depth int)
+	walk = func(s *replay.Span, depth int) {
+		rows = append(rows, row{s, depth})
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r, 0)
+	}
+
+	const (
+		rowH    = 22
+		top     = 40
+		left    = 220
+		chartW  = 760
+		labelPx = 8
+	)
+	t0, t1 := t.Start(), t.End()
+	total := (t1 - t0).Seconds()
+	if total <= 0 {
+		total = 1e-9
+	}
+	x := func(sec float64) float64 { return left + (sec-t0.Seconds())/total*chartW }
+	h := top + len(rows)*rowH + 30
+	w := left + chartW + 20
+
+	// Depth-cycled fills keep parent/child bars distinguishable without a
+	// legend.
+	palette := []string{"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948"}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="10" y="20" font-size="13">trace %s — %d spans, %.3fs</text>`+"\n", t.ID, len(t.Spans), total)
+	// Time gridlines at quarters.
+	for i := 0; i <= 4; i++ {
+		sec := t0.Seconds() + total*float64(i)/4
+		gx := x(sec)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n", gx, top-6, gx, h-24)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="#666">%.3fs</text>`+"\n", gx-16, h-10, sec)
+	}
+	for i, r := range rows {
+		y := top + i*rowH
+		x0, x1 := x(r.s.Start.Seconds()), x(r.s.End.Seconds())
+		if x1-x0 < 1 {
+			x1 = x0 + 1 // zero-duration spans still get a visible tick
+		}
+		fill := palette[r.depth%len(palette)]
+		label := r.s.Name
+		if r.s.Orphan {
+			label += " (orphan)"
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+			labelPx+r.depth*10, y+15, escapeXML(label))
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" rx="2"><title>%s %.3fs–%.3fs (%.3fs)</title></rect>`+"\n",
+			x0, y+4, x1-x0, rowH-8, fill,
+			escapeXML(r.s.Name), r.s.Start.Seconds(), r.s.End.Seconds(), r.s.Duration().Seconds())
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// cmdMetrics fetches an OpenMetrics exposition (file or URL — typically a
+// live /metrics endpoint) and validates it with the same parser the unit
+// tests and the CI metrics-smoke job use.
+func cmdMetrics(args []string) int {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "suppress the family listing; exit code only")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+		return exitUsage
+	}
+	src := fs.Arg(0)
+	var r io.ReadCloser
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nasreport: %s: %v\n", src, err)
+			return exitRuntime
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "nasreport: GET %s: %s\n", src, resp.Status)
+			return exitRuntime
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nasreport: %s: %v\n", src, err)
+			return exitRuntime
+		}
+		r = f
+	}
+	families, err := obs.ValidateOpenMetrics(r)
+	r.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nasreport: %s: invalid OpenMetrics exposition: %v\n", src, err)
+		return exitRuntime
+	}
+	if !*quiet {
+		fmt.Printf("valid OpenMetrics exposition: %d families\n", len(families))
+		for _, f := range families {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	return 0
+}

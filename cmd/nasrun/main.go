@@ -12,6 +12,8 @@
 //	       [-isolate] [-heartbeat 1s] [-maxrestarts 3] [-speculate 0]
 //	       [-connect host:port,...] [-dialtimeout 5s] [-readtimeout 0]
 //	       [-obs :6060] [-trace out.jsonl]
+//	       [-slo-eval-p99 0] [-slo-queue-p99 0] [-slo-hb-rate 0]
+//	       [-slo-dir slo-profiles] [-slo-interval 5s]
 //	nasrun -worker -listen host:port [-grid small|default] [-epochs 20]
 //	       [-heartbeat 1s]
 //
@@ -32,9 +34,13 @@
 // workers" section.
 //
 // Observability: -trace streams every search event (evaluation lifecycle,
-// epoch ticks, worker supervision, checkpoints) as JSON lines; -obs serves
-// live aggregate metrics as the expvar "podnas.search" at /debug/vars plus
-// the pprof suite. See the README's "Observability" section.
+// epoch ticks, trace spans, worker supervision, checkpoints) as JSON lines;
+// -obs serves live aggregate metrics as the expvar "podnas.search" at
+// /debug/vars, an OpenMetrics exposition at /metrics, and the pprof suite.
+// The -slo-* flags start a watch loop that, on the first poll a target is
+// breached, captures a CPU+heap pprof bundle into -slo-dir (once per breach
+// window) and records an slo_breach event. See the README's "Observability"
+// and "Metrics & tracing" sections.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error (bad flags,
 // unknown method, invalid options), 3 unreadable or corrupted checkpoint,
@@ -57,6 +63,8 @@ import (
 	"podnas"
 	"podnas/internal/cli"
 	"podnas/internal/obs"
+	"podnas/internal/obs/slo"
+	"podnas/internal/obs/span"
 	"podnas/internal/search"
 	"podnas/internal/worker"
 )
@@ -109,8 +117,13 @@ func main() {
 	killNth := flag.Int("killnth", 0, "fault injection: SIGKILL a worker right after the Nth dispatched evaluation (tests/CI smoke)")
 	faultKill := flag.Float64("faultkill", 0, "fault injection: probability a worker kills its own process mid-evaluation (needs -isolate)")
 	faultSeed := flag.Uint64("faultseed", 0, "fault injection seed (set by the supervisor per worker incarnation)")
-	obsAddr := flag.String("obs", "", "serve live metrics (expvar) and pprof on this address, e.g. :6060")
+	obsAddr := flag.String("obs", "", "serve live metrics (expvar, OpenMetrics /metrics) and pprof on this address, e.g. :6060")
 	tracePath := flag.String("trace", "", "stream the search event log to this file as JSON lines")
+	sloEvalP99 := flag.Duration("slo-eval-p99", 0, "SLO: breach when eval latency p99 exceeds this (0 = off; needs -obs or -trace)")
+	sloQueueP99 := flag.Duration("slo-queue-p99", 0, "SLO: breach when queue-wait p99 exceeds this (0 = off)")
+	sloHBRate := flag.Float64("slo-hb-rate", 0, "SLO: breach when heartbeat misses/minute exceed this (0 = off)")
+	sloDir := flag.String("slo-dir", "slo-profiles", "directory for SLO-breach pprof bundles")
+	sloInterval := flag.Duration("slo-interval", 5*time.Second, "SLO watch-loop poll interval")
 	flag.Parse()
 
 	// Fail fast on invalid flags with a one-line error before any expensive
@@ -154,6 +167,7 @@ func main() {
 			"savemodel", "checkpoint", "resume", "evaltimeout", "retries",
 			"isolate", "maxrestarts", "speculate", "killnth", "obs", "trace",
 			"connect", "dialtimeout", "readtimeout",
+			"slo-eval-p99", "slo-queue-p99", "slo-hb-rate", "slo-dir", "slo-interval",
 		} {
 			if set[name] {
 				fatalUsage("-worker serves evaluations: -%s is a driver flag and has no effect here", name)
@@ -232,6 +246,8 @@ func main() {
 		rec      obs.Recorder
 		met      *obs.Metrics
 		traceLog *obs.JSONL
+		rootSpan span.Context
+		sloWatch *slo.Watcher
 	)
 	if *obsAddr != "" || *tracePath != "" {
 		met = obs.NewMetrics(*workers)
@@ -249,15 +265,42 @@ func main() {
 		// The header is the first record in the trace: replay tools learn the
 		// method, seed, slot count, and writer versions without scanning.
 		rec.Record(obs.NewHeader(*method, *seed, *workers, podnas.Version))
+		// Root span context: deterministic from (method, seed), so a re-run
+		// of the same search reconstructs identical span identities.
+		rootSpan = span.NewTrace(fmt.Sprintf("run/%s/%d", *method, *seed))
 		if *obsAddr != "" {
-			met.Publish("")
-			obs.PublishKernelStats("")
-			srv, ln, err := obs.Serve(*obsAddr)
+			if !met.Publish("") {
+				log.Printf("warning: expvar %q already registered (another run in this process?); live metrics not republished", obs.DefaultVarName)
+			}
+			if !obs.PublishKernelStats("") {
+				log.Printf("warning: expvar %q already registered; kernel counters not republished", obs.DefaultKernelVarName)
+			}
+			srv, ln, err := obs.Serve(*obsAddr, met.Families, obs.KernelFamilies)
 			if err != nil {
 				fatalUsage("-obs: %v", err)
 			}
 			defer srv.Close()
-			fmt.Printf("observability: http://%s/debug/vars (expvar %q) and /debug/pprof/\n", ln.Addr(), obs.DefaultVarName)
+			fmt.Printf("observability: http://%s/debug/vars (expvar %q), /metrics (OpenMetrics), and /debug/pprof/\n", ln.Addr(), obs.DefaultVarName)
+		}
+		if *sloEvalP99 > 0 || *sloQueueP99 > 0 || *sloHBRate > 0 {
+			w, err := slo.New(slo.Options{
+				Targets: slo.Targets{
+					EvalP99:           *sloEvalP99,
+					QueueWaitP99:      *sloQueueP99,
+					HeartbeatMissRate: *sloHBRate,
+				},
+				Dir:      *sloDir,
+				Interval: *sloInterval,
+				Snapshot: met.Snapshot,
+				Recorder: rec,
+			})
+			if err != nil {
+				fatalUsage("slo: %v", err)
+			}
+			sloWatch = w
+			defer sloWatch.Close() // idempotent; the normal path closes before the trace sink
+			fmt.Printf("SLO watch: eval p99 %v, queue-wait p99 %v, hb-miss rate %.3g/min; breach profiles → %s\n",
+				*sloEvalP99, *sloQueueP99, *sloHBRate, *sloDir)
 		}
 	}
 
@@ -265,7 +308,7 @@ func main() {
 		Workers: *workers, MaxEvals: *evals, Epochs: *epochs,
 		Population: max(4, *evals/3), Sample: max(2, *evals/8), Seed: *seed,
 		Ctx: ctx, EvalTimeout: *evalTimeout, Retries: *retries,
-		CheckpointPath: *checkpoint, Recorder: rec,
+		CheckpointPath: *checkpoint, Recorder: rec, Trace: rootSpan,
 	}
 	var pool *worker.Pool
 	if *isolate || *connect != "" {
@@ -288,7 +331,7 @@ func main() {
 			Workers:   *workers,
 			Heartbeat: *heartbeat, MaxRestarts: *maxRestarts, Seed: *seed,
 			SpeculativeAfter: *speculate, KillNth: *killNth,
-			Fallback: fallback, Recorder: rec,
+			Fallback: fallback, Recorder: rec, Trace: rootSpan,
 		}
 		if *connect != "" {
 			addrs := cli.SplitAddrs(*connect)
@@ -365,6 +408,12 @@ func main() {
 		s := met.Snapshot()
 		fmt.Printf("live metrics: %d evaluations (%d errors, %d retries), reward MA %.4f, best %.4f, utilization %.1f%%\n",
 			s.Evals, s.Errors, s.Retries, s.RewardMA, s.BestReward, 100*s.UtilizationAUC)
+	}
+	if sloWatch != nil {
+		// Stop the watch-loop before the trace sink closes: a breach capture
+		// in flight (the CPU profile window can outlive a short run) must
+		// land its KindSLOBreach event in the trace, not on a closed file.
+		sloWatch.Close()
 	}
 	if traceLog != nil {
 		obsCleanup = func() {}

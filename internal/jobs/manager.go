@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"podnas/internal/obs"
+	"podnas/internal/obs/span"
 	"podnas/internal/search"
 )
 
@@ -42,6 +43,11 @@ type RunInfo struct {
 	// own trace file and the daemon-wide sink, tagging every event with
 	// the job ID.
 	Recorder obs.Recorder
+	// Trace is the job's root span context (span.NewTrace("job/<id>"), so
+	// any process can recompute it from the ID alone). Runners thread it
+	// into their search so the whole attempt — admission, queue wait,
+	// search, evals, remote training — stitches into one trace tree.
+	Trace span.Context
 }
 
 // Options configure a Manager. Zero values take the documented defaults.
@@ -115,6 +121,7 @@ type managed struct {
 	evict    string             // eviction reason, set before cancel
 	rec      obs.Recorder       // the running attempt's tee, for watchdog emissions
 	started  time.Time          // attempt start (deadline base)
+	queued   time.Time          // last (re)admission to the queue (queue_wait span base)
 	deadline time.Duration      // 0 = none
 }
 
@@ -160,7 +167,7 @@ func New(opts Options) (*Manager, error) {
 	loaded, errs := opts.Store.LoadAll()
 	m.corrupt = errs
 	for _, j := range loaded {
-		mg := &managed{job: *j}
+		mg := &managed{job: *j, queued: time.Now()}
 		switch j.State {
 		case StateDone, StateFailed, StateCancelled:
 			// Terminal: keep the record (exactly-once results), never re-run.
@@ -237,6 +244,7 @@ func (m *Manager) newIDLocked() (string, error) {
 // (draining, or the bounded queue is full). The returned Job snapshot is
 // durable: by the time Submit returns, a crash cannot lose the admission.
 func (m *Manager) Submit(spec Spec) (Job, error) {
+	admitT0 := time.Now()
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
 	}
@@ -262,13 +270,19 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 		Spec:        spec,
 		State:       StateQueued,
 		SubmittedAt: time.Now().UTC(),
-	}}
+	}, queued: time.Now()}
 	if err := m.opts.Store.Save(&mg.job); err != nil {
 		return Job{}, err
 	}
 	m.jobs[id] = mg
 	m.queue = append(m.queue, id)
 	m.record(obs.Event{Kind: obs.KindJobSubmit, Job: id, Method: spec.Method, Eval: spec.Evals})
+	// Admission span: validation + durable save, child of the job's root
+	// trace (recomputable from the ID by anyone holding the event stream).
+	root := span.NewTrace("job/" + id)
+	adm := span.End(span.Derive(root, "admission"), root.Span, "admission", time.Since(admitT0))
+	adm.Job = id
+	m.record(adm)
 	m.kick()
 	return mg.job.Clone(), nil
 }
@@ -546,6 +560,7 @@ func (m *Manager) runJob(ctx context.Context, cancel context.CancelFunc, id stri
 	m.mu.Lock()
 	mg := m.jobs[id]
 	job := mg.job.Clone()
+	queueWait := mg.started.Sub(mg.queued)
 	m.mu.Unlock()
 
 	ckPath := m.opts.Store.CheckpointPath(id)
@@ -575,6 +590,14 @@ func (m *Manager) runJob(ctx context.Context, cancel context.CancelFunc, id stri
 
 	rec.Record(obs.Event{Kind: obs.KindJobStart, Attempt: job.Attempt, Eval: resumeEvals})
 
+	// Queue-wait span: admission (or re-admission) to dispatch. The obs
+	// Metrics aggregator feeds its queue-wait histogram — and the SLO
+	// watcher's queue_wait_p99 target — from exactly these spans.
+	root := span.NewTrace("job/" + id)
+	qw := span.End(span.Derive(root, "queue_wait", uint64(job.Attempt)), root.Span, "queue_wait", queueWait)
+	qw.Attempt = job.Attempt
+	rec.Record(qw)
+
 	var res *Result
 	var runErr error
 	var rung string
@@ -588,6 +611,7 @@ func (m *Manager) runJob(ctx context.Context, cancel context.CancelFunc, id stri
 			CheckpointPath: ckPath,
 			Resume:         resume,
 			Recorder:       rec,
+			Trace:          root,
 		})
 		rung = r.Name()
 		if runErr == nil && res == nil {
@@ -677,6 +701,16 @@ func (m *Manager) settle(mg *managed, id string, res *Result, rung string, runEr
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindJobCheckpoint, Eval: mg.job.Evals})
 		switch mg.job.State {
+		case StateDone, StateFailed, StateCancelled:
+			// Terminal: close the trace with the root "job" span — its whole
+			// lifetime from submission, parentless so tree assembly roots on it.
+			root := span.NewTrace("job/" + id)
+			js := span.End(root, 0, "job", now.Sub(mg.job.SubmittedAt))
+			rec.Record(js)
+		case StatePaused, StateQueued, StateRunning:
+			// Not terminal: the trace stays open for the next attempt.
+		}
+		switch mg.job.State {
 		case StateDone:
 			rec.Record(obs.Event{Kind: obs.KindJobFinish, Method: string(StateDone), Eval: mg.job.Evals, Reward: mg.job.Result.BestReward, Arch: mg.job.Result.BestArch})
 		case StateFailed, StateCancelled, StatePaused:
@@ -687,6 +721,7 @@ func (m *Manager) settle(mg *managed, id string, res *Result, rung string, runEr
 		}
 	}
 	if requeue && !m.draining {
+		mg.queued = time.Now()
 		m.queue = append(m.queue, id)
 	}
 	m.running--
@@ -729,10 +764,14 @@ func (f flushOn) Record(e obs.Event) {
 	switch e.Kind {
 	case obs.KindEvalFinish, obs.KindEvalError, obs.KindCheckpoint,
 		obs.KindJobSubmit, obs.KindJobStart, obs.KindJobCheckpoint,
-		obs.KindJobFinish, obs.KindJobEvict:
+		obs.KindJobFinish, obs.KindJobEvict,
+		// An SLO breach is rare and is exactly the event an operator reads
+		// the trace for, so it must survive a crash.
+		obs.KindSLOBreach:
 		_ = f.j.Flush()
 	default:
-		// High-rate events (epoch ticks, worker chatter) stay buffered.
+		// High-rate events stay buffered: epoch ticks, worker chatter, and
+		// KindSpan (one per eval, epoch, and rpc — far too chatty to fsync).
 	}
 }
 

@@ -140,13 +140,29 @@ func TestJobLifecycleHappyPath(t *testing.T) {
 	}
 
 	// Event ordering: submitted → durably dispatched → started → committed →
-	// finished, all tagged with the job ID.
+	// finished, all tagged with the job ID. Trace spans (admission,
+	// queue_wait, job) interleave with the lifecycle stream; the lifecycle
+	// order itself must hold with them filtered out.
 	want := []obs.Kind{obs.KindJobSubmit, obs.KindJobCheckpoint, obs.KindJobStart, obs.KindJobCheckpoint, obs.KindJobFinish}
 	evs := jobEvents(ring, j.ID)
-	if fmt.Sprint(kindsOf(evs)) != fmt.Sprint(want) {
-		t.Fatalf("event order %v, want %v", kindsOf(evs), want)
+	var lifecycle []obs.Event
+	spanNames := map[string]int{}
+	for _, e := range evs {
+		if e.Kind == obs.KindSpan {
+			spanNames[e.Name]++
+			continue
+		}
+		lifecycle = append(lifecycle, e)
 	}
-	last := evs[len(evs)-1]
+	if fmt.Sprint(kindsOf(lifecycle)) != fmt.Sprint(want) {
+		t.Fatalf("event order %v, want %v", kindsOf(lifecycle), want)
+	}
+	for _, name := range []string{"admission", "queue_wait", "job"} {
+		if spanNames[name] != 1 {
+			t.Fatalf("span %q emitted %d times, want 1 (all: %v)", name, spanNames[name], spanNames)
+		}
+	}
+	last := lifecycle[len(lifecycle)-1]
 	if last.Method != string(StateDone) || last.Eval != 4 {
 		t.Fatalf("finish event %+v", last)
 	}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"podnas/internal/metrics"
 	"podnas/internal/obs"
+	"podnas/internal/obs/span"
 	"podnas/internal/tensor"
 )
 
@@ -96,6 +98,11 @@ func Train(g *Graph, x, y *tensor.Tensor3, cfg TrainConfig) (float64, error) {
 	// tick without Train needing an explicit observability parameter.
 	recorder, _ := obs.RecorderFrom(cfg.Ctx)
 	evalIdx, _ := obs.EvalFrom(cfg.Ctx)
+	// A planted span context additionally turns each epoch into a trace span
+	// (child of the planted "eval"/"train" span). Span timing is pure
+	// telemetry: it never touches the RNG, the data order, or the weights.
+	trainSpan, _ := span.From(cfg.Ctx)
+	tracing := recorder != nil && trainSpan.Valid()
 	if cfg.Workers > 0 {
 		kcfg := g.KernelConfig()
 		kcfg.Workers = cfg.Workers
@@ -116,6 +123,10 @@ func Train(g *Graph, x, y *tensor.Tensor3, cfg TrainConfig) (float64, error) {
 			if err := cfg.Ctx.Err(); err != nil {
 				return epochLoss, fmt.Errorf("nn: training interrupted at epoch %d: %w", epoch, err)
 			}
+		}
+		var epochT0 time.Time
+		if tracing {
+			epochT0 = time.Now() //podnas:allow detrand span timing is telemetry; it never feeds the shuffle, noise, or weights
 		}
 		rng.Shuffle(idx)
 		epochLoss = 0
@@ -154,6 +165,12 @@ func Train(g *Graph, x, y *tensor.Tensor3, cfg TrainConfig) (float64, error) {
 		epochLoss /= float64(batches)
 		if recorder != nil {
 			recorder.Record(obs.Event{Kind: obs.KindEpoch, Eval: evalIdx, Epoch: epoch, Loss: epochLoss})
+		}
+		if tracing {
+			esc := span.Derive(trainSpan, "epoch", uint64(epoch))
+			e := span.End(esc, trainSpan.Span, "epoch", time.Since(epochT0)) //podnas:allow detrand span timing is telemetry; it never feeds the shuffle, noise, or weights
+			e.Eval, e.Epoch = evalIdx, epoch
+			recorder.Record(e)
 		}
 		if cfg.EpochCallback != nil {
 			cfg.EpochCallback(epoch, epochLoss)

@@ -101,6 +101,21 @@ const (
 	// Err = eviction reason). The job retries, pauses with its checkpoint,
 	// or fails, which the subsequent job_start/job_finish records.
 	KindJobEvict
+	// KindSpan is one completed trace span (Name, Trace, Span, Parent,
+	// Seconds = duration, T = end offset, so start = T − Seconds). Span
+	// identities are derived deterministically from existing identities
+	// (job ID × eval × lease × epoch) by internal/obs/span, so a replayed
+	// trace reconstructs the identical tree. Spans produced in a worker
+	// process travel back over the wire as span frames and are re-recorded
+	// by the driver, which is how one evaluation's tree stitches across
+	// processes.
+	KindSpan
+	// KindSLOBreach marks an SLO watch-loop target crossing its threshold
+	// (Name = target name, Seconds = observed value, Ident = pprof bundle
+	// path prefix, Err = capture error if the bundle is partial). Emitted
+	// exactly once per breach window by internal/obs/slo alongside the
+	// CPU+heap pprof capture.
+	KindSLOBreach
 )
 
 // SchemaVersion is the trace-format generation stamped into every
@@ -149,6 +164,8 @@ var kindNames = [...]string{
 	KindJobCheckpoint:    "job_checkpoint",
 	KindJobFinish:        "job_finish",
 	KindJobEvict:         "job_evict",
+	KindSpan:             "span",
+	KindSLOBreach:        "slo_breach",
 }
 
 // String returns the stable snake_case name used in JSONL traces.
@@ -207,6 +224,14 @@ type Event struct {
 	// checkpoint/finish/evict), and on every event a job's per-run recorder
 	// stamps, so one daemon-wide trace still attributes per-job streams.
 	Job string `json:"job,omitempty"`
+
+	// Span fields (KindSpan; Name also labels KindSLOBreach's target).
+	// Trace/Span/Parent are 16-hex-digit IDs kept as strings so JSON
+	// round-trips never lose uint64 precision to float64 decoding.
+	Name   string `json:"name,omitempty"`   // span operation / SLO target name
+	Trace  string `json:"trace,omitempty"`  // trace ID
+	Span   string `json:"span,omitempty"`   // span ID
+	Parent string `json:"parent,omitempty"` // parent span ID ("" = root)
 
 	// Trace-header fields (KindTraceHeader only).
 	Seed    uint64 `json:"seed,omitempty"`    // search seed

@@ -9,11 +9,12 @@ import (
 )
 
 // Handler returns the observability mux served by `nasrun -obs`: the expvar
-// JSON snapshot at /debug/vars (including any Metrics published there) and
-// the full pprof suite under /debug/pprof/. Handlers are mounted explicitly
+// JSON snapshot at /debug/vars (including any Metrics published there), the
+// full pprof suite under /debug/pprof/, and — when family sources are given
+// — the OpenMetrics exposition at /metrics. Handlers are mounted explicitly
 // rather than via the net/http/pprof side-effect registration, so nothing
 // leaks onto http.DefaultServeMux.
-func Handler() http.Handler {
+func Handler(metricSources ...func() []Family) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -21,6 +22,9 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if len(metricSources) > 0 {
+		mux.Handle("/metrics", MetricsHandler(metricSources...))
+	}
 	return mux
 }
 
@@ -28,12 +32,12 @@ func Handler() http.Handler {
 // Handler on it in the background. It returns the bound listener (its Addr
 // resolves ":0" for tests) and the server for shutdown. The server runs
 // until closed; serve errors after Close are discarded.
-func Serve(addr string) (*http.Server, net.Listener, error) {
+func Serve(addr string, metricSources ...func() []Family) (*http.Server, net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: Handler(metricSources...), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln, nil
 }

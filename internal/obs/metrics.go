@@ -40,6 +40,12 @@ type Metrics struct {
 	jobSubmits, jobStarts, jobCheckpoints int
 	jobFinishes, jobEvicts                int
 
+	// Span and SLO tallies plus the latency distributions the /metrics
+	// exposition and the SLO watch-loop read: evaluation wall time (from
+	// terminal eval events) and queue wait (from "queue_wait" spans).
+	spans, sloBreaches int
+	evalLat, queueWait *hist
+
 	// ma is the shared streaming window average (metrics.WindowMA), the
 	// same implementation hpcsim's batch MovingAverage and obs/replay are
 	// cross-checked against.
@@ -97,6 +103,8 @@ func NewMetricsOpts(workers int, opts MetricsOptions) *Metrics {
 		high:          make(map[string]bool),
 		inflight:      make(map[int]time.Duration),
 		perWorker:     make(map[int]*WorkerCounters),
+		evalLat:       newHist(),
+		queueWait:     newHist(),
 	}
 }
 
@@ -135,6 +143,7 @@ func (m *Metrics) Record(e Event) {
 		m.inflight[e.Eval] = e.T
 	case KindEvalFinish:
 		m.closeEval(e)
+		m.evalLat.add(e.Seconds)
 		m.successes++
 		m.ma.Push(e.Reward)
 		if e.Reward > m.best {
@@ -145,6 +154,7 @@ func (m *Metrics) Record(e Event) {
 		}
 	case KindEvalError:
 		m.closeEval(e)
+		m.evalLat.add(e.Seconds)
 		m.errors++
 	case KindEvalRetry:
 		m.retries++
@@ -189,6 +199,16 @@ func (m *Metrics) Record(e Event) {
 		m.jobFinishes++
 	case KindJobEvict:
 		m.jobEvicts++
+	case KindSpan:
+		m.spans++
+		// Queue-wait spans are the only span family folded into a
+		// distribution here; the rest are tree structure for replay, not
+		// aggregate state.
+		if e.Name == "queue_wait" {
+			m.queueWait.add(e.Seconds)
+		}
+	case KindSLOBreach:
+		m.sloBreaches++
 	case KindSearchStart, KindTraceHeader:
 		// Run metadata: no aggregate state beyond the clock advance above.
 	default:
@@ -256,6 +276,18 @@ type Snapshot struct {
 	JobCheckpoints int `json:"job_checkpoints,omitempty"`
 	JobFinishes    int `json:"job_finishes,omitempty"`
 	JobEvicts      int `json:"job_evicts,omitempty"`
+
+	// Span / SLO counters and the tail latencies the SLO watch-loop
+	// compares against its targets. Quantiles are computed over the most
+	// recent histWindow samples, so a recovering system's p99 decays
+	// instead of being anchored by ancient stragglers.
+	Spans               int     `json:"spans,omitempty"`
+	SLOBreaches         int     `json:"slo_breaches,omitempty"`
+	EvalP50Seconds      float64 `json:"eval_p50_seconds,omitempty"`
+	EvalP99Seconds      float64 `json:"eval_p99_seconds,omitempty"`
+	QueueWaitP99Seconds float64 `json:"queue_wait_p99_seconds,omitempty"`
+	// HeartbeatMissRate is heartbeat misses per elapsed minute.
+	HeartbeatMissRate float64 `json:"heartbeat_miss_rate,omitempty"`
 }
 
 // Snapshot returns the current aggregate state.
@@ -290,6 +322,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		JobCheckpoints:    m.jobCheckpoints,
 		JobFinishes:       m.jobFinishes,
 		JobEvicts:         m.jobEvicts,
+		Spans:             m.spans,
+		SLOBreaches:       m.sloBreaches,
+	}
+	s.EvalP50Seconds = m.evalLat.quantile(0.50)
+	s.EvalP99Seconds = m.evalLat.quantile(0.99)
+	s.QueueWaitP99Seconds = m.queueWait.quantile(0.99)
+	if m.lastT > 0 {
+		s.HeartbeatMissRate = float64(m.hbMisses) / m.lastT.Minutes()
 	}
 	if !math.IsInf(m.best, -1) {
 		s.BestReward = m.best

@@ -1,0 +1,403 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"podnas/internal/kernel"
+)
+
+// This file is the OpenMetrics text exposition: a hand-rolled, stdlib-only
+// encoder for the subset of the format podnas emits (counters, gauges,
+// histograms — no labels beyond histogram `le`, no exemplars, no units),
+// and a strict validator shared by the unit tests, `nasreport metrics`,
+// and the CI metrics-smoke job, so "parses in CI" and "parses in tests"
+// mean the same thing.
+
+// Metric family types in the exposition.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// OpenMetricsContentType is the negotiated content type of /metrics.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Bucket is one cumulative histogram bucket (count of observations ≤ LE).
+type Bucket struct {
+	LE    float64
+	Count uint64
+}
+
+// Family is one metric family ready for exposition. Counter and gauge
+// families carry Value; histogram families carry Buckets (cumulative,
+// ascending LE, +Inf implied), Sum, and Count.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Value   float64
+	Buckets []Bucket
+	Sum     float64
+	Count   uint64
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// EncodeOpenMetrics writes the families as OpenMetrics text, ending with
+// the mandatory `# EOF` line. Families with invalid names or types are an
+// error, not a silent skip, since a partial exposition would pass casual
+// inspection while dropping metrics.
+func EncodeOpenMetrics(w io.Writer, fams []Family) error {
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool, len(fams))
+	for _, f := range fams {
+		if !validMetricName(f.Name) {
+			return fmt.Errorf("obs: invalid metric name %q", f.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("obs: duplicate metric family %q", f.Name)
+		}
+		seen[f.Name] = true
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		switch f.Type {
+		case TypeCounter:
+			fmt.Fprintf(bw, "%s_total %s\n", f.Name, formatValue(f.Value))
+		case TypeGauge:
+			fmt.Fprintf(bw, "%s %s\n", f.Name, formatValue(f.Value))
+		case TypeHistogram:
+			if !sort.SliceIsSorted(f.Buckets, func(i, j int) bool { return f.Buckets[i].LE < f.Buckets[j].LE }) {
+				return fmt.Errorf("obs: histogram %q buckets not ascending", f.Name)
+			}
+			var prev uint64
+			for _, b := range f.Buckets {
+				if b.Count < prev {
+					return fmt.Errorf("obs: histogram %q bucket counts not cumulative", f.Name)
+				}
+				prev = b.Count
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", f.Name, formatValue(b.LE), b.Count)
+			}
+			if prev > f.Count {
+				return fmt.Errorf("obs: histogram %q count %d below last bucket %d", f.Name, f.Count, prev)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", f.Name, f.Count)
+			fmt.Fprintf(bw, "%s_sum %s\n", f.Name, formatValue(f.Sum))
+			fmt.Fprintf(bw, "%s_count %d\n", f.Name, f.Count)
+		default:
+			return fmt.Errorf("obs: metric family %q has unknown type %q", f.Name, f.Type)
+		}
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+// omFamily is the validator's view of one declared family.
+type omFamily struct {
+	typ        string
+	samples    int
+	lastLE     float64
+	lastBucket uint64
+	infCount   uint64
+	haveInf    bool
+	count      uint64
+	haveCount  bool
+}
+
+// ValidateOpenMetrics parses an exposition and checks the invariants the
+// encoder promises: every sample belongs to a `# TYPE`-declared family with
+// the suffix its type demands, histogram buckets are cumulative and carry a
+// terminal +Inf equal to _count, and the stream ends with `# EOF`. Returns
+// the declared family names in exposition order.
+func ValidateOpenMetrics(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	fams := make(map[string]*omFamily)
+	var order []string
+	sawEOF := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if sawEOF {
+			return nil, fmt.Errorf("line %d: content after # EOF", line)
+		}
+		if text == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if text == "" {
+			return nil, fmt.Errorf("line %d: blank line not allowed", line)
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				return nil, fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line", line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return nil, fmt.Errorf("line %d: invalid family name %q", line, name)
+				}
+				if typ != TypeCounter && typ != TypeGauge && typ != TypeHistogram {
+					return nil, fmt.Errorf("line %d: unsupported type %q", line, typ)
+				}
+				if fams[name] != nil {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+				}
+				fams[name] = &omFamily{typ: typ, lastLE: math.Inf(-1)}
+				order = append(order, name)
+			case "HELP":
+				if fams[fields[2]] == nil {
+					return nil, fmt.Errorf("line %d: HELP before TYPE for %q", line, fields[2])
+				}
+			default:
+				return nil, fmt.Errorf("line %d: unknown comment keyword %q", line, fields[1])
+			}
+			continue
+		}
+		if err := validateSample(text, fams); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawEOF {
+		return nil, fmt.Errorf("exposition missing terminal # EOF")
+	}
+	for _, name := range order {
+		f := fams[name]
+		if f.samples == 0 {
+			return nil, fmt.Errorf("family %q declared but has no samples", name)
+		}
+		if f.typ == TypeHistogram {
+			if !f.haveInf {
+				return nil, fmt.Errorf("histogram %q missing +Inf bucket", name)
+			}
+			if !f.haveCount {
+				return nil, fmt.Errorf("histogram %q missing _count", name)
+			}
+			if f.infCount != f.count {
+				return nil, fmt.Errorf("histogram %q +Inf bucket %d != count %d", name, f.infCount, f.count)
+			}
+		}
+	}
+	return order, nil
+}
+
+// validateSample checks one sample line against the declared families.
+func validateSample(text string, fams map[string]*omFamily) error {
+	sp := strings.IndexByte(text, ' ')
+	if sp <= 0 {
+		return fmt.Errorf("malformed sample %q", text)
+	}
+	series, valueText := text[:sp], text[sp+1:]
+	// Split off the label set (only {le="..."} is ever emitted).
+	name, le := series, ""
+	if br := strings.IndexByte(series, '{'); br >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			return fmt.Errorf("unterminated label set in %q", series)
+		}
+		name = series[:br]
+		labels := series[br+1 : len(series)-1]
+		const prefix = `le="`
+		if !strings.HasPrefix(labels, prefix) || !strings.HasSuffix(labels, `"`) {
+			return fmt.Errorf("unsupported label set %q", labels)
+		}
+		le = labels[len(prefix) : len(labels)-1]
+	}
+	value, err := strconv.ParseFloat(valueText, 64)
+	if err != nil {
+		return fmt.Errorf("bad value %q: %v", valueText, err)
+	}
+	// Map the sample name back to its family by type-mandated suffix.
+	// Suffixed interpretations win only when the name really carries the
+	// suffix AND the trimmed base is a declared family; otherwise the bare
+	// name must match.
+	for _, suffix := range []string{"_total", "_bucket", "_sum", "_count"} {
+		if !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		if f := fams[strings.TrimSuffix(name, suffix)]; f != nil {
+			return validateSuffix(strings.TrimSuffix(name, suffix), suffix, le, value, f)
+		}
+	}
+	if f := fams[name]; f != nil {
+		return validateSuffix(name, "", le, value, f)
+	}
+	return fmt.Errorf("sample %q has no declared family", name)
+}
+
+func validateSuffix(base, suffix, le string, value float64, f *omFamily) error {
+	f.samples++
+	switch f.typ {
+	case TypeCounter:
+		if suffix != "_total" {
+			return fmt.Errorf("counter %q sample must use _total, got suffix %q", base, suffix)
+		}
+		if value < 0 {
+			return fmt.Errorf("counter %q is negative", base)
+		}
+	case TypeGauge:
+		if suffix != "" {
+			return fmt.Errorf("gauge %q sample must use the bare name, got suffix %q", base, suffix)
+		}
+	case TypeHistogram:
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				return fmt.Errorf("histogram %q bucket missing le label", base)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				var err error
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("histogram %q bad le %q: %v", base, le, err)
+				}
+			}
+			if bound <= f.lastLE {
+				return fmt.Errorf("histogram %q le %q not ascending", base, le)
+			}
+			f.lastLE = bound
+			c := uint64(value)
+			if c < f.lastBucket {
+				return fmt.Errorf("histogram %q bucket counts not cumulative", base)
+			}
+			f.lastBucket = c
+			if math.IsInf(bound, 1) {
+				f.haveInf, f.infCount = true, c
+			}
+		case "_sum":
+			// Any finite value is fine.
+		case "_count":
+			f.haveCount, f.count = true, uint64(value)
+		default:
+			return fmt.Errorf("histogram %q sample has suffix %q", base, suffix)
+		}
+	}
+	return nil
+}
+
+// MetricsHandler serves the concatenated families from the given sources
+// as one OpenMetrics exposition. Sources are evaluated per scrape, so the
+// endpoint always reflects live state; a nil source is skipped.
+func MetricsHandler(sources ...func() []Family) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var fams []Family
+		for _, src := range sources {
+			if src != nil {
+				fams = append(fams, src()...)
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeOpenMetrics(&buf, fams); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+		w.Write(buf.Bytes())
+	})
+}
+
+// GaugeSource adapts one live float reading into a family source — the
+// shape nasd uses to expose jobs.Manager queue depths without obs
+// depending on the jobs package.
+func GaugeSource(name, help string, read func() float64) func() []Family {
+	return func() []Family {
+		return []Family{{Name: name, Help: help, Type: TypeGauge, Value: read()}}
+	}
+}
+
+// KernelFamilies exposes the hot-path compute counters from
+// kernel.ReadStats — the GEMM call and floating-point-operation totals the
+// paper's throughput accounting is built on.
+func KernelFamilies() []Family {
+	st := kernel.ReadStats()
+	return []Family{
+		{Name: "podnas_kernel_gemm_calls", Help: "GEMM invocations in the kernel hot path.", Type: TypeCounter, Value: float64(st.GemmCalls)},
+		{Name: "podnas_kernel_gemm_flops", Help: "Floating-point operations executed by kernel GEMMs.", Type: TypeCounter, Value: float64(st.GemmFLOPs)},
+	}
+}
+
+// Families renders the live aggregate state as exposition families: the
+// lifecycle counters, the operational gauges, and the latency histograms.
+func (m *Metrics) Families() []Family {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return v
+	}
+	fams := []Family{
+		{Name: "podnas_evals", Help: "Terminal evaluations (successes + errors).", Type: TypeCounter, Value: float64(m.evals)},
+		{Name: "podnas_eval_successes", Help: "Evaluations that returned a reward.", Type: TypeCounter, Value: float64(m.successes)},
+		{Name: "podnas_eval_errors", Help: "Evaluations that failed.", Type: TypeCounter, Value: float64(m.errors)},
+		{Name: "podnas_eval_retries", Help: "Transient evaluation failures retried.", Type: TypeCounter, Value: float64(m.retries)},
+		{Name: "podnas_epochs", Help: "Training epochs completed across all evaluations.", Type: TypeCounter, Value: float64(m.epochs)},
+		{Name: "podnas_checkpoints", Help: "Checkpoint writes committed.", Type: TypeCounter, Value: float64(m.checkpoints)},
+		{Name: "podnas_worker_spawns", Help: "Worker processes or connections made ready.", Type: TypeCounter, Value: float64(m.spawns)},
+		{Name: "podnas_worker_crashes", Help: "Worker deaths observed by the supervisor.", Type: TypeCounter, Value: float64(m.crashes)},
+		{Name: "podnas_heartbeat_misses", Help: "Workers killed for going silent.", Type: TypeCounter, Value: float64(m.hbMisses)},
+		{Name: "podnas_job_submits", Help: "Jobs admitted into the nasd queue.", Type: TypeCounter, Value: float64(m.jobSubmits)},
+		{Name: "podnas_job_finishes", Help: "Jobs reaching a terminal or parked state.", Type: TypeCounter, Value: float64(m.jobFinishes)},
+		{Name: "podnas_spans", Help: "Trace spans recorded.", Type: TypeCounter, Value: float64(m.spans)},
+		{Name: "podnas_slo_breaches", Help: "SLO watch-loop breach windows opened.", Type: TypeCounter, Value: float64(m.sloBreaches)},
+		{Name: "podnas_in_flight", Help: "Evaluations currently running.", Type: TypeGauge, Value: float64(len(m.inflight))},
+		{Name: "podnas_workers", Help: "Configured evaluation-slot capacity.", Type: TypeGauge, Value: float64(m.workers)},
+		{Name: "podnas_reward_ma", Help: "Window-100 moving-average reward.", Type: TypeGauge, Value: clamp(m.ma.Value())},
+		{Name: "podnas_best_reward", Help: "Best reward observed.", Type: TypeGauge, Value: clamp(m.best)},
+	}
+	fams = append(fams,
+		m.evalLat.family("podnas_eval_latency_seconds", "Wall-clock duration of terminal evaluations."),
+		m.queueWait.family("podnas_queue_wait_seconds", "Job queue wait from admission to run start."),
+	)
+	return fams
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEncodeOpenMetricsRoundTrip(t *testing.T) {
+	m := NewMetrics(2)
+	m.Record(Event{T: 1 * time.Second, Kind: KindEvalStart, Eval: 0})
+	m.Record(Event{T: 3 * time.Second, Kind: KindEvalFinish, Eval: 0, Reward: 0.9, Seconds: 2})
+	m.Record(Event{T: 4 * time.Second, Kind: KindSpan, Name: "queue_wait", Seconds: 0.7})
+	m.Record(Event{T: 5 * time.Second, Kind: KindSLOBreach, Name: "eval_p99"})
+
+	var buf bytes.Buffer
+	if err := EncodeOpenMetrics(&buf, m.Families()); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out := buf.String()
+	names, err := ValidateOpenMetrics(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("own exposition failed validation: %v\n%s", err, out)
+	}
+	want := map[string]bool{
+		"podnas_evals":                false,
+		"podnas_eval_latency_seconds": false,
+		"podnas_queue_wait_seconds":   false,
+		"podnas_slo_breaches":         false,
+		"podnas_in_flight":            false,
+	}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("exposition missing family %q\n%s", n, out)
+		}
+	}
+	for _, line := range []string{
+		"podnas_evals_total 1",
+		"podnas_slo_breaches_total 1",
+		`podnas_eval_latency_seconds_bucket{le="+Inf"} 1`,
+		"podnas_eval_latency_seconds_count 1",
+		"# EOF",
+	} {
+		if !strings.Contains(out, line+"\n") && !strings.HasSuffix(out, line+"\n") {
+			t.Errorf("exposition missing line %q\n%s", line, out)
+		}
+	}
+}
+
+func TestEncodeOpenMetricsRejectsBadFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		fams []Family
+	}{
+		{"bad name", []Family{{Name: "has space", Type: TypeGauge}}},
+		{"bad type", []Family{{Name: "x", Type: "summary"}}},
+		{"duplicate", []Family{{Name: "x", Type: TypeGauge}, {Name: "x", Type: TypeGauge}}},
+		{"non-cumulative", []Family{{Name: "h", Type: TypeHistogram, Buckets: []Bucket{{LE: 1, Count: 5}, {LE: 2, Count: 3}}, Count: 5}}},
+		{"unsorted", []Family{{Name: "h", Type: TypeHistogram, Buckets: []Bucket{{LE: 2, Count: 1}, {LE: 1, Count: 2}}, Count: 2}}},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := EncodeOpenMetrics(&buf, tc.fams); err == nil {
+			t.Errorf("%s: encode accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestValidateOpenMetricsRejects(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"missing EOF", "# TYPE a gauge\na 1\n"},
+		{"content after EOF", "# TYPE a gauge\na 1\n# EOF\na 2\n"},
+		{"undeclared family", "b_total 1\n# EOF\n"},
+		{"counter without total", "# TYPE a counter\na 1\n# EOF\n"},
+		{"gauge with total", "# TYPE a gauge\na_total 1\n# EOF\n"},
+		{"duplicate TYPE", "# TYPE a gauge\n# TYPE a gauge\na 1\n# EOF\n"},
+		{"family without samples", "# TYPE a gauge\n# EOF\n"},
+		{"histogram missing inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n# EOF\n"},
+		{"histogram inf mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n# EOF\n"},
+		{"histogram le descending", "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n# EOF\n"},
+		{"bad value", "# TYPE a gauge\na one\n# EOF\n"},
+		{"blank line", "# TYPE a gauge\n\na 1\n# EOF\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ValidateOpenMetrics(strings.NewReader(tc.text)); err == nil {
+			t.Errorf("%s: validator accepted invalid exposition", tc.name)
+		}
+	}
+}
+
+func TestValidateOpenMetricsAcceptsMinimal(t *testing.T) {
+	text := "# TYPE up gauge\n# HELP up liveness\nup 1\n# EOF\n"
+	names, err := ValidateOpenMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("minimal exposition rejected: %v", err)
+	}
+	if len(names) != 1 || names[0] != "up" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	m := NewMetrics(1)
+	m.Record(Event{T: time.Second, Kind: KindEvalStart, Eval: 0})
+	m.Record(Event{T: 2 * time.Second, Kind: KindEvalFinish, Eval: 0, Reward: 0.5, Seconds: 1})
+	extra := GaugeSource("podnas_jobs_queued", "Jobs waiting in the nasd queue.", func() float64 { return 4 })
+
+	h := MetricsHandler(m.Families, KernelFamilies, extra, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != OpenMetricsContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	names, err := ValidateOpenMetrics(rr.Body)
+	if err != nil {
+		t.Fatalf("handler exposition invalid: %v", err)
+	}
+	got := strings.Join(names, ",")
+	for _, want := range []string{"podnas_kernel_gemm_flops", "podnas_jobs_queued", "podnas_eval_latency_seconds"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %s (families: %s)", want, got)
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := newHist()
+	if q := h.quantile(0.99); q != 0 {
+		t.Fatalf("empty hist p99 = %v", q)
+	}
+	for i := 1; i <= 100; i++ {
+		h.add(float64(i))
+	}
+	if p50 := h.quantile(0.5); p50 < 50 || p50 > 51 {
+		t.Errorf("p50 = %v", p50)
+	}
+	if p99 := h.quantile(0.99); p99 < 99 || p99 > 100 {
+		t.Errorf("p99 = %v", p99)
+	}
+	f := h.family("x_seconds", "test")
+	if f.Count != 100 {
+		t.Errorf("count = %d", f.Count)
+	}
+	if len(f.Buckets) != len(latencyBuckets) {
+		t.Errorf("buckets = %d", len(f.Buckets))
+	}
+}

@@ -365,6 +365,10 @@ func inferShape(a *Analysis, events []obs.Event) {
 			obs.KindJobFinish, obs.KindJobEvict:
 			// Job lifecycle describes the daemon's queue, not this trace's
 			// evaluation-slot shape.
+		case obs.KindSpan, obs.KindSLOBreach:
+			// Spans carry their own worker attribution but duplicate the
+			// eval events' shape; SLO breaches describe the watcher, not
+			// the slot layout.
 		default:
 			// Other kinds carry no shape information.
 		}
@@ -406,6 +410,9 @@ func busyIntervals(events []obs.Event) ([]metrics.Interval, float64) {
 			obs.KindJobFinish, obs.KindJobEvict:
 			// Job admission and eviction do not occupy an evaluation slot;
 			// the evaluations a job runs open their own intervals.
+		case obs.KindSpan, obs.KindSLOBreach:
+			// Spans retell intervals the eval events already opened and
+			// closed; counting them again would double-book the slots.
 		default:
 			// Other kinds neither open nor close a busy interval.
 		}
@@ -491,6 +498,10 @@ func deriveLatency(a *Analysis, events []obs.Event) {
 			// Job transitions are queueing decisions, not evaluation phases;
 			// job_checkpoint in particular commits manifests, not the search
 			// checkpoint cadence PhaseCheckpoint histograms.
+		case obs.KindSpan, obs.KindSLOBreach:
+			// Span durations have their own analysis (Spans/CriticalPath);
+			// the phase histograms stay derived from the lifecycle events
+			// so they reconstruct identically for traces without spans.
 		default:
 			// Other kinds mark no phase boundary.
 		}
@@ -552,6 +563,9 @@ func deriveSlots(a *Analysis, events []obs.Event, opts Options) {
 		case obs.KindJobSubmit, obs.KindJobStart, obs.KindJobCheckpoint,
 			obs.KindJobFinish, obs.KindJobEvict:
 			// Job lifecycle belongs to the daemon queue, not a worker slot.
+		case obs.KindSpan, obs.KindSLOBreach:
+			// Span worker attribution duplicates the eval events already
+			// counted above; SLO breaches are daemon-wide, not per-slot.
 		default:
 			// Other kinds attribute nothing to a slot.
 		}

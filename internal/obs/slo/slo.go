@@ -1,0 +1,223 @@
+// Package slo is the service-level-objective watch-loop: it polls the live
+// metrics snapshot against configured tail-latency targets and, the moment
+// a target is breached, captures a CPU+heap pprof bundle into the state
+// directory and emits a KindSLOBreach event. Capture happens exactly once
+// per breach window — the edge where the metric crosses the target — so a
+// sustained breach yields one bundle from the moment things went slow, not
+// a disk full of identical profiles. The window re-arms when the metric
+// recovers.
+//
+// The profiles answer the operator question the event stream cannot:
+// *why* is p99 suddenly high — a hot GEMM loop, GC pressure, a blocked
+// syscall — at the moment it went high, rather than whenever a human got
+// paged and attached pprof by hand.
+package slo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"podnas/internal/obs"
+)
+
+// Targets are the SLO thresholds; a zero field disables that target.
+type Targets struct {
+	// EvalP99 is the evaluation wall-time 99th percentile target.
+	EvalP99 time.Duration
+	// QueueWaitP99 is the job queue-wait 99th percentile target.
+	QueueWaitP99 time.Duration
+	// HeartbeatMissRate is the tolerated heartbeat misses per minute.
+	HeartbeatMissRate float64
+}
+
+// Enabled reports whether any target is set.
+func (t Targets) Enabled() bool {
+	return t.EvalP99 > 0 || t.QueueWaitP99 > 0 || t.HeartbeatMissRate > 0
+}
+
+// Options configure a Watcher.
+type Options struct {
+	Targets Targets
+	// Dir receives the pprof bundles (the daemon's state dir).
+	Dir string
+	// Interval is the poll cadence (default 5s).
+	Interval time.Duration
+	// CPUProfile is the CPU-capture length per bundle (default 2s). The
+	// poll loop blocks while profiling, which is intentional: one bundle
+	// at a time, taken at the breach edge.
+	CPUProfile time.Duration
+	// Snapshot supplies the live metrics view each poll.
+	Snapshot func() obs.Snapshot
+	// Recorder receives the KindSLOBreach events (nil = none).
+	Recorder obs.Recorder
+}
+
+// Watcher runs the watch-loop. Close stops it; Poll runs one check
+// synchronously (exported so tests and callers can force a deterministic
+// evaluation without waiting out the interval).
+type Watcher struct {
+	opts Options
+	rec  obs.Recorder
+
+	mu       sync.Mutex
+	inBreach map[string]bool
+	seq      int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New validates the options and starts the watch-loop goroutine.
+func New(o Options) (*Watcher, error) {
+	if !o.Targets.Enabled() {
+		return nil, fmt.Errorf("slo: no targets set")
+	}
+	if o.Snapshot == nil {
+		return nil, fmt.Errorf("slo: Snapshot source is required")
+	}
+	if o.Dir == "" {
+		return nil, fmt.Errorf("slo: profile directory is required")
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("slo: create profile dir: %w", err)
+	}
+	if o.Interval <= 0 {
+		o.Interval = 5 * time.Second
+	}
+	if o.CPUProfile <= 0 {
+		o.CPUProfile = 2 * time.Second
+	}
+	rec := o.Recorder
+	if rec == nil {
+		rec = obs.Nop{}
+	}
+	w := &Watcher{
+		opts:     o,
+		rec:      rec,
+		inBreach: make(map[string]bool),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w, nil
+}
+
+// Close stops the watch-loop and waits for it to exit.
+func (w *Watcher) Close() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	tick := time.NewTicker(w.opts.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+			w.Poll()
+		}
+	}
+}
+
+// target is one named threshold check against a snapshot.
+type target struct {
+	name     string
+	observed func(obs.Snapshot) float64
+	limit    float64
+}
+
+func (w *Watcher) targets() []target {
+	var ts []target
+	if w.opts.Targets.EvalP99 > 0 {
+		ts = append(ts, target{"eval_p99", func(s obs.Snapshot) float64 { return s.EvalP99Seconds }, w.opts.Targets.EvalP99.Seconds()})
+	}
+	if w.opts.Targets.QueueWaitP99 > 0 {
+		ts = append(ts, target{"queue_wait_p99", func(s obs.Snapshot) float64 { return s.QueueWaitP99Seconds }, w.opts.Targets.QueueWaitP99.Seconds()})
+	}
+	if w.opts.Targets.HeartbeatMissRate > 0 {
+		ts = append(ts, target{"heartbeat_miss_rate", func(s obs.Snapshot) float64 { return s.HeartbeatMissRate }, w.opts.Targets.HeartbeatMissRate})
+	}
+	return ts
+}
+
+// Poll runs one threshold check. Breach-edge detection and capture are
+// serialized under the watcher mutex, so concurrent Polls cannot double-
+// capture one window.
+func (w *Watcher) Poll() {
+	snap := w.opts.Snapshot()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, t := range w.targets() {
+		v := t.observed(snap)
+		breached := v > t.limit
+		was := w.inBreach[t.name]
+		w.inBreach[t.name] = breached
+		if !breached || was {
+			continue // within SLO, or window already captured
+		}
+		w.seq++
+		prefix, err := w.capture(t.name, w.seq)
+		e := obs.Event{
+			Kind:    obs.KindSLOBreach,
+			Name:    t.name,
+			Seconds: v,
+			Ident:   prefix,
+		}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		w.rec.Record(e)
+	}
+}
+
+// capture writes the CPU and heap profiles for one breach window and
+// returns the bundle path prefix. A partial bundle (e.g. CPU profiling
+// already claimed by another subsystem) still returns the prefix along
+// with the error — whatever was captured remains on disk.
+func (w *Watcher) capture(name string, seq int) (string, error) {
+	prefix := filepath.Join(w.opts.Dir, fmt.Sprintf("slo-%s-%03d", name, seq))
+
+	var firstErr error
+	cpu, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		firstErr = err
+	} else {
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			firstErr = fmt.Errorf("slo: cpu profile: %w", err)
+			cpu.Close()
+			os.Remove(cpu.Name())
+		} else {
+			time.Sleep(w.opts.CPUProfile)
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+
+	heap, err := os.Create(prefix + ".heap.pprof")
+	if err != nil {
+		if firstErr == nil {
+			firstErr = err
+		}
+		return prefix, firstErr
+	}
+	if err := pprof.Lookup("heap").WriteTo(heap, 0); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("slo: heap profile: %w", err)
+	}
+	if err := heap.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return prefix, firstErr
+}

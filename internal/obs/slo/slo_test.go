@@ -1,0 +1,195 @@
+package slo
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"podnas/internal/obs"
+)
+
+// countBundles returns the slo-* profile files currently in dir.
+func countBundles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read dir: %v", err)
+	}
+	var out []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "slo-") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func breaches(ring *obs.Ring) []obs.Event {
+	var out []obs.Event
+	for _, e := range ring.Events() {
+		if e.Kind == obs.KindSLOBreach {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestWatcherCapturesOncePerBreachWindow(t *testing.T) {
+	dir := t.TempDir()
+	ring := obs.NewRing(64)
+
+	// The snapshot source is the injected straggler: p99 starts breached,
+	// recovers, then breaches again.
+	p99 := 0.5
+	w, err := New(Options{
+		Targets:    Targets{EvalP99: 100 * time.Millisecond},
+		Dir:        dir,
+		Interval:   time.Hour, // ticks never fire; Poll drives the test
+		CPUProfile: 20 * time.Millisecond,
+		Snapshot:   func() obs.Snapshot { return obs.Snapshot{EvalP99Seconds: p99} },
+		Recorder:   ring,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer w.Close()
+
+	// Breached on every poll, but only the first poll of the window captures.
+	w.Poll()
+	w.Poll()
+	w.Poll()
+	if got := breaches(ring); len(got) != 1 {
+		t.Fatalf("breach events = %d, want exactly 1: %+v", len(got), got)
+	}
+	files := countBundles(t, dir)
+	if len(files) != 2 { // .cpu.pprof + .heap.pprof
+		t.Fatalf("bundle files = %v, want cpu+heap pair", files)
+	}
+	for _, f := range files {
+		st, err := os.Stat(filepath.Join(dir, f))
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("bundle file %s empty or unreadable: %v", f, err)
+		}
+	}
+	ev := breaches(ring)[0]
+	if ev.Name != "eval_p99" {
+		t.Fatalf("breach target = %q", ev.Name)
+	}
+	if ev.Seconds != 0.5 {
+		t.Fatalf("observed value = %v", ev.Seconds)
+	}
+	if ev.Err != "" {
+		t.Fatalf("capture error: %s", ev.Err)
+	}
+	if !strings.Contains(ev.Ident, "slo-eval_p99") {
+		t.Fatalf("bundle prefix = %q", ev.Ident)
+	}
+
+	// Recovery re-arms the window; the next breach captures again.
+	p99 = 0.01
+	w.Poll()
+	p99 = 0.9
+	w.Poll()
+	w.Poll()
+	if got := breaches(ring); len(got) != 2 {
+		t.Fatalf("breach events after second window = %d, want 2", len(got))
+	}
+	if files := countBundles(t, dir); len(files) != 4 {
+		t.Fatalf("bundle files after second window = %v, want 2 pairs", files)
+	}
+}
+
+func TestWatcherMultipleTargets(t *testing.T) {
+	dir := t.TempDir()
+	ring := obs.NewRing(64)
+	snap := obs.Snapshot{QueueWaitP99Seconds: 3, HeartbeatMissRate: 5}
+	w, err := New(Options{
+		Targets: Targets{
+			QueueWaitP99:      time.Second,
+			HeartbeatMissRate: 1,
+		},
+		Dir:        dir,
+		Interval:   time.Hour,
+		CPUProfile: 10 * time.Millisecond,
+		Snapshot:   func() obs.Snapshot { return snap },
+		Recorder:   ring,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer w.Close()
+	w.Poll()
+	got := breaches(ring)
+	if len(got) != 2 {
+		t.Fatalf("breach events = %d, want one per target", len(got))
+	}
+	names := map[string]bool{}
+	for _, e := range got {
+		names[e.Name] = true
+	}
+	if !names["queue_wait_p99"] || !names["heartbeat_miss_rate"] {
+		t.Fatalf("targets = %v", names)
+	}
+}
+
+func TestWatcherNoBreachBelowTarget(t *testing.T) {
+	dir := t.TempDir()
+	ring := obs.NewRing(16)
+	w, err := New(Options{
+		Targets:  Targets{EvalP99: time.Second},
+		Dir:      dir,
+		Interval: time.Hour,
+		Snapshot: func() obs.Snapshot { return obs.Snapshot{EvalP99Seconds: 0.2} },
+		Recorder: ring,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer w.Close()
+	w.Poll()
+	if got := breaches(ring); len(got) != 0 {
+		t.Fatalf("unexpected breach events: %+v", got)
+	}
+	if files := countBundles(t, dir); len(files) != 0 {
+		t.Fatalf("unexpected bundles: %v", files)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	snap := func() obs.Snapshot { return obs.Snapshot{} }
+	if _, err := New(Options{Dir: t.TempDir(), Snapshot: snap}); err == nil {
+		t.Error("New accepted empty targets")
+	}
+	if _, err := New(Options{Targets: Targets{EvalP99: time.Second}, Dir: t.TempDir()}); err == nil {
+		t.Error("New accepted nil snapshot source")
+	}
+	if _, err := New(Options{Targets: Targets{EvalP99: time.Second}, Snapshot: snap}); err == nil {
+		t.Error("New accepted empty dir")
+	}
+}
+
+func TestWatcherLoopPollsOnInterval(t *testing.T) {
+	dir := t.TempDir()
+	ring := obs.NewRing(16)
+	w, err := New(Options{
+		Targets:    Targets{EvalP99: time.Millisecond},
+		Dir:        dir,
+		Interval:   5 * time.Millisecond,
+		CPUProfile: 5 * time.Millisecond,
+		Snapshot:   func() obs.Snapshot { return obs.Snapshot{EvalP99Seconds: 1} },
+		Recorder:   ring,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(breaches(ring)) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	w.Close()
+	if len(breaches(ring)) == 0 {
+		t.Fatal("ticker-driven loop never polled")
+	}
+}

@@ -1,0 +1,198 @@
+// Package span is the distributed-tracing identity layer: trace and span
+// IDs derived deterministically from identities the system already has
+// (trace scope, job ID, eval index, lease, epoch), so the same run always
+// mints the same tree and a replayed JSONL trace reconstructs it
+// bit-identically. There is no RNG, no clock, and no global state here —
+// a span's identity is a pure function of its ancestry, which is what
+// keeps Workers=1 runs bit-identical with tracing on or off.
+//
+// Spans are recorded as obs.KindSpan events at their END: Seconds carries
+// the duration and T (stamped by the sink) the end offset, so one event
+// per span suffices and start = T − Seconds. Context propagates in-process
+// through context.Context (With/From) and across processes as the compact
+// Encode form ("1-<trace>-<span>") carried in a worker-protocol frame
+// field.
+package span
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"podnas/internal/obs"
+)
+
+// ID is a 64-bit trace or span identifier, rendered as 16 lowercase hex
+// digits in events and on the wire.
+type ID uint64
+
+// String renders the ID as fixed-width hex ("%016x").
+func (i ID) String() string { return fmt.Sprintf("%016x", uint64(i)) }
+
+// ParseID decodes the fixed-width hex form. It accepts any valid hex
+// uint64, not only 16-digit strings, so hand-written traces stay usable.
+func ParseID(s string) (ID, error) {
+	if s == "" {
+		return 0, fmt.Errorf("span: empty ID")
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("span: bad ID %q: %w", s, err)
+	}
+	return ID(v), nil
+}
+
+// Context identifies one position in a trace: the trace it belongs to and
+// the span that any child work should parent under. The zero Context means
+// "tracing off" everywhere it is accepted.
+type Context struct {
+	Trace ID
+	Span  ID
+}
+
+// Valid reports whether the context carries a usable identity.
+func (c Context) Valid() bool { return c.Trace != 0 && c.Span != 0 }
+
+// contextVersion prefixes the encoded wire form so the layout can evolve
+// without guessing; decoders reject versions they don't know.
+const contextVersion = "1"
+
+// Encode renders the context in the compact wire form "1-<trace>-<span>"
+// carried in worker-protocol frames. The zero context encodes to "".
+func (c Context) Encode() string {
+	if !c.Valid() {
+		return ""
+	}
+	return contextVersion + "-" + c.Trace.String() + "-" + c.Span.String()
+}
+
+// Decode parses the Encode form. It is deliberately strict — exactly three
+// dash-separated fields, version "1", both IDs nonzero hex — because the
+// input arrives over the network from peers of any age and a silently
+// misparsed identity corrupts a whole tree. Fuzzed by FuzzSpanContextDecode.
+func Decode(s string) (Context, error) {
+	if s == "" {
+		return Context{}, fmt.Errorf("span: empty context")
+	}
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 {
+		return Context{}, fmt.Errorf("span: context %q must have 3 dash-separated fields, got %d", s, len(parts))
+	}
+	if parts[0] != contextVersion {
+		return Context{}, fmt.Errorf("span: unknown context version %q", parts[0])
+	}
+	trace, err := ParseID(parts[1])
+	if err != nil {
+		return Context{}, err
+	}
+	span, err := ParseID(parts[2])
+	if err != nil {
+		return Context{}, err
+	}
+	c := Context{Trace: trace, Span: span}
+	if !c.Valid() {
+		return Context{}, fmt.Errorf("span: context %q has zero ID", s)
+	}
+	return c, nil
+}
+
+// FNV-1a 64-bit, the same stdlib-free mixing the worker protocol's
+// LeaseID uses; good dispersion and byte-for-byte reproducible.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnvUint(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// nonzero keeps IDs out of the reserved zero value (zero = "no identity").
+func nonzero(h uint64) ID {
+	if h == 0 {
+		return ID(fnvPrime)
+	}
+	return ID(h)
+}
+
+// NewTrace mints the root context for a trace scope — "run/<method>/<seed>"
+// for one-shot runs, "job/<id>" for nasd jobs. The same scope always yields
+// the same trace, which is what makes traces replayable and lets separate
+// processes working the same job agree on identity without coordination.
+func NewTrace(scope string) Context {
+	h := fnvString(fnvOffset, scope)
+	return Context{
+		Trace: nonzero(h),
+		Span:  nonzero(fnvUint(fnvString(h, "/root"), h)),
+	}
+}
+
+// Derive mints a child context under parent: same trace, span ID hashed
+// from the parent span, the operation name, and any extra identity keys
+// (eval index, attempt, epoch, lease …). Deterministic by construction.
+func Derive(parent Context, name string, keys ...uint64) Context {
+	h := fnvUint(fnvOffset, uint64(parent.Trace))
+	h = fnvUint(h, uint64(parent.Span))
+	h = fnvString(h, name)
+	for _, k := range keys {
+		h = fnvUint(h, k)
+	}
+	return Context{Trace: parent.Trace, Span: nonzero(h)}
+}
+
+// ctxKey keeps the context.Context value collision-free per package.
+type ctxKey int
+
+const spanKey ctxKey = iota
+
+// With plants the span context for downstream layers (runner → pool,
+// serve → nn.Train). Invalid contexts are not planted.
+func With(ctx context.Context, c Context) context.Context {
+	if !c.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey, c)
+}
+
+// From returns the planted span context, if any. A nil ctx (nn.TrainConfig
+// leaves Ctx nil outside a search) simply has none.
+func From(ctx context.Context) (Context, bool) {
+	if ctx == nil {
+		return Context{}, false
+	}
+	c, ok := ctx.Value(spanKey).(Context)
+	return c, ok
+}
+
+// End builds the obs event recording a completed span: c is the span's own
+// identity, parent its parent span (zero for a root), d its duration. The
+// caller may fill Eval/Worker/Epoch/Job before recording; T is left zero
+// for the outermost sink to stamp as the end offset.
+func End(c Context, parent ID, name string, d time.Duration) obs.Event {
+	e := obs.Event{
+		Kind:    obs.KindSpan,
+		Name:    name,
+		Trace:   c.Trace.String(),
+		Span:    c.Span.String(),
+		Seconds: d.Seconds(),
+	}
+	if parent != 0 {
+		e.Parent = parent.String()
+	}
+	return e
+}

@@ -1,0 +1,161 @@
+package span
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"podnas/internal/obs"
+)
+
+func TestNewTraceDeterministic(t *testing.T) {
+	a := NewTrace("run/async/42")
+	b := NewTrace("run/async/42")
+	if a != b {
+		t.Fatalf("same scope minted different contexts: %+v vs %+v", a, b)
+	}
+	if !a.Valid() {
+		t.Fatalf("NewTrace produced invalid context: %+v", a)
+	}
+	c := NewTrace("run/async/43")
+	if c.Trace == a.Trace {
+		t.Fatalf("distinct scopes collided on trace ID %s", a.Trace)
+	}
+}
+
+func TestDeriveDeterministicAndDistinct(t *testing.T) {
+	root := NewTrace("job/j1")
+	e0 := Derive(root, "eval", 0)
+	e0b := Derive(root, "eval", 0)
+	if e0 != e0b {
+		t.Fatalf("Derive not deterministic: %+v vs %+v", e0, e0b)
+	}
+	if e0.Trace != root.Trace {
+		t.Fatalf("child left the trace: %s vs %s", e0.Trace, root.Trace)
+	}
+	e1 := Derive(root, "eval", 1)
+	if e1.Span == e0.Span {
+		t.Fatalf("sibling spans collided on %s", e0.Span)
+	}
+	other := Derive(root, "rpc", 0)
+	if other.Span == e0.Span {
+		t.Fatalf("different operations collided on %s", e0.Span)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	root := NewTrace("run/rl/7")
+	child := Derive(root, "eval", 3, 1)
+	for _, c := range []Context{root, child} {
+		enc := c.Encode()
+		if !strings.HasPrefix(enc, "1-") {
+			t.Fatalf("encoded form %q missing version prefix", enc)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", enc, err)
+		}
+		if got != c {
+			t.Fatalf("round trip changed context: %+v -> %+v", c, got)
+		}
+	}
+	if (Context{}).Encode() != "" {
+		t.Fatalf("zero context must encode empty, got %q", Context{}.Encode())
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"1-abc",
+		"1-abc-def-ghi",
+		"2-0000000000000001-0000000000000002",
+		"1-xyz-0000000000000002",
+		"1-0000000000000001-xyz",
+		"1--0000000000000002",
+		"1-0000000000000000-0000000000000002",
+		"1-0000000000000001-0000000000000000",
+		"1-+1-2",
+		"1-ffffffffffffffffff-1", // overflows uint64
+	}
+	for _, s := range bad {
+		if c, err := Decode(s); err == nil {
+			t.Errorf("Decode(%q) accepted as %+v, want error", s, c)
+		}
+	}
+}
+
+func TestParseIDWidth(t *testing.T) {
+	id := ID(0xab)
+	if id.String() != "00000000000000ab" {
+		t.Fatalf("ID.String not fixed-width: %q", id.String())
+	}
+	got, err := ParseID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("ParseID(%q) = %v, %v", id.String(), got, err)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := From(ctx); ok {
+		t.Fatal("empty context claimed a span")
+	}
+	// Invalid contexts are not planted.
+	if _, ok := From(With(ctx, Context{})); ok {
+		t.Fatal("invalid context was planted")
+	}
+	c := NewTrace("run/async/1")
+	got, ok := From(With(ctx, c))
+	if !ok || got != c {
+		t.Fatalf("From = %+v, %v; want %+v", got, ok, c)
+	}
+}
+
+func TestEndEvent(t *testing.T) {
+	root := NewTrace("job/j9")
+	c := Derive(root, "eval", 4)
+	e := End(c, root.Span, "eval", 1500*time.Millisecond)
+	if e.Kind != obs.KindSpan {
+		t.Fatalf("kind = %v, want span", e.Kind)
+	}
+	if e.Name != "eval" || e.Trace != c.Trace.String() || e.Span != c.Span.String() || e.Parent != root.Span.String() {
+		t.Fatalf("bad span event: %+v", e)
+	}
+	if e.Seconds != 1.5 {
+		t.Fatalf("seconds = %v, want 1.5", e.Seconds)
+	}
+	if e.T != 0 {
+		t.Fatalf("T must be left for the sink to stamp, got %v", e.T)
+	}
+	rootEv := End(root, 0, "job", time.Second)
+	if rootEv.Parent != "" {
+		t.Fatalf("root span must have empty parent, got %q", rootEv.Parent)
+	}
+}
+
+// FuzzSpanContextDecode asserts Decode never panics and that every
+// accepted input round-trips to exactly the same encoded form.
+func FuzzSpanContextDecode(f *testing.F) {
+	f.Add("1-0000000000000001-0000000000000002")
+	f.Add(NewTrace("run/async/42").Encode())
+	f.Add(Derive(NewTrace("job/x"), "eval", 1).Encode())
+	f.Add("")
+	f.Add("1--")
+	f.Add("9-1-1")
+	f.Add("1-ffffffffffffffff-ffffffffffffffff")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Decode(s)
+		if err != nil {
+			return
+		}
+		if !c.Valid() {
+			t.Fatalf("Decode(%q) accepted invalid context %+v", s, c)
+		}
+		again, err := Decode(c.Encode())
+		if err != nil || again != c {
+			t.Fatalf("re-decode of %q (from %q) = %+v, %v", c.Encode(), s, again, err)
+		}
+	})
+}

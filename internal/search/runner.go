@@ -10,6 +10,7 @@ import (
 
 	"podnas/internal/arch"
 	"podnas/internal/obs"
+	"podnas/internal/obs/span"
 	"podnas/internal/tensor"
 )
 
@@ -73,6 +74,13 @@ type RunAsyncOptions struct {
 	// evaluator sees) per-epoch training ticks. A nil Recorder costs nothing:
 	// no events are constructed at all.
 	Recorder obs.Recorder
+	// Trace is the parent span context for this run (zero = tracing off).
+	// With a Recorder and a valid Trace the runner derives a "search" span
+	// under it and one "eval" span per evaluation, planting each eval's
+	// context into the evaluator's ctx so deeper layers (nn.Train epochs,
+	// the worker pool's dispatch/rpc spans) parent under it. Spans are
+	// telemetry only: they never influence proposals, seeds, or rewards.
+	Trace span.Context
 }
 
 // RunAsync drives an asynchronous Searcher (AE or RS) with a pool of real
@@ -148,6 +156,13 @@ func RunAsyncCtx(ctx context.Context, s Searcher, eval Evaluator, opts RunAsyncO
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindSearchStart, Method: s.Name(), Worker: opts.Workers, Eval: proposed})
 	}
+	tracing := rec != nil && opts.Trace.Valid()
+	var sc span.Context
+	var runT0 time.Time
+	if tracing {
+		sc = span.Derive(opts.Trace, "search")
+		runT0 = time.Now() //podnas:allow detrand span timing is telemetry; it never feeds proposals or rewards
+	}
 	worker := func(wid int) {
 		defer wg.Done()
 		for {
@@ -163,12 +178,17 @@ func RunAsyncCtx(ctx context.Context, s Searcher, eval Evaluator, opts RunAsyncO
 			mu.Unlock()
 
 			ectx := ctx
+			var ec span.Context
 			if rec != nil {
 				rec.Record(obs.Event{Kind: obs.KindEvalStart, Eval: idx, Worker: wid, Arch: a.Key()})
 				// Plant the recorder (and the evaluation it is scoring) in the
 				// context so deeper layers — nn.Train's epoch loop, custom
 				// evaluators — can attribute their own events.
 				ectx = obs.WithEval(ctx, rec, idx)
+				if tracing {
+					ec = span.Derive(sc, "eval", uint64(idx))
+					ectx = span.With(ectx, ec)
+				}
 			}
 			t0 := time.Now() //podnas:allow detrand evaluation timing is telemetry (Result.Elapsed, obs events); it never feeds proposals or rewards
 			reward, retries, err := evaluateWithRetry(ectx, eval, a, opts.Seed+uint64(idx)*0x9e37, opts)
@@ -199,6 +219,11 @@ func RunAsyncCtx(ctx context.Context, s Searcher, eval Evaluator, opts RunAsyncO
 				} else {
 					rec.Record(obs.Event{Kind: obs.KindEvalFinish, Eval: idx, Worker: wid, Arch: a.Key(), Reward: reward, Seconds: elapsed.Seconds(), Attempt: retries})
 				}
+				if tracing {
+					e := span.End(ec, sc.Span, "eval", elapsed)
+					e.Eval, e.Worker = idx, wid
+					rec.Record(e)
+				}
 				if due && ckErr == nil {
 					rec.Record(obs.Event{Kind: obs.KindCheckpoint, Eval: nDone})
 				}
@@ -219,6 +244,9 @@ func RunAsyncCtx(ctx context.Context, s Searcher, eval Evaluator, opts RunAsyncO
 		if rec != nil {
 			rec.Record(obs.Event{Kind: obs.KindCheckpoint, Eval: len(results)})
 		}
+	}
+	if tracing {
+		rec.Record(span.End(sc, opts.Trace.Span, "search", time.Since(runT0))) //podnas:allow detrand span timing is telemetry; it never feeds proposals or rewards
 	}
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindSearchFinish, Method: s.Name(), Eval: len(results)})
@@ -335,6 +363,9 @@ type RunRLOptions struct {
 	// event per PPO batch barrier plus the per-evaluation stream (the Worker
 	// field carries the agent index).
 	Recorder obs.Recorder
+	// Trace is the parent span context for this run (zero = tracing off);
+	// see RunAsyncOptions.Trace.
+	Trace span.Context
 }
 
 // RunRL runs the paper's distributed RL method in-process. It is RunRLCtx
@@ -383,6 +414,13 @@ func RunRLCtx(ctx context.Context, space arch.Space, eval Evaluator, opts RunRLO
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindSearchStart, Method: "RL", Worker: roundSize, Eval: len(results)})
 	}
+	tracing := rec != nil && opts.Trace.Valid()
+	var sc span.Context
+	var runT0 time.Time
+	if tracing {
+		sc = span.Derive(opts.Trace, "search")
+		runT0 = time.Now() //podnas:allow detrand span timing is telemetry; it never feeds proposals or rewards
+	}
 	asyncOpts := RunAsyncOptions{
 		Seed: opts.Seed, EvalTimeout: opts.EvalTimeout,
 		Retries: opts.Retries, RetryBackoff: opts.RetryBackoff,
@@ -418,9 +456,14 @@ func RunRLCtx(ctx context.Context, space arch.Space, eval Evaluator, opts RunRLO
 				defer wg.Done()
 				tk := tasks[ti]
 				ectx := ctx
+				var ec span.Context
 				if rec != nil {
 					rec.Record(obs.Event{Kind: obs.KindEvalStart, Eval: tk.idx, Worker: tk.agent, Arch: tk.arch.Key()})
 					ectx = obs.WithEval(ctx, rec, tk.idx)
+					if tracing {
+						ec = span.Derive(sc, "eval", uint64(tk.idx))
+						ectx = span.With(ectx, ec)
+					}
 				}
 				t0 := time.Now() //podnas:allow detrand evaluation timing is telemetry (Result.Elapsed, obs events); it never feeds proposals or rewards
 				rewards[ti], retries[ti], errs[ti] = evaluateWithRetry(
@@ -431,6 +474,11 @@ func RunRLCtx(ctx context.Context, space arch.Space, eval Evaluator, opts RunRLO
 						rec.Record(obs.Event{Kind: obs.KindEvalError, Eval: tk.idx, Worker: tk.agent, Arch: tk.arch.Key(), Seconds: elapsed[ti].Seconds(), Attempt: retries[ti], Err: errs[ti].Error()})
 					} else {
 						rec.Record(obs.Event{Kind: obs.KindEvalFinish, Eval: tk.idx, Worker: tk.agent, Arch: tk.arch.Key(), Reward: rewards[ti], Seconds: elapsed[ti].Seconds(), Attempt: retries[ti]})
+					}
+					if tracing {
+						e := span.End(ec, sc.Span, "eval", elapsed[ti])
+						e.Eval, e.Worker = tk.idx, tk.agent
+						rec.Record(e)
 					}
 				}
 			}(ti)
@@ -485,6 +533,9 @@ func RunRLCtx(ctx context.Context, space arch.Space, eval Evaluator, opts RunRLO
 				rec.Record(obs.Event{Kind: obs.KindCheckpoint, Eval: len(results)})
 			}
 		}
+	}
+	if tracing {
+		rec.Record(span.End(sc, opts.Trace.Span, "search", time.Since(runT0))) //podnas:allow detrand span timing is telemetry; it never feeds proposals or rewards
 	}
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindSearchFinish, Method: "RL", Eval: len(results)})

@@ -113,7 +113,13 @@ func agentConn(c net.Conn, eval search.Evaluator, opts AgentOptions) {
 		return
 	}
 	_ = c.SetReadDeadline(time.Time{})
-	welcome := Message{Type: MsgWelcome, Schema: ProtoSchema, Lease: m.Lease, Epoch: m.Epoch, Ident: opts.ident()}
+	// The welcome echoes this agent's capabilities so the driver knows span
+	// frames may arrive; the agent itself self-gates on the Trace field of
+	// each eval frame, so a driver that never stamps one never sees a span.
+	welcome := Message{
+		Type: MsgWelcome, Schema: ProtoSchema, Lease: m.Lease, Epoch: m.Epoch,
+		Ident: opts.ident(), Caps: []string{CapEval, CapTrace},
+	}
 	if err := fw.send(welcome); err != nil {
 		return
 	}

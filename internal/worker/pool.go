@@ -12,6 +12,7 @@ import (
 
 	"podnas/internal/arch"
 	"podnas/internal/obs"
+	"podnas/internal/obs/span"
 	"podnas/internal/search"
 	"podnas/internal/tensor"
 )
@@ -90,6 +91,12 @@ type PoolOptions struct {
 	// remote connect/disconnect/lease-expiry. The Event.Worker field carries
 	// the pool slot.
 	Recorder obs.Recorder
+	// Trace, when valid, is the run's root span context. Connection-level
+	// spans (handshake) parent under it; per-evaluation spans (dispatch,
+	// rpc, and the worker-side train/epoch subtree) parent under the eval
+	// span the runner plants into the evaluation context. The zero value
+	// disables pool span emission entirely.
+	Trace span.Context
 }
 
 func (o PoolOptions) heartbeat() time.Duration {
@@ -165,6 +172,14 @@ type job struct {
 	ctx    context.Context    // cancelled when the job no longer matters
 	cancel context.CancelFunc // fires ctx: caller gone or a dispatch won
 	res    chan jobResult     // buffered 1; written by the winning deliver
+
+	// Tracing identity, captured from the caller's context at submit time:
+	// sc is the eval span the runner derived (zero = tracing off for this
+	// job), eval its index in the run, enq the enqueue instant (the
+	// dispatch span's start).
+	sc   span.Context
+	eval int
+	enq  time.Time
 
 	mu      sync.Mutex
 	done    bool
@@ -325,6 +340,11 @@ func (p *Pool) EvaluateCtx(ctx context.Context, a arch.Arch, seed uint64) (float
 	j := &job{
 		id: p.nextJobID.Add(1), a: a.Clone(), seed: seed,
 		ctx: jctx, cancel: cancel, res: make(chan jobResult, 1),
+	}
+	if sc, ok := span.From(ctx); ok && p.opts.Trace.Valid() {
+		j.sc = sc
+		j.eval, _ = obs.EvalFrom(ctx)
+		j.enq = time.Now()
 	}
 	select {
 	case p.queue <- j:
@@ -575,9 +595,15 @@ func (p *Pool) runWorker(workerID int, w Conn) error {
 		case <-p.closed:
 			w.Shutdown()
 			return errPoolClosed
-		case _, ok := <-w.Msgs():
+		case m, ok := <-w.Msgs():
 			if !ok {
 				return fmt.Errorf("worker: worker lost while idle: %w", w.WaitResult())
+			}
+			if m.Type == MsgSpan {
+				// A span straggling in after its evaluation was delivered or
+				// cancelled: it carries its own tree position, so it is still
+				// worth recording.
+				p.recordSpanFrame(m, 0, workerID)
 			}
 			// Proof of life already recorded by the pump.
 		case <-check.C:
@@ -589,7 +615,7 @@ func (p *Pool) runWorker(workerID int, w Conn) error {
 			if j.finished() {
 				continue
 			}
-			if err := p.dispatch(w, j); err != nil {
+			if err := p.dispatch(w, j, workerID); err != nil {
 				if id := w.Identity(); id.Remote && !errors.Is(err, errPoolClosed) && !j.finished() {
 					// The lease died with the evaluation still claimed under
 					// it: the job is re-dispatched below under whatever lease
@@ -609,11 +635,30 @@ func (p *Pool) runWorker(workerID int, w Conn) error {
 // means the worker is healthy and idle again (even if the job itself
 // failed or was cancelled); an error means the worker is lost and the job
 // has not been answered.
-func (p *Pool) dispatch(w Conn, j *job) error {
+//
+// When the job carries an eval span and the peer speaks the trace
+// capability, the eval frame is stamped with a derived "rpc" span context:
+// the worker parents its train/epoch spans under it, and the pool records
+// the rpc span itself (send → result delivery) plus a "dispatch" span
+// covering the queue wait inside the pool.
+func (p *Pool) dispatch(w Conn, j *job, workerID int) error {
 	attempt := j.dispatches.Add(1)
 	seq := p.dispatchSeq.Add(1)
-	if err := w.Send(Message{Type: MsgEval, ID: j.id, Arch: j.a, Seed: j.seed}); err != nil {
+	frame := Message{Type: MsgEval, ID: j.id, Arch: j.a, Seed: j.seed}
+	var rpc span.Context
+	traced := j.sc.Valid() && connTraces(w)
+	if traced {
+		rpc = span.Derive(j.sc, "rpc", j.id, uint64(attempt))
+		frame.Trace = rpc.Encode()
+	}
+	sendT := time.Now()
+	if err := w.Send(frame); err != nil {
 		return fmt.Errorf("worker: dispatch write: %w", err)
+	}
+	if traced {
+		e := span.End(span.Derive(j.sc, "dispatch", j.id, uint64(attempt)), j.sc.Span, "dispatch", sendT.Sub(j.enq))
+		e.Eval, e.Worker = j.eval, workerID
+		p.record(e)
 	}
 	if p.opts.KillNth > 0 && seq == int64(p.opts.KillNth) {
 		// Deterministic injected fault: kill the attachment mid-evaluation
@@ -635,7 +680,16 @@ func (p *Pool) dispatch(w Conn, j *job) error {
 			}
 			if m.Type == MsgResult && m.ID == j.id {
 				p.deliverResult(j, m, attempt)
+				if traced {
+					e := span.End(rpc, j.sc.Span, "rpc", time.Since(sendT))
+					e.Eval, e.Worker = j.eval, workerID
+					p.record(e)
+				}
 				return nil
+			}
+			if m.Type == MsgSpan {
+				p.recordSpanFrame(m, j.eval, workerID)
+				continue
 			}
 			// Heartbeats and stale results from a previously cancelled job.
 		case <-check.C:
@@ -654,6 +708,38 @@ func (p *Pool) dispatch(w Conn, j *job) error {
 			}
 		}
 	}
+}
+
+// connTraces reports whether the attachment's peer understands span
+// propagation: a remote agent must have advertised the trace capability in
+// its welcome; a pipe subprocess runs this same binary and self-gates on
+// the eval frame's Trace field, so it always qualifies.
+func connTraces(w Conn) bool {
+	if c, ok := w.(interface{ Caps() []string }); ok {
+		return HasCap(c.Caps(), CapTrace)
+	}
+	return true
+}
+
+// recordSpanFrame re-records a span that completed in the worker process
+// into the driver-side event stream, which is what stitches the remote
+// subtree (train, epochs) into the trace. Frames with a malformed span
+// context are dropped — a corrupt identity poisons a tree.
+func (p *Pool) recordSpanFrame(m Message, evalIdx, workerID int) {
+	sc, err := span.Decode(m.Trace)
+	if err != nil {
+		return
+	}
+	var parent span.ID
+	if m.Parent != "" {
+		if parent, err = span.ParseID(m.Parent); err != nil {
+			return
+		}
+	}
+	e := span.End(sc, parent, m.Name, 0)
+	e.Seconds = m.Seconds
+	e.Eval, e.Worker, e.Epoch = evalIdx, workerID, m.TrainEpoch
+	p.record(e)
 }
 
 // deliverResult decodes a result frame and completes the job. Transient
@@ -718,6 +804,7 @@ func checkInterval(hbTimeout time.Duration) time.Duration {
 // (false = the endpoint itself is unavailable, the fast-degradation
 // signal).
 func (p *Pool) connect(tr Transport, workerID, incarnation int) (w Conn, started bool, err error) {
+	t0 := time.Now()
 	w, started, err = tr.Connect(workerID, incarnation, p.closed)
 	if err != nil {
 		return nil, started, err
@@ -732,6 +819,14 @@ func (p *Pool) connect(tr Transport, workerID, incarnation int) (w Conn, started
 				return nil, true, fmt.Errorf("worker: exited before ready: %w", w.WaitResult())
 			}
 			if m.Type == MsgReady {
+				if root := p.opts.Trace; root.Valid() {
+					// The handshake span covers attach-to-ready: dial +
+					// hello/welcome for remote slots, spawn + pipeline build
+					// for local ones.
+					e := span.End(span.Derive(root, "handshake", uint64(workerID), uint64(incarnation)), root.Span, "handshake", time.Since(t0))
+					e.Worker = workerID
+					p.record(e)
+				}
 				return w, true, nil
 			}
 		case <-ready.C:

@@ -62,6 +62,12 @@ const (
 	MsgReady     = "ready"
 	MsgHeartbeat = "heartbeat"
 	MsgResult    = "result"
+	// MsgSpan ships one completed trace span from the worker back to the
+	// driver (trace capability only): the worker's train/epoch spans arrive
+	// before the result frame and the driver re-records them, stitching the
+	// worker's subtree into the driver-side trace. Old drivers ignore the
+	// unknown frame type; old agents never send it.
+	MsgSpan = "span"
 	// Network handshake (driver → agent, then agent → driver). Pipe-spawned
 	// subprocess workers skip the handshake entirely: their channel is
 	// private to the supervisor that spawned them, so the pipe wire format
@@ -105,12 +111,45 @@ type Message struct {
 	Epoch  int      `json:"epoch,omitempty"`
 	Ident  string   `json:"ident,omitempty"`
 	Caps   []string `json:"caps,omitempty"`
+
+	// Trace-propagation fields (the "trace" capability; no schema bump —
+	// both sides ignore unknown fields). Trace carries an encoded span
+	// context ("1-<trace>-<span>", see internal/obs/span): on an eval frame
+	// it is the parent context the worker derives its spans under; on a
+	// span frame it is the completed span's own identity. Parent, Name,
+	// Seconds, and TrainEpoch describe the completed span (span frames
+	// only; TrainEpoch has its own field because Epoch already means lease
+	// incarnation on this wire).
+	Trace      string  `json:"trace,omitempty"`
+	Parent     string  `json:"parent,omitempty"`
+	Name       string  `json:"name,omitempty"`
+	Seconds    float64 `json:"seconds,omitempty"`
+	TrainEpoch int     `json:"train_epoch,omitempty"`
 }
 
-// CapEval is the one capability current agents advertise: evaluating
-// architectures. Future capabilities (weight shipping, island migration)
-// extend this list without a schema bump.
-const CapEval = "eval"
+// Capabilities negotiated in the hello/welcome handshake. Future
+// capabilities (weight shipping, island migration) extend this list
+// without a schema bump.
+const (
+	// CapEval is evaluating architectures — the baseline every agent has.
+	CapEval = "eval"
+	// CapTrace is span-context propagation: a driver that includes it in
+	// its hello understands span frames; an agent that echoes it in its
+	// welcome Caps will emit them for eval frames carrying a Trace field.
+	// Either side missing the capability degrades to no spans, never to a
+	// protocol error.
+	CapTrace = "trace"
+)
+
+// HasCap reports whether a capability list contains name.
+func HasCap(caps []string, name string) bool {
+	for _, c := range caps {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
 
 // LeaseID derives the fencing token for one slot incarnation. It is seeded
 // (deterministic for tests) and collision-free across the (slot, epoch)

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"time"
 
+	"podnas/internal/obs"
+	"podnas/internal/obs/span"
 	"podnas/internal/search"
 )
 
@@ -107,7 +109,7 @@ func serveFrames(r *frameReader, fw *frameWriter, eval search.Evaluator, opts Se
 			running, cancel, busy = m.ID, cf, true
 			mu.Unlock()
 			go func(m Message, ctx context.Context, cf context.CancelFunc) {
-				res := runEval(ctx, eval, m)
+				res := runEval(ctx, eval, m, w)
 				cf()
 				mu.Lock()
 				busy, cancel = false, nil
@@ -131,9 +133,42 @@ func (w *stampedWriter) send(m Message) error {
 	return w.fw.send(m)
 }
 
+// frameRecorder bridges the obs layer to the wire: span events produced in
+// this worker process (nn.Train epoch spans via the planted recorder) are
+// shipped as span frames; every other kind is local telemetry with no
+// driver-side meaning, so it is dropped rather than forwarded.
+type frameRecorder struct {
+	w *stampedWriter
+}
+
+func (f frameRecorder) Record(e obs.Event) {
+	if e.Kind != obs.KindSpan {
+		return
+	}
+	tr, err1 := span.ParseID(e.Trace)
+	sp, err2 := span.ParseID(e.Span)
+	if err1 != nil || err2 != nil {
+		return
+	}
+	// Send errors mean the driver is gone; the serve loop is already on its
+	// way out, and spans are telemetry, not state.
+	_ = f.w.send(Message{
+		Type:       MsgSpan,
+		Trace:      span.Context{Trace: tr, Span: sp}.Encode(),
+		Parent:     e.Parent,
+		Name:       e.Name,
+		Seconds:    e.Seconds,
+		TrainEpoch: e.Epoch,
+	})
+}
+
 // runEval executes one evaluation with panic recovery and encodes the
-// outcome as a result frame.
-func runEval(ctx context.Context, eval search.Evaluator, m Message) (res Message) {
+// outcome as a result frame. When the eval frame carries a span context
+// (the driver negotiated the trace capability), the worker derives a
+// "train" span covering the whole evaluation, plants it plus a
+// frame-shipping recorder into the evaluation context so nn.Train's epoch
+// spans reach the driver, and sends the train span before the result.
+func runEval(ctx context.Context, eval search.Evaluator, m Message, w *stampedWriter) (res Message) {
 	res = Message{Type: MsgResult, ID: m.ID}
 	defer func() {
 		if r := recover(); r != nil {
@@ -141,6 +176,15 @@ func runEval(ctx context.Context, eval search.Evaluator, m Message) (res Message
 			res.Reward, res.Err, res.Transient = 0, pe.Error(), false
 		}
 	}()
+	if sc, err := span.Decode(m.Trace); m.Trace != "" && err == nil {
+		train := span.Derive(sc, "train", m.ID)
+		ctx = span.With(obs.WithEval(ctx, frameRecorder{w: w}, 0), train)
+		t0 := time.Now()
+		defer func() {
+			f := frameRecorder{w: w}
+			f.Record(span.End(train, sc.Span, "train", time.Since(t0)))
+		}()
+	}
 	var (
 		reward float64
 		err    error

@@ -1,0 +1,180 @@
+package worker_test
+
+import (
+	"testing"
+
+	"podnas/internal/arch"
+	"podnas/internal/obs"
+	"podnas/internal/obs/replay"
+	"podnas/internal/obs/span"
+	"podnas/internal/search"
+	"podnas/internal/worker"
+)
+
+// TestDialPoolSpanTreeAcrossProcesses is the cross-process tracing
+// contract: a traced search dispatched to a remote TCP agent must yield a
+// single span tree in the driver's event stream — search → eval →
+// {dispatch, rpc → train} — with the train spans having travelled the wire
+// as span frames and re-parented under the rpc span that carried them. The
+// tree is assembled with the same replay.Spans the nasreport spans command
+// uses, so this also pins down the reconstruction end to end.
+func TestDialPoolSpanTreeAcrossProcesses(t *testing.T) {
+	const seed, evals = 21, 4
+	ring := obs.NewRing(1024)
+	root := span.NewTrace("run/RS/21")
+
+	addr, stop := startAgent(t, &mockEval{}, agentOptions())
+	defer stop()
+	popts := dialPoolOptions(addr)
+	popts.Trace = root
+	popts.Recorder = ring
+	pool, err := worker.NewPool(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	rs, err := search.NewRandomSearch(arch.Default(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := search.RunAsync(rs, pool, search.RunAsyncOptions{
+		Workers: 1, MaxEvals: evals, Seed: seed,
+		Recorder: ring, Trace: root,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != evals {
+		t.Fatalf("completed %d of %d evaluations", len(res), evals)
+	}
+
+	traces := replay.Spans(ring.Events())
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.ID != root.Trace {
+		t.Fatalf("trace id %s, want %s (deterministic from run identity)", tr.ID, root.Trace)
+	}
+
+	// The run root span itself is virtual (never emitted), so its direct
+	// children — the search span and per-slot handshake spans — surface as
+	// promoted orphan roots.
+	var searchRoot *replay.Span
+	handshakes := 0
+	for _, r := range tr.Roots {
+		switch r.Name {
+		case "search":
+			searchRoot = r
+		case "handshake":
+			handshakes++
+		default:
+			t.Errorf("unexpected root span %q", r.Name)
+		}
+	}
+	if searchRoot == nil {
+		t.Fatalf("no search span among roots: %+v", tr.Roots)
+	}
+	if handshakes == 0 {
+		t.Errorf("no handshake span for the TCP attachment")
+	}
+
+	evalSpans := 0
+	for _, ev := range searchRoot.Children {
+		if ev.Name != "eval" {
+			t.Errorf("search child %q, want eval", ev.Name)
+			continue
+		}
+		evalSpans++
+		var dispatch, rpc int
+		for _, c := range ev.Children {
+			switch c.Name {
+			case "dispatch":
+				dispatch++
+			case "rpc":
+				rpc++
+				// The train span completed in the agent process and crossed
+				// the wire as a span frame; correct parentage here is the
+				// whole point of trace propagation.
+				if len(c.Children) != 1 || c.Children[0].Name != "train" {
+					t.Errorf("eval %d rpc children = %+v, want one remote train span", ev.Eval, c.Children)
+				}
+				if c.Children[0].Orphan {
+					t.Errorf("eval %d train span not stitched under its rpc span", ev.Eval)
+				}
+			default:
+				t.Errorf("eval %d child %q, want dispatch or rpc", ev.Eval, c.Name)
+			}
+		}
+		if dispatch != 1 || rpc != 1 {
+			t.Errorf("eval %d has %d dispatch and %d rpc spans, want 1 and 1", ev.Eval, dispatch, rpc)
+		}
+		if ev.End < ev.Start {
+			t.Errorf("eval %d negative extent [%v, %v]", ev.Eval, ev.Start, ev.End)
+		}
+	}
+	if evalSpans != evals {
+		t.Errorf("eval spans = %d, want %d", evalSpans, evals)
+	}
+
+	// The critical path of a Workers=1 run descends through an eval into
+	// its remote rpc/train subtree.
+	path := replay.CriticalPath(tr)
+	if len(path) < 2 || path[0].Span.Name != "search" || path[1].Span.Name != "eval" {
+		t.Errorf("critical path %+v, want search → eval → ...", path)
+	}
+}
+
+// TestDialPoolTracingPreservesDeterminism is the "spans are telemetry
+// only" contract: a Workers=1 search over TCP with full tracing enabled
+// reproduces the untraced in-process history bit for bit. Tracing must
+// never perturb proposals, per-evaluation seeds, or rewards.
+func TestDialPoolTracingPreservesDeterminism(t *testing.T) {
+	const seed, evals = 17, 8
+
+	rs, err := search.NewRandomSearch(arch.Default(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := search.RunAsync(rs, &mockEval{}, search.RunAsyncOptions{
+		Workers: 1, MaxEvals: evals, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr, stop := startAgent(t, &mockEval{}, agentOptions())
+	defer stop()
+	popts := dialPoolOptions(addr)
+	popts.Trace = span.NewTrace("run/RS/17")
+	popts.Recorder = obs.NewRing(1024)
+	pool, err := worker.NewPool(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	rs2, err := search.NewRandomSearch(arch.Default(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := search.RunAsync(rs2, pool, search.RunAsyncOptions{
+		Workers: 1, MaxEvals: evals, Seed: seed,
+		Recorder: popts.Recorder, Trace: popts.Trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(plain) != len(traced) {
+		t.Fatalf("history lengths differ: %d untraced vs %d traced", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i].Arch.Key() != traced[i].Arch.Key() {
+			t.Fatalf("eval %d arch: untraced %s, traced %s", i, plain[i].Arch.Key(), traced[i].Arch.Key())
+		}
+		if plain[i].Reward != traced[i].Reward {
+			t.Fatalf("eval %d reward: untraced %v, traced %v (must be bit-identical)", i, plain[i].Reward, traced[i].Reward)
+		}
+	}
+}

@@ -274,7 +274,7 @@ func (t *DialTransport) Connect(workerID, incarnation int, cancel <-chan struct{
 	dr := &deadlineReader{c: c}
 	r := newFrameReader(dr)
 	_ = c.SetDeadline(time.Now().Add(t.handshakeTimeout()))
-	hello := Message{Type: MsgHello, Schema: ProtoSchema, Lease: lease, Epoch: incarnation, Caps: []string{CapEval}}
+	hello := Message{Type: MsgHello, Schema: ProtoSchema, Lease: lease, Epoch: incarnation, Caps: []string{CapEval, CapTrace}}
 	if err := fw.send(hello); err != nil {
 		_ = c.Close()
 		return nil, true, fmt.Errorf("worker: handshake with %s: sending hello: %w", addr, err)
@@ -293,7 +293,8 @@ func (t *DialTransport) Connect(workerID, incarnation int, cancel <-chan struct{
 	w := &netConn{
 		c: c, fw: fw,
 		msgs: make(chan Message, 64), dying: make(chan struct{}), done: make(chan struct{}),
-		id: SlotIdentity{Remote: true, Addr: addr, Lease: lease, Epoch: incarnation, Name: m.Ident},
+		id:   SlotIdentity{Remote: true, Addr: addr, Lease: lease, Epoch: incarnation, Name: m.Ident},
+		caps: m.Caps,
 	}
 	w.lastBeat.Store(time.Now().UnixNano())
 	go func() {
@@ -351,6 +352,7 @@ type netConn struct {
 	killOnce    sync.Once
 	waitErr     error // set by the pump before done closes
 	id          SlotIdentity
+	caps        []string // agent capabilities from the welcome frame
 }
 
 func (w *netConn) Send(m Message) error {
@@ -361,6 +363,12 @@ func (w *netConn) Send(m Message) error {
 func (w *netConn) Msgs() <-chan Message { return w.msgs }
 
 func (w *netConn) Identity() SlotIdentity { return w.id }
+
+// Caps reports the agent's advertised capabilities (from its welcome). The
+// pool uses it to decide whether this peer understands span propagation;
+// an agent predating capability echo reports none and simply gets no
+// trace fields.
+func (w *netConn) Caps() []string { return w.caps }
 
 // StaleFrames reports how many inbound frames this connection fenced off
 // for carrying a lease other than its own.

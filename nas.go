@@ -13,6 +13,7 @@ import (
 	"podnas/internal/metrics"
 	"podnas/internal/nn"
 	"podnas/internal/obs"
+	"podnas/internal/obs/span"
 	"podnas/internal/search"
 )
 
@@ -92,6 +93,12 @@ type SearchOptions struct {
 	// obs.NewMetrics, buffer it with obs.NewRing, or stream it to disk with
 	// obs.CreateJSONL (nasrun's -trace). A nil Recorder costs nothing.
 	Recorder obs.Recorder
+	// Trace is the root span context for this run (zero = span tracing off).
+	// With a Recorder and a valid Trace the runner emits a span tree —
+	// search → eval → (train → epoch) — into the Recorder, and the planted
+	// per-eval contexts let a worker pool stitch its dispatch/rpc and remote
+	// train spans into the same tree (see internal/obs/span).
+	Trace span.Context
 }
 
 // DefaultSearchOptions returns a budget suitable for a single machine: a
@@ -237,7 +244,7 @@ func Search(p *Pipeline, method Method, opts SearchOptions) (*SearchResult, erro
 		res, err := search.RunAsyncCtx(ctx, s, ev, search.RunAsyncOptions{
 			Workers: opts.Workers, MaxEvals: opts.MaxEvals, Deadline: opts.Deadline, Seed: opts.Seed,
 			EvalTimeout: opts.EvalTimeout, Retries: opts.Retries,
-			Checkpoint: ck, Resume: opts.Resume, Recorder: opts.Recorder,
+			Checkpoint: ck, Resume: opts.Resume, Recorder: opts.Recorder, Trace: opts.Trace,
 		})
 		if err != nil {
 			return nil, err
@@ -247,7 +254,7 @@ func Search(p *Pipeline, method Method, opts SearchOptions) (*SearchResult, erro
 		res, err := search.RunRLCtx(ctx, space, ev, search.RunRLOptions{
 			Agents: opts.Agents, WorkersPerAgent: opts.WorkersPerAgent, Batches: opts.Batches,
 			Seed: opts.Seed, EvalTimeout: opts.EvalTimeout, Retries: opts.Retries,
-			Checkpoint: ck, Resume: opts.Resume, Recorder: opts.Recorder,
+			Checkpoint: ck, Resume: opts.Resume, Recorder: opts.Recorder, Trace: opts.Trace,
 		})
 		if err != nil {
 			return nil, err
