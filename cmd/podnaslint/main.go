@@ -1,16 +1,25 @@
 // Command podnaslint runs the project's custom static analyzers — the
 // machine-checked form of the invariants the reproduction's results rest
 // on: determinism of the core packages (detrand), sentinel-error wrapping
-// discipline (errwrap), no direct float equality (floateq), and exhaustive
-// obs.Kind event folds (kindswitch). See internal/lint for the framework
-// and README "Static analysis" for suppression semantics.
+// discipline (errwrap), no direct float equality (floateq), exhaustive
+// obs.Kind event folds (kindswitch), goroutine termination (goroleak),
+// context threading (ctxflow), consistent mutex ordering (lockorder), and
+// resource acquire/release pairing (lifecycle). See internal/lint for the
+// framework and README "Static analysis" for suppression semantics.
 //
 // Usage:
 //
 //	podnaslint [-json] [-checks detrand,errwrap,...] [packages]
+//	podnaslint -hotalloc [-json]
 //
 // Packages are directory patterns: "./..." (default) lints the whole
 // module; a plain directory lints that one package.
+//
+// -hotalloc runs the zero-allocation gate instead of the AST checks: it
+// rebuilds internal/kernel and internal/nn with -gcflags=-m, parses the
+// compiler's escape analysis, and fails if any //podnas:hotpath function
+// contains a heap allocation not excused by //podnas:allow hotalloc. This
+// pins the measured ≤ 6 allocs/train-step budget statically.
 //
 // Exit codes: 0 clean, 1 findings, 2 load/type-check error.
 package main
@@ -42,8 +51,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON on stdout")
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	hotalloc := fs.Bool("hotalloc", false, "run the hot-path zero-allocation gate (escape analysis over internal/kernel and internal/nn) instead of the AST checks")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: podnaslint [-json] [-checks a,b] [packages]\n\nchecks:\n")
+		fmt.Fprintf(stderr, "usage: podnaslint [-json] [-checks a,b] [packages]\n       podnaslint -hotalloc [-json]\n\nchecks:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -51,6 +61,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *hotalloc {
+		return runHotalloc(*jsonOut, stdout, stderr)
 	}
 
 	analyzers := lint.Analyzers()
@@ -132,6 +145,57 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		if len(diags) > 0 {
 			fmt.Fprintf(stdout, "podnaslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runHotalloc executes the zero-allocation gate over the default hot-path
+// packages and reports findings with the same output conventions as the
+// AST checks (module-relative paths, -json report, exit 0/1/2).
+func runHotalloc(jsonOut bool, stdout, stderr *os.File) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "podnaslint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "podnaslint: %v\n", err)
+		return 2
+	}
+	known := make(map[string]bool)
+	for _, a := range lint.Analyzers() {
+		known[a.Name] = true
+	}
+	diags, err := lint.HotallocGate(loader.ModDir, loader.ModPath, lint.HotallocPackages, known)
+	if err != nil {
+		fmt.Fprintf(stderr, "podnaslint: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		findings := diags
+		if findings == nil {
+			findings = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{
+			Module: loader.ModPath, Packages: len(lint.HotallocPackages),
+			Checks: []string{"hotalloc"}, Findings: findings,
+		}); err != nil {
+			fmt.Fprintf(stderr, "podnaslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stdout, "podnaslint: %d hot-path allocation(s)\n", len(diags))
 		}
 	}
 	if len(diags) > 0 {

@@ -32,6 +32,8 @@ func init() {
 // satisfy |x| < 64 (callers guard with expSat, keeping k within the
 // exact Cody–Waite range); non-finite inputs take the slow path before
 // reaching here.
+//
+//podnas:hotpath
 func exp4(x0, x1, x2, x3 float64) (e0, e1, e2, e3 float64) {
 	k0 := math.Floor(x0*invLn2x32 + 0.5)
 	k1 := math.Floor(x1*invLn2x32 + 0.5)
@@ -92,6 +94,8 @@ func exp4(x0, x1, x2, x3 float64) (e0, e1, e2, e3 float64) {
 // falls back to math.Exp/Tanh, so extreme inputs keep library semantics
 // (σ→{0,1}, NaN propagates). SIMD and scalar sweeps agree to rounding,
 // not bitwise — same contract as the GEMM micro-kernels.
+//
+//podnas:hotpath
 func LSTMForwardStep(z, cPrev, c, tanhC, h []float64) {
 	H := len(cPrev)
 	j := 0
@@ -113,6 +117,8 @@ func LSTMForwardStep(z, cPrev, c, tanhC, h []float64) {
 
 // lstmFwdScalar is the portable gate sweep over elements [lo, hi); it
 // doubles as the slow path for saturated and non-finite lanes.
+//
+//podnas:hotpath
 func lstmFwdScalar(z, cPrev, c, tanhC, h []float64, lo, hi int) {
 	H := len(cPrev)
 	zi, zf, zg, zo := z[:H], z[H:2*H], z[2*H:3*H], z[3*H:4*H]
@@ -185,6 +191,8 @@ func lstmFwdScalar(z, cPrev, c, tanhC, h []float64, lo, hi int) {
 // dhn (H, recurrent hidden gradient carried from step t+1), dc (H, cell
 // gradient carry, updated in place for step t-1), dz (4H, receives the
 // pre-activation gate gradients).
+//
+//podnas:hotpath
 func LSTMBackwardStep(gates, tanhC, cPrev, dout, dhn, dc, dz []float64) {
 	H := len(tanhC)
 	gi, gf, gg4, go4 := gates[:H], gates[H:2*H], gates[2*H:3*H], gates[3*H:4*H]

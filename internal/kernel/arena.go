@@ -28,6 +28,8 @@ func NewArena() *Arena { return &Arena{} }
 
 // Alloc returns an n-float slice of uninitialized (dirty) memory valid
 // until the next Reset.
+//
+//podnas:hotpath
 func (a *Arena) Alloc(n int) []float64 {
 	if n < 0 {
 		panic("kernel: Arena.Alloc negative size")
@@ -49,13 +51,15 @@ func (a *Arena) Alloc(n int) []float64 {
 	if size < n {
 		size = n
 	}
-	a.slabs = append(a.slabs, make([]float64, size))
+	a.slabs = append(a.slabs, make([]float64, size)) //podnas:allow hotalloc slab growth is amortized; slabs are reused across Resets
 	a.cur = len(a.slabs) - 1
 	a.off = n
 	return a.slabs[a.cur][:n:n]
 }
 
 // AllocZero is Alloc with the returned slice cleared.
+//
+//podnas:hotpath
 func (a *Arena) AllocZero(n int) []float64 {
 	s := a.Alloc(n)
 	for i := range s {
@@ -66,6 +70,8 @@ func (a *Arena) AllocZero(n int) []float64 {
 
 // Reset recycles every slab; previously returned slices become invalid
 // (their contents may be overwritten by later Allocs).
+//
+//podnas:hotpath
 func (a *Arena) Reset() {
 	a.cur = 0
 	a.off = 0

@@ -58,6 +58,8 @@ type PackedB struct {
 // PackB packs op(B) (k×n, where op is the identity or the transpose)
 // into pb, reusing its buffer when large enough. A nil pb allocates a
 // fresh one. Returns pb.
+//
+//podnas:hotpath
 func (c Config) PackB(pb *PackedB, b Mat, transB bool) *PackedB {
 	if !b.ok() {
 		panic(fmt.Sprintf("kernel: PackB bad view %dx%d stride %d over %d floats", b.R, b.C, b.Stride, len(b.Data)))
@@ -67,7 +69,7 @@ func (c Config) PackB(pb *PackedB, b Mat, transB bool) *PackedB {
 		k, n = b.C, b.R
 	}
 	if pb == nil {
-		pb = &PackedB{}
+		pb = &PackedB{} //podnas:allow hotalloc nil-pb lazy construction; steady-state callers pass a reused pb
 	}
 	pb.k, pb.n = k, n
 	pb.isa = c.isa()
@@ -76,7 +78,7 @@ func (c Config) PackB(pb *PackedB, b Mat, transB bool) *PackedB {
 	nb := (n + nr - 1) / nr
 	need := nb * k * nr
 	if cap(pb.buf) < need {
-		pb.buf = make([]float64, need)
+		pb.buf = make([]float64, need) //podnas:allow hotalloc pack-buffer growth only; reused across calls
 	}
 	pb.buf = pb.buf[:need]
 	for jb := 0; jb < nb; jb++ {
@@ -122,6 +124,8 @@ var packPool = sync.Pool{New: func() any { return &PackedB{} }}
 // where op is the identity or the transpose per the trans flags. dst
 // must be preshaped (m×n) and must not alias a or b. This is the single
 // entry point the tensor MatMul* family wraps.
+//
+//podnas:hotpath
 func (c Config) Gemm(dst, a, b Mat, transA, transB, accumulate bool) {
 	pb := packPool.Get().(*PackedB)
 	pb = c.PackB(pb, b, transB)
@@ -131,11 +135,15 @@ func (c Config) Gemm(dst, a, b Mat, transA, transB, accumulate bool) {
 
 // Gemm runs Config.Gemm with the default policy (auto SIMD, GOMAXPROCS
 // workers).
+//
+//podnas:hotpath
 func Gemm(dst, a, b Mat, transA, transB, accumulate bool) {
 	Config{}.Gemm(dst, a, b, transA, transB, accumulate)
 }
 
 // GemmPacked is Gemm with the right-hand side already packed by PackB.
+//
+//podnas:hotpath
 func (c Config) GemmPacked(dst, a Mat, transA bool, pb *PackedB, accumulate bool) {
 	if !dst.ok() || !a.ok() {
 		panic(fmt.Sprintf("kernel: Gemm bad view dst %dx%d/%d a %dx%d/%d", dst.R, dst.C, dst.Stride, a.R, a.C, a.Stride))
@@ -160,7 +168,7 @@ func (c Config) GemmPacked(dst, a Mat, transA bool, pb *PackedB, accumulate bool
 		gemmRowBlock(dst, a, transA, pb, accumulate, 0, m)
 		return
 	}
-	c.parallelRows(m, 2*k*n, pb.mr, func(lo, hi int) {
+	c.parallelRows(m, 2*k*n, pb.mr, func(lo, hi int) { //podnas:allow hotalloc goroutine fan-out closure; the serial fast path above avoids it
 		gemmRowBlock(dst, a, transA, pb, accumulate, lo, hi)
 	})
 }
@@ -168,6 +176,8 @@ func (c Config) GemmPacked(dst, a Mat, transA bool, pb *PackedB, accumulate bool
 // gemmRowBlock computes rows [lo, hi) of dst — the per-worker unit of
 // GemmPacked. Row blocks are disjoint, so any partition of [0, m) into
 // aligned blocks yields bit-identical results.
+//
+//podnas:hotpath
 func gemmRowBlock(dst, a Mat, transA bool, pb *PackedB, accumulate bool, lo, hi int) {
 	k, n := pb.k, pb.n
 	mr, nr := pb.mr, pb.nr
@@ -186,7 +196,7 @@ func gemmRowBlock(dst, a Mat, transA bool, pb *PackedB, accumulate bool, lo, hi 
 		}
 		s := scratchPool.Get().(*scratch)
 		if cap(s.ap) < k*mr {
-			s.ap = make([]float64, k*mr)
+			s.ap = make([]float64, k*mr) //podnas:allow hotalloc pooled scratch growth only; reused via scratchPool
 		}
 		ap := s.ap[:k*mr]
 		for i0 := lo; i0 < hi; i0 += mr {

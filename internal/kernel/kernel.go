@@ -118,6 +118,8 @@ func SIMD() string {
 // workers and runs body over each disjoint block (serial when below the
 // FLOP threshold, so results are bit-identical either way). Layers use
 // it for batch-row activation sweeps outside the GEMMs.
+//
+//podnas:hotpath
 func (c Config) ParallelRows(n, flopsPerRow int, body func(lo, hi int)) {
 	c.parallelRows(n, flopsPerRow, 1, body)
 }
@@ -127,6 +129,8 @@ func (c Config) ParallelRows(n, flopsPerRow int, body func(lo, hi int)) {
 // serial case, so results are bit-identical for any worker count. The
 // partition aligns to `align` rows (the micro-kernel height) so tile
 // boundaries never straddle workers.
+//
+//podnas:hotpath
 func (c Config) parallelRows(n, flopsPerRow, align int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -147,7 +151,7 @@ func (c Config) parallelRows(n, flopsPerRow, align int, body func(lo, hi int)) {
 		w = blocks
 	}
 	chunk := (blocks + w - 1) / w
-	var wg sync.WaitGroup
+	var wg sync.WaitGroup //podnas:allow hotalloc WaitGroup escapes into workers on the parallel path only
 	for lo := 0; lo < blocks; lo += chunk {
 		hi := lo + chunk
 		if hi > blocks {
@@ -158,7 +162,7 @@ func (c Config) parallelRows(n, flopsPerRow, align int, body func(lo, hi int)) {
 			rhi = n
 		}
 		wg.Add(1)
-		go func(rlo, rhi int) {
+		go func(rlo, rhi int) { //podnas:allow hotalloc per-block worker closure on the parallel path only
 			defer wg.Done()
 			body(rlo, rhi)
 		}(rlo, rhi)

@@ -11,5 +11,22 @@ func Analyzers() []*Analyzer {
 		NewErrwrap(),
 		NewFloateq(DefaultToleranceHelpers),
 		NewKindswitch("podnas/internal/obs", "Kind"),
+		NewGoroleak(),
+		NewCtxflow(),
+		NewLockorder(),
+		NewLifecycle(DefaultResourcePairs),
+		hotallocName(),
+	}
+}
+
+// hotallocName registers "hotalloc" as a known check so its
+// //podnas:allow directives in internal/kernel and internal/nn validate.
+// The check itself is not an AST pass: it reads the compiler's escape
+// analysis, and runs through HotallocGate (cmd/podnaslint -hotalloc).
+func hotallocName() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "hot-path (//podnas:hotpath) functions must not gain heap allocations; runs via cmd/podnaslint -hotalloc",
+		Run:  func(*Pass) {},
 	}
 }

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewCtxflow builds the context-threading analyzer. A function that
+// accepts a context.Context has promised its caller cancellability; inside
+// such a function,
+//
+//   - minting a fresh root with context.Background() or context.TODO()
+//     severs that promise — blocking callees outlive the caller's deadline
+//     (the dropped-ctx dial and drain bugs the daemon path is prone to);
+//   - time.Sleep blocks uncancellably — a select on ctx.Done() with a
+//     timer keeps the same pacing but lets shutdown interrupt it;
+//   - net.Dial / net.DialTimeout ignore the deadline the caller already
+//     carries — net.Dialer.DialContext threads it.
+//
+// Functions without a ctx parameter are out of scope: adapters that
+// deliberately detach (Evaluate calling EvaluateCtx(context.Background()))
+// stay legal, and deliberate detachment inside a ctx-carrying function is
+// declared with //podnas:allow ctxflow <reason>.
+func NewCtxflow() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "functions receiving a context.Context must thread it into blocking callees instead of Background/TODO/Sleep/Dial",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !hasCtxParam(pass.Pkg, fd) {
+					continue
+				}
+				ctxflowBody(pass, fd.Body)
+			}
+		}
+	}
+	return a
+}
+
+// hasCtxParam reports whether fd declares a named (usable) parameter of
+// type context.Context. A parameter named _ cannot be threaded, so such
+// functions are out of scope.
+func hasCtxParam(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok || tv.Type == nil || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxflowBody flags ctx-severing calls anywhere in the body, including
+// inside nested func literals — a closure launched from a ctx-carrying
+// function still holds that ctx and should use it.
+func ctxflowBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "context":
+			if obj.Name() == "Background" || obj.Name() == "TODO" {
+				pass.Reportf(call.Pos(),
+					"context.%s inside a function that receives a ctx severs cancellation; thread the parameter (//podnas:allow ctxflow <reason> to detach deliberately)",
+					obj.Name())
+			}
+		case "time":
+			if obj.Name() == "Sleep" {
+				pass.Reportf(call.Pos(),
+					"time.Sleep inside a function that receives a ctx blocks uncancellably; select on ctx.Done() and a timer instead (//podnas:allow ctxflow <reason>)")
+			}
+		case "net":
+			if obj.Name() == "Dial" || obj.Name() == "DialTimeout" {
+				pass.Reportf(call.Pos(),
+					"net.%s ignores the ctx this function receives; use net.Dialer.DialContext (//podnas:allow ctxflow <reason>)",
+					obj.Name())
+			}
+		}
+		return true
+	})
+}

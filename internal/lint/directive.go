@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DirectiveResult is the parse of one comment against the suppression
+// grammar. Exactly one of the three outcomes holds:
+//
+//   - Skip: the comment is not an allow directive at all (wrong prefix, or
+//     a longer word like //podnas:allowed).
+//   - Err != "": the comment claims to be a directive but is malformed —
+//     missing check, unknown check, or missing reason. The message is the
+//     "directive" finding to report.
+//   - Check != "": a well-formed suppression for that check.
+type DirectiveResult struct {
+	Skip  bool
+	Err   string
+	Check string
+}
+
+// ParseAllowDirective parses one comment's text ("//..." form, as
+// ast.Comment.Text provides it) against the //podnas:allow grammar with the
+// given set of known check names. It is a pure function so the grammar can
+// be fuzzed (FuzzAllowDirective) independently of the AST plumbing.
+func ParseAllowDirective(text string, known map[string]bool) DirectiveResult {
+	if !strings.HasPrefix(text, DirectivePrefix) {
+		return DirectiveResult{Skip: true}
+	}
+	rest := strings.TrimPrefix(text, DirectivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //podnas:allowed — some other word, not our directive.
+		return DirectiveResult{Skip: true}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return DirectiveResult{Err: fmt.Sprintf("malformed directive: want %q", DirectivePrefix+" <check> <reason>")}
+	}
+	check := fields[0]
+	if !known[check] {
+		return DirectiveResult{Err: fmt.Sprintf("directive names unknown check %q (known: %s)", check, strings.Join(sortedKeys(known), ", "))}
+	}
+	if len(fields) < 2 {
+		return DirectiveResult{Err: fmt.Sprintf("directive for %q has no reason; every suppression must say why", check)}
+	}
+	return DirectiveResult{Check: check}
+}

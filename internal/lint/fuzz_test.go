@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAllowDirective throws arbitrary comment text at the suppression
+// grammar. The parser sits on the trust boundary between source comments
+// and the allow map — a panic or a misclassified directive silently
+// enables (or breaks) every suppression in the module, so the invariants
+// are pinned here rather than left to the golden corpus.
+func FuzzAllowDirective(f *testing.F) {
+	f.Add("//podnas:allow detrand seeded from run config")
+	f.Add("//podnas:allow")
+	f.Add("//podnas:allow detrand")
+	f.Add("//podnas:allow nosuchcheck because reasons")
+	f.Add("//podnas:allowed something else entirely")
+	f.Add("//podnas:tolerance")
+	f.Add("// ordinary comment")
+	f.Add("//podnas:allow\tfloateq\ttab separated reason")
+	f.Add("//podnas:allow  errwrap   many   spaces")
+	f.Add("//podnas:allow detrand \x00\xff")
+	f.Fuzz(func(t *testing.T, text string) {
+		known := map[string]bool{"detrand": true, "errwrap": true, "floateq": true}
+		res := ParseAllowDirective(text, known)
+
+		// Exactly one outcome holds.
+		states := 0
+		if res.Skip {
+			states++
+		}
+		if res.Err != "" {
+			states++
+		}
+		if res.Check != "" {
+			states++
+		}
+		if states != 1 {
+			t.Fatalf("ParseAllowDirective(%q) ambiguous result %+v", text, res)
+		}
+
+		// Non-directive text is always skipped, never reported.
+		if !strings.HasPrefix(text, DirectivePrefix) && !res.Skip {
+			t.Fatalf("ParseAllowDirective(%q) = %+v, want Skip for non-directive text", text, res)
+		}
+
+		// A successful parse names a known check and the text carries a
+		// reason after it.
+		if res.Check != "" {
+			if !known[res.Check] {
+				t.Fatalf("ParseAllowDirective(%q) accepted unknown check %q", text, res.Check)
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, DirectivePrefix))
+			if len(fields) < 2 {
+				t.Fatalf("ParseAllowDirective(%q) accepted a directive without a reason", text)
+			}
+			if fields[0] != res.Check {
+				t.Fatalf("ParseAllowDirective(%q) = check %q, want first field %q", text, res.Check, fields[0])
+			}
+		}
+	})
+}

@@ -11,18 +11,27 @@ import (
 
 // corpusNames are the testdata packages the golden test loads together, the
 // way the driver loads the real module.
-var corpusNames = []string{"detcore", "detother", "errwrapt", "floateqt", "kindt", "directivet"}
+var corpusNames = []string{
+	"detcore", "detother", "errwrapt", "floateqt", "kindt", "directivet",
+	"goroleakt", "ctxflowt", "lockordert", "lifecyclet",
+}
 
 // corpusAnalyzers is the suite configured for the corpus: detcore is the
 // deterministic core, kindt.Kind is the event vocabulary, and floateqt's
 // ConfiguredHelper is approved by configuration (Near is approved by its
-// //podnas:tolerance directive).
+// //podnas:tolerance directive). The concurrency/lifecycle analyzers run
+// unconfigured over every corpus package, exactly as they do over the
+// module, with lifecycle on the stdlib subset of the production pairs.
 func corpusAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		NewDetrand([]string{"detcore"}),
 		NewErrwrap(),
 		NewFloateq([]string{"floateqt.ConfiguredHelper"}),
 		NewKindswitch("kindt", "Kind"),
+		NewGoroleak(),
+		NewCtxflow(),
+		NewLockorder(),
+		NewLifecycle(DefaultResourcePairs),
 	}
 }
 

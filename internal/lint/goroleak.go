@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewGoroleak builds the goroutine-termination analyzer. Every `go`
+// statement in non-test code must launch a body the analyzer can see
+// (a func literal, a same-package function or method, or a local closure
+// variable) and that body must carry termination evidence:
+//
+//   - a call to (*sync.WaitGroup).Done — the launcher joins it;
+//   - a receive from any channel (ctx.Done() select, a stop/closed/done
+//     channel, a work queue) — the owner can end it by closing or
+//     cancelling; or
+//   - a loop-free body — straight-line code runs to completion on its own.
+//
+// A looping body with none of these is a fire-and-forget goroutine: nothing
+// can stop it, and under churn (worker reconnects, job restarts) each
+// launch leaks a runnable forever. That is exactly the failure mode that
+// erodes the asynchronous-pool throughput the scaling results depend on.
+func NewGoroleak() *Analyzer {
+	a := &Analyzer{
+		Name: "goroleak",
+		Doc:  "every goroutine launch must have a provable termination path (WaitGroup.Done, channel receive, or loop-free body)",
+	}
+	a.Run = func(pass *Pass) {
+		decls := packageFuncBodies(pass.Pkg)
+		for _, f := range pass.Pkg.Files {
+			closures := localClosures(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body := launchedBody(pass.Pkg, decls, closures, g.Call)
+				if body == nil {
+					pass.Reportf(g.Pos(),
+						"goroutine launches a function this package cannot see; termination is unprovable (launch a same-package function, or //podnas:allow goroleak <reason>)")
+					return true
+				}
+				if ok, why := goroutineTerminates(pass.Pkg, body); !ok {
+					pass.Reportf(g.Pos(),
+						"goroutine has no termination path: %s; join it with a WaitGroup, select on a stop/ctx.Done() channel, or //podnas:allow goroleak <reason>", why)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// packageFuncBodies maps every function and method the package declares to
+// its body, keyed by the types object, so `go name(...)` and `go x.m(...)`
+// launches resolve to inspectable code.
+func packageFuncBodies(pkg *Package) map[types.Object]*ast.BlockStmt {
+	m := make(map[types.Object]*ast.BlockStmt)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+				m[obj] = fd.Body
+			}
+		}
+	}
+	return m
+}
+
+// localClosures maps local variables bound to a func literal (worker :=
+// func(...){...}) to that literal, so `go worker(i)` resolves. Only direct
+// single-assignment bindings count; a variable reassigned elsewhere simply
+// resolves to its first literal, which matches how the codebase uses the
+// pattern (bind once, launch many).
+func localClosures(f *ast.File) map[*ast.Object]*ast.FuncLit {
+	m := make(map[*ast.Object]*ast.FuncLit)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Obj == nil {
+					continue
+				}
+				if lit, ok := n.Rhs[i].(*ast.FuncLit); ok {
+					if _, seen := m[id.Obj]; !seen {
+						m[id.Obj] = lit
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, name := range n.Names {
+				if name.Obj == nil {
+					continue
+				}
+				if lit, ok := n.Values[i].(*ast.FuncLit); ok {
+					if _, seen := m[name.Obj]; !seen {
+						m[name.Obj] = lit
+					}
+				}
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// launchedBody resolves the function body a go statement runs, or nil when
+// the launch target is outside the package's view.
+func launchedBody(pkg *Package, decls map[types.Object]*ast.BlockStmt, closures map[*ast.Object]*ast.FuncLit, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if lit, ok := closures[fun.Obj]; ok {
+			return lit.Body
+		}
+		if obj := pkg.Info.Uses[fun]; obj != nil {
+			return decls[obj]
+		}
+	case *ast.SelectorExpr:
+		if obj := pkg.Info.Uses[fun.Sel]; obj != nil {
+			return decls[obj]
+		}
+	}
+	return nil
+}
+
+// goroutineTerminates inspects a launched body for termination evidence.
+// Nested func literals are not descended into: they are their own analysis
+// unit if launched, and synchronous helpers do not change whether this
+// goroutine's own control flow can end.
+func goroutineTerminates(pkg *Package, body *ast.BlockStmt) (bool, string) {
+	loops := false
+	evidence := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			loops = true
+		case *ast.RangeStmt:
+			loops = true
+			if tv, ok := pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					// for range ch ends when the owner closes ch.
+					evidence = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				// A receive: the launcher can end this goroutine by
+				// closing or sending on the channel (covers ctx.Done(),
+				// stop channels, and work queues).
+				evidence = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.FullName() == "(*sync.WaitGroup).Done" {
+					evidence = true
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	if !loops {
+		return true, ""
+	}
+	if evidence {
+		return true, ""
+	}
+	return false, "body loops with no WaitGroup.Done and no channel receive"
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ResourcePair configures one acquire/release obligation for the lifecycle
+// analyzer: calling Acquire yields a resource (result ResultIdx) that must,
+// within the acquiring function, either reach its release or provably hand
+// responsibility to someone else.
+type ResourcePair struct {
+	// Acquire is the full name of the acquiring function:
+	// "os.Create", "podnas/internal/obs.CreateJSONL", "context.WithCancel".
+	Acquire string
+	// ResultIdx is which result is the resource (os.Create → 0,
+	// context.WithCancel's cancel func → 1).
+	ResultIdx int
+	// Release is the method that discharges the obligation ("Close",
+	// "Stop", "Reset"). Empty means the resource is itself a function to
+	// call (context cancel funcs).
+	Release string
+	// What names the resource in messages ("file handle", "cancel func").
+	What string
+}
+
+// DefaultResourcePairs are the acquire/release obligations this module
+// lives by: JSONL sinks must be closed (a dropped sink silently truncates
+// the event log replay depends on), cancel funcs must run (a lost cancel
+// leaks the ctx's timer and goroutine), file handles must close (nasd's
+// flock ownership rides on the lock file's handle — closing releases the
+// lease), tickers must stop, and kernel arenas must be reset or owned by
+// a longer-lived struct (arena discipline is what keeps the train step at
+// its alloc budget).
+var DefaultResourcePairs = []ResourcePair{
+	{Acquire: "podnas/internal/obs.NewJSONL", ResultIdx: 0, Release: "Close", What: "JSONL sink"},
+	{Acquire: "podnas/internal/obs.CreateJSONL", ResultIdx: 0, Release: "Close", What: "JSONL sink"},
+	{Acquire: "podnas/internal/obs.AppendJSONL", ResultIdx: 0, Release: "Close", What: "JSONL sink"},
+	{Acquire: "context.WithCancel", ResultIdx: 1, Release: "", What: "cancel func"},
+	{Acquire: "context.WithTimeout", ResultIdx: 1, Release: "", What: "cancel func"},
+	{Acquire: "context.WithDeadline", ResultIdx: 1, Release: "", What: "cancel func"},
+	{Acquire: "os.Create", ResultIdx: 0, Release: "Close", What: "file handle"},
+	{Acquire: "os.Open", ResultIdx: 0, Release: "Close", What: "file handle"},
+	{Acquire: "os.OpenFile", ResultIdx: 0, Release: "Close", What: "file handle"},
+	{Acquire: "time.NewTicker", ResultIdx: 0, Release: "Stop", What: "ticker"},
+	{Acquire: "podnas/internal/kernel.NewArena", ResultIdx: 0, Release: "Reset", What: "arena"},
+}
+
+// NewLifecycle builds the resource-lifecycle analyzer over the given
+// pairs. For each call to an acquire function whose result is bound to a
+// local variable, the variable must within the same function body either
+//
+//   - reach the release (v.Close() / defer v.Close(), or v() for cancel
+//     funcs), or
+//   - escape — be returned, passed to another call, stored in a field,
+//     slice, map, or captured struct, or have its address taken — which
+//     transfers the obligation to the new owner.
+//
+// Binding the resource to _ (or dropping the call's results entirely) is
+// always a finding: nobody can ever discharge the obligation.
+func NewLifecycle(pairs []ResourcePair) *Analyzer {
+	byName := make(map[string]ResourcePair, len(pairs))
+	for _, p := range pairs {
+		byName[p.Acquire] = p
+	}
+	a := &Analyzer{
+		Name: "lifecycle",
+		Doc:  "acquired resources (sinks, handles, cancel funcs, tickers, arenas) must reach their release or escape to a new owner",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					lifecycleFunc(pass, byName, fd.Body)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// acquirePair resolves a call expression to its configured ResourcePair.
+func acquirePair(pass *Pass, byName map[string]ResourcePair, call *ast.CallExpr) (ResourcePair, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ResourcePair{}, false
+	}
+	fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ResourcePair{}, false
+	}
+	p, ok := byName[fn.Pkg().Path()+"."+fn.Name()]
+	return p, ok
+}
+
+// lifecycleFunc checks every acquire in one function body. Nested func
+// literals are scanned as part of the body: an acquisition inside a
+// closure is checked against uses inside that same enclosing body, which
+// is where its release must live anyway.
+func lifecycleFunc(pass *Pass, byName map[string]ResourcePair, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if p, ok := acquirePair(pass, byName, call); ok {
+					pass.Reportf(call.Pos(),
+						"%s from %s is dropped on the floor; bind it and call %s (//podnas:allow lifecycle <reason>)",
+						p.What, p.Acquire, releaseName(p))
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			p, ok := acquirePair(pass, byName, call)
+			if !ok {
+				return true
+			}
+			if p.ResultIdx >= len(n.Lhs) {
+				return true
+			}
+			id, ok := n.Lhs[p.ResultIdx].(*ast.Ident)
+			if !ok {
+				// Assigned straight into a field or index: the owner
+				// is the containing struct — obligation transferred.
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"%s from %s is bound to _; it can never reach %s (//podnas:allow lifecycle <reason>)",
+					p.What, p.Acquire, releaseName(p))
+				return true
+			}
+			obj := pass.Pkg.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Pkg.Info.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			if !resourceDischarged(pass, body, obj, p) {
+				pass.Reportf(call.Pos(),
+					"%s %q from %s never reaches %s and never escapes this function; release it on every path or hand it to an owner (//podnas:allow lifecycle <reason>)",
+					p.What, id.Name, p.Acquire, releaseName(p))
+			}
+		}
+		return true
+	})
+}
+
+func releaseName(p ResourcePair) string {
+	if p.Release == "" {
+		return "it (call the func)"
+	}
+	return p.Release
+}
+
+// resourceDischarged reports whether any use of obj inside body releases
+// the resource or escapes it to a new owner. The walk carries a parent
+// stack so each identifier use can be classified by its syntactic role.
+func resourceDischarged(pass *Pass, body *ast.BlockStmt, obj types.Object, p ResourcePair) bool {
+	discharged := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || discharged {
+			return !discharged
+		}
+		if pass.Pkg.Info.Uses[id] != obj {
+			return true
+		}
+		if useDischarges(pass, stack, id, p) {
+			discharged = true
+		}
+		return true
+	})
+	return discharged
+}
+
+// useDischarges classifies one identifier use given its ancestor stack
+// (stack[len-1] == id).
+func useDischarges(pass *Pass, stack []ast.Node, id *ast.Ident, p ResourcePair) bool {
+	parent := func(i int) ast.Node {
+		if len(stack)-1-i < 0 {
+			return nil
+		}
+		return stack[len(stack)-1-i]
+	}
+	switch par := parent(1).(type) {
+	case *ast.SelectorExpr:
+		// v.Close() / defer v.Close(): release method called on v.
+		if par.X == id && p.Release != "" && par.Sel.Name == p.Release {
+			if call, ok := parent(2).(*ast.CallExpr); ok && call.Fun == par {
+				return true
+			}
+		}
+		// Any other method use neither releases nor escapes.
+		return false
+	case *ast.CallExpr:
+		if par.Fun == id {
+			// v() — releasing a cancel func.
+			return p.Release == ""
+		}
+		// v passed as an argument: obligation handed to the callee.
+		for _, arg := range par.Args {
+			if arg == id {
+				return true
+			}
+		}
+		return false
+	case *ast.ReturnStmt:
+		return true
+	case *ast.KeyValueExpr, *ast.CompositeLit:
+		// Stored into a struct/map/slice literal: new owner.
+		return true
+	case *ast.UnaryExpr:
+		// &v: address escapes.
+		return par.Op.String() == "&"
+	case *ast.AssignStmt:
+		// v on the RHS of an assignment: some other binding owns it now
+		// (x.f = v, w := v, m[k] = v) — unless the binding is the blank
+		// identifier, which owns nothing.
+		for i, r := range par.Rhs {
+			if r != id {
+				continue
+			}
+			if len(par.Lhs) == len(par.Rhs) {
+				if lhs, ok := par.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case *ast.IndexExpr:
+		// m[v] or v used in an index — not a discharge.
+		return false
+	}
+	return false
+}

@@ -32,7 +32,6 @@ import (
 	"go/ast"
 	"go/token"
 	"sort"
-	"strings"
 )
 
 // Diagnostic is one finding, addressed by position so drivers can print
@@ -103,39 +102,22 @@ func directives(fset *token.FileSet, f *ast.File, known map[string]bool, diags *
 	allow := make(map[allowKey]bool)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, DirectivePrefix) {
+			res := ParseAllowDirective(c.Text, known)
+			if res.Skip {
 				continue
 			}
-			rest := strings.TrimPrefix(c.Text, DirectivePrefix)
 			pos := fset.Position(c.Pos())
-			bad := func(format string, args ...any) {
+			if res.Err != "" {
 				*diags = append(*diags, Diagnostic{
 					Check: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
-					Message: fmt.Sprintf(format, args...),
+					Message: res.Err,
 				})
-			}
-			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-				// e.g. //podnas:allowed — some other word, not our directive.
-				continue
-			}
-			fields := strings.Fields(rest)
-			if len(fields) == 0 {
-				bad("malformed directive: want %q", DirectivePrefix+" <check> <reason>")
-				continue
-			}
-			check := fields[0]
-			if !known[check] {
-				bad("directive names unknown check %q (known: %s)", check, strings.Join(sortedKeys(known), ", "))
-				continue
-			}
-			if len(fields) < 2 {
-				bad("directive for %q has no reason; every suppression must say why", check)
 				continue
 			}
 			// The directive covers its own line and the next one, so it can
 			// trail the flagged statement or sit alone directly above it.
-			allow[allowKey{pos.Filename, pos.Line, check}] = true
-			allow[allowKey{pos.Filename, pos.Line + 1, check}] = true
+			allow[allowKey{pos.Filename, pos.Line, res.Check}] = true
+			allow[allowKey{pos.Filename, pos.Line + 1, res.Check}] = true
 		}
 	}
 	return allow

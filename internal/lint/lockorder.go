@@ -1,0 +1,419 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NewLockorder builds the intra-package mutex analyzer. It tracks
+// sync.Mutex / sync.RWMutex acquisition sites per function, propagates
+// may-lock sets across same-package calls to a fixpoint, and reports two
+// hazards:
+//
+//   - inconsistent pairwise acquisition order: mutex B acquired (directly
+//     or through a same-package callee) while A is held in one function,
+//     and A while B in another — the classic two-thread deadlock that a
+//     single -race run cannot surface;
+//   - a return statement executed while holding a mutex that has no
+//     registered `defer Unlock` — the early-return leak that turns the
+//     next Lock into a permanent stall.
+//
+// Mutex identity is the types.Object of the field or variable the Lock is
+// called on (jobs.Manager.mu, worker.Pool.mu, …), so every instance of a
+// struct shares one ordering node — which is the granularity deadlocks
+// actually happen at. Branch bodies are walked with a cloned held-set, so
+// an acquisition cannot leak out of the branch that made it; deliberate
+// lock handoffs are declared with //podnas:allow lockorder <reason>.
+func NewLockorder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "mutex acquisition order must be globally consistent and no return may leak a held, undeferred lock",
+	}
+	a.Run = func(pass *Pass) {
+		lo := &lockOrder{
+			pass:    pass,
+			mayLock: make(map[types.Object]map[types.Object]bool),
+			bodies:  make(map[types.Object]*ast.BlockStmt),
+			edges:   make(map[[2]types.Object]token.Pos),
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					if obj := pass.Pkg.Info.Defs[fd.Name]; obj != nil {
+						lo.bodies[obj] = fd.Body
+					}
+				}
+			}
+		}
+		lo.fixpoint()
+		for _, body := range sortedBodies(lo.bodies) {
+			lo.walkFunc(body)
+		}
+		lo.reportInversions()
+	}
+	return a
+}
+
+// lockMethods classifies the sync methods the analyzer models.
+var lockMethods = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+}
+
+var unlockMethods = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+type lockOrder struct {
+	pass    *Pass
+	bodies  map[types.Object]*ast.BlockStmt
+	mayLock map[types.Object]map[types.Object]bool
+	// edges records the first site where edge[0] was held when edge[1]
+	// was acquired.
+	edges map[[2]types.Object]token.Pos
+}
+
+// sortedBodies yields bodies in source order so diagnostics are
+// deterministic run to run.
+func sortedBodies(m map[types.Object]*ast.BlockStmt) []*ast.BlockStmt {
+	out := make([]*ast.BlockStmt, 0, len(m))
+	for _, b := range m {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// mutexOf resolves a call to Lock/Unlock/RLock/RUnlock to the mutex's
+// identity: the types.Object of the field or variable it is called on.
+func (lo *lockOrder) mutexOf(call *ast.CallExpr, methods map[string]bool) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := lo.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !methods[fn.FullName()] {
+		return nil
+	}
+	switch recv := sel.X.(type) {
+	case *ast.SelectorExpr:
+		return lo.pass.Pkg.Info.Uses[recv.Sel]
+	case *ast.Ident:
+		return lo.pass.Pkg.Info.Uses[recv]
+	}
+	return nil
+}
+
+// callee resolves a call to a same-package function or method object.
+func (lo *lockOrder) callee(call *ast.CallExpr) types.Object {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := lo.pass.Pkg.Info.Uses[id]
+	if fn, ok := obj.(*types.Func); ok && fn.Pkg() == lo.pass.Pkg.Types {
+		return obj
+	}
+	return nil
+}
+
+// fixpoint computes, for every package function, the set of mutexes it may
+// acquire directly or through same-package callees.
+func (lo *lockOrder) fixpoint() {
+	for obj, body := range lo.bodies {
+		direct := make(map[types.Object]bool)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if m := lo.mutexOf(call, lockMethods); m != nil {
+					direct[m] = true
+				}
+			}
+			return true
+		})
+		lo.mayLock[obj] = direct
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, body := range lo.bodies {
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				g := lo.callee(call)
+				if g == nil || g == obj {
+					return true
+				}
+				for m := range lo.mayLock[g] {
+					if !lo.mayLock[obj][m] {
+						lo.mayLock[obj][m] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// heldState is the walker's view at one program point.
+type heldState struct {
+	order    []types.Object        // acquisition order, oldest first
+	deferred map[types.Object]bool // mutexes with a registered defer Unlock
+}
+
+func (h *heldState) clone() *heldState {
+	c := &heldState{
+		order:    append([]types.Object(nil), h.order...),
+		deferred: make(map[types.Object]bool, len(h.deferred)),
+	}
+	for k, v := range h.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+func (h *heldState) acquire(m types.Object) {
+	h.order = append(h.order, m)
+}
+
+func (h *heldState) release(m types.Object) {
+	for i := len(h.order) - 1; i >= 0; i-- {
+		if h.order[i] == m {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *heldState) holds(m types.Object) bool {
+	for _, x := range h.order {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// walkFunc walks one function body in statement order, maintaining the
+// held-set and recording acquisition-order edges and leaked returns.
+func (lo *lockOrder) walkFunc(body *ast.BlockStmt) {
+	lo.walkStmts(body.List, &heldState{deferred: make(map[types.Object]bool)})
+}
+
+func (lo *lockOrder) walkStmts(stmts []ast.Stmt, h *heldState) {
+	for _, s := range stmts {
+		lo.walkStmt(s, h)
+	}
+}
+
+// walkStmt advances h through one statement. Branch bodies get a cloned
+// state: acquisitions inside a conditional are tracked within it but do
+// not leak into the fall-through path, trading false negatives for zero
+// false positives on the lock/branch/unlock shapes real code uses.
+func (lo *lockOrder) walkStmt(s ast.Stmt, h *heldState) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		lo.walkStmts(s.List, h)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lo.walkStmt(s.Init, h)
+		}
+		lo.scanExpr(s.Cond, h)
+		lo.walkStmt(s.Body, h.clone())
+		if s.Else != nil {
+			lo.walkStmt(s.Else, h.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lo.walkStmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			lo.scanExpr(s.Cond, h)
+		}
+		body := h.clone()
+		lo.walkStmt(s.Body, body)
+		if s.Post != nil {
+			lo.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		lo.scanExpr(s.X, h)
+		lo.walkStmt(s.Body, h.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lo.walkStmt(s.Init, h)
+		}
+		if s.Tag != nil {
+			lo.scanExpr(s.Tag, h)
+		}
+		for _, c := range s.Body.List {
+			lo.walkStmts(c.(*ast.CaseClause).Body, h.clone())
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lo.walkStmt(s.Init, h)
+		}
+		for _, c := range s.Body.List {
+			lo.walkStmts(c.(*ast.CaseClause).Body, h.clone())
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := h.clone()
+			if cc.Comm != nil {
+				lo.walkStmt(cc.Comm, branch)
+			}
+			lo.walkStmts(cc.Body, branch)
+		}
+	case *ast.DeferStmt:
+		if m := lo.mutexOf(s.Call, unlockMethods); m != nil {
+			h.deferred[m] = true
+			return
+		}
+		lo.scanExpr(s.Call, h)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lo.scanExpr(e, h)
+		}
+		for _, m := range h.order {
+			if !h.deferred[m] {
+				lo.pass.Reportf(s.Pos(),
+					"return while holding %s with no deferred Unlock; the next Lock stalls forever (defer the Unlock, or //podnas:allow lockorder <reason> for a deliberate handoff)",
+					mutexName(m))
+			}
+		}
+	case *ast.LabeledStmt:
+		lo.walkStmt(s.Stmt, h)
+	case *ast.ExprStmt:
+		lo.scanExpr(s.X, h)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lo.scanExpr(e, h)
+		}
+		for _, e := range s.Lhs {
+			lo.scanExpr(e, h)
+		}
+	case *ast.SendStmt:
+		lo.scanExpr(s.Chan, h)
+		lo.scanExpr(s.Value, h)
+	case *ast.IncDecStmt:
+		lo.scanExpr(s.X, h)
+	case *ast.GoStmt:
+		// The goroutine's body runs with its own empty held-set; its
+		// interior is covered when walkFunc reaches the literal via
+		// scanExpr's nested-literal handling below. Arguments are
+		// evaluated here, under h.
+		for _, arg := range s.Call.Args {
+			lo.scanExpr(arg, h)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lo.walkStmt(lit.Body, &heldState{deferred: make(map[types.Object]bool)})
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lo.scanExpr(v, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanExpr handles calls inside an expression: Lock/Unlock mutate h,
+// same-package calls contribute interprocedural ordering edges, and func
+// literals are walked with a fresh state (they run later, on their own
+// goroutine or defer, not at this program point — except immediate calls,
+// which the CallExpr case still scans for locks).
+func (lo *lockOrder) scanExpr(e ast.Expr, h *heldState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lo.walkStmt(n.Body, &heldState{deferred: make(map[types.Object]bool)})
+			return false
+		case *ast.CallExpr:
+			if m := lo.mutexOf(n, lockMethods); m != nil {
+				for _, held := range h.order {
+					if held != m {
+						lo.addEdge(held, m, n.Pos())
+					}
+				}
+				h.acquire(m)
+				return true
+			}
+			if m := lo.mutexOf(n, unlockMethods); m != nil {
+				h.release(m)
+				return true
+			}
+			if g := lo.callee(n); g != nil {
+				for _, held := range h.order {
+					for m := range lo.mayLock[g] {
+						if m != held && !h.holds(m) {
+							lo.addEdge(held, m, n.Pos())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (lo *lockOrder) addEdge(a, b types.Object, pos token.Pos) {
+	key := [2]types.Object{a, b}
+	if _, ok := lo.edges[key]; !ok {
+		lo.edges[key] = pos
+	}
+}
+
+// reportInversions reports every mutex pair with acquisition edges in both
+// directions, at both witness sites.
+func (lo *lockOrder) reportInversions() {
+	type inv struct {
+		a, b     types.Object
+		pos, rev token.Pos
+	}
+	var found []inv
+	for key, pos := range lo.edges {
+		a, b := key[0], key[1]
+		rev, ok := lo.edges[[2]types.Object{b, a}]
+		if !ok {
+			continue
+		}
+		// Report each unordered pair once, anchored at the lexically
+		// earlier witness.
+		if pos < rev || (pos == rev && mutexName(a) < mutexName(b)) {
+			found = append(found, inv{a, b, pos, rev})
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].pos < found[j].pos })
+	for _, iv := range found {
+		revPos := lo.pass.Fset.Position(iv.rev)
+		lo.pass.Reportf(iv.pos,
+			"inconsistent lock order: %s acquired while holding %s here, but %s while holding %s at %s:%d — pick one global order (//podnas:allow lockorder <reason> if the orders provably cannot contend)",
+			mutexName(iv.b), mutexName(iv.a), mutexName(iv.a), mutexName(iv.b),
+			revPos.Filename, revPos.Line)
+	}
+}
+
+// mutexName renders a mutex identity as pkg.field (or the bare variable
+// name) for messages.
+func mutexName(m types.Object) string {
+	if v, ok := m.(*types.Var); ok && v.Pkg() != nil {
+		return fmt.Sprintf("%s.%s", v.Pkg().Name(), v.Name())
+	}
+	return m.Name()
+}

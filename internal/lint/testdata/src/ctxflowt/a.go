@@ -1,0 +1,76 @@
+// Package ctxflowt is a podnaslint corpus package exercising the ctxflow
+// analyzer: functions that accept a context must thread it, not sever it.
+package ctxflowt
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+func consume(ctx context.Context) {}
+
+// Severs mints fresh roots despite having a ctx in hand.
+func Severs(ctx context.Context) {
+	consume(context.Background()) // want "context.Background inside a function that receives a ctx"
+	consume(context.TODO())       // want "context.TODO inside a function that receives a ctx"
+}
+
+// Sleeps blocks uncancellably.
+func Sleeps(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want "time.Sleep inside a function that receives a ctx"
+}
+
+// Dials ignores the deadline the caller carries.
+func Dials(ctx context.Context, addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want "net.Dial ignores the ctx"
+}
+
+// DialsWithTimeout still ignores the ctx's own deadline.
+func DialsWithTimeout(ctx context.Context, addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, time.Second) // want "net.DialTimeout ignores the ctx"
+}
+
+// Adapter has no ctx parameter: detaching here is the documented pattern
+// (Evaluate forwarding to EvaluateCtx), so it is out of scope.
+func Adapter() {
+	consume(context.Background())
+	time.Sleep(time.Microsecond)
+}
+
+// Ignored takes a ctx it cannot use; out of scope.
+func Ignored(_ context.Context) {
+	time.Sleep(time.Microsecond)
+}
+
+// Threads does it right: derive, don't mint.
+func Threads(ctx context.Context, addr string) (net.Conn, error) {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	var d net.Dialer
+	return d.DialContext(tctx, "tcp", addr)
+}
+
+// Detached documents a deliberate severing.
+func Detached(ctx context.Context) {
+	//podnas:allow ctxflow audit trail must flush even when the request is cancelled
+	consume(context.Background())
+}
+
+// PacedWait is the cancellable replacement for Sleep.
+func PacedWait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Millisecond):
+		return nil
+	}
+}
+
+// closures inherit the obligation: the ctx is still in scope.
+func LaunchesClosure(ctx context.Context, done chan struct{}) {
+	go func() {
+		time.Sleep(time.Millisecond) // want "time.Sleep inside a function that receives a ctx"
+		close(done)
+	}()
+}

@@ -1,0 +1,136 @@
+// Package goroleakt is a podnaslint corpus package exercising the
+// goroleak analyzer: goroutine launches with and without provable
+// termination paths.
+package goroleakt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+func work() {}
+
+// Leaky launches a fire-and-forget loop: no WaitGroup, no channel, no way
+// to stop it.
+func Leaky() {
+	go func() { // want "goroutine has no termination path"
+		for {
+			work()
+		}
+	}()
+}
+
+// Unseeable launches a function from another package; termination cannot
+// be proven from here.
+func Unseeable() {
+	go fmt.Println("fire and forget") // want "cannot see"
+}
+
+// Allowed documents why its loop is deliberate.
+func Allowed() {
+	//podnas:allow goroleak demo daemon runs for process lifetime by design
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// Joined is the WaitGroup pattern: the launcher joins the goroutine.
+func Joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+	wg.Wait()
+}
+
+// Stoppable selects on a stop channel the owner can close.
+func Stoppable(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// CtxBound selects on ctx.Done().
+func CtxBound(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// Draining ranges over a channel; it ends when the owner closes it.
+func Draining(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// StraightLine is loop-free: it runs to completion on its own.
+func StraightLine(results chan error) {
+	go func() {
+		results <- nil
+	}()
+}
+
+// launcher binds a closure to a local variable and launches it — the
+// analyzer must resolve the variable back to the literal.
+func Launcher(n int) {
+	worker := func() {
+		for {
+			work()
+		}
+	}
+	for i := 0; i < n; i++ {
+		go worker() // want "goroutine has no termination path"
+	}
+}
+
+// method launches resolve through the package's declarations.
+type pump struct {
+	msgs  chan int
+	dying chan struct{}
+}
+
+func (p *pump) run() {
+	for {
+		select {
+		case p.msgs <- 1:
+		case <-p.dying:
+			return
+		}
+	}
+}
+
+func (p *pump) spin() {
+	for {
+		work()
+	}
+}
+
+// Start launches a method with a receive (fine) and one without (finding).
+func (p *pump) Start() {
+	go p.run()
+	go p.spin() // want "goroutine has no termination path"
+}

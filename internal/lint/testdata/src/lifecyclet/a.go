@@ -1,0 +1,125 @@
+// Package lifecyclet is a podnaslint corpus package exercising the
+// lifecycle analyzer: acquired resources must reach their release or
+// escape to a new owner.
+package lifecyclet
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// Forgotten opens a handle that never reaches Close and never escapes.
+func Forgotten(path string) (int64, error) {
+	f, err := os.Open(path) // want "never reaches Close"
+	if err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Closed releases on the happy path via defer.
+func Closed(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Stat()
+	return err
+}
+
+// Returned hands the obligation to the caller.
+func Returned(path string) (*os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Stored hands the obligation to the struct owner.
+type sink struct {
+	f *os.File
+}
+
+func Stored(path string) (*sink, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &sink{f: f}, nil
+}
+
+// Passed hands the obligation to a consumer.
+func consume(f *os.File) {}
+
+func Passed(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	consume(f)
+	return nil
+}
+
+// Dropped discards the call's results entirely.
+func Dropped(path string) {
+	os.Create(path) // want "dropped on the floor"
+}
+
+// LostCancel binds the cancel func to _: the ctx's resources can never be
+// released.
+func LostCancel(ctx context.Context) context.Context {
+	tctx, _ := context.WithTimeout(ctx, time.Second) // want "bound to _"
+	return tctx
+}
+
+// Cancelled releases the derived ctx.
+func Cancelled(ctx context.Context) error {
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	<-tctx.Done()
+	return tctx.Err()
+}
+
+// ForgottenCancel binds the cancel func but never calls it; assigning it
+// to the blank identifier is not ownership.
+func ForgottenCancel() {
+	_, cancel := context.WithCancel(context.Background()) // want "never reaches"
+	_ = cancel
+}
+
+// Ticking leaks a ticker: Stop is never called and the ticker never
+// escapes.
+func Ticking(beats chan time.Time) {
+	t := time.NewTicker(time.Second) // want "never reaches Stop"
+	select {
+	case b := <-t.C:
+		beats <- b
+	default:
+	}
+}
+
+// Stopped runs a bounded ticker correctly.
+func Stopped(n int) int {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	ticks := 0
+	for i := 0; i < n; i++ {
+		<-t.C
+		ticks++
+	}
+	return ticks
+}
+
+// Acknowledged documents a deliberate leak.
+func Acknowledged(path string) {
+	//podnas:allow lifecycle handle deliberately held until process exit for flock ownership
+	f, _ := os.Create(path)
+	_ = f.Name()
+}

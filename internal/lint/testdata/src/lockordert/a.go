@@ -1,0 +1,117 @@
+// Package lockordert is a podnaslint corpus package exercising the
+// lockorder analyzer: inconsistent pairwise acquisition orders and returns
+// that leak a held, undeferred mutex.
+package lockordert
+
+import "sync"
+
+// registry and index hold the two mutexes whose ordering the corpus
+// inverts.
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+type index struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+// AddBoth acquires registry.mu then index.mu.
+func AddBoth(r *registry, ix *index, k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ix.mu.Lock() // want "inconsistent lock order"
+	defer ix.mu.Unlock()
+	r.items[k] = len(ix.keys)
+	ix.keys = append(ix.keys, k)
+}
+
+// DropBoth acquires them in the opposite order: the deadlock pair.
+func DropBoth(r *registry, ix *index, k string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.items, k)
+}
+
+// Leaky returns early while still holding the lock.
+func Leaky(r *registry, k string) bool {
+	r.mu.Lock()
+	if _, ok := r.items[k]; ok {
+		return true // want "return while holding"
+	}
+	r.mu.Unlock()
+	return false
+}
+
+// Balanced releases on the early path; clean.
+func Balanced(r *registry, k string) bool {
+	r.mu.Lock()
+	if _, ok := r.items[k]; ok {
+		r.mu.Unlock()
+		return true
+	}
+	r.mu.Unlock()
+	return false
+}
+
+// Deferred uses the canonical shape: multi-return with a deferred Unlock.
+func Deferred(r *registry, k string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.items[k]; ok {
+		return true
+	}
+	return false
+}
+
+// Handoff passes lock ownership to its caller on purpose.
+func Handoff(r *registry) {
+	r.mu.Lock()
+	//podnas:allow lockorder caller releases via Release; documented handoff pair
+	return
+}
+
+// Release is Handoff's other half.
+func Release(r *registry) {
+	r.mu.Unlock()
+}
+
+// gauges exercise the interprocedural edge: deep locks telemetry.mu inside
+// a callee while sampler holds its own lock, and Opposite nests them the
+// other way round directly.
+type telemetry struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+type sampler struct {
+	mu   sync.Mutex
+	last string
+}
+
+func (t *telemetry) bump(k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.counts[k]++
+}
+
+// Observe holds sampler.mu and calls bump, which may lock telemetry.mu.
+func (s *sampler) Observe(t *telemetry, k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.last = k
+	t.bump(k) // want "inconsistent lock order"
+}
+
+// Opposite nests the same pair the other way.
+func (s *sampler) Opposite(t *telemetry, k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.mu.Lock()
+	s.last = k
+	s.mu.Unlock()
+	t.counts[k]++
+}

@@ -42,17 +42,21 @@ func newEngineState() *engineState {
 // in arena mode and zeroed in noArena mode, so callers must fully
 // overwrite it; the arena-vs-alloc bit-identity test enforces exactly
 // this discipline.
+//
+//podnas:hotpath
 func (es *engineState) alloc(a *kernel.Arena, n int) []float64 {
 	if es.noArena {
-		return make([]float64, n)
+		return make([]float64, n) //podnas:allow hotalloc noArena oracle mode allocates per call by design; arena mode is zero-alloc
 	}
 	return a.Alloc(n)
 }
 
 // allocZero is alloc with guaranteed-zero contents in both modes.
+//
+//podnas:hotpath
 func (es *engineState) allocZero(a *kernel.Arena, n int) []float64 {
 	if es.noArena {
-		return make([]float64, n)
+		return make([]float64, n) //podnas:allow hotalloc noArena oracle mode allocates per call by design; arena mode is zero-alloc
 	}
 	return a.AllocZero(n)
 }

@@ -169,6 +169,8 @@ func (g *Graph) ParamCount() int {
 }
 
 // Forward runs the network on x (B,T,InputDim) and returns (B,T,OutDim).
+//
+//podnas:hotpath
 func (g *Graph) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 	if x.F != g.spec.InputDim {
 		panic(fmt.Sprintf("nn: graph expects %d features, got %d", g.spec.InputDim, x.F))
@@ -215,10 +217,12 @@ func (g *Graph) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 // Backward propagates dOut (gradient w.r.t. the network output) through the
 // DAG, accumulating parameter gradients, and returns the gradient with
 // respect to the network input.
+//
+//podnas:hotpath
 func (g *Graph) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
 	n := len(g.nodes)
 	if cap(g.douts) < n {
-		g.douts = make([]*tensor.Tensor3, n)
+		g.douts = make([]*tensor.Tensor3, n) //podnas:allow hotalloc douts growth is amortized across calls
 	}
 	g.douts = g.douts[:n]
 	for i := range g.douts {
@@ -237,7 +241,7 @@ func (g *Graph) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
 		if g.es.engine == EngineReference {
 			return src.Clone()
 		}
-		data := g.es.alloc(g.es.bwd, len(src.Data))
+		data := g.es.alloc(g.es.bwd, len(src.Data)) //podnas:allow hotalloc inlined es.alloc in cloneGrad; noArena oracle mode only
 		copy(data, src.Data)
 		return tensor.Tensor3FromSlice(src.B, src.T, src.F, data)
 	}

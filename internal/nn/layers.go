@@ -71,12 +71,14 @@ func NewDense(name string, in, out int, rng *tensor.RNG) *Dense {
 }
 
 // Forward computes the affine map over every timestep.
+//
+//podnas:hotpath
 func (l *Dense) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 	if x.F != l.in {
 		panic(fmt.Sprintf("nn: Dense expects %d features, got %d", l.in, x.F))
 	}
 	l.x = x
-	es := l.state()
+	es := l.state() //podnas:allow hotalloc lazy one-time engineState init per layer
 	rows := x.B * x.T
 	if es.engine == EngineReference {
 		out := tensor.NewTensor3(x.B, x.T, l.out)
@@ -86,7 +88,7 @@ func (l *Dense) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 		return out
 	}
 	es.resetFwd()
-	data := es.alloc(es.fwd, rows*l.out)
+	data := es.alloc(es.fwd, rows*l.out) //podnas:allow hotalloc inlined es.alloc; make fires only in noArena oracle mode
 	es.cfg.Gemm(kernel.MatOf(rows, l.out, data),
 		kernel.MatOf(rows, l.in, x.Data),
 		kernel.MatOf(l.in, l.out, l.W.W), false, false, false)
@@ -94,6 +96,7 @@ func (l *Dense) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 	return tensor.Tensor3FromSlice(x.B, x.T, l.out, data)
 }
 
+//podnas:hotpath
 func addBiasRows(data, bias []float64, rows, width int) {
 	for i := 0; i < rows; i++ {
 		dst := data[i*width : (i+1)*width]
@@ -104,11 +107,13 @@ func addBiasRows(data, bias []float64, rows, width int) {
 }
 
 // Backward accumulates dW, db and returns dX.
+//
+//podnas:hotpath
 func (l *Dense) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
 	if l.x == nil {
 		panic("nn: Dense.Backward before Forward")
 	}
-	es := l.state()
+	es := l.state() //podnas:allow hotalloc lazy one-time engineState init per layer
 	rows := dOut.B * dOut.T
 	if es.engine == EngineReference {
 		dw := tensor.FromSlice(l.in, l.out, l.W.G)
@@ -125,13 +130,14 @@ func (l *Dense) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
 		kernel.MatOf(rows, l.in, l.x.Data),
 		kernel.MatOf(rows, l.out, dOut.Data), true, false, true)
 	sumGradRows(l.B.G, dOut.Data, rows, l.out)
-	dx := es.alloc(es.bwd, rows*l.in)
+	dx := es.alloc(es.bwd, rows*l.in) //podnas:allow hotalloc inlined es.alloc; make fires only in noArena oracle mode
 	es.cfg.Gemm(kernel.MatOf(rows, l.in, dx),
 		kernel.MatOf(rows, l.out, dOut.Data),
 		kernel.MatOf(l.in, l.out, l.W.W), false, true, false)
 	return tensor.Tensor3FromSlice(l.x.B, l.x.T, l.in, dx)
 }
 
+//podnas:hotpath
 func sumGradRows(acc, data []float64, rows, width int) {
 	for i := 0; i < rows; i++ {
 		src := data[i*width : (i+1)*width]
@@ -162,19 +168,21 @@ type ReLU struct {
 func NewReLU(dim int) *ReLU { return &ReLU{dim: dim} }
 
 // Forward rectifies x elementwise.
+//
+//podnas:hotpath
 func (l *ReLU) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
-	es := l.state()
+	es := l.state() //podnas:allow hotalloc lazy one-time engineState init per layer
 	n := len(x.Data)
 	if cap(l.mask) < n {
-		l.mask = make([]bool, n)
+		l.mask = make([]bool, n) //podnas:allow hotalloc mask growth is amortized across calls
 	}
 	l.mask = l.mask[:n]
 	var data []float64
 	if es.engine == EngineReference {
-		data = make([]float64, n)
+		data = make([]float64, n) //podnas:allow hotalloc reference engine allocates per call; fused engine uses the arena
 	} else {
 		es.resetFwd()
-		data = es.alloc(es.fwd, n)
+		data = es.alloc(es.fwd, n) //podnas:allow hotalloc inlined es.alloc; make fires only in noArena oracle mode
 	}
 	for i, v := range x.Data {
 		if v > 0 {
@@ -189,15 +197,17 @@ func (l *ReLU) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 }
 
 // Backward gates dOut by the forward activation mask.
+//
+//podnas:hotpath
 func (l *ReLU) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
-	es := l.state()
+	es := l.state() //podnas:allow hotalloc lazy one-time engineState init per layer
 	n := len(dOut.Data)
 	var data []float64
 	if es.engine == EngineReference {
-		data = make([]float64, n)
+		data = make([]float64, n) //podnas:allow hotalloc reference engine allocates per call; fused engine uses the arena
 	} else {
 		es.resetBwd()
-		data = es.alloc(es.bwd, n)
+		data = es.alloc(es.bwd, n) //podnas:allow hotalloc inlined es.alloc; make fires only in noArena oracle mode
 	}
 	for i, v := range dOut.Data {
 		if l.mask[i] {

@@ -74,11 +74,13 @@ func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 // Forward runs the recurrence over all timesteps of x (B,T,in) and returns
 // the hidden sequence (B,T,hidden). The result aliases arena storage owned
 // by this layer: consume or copy it before the next Forward.
+//
+//podnas:hotpath
 func (l *LSTM) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 	if x.F != l.in {
 		panic(fmt.Sprintf("nn: LSTM expects %d features, got %d", l.in, x.F))
 	}
-	es := l.state()
+	es := l.state() //podnas:allow hotalloc lazy one-time engineState init per layer
 	if es.engine == EngineReference {
 		return l.forwardRef(x)
 	}
@@ -86,12 +88,12 @@ func (l *LSTM) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 	b, t, h := x.B, x.T, l.hidden
 	h4 := 4 * h
 	l.x, l.b, l.t = x, b, t
-	l.gates = es.alloc(es.fwd, b*t*h4)
-	l.cells = es.alloc(es.fwd, b*t*h)
-	l.tanhC = es.alloc(es.fwd, b*t*h)
-	l.hs = es.alloc(es.fwd, b*t*h)
+	l.gates = es.alloc(es.fwd, b*t*h4) //podnas:allow hotalloc inlined es.alloc; make fires only in noArena oracle mode
+	l.cells = es.alloc(es.fwd, b*t*h)  //podnas:allow hotalloc inlined es.alloc; make fires only in noArena oracle mode
+	l.tanhC = es.alloc(es.fwd, b*t*h)  //podnas:allow hotalloc inlined es.alloc; make fires only in noArena oracle mode
+	l.hs = es.alloc(es.fwd, b*t*h)     //podnas:allow hotalloc inlined es.alloc; make fires only in noArena oracle mode
 	if cap(l.zeroH) < h {
-		l.zeroH = make([]float64, h)
+		l.zeroH = make([]float64, h) //podnas:allow hotalloc zeroH growth is amortized across steps
 	}
 
 	// Input contribution for every timestep in one GEMM, written straight
@@ -118,7 +120,7 @@ func (l *LSTM) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 		}
 		if es.parallel() {
 			step := step
-			es.cfg.ParallelRows(b, 40*h4, func(lo, hi int) { l.forwardSweep(lo, hi, step) })
+			es.cfg.ParallelRows(b, 40*h4, func(lo, hi int) { l.forwardSweep(lo, hi, step) }) //podnas:allow hotalloc ParallelRows sweep closure; serial path avoids it
 		} else {
 			l.forwardSweep(0, b, step)
 		}
@@ -128,6 +130,8 @@ func (l *LSTM) Forward(x *tensor.Tensor3) *tensor.Tensor3 {
 
 // forwardSweep applies the fused activation update for batch rows [lo, hi)
 // of one timestep. Rows are disjoint, so any partition is bit-identical.
+//
+//podnas:hotpath
 func (l *LSTM) forwardSweep(lo, hi, step int) {
 	h, t := l.hidden, l.t
 	h4 := 4 * h
@@ -148,8 +152,10 @@ func (l *LSTM) forwardSweep(lo, hi, step int) {
 // Backward consumes dOut (B,T,hidden), accumulates gradients for Wx, Wh, b,
 // and returns the gradient with respect to the input (B,T,in). The result
 // aliases arena storage valid until the next Backward.
+//
+//podnas:hotpath
 func (l *LSTM) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
-	es := l.state()
+	es := l.state() //podnas:allow hotalloc lazy one-time engineState init per layer
 	if es.engine == EngineReference {
 		return l.backwardRef(dOut)
 	}
@@ -159,7 +165,7 @@ func (l *LSTM) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
 	es.resetBwd()
 	b, t, h := l.b, l.t, l.hidden
 	h4 := 4 * h
-	dz := es.alloc(es.bwd, b*t*h4)   // pre-activation gate gradients
+	dz := es.alloc(es.bwd, b*t*h4)   //podnas:allow hotalloc pre-activation gate gradients; inlined es.alloc fires only in noArena oracle mode
 	dc := es.allocZero(es.bwd, b*h)  // cell-gradient carry
 	dhn := es.allocZero(es.bwd, b*h) // recurrent hidden-gradient carry
 
@@ -170,7 +176,7 @@ func (l *LSTM) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
 		// dz_t, and updates the dc carry in place.
 		if es.parallel() {
 			step := step
-			es.cfg.ParallelRows(b, 60*h4, func(lo, hi int) { l.backwardSweep(dOut, dz, dc, dhn, lo, hi, step) })
+			es.cfg.ParallelRows(b, 60*h4, func(lo, hi int) { l.backwardSweep(dOut, dz, dc, dhn, lo, hi, step) }) //podnas:allow hotalloc ParallelRows sweep closure; serial path avoids it
 		} else {
 			l.backwardSweep(dOut, dz, dc, dhn, 0, b, step)
 		}
@@ -195,7 +201,7 @@ func (l *LSTM) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
 			l.B.G[j] += v
 		}
 	}
-	dx := es.alloc(es.bwd, b*t*l.in)
+	dx := es.alloc(es.bwd, b*t*l.in) //podnas:allow hotalloc inlined es.alloc; make fires only in noArena oracle mode
 	es.cfg.Gemm(kernel.MatOf(b*t, l.in, dx),
 		kernel.MatOf(b*t, h4, dz),
 		kernel.MatOf(l.in, h4, l.Wx.W), false, true, false)
@@ -204,6 +210,8 @@ func (l *LSTM) Backward(dOut *tensor.Tensor3) *tensor.Tensor3 {
 
 // backwardSweep runs the fused BPTT gate sweep for batch rows [lo, hi) of
 // one timestep.
+//
+//podnas:hotpath
 func (l *LSTM) backwardSweep(dOut *tensor.Tensor3, dz, dc, dhn []float64, lo, hi, step int) {
 	h, t := l.hidden, l.t
 	h4 := 4 * h

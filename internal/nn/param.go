@@ -51,6 +51,8 @@ func NewAdam(lr float64) *Adam {
 }
 
 // Step applies one Adam update to every parameter and clears gradients.
+//
+//podnas:hotpath
 func (a *Adam) Step(params []*Param) {
 	a.step++
 	b1c := 1 - math.Pow(a.Beta1, float64(a.step))

@@ -57,16 +57,18 @@ func MSELoss(pred, target *tensor.Tensor3) (float64, *tensor.Tensor3) {
 // has the capacity (a nil grad allocates). Returns the loss and the
 // gradient tensor; the training loop threads grad through steps so the
 // loss gradient costs no allocation after the first batch.
+//
+//podnas:hotpath
 func MSELossInto(grad *tensor.Tensor3, pred, target *tensor.Tensor3) (float64, *tensor.Tensor3) {
 	if len(pred.Data) != len(target.Data) {
 		panic(fmt.Sprintf("nn: MSELoss shape mismatch %d vs %d", len(pred.Data), len(target.Data)))
 	}
 	need := len(pred.Data)
 	if grad == nil {
-		grad = &tensor.Tensor3{}
+		grad = &tensor.Tensor3{} //podnas:allow hotalloc nil-grad first call only; the training loop threads grad
 	}
 	if cap(grad.Data) < need {
-		grad.Data = make([]float64, need)
+		grad.Data = make([]float64, need) //podnas:allow hotalloc grad buffer growth is amortized after the first batch
 	}
 	grad.B, grad.T, grad.F = pred.B, pred.T, pred.F
 	grad.Data = grad.Data[:need]

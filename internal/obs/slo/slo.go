@@ -67,8 +67,9 @@ type Watcher struct {
 	inBreach map[string]bool
 	seq      int
 
-	stop chan struct{}
-	done chan struct{}
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
 }
 
 // New validates the options and starts the watch-loop goroutine.
@@ -106,13 +107,14 @@ func New(o Options) (*Watcher, error) {
 	return w, nil
 }
 
-// Close stops the watch-loop and waits for it to exit.
+// Close stops the watch-loop and waits for it to exit. It is safe to call
+// from multiple goroutines: the old select-then-close form raced (two
+// callers could both observe the channel open and both close it, and the
+// second close panics — exactly the shutdown window where nasd's signal
+// handler and its deferred cleanup overlap), so the close is guarded by a
+// sync.Once.
 func (w *Watcher) Close() {
-	select {
-	case <-w.stop:
-	default:
-		close(w.stop)
-	}
+	w.closeOnce.Do(func() { close(w.stop) })
 	<-w.done
 }
 

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -191,5 +192,43 @@ func TestWatcherLoopPollsOnInterval(t *testing.T) {
 	w.Close()
 	if len(breaches(ring)) == 0 {
 		t.Fatal("ticker-driven loop never polled")
+	}
+}
+
+// TestWatcherCloseConcurrent pins the Close race fixed alongside the
+// goroleak/lockorder analyzer work: the old select-then-close shutdown let
+// two concurrent Close calls both observe the stop channel open and both
+// close it, panicking the second caller. This is exactly the nasd shutdown
+// window where the signal handler and deferred cleanup overlap, so the fix
+// (sync.Once) gets a dedicated regression test under -race.
+func TestWatcherCloseConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	w, err := New(Options{
+		Targets:  Targets{EvalP99: time.Hour},
+		Dir:      dir,
+		Interval: time.Hour,
+		Snapshot: func() obs.Snapshot { return obs.Snapshot{} },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const closers = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			w.Close() // must not panic, must not deadlock
+		}()
+	}
+	close(start)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent Close calls did not all return")
 	}
 }

@@ -128,7 +128,13 @@ func (f *FaultInjector) EvaluateCtx(ctx context.Context, a arch.Arch, seed uint6
 			<-ctx.Done()
 			return 0, fmt.Errorf("injected hang (seed %d): %w", seed, ctx.Err())
 		}
-		time.Sleep(10 * f.stragglerDelay())
+		// Non-cancellable ctx (Done() == nil, e.g. Background in unit
+		// tests): bound the simulated hang but stay interruptible in
+		// case a cancellable ctx ever reaches this arm.
+		select {
+		case <-ctx.Done():
+		case <-time.After(10 * f.stragglerDelay()):
+		}
 		return 0, fmt.Errorf("injected hang (seed %d): %w", seed, ErrTransient)
 	case u < f.KillRate+f.PanicRate+f.FailRate+f.HangRate+f.StragglerRate:
 		f.bump(&f.counts.Stragglers)

@@ -399,3 +399,41 @@ func TestFaultInjectorKillRateZeroNeverKills(t *testing.T) {
 		t.Fatalf("counts with zero rates: %+v", c)
 	}
 }
+
+// TestHangArmCancellable pins the ctxflow fix to the hang arm: the
+// bounded-hang fallback used to be a bare time.Sleep, which no context
+// could interrupt. Both paths must now respond to cancellation — an
+// already-cancelled ctx returns immediately from the blocking path, and
+// the Background path stays bounded by 10× StragglerDelay.
+func TestHangArmCancellable(t *testing.T) {
+	s := toySpace()
+	a := s.Random(tensor.NewRNG(1))
+	inj := &FaultInjector{
+		Inner: &toyEvaluator{space: s}, Seed: 7,
+		HangRate: 1.0, StragglerDelay: time.Millisecond,
+	}
+
+	// Cancellable ctx: the hang blocks on ctx.Done(), so a cancel must
+	// release it promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	start := time.Now()
+	_, err := inj.EvaluateCtx(ctx, a, 1)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellable hang: err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancellable hang blocked %v after cancel", d)
+	}
+
+	// Background ctx (Done() == nil): the fallback must stay bounded and
+	// report the hang as transient.
+	start = time.Now()
+	_, err = inj.Evaluate(a, 2)
+	if err == nil || !errors.Is(err, ErrTransient) {
+		t.Fatalf("bounded hang: err = %v, want ErrTransient", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("bounded hang blocked %v, want ~10ms", d)
+	}
+}
